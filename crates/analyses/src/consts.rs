@@ -1,0 +1,791 @@
+//! Interprocedural reaching constants over the ICFG and MPI-ICFG.
+//!
+//! The canonical nonseparable data-flow analysis from Section 3 of the paper.
+//! Each location is paired with a value from the constant lattice
+//! (⊤ / Const c / ⊥). Over the MPI-ICFG, the communication transfer function
+//! propagates the *lattice value of the sent variable* over each
+//! communication edge, and the receive transfer meets those values into the
+//! received variable — so a constant sent by one branch of an SPMD program
+//! reaches the receiving branch, which no CFG-only analysis can see.
+//!
+//! SPMD subtlety: `rank()` evaluates differently on every process, so it is
+//! ⊥, never a constant; `nprocs()` is uniform but statically unknown, also ⊥.
+
+use crate::interproc::BindMaps;
+use mpi_dfa_core::graph::{Edge, EdgeKind, NodeId};
+use mpi_dfa_core::lattice::{ConstLattice, MeetSemiLattice};
+use mpi_dfa_core::problem::{Dataflow, Direction};
+use mpi_dfa_core::solver::{solve, Solution, SolveParams};
+use mpi_dfa_graph::icfg::{ActualBinding, Icfg, ProgramIr};
+use mpi_dfa_graph::loc::{Loc, ProcId};
+use mpi_dfa_graph::mpi::{ConstQuery, MpiIcfg};
+use mpi_dfa_graph::node::{MpiKind, NodeKind, RefInfo};
+use mpi_dfa_lang::ast::{BinOp, Expr, ExprKind, Intrinsic, RedOp, UnOp};
+use std::sync::Arc;
+
+/// A constant runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CVal {
+    Int(i64),
+    Real(f64),
+    Bool(bool),
+}
+
+impl std::fmt::Display for CVal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CVal::Int(v) => write!(f, "{v}"),
+            CVal::Real(v) => write!(f, "{v}"),
+            CVal::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl CVal {
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            CVal::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(self) -> Option<f64> {
+        match self {
+            CVal::Int(v) => Some(v as f64),
+            CVal::Real(v) => Some(v),
+            CVal::Bool(_) => None,
+        }
+    }
+
+    fn truthy(self) -> bool {
+        match self {
+            CVal::Int(v) => v != 0,
+            CVal::Real(v) => v != 0.0,
+            CVal::Bool(b) => b,
+        }
+    }
+}
+
+/// Per-location constant lattice values: the fact type.
+///
+/// Indexed densely by [`Loc`]. An array location's value models "every
+/// element holds this constant" (whole-array assignment of a scalar); any
+/// element write meets the element's value into the array's value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstEnv(pub Vec<ConstLattice<CVal>>);
+
+impl ConstEnv {
+    pub fn top(universe: usize) -> Self {
+        ConstEnv(vec![ConstLattice::Top; universe])
+    }
+
+    pub fn bottom(universe: usize) -> Self {
+        ConstEnv(vec![ConstLattice::Bottom; universe])
+    }
+
+    pub fn get(&self, loc: Loc) -> &ConstLattice<CVal> {
+        &self.0[loc.index()]
+    }
+
+    pub fn set(&mut self, loc: Loc, v: ConstLattice<CVal>) {
+        self.0[loc.index()] = v;
+    }
+
+    /// Weak update: meet `v` into the existing value.
+    pub fn weaken(&mut self, loc: Loc, v: &ConstLattice<CVal>) {
+        self.0[loc.index()].meet_with(v);
+    }
+
+    fn meet_env(&mut self, other: &ConstEnv) -> bool {
+        let mut changed = false;
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            changed |= a.meet_with(b);
+        }
+        changed
+    }
+}
+
+/// Evaluate an expression under `env`, resolving names through `resolve`.
+///
+/// Result is ⊥ when any needed operand is ⊥ or non-constant by nature
+/// (`rank()`, `nprocs()`), ⊤ only when some operand is still ⊤.
+pub fn eval_expr(
+    e: &Expr,
+    env: &ConstEnv,
+    resolve: &impl Fn(&str) -> Option<Loc>,
+) -> ConstLattice<CVal> {
+    use ConstLattice::*;
+    match &e.kind {
+        ExprKind::IntLit(v) => Const(CVal::Int(*v)),
+        ExprKind::RealLit(v) => Const(CVal::Real(*v)),
+        ExprKind::BoolLit(b) => Const(CVal::Bool(*b)),
+        ExprKind::Rank | ExprKind::Nprocs | ExprKind::AnyWildcard => Bottom,
+        ExprKind::Var(lv) => match resolve(&lv.name) {
+            Some(loc) => *env.get(loc),
+            None => Bottom,
+        },
+        ExprKind::Unary(op, inner) => {
+            let v = eval_expr(inner, env, resolve);
+            lift1(v, |c| match (op, c) {
+                (UnOp::Neg, CVal::Int(v)) => Some(CVal::Int(-v)),
+                (UnOp::Neg, CVal::Real(v)) => Some(CVal::Real(-v)),
+                (UnOp::Not, c) => Some(CVal::Bool(!c.truthy())),
+                (UnOp::Neg, CVal::Bool(_)) => None,
+            })
+        }
+        ExprKind::Binary(op, a, b) => {
+            let va = eval_expr(a, env, resolve);
+            let vb = eval_expr(b, env, resolve);
+            lift2(va, vb, |x, y| eval_binop(*op, x, y))
+        }
+        ExprKind::Intrinsic(i, args) => {
+            let vals: Vec<ConstLattice<CVal>> =
+                args.iter().map(|a| eval_expr(a, env, resolve)).collect();
+            if vals.iter().any(|v| v.is_bottom()) {
+                return Bottom;
+            }
+            if vals.iter().any(|v| v.is_top()) {
+                return Top;
+            }
+            let cs: Vec<CVal> = vals.iter().map(|v| *v.as_const().unwrap()).collect();
+            match eval_intrinsic(*i, &cs) {
+                Some(c) => Const(c),
+                None => Bottom,
+            }
+        }
+    }
+}
+
+fn lift1(
+    v: ConstLattice<CVal>,
+    f: impl FnOnce(CVal) -> Option<CVal>,
+) -> ConstLattice<CVal> {
+    match v {
+        ConstLattice::Const(c) => match f(c) {
+            Some(r) => ConstLattice::Const(r),
+            None => ConstLattice::Bottom,
+        },
+        other => other,
+    }
+}
+
+fn lift2(
+    a: ConstLattice<CVal>,
+    b: ConstLattice<CVal>,
+    f: impl FnOnce(CVal, CVal) -> Option<CVal>,
+) -> ConstLattice<CVal> {
+    use ConstLattice::*;
+    match (a, b) {
+        (Bottom, _) | (_, Bottom) => Bottom,
+        (Top, _) | (_, Top) => Top,
+        (Const(x), Const(y)) => match f(x, y) {
+            Some(r) => Const(r),
+            None => Bottom,
+        },
+    }
+}
+
+fn eval_binop(op: BinOp, a: CVal, b: CVal) -> Option<CVal> {
+    use BinOp::*;
+    match op {
+        And => return Some(CVal::Bool(a.truthy() && b.truthy())),
+        Or => return Some(CVal::Bool(a.truthy() || b.truthy())),
+        _ => {}
+    }
+    // Integer arithmetic stays integral; anything mixing reals goes real.
+    if let (CVal::Int(x), CVal::Int(y)) = (a, b) {
+        return match op {
+            Add => Some(CVal::Int(x + y)),
+            Sub => Some(CVal::Int(x - y)),
+            Mul => Some(CVal::Int(x * y)),
+            Div => (y != 0).then(|| CVal::Int(x / y)),
+            Eq => Some(CVal::Bool(x == y)),
+            Ne => Some(CVal::Bool(x != y)),
+            Lt => Some(CVal::Bool(x < y)),
+            Le => Some(CVal::Bool(x <= y)),
+            Gt => Some(CVal::Bool(x > y)),
+            Ge => Some(CVal::Bool(x >= y)),
+            And | Or => unreachable!(),
+        };
+    }
+    let (x, y) = (a.as_f64()?, b.as_f64()?);
+    match op {
+        Add => Some(CVal::Real(x + y)),
+        Sub => Some(CVal::Real(x - y)),
+        Mul => Some(CVal::Real(x * y)),
+        Div => (y != 0.0).then(|| CVal::Real(x / y)),
+        Eq => Some(CVal::Bool(x == y)),
+        Ne => Some(CVal::Bool(x != y)),
+        Lt => Some(CVal::Bool(x < y)),
+        Le => Some(CVal::Bool(x <= y)),
+        Gt => Some(CVal::Bool(x > y)),
+        Ge => Some(CVal::Bool(x >= y)),
+        And | Or => unreachable!(),
+    }
+}
+
+fn eval_intrinsic(i: Intrinsic, args: &[CVal]) -> Option<CVal> {
+    match i {
+        Intrinsic::Mod => {
+            let (a, m) = (args[0].as_int()?, args[1].as_int()?);
+            (m != 0).then(|| CVal::Int(a.rem_euclid(m)))
+        }
+        Intrinsic::Max | Intrinsic::Min => {
+            if let (CVal::Int(x), CVal::Int(y)) = (args[0], args[1]) {
+                return Some(CVal::Int(if i == Intrinsic::Max { x.max(y) } else { x.min(y) }));
+            }
+            let (x, y) = (args[0].as_f64()?, args[1].as_f64()?);
+            Some(CVal::Real(if i == Intrinsic::Max { x.max(y) } else { x.min(y) }))
+        }
+        Intrinsic::Abs => match args[0] {
+            CVal::Int(v) => Some(CVal::Int(v.abs())),
+            CVal::Real(v) => Some(CVal::Real(v.abs())),
+            CVal::Bool(_) => None,
+        },
+        Intrinsic::Sqrt => Some(CVal::Real(args[0].as_f64()?.abs().sqrt())),
+        Intrinsic::Exp => Some(CVal::Real(args[0].as_f64()?.exp())),
+        Intrinsic::Log => Some(CVal::Real(args[0].as_f64()?.abs().max(1e-300).ln())),
+        Intrinsic::Sin => Some(CVal::Real(args[0].as_f64()?.sin())),
+        Intrinsic::Cos => Some(CVal::Real(args[0].as_f64()?.cos())),
+    }
+}
+
+/// The reaching-constants problem. Borrow the ICFG (for payloads/bindings)
+/// and solve over either the ICFG itself or its MPI-ICFG.
+pub struct ReachingConsts<'g> {
+    icfg: &'g Icfg,
+    maps: BindMaps,
+    universe: usize,
+}
+
+impl<'g> ReachingConsts<'g> {
+    pub fn new(icfg: &'g Icfg) -> Self {
+        ReachingConsts { icfg, maps: BindMaps::build(icfg), universe: icfg.ir.locs.len() }
+    }
+
+    fn resolver(&self, node: NodeId) -> impl Fn(&str) -> Option<Loc> + '_ {
+        let proc = self.icfg.proc_of(node);
+        move |name| self.icfg.ir.locs.resolve(proc, name)
+    }
+
+    fn assign(&self, env: &mut ConstEnv, lhs: &RefInfo, v: ConstLattice<CVal>) {
+        if lhs.is_strong_def() {
+            env.set(lhs.loc, v);
+        } else {
+            env.weaken(lhs.loc, &v);
+        }
+    }
+}
+
+impl Dataflow for ReachingConsts<'_> {
+    type Fact = ConstEnv;
+    type CommFact = ConstLattice<CVal>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn top(&self) -> ConstEnv {
+        ConstEnv::top(self.universe)
+    }
+
+    fn boundary(&self) -> ConstEnv {
+        // Nothing is known at the context entry.
+        ConstEnv::bottom(self.universe)
+    }
+
+    fn meet_into(&self, dst: &mut ConstEnv, src: &ConstEnv) -> bool {
+        dst.meet_env(src)
+    }
+
+    fn transfer(&self, node: NodeId, input: &ConstEnv, comm: &[Self::CommFact]) -> ConstEnv {
+        let mut out = input.clone();
+        match &self.icfg.payload(node).kind {
+            NodeKind::Assign { lhs, rhs } => {
+                let v = eval_expr(&rhs.expr, input, &self.resolver(node));
+                self.assign(&mut out, lhs, v);
+            }
+            NodeKind::Read { target } => {
+                self.assign(&mut out, target, ConstLattice::Bottom);
+            }
+            NodeKind::Mpi(m)
+                if m.kind.receives_data() => {
+                    let buf = m.buf.as_ref().expect("data op has buffer");
+                    // Meet the values arriving over all communication edges
+                    // (the paper's ⊓ over commpred(n)); with no incoming
+                    // edges the meet is ⊤ (unreachable receive).
+                    let mut v = ConstLattice::Top;
+                    for c in comm {
+                        v.meet_with(c);
+                    }
+                    match m.kind {
+                        MpiKind::Recv | MpiKind::Irecv => self.assign(&mut out, buf, v),
+                        // The root of a bcast/reduce keeps its local value,
+                        // so the received value can only be met in weakly.
+                        MpiKind::Bcast => out.weaken(buf.loc, &v),
+                        MpiKind::Reduce | MpiKind::Allreduce => {
+                            // The reduction result is the operator applied
+                            // across processes: only idempotent operators
+                            // (MAX/MIN) preserve a shared constant.
+                            let r = match m.op {
+                                Some(RedOp::Max | RedOp::Min) => v,
+                                _ => ConstLattice::Bottom,
+                            };
+                            if m.kind == MpiKind::Allreduce {
+                                self.assign(&mut out, buf, r);
+                            } else {
+                                out.weaken(buf.loc, &r);
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            // Entry/Exit/Branch/Print/Nop/CallSite/AfterCall: identity.
+            _ => {}
+        }
+        out
+    }
+
+    fn comm_transfer(&self, node: NodeId, input: &ConstEnv) -> Self::CommFact {
+        // commOUT(n) = f_comm(IN(n)): the lattice value of the sent data.
+        match &self.icfg.payload(node).kind {
+            NodeKind::Mpi(m) if m.kind.sends_data() => match m.kind {
+                MpiKind::Reduce | MpiKind::Allreduce => {
+                    let value = m.value.as_ref().expect("reduce has value");
+                    eval_expr(&value.expr, input, &self.resolver(node))
+                }
+                _ => {
+                    let buf = m.buf.as_ref().expect("send has buffer");
+                    *input.get(buf.loc)
+                }
+            },
+            // Receive-only nodes can be comm-edge *sources* in backward
+            // problems, never here; other nodes have no comm edges.
+            _ => ConstLattice::Top,
+        }
+    }
+
+    fn translate(&self, edge: &Edge, fact: &ConstEnv) -> Option<ConstEnv> {
+        match edge.kind {
+            EdgeKind::Call { site } => {
+                let cs = self.icfg.call_site(site);
+                let args = self.icfg.call_args(site);
+                let mut out = fact.clone();
+                // Fresh locals of the callee hold no known constant.
+                for &l in self.maps.locals_of(cs.callee) {
+                    out.set(l, ConstLattice::Bottom);
+                }
+                for b in &cs.bindings {
+                    let v = match b.actual {
+                        ActualBinding::RefWhole(a) | ActualBinding::RefElement(a) => {
+                            *fact.get(a)
+                        }
+                        ActualBinding::Value => eval_expr(
+                            &args.args[b.arg_idx].value.expr,
+                            fact,
+                            &self.resolver(cs.call_node),
+                        ),
+                    };
+                    out.set(b.formal, v);
+                }
+                Some(out)
+            }
+            EdgeKind::Return { site } => {
+                let cs = self.icfg.call_site(site);
+                let mut out = fact.clone();
+                for b in &cs.bindings {
+                    match b.actual {
+                        ActualBinding::RefWhole(a) => out.set(a, *fact.get(b.formal)),
+                        ActualBinding::RefElement(a) => {
+                            let v = *fact.get(b.formal);
+                            out.weaken(a, &v);
+                        }
+                        ActualBinding::Value => {}
+                    }
+                }
+                // Callee frame is dead past the return.
+                for &l in self.maps.frame_of(cs.callee) {
+                    out.set(l, ConstLattice::Top);
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Solve reaching constants over the plain ICFG.
+pub fn analyze_icfg(icfg: &Icfg) -> Solution<ConstEnv> {
+    solve(icfg, &ReachingConsts::new(icfg), &SolveParams::default())
+}
+
+/// Solve reaching constants over the MPI-ICFG (communication edges active).
+pub fn analyze_mpi(mpi: &MpiIcfg) -> Solution<ConstEnv> {
+    solve(mpi, &ReachingConsts::new(mpi.icfg()), &SolveParams::default())
+}
+
+/// A self-contained constant query for MPI-edge matching: snapshots the
+/// per-node input environments so it can outlive the ICFG it was computed
+/// from (the ICFG is consumed by `MpiIcfg::build`).
+pub struct ConstsQuery {
+    ir: Arc<ProgramIr>,
+    node_proc: Vec<ProcId>,
+    env_at: Vec<ConstEnv>,
+    /// Round-robin passes the underlying solve took (reported in stats).
+    pub passes: usize,
+}
+
+impl ConstsQuery {
+    /// Run reaching constants over `icfg` (no communication edges — this is
+    /// the bootstrap analysis the paper uses for matching) and snapshot.
+    pub fn compute(icfg: &Icfg) -> ConstsQuery {
+        let sol = analyze_icfg(icfg);
+        ConstsQuery {
+            ir: icfg.ir.clone(),
+            node_proc: icfg.nodes().map(|n| icfg.proc_of(n)).collect(),
+            passes: sol.stats.passes,
+            env_at: sol.input,
+        }
+    }
+}
+
+impl ConstQuery for ConstsQuery {
+    fn eval_int(&self, node: NodeId, expr: &Expr) -> Option<i64> {
+        let proc = self.node_proc[node.index()];
+        let env = &self.env_at[node.index()];
+        match eval_expr(expr, env, &|name| self.ir.locs.resolve(proc, name)) {
+            ConstLattice::Const(c) => c.as_int(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_dfa_graph::icfg::Icfg;
+    use mpi_dfa_graph::mpi::SyntacticConsts;
+
+    fn icfg(src: &str, context: &str) -> Icfg {
+        let ir = ProgramIr::from_source(src).expect("compile");
+        Icfg::build(ir, context, 0).expect("icfg")
+    }
+
+    /// Constant value of `name` at the context exit.
+    fn const_at_exit(src: &str, name: &str) -> ConstLattice<CVal> {
+        let g = icfg(src, "main");
+        let mpi = MpiIcfg::build(g, &SyntacticConsts);
+        let sol = analyze_mpi(&mpi);
+        let loc = mpi.resolve_at(mpi.context_exit(), name).expect("name");
+        *sol.input[mpi.context_exit().index()].get(loc)
+    }
+
+    #[test]
+    fn straight_line_constants() {
+        let v = const_at_exit(
+            "program p global x: real; sub main() { x = 2.0; x = x * 3.0; }",
+            "x",
+        );
+        assert_eq!(v, ConstLattice::Const(CVal::Real(6.0)));
+    }
+
+    #[test]
+    fn branch_merge_conflicts() {
+        let v = const_at_exit(
+            "program p global x: real;\n\
+             sub main() { if (rank() == 0) { x = 1.0; } else { x = 2.0; } }",
+            "x",
+        );
+        assert!(v.is_bottom());
+        let same = const_at_exit(
+            "program p global x: real;\n\
+             sub main() { if (rank() == 0) { x = 5.0; } else { x = 5.0; } }",
+            "x",
+        );
+        assert_eq!(same, ConstLattice::Const(CVal::Real(5.0)));
+    }
+
+    #[test]
+    fn rank_is_never_constant() {
+        let v = const_at_exit("program p global k: int; sub main() { k = rank(); }", "k");
+        assert!(v.is_bottom());
+        let n = const_at_exit("program p global k: int; sub main() { k = nprocs(); }", "k");
+        assert!(n.is_bottom());
+    }
+
+    #[test]
+    fn read_kills_constants() {
+        let v = const_at_exit(
+            "program p global x: real; sub main() { x = 1.0; read(x); }",
+            "x",
+        );
+        assert!(v.is_bottom());
+    }
+
+    #[test]
+    fn array_whole_assign_is_strong_element_weak() {
+        let whole = const_at_exit(
+            "program p global a: real[4]; sub main() { a = 3.0; }",
+            "a",
+        );
+        assert_eq!(whole, ConstLattice::Const(CVal::Real(3.0)));
+        let elem = const_at_exit(
+            "program p global a: real[4]; global i: int;\n\
+             sub main() { a = 3.0; a[i] = 3.0; }",
+            "a",
+        );
+        assert_eq!(elem, ConstLattice::Const(CVal::Real(3.0)), "same value stays");
+        let clobber = const_at_exit(
+            "program p global a: real[4]; global i: int;\n\
+             sub main() { a = 3.0; a[i] = 4.0; }",
+            "a",
+        );
+        assert!(clobber.is_bottom(), "weak update meets 3 and 4");
+    }
+
+    #[test]
+    fn figure1_constant_flows_over_comm_edge() {
+        // The paper's Figure 1 program. send(x) where x = 0 + 1 = 1; the
+        // comm edge gives y the constant 1 at the receive.
+        let src = "program fig1\n\
+            global x: real; global z: real; global b: real; global y: real;\n\
+            global f: real;\n\
+            sub main() {\n\
+              x = 0.0; z = 2.0; b = 7.0;\n\
+              if (rank() == 0) {\n\
+                x = x + 1.0; b = x * 3.0; send(x, 1, 9);\n\
+              } else {\n\
+                recv(y, 0, 9); z = b * y;\n\
+              }\n\
+              reduce(SUM, z, f, 0);\n\
+            }";
+        let g = icfg(src, "main");
+        let mpi = MpiIcfg::build(g, &SyntacticConsts);
+        assert_eq!(mpi.comm_edges.len() - /* reduce self-edge */ 1, 1);
+        let sol = analyze_mpi(&mpi);
+        // Find the recv node and check y's OUT value.
+        let recv = mpi
+            .mpi_nodes()
+            .iter()
+            .copied()
+            .find(|&n| matches!(&mpi.payload(n).kind, NodeKind::Mpi(m) if m.kind == MpiKind::Recv))
+            .unwrap();
+        let y = mpi.resolve_at(recv, "y").unwrap();
+        assert_eq!(
+            sol.output[recv.index()].get(y),
+            &ConstLattice::Const(CVal::Real(1.0)),
+            "y receives the constant 1 over the communication edge"
+        );
+        // z = b * y = 7 * 1 = 7 after the else branch, but the merge with
+        // the then branch (z = 2) makes z non-constant at exit.
+        let z = mpi.resolve_at(mpi.context_exit(), "z").unwrap();
+        assert!(sol.input[mpi.context_exit().index()].get(z).is_bottom());
+    }
+
+    #[test]
+    fn without_comm_edges_receive_is_unknown() {
+        let src = "program p global x: real; global y: real;\n\
+             sub main() { x = 4.0; if (rank() == 0) { send(x, 1, 9); } else { recv(y, 0, 9); } }";
+        let g = icfg(src, "main");
+        let sol_plain = analyze_icfg(&g);
+        let y = g.resolve_at(g.context_exit(), "y").unwrap();
+        // Plain ICFG: the receive node has no comm preds; the meet over the
+        // empty set is ⊤ on the recv path, merged with ⊤ from the other
+        // branch (y untouched at entry = ⊥ boundary)... boundary makes y ⊥.
+        assert!(sol_plain.input[g.context_exit().index()].get(y).is_bottom());
+
+        let mpi = MpiIcfg::build(icfg(src, "main"), &SyntacticConsts);
+        let sol = analyze_mpi(&mpi);
+        let y = mpi.resolve_at(mpi.context_exit(), "y").unwrap();
+        // With the comm edge, the else-branch OUT has y = 4; the merge with
+        // the then-branch (y = ⊥ from entry) is ⊥ at exit — but at the recv
+        // node itself y is the constant.
+        let recv = mpi
+            .mpi_nodes()
+            .iter()
+            .copied()
+            .find(|&n| matches!(&mpi.payload(n).kind, NodeKind::Mpi(m) if m.kind == MpiKind::Recv))
+            .unwrap();
+        assert_eq!(sol.output[recv.index()].get(y), &ConstLattice::Const(CVal::Real(4.0)));
+    }
+
+    #[test]
+    fn conflicting_sends_meet_to_bottom() {
+        let src = "program p global x: real; global w: real; global y: real;\n\
+             sub main() {\n\
+               x = 1.0; w = 2.0;\n\
+               if (rank() == 0) { send(x, 2, 5); }\n\
+               if (rank() == 1) { send(w, 2, 5); }\n\
+               if (rank() == 2) { recv(y, ANY, 5); }\n\
+             }";
+        let mpi = MpiIcfg::build(icfg(src, "main"), &SyntacticConsts);
+        assert_eq!(mpi.comm_edges.len(), 2);
+        let sol = analyze_mpi(&mpi);
+        let recv = mpi
+            .mpi_nodes()
+            .iter()
+            .copied()
+            .find(|&n| matches!(&mpi.payload(n).kind, NodeKind::Mpi(m) if m.kind == MpiKind::Recv))
+            .unwrap();
+        let y = mpi.resolve_at(recv, "y").unwrap();
+        assert!(sol.output[recv.index()].get(y).is_bottom(), "1 ⊓ 2 = ⊥");
+    }
+
+    #[test]
+    fn agreeing_sends_stay_constant() {
+        let src = "program p global x: real; global y: real;\n\
+             sub main() {\n\
+               x = 9.0;\n\
+               if (rank() == 0) { send(x, 2, 5); }\n\
+               if (rank() == 1) { send(x, 2, 5); }\n\
+               if (rank() == 2) { recv(y, ANY, 5); }\n\
+             }";
+        let mpi = MpiIcfg::build(icfg(src, "main"), &SyntacticConsts);
+        let sol = analyze_mpi(&mpi);
+        let recv = mpi
+            .mpi_nodes()
+            .iter()
+            .copied()
+            .find(|&n| matches!(&mpi.payload(n).kind, NodeKind::Mpi(m) if m.kind == MpiKind::Recv))
+            .unwrap();
+        let y = mpi.resolve_at(recv, "y").unwrap();
+        assert_eq!(sol.output[recv.index()].get(y), &ConstLattice::Const(CVal::Real(9.0)));
+    }
+
+    #[test]
+    fn bcast_propagates_constant_to_receivers() {
+        let src = "program p global c: real;\n\
+             sub main() { if (rank() == 0) { c = 3.5; } bcast(c, 0); }";
+        let mpi = MpiIcfg::build(icfg(src, "main"), &SyntacticConsts);
+        let sol = analyze_mpi(&mpi);
+        let bcast = mpi.mpi_nodes()[0];
+        let c = mpi.resolve_at(bcast, "c").unwrap();
+        // At the bcast, IN(c) = 3.5 ⊓ ⊥ (branch not taken) = ⊥, so even the
+        // comm edge carries ⊥: correct, non-root processes had c unset.
+        assert!(sol.output[bcast.index()].get(c).is_bottom());
+
+        // When every process sets the same constant first, it survives.
+        let src2 = "program p global c: real;\n\
+             sub main() { c = 3.5; bcast(c, 0); }";
+        let mpi2 = MpiIcfg::build(icfg(src2, "main"), &SyntacticConsts);
+        let sol2 = analyze_mpi(&mpi2);
+        let bcast2 = mpi2.mpi_nodes()[0];
+        let c2 = mpi2.resolve_at(bcast2, "c").unwrap();
+        assert_eq!(sol2.output[bcast2.index()].get(c2), &ConstLattice::Const(CVal::Real(3.5)));
+    }
+
+    #[test]
+    fn reduce_max_of_shared_constant_survives_sum_does_not() {
+        let max = "program p global s: real; global r: real;\n\
+             sub main() { s = 2.0; reduce(MAX, s, r, 0); }";
+        let mpi = MpiIcfg::build(icfg(max, "main"), &SyntacticConsts);
+        let sol = analyze_mpi(&mpi);
+        let node = mpi.mpi_nodes()[0];
+        let r = mpi.resolve_at(node, "r").unwrap();
+        // Weak on reduce (root-only write): r was ⊥ from entry; stays ⊥.
+        assert!(sol.output[node.index()].get(r).is_bottom());
+
+        let allmax = "program p global s: real; global r: real;\n\
+             sub main() { s = 2.0; allreduce(MAX, s, r); }";
+        let mpi2 = MpiIcfg::build(icfg(allmax, "main"), &SyntacticConsts);
+        let sol2 = analyze_mpi(&mpi2);
+        let node2 = mpi2.mpi_nodes()[0];
+        let r2 = mpi2.resolve_at(node2, "r").unwrap();
+        assert_eq!(
+            sol2.output[node2.index()].get(r2),
+            &ConstLattice::Const(CVal::Real(2.0)),
+            "allreduce MAX writes everywhere: strong update with shared constant"
+        );
+
+        let allsum = "program p global s: real; global r: real;\n\
+             sub main() { s = 2.0; allreduce(SUM, s, r); }";
+        let mpi3 = MpiIcfg::build(icfg(allsum, "main"), &SyntacticConsts);
+        let sol3 = analyze_mpi(&mpi3);
+        let node3 = mpi3.mpi_nodes()[0];
+        let r3 = mpi3.resolve_at(node3, "r").unwrap();
+        assert!(sol3.output[node3.index()].get(r3).is_bottom(), "SUM depends on nprocs");
+    }
+
+    #[test]
+    fn constants_cross_call_boundaries() {
+        let src = "program p global g: real;\n\
+             sub setit(v: real) { v = 8.0; }\n\
+             sub main() { g = 1.0; call setit(g); }";
+        let v = {
+            let g = icfg(src, "main");
+            let sol = analyze_icfg(&g);
+            let loc = g.resolve_at(g.context_exit(), "g").unwrap();
+            *sol.input[g.context_exit().index()].get(loc)
+        };
+        assert_eq!(v, ConstLattice::Const(CVal::Real(8.0)), "by-ref write propagates back");
+    }
+
+    #[test]
+    fn value_args_do_not_write_back() {
+        let src = "program p global g: real;\n\
+             sub f(v: real) { v = 8.0; }\n\
+             sub main() { g = 1.0; call f(g + 0.0); }";
+        let g = icfg(src, "main");
+        let sol = analyze_icfg(&g);
+        let loc = g.resolve_at(g.context_exit(), "g").unwrap();
+        assert_eq!(
+            sol.input[g.context_exit().index()].get(loc),
+            &ConstLattice::Const(CVal::Real(1.0))
+        );
+    }
+
+    #[test]
+    fn callee_sees_actual_constant() {
+        let src = "program p global g: real; global out: real;\n\
+             sub f(v: real) { out = v * 2.0; }\n\
+             sub main() { g = 3.0; call f(g); }";
+        let g = icfg(src, "main");
+        let sol = analyze_icfg(&g);
+        let loc = g.resolve_at(g.context_exit(), "out").unwrap();
+        assert_eq!(
+            sol.input[g.context_exit().index()].get(loc),
+            &ConstLattice::Const(CVal::Real(6.0))
+        );
+    }
+
+    #[test]
+    fn two_call_sites_merge_at_shared_instance() {
+        let src = "program p global a: real; global b: real;\n\
+             sub f(v: real) { v = v + 1.0; }\n\
+             sub main() { a = 1.0; b = 10.0; call f(a); call f(b); }";
+        let g = icfg(src, "main");
+        let sol = analyze_icfg(&g);
+        let exit = g.context_exit();
+        let a = g.resolve_at(exit, "a").unwrap();
+        // Context-insensitive: f's formal merges 1 and 10 → ⊥ inside f,
+        // so a's written-back value is ⊥ (the paper's ICFG imprecision).
+        assert!(sol.input[exit.index()].get(a).is_bottom());
+    }
+
+    #[test]
+    fn consts_query_resolves_computed_tags() {
+        let src = "program p global x: real; global y: real; global t: int;\n\
+             sub main() { t = 3 + 4; send(x, 1, t); recv(y, 0, 7); recv(y, 0, 8); }";
+        let g = icfg(src, "main");
+        let q = ConstsQuery::compute(&g);
+        assert!(q.passes > 0);
+        let mpi = MpiIcfg::build(g, &q);
+        // t = 7 matches only the tag-7 recv.
+        assert_eq!(mpi.comm_edges.len(), 1);
+    }
+
+    #[test]
+    fn eval_expr_handles_intrinsics() {
+        let env = ConstEnv::top(0);
+        let resolve = |_: &str| None;
+        let e = mpi_dfa_lang::parser::parse(
+            "program t sub f() { var q: real; q = max(2.0, 3.0) + abs(-(1)); }",
+        )
+        .unwrap();
+        let mpi_dfa_lang::ast::StmtKind::Assign { rhs, .. } = &e.subs[0].body.stmts[1].kind
+        else {
+            unreachable!()
+        };
+        assert_eq!(eval_expr(rhs, &env, &resolve), ConstLattice::Const(CVal::Real(4.0)));
+    }
+}

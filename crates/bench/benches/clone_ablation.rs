@@ -1,0 +1,42 @@
+//! Clone-level ablation (Section 4.1's partial context sensitivity).
+//!
+//! "In our experimental results, we used the lowest level of cloning that
+//! experienced the best possible precision." This bench sweeps clone levels
+//! 0..=4 over the benchmarks whose precision depends on cloning (MG's
+//! layered communication wrappers) and prints active bytes / active-set
+//! sizes per level, plus timing for the graph construction cost cloning
+//! adds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use mpi_dfa_suite::runner::run_experiment_at;
+use mpi_dfa_suite::by_id;
+
+fn bench_clone_levels(c: &mut Criterion) {
+    println!("\nClone-level sweep (MPI-ICFG active bytes / active locations):");
+    println!("{:<8} {:>6} {:>16} {:>12} {:>12}", "Bench", "level", "active bytes", "active locs", "comm edges");
+    for id in ["MG-1", "MG-2", "LU-2", "Sw-3"] {
+        let spec = by_id(id).unwrap();
+        for level in 0..=4 {
+            let row = run_experiment_at(&spec, level);
+            let marker = if level == spec.clone_level { " <- paper's level" } else { "" };
+            println!(
+                "{:<8} {:>6} {:>16} {:>12} {:>12}{}",
+                id, level, row.mpi.active_bytes, row.mpi.active_locs, row.comm_edges, marker
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("clone_levels/mg3P");
+    group.sample_size(10);
+    let spec = by_id("MG-1").unwrap();
+    for level in [0usize, 1, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &level| {
+            b.iter(|| black_box(run_experiment_at(&spec, level)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clone_levels);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 4 regeneration bench.
+//!
+//! Prints the Figure 4 data series (megabytes of Active-set and
+//! Derivative-code storage saved per benchmark) and times the computation
+//! of the full series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use mpi_dfa_suite::runner::{render_figure4, run_all};
+
+fn bench_fig4(c: &mut Criterion) {
+    let rows = run_all();
+    println!("\n{}", render_figure4(&rows));
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("full_series", |b| {
+        b.iter(|| {
+            let rows = run_all();
+            let series: Vec<(f64, f64)> =
+                rows.iter().map(|r| (r.active_mb_saved(), r.deriv_mb_saved())).collect();
+            black_box(series)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

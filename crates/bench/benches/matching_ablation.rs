@@ -1,0 +1,54 @@
+//! Communication-edge matching ablation (Section 4.1).
+//!
+//! "We perform an interprocedural reaching constants analysis and perform a
+//! matching using the MPI semantics to reduce the number of communication
+//! edges that are conservatively necessary." This bench compares the three
+//! matching strategies on every benchmark: edge counts (printed) and the
+//! cost of building the MPI-ICFG under each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
+use mpi_dfa_suite::all_experiments;
+
+fn bench_matching(c: &mut Criterion) {
+    println!("\nCommunication edges per matching strategy:");
+    println!("{:<10} {:>8} {:>10} {:>18}", "Bench", "naive", "syntactic", "reaching-consts");
+    let mut seen = std::collections::HashSet::new();
+    for spec in all_experiments() {
+        if !seen.insert((spec.program, spec.context, spec.clone_level)) {
+            continue;
+        }
+        let ir = mpi_dfa_suite::programs::ir(spec.program);
+        let naive =
+            build_mpi_icfg(ir.clone(), spec.context, spec.clone_level, Matching::Naive).unwrap();
+        let syn = build_mpi_icfg(ir.clone(), spec.context, spec.clone_level, Matching::Syntactic)
+            .unwrap();
+        let rc = build_mpi_icfg(ir, spec.context, spec.clone_level, Matching::ReachingConstants)
+            .unwrap();
+        println!(
+            "{:<10} {:>8} {:>10} {:>18}",
+            spec.id,
+            naive.comm_edges.len(),
+            syn.comm_edges.len(),
+            rc.comm_edges.len()
+        );
+    }
+
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(10);
+    for (label, matching) in [
+        ("naive", Matching::Naive),
+        ("syntactic", Matching::Syntactic),
+        ("reaching_constants", Matching::ReachingConstants),
+    ] {
+        group.bench_function(label, |b| {
+            let ir = mpi_dfa_suite::programs::ir("mg");
+            b.iter(|| black_box(build_mpi_icfg(ir.clone(), "mg3P", 3, matching).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Analysis-mode ablation (the Section 2 framework comparison).
+//!
+//! Naive CFG analysis vs the global-buffer ICFG baseline vs the MPI-ICFG
+//! framework, on the Figure 1 program and on Biostat: correctness/precision
+//! (printed) and cost (timed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use mpi_dfa_analyses::activity::{self, ActivityConfig, Mode};
+use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
+use mpi_dfa_graph::icfg::Icfg;
+
+fn bench_modes(c: &mut Criterion) {
+    println!("\nActivity-analysis modes (active bytes):");
+    println!("{:<10} {:>12} {:>14} {:>12}", "Program", "naive", "global-buffer", "MPI-ICFG");
+    for (name, context, ind, dep) in
+        [("figure1", "main", "x", "f"), ("biostat", "lglik3", "xmle", "xlogl")]
+    {
+        let ir = mpi_dfa_suite::programs::ir(name);
+        let config = ActivityConfig::new([ind], [dep]);
+        let icfg = Icfg::build(ir.clone(), context, 0).unwrap();
+        let naive = activity::analyze_icfg(&icfg, Mode::Naive, &config).unwrap();
+        let global = activity::analyze_icfg(&icfg, Mode::GlobalBuffer, &config).unwrap();
+        let mpi = build_mpi_icfg(ir, context, 0, Matching::ReachingConstants).unwrap();
+        let framework = activity::analyze_mpi(&mpi, &config).unwrap();
+        println!(
+            "{:<10} {:>12} {:>14} {:>12}",
+            name, naive.active_bytes, global.active_bytes, framework.active_bytes
+        );
+    }
+
+    let ir = mpi_dfa_suite::programs::ir("biostat");
+    let config = ActivityConfig::new(["xmle"], ["xlogl"]);
+    let mut group = c.benchmark_group("modes/biostat");
+    group.sample_size(20);
+    group.bench_function("naive", |b| {
+        let icfg = Icfg::build(ir.clone(), "lglik3", 0).unwrap();
+        b.iter(|| black_box(activity::analyze_icfg(&icfg, Mode::Naive, &config).unwrap()));
+    });
+    group.bench_function("global_buffer", |b| {
+        let icfg = Icfg::build(ir.clone(), "lglik3", 0).unwrap();
+        b.iter(|| black_box(activity::analyze_icfg(&icfg, Mode::GlobalBuffer, &config).unwrap()));
+    });
+    group.bench_function("mpi_icfg", |b| {
+        let mpi = build_mpi_icfg(ir.clone(), "lglik3", 0, Matching::ReachingConstants).unwrap();
+        b.iter(|| black_box(activity::analyze_mpi(&mpi, &config).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 1 regeneration bench.
+//!
+//! Times the full per-row pipeline (ICFG construction + global-buffer
+//! activity baseline, then reaching-constants matching + MPI-ICFG activity)
+//! for every benchmark row, and prints the regenerated table once so
+//! `cargo bench` output doubles as the experiment record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use mpi_dfa_suite::runner::{render_table1, run_all, run_experiment};
+use mpi_dfa_suite::{all_experiments, by_id};
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the regenerated table once, with the paper's values alongside.
+    let rows = run_all();
+    println!("\n{}", render_table1(&rows));
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for spec in all_experiments() {
+        group.bench_function(spec.id, |b| {
+            let spec = by_id(spec.id).unwrap();
+            b.iter(|| black_box(run_experiment(&spec)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,268 @@
+//! The flow-graph abstraction the solver runs over.
+//!
+//! The framework is deliberately independent of any concrete IR: anything
+//! that exposes nodes, typed edges (control-flow, interprocedural
+//! call/return, and *communication* edges), and boundary nodes can be
+//! analyzed. The `mpi-dfa-graph` crate implements this trait for the ICFG
+//! and MPI-ICFG; tests here use a tiny hand-built [`SimpleGraph`].
+
+use std::fmt;
+
+/// Dense node identifier within one flow graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Edge classification. Data-flow facts are *translated* across `Call` /
+/// `Return` edges (actual↔formal renaming) and flow unchanged across `Flow`
+/// edges. `Comm` edges carry communication facts computed by `f_comm`
+/// instead of ordinary facts — the key distinction of the paper's framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Intraprocedural control flow.
+    Flow,
+    /// Call-site node → callee entry. `site` identifies the call site so the
+    /// problem can look up actual/formal bindings.
+    Call { site: u32 },
+    /// Callee exit → return node of call site `site`.
+    Return { site: u32 },
+    /// Communication edge (send → receive, or among collective calls).
+    /// `pair` identifies the edge in the graph's communication-edge table.
+    Comm { pair: u32 },
+}
+
+impl EdgeKind {
+    pub fn is_comm(self) -> bool {
+        matches!(self, EdgeKind::Comm { .. })
+    }
+}
+
+/// A directed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub kind: EdgeKind,
+}
+
+/// Graphs the solver can run over. Implementations store adjacency lists;
+/// `in_edges`/`out_edges` include communication edges (kind
+/// [`EdgeKind::Comm`]) — the solver filters by kind.
+pub trait FlowGraph {
+    /// Number of nodes; ids are `0..num_nodes`.
+    fn num_nodes(&self) -> usize;
+
+    /// Edges arriving at `n`.
+    fn in_edges(&self, n: NodeId) -> &[Edge];
+
+    /// Edges leaving `n`.
+    fn out_edges(&self, n: NodeId) -> &[Edge];
+
+    /// Boundary nodes for forward analyses (program/context entry).
+    fn entries(&self) -> &[NodeId];
+
+    /// Boundary nodes for backward analyses (program/context exit).
+    fn exits(&self) -> &[NodeId];
+}
+
+/// Reverse postorder over all edge kinds, starting from `roots`, following
+/// `out_edges` (pass the exits and swap direction for backward problems).
+/// Nodes unreachable from the roots are appended in index order so every
+/// node still gets visited.
+pub fn reverse_postorder<G: FlowGraph>(
+    graph: &G,
+    roots: &[NodeId],
+    backward: bool,
+) -> Vec<NodeId> {
+    let n = graph.num_nodes();
+    let mut visited = vec![false; n];
+    let mut postorder = Vec::with_capacity(n);
+    // Iterative DFS: (node, next edge index).
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+    for &root in roots {
+        if visited[root.index()] {
+            continue;
+        }
+        visited[root.index()] = true;
+        stack.push((root, 0));
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            let edges = if backward { graph.in_edges(node) } else { graph.out_edges(node) };
+            if *idx < edges.len() {
+                let e = edges[*idx];
+                *idx += 1;
+                let next = if backward { e.from } else { e.to };
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                postorder.push(node);
+                stack.pop();
+            }
+        }
+    }
+    postorder.reverse();
+    for (i, seen) in visited.iter().enumerate() {
+        if !seen {
+            postorder.push(NodeId(i as u32));
+        }
+    }
+    postorder
+}
+
+/// A minimal adjacency-list graph for tests, documentation examples, and the
+/// framework's own unit tests.
+#[derive(Debug, Clone, Default)]
+pub struct SimpleGraph {
+    in_edges: Vec<Vec<Edge>>,
+    out_edges: Vec<Vec<Edge>>,
+    entries: Vec<NodeId>,
+    exits: Vec<NodeId>,
+}
+
+impl SimpleGraph {
+    pub fn new(num_nodes: usize) -> Self {
+        SimpleGraph {
+            in_edges: vec![Vec::new(); num_nodes],
+            out_edges: vec![Vec::new(); num_nodes],
+            entries: Vec::new(),
+            exits: Vec::new(),
+        }
+    }
+
+    pub fn add_edge(&mut self, from: u32, to: u32, kind: EdgeKind) {
+        let e = Edge { from: NodeId(from), to: NodeId(to), kind };
+        self.out_edges[from as usize].push(e);
+        self.in_edges[to as usize].push(e);
+    }
+
+    pub fn flow(&mut self, from: u32, to: u32) {
+        self.add_edge(from, to, EdgeKind::Flow);
+    }
+
+    pub fn comm(&mut self, from: u32, to: u32, pair: u32) {
+        self.add_edge(from, to, EdgeKind::Comm { pair });
+    }
+
+    pub fn set_entry(&mut self, n: u32) {
+        self.entries.push(NodeId(n));
+    }
+
+    pub fn set_exit(&mut self, n: u32) {
+        self.exits.push(NodeId(n));
+    }
+}
+
+impl FlowGraph for SimpleGraph {
+    fn num_nodes(&self) -> usize {
+        self.out_edges.len()
+    }
+
+    fn in_edges(&self, n: NodeId) -> &[Edge] {
+        &self.in_edges[n.index()]
+    }
+
+    fn out_edges(&self, n: NodeId) -> &[Edge] {
+        &self.out_edges[n.index()]
+    }
+
+    fn entries(&self) -> &[NodeId] {
+        &self.entries
+    }
+
+    fn exits(&self) -> &[NodeId] {
+        &self.exits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> SimpleGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        let mut g = SimpleGraph::new(4);
+        g.flow(0, 1);
+        g.flow(0, 2);
+        g.flow(1, 3);
+        g.flow(2, 3);
+        g.set_entry(0);
+        g.set_exit(3);
+        g
+    }
+
+    #[test]
+    fn rpo_visits_preds_first_in_dags() {
+        let g = diamond();
+        let order = reverse_postorder(&g, g.entries(), false);
+        let pos: Vec<usize> =
+            (0..4).map(|i| order.iter().position(|n| n.0 == i as u32).unwrap()).collect();
+        assert!(pos[0] < pos[1]);
+        assert!(pos[0] < pos[2]);
+        assert!(pos[1] < pos[3]);
+        assert!(pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn backward_rpo_reverses_roles() {
+        let g = diamond();
+        let order = reverse_postorder(&g, g.exits(), true);
+        let pos: Vec<usize> =
+            (0..4).map(|i| order.iter().position(|n| n.0 == i as u32).unwrap()).collect();
+        assert!(pos[3] < pos[1]);
+        assert!(pos[3] < pos[2]);
+        assert!(pos[1] < pos[0]);
+    }
+
+    #[test]
+    fn unreachable_nodes_are_appended() {
+        let mut g = SimpleGraph::new(3);
+        g.flow(0, 1);
+        g.set_entry(0);
+        let order = reverse_postorder(&g, g.entries(), false);
+        assert_eq!(order.len(), 3);
+        assert!(order.contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut g = SimpleGraph::new(3);
+        g.flow(0, 1);
+        g.flow(1, 2);
+        g.flow(2, 1); // loop
+        g.set_entry(0);
+        let order = reverse_postorder(&g, g.entries(), false);
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], NodeId(0));
+    }
+
+    #[test]
+    fn comm_edges_participate_in_ordering() {
+        let mut g = SimpleGraph::new(3);
+        g.flow(0, 1);
+        g.comm(1, 2, 0);
+        g.set_entry(0);
+        let order = reverse_postorder(&g, g.entries(), false);
+        let pos: Vec<usize> =
+            (0..3).map(|i| order.iter().position(|n| n.0 == i as u32).unwrap()).collect();
+        assert!(pos[1] < pos[2], "comm successor ordered after its source");
+    }
+
+    #[test]
+    fn edge_kind_helpers() {
+        assert!(EdgeKind::Comm { pair: 0 }.is_comm());
+        assert!(!EdgeKind::Flow.is_comm());
+        assert!(!EdgeKind::Call { site: 1 }.is_comm());
+    }
+}

@@ -1,0 +1,59 @@
+//! # mpi-dfa-core — the MPI-aware data-flow analysis framework
+//!
+//! This crate is the paper's primary contribution, reimplemented as a
+//! reusable Rust library: an iterative data-flow framework whose graphs may
+//! contain **communication edges** in addition to control-flow and
+//! interprocedural call/return edges (Strout, Kreaseck, Hovland,
+//! *Data-Flow Analysis for MPI Programs*, ICPP 2006).
+//!
+//! A client analysis specifies (see [`problem::Dataflow`]):
+//!
+//! * direction, lattice top, boundary fact, and meet — as in any classic
+//!   framework;
+//! * the node transfer function, which additionally receives the
+//!   communication facts arriving over communication edges;
+//! * the **communication transfer function** `f_comm`, computing the fact a
+//!   send-like node emits over its communication edges from its IN set
+//!   (forward) or a receive-like node emits from its OUT set (backward);
+//! * optional fact translation across call/return edges.
+//!
+//! The [`solver`] module provides a round-robin strategy (whose pass count is
+//! the paper's "Iter" statistic) and a worklist strategy. [`varset::VarSet`]
+//! and the lattices in [`lattice`] cover the fact types the canonical
+//! analyses need.
+//!
+//! ```
+//! use mpi_dfa_core::graph::SimpleGraph;
+//! use mpi_dfa_core::solver::{solve, SolveParams};
+//! # use mpi_dfa_core::graph::NodeId;
+//! # use mpi_dfa_core::problem::{Dataflow, Direction};
+//! # struct Reach;
+//! # impl Dataflow for Reach {
+//! #     type Fact = bool; type CommFact = ();
+//! #     fn direction(&self) -> Direction { Direction::Forward }
+//! #     fn top(&self) -> bool { false }
+//! #     fn boundary(&self) -> bool { true }
+//! #     fn meet_into(&self, d: &mut bool, s: &bool) -> bool { let c = !*d && *s; *d |= *s; c }
+//! #     fn transfer(&self, _: NodeId, i: &bool, _: &[()]) -> bool { *i }
+//! #     fn comm_transfer(&self, _: NodeId, _: &bool) {}
+//! # }
+//! let mut g = SimpleGraph::new(2);
+//! g.flow(0, 1);
+//! g.set_entry(0);
+//! g.set_exit(1);
+//! let sol = solve(&g, &Reach, &SolveParams::default());
+//! assert!(sol.output[1]);
+//! assert!(sol.stats.converged);
+//! ```
+
+pub mod graph;
+pub mod lattice;
+pub mod problem;
+pub mod solver;
+pub mod varset;
+
+pub use graph::{Edge, EdgeKind, FlowGraph, NodeId};
+pub use lattice::{BoolAnd, BoolOr, ConstLattice, MeetSemiLattice};
+pub use problem::{Dataflow, Direction};
+pub use solver::{solve, solve_worklist, ConvergenceStats, Solution, SolveParams};
+pub use varset::VarSet;

@@ -1,0 +1,590 @@
+//! The iterative data-flow solver.
+//!
+//! Two strategies are provided:
+//!
+//! * [`solve`] — round-robin passes in reverse postorder until a full pass
+//!   changes nothing. The pass count it records is the "Iter" statistic the
+//!   paper's Table 1 reports, so the experiment harness uses this strategy.
+//! * [`solve_worklist`] — a FIFO worklist that only revisits nodes whose
+//!   inputs may have changed. Faster in practice; used by the ablation
+//!   benchmarks to quantify the difference.
+//!
+//! Both handle communication edges: at a node with (direction-adjusted)
+//! incoming communication edges, the solver evaluates `f_comm` at each edge's
+//! source using that source's *input* fact — matching the paper's
+//! `commOUT(n) = f_comm(IN(n))` for forward analyses and
+//! `commIN(n) = f_comm(OUT(n))` for backward ones — and hands the collected
+//! communication facts to the node's transfer function.
+
+use crate::graph::{Edge, FlowGraph, NodeId, reverse_postorder};
+use crate::problem::{Dataflow, Direction};
+
+/// Solver tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SolveParams {
+    /// Upper bound on round-robin passes (or, for the worklist, on node
+    /// visits divided by node count). Exceeding it sets
+    /// `ConvergenceStats::converged = false` instead of looping forever.
+    pub max_passes: usize,
+}
+
+impl Default for SolveParams {
+    fn default() -> Self {
+        SolveParams { max_passes: 10_000 }
+    }
+}
+
+/// Convergence accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConvergenceStats {
+    /// Number of full passes over the graph (round-robin) or an equivalent
+    /// estimate (worklist: visits / nodes, rounded up).
+    pub passes: usize,
+    /// Total node transfer evaluations.
+    pub node_visits: u64,
+    /// Total `f_comm` evaluations.
+    pub comm_evals: u64,
+    /// False if the pass bound was hit before reaching a fixpoint.
+    pub converged: bool,
+}
+
+/// The fixpoint: per-node facts on both sides of each transfer.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    pub direction: Direction,
+    /// Fact flowing *into* each node's transfer (IN for forward, OUT for
+    /// backward).
+    pub input: Vec<F>,
+    /// Fact produced by each node's transfer.
+    pub output: Vec<F>,
+    pub stats: ConvergenceStats,
+}
+
+impl<F> Solution<F> {
+    /// The fact holding *before* node `n` in program order.
+    pub fn before(&self, n: NodeId) -> &F {
+        match self.direction {
+            Direction::Forward => &self.input[n.index()],
+            Direction::Backward => &self.output[n.index()],
+        }
+    }
+
+    /// The fact holding *after* node `n` in program order.
+    pub fn after(&self, n: NodeId) -> &F {
+        match self.direction {
+            Direction::Forward => &self.output[n.index()],
+            Direction::Backward => &self.input[n.index()],
+        }
+    }
+}
+
+/// Direction-adjusted view of the graph.
+struct Oriented<'g, G: FlowGraph> {
+    graph: &'g G,
+    backward: bool,
+}
+
+impl<'g, G: FlowGraph> Oriented<'g, G> {
+    fn new(graph: &'g G, direction: Direction) -> Self {
+        Oriented { graph, backward: direction == Direction::Backward }
+    }
+
+    /// Edges whose facts flow *into* `n` under the analysis direction.
+    fn upstream(&self, n: NodeId) -> &[Edge] {
+        if self.backward {
+            self.graph.out_edges(n)
+        } else {
+            self.graph.in_edges(n)
+        }
+    }
+
+    /// Edges whose facts flow *out of* `n` under the analysis direction.
+    fn downstream(&self, n: NodeId) -> &[Edge] {
+        if self.backward {
+            self.graph.in_edges(n)
+        } else {
+            self.graph.out_edges(n)
+        }
+    }
+
+    /// The upstream endpoint of `e`.
+    fn source(&self, e: &Edge) -> NodeId {
+        if self.backward {
+            e.to
+        } else {
+            e.from
+        }
+    }
+
+    /// The downstream endpoint of `e`.
+    fn target(&self, e: &Edge) -> NodeId {
+        if self.backward {
+            e.from
+        } else {
+            e.to
+        }
+    }
+
+    fn boundary(&self) -> &[NodeId] {
+        if self.backward {
+            self.graph.exits()
+        } else {
+            self.graph.entries()
+        }
+    }
+
+    fn order(&self) -> Vec<NodeId> {
+        reverse_postorder(self.graph, self.boundary(), self.backward)
+    }
+}
+
+/// State shared by both strategies: recompute one node, returning
+/// (input_changed, output_changed).
+#[allow(clippy::too_many_arguments)] // hot path: a context struct would add a borrow dance
+fn update_node<G: FlowGraph, P: Dataflow>(
+    graph: &Oriented<'_, G>,
+    problem: &P,
+    is_boundary: &[bool],
+    input: &mut [P::Fact],
+    output: &mut [P::Fact],
+    comm_buf: &mut Vec<P::CommFact>,
+    stats: &mut ConvergenceStats,
+    n: NodeId,
+) -> (bool, bool) {
+    stats.node_visits += 1;
+
+    // Meet over upstream non-communication edges.
+    let mut new_in =
+        if is_boundary[n.index()] { problem.boundary() } else { problem.top() };
+    for e in graph.upstream(n) {
+        if e.kind.is_comm() {
+            continue;
+        }
+        let src = graph.source(e);
+        match problem.translate(e, &output[src.index()]) {
+            Some(translated) => {
+                problem.meet_into(&mut new_in, &translated);
+            }
+            None => {
+                problem.meet_into(&mut new_in, &output[src.index()]);
+            }
+        }
+    }
+
+    // Communication facts from upstream comm edges: f_comm applied to the
+    // *input* fact of the communication source.
+    comm_buf.clear();
+    for e in graph.upstream(n) {
+        if e.kind.is_comm() {
+            let src = graph.source(e);
+            comm_buf.push(problem.comm_transfer(src, &input[src.index()]));
+            stats.comm_evals += 1;
+        }
+    }
+
+    let in_changed = new_in != input[n.index()];
+    if in_changed {
+        input[n.index()] = new_in;
+    }
+    let new_out = problem.transfer(n, &input[n.index()], comm_buf);
+    let out_changed = new_out != output[n.index()];
+    if out_changed {
+        output[n.index()] = new_out;
+    }
+    (in_changed, out_changed)
+}
+
+/// Round-robin fixpoint in reverse postorder. The recorded `passes` value is
+/// directly comparable to the paper's Table 1 "Iter" column.
+pub fn solve<G: FlowGraph, P: Dataflow>(
+    graph: &G,
+    problem: &P,
+    params: &SolveParams,
+) -> Solution<P::Fact> {
+    let oriented = Oriented::new(graph, problem.direction());
+    let n = graph.num_nodes();
+    let order = oriented.order();
+    let mut is_boundary = vec![false; n];
+    for &b in oriented.boundary() {
+        is_boundary[b.index()] = true;
+    }
+
+    let mut input = vec![problem.top(); n];
+    let mut output = vec![problem.top(); n];
+    let mut stats = ConvergenceStats { converged: true, ..Default::default() };
+    let mut comm_buf = Vec::new();
+
+    loop {
+        stats.passes += 1;
+        let mut changed = false;
+        for &node in &order {
+            let (ic, oc) = update_node(
+                &oriented,
+                problem,
+                &is_boundary,
+                &mut input,
+                &mut output,
+                &mut comm_buf,
+                &mut stats,
+                node,
+            );
+            changed |= ic | oc;
+        }
+        if !changed {
+            break;
+        }
+        if stats.passes >= params.max_passes {
+            stats.converged = false;
+            break;
+        }
+    }
+
+    Solution { direction: problem.direction(), input, output, stats }
+}
+
+/// FIFO worklist fixpoint. Produces the same solution as [`solve`] for
+/// monotone problems, usually with far fewer node visits; `passes` reports
+/// `ceil(node_visits / num_nodes)` for rough comparability.
+pub fn solve_worklist<G: FlowGraph, P: Dataflow>(
+    graph: &G,
+    problem: &P,
+    params: &SolveParams,
+) -> Solution<P::Fact> {
+    let oriented = Oriented::new(graph, problem.direction());
+    let n = graph.num_nodes();
+    let order = oriented.order();
+    let mut is_boundary = vec![false; n];
+    for &b in oriented.boundary() {
+        is_boundary[b.index()] = true;
+    }
+
+    let mut input = vec![problem.top(); n];
+    let mut output = vec![problem.top(); n];
+    let mut stats = ConvergenceStats { converged: true, ..Default::default() };
+    let mut comm_buf = Vec::new();
+
+    let mut queue: std::collections::VecDeque<NodeId> = order.iter().copied().collect();
+    let mut queued = vec![true; n];
+    let visit_budget = (params.max_passes as u64).saturating_mul(n.max(1) as u64);
+
+    while let Some(node) = queue.pop_front() {
+        queued[node.index()] = false;
+        let (ic, oc) = update_node(
+            &oriented,
+            problem,
+            &is_boundary,
+            &mut input,
+            &mut output,
+            &mut comm_buf,
+            &mut stats,
+            node,
+        );
+        if ic || oc {
+            for e in oriented.downstream(node) {
+                // Output changes invalidate flow successors; input changes
+                // invalidate communication successors (whose comm facts read
+                // our input).
+                let relevant = if e.kind.is_comm() { ic } else { oc };
+                if relevant {
+                    let t = oriented.target(e);
+                    if !queued[t.index()] {
+                        queued[t.index()] = true;
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        if stats.node_visits >= visit_budget {
+            stats.converged = false;
+            break;
+        }
+    }
+
+    stats.passes = (stats.node_visits as usize).div_ceil(n.max(1));
+    Solution { direction: problem.direction(), input, output, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeKind, SimpleGraph};
+    use crate::lattice::{ConstLattice, MeetSemiLattice};
+
+    /// Forward "reaching value" toy problem over a graph whose node k, when
+    /// it has `gen[k] = Some(c)`, generates constant c; otherwise passes its
+    /// input through. Comm edges forward the source's constant.
+    struct ToyConsts {
+        gen: Vec<Option<i64>>,
+        /// Nodes that copy their incoming comm fact into the main fact.
+        recv: Vec<bool>,
+    }
+
+    impl Dataflow for ToyConsts {
+        type Fact = ConstLattice<i64>;
+        type CommFact = ConstLattice<i64>;
+
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+
+        fn top(&self) -> Self::Fact {
+            ConstLattice::Top
+        }
+
+        fn boundary(&self) -> Self::Fact {
+            ConstLattice::Bottom
+        }
+
+        fn meet_into(&self, dst: &mut Self::Fact, src: &Self::Fact) -> bool {
+            dst.meet_with(src)
+        }
+
+        fn transfer(&self, node: NodeId, input: &Self::Fact, comm: &[Self::CommFact]) -> Self::Fact {
+            if self.recv[node.index()] {
+                let mut v = ConstLattice::Top;
+                for c in comm {
+                    v.meet_with(c);
+                }
+                v
+            } else if let Some(c) = self.gen[node.index()] {
+                ConstLattice::Const(c)
+            } else {
+                *input
+            }
+        }
+
+        fn comm_transfer(&self, _node: NodeId, input: &Self::Fact) -> Self::CommFact {
+            *input
+        }
+    }
+
+    fn toy(graph_nodes: usize) -> ToyConsts {
+        ToyConsts { gen: vec![None; graph_nodes], recv: vec![false; graph_nodes] }
+    }
+
+    #[test]
+    fn straight_line_propagation() {
+        // 0 -gen 7-> 1 -> 2
+        let mut g = SimpleGraph::new(3);
+        g.flow(0, 1);
+        g.flow(1, 2);
+        g.set_entry(0);
+        g.set_exit(2);
+        let mut p = toy(3);
+        p.gen[0] = Some(7);
+        let sol = solve(&g, &p, &SolveParams::default());
+        assert_eq!(sol.output[2], ConstLattice::Const(7));
+        assert!(sol.stats.converged);
+    }
+
+    #[test]
+    fn merge_conflict_goes_bottom() {
+        // 0 -> 1(gen 1) -> 3 ; 0 -> 2(gen 2) -> 3
+        let mut g = SimpleGraph::new(4);
+        g.flow(0, 1);
+        g.flow(0, 2);
+        g.flow(1, 3);
+        g.flow(2, 3);
+        g.set_entry(0);
+        g.set_exit(3);
+        let mut p = toy(4);
+        p.gen[1] = Some(1);
+        p.gen[2] = Some(2);
+        let sol = solve(&g, &p, &SolveParams::default());
+        assert!(sol.input[3].is_bottom());
+        assert!(sol.output[3].is_bottom());
+    }
+
+    #[test]
+    fn comm_edge_carries_fact_across_disjoint_branches() {
+        // The Figure-1 shape: branch node 0 with a "send side" (1 gen 42)
+        // and a "recv side" (2), connected only by a comm edge 1 -> 2.
+        // A plain CFG analysis cannot give node 2 the constant; the comm
+        // transfer does.
+        let mut g = SimpleGraph::new(4);
+        g.flow(0, 1);
+        g.flow(0, 2);
+        g.flow(1, 3);
+        g.flow(2, 3);
+        g.comm(1, 2, 0);
+        g.set_entry(0);
+        g.set_exit(3);
+        let mut p = toy(4);
+        // Node 1's *input* is what f_comm reads: make the entry generate 42.
+        p.gen[0] = Some(42);
+        p.recv[2] = true;
+        let sol = solve(&g, &p, &SolveParams::default());
+        assert_eq!(sol.output[2], ConstLattice::Const(42));
+        assert!(sol.stats.comm_evals > 0);
+    }
+
+    #[test]
+    fn loops_reach_fixpoint() {
+        // 0 -> 1 <-> 2, 1 -> 3 with gen at 2.
+        let mut g = SimpleGraph::new(4);
+        g.flow(0, 1);
+        g.flow(1, 2);
+        g.flow(2, 1);
+        g.flow(1, 3);
+        g.set_entry(0);
+        g.set_exit(3);
+        let mut p = toy(4);
+        p.gen[2] = Some(9);
+        let sol = solve(&g, &p, &SolveParams::default());
+        // 1 merges boundary-bottom (via 0) with 9 -> bottom.
+        assert!(sol.output[3].is_bottom());
+        assert!(sol.stats.converged);
+        assert!(sol.stats.passes >= 2);
+    }
+
+    #[test]
+    fn worklist_matches_round_robin() {
+        let mut g = SimpleGraph::new(6);
+        g.flow(0, 1);
+        g.flow(0, 2);
+        g.flow(1, 3);
+        g.flow(2, 3);
+        g.flow(3, 4);
+        g.flow(4, 1); // loop back
+        g.flow(3, 5);
+        g.comm(1, 2, 0);
+        g.set_entry(0);
+        g.set_exit(5);
+        let mut p = toy(6);
+        p.gen[0] = Some(3);
+        p.recv[2] = true;
+        let a = solve(&g, &p, &SolveParams::default());
+        let b = solve_worklist(&g, &p, &SolveParams::default());
+        assert_eq!(a.input, b.input);
+        assert_eq!(a.output, b.output);
+        assert!(b.stats.node_visits <= a.stats.node_visits);
+    }
+
+    #[test]
+    fn backward_direction_swaps_roles() {
+        struct Live;
+        impl Dataflow for Live {
+            type Fact = bool;
+            type CommFact = ();
+            fn direction(&self) -> Direction {
+                Direction::Backward
+            }
+            fn top(&self) -> bool {
+                false
+            }
+            fn boundary(&self) -> bool {
+                true
+            }
+            fn meet_into(&self, dst: &mut bool, src: &bool) -> bool {
+                let c = !*dst && *src;
+                *dst |= src;
+                c
+            }
+            fn transfer(&self, _n: NodeId, input: &bool, _c: &[()]) -> bool {
+                *input
+            }
+            fn comm_transfer(&self, _n: NodeId, _i: &bool) {}
+        }
+        let mut g = SimpleGraph::new(3);
+        g.flow(0, 1);
+        g.flow(1, 2);
+        g.set_entry(0);
+        g.set_exit(2);
+        let sol = solve(&g, &Live, &SolveParams::default());
+        // Everything reaches the exit backward.
+        assert!(sol.output.iter().all(|&b| b));
+        assert!(*sol.before(NodeId(0)));
+        assert!(*sol.after(NodeId(0)));
+    }
+
+    #[test]
+    fn non_monotone_problem_hits_pass_bound() {
+        /// Deliberately oscillates: transfer negates.
+        struct Flip;
+        impl Dataflow for Flip {
+            type Fact = bool;
+            type CommFact = ();
+            fn direction(&self) -> Direction {
+                Direction::Forward
+            }
+            fn top(&self) -> bool {
+                false
+            }
+            fn boundary(&self) -> bool {
+                false
+            }
+            fn meet_into(&self, dst: &mut bool, src: &bool) -> bool {
+                let c = *dst != *src;
+                *dst = *src;
+                c
+            }
+            fn transfer(&self, _n: NodeId, input: &bool, _c: &[()]) -> bool {
+                !*input
+            }
+            fn comm_transfer(&self, _n: NodeId, _i: &bool) {}
+        }
+        // A single node with a self-loop oscillates forever under Flip's
+        // overwrite-meet + negating transfer.
+        let mut g = SimpleGraph::new(1);
+        g.flow(0, 0);
+        g.set_entry(0);
+        g.set_exit(0);
+        let sol = solve(&g, &Flip, &SolveParams { max_passes: 50 });
+        assert!(!sol.stats.converged);
+        assert_eq!(sol.stats.passes, 50);
+    }
+
+    #[test]
+    fn before_after_accessors_forward() {
+        let mut g = SimpleGraph::new(2);
+        g.flow(0, 1);
+        g.set_entry(0);
+        g.set_exit(1);
+        let mut p = toy(2);
+        p.gen[0] = Some(5);
+        let sol = solve(&g, &p, &SolveParams::default());
+        assert_eq!(*sol.before(NodeId(1)), ConstLattice::Const(5));
+        assert_eq!(*sol.after(NodeId(0)), ConstLattice::Const(5));
+    }
+
+    #[test]
+    fn translate_is_applied_on_call_edges() {
+        /// Increment the constant when crossing a call edge (a stand-in for
+        /// actual→formal renaming).
+        struct Inc;
+        impl Dataflow for Inc {
+            type Fact = ConstLattice<i64>;
+            type CommFact = ();
+            fn direction(&self) -> Direction {
+                Direction::Forward
+            }
+            fn top(&self) -> Self::Fact {
+                ConstLattice::Top
+            }
+            fn boundary(&self) -> Self::Fact {
+                ConstLattice::Const(10)
+            }
+            fn meet_into(&self, dst: &mut Self::Fact, src: &Self::Fact) -> bool {
+                dst.meet_with(src)
+            }
+            fn transfer(&self, _n: NodeId, input: &Self::Fact, _c: &[()]) -> Self::Fact {
+                *input
+            }
+            fn comm_transfer(&self, _n: NodeId, _i: &Self::Fact) {}
+            fn translate(&self, edge: &Edge, fact: &Self::Fact) -> Option<Self::Fact> {
+                match (edge.kind, fact) {
+                    (EdgeKind::Call { .. }, ConstLattice::Const(c)) => {
+                        Some(ConstLattice::Const(c + 1))
+                    }
+                    _ => None,
+                }
+            }
+        }
+        let mut g = SimpleGraph::new(2);
+        g.add_edge(0, 1, EdgeKind::Call { site: 0 });
+        g.set_entry(0);
+        g.set_exit(1);
+        let sol = solve(&g, &Inc, &SolveParams::default());
+        assert_eq!(sol.input[1], ConstLattice::Const(11));
+    }
+}

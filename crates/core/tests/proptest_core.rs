@@ -1,0 +1,146 @@
+//! Property-based tests for the core framework data structures:
+//! the dense bitset and the lattices must satisfy their algebraic laws for
+//! the solver's fixpoint argument to hold.
+
+use mpi_dfa_core::lattice::{BoolAnd, BoolOr, ConstLattice, MeetSemiLattice};
+use mpi_dfa_core::varset::VarSet;
+use proptest::prelude::*;
+
+const UNIVERSE: usize = 200;
+
+fn varset() -> impl Strategy<Value = VarSet> {
+    proptest::collection::vec(0usize..UNIVERSE, 0..40).prop_map(|ids| {
+        let mut s = VarSet::empty(UNIVERSE);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    })
+}
+
+fn const_lattice() -> impl Strategy<Value = ConstLattice<i64>> {
+    prop_oneof![
+        Just(ConstLattice::Top),
+        (-3i64..3).prop_map(ConstLattice::Const),
+        Just(ConstLattice::Bottom),
+    ]
+}
+
+proptest! {
+    // ---- VarSet --------------------------------------------------------
+
+    #[test]
+    fn union_is_commutative(a in varset(), b in varset()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn union_is_associative(a in varset(), b in varset(), c in varset()) {
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn union_is_idempotent_and_monotone(a in varset(), b in varset()) {
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert!(a.is_subset(&a.union(&b)));
+        prop_assert!(b.is_subset(&a.union(&b)));
+    }
+
+    #[test]
+    fn intersection_laws(a in varset(), b in varset()) {
+        let i = a.intersection(&b);
+        prop_assert!(i.is_subset(&a));
+        prop_assert!(i.is_subset(&b));
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        // absorption: a ∩ (a ∪ b) = a
+        prop_assert_eq!(a.intersection(&a.union(&b)), a.clone());
+    }
+
+    #[test]
+    fn de_morgan_via_subtraction(a in varset(), b in varset()) {
+        // (a - b) ∪ (a ∩ b) = a, disjointly.
+        let mut diff = a.clone();
+        diff.subtract_into(&b);
+        let inter = a.intersection(&b);
+        prop_assert!(diff.intersection(&inter).is_empty());
+        prop_assert_eq!(diff.union(&inter), a.clone());
+    }
+
+    #[test]
+    fn change_reporting_is_accurate(a in varset(), b in varset()) {
+        let mut x = a.clone();
+        let changed = x.union_into(&b);
+        prop_assert_eq!(changed, x != a, "union_into change flag");
+        let mut y = a.clone();
+        let changed = y.intersect_into(&b);
+        prop_assert_eq!(changed, y != a, "intersect_into change flag");
+    }
+
+    #[test]
+    fn cardinality_inclusion_exclusion(a in varset(), b in varset()) {
+        prop_assert_eq!(
+            a.union(&b).len() + a.intersection(&b).len(),
+            a.len() + b.len()
+        );
+    }
+
+    #[test]
+    fn iter_roundtrip(a in varset()) {
+        let mut rebuilt = VarSet::empty(UNIVERSE);
+        for id in a.iter() {
+            rebuilt.insert(id);
+        }
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    // ---- lattices --------------------------------------------------------
+
+    #[test]
+    fn const_lattice_laws(a in const_lattice(), b in const_lattice(), c in const_lattice()) {
+        // commutativity
+        prop_assert_eq!(a.meet(&b), b.meet(&a));
+        // associativity
+        prop_assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
+        // idempotence & identity
+        prop_assert_eq!(a.meet(&a), a);
+        prop_assert_eq!(a.meet(&ConstLattice::Top), a);
+        prop_assert_eq!(a.meet(&ConstLattice::Bottom), ConstLattice::Bottom);
+    }
+
+    #[test]
+    fn const_lattice_meet_descends(a in const_lattice(), b in const_lattice()) {
+        // meet(a, b) never moves *up*: meeting the result again changes nothing.
+        let m = a.meet(&b);
+        let mut again = m;
+        prop_assert!(!again.meet_with(&a));
+        prop_assert!(!again.meet_with(&b));
+    }
+
+    #[test]
+    fn bool_lattices_are_bounded(x in any::<bool>(), y in any::<bool>()) {
+        let mut o = BoolOr(x);
+        o.meet_with(&BoolOr(y));
+        prop_assert_eq!(o.0, x || y);
+        let mut a = BoolAnd(x);
+        a.meet_with(&BoolAnd(y));
+        prop_assert_eq!(a.0, x && y);
+    }
+}
+
+/// The finite-descent property the solver's termination depends on: any
+/// chain of meets over a VarSet-with-union fact can only grow, and is
+/// bounded by the universe.
+#[test]
+fn union_chains_terminate() {
+    let mut s = VarSet::empty(UNIVERSE);
+    let mut changes = 0;
+    for step in 0..10 * UNIVERSE {
+        let mut delta = VarSet::empty(UNIVERSE);
+        delta.insert(step % UNIVERSE);
+        if s.union_into(&delta) {
+            changes += 1;
+        }
+    }
+    assert_eq!(changes, UNIVERSE, "each element can change the set exactly once");
+    assert_eq!(s.len(), UNIVERSE);
+}

@@ -1,0 +1,193 @@
+//! Call graph, reachability, and the partial context-sensitivity policy.
+//!
+//! Section 4.1 of the paper controls precision with a *clone level*: "Clone
+//! levels greater than zero indicate the number of levels in the call graph
+//! away from MPI send and receive that routines are marked for cloning."
+//! The paper's level 0 clones only the MPI library stub routines per call
+//! site; because SMPL lowers MPI operations to inline CFG nodes (each call
+//! site already has its own node), level 0 needs no cloning here, and level
+//! *k* ≥ 1 clones every user procedure whose call-graph distance to an MPI
+//! data operation is less than *k* (distance 0 = contains such an operation).
+
+use crate::cfg::ProcCfg;
+use crate::loc::ProcId;
+use crate::node::NodeKind;
+use std::collections::VecDeque;
+
+/// The program call graph over procedure ids.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Deduplicated callee lists.
+    pub callees: Vec<Vec<ProcId>>,
+    /// Deduplicated caller lists.
+    pub callers: Vec<Vec<ProcId>>,
+    /// Whether each procedure directly contains a data-carrying MPI
+    /// operation (send/recv/collective; `barrier`/`wait` do not count).
+    pub has_mpi: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Build from the lowered procedure CFGs.
+    pub fn build(cfgs: &[ProcCfg]) -> Self {
+        let n = cfgs.len();
+        let mut callees = vec![Vec::new(); n];
+        let mut callers = vec![Vec::new(); n];
+        let mut has_mpi = vec![false; n];
+        for (i, cfg) in cfgs.iter().enumerate() {
+            for cs in &cfg.call_sites {
+                callees[i].push(cs.callee);
+                callers[cs.callee.index()].push(ProcId(i as u32));
+            }
+            has_mpi[i] = cfg.nodes.iter().any(|node| match &node.kind {
+                NodeKind::Mpi(m) => m.kind.sends_data() || m.kind.receives_data(),
+                _ => false,
+            });
+        }
+        for v in callees.iter_mut().chain(callers.iter_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+        CallGraph { callees, callers, has_mpi }
+    }
+
+    pub fn num_procs(&self) -> usize {
+        self.callees.len()
+    }
+
+    /// Procedures reachable from `root` (including `root`).
+    pub fn reachable_from(&self, root: ProcId) -> Vec<bool> {
+        let mut seen = vec![false; self.num_procs()];
+        let mut queue = VecDeque::from([root]);
+        seen[root.index()] = true;
+        while let Some(p) = queue.pop_front() {
+            for &c in &self.callees[p.index()] {
+                if !seen[c.index()] {
+                    seen[c.index()] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Minimum call-graph distance from each procedure *down* to an MPI data
+    /// operation: 0 for procedures containing one, 1 for their direct
+    /// callers, etc.; `usize::MAX` when no MPI operation is reachable below.
+    pub fn mpi_distance(&self) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.num_procs()];
+        let mut queue = VecDeque::new();
+        for (i, &m) in self.has_mpi.iter().enumerate() {
+            if m {
+                dist[i] = 0;
+                queue.push_back(ProcId(i as u32));
+            }
+        }
+        while let Some(p) = queue.pop_front() {
+            let d = dist[p.index()];
+            for &caller in &self.callers[p.index()] {
+                if dist[caller.index()] > d + 1 {
+                    dist[caller.index()] = d + 1;
+                    queue.push_back(caller);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Procedures to clone per call site at the given clone level.
+    pub fn clone_set(&self, clone_level: usize) -> Vec<bool> {
+        let dist = self.mpi_distance();
+        dist.iter().map(|&d| d < clone_level).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::lower_program;
+    use crate::loc::LocTable;
+    use mpi_dfa_lang::compile;
+
+    fn cg(src: &str) -> (CallGraph, Vec<String>) {
+        let unit = compile(src).expect("compile");
+        let locs = LocTable::build(&unit);
+        let cfgs = lower_program(&unit, &locs);
+        let names = cfgs.iter().map(|c| c.name.clone()).collect();
+        (CallGraph::build(&cfgs), names)
+    }
+
+    const LAYERED: &str = "program p\n\
+        global x: real;\n\
+        sub leaf_send() { send(x, 1, 7); }\n\
+        sub wrap1() { call leaf_send(); }\n\
+        sub wrap2() { call wrap1(); }\n\
+        sub main() { call wrap2(); call wrap2(); }\n\
+        sub unrelated() { x = 1.0; }";
+
+    #[test]
+    fn edges_and_mpi_flags() {
+        let (g, names) = cg(LAYERED);
+        let idx = |n: &str| names.iter().position(|x| x == n).unwrap();
+        assert!(g.has_mpi[idx("leaf_send")]);
+        assert!(!g.has_mpi[idx("wrap1")]);
+        assert!(!g.has_mpi[idx("unrelated")]);
+        assert_eq!(g.callees[idx("main")], vec![ProcId(idx("wrap2") as u32)]);
+        assert_eq!(g.callers[idx("leaf_send")], vec![ProcId(idx("wrap1") as u32)]);
+    }
+
+    #[test]
+    fn duplicate_call_sites_dedup_in_graph() {
+        let (g, names) = cg(LAYERED);
+        let main = names.iter().position(|x| x == "main").unwrap();
+        assert_eq!(g.callees[main].len(), 1, "two calls to wrap2 = one edge");
+    }
+
+    #[test]
+    fn reachability_excludes_unrelated() {
+        let (g, names) = cg(LAYERED);
+        let main = ProcId(names.iter().position(|x| x == "main").unwrap() as u32);
+        let seen = g.reachable_from(main);
+        let idx = |n: &str| names.iter().position(|x| x == n).unwrap();
+        assert!(seen[idx("main")] && seen[idx("wrap2")] && seen[idx("leaf_send")]);
+        assert!(!seen[idx("unrelated")]);
+    }
+
+    #[test]
+    fn mpi_distance_counts_wrapper_layers() {
+        let (g, names) = cg(LAYERED);
+        let idx = |n: &str| names.iter().position(|x| x == n).unwrap();
+        let d = g.mpi_distance();
+        assert_eq!(d[idx("leaf_send")], 0);
+        assert_eq!(d[idx("wrap1")], 1);
+        assert_eq!(d[idx("wrap2")], 2);
+        assert_eq!(d[idx("main")], 3);
+        assert_eq!(d[idx("unrelated")], usize::MAX);
+    }
+
+    #[test]
+    fn clone_sets_grow_with_level() {
+        let (g, names) = cg(LAYERED);
+        let idx = |n: &str| names.iter().position(|x| x == n).unwrap();
+        let l0 = g.clone_set(0);
+        assert!(l0.iter().all(|&b| !b), "level 0 clones nothing (ops are inline)");
+        let l1 = g.clone_set(1);
+        assert!(l1[idx("leaf_send")] && !l1[idx("wrap1")]);
+        let l2 = g.clone_set(2);
+        assert!(l2[idx("leaf_send")] && l2[idx("wrap1")] && !l2[idx("wrap2")]);
+        let l3 = g.clone_set(3);
+        assert!(l3[idx("wrap2")] && !l3[idx("main")]);
+    }
+
+    #[test]
+    fn barrier_does_not_count_as_mpi_data_op() {
+        let (g, _) = cg("program p sub main() { barrier(); wait(); }");
+        assert!(!g.has_mpi[0]);
+        assert_eq!(g.mpi_distance()[0], usize::MAX);
+    }
+
+    #[test]
+    fn collectives_count_as_mpi_data_ops() {
+        let (g, _) = cg("program p global s: real; sub main() { allreduce(SUM, s, s); }");
+        assert!(g.has_mpi[0]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Diagnostics shared by the lexer, parser, and semantic checker.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Which front-end phase produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Lex,
+    Parse,
+    Sema,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Parse => write!(f, "parse"),
+            Phase::Sema => write!(f, "sema"),
+        }
+    }
+}
+
+/// A single front-end error with location information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub phase: Phase,
+    pub span: Span,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(phase: Phase, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { phase, span, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Aggregate error type returned by `compile`-style entry points: one or more
+/// diagnostics, reported together so callers can surface all problems at once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Errors(pub Vec<Diagnostic>);
+
+impl Errors {
+    pub fn single(d: Diagnostic) -> Self {
+        Errors(vec![d])
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Errors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Errors {}
+
+impl From<Diagnostic> for Errors {
+    fn from(d: Diagnostic) -> Self {
+        Errors::single(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_location() {
+        let d = Diagnostic::new(Phase::Parse, Span::new(0, 1, 4, 2), "expected `;`");
+        assert_eq!(d.to_string(), "parse error at 4:2: expected `;`");
+    }
+
+    #[test]
+    fn errors_joins_lines() {
+        let e = Errors(vec![
+            Diagnostic::new(Phase::Lex, Span::new(0, 1, 1, 1), "bad char"),
+            Diagnostic::new(Phase::Sema, Span::new(0, 1, 2, 1), "unknown variable `q`"),
+        ]);
+        let s = e.to_string();
+        assert!(s.contains("bad char"));
+        assert!(s.contains("unknown variable"));
+        assert_eq!(s.lines().count(), 2);
+    }
+}

@@ -1,0 +1,1180 @@
+//! A rank-simulating SPMD interpreter for SMPL.
+//!
+//! The paper's analyses are purely static — MPI calls are analyzed, never
+//! executed. This interpreter exists so the test suite can demonstrate that
+//! the benchmark programs are *meaningful* SPMD programs: they run to
+//! completion under P processes, communicate, and produce deterministic
+//! results.
+//!
+//! Each process runs on its own OS thread with a mailbox (Mutex + Condvar).
+//! `send` is eager/buffered (never blocks); `recv` blocks until a matching
+//! message arrives or the deadlock timeout expires. Collectives are lowered
+//! onto point-to-point transfers using a reserved tag space keyed by a
+//! per-process collective sequence number, which is valid because SMPL
+//! programs (like the paper's benchmarks) execute collectives in the same
+//! order on every process.
+//!
+//! Semantics notes:
+//! * numbers are stored as `f64` (exact for the integer ranges used);
+//! * whole-array assignment is elementwise; scalar-to-array assignment
+//!   broadcasts the scalar;
+//! * `read(x)` produces deterministic pseudo-inputs from a per-process
+//!   counter, so runs are reproducible;
+//! * array-element actuals bind by value; whole-array and scalar-variable
+//!   actuals bind by reference (Fortran style);
+//! * nonblocking `isend`/`irecv` are executed eagerly and `wait()` is a
+//!   no-op, which preserves SMPL's value semantics because `irecv` blocks
+//!   like `recv` (a deliberate simplification; the *analyses* treat them
+//!   distinctly where it matters).
+
+use crate::ast::*;
+use crate::span::Span;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Runtime failure during interpretation.
+#[derive(Debug, Clone)]
+pub struct RuntimeError {
+    pub rank: usize,
+    pub span: Span,
+    pub message: String,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error on rank {} at {}: {}", self.rank, self.span, self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Interpreter configuration.
+#[derive(Debug, Clone)]
+pub struct InterpConfig {
+    /// Number of simulated MPI processes.
+    pub nprocs: usize,
+    /// Entry subroutine (must take no parameters).
+    pub entry: String,
+    /// Per-process statement execution budget (guards infinite loops).
+    pub max_steps: u64,
+    /// How long a blocked `recv` waits before reporting deadlock.
+    pub recv_timeout: Duration,
+    /// Initial values for global scalars (arrays are filled elementwise),
+    /// applied identically on every rank before the entry runs. Used by the
+    /// dynamic-vs-static cross-validation tests to perturb independents.
+    pub init_globals: Vec<(String, f64)>,
+    /// Capture every global's final value into
+    /// [`ProcessResult::final_globals`].
+    pub capture_globals: bool,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig {
+            nprocs: 4,
+            entry: "main".to_string(),
+            max_steps: 20_000_000,
+            recv_timeout: Duration::from_secs(10),
+            init_globals: Vec::new(),
+            capture_globals: false,
+        }
+    }
+}
+
+/// The observable result of one process.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProcessResult {
+    /// Values passed to `print`, in order. Whole arrays are flattened.
+    pub printed: Vec<f64>,
+    /// Number of statements executed.
+    pub steps: u64,
+    /// Messages sent / received (point-to-point + lowered collectives).
+    pub sends: u64,
+    pub recvs: u64,
+    /// Final global values (flattened arrays), when
+    /// [`InterpConfig::capture_globals`] is set. Sorted by name.
+    pub final_globals: Vec<(String, Vec<f64>)>,
+}
+
+/// Run `program` under `config`, returning per-rank results.
+pub fn run(program: &Program, config: &InterpConfig) -> Result<Vec<ProcessResult>, RuntimeError> {
+    let nprocs = config.nprocs.max(1);
+    let mailboxes: Arc<Vec<Mailbox>> = Arc::new((0..nprocs).map(|_| Mailbox::default()).collect());
+    let program = Arc::new(program.clone());
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nprocs);
+        for rank in 0..nprocs {
+            let program = Arc::clone(&program);
+            let mailboxes = Arc::clone(&mailboxes);
+            let config = config.clone();
+            handles.push(scope.spawn(move || {
+                let mut proc = Process {
+                    program: &program,
+                    rank,
+                    nprocs,
+                    mailboxes: &mailboxes,
+                    result: ProcessResult::default(),
+                    read_counter: rank as u64,
+                    coll_seq: 0,
+                    config: &config,
+                };
+                proc.run_entry().map(|_| proc.result)
+            }));
+        }
+        let mut results = Vec::with_capacity(nprocs);
+        let mut first_err = None;
+        for h in handles {
+            match h.join() {
+                Ok(Ok(r)) => results.push(r),
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Err(_) => {
+                    first_err = first_err.or(Some(RuntimeError {
+                        rank: usize::MAX,
+                        span: Span::DUMMY,
+                        message: "interpreter thread panicked".to_string(),
+                    }));
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(results),
+        }
+    })
+}
+
+// ---- message transport -----------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Message {
+    src: usize,
+    tag: i64,
+    comm: i64,
+    payload: Vec<f64>,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    queue: Mutex<Vec<Message>>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    fn post(&self, msg: Message) {
+        self.queue.lock().expect("mailbox poisoned").push(msg);
+        self.cond.notify_all();
+    }
+
+    /// Remove and return the first message matching `(src, tag, comm)`;
+    /// `None` for src/tag means wildcard.
+    fn take(
+        &self,
+        src: Option<usize>,
+        tag: Option<i64>,
+        comm: i64,
+        timeout: Duration,
+    ) -> Option<Message> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.queue.lock().expect("mailbox poisoned");
+        loop {
+            if let Some(pos) = queue.iter().position(|m| {
+                src.is_none_or(|s| s == m.src)
+                    && tag.is_none_or(|t| t == m.tag)
+                    && m.comm == comm
+            }) {
+                return Some(queue.remove(pos));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (q, _res) = self
+                .cond
+                .wait_timeout(queue, deadline - now)
+                .expect("mailbox poisoned");
+            queue = q;
+        }
+    }
+}
+
+/// Tag space reserved for lowered collectives; user tags must stay below.
+const COLLECTIVE_TAG_BASE: i64 = 1 << 40;
+
+// ---- values and storage -----------------------------------------------------
+
+/// Runtime storage: a scalar or a flattened array with its dims.
+#[derive(Debug, Clone, PartialEq)]
+enum Storage {
+    Scalar(f64),
+    Array { data: Vec<f64>, dims: Vec<i64> },
+}
+
+impl Storage {
+    fn from_type(ty: &crate::types::Type) -> Storage {
+        if ty.is_scalar() {
+            Storage::Scalar(0.0)
+        } else {
+            Storage::Array { data: vec![0.0; ty.elem_count() as usize], dims: ty.dims.clone() }
+        }
+    }
+}
+
+type Slot = Rc<RefCell<Storage>>;
+
+/// One call frame: name → storage slot. Parameters may alias caller slots.
+struct Frame {
+    vars: HashMap<String, Slot>,
+}
+
+/// A value produced by expression evaluation.
+#[derive(Debug, Clone)]
+enum Val {
+    Num(f64),
+    Arr(Vec<f64>),
+}
+
+impl Val {
+    fn as_num(&self, err: impl FnOnce() -> RuntimeError) -> Result<f64, RuntimeError> {
+        match self {
+            Val::Num(v) => Ok(*v),
+            Val::Arr(_) => Err(err()),
+        }
+    }
+}
+
+// ---- the per-process interpreter --------------------------------------------
+
+/// Control-flow signal from statement execution.
+enum Flow {
+    Normal,
+    Return,
+}
+
+struct Process<'a> {
+    program: &'a Program,
+    rank: usize,
+    nprocs: usize,
+    mailboxes: &'a [Mailbox],
+    result: ProcessResult,
+    read_counter: u64,
+    coll_seq: i64,
+    config: &'a InterpConfig,
+}
+
+impl<'a> Process<'a> {
+    fn run_entry(&mut self) -> Result<(), RuntimeError> {
+        let entry = self.program.sub(&self.config.entry).ok_or_else(|| {
+            self.err(Span::DUMMY, format!("entry subroutine `{}` not found", self.config.entry))
+        })?;
+        if !entry.params.is_empty() {
+            return Err(self.err(entry.span, "entry subroutine must take no parameters"));
+        }
+        // Globals live in the root frame of every call (by-name fallback).
+        let mut globals = HashMap::new();
+        for g in &self.program.globals {
+            let mut storage = Storage::from_type(&g.ty);
+            if let Some((_, v)) =
+                self.config.init_globals.iter().find(|(name, _)| *name == g.name)
+            {
+                match &mut storage {
+                    Storage::Scalar(x) => *x = *v,
+                    Storage::Array { data, .. } => data.fill(*v),
+                }
+            }
+            globals.insert(g.name.clone(), Rc::new(RefCell::new(storage)));
+        }
+        let globals = Frame { vars: globals };
+        let mut frame = Frame { vars: HashMap::new() };
+        self.exec_block(&entry.body, &mut frame, &globals)?;
+        if self.config.capture_globals {
+            let mut finals: Vec<(String, Vec<f64>)> = globals
+                .vars
+                .iter()
+                .map(|(name, slot)| {
+                    let values = match &*slot.borrow() {
+                        Storage::Scalar(v) => vec![*v],
+                        Storage::Array { data, .. } => data.clone(),
+                    };
+                    (name.clone(), values)
+                })
+                .collect();
+            finals.sort_by(|a, b| a.0.cmp(&b.0));
+            self.result.final_globals = finals;
+        }
+        Ok(())
+    }
+
+    fn err(&self, span: Span, msg: impl Into<String>) -> RuntimeError {
+        RuntimeError { rank: self.rank, span, message: msg.into() }
+    }
+
+    fn lookup(&self, frame: &Frame, globals: &Frame, name: &str, span: Span) -> Result<Slot, RuntimeError> {
+        frame
+            .vars
+            .get(name)
+            .or_else(|| globals.vars.get(name))
+            .cloned()
+            .ok_or_else(|| self.err(span, format!("undefined variable `{name}`")))
+    }
+
+    fn tick(&mut self, span: Span) -> Result<(), RuntimeError> {
+        self.result.steps += 1;
+        if self.result.steps > self.config.max_steps {
+            return Err(self.err(span, "statement budget exceeded (possible infinite loop)"));
+        }
+        Ok(())
+    }
+
+    fn exec_block(
+        &mut self,
+        block: &Block,
+        frame: &mut Frame,
+        globals: &Frame,
+    ) -> Result<Flow, RuntimeError> {
+        for stmt in &block.stmts {
+            if let Flow::Return = self.exec_stmt(stmt, frame, globals)? {
+                return Ok(Flow::Return);
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        frame: &mut Frame,
+        globals: &Frame,
+    ) -> Result<Flow, RuntimeError> {
+        self.tick(stmt.span)?;
+        match &stmt.kind {
+            StmtKind::Local { decl, init } => {
+                let slot = Rc::new(RefCell::new(Storage::from_type(&decl.ty)));
+                if let Some(e) = init {
+                    let v = self.eval(e, frame, globals)?;
+                    self.store_into(&slot, &[], v, stmt.span)?;
+                }
+                frame.vars.insert(decl.name.clone(), slot);
+            }
+            StmtKind::Assign { lhs, rhs } => {
+                let v = self.eval(rhs, frame, globals)?;
+                let slot = self.lookup(frame, globals, &lhs.name, lhs.span)?;
+                let idx = self.eval_indices(lhs, frame, globals)?;
+                self.store_into(&slot, &idx, v, stmt.span)?;
+            }
+            StmtKind::If { cond, then_blk, else_blk } => {
+                let c = self.eval(cond, frame, globals)?.as_num(|| self.err(cond.span, "array condition"))?;
+                if c != 0.0 {
+                    return self.exec_block(then_blk, frame, globals);
+                } else if let Some(e) = else_blk {
+                    return self.exec_block(e, frame, globals);
+                }
+            }
+            StmtKind::While { cond, body } => loop {
+                self.tick(stmt.span)?;
+                let c = self.eval(cond, frame, globals)?.as_num(|| self.err(cond.span, "array condition"))?;
+                if c == 0.0 {
+                    break;
+                }
+                if let Flow::Return = self.exec_block(body, frame, globals)? {
+                    return Ok(Flow::Return);
+                }
+            },
+            StmtKind::For { var, lo, hi, step, body } => {
+                let lo = self.eval(lo, frame, globals)?.as_num(|| self.err(stmt.span, "array loop bound"))?;
+                let hi = self.eval(hi, frame, globals)?.as_num(|| self.err(stmt.span, "array loop bound"))?;
+                let st = match step {
+                    Some(s) => self.eval(s, frame, globals)?.as_num(|| self.err(stmt.span, "array step"))?,
+                    None => 1.0,
+                };
+                if st == 0.0 {
+                    return Err(self.err(stmt.span, "zero loop step"));
+                }
+                let slot = self.lookup(frame, globals, var, stmt.span)?;
+                let mut i = lo;
+                while (st > 0.0 && i <= hi) || (st < 0.0 && i >= hi) {
+                    self.tick(stmt.span)?;
+                    *slot.borrow_mut() = Storage::Scalar(i);
+                    if let Flow::Return = self.exec_block(body, frame, globals)? {
+                        return Ok(Flow::Return);
+                    }
+                    // Re-read in case the body modified the loop variable.
+                    i = match *slot.borrow() {
+                        Storage::Scalar(v) => v + st,
+                        _ => return Err(self.err(stmt.span, "loop variable became an array")),
+                    };
+                }
+            }
+            StmtKind::Call { name, args } => {
+                self.exec_call(name, args, stmt.span, frame, globals)?;
+            }
+            StmtKind::Return => return Ok(Flow::Return),
+            StmtKind::Mpi(m) => self.exec_mpi(m, stmt.span, frame, globals)?,
+            StmtKind::Read(lv) => {
+                let slot = self.lookup(frame, globals, &lv.name, lv.span)?;
+                let idx = self.eval_indices(lv, frame, globals)?;
+                let v = self.next_input();
+                if idx.is_empty() {
+                    // Whole-variable read: fill arrays elementwise with a
+                    // deterministic ramp.
+                    let mut s = slot.borrow_mut();
+                    match &mut *s {
+                        Storage::Scalar(x) => *x = v,
+                        Storage::Array { data, .. } => {
+                            for (k, x) in data.iter_mut().enumerate() {
+                                *x = v + (k % 97) as f64 * 0.001;
+                            }
+                        }
+                    }
+                } else {
+                    self.store_into(&slot, &idx, Val::Num(v), stmt.span)?;
+                }
+            }
+            StmtKind::Print(e) => {
+                let v = self.eval(e, frame, globals)?;
+                match v {
+                    Val::Num(x) => self.result.printed.push(x),
+                    Val::Arr(xs) => self.result.printed.extend(xs),
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    /// Deterministic pseudo-input stream, distinct per rank.
+    fn next_input(&mut self) -> f64 {
+        self.read_counter = self.read_counter.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        // Map to a small stable range to keep arithmetic well-behaved.
+        ((self.read_counter >> 33) % 1000) as f64 / 100.0 + 1.0
+    }
+
+    fn exec_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        span: Span,
+        frame: &mut Frame,
+        globals: &Frame,
+    ) -> Result<(), RuntimeError> {
+        let callee = self
+            .program
+            .sub(name)
+            .ok_or_else(|| self.err(span, format!("call to unknown subroutine `{name}`")))?;
+        if callee.params.len() != args.len() {
+            return Err(self.err(span, format!("arity mismatch calling `{name}`")));
+        }
+        let mut new_frame = Frame { vars: HashMap::new() };
+        for (param, arg) in callee.params.iter().zip(args) {
+            let slot = match arg.as_lvalue() {
+                Some(lv) if lv.is_whole() => {
+                    // Whole variable: alias the caller's storage (by reference).
+                    self.lookup(frame, globals, &lv.name, lv.span)?
+                }
+                _ => {
+                    // Expression or array element: fresh storage (by value).
+                    let v = self.eval(arg, frame, globals)?;
+                    let storage = match v {
+                        Val::Num(x) => {
+                            if param.ty.is_array() {
+                                Storage::Array {
+                                    data: vec![x; param.ty.elem_count() as usize],
+                                    dims: param.ty.dims.clone(),
+                                }
+                            } else {
+                                Storage::Scalar(x)
+                            }
+                        }
+                        Val::Arr(xs) => Storage::Array { data: xs, dims: param.ty.dims.clone() },
+                    };
+                    Rc::new(RefCell::new(storage))
+                }
+            };
+            new_frame.vars.insert(param.name.clone(), slot);
+        }
+        self.exec_block(&callee.body, &mut new_frame, globals)?;
+        Ok(())
+    }
+
+    // ---- MPI -----------------------------------------------------------
+
+    fn exec_mpi(
+        &mut self,
+        m: &MpiStmt,
+        span: Span,
+        frame: &mut Frame,
+        globals: &Frame,
+    ) -> Result<(), RuntimeError> {
+        match m {
+            MpiStmt::Send { buf, dest, tag, comm, .. } => {
+                let payload = self.load_payload(buf, frame, globals)?;
+                let dest = self.eval_rank(dest, frame, globals)?;
+                let tag = self.eval_int(tag, frame, globals)?;
+                let comm = self.eval_comm(comm, frame, globals)?;
+                self.post(dest, tag, comm, payload, span)?;
+            }
+            MpiStmt::Recv { buf, src, tag, comm, .. } => {
+                let src = match src.kind {
+                    ExprKind::AnyWildcard => None,
+                    _ => Some(self.eval_rank(src, frame, globals)?),
+                };
+                let tag = match tag.kind {
+                    ExprKind::AnyWildcard => None,
+                    _ => Some(self.eval_int(tag, frame, globals)?),
+                };
+                let comm = self.eval_comm(comm, frame, globals)?;
+                let msg = self.take(src, tag, comm, span)?;
+                self.store_payload(buf, msg.payload, frame, globals, span)?;
+            }
+            MpiStmt::Bcast { buf, root, comm } => {
+                let root = self.eval_rank(root, frame, globals)?;
+                let comm = self.eval_comm(comm, frame, globals)?;
+                let tag = self.next_coll_tag();
+                if self.rank == root {
+                    let payload = self.load_payload(buf, frame, globals)?;
+                    for dest in 0..self.nprocs {
+                        if dest != root {
+                            self.post(dest, tag, comm, payload.clone(), span)?;
+                        }
+                    }
+                } else {
+                    let msg = self.take(Some(root), Some(tag), comm, span)?;
+                    self.store_payload(buf, msg.payload, frame, globals, span)?;
+                }
+            }
+            MpiStmt::Reduce { op, send, recv, root, comm } => {
+                let root = self.eval_rank(root, frame, globals)?;
+                let comm = self.eval_comm(comm, frame, globals)?;
+                let tag = self.next_coll_tag();
+                let mine = self.eval(send, frame, globals)?;
+                let mine = match mine {
+                    Val::Num(x) => vec![x],
+                    Val::Arr(xs) => xs,
+                };
+                if self.rank == root {
+                    let mut acc = mine;
+                    // Combine in rank order for determinism.
+                    for src in 0..self.nprocs {
+                        if src == root {
+                            continue;
+                        }
+                        let msg = self.take(Some(src), Some(tag), comm, span)?;
+                        if msg.payload.len() != acc.len() {
+                            return Err(self.err(span, "reduce payload length mismatch"));
+                        }
+                        for (a, b) in acc.iter_mut().zip(msg.payload) {
+                            *a = combine(*op, *a, b);
+                        }
+                    }
+                    let v = if acc.len() == 1 { Val::Num(acc[0]) } else { Val::Arr(acc) };
+                    let slot = self.lookup(frame, globals, &recv.name, recv.span)?;
+                    let idx = self.eval_indices(recv, frame, globals)?;
+                    self.store_into(&slot, &idx, v, span)?;
+                } else {
+                    self.post(root, tag, comm, mine, span)?;
+                }
+            }
+            MpiStmt::Allreduce { op, send, recv, comm } => {
+                // Lower to reduce-to-0 + bcast using two collective tags.
+                let comm_v = self.eval_comm(comm, frame, globals)?;
+                let tag_r = self.next_coll_tag();
+                let tag_b = self.next_coll_tag();
+                let mine = match self.eval(send, frame, globals)? {
+                    Val::Num(x) => vec![x],
+                    Val::Arr(xs) => xs,
+                };
+                let result = if self.rank == 0 {
+                    let mut acc = mine;
+                    for src in 1..self.nprocs {
+                        let msg = self.take(Some(src), Some(tag_r), comm_v, span)?;
+                        if msg.payload.len() != acc.len() {
+                            return Err(self.err(span, "allreduce payload length mismatch"));
+                        }
+                        for (a, b) in acc.iter_mut().zip(msg.payload) {
+                            *a = combine(*op, *a, b);
+                        }
+                    }
+                    for dest in 1..self.nprocs {
+                        self.post(dest, tag_b, comm_v, acc.clone(), span)?;
+                    }
+                    acc
+                } else {
+                    self.post(0, tag_r, comm_v, mine, span)?;
+                    self.take(Some(0), Some(tag_b), comm_v, span)?.payload
+                };
+                let v = if result.len() == 1 { Val::Num(result[0]) } else { Val::Arr(result) };
+                let slot = self.lookup(frame, globals, &recv.name, recv.span)?;
+                let idx = self.eval_indices(recv, frame, globals)?;
+                self.store_into(&slot, &idx, v, span)?;
+            }
+            MpiStmt::Barrier => {
+                // All-to-root gather of empty payloads, then root broadcast.
+                let tag_r = self.next_coll_tag();
+                let tag_b = self.next_coll_tag();
+                if self.rank == 0 {
+                    for src in 1..self.nprocs {
+                        self.take(Some(src), Some(tag_r), 0, span)?;
+                    }
+                    for dest in 1..self.nprocs {
+                        self.post(dest, tag_b, 0, Vec::new(), span)?;
+                    }
+                } else {
+                    self.post(0, tag_r, 0, Vec::new(), span)?;
+                    self.take(Some(0), Some(tag_b), 0, span)?;
+                }
+            }
+            MpiStmt::Wait => {}
+        }
+        Ok(())
+    }
+
+    fn next_coll_tag(&mut self) -> i64 {
+        self.coll_seq += 1;
+        COLLECTIVE_TAG_BASE + self.coll_seq
+    }
+
+    fn post(&mut self, dest: usize, tag: i64, comm: i64, payload: Vec<f64>, span: Span) -> Result<(), RuntimeError> {
+        if dest >= self.nprocs {
+            return Err(self.err(span, format!("send to invalid rank {dest} (nprocs={})", self.nprocs)));
+        }
+        self.result.sends += 1;
+        self.mailboxes[dest].post(Message { src: self.rank, tag, comm, payload });
+        Ok(())
+    }
+
+    fn take(&mut self, src: Option<usize>, tag: Option<i64>, comm: i64, span: Span) -> Result<Message, RuntimeError> {
+        match self.mailboxes[self.rank].take(src, tag, comm, self.config.recv_timeout) {
+            Some(m) => {
+                self.result.recvs += 1;
+                Ok(m)
+            }
+            None => Err(self.err(span, "recv timed out: deadlock or missing matching send")),
+        }
+    }
+
+    fn load_payload(&mut self, lv: &LValue, frame: &Frame, globals: &Frame) -> Result<Vec<f64>, RuntimeError> {
+        let slot = self.lookup(frame, globals, &lv.name, lv.span)?;
+        let idx = self.eval_indices(lv, frame, globals)?;
+        let s = slot.borrow();
+        match (&*s, idx.is_empty()) {
+            (Storage::Scalar(v), true) => Ok(vec![*v]),
+            (Storage::Array { data, .. }, true) => Ok(data.clone()),
+            (Storage::Array { data, dims }, false) => {
+                let off = self.flat_index(dims, &idx, lv.span)?;
+                Ok(vec![data[off]])
+            }
+            (Storage::Scalar(_), false) => Err(self.err(lv.span, "cannot index scalar")),
+        }
+    }
+
+    fn store_payload(
+        &mut self,
+        lv: &LValue,
+        payload: Vec<f64>,
+        frame: &Frame,
+        globals: &Frame,
+        span: Span,
+    ) -> Result<(), RuntimeError> {
+        let slot = self.lookup(frame, globals, &lv.name, lv.span)?;
+        let idx = self.eval_indices(lv, frame, globals)?;
+        let v = if payload.len() == 1 { Val::Num(payload[0]) } else { Val::Arr(payload) };
+        self.store_into(&slot, &idx, v, span)
+    }
+
+    fn eval_rank(&mut self, e: &Expr, frame: &Frame, globals: &Frame) -> Result<usize, RuntimeError> {
+        let v = self.eval_int(e, frame, globals)?;
+        usize::try_from(v).map_err(|_| self.err(e.span, format!("negative rank {v}")))
+    }
+
+    fn eval_int(&mut self, e: &Expr, frame: &Frame, globals: &Frame) -> Result<i64, RuntimeError> {
+        let v = self.eval(e, frame, globals)?.as_num(|| self.err(e.span, "expected scalar"))?;
+        Ok(v as i64)
+    }
+
+    fn eval_comm(&mut self, comm: &Option<Expr>, frame: &Frame, globals: &Frame) -> Result<i64, RuntimeError> {
+        match comm {
+            Some(c) => self.eval_int(c, frame, globals),
+            None => Ok(0),
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn eval_indices(&mut self, lv: &LValue, frame: &Frame, globals: &Frame) -> Result<Vec<i64>, RuntimeError> {
+        lv.indices.iter().map(|e| self.eval_int(e, frame, globals)).collect()
+    }
+
+    /// Column-major (Fortran) flattening of 1-based subscripts.
+    fn flat_index(&self, dims: &[i64], idx: &[i64], span: Span) -> Result<usize, RuntimeError> {
+        if dims.len() != idx.len() {
+            return Err(self.err(span, "subscript count mismatch"));
+        }
+        let mut off: i64 = 0;
+        let mut stride: i64 = 1;
+        for (d, i) in dims.iter().zip(idx) {
+            if *i < 1 || *i > *d {
+                return Err(self.err(span, format!("index {i} out of bounds 1..={d}")));
+            }
+            off += (i - 1) * stride;
+            stride *= d;
+        }
+        Ok(off as usize)
+    }
+
+    fn store_into(&self, slot: &Slot, idx: &[i64], v: Val, span: Span) -> Result<(), RuntimeError> {
+        let mut s = slot.borrow_mut();
+        match (&mut *s, idx.is_empty(), v) {
+            (Storage::Scalar(dst), true, Val::Num(x)) => *dst = x,
+            (Storage::Scalar(_), true, Val::Arr(_)) => {
+                return Err(self.err(span, "cannot assign array to scalar"));
+            }
+            (Storage::Scalar(_), false, _) => {
+                return Err(self.err(span, "cannot index scalar"));
+            }
+            (Storage::Array { data, .. }, true, Val::Num(x)) => {
+                data.fill(x);
+            }
+            (Storage::Array { data, .. }, true, Val::Arr(xs)) => {
+                if xs.len() != data.len() {
+                    return Err(self.err(span, format!("array length mismatch: {} vs {}", xs.len(), data.len())));
+                }
+                data.copy_from_slice(&xs);
+            }
+            (Storage::Array { data, dims }, false, Val::Num(x)) => {
+                let dims = dims.clone();
+                let off = self.flat_index(&dims, idx, span)?;
+                data[off] = x;
+            }
+            (Storage::Array { .. }, false, Val::Arr(_)) => {
+                return Err(self.err(span, "cannot assign array to array element"));
+            }
+        }
+        Ok(())
+    }
+
+    fn eval(&mut self, e: &Expr, frame: &Frame, globals: &Frame) -> Result<Val, RuntimeError> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok(Val::Num(*v as f64)),
+            ExprKind::RealLit(v) => Ok(Val::Num(*v)),
+            ExprKind::BoolLit(b) => Ok(Val::Num(if *b { 1.0 } else { 0.0 })),
+            ExprKind::Rank => Ok(Val::Num(self.rank as f64)),
+            ExprKind::Nprocs => Ok(Val::Num(self.nprocs as f64)),
+            ExprKind::AnyWildcard => Err(self.err(e.span, "`ANY` has no value")),
+            ExprKind::Var(lv) => {
+                let slot = self.lookup(frame, globals, &lv.name, lv.span)?;
+                let idx = self.eval_indices(lv, frame, globals)?;
+                let s = slot.borrow();
+                match (&*s, idx.is_empty()) {
+                    (Storage::Scalar(v), true) => Ok(Val::Num(*v)),
+                    (Storage::Array { data, .. }, true) => Ok(Val::Arr(data.clone())),
+                    (Storage::Array { data, dims }, false) => {
+                        let dims = dims.clone();
+                        let data_ref = data;
+                        let off = self.flat_index(&dims, &idx, lv.span)?;
+                        Ok(Val::Num(data_ref[off]))
+                    }
+                    (Storage::Scalar(_), false) => Err(self.err(lv.span, "cannot index scalar")),
+                }
+            }
+            ExprKind::Unary(op, inner) => {
+                let v = self.eval(inner, frame, globals)?;
+                Ok(match (op, v) {
+                    (UnOp::Neg, Val::Num(x)) => Val::Num(-x),
+                    (UnOp::Neg, Val::Arr(xs)) => Val::Arr(xs.into_iter().map(|x| -x).collect()),
+                    (UnOp::Not, Val::Num(x)) => Val::Num(if x == 0.0 { 1.0 } else { 0.0 }),
+                    (UnOp::Not, Val::Arr(_)) => {
+                        return Err(self.err(e.span, "cannot negate array logically"));
+                    }
+                })
+            }
+            ExprKind::Binary(op, a, b) => {
+                let va = self.eval(a, frame, globals)?;
+                let vb = self.eval(b, frame, globals)?;
+                self.binop(*op, va, vb, e.span)
+            }
+            ExprKind::Intrinsic(i, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, frame, globals)?.as_num(|| self.err(a.span, "array intrinsic arg"))?);
+                }
+                let r = match i {
+                    Intrinsic::Sqrt => vals[0].abs().sqrt(),
+                    Intrinsic::Exp => vals[0].min(50.0).exp(),
+                    Intrinsic::Log => vals[0].abs().max(1e-12).ln(),
+                    Intrinsic::Sin => vals[0].sin(),
+                    Intrinsic::Cos => vals[0].cos(),
+                    Intrinsic::Abs => vals[0].abs(),
+                    Intrinsic::Max => vals[0].max(vals[1]),
+                    Intrinsic::Min => vals[0].min(vals[1]),
+                    Intrinsic::Mod => {
+                        let m = vals[1] as i64;
+                        if m == 0 {
+                            return Err(self.err(e.span, "mod by zero"));
+                        }
+                        ((vals[0] as i64).rem_euclid(m)) as f64
+                    }
+                };
+                Ok(Val::Num(r))
+            }
+        }
+    }
+
+    fn binop(&self, op: BinOp, a: Val, b: Val, span: Span) -> Result<Val, RuntimeError> {
+        use BinOp::*;
+        fn scalar(op: BinOp, x: f64, y: f64) -> f64 {
+            match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => {
+                    if y == 0.0 {
+                        0.0 // benign: benchmarks guard real divisions
+                    } else {
+                        x / y
+                    }
+                }
+                Eq => (x == y) as i64 as f64,
+                Ne => (x != y) as i64 as f64,
+                Lt => (x < y) as i64 as f64,
+                Le => (x <= y) as i64 as f64,
+                Gt => (x > y) as i64 as f64,
+                Ge => (x >= y) as i64 as f64,
+                And => ((x != 0.0) && (y != 0.0)) as i64 as f64,
+                Or => ((x != 0.0) || (y != 0.0)) as i64 as f64,
+            }
+        }
+        Ok(match (a, b) {
+            (Val::Num(x), Val::Num(y)) => Val::Num(scalar(op, x, y)),
+            (Val::Arr(xs), Val::Num(y)) => Val::Arr(xs.into_iter().map(|x| scalar(op, x, y)).collect()),
+            (Val::Num(x), Val::Arr(ys)) => Val::Arr(ys.into_iter().map(|y| scalar(op, x, y)).collect()),
+            (Val::Arr(xs), Val::Arr(ys)) => {
+                if xs.len() != ys.len() {
+                    return Err(self.err(span, "elementwise op on arrays of different lengths"));
+                }
+                Val::Arr(xs.into_iter().zip(ys).map(|(x, y)| scalar(op, x, y)).collect())
+            }
+        })
+    }
+}
+
+fn combine(op: RedOp, a: f64, b: f64) -> f64 {
+    match op {
+        RedOp::Sum => a + b,
+        RedOp::Prod => a * b,
+        RedOp::Max => a.max(b),
+        RedOp::Min => a.min(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run_src(src: &str, nprocs: usize) -> Vec<ProcessResult> {
+        let p = parse(src).expect("parse");
+        crate::sema::check(&p).expect("sema");
+        run(&p, &InterpConfig { nprocs, recv_timeout: Duration::from_secs(5), ..Default::default() })
+            .expect("run")
+    }
+
+    #[test]
+    fn sequential_arithmetic() {
+        let r = run_src(
+            "program t sub main() { var x: real; x = 2.0 * 3.0 + 1.0; print(x); }",
+            1,
+        );
+        assert_eq!(r[0].printed, vec![7.0]);
+    }
+
+    #[test]
+    fn rank_branching_and_p2p() {
+        let r = run_src(
+            "program t sub main() {\n\
+               var x: real; var y: real;\n\
+               x = 0.0; y = 0.0;\n\
+               if (rank() == 0) { x = 41.0 + 1.0; send(x, 1, 5); }\n\
+               else { recv(y, 0, 5); }\n\
+               print(y);\n\
+             }",
+            2,
+        );
+        assert_eq!(r[0].printed, vec![0.0]);
+        assert_eq!(r[1].printed, vec![42.0]);
+        assert_eq!(r[0].sends, 1);
+        assert_eq!(r[1].recvs, 1);
+    }
+
+    #[test]
+    fn wildcard_recv() {
+        let r = run_src(
+            "program t sub main() {\n\
+               var x: real; var y: real; x = rank() * 1.0 + 10.0; y = 0.0 - 1.0;\n\
+               if (rank() > 0) { send(x, 0, rank()); }\n\
+               else { var k: int; for k = 1, nprocs() - 1 { recv(y, ANY, ANY); print(y); } }\n\
+             }",
+            4,
+        );
+        let mut got = r[0].printed.clone();
+        got.sort_by(f64::total_cmp);
+        assert_eq!(got, vec![11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn bcast_distributes_root_value() {
+        let r = run_src(
+            "program t sub main() {\n\
+               var a: real[4];\n\
+               if (rank() == 0) { a = 3.0; } else { a = 0.0; }\n\
+               bcast(a, 0);\n\
+               print(a[2]);\n\
+             }",
+            3,
+        );
+        for pr in &r {
+            assert_eq!(pr.printed, vec![3.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_and_allreduce() {
+        let r = run_src(
+            "program t sub main() {\n\
+               var s: real; var t: real; s = 0.0; t = 0.0;\n\
+               reduce(SUM, rank() * 1.0 + 1.0, s, 0);\n\
+               allreduce(MAX, rank() * 1.0, t);\n\
+               print(s); print(t);\n\
+             }",
+            4,
+        );
+        assert_eq!(r[0].printed, vec![10.0, 3.0]); // 1+2+3+4, max rank
+        assert_eq!(r[3].printed, vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn barrier_all_ranks_pass() {
+        let r = run_src("program t sub main() { barrier(); print(1.0); }", 5);
+        assert_eq!(r.len(), 5);
+        for pr in r {
+            assert_eq!(pr.printed, vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn by_reference_parameters_mutate_caller() {
+        let r = run_src(
+            "program t\n\
+             sub inc(v: real) { v = v + 1.0; }\n\
+             sub main() { var x: real; x = 1.0; call inc(x); call inc(x); print(x); }",
+            1,
+        );
+        assert_eq!(r[0].printed, vec![3.0]);
+    }
+
+    #[test]
+    fn array_element_actual_is_by_value() {
+        let r = run_src(
+            "program t\n\
+             sub clobber(v: real) { v = 99.0; }\n\
+             sub main() { var a: real[2]; a = 5.0; call clobber(a[1]); print(a[1]); }",
+            1,
+        );
+        assert_eq!(r[0].printed, vec![5.0]);
+    }
+
+    #[test]
+    fn whole_array_aliasing() {
+        let r = run_src(
+            "program t\n\
+             sub fill(v: real[3]) { var i: int; for i = 1, 3 { v[i] = i * 1.0; } }\n\
+             sub main() { var a: real[3]; call fill(a); print(a[3]); }",
+            1,
+        );
+        assert_eq!(r[0].printed, vec![3.0]);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let p = parse("program t sub main() { var x: real; recv(x, 0, 1); }").unwrap();
+        let cfg = InterpConfig {
+            nprocs: 2,
+            recv_timeout: Duration::from_millis(50),
+            ..Default::default()
+        };
+        let e = run(&p, &cfg).unwrap_err();
+        assert!(e.message.contains("deadlock") || e.message.contains("timed out"), "{e}");
+    }
+
+    #[test]
+    fn infinite_loop_is_bounded() {
+        let p = parse("program t sub main() { while (true) { } }").unwrap();
+        let cfg = InterpConfig { nprocs: 1, max_steps: 1000, ..Default::default() };
+        let e = run(&p, &cfg).unwrap_err();
+        assert!(e.message.contains("budget"), "{e}");
+    }
+
+    #[test]
+    fn out_of_bounds_index() {
+        let p = parse("program t sub main() { var a: real[2]; a[3] = 1.0; }").unwrap();
+        let e = run(&p, &InterpConfig { nprocs: 1, ..Default::default() }).unwrap_err();
+        assert!(e.message.contains("out of bounds"), "{e}");
+    }
+
+    #[test]
+    fn column_major_indexing() {
+        let r = run_src(
+            "program t sub main() {\n\
+               var a: real[2,3]; var i: int; var j: int; var k: real; k = 0.0;\n\
+               for j = 1, 3 { for i = 1, 2 { k = k + 1.0; a[i, j] = k; } }\n\
+               print(a[1, 1]); print(a[2, 1]); print(a[1, 2]); print(a[2, 3]);\n\
+             }",
+            1,
+        );
+        assert_eq!(r[0].printed, vec![1.0, 2.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn ring_pipeline() {
+        // Each rank sends to the next; value accumulates around the ring.
+        let r = run_src(
+            "program t sub main() {\n\
+               var v: real; v = 0.0;\n\
+               if (rank() == 0) {\n\
+                 v = 1.0; send(v, 1, 9); recv(v, nprocs() - 1, 9); print(v);\n\
+               } else {\n\
+                 recv(v, rank() - 1, 9); v = v + 1.0;\n\
+                 send(v, mod(rank() + 1, nprocs()), 9);\n\
+               }\n\
+             }",
+            4,
+        );
+        assert_eq!(r[0].printed, vec![4.0]);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let src = "program t sub main() {\n\
+             var a: real[8]; var s: real; read(a); reduce(SUM, a[1], s, 0);\n\
+             if (rank() == 0) { print(s); } }";
+        let a = run_src(src, 3);
+        let b = run_src(src, 3);
+        assert_eq!(a[0].printed, b[0].printed);
+        assert!(!a[0].printed.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod capture_tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run_cfg(src: &str, cfg: &InterpConfig) -> Vec<ProcessResult> {
+        let p = parse(src).expect("parse");
+        crate::sema::check(&p).expect("sema");
+        run(&p, cfg).expect("run")
+    }
+
+    #[test]
+    fn init_globals_sets_scalars_and_fills_arrays() {
+        let src = "program t global s: real; global a: real[3];\n\
+             sub main() { print(s); print(a[2]); }";
+        let cfg = InterpConfig {
+            nprocs: 2,
+            init_globals: vec![("s".into(), 5.5), ("a".into(), 2.0)],
+            ..Default::default()
+        };
+        let r = run_cfg(src, &cfg);
+        for pr in &r {
+            assert_eq!(pr.printed, vec![5.5, 2.0]);
+        }
+    }
+
+    #[test]
+    fn capture_globals_reports_finals_sorted() {
+        let src = "program t global b: real; global a: real[2];\n\
+             sub main() { b = 3.0; a[1] = 1.0; a[2] = 2.0; }";
+        let cfg = InterpConfig { nprocs: 1, capture_globals: true, ..Default::default() };
+        let r = run_cfg(src, &cfg);
+        let finals = &r[0].final_globals;
+        assert_eq!(finals.len(), 2);
+        assert_eq!(finals[0], ("a".to_string(), vec![1.0, 2.0]));
+        assert_eq!(finals[1], ("b".to_string(), vec![3.0]));
+    }
+
+    #[test]
+    fn capture_off_by_default() {
+        let src = "program t global b: real; sub main() { b = 1.0; }";
+        let r = run_cfg(src, &InterpConfig { nprocs: 1, ..Default::default() });
+        assert!(r[0].final_globals.is_empty());
+    }
+
+    #[test]
+    fn init_globals_apply_before_entry_on_every_rank() {
+        // A perturbed independent visibly flows through communication.
+        let src = "program t global x: real; global y: real;\n\
+             sub main() {\n\
+               if (rank() == 0) { x = x * 10.0; send(x, 1, 1); } else { recv(y, 0, 1); }\n\
+               print(y);\n\
+             }";
+        let mk = |v: f64| InterpConfig {
+            nprocs: 2,
+            init_globals: vec![("x".into(), v)],
+            ..Default::default()
+        };
+        let a = run_cfg(src, &mk(1.0));
+        let b = run_cfg(src, &mk(2.0));
+        assert_eq!(a[1].printed, vec![10.0]);
+        assert_eq!(b[1].printed, vec![20.0]);
+    }
+
+    #[test]
+    fn whole_array_reduce_payloads() {
+        // Reducing an array value: elementwise SUM across ranks.
+        let src = "program t global a: real[3]; global r: real[3];\n\
+             sub main() { a = rank() * 1.0 + 1.0; reduce(SUM, a, r, 0); print(r[1]); }";
+        let out = run_cfg(src, &InterpConfig { nprocs: 3, ..Default::default() });
+        // 1 + 2 + 3 on the root; others untouched (0).
+        assert_eq!(out[0].printed, vec![6.0]);
+        assert_eq!(out[1].printed, vec![0.0]);
+    }
+
+    #[test]
+    fn allreduce_array_agrees_everywhere() {
+        let src = "program t global a: real[2]; global r: real[2];\n\
+             sub main() { a = rank() * 1.0; allreduce(MAX, a, r); print(r[2]); }";
+        let out = run_cfg(src, &InterpConfig { nprocs: 4, ..Default::default() });
+        for pr in &out {
+            assert_eq!(pr.printed, vec![3.0]);
+        }
+    }
+
+    #[test]
+    fn collectives_interleave_with_p2p_without_crosstalk() {
+        // User tags share the mailbox with lowered collective tags; the
+        // reserved tag space must keep them apart.
+        let src = "program t global x: real; global s: real;\n\
+             sub main() {\n\
+               x = rank() * 1.0 + 1.0;\n\
+               if (rank() == 0) { send(x, 1, 3); }\n\
+               allreduce(SUM, x, s);\n\
+               if (rank() == 1) { recv(x, 0, 3); }\n\
+               print(s); print(x);\n\
+             }";
+        let out = run_cfg(src, &InterpConfig { nprocs: 2, ..Default::default() });
+        assert_eq!(out[0].printed, vec![3.0, 1.0]);
+        assert_eq!(out[1].printed, vec![3.0, 1.0], "recv got the p2p message, not a collective");
+    }
+
+    #[test]
+    fn nested_by_reference_chains() {
+        let src = "program t\n\
+             sub add1(v: real) { v = v + 1.0; }\n\
+             sub add2(v: real) { call add1(v); call add1(v); }\n\
+             sub main() { var x: real; x = 0.0; call add2(x); call add2(x); print(x); }";
+        let out = run_cfg(src, &InterpConfig { nprocs: 1, ..Default::default() });
+        assert_eq!(out[0].printed, vec![4.0]);
+    }
+}

@@ -1,0 +1,329 @@
+//! Hand-written lexer for SMPL.
+//!
+//! The lexer produces a flat `Vec<Token>` ending in a single `Eof` token.
+//! `//` introduces a comment running to end of line. Numeric literals are
+//! integers unless they contain `.` or an exponent, in which case they are
+//! reals.
+
+use crate::error::{Diagnostic, Phase};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lex `src` into tokens. Returns the first lexical error encountered.
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1, tokens: Vec::new() }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
+        while self.pos < self.src.len() {
+            self.skip_trivia();
+            if self.pos >= self.src.len() {
+                break;
+            }
+            self.scan_token()?;
+        }
+        let span = Span::new(self.pos as u32, self.pos as u32, self.line, self.col);
+        self.tokens.push(Token { kind: TokenKind::Eof, span });
+        Ok(self.tokens)
+    }
+
+    fn peek(&self) -> u8 {
+        self.src.get(self.pos).copied().unwrap_or(0)
+    }
+
+    fn peek2(&self) -> u8 {
+        self.src.get(self.pos + 1).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn here(&self) -> (u32, u32, u32) {
+        (self.pos as u32, self.line, self.col)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: (u32, u32, u32)) {
+        let span = Span::new(start.0, self.pos as u32, start.1, start.2);
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn scan_token(&mut self) -> Result<(), Diagnostic> {
+        let start = self.here();
+        let c = self.peek();
+        match c {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let s = self.scan_ident();
+                let kind = TokenKind::keyword(&s).unwrap_or(TokenKind::Ident(s));
+                self.push(kind, start);
+            }
+            b'0'..=b'9' => {
+                let kind = self.scan_number(start)?;
+                self.push(kind, start);
+            }
+            _ => {
+                self.bump();
+                let kind = match c {
+                    b'(' => TokenKind::LParen,
+                    b')' => TokenKind::RParen,
+                    b'{' => TokenKind::LBrace,
+                    b'}' => TokenKind::RBrace,
+                    b'[' => TokenKind::LBracket,
+                    b']' => TokenKind::RBracket,
+                    b',' => TokenKind::Comma,
+                    b';' => TokenKind::Semi,
+                    b':' => TokenKind::Colon,
+                    b'+' => TokenKind::Plus,
+                    b'-' => TokenKind::Minus,
+                    b'*' => TokenKind::Star,
+                    b'/' => TokenKind::Slash,
+                    b'=' => {
+                        if self.peek() == b'=' {
+                            self.bump();
+                            TokenKind::EqEq
+                        } else {
+                            TokenKind::Assign
+                        }
+                    }
+                    b'!' => {
+                        if self.peek() == b'=' {
+                            self.bump();
+                            TokenKind::NotEq
+                        } else {
+                            TokenKind::Not
+                        }
+                    }
+                    b'<' => {
+                        if self.peek() == b'=' {
+                            self.bump();
+                            TokenKind::Le
+                        } else {
+                            TokenKind::Lt
+                        }
+                    }
+                    b'>' => {
+                        if self.peek() == b'=' {
+                            self.bump();
+                            TokenKind::Ge
+                        } else {
+                            TokenKind::Gt
+                        }
+                    }
+                    b'&' => {
+                        if self.peek() == b'&' {
+                            self.bump();
+                            TokenKind::AndAnd
+                        } else {
+                            return Err(self.err(start, "expected `&&`"));
+                        }
+                    }
+                    b'|' => {
+                        if self.peek() == b'|' {
+                            self.bump();
+                            TokenKind::OrOr
+                        } else {
+                            return Err(self.err(start, "expected `||`"));
+                        }
+                    }
+                    other => {
+                        return Err(self.err(
+                            start,
+                            format!("unexpected character `{}`", other as char),
+                        ));
+                    }
+                };
+                self.push(kind, start);
+            }
+        }
+        Ok(())
+    }
+
+    fn scan_ident(&mut self) -> String {
+        let start = self.pos;
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn scan_number(&mut self, start: (u32, u32, u32)) -> Result<TokenKind, Diagnostic> {
+        let begin = self.pos;
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        let mut is_real = false;
+        if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+            is_real = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), b'e' | b'E') {
+            let sign = matches!(self.peek2(), b'+' | b'-');
+            let digit_at = if sign { self.pos + 2 } else { self.pos + 1 };
+            if self.src.get(digit_at).is_some_and(u8::is_ascii_digit) {
+                is_real = true;
+                self.bump(); // e
+                if sign {
+                    self.bump();
+                }
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[begin..self.pos]).expect("ascii digits");
+        if is_real {
+            text.parse::<f64>()
+                .map(TokenKind::RealLit)
+                .map_err(|e| self.err(start, format!("invalid real literal: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::IntLit)
+                .map_err(|e| self.err(start, format!("invalid integer literal: {e}")))
+        }
+    }
+
+    fn err(&self, start: (u32, u32, u32), msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Phase::Lex, Span::new(start.0, self.pos as u32, start.1, start.2), msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn empty_input_yields_eof() {
+        assert_eq!(kinds(""), vec![Eof]);
+        assert_eq!(kinds("   \n\t "), vec![Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("// nothing\nx // trailing\n"), vec![Ident("x".into()), Eof]);
+    }
+
+    #[test]
+    fn keywords_vs_idents() {
+        assert_eq!(
+            kinds("sub subx var vary"),
+            vec![Sub, Ident("subx".into()), Var, Ident("vary".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42"), vec![IntLit(42), Eof]);
+        assert_eq!(kinds("3.5"), vec![RealLit(3.5), Eof]);
+        assert_eq!(kinds("1e3"), vec![RealLit(1000.0), Eof]);
+        assert_eq!(kinds("2.5e-1"), vec![RealLit(0.25), Eof]);
+        // `1.` without following digit is int then error-free only if `.` starts
+        // something else; here `.` is not a token so it errors.
+        assert!(lex("1.").is_err());
+    }
+
+    #[test]
+    fn range_like_expression_lexes() {
+        // `for i = 1, n` style commas
+        assert_eq!(
+            kinds("1, n"),
+            vec![IntLit(1), Comma, Ident("n".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(kinds("== != <= >= && || ="), vec![EqEq, NotEq, Le, Ge, AndAnd, OrOr, Assign, Eof]);
+        assert_eq!(kinds("<>!"), vec![Lt, Gt, Not, Eof]);
+    }
+
+    #[test]
+    fn punctuation_and_ops() {
+        assert_eq!(
+            kinds("a[i] = b + c * 2;"),
+            vec![
+                Ident("a".into()),
+                LBracket,
+                Ident("i".into()),
+                RBracket,
+                Assign,
+                Ident("b".into()),
+                Plus,
+                Ident("c".into()),
+                Star,
+                IntLit(2),
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_cols() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[0].span.col, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+
+    #[test]
+    fn bad_characters_error() {
+        let e = lex("a $ b").unwrap_err();
+        assert!(e.message.contains("unexpected character"), "{e}");
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn mpi_keywords() {
+        assert_eq!(
+            kinds("send recv bcast reduce allreduce barrier SUM ANY"),
+            vec![Send, Recv, Bcast, Reduce, Allreduce, Barrier, OpSum, Any, Eof]
+        );
+    }
+}

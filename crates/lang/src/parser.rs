@@ -1,0 +1,785 @@
+//! Recursive-descent parser for SMPL.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! program    := "program" ident item*
+//! item       := "global" ident ":" type ";"  |  "sub" ident "(" params? ")" block
+//! type       := ("int"|"real"|"real4"|"logical") ("[" intlit ("," intlit)* "]")?
+//! block      := "{" stmt* "}"
+//! stmt       := "var" ident ":" type ("=" expr)? ";"
+//!             | lvalue "=" expr ";"
+//!             | "if" "(" expr ")" block ("else" (block | ifstmt))?
+//!             | "while" "(" expr ")" block
+//!             | "for" ident "=" expr "," expr ("," expr)? block
+//!             | "call" ident "(" args? ")" ";"
+//!             | "return" ";"
+//!             | mpi ";"  |  "read" "(" lvalue ")" ";"  |  "print" "(" expr ")" ";"
+//! mpi        := ("send"|"isend") "(" lvalue "," expr "," expr ("," expr)? ")"
+//!             | ("recv"|"irecv") "(" lvalue "," expr "," expr ("," expr)? ")"
+//!             | "bcast" "(" lvalue "," expr ("," expr)? ")"
+//!             | "reduce" "(" redop "," expr "," lvalue "," expr ("," expr)? ")"
+//!             | "allreduce" "(" redop "," expr "," lvalue ("," expr)? ")"
+//!             | "barrier" "(" ")"  |  "wait" "(" ")"
+//! expr       := or-chain of && over comparisons over +- over */ over unary over primary
+//! ```
+
+use crate::ast::*;
+use crate::error::{Diagnostic, Phase};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+use crate::types::{BaseType, Type};
+
+/// Parse a full SMPL program from source text.
+pub fn parse(src: &str) -> Result<Program, Diagnostic> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_stmt: u32,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0, next_stmt: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, Diagnostic> {
+        if self.at(&kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.err_here(format!("expected {}, found {}", kind.describe(), self.peek_kind().describe())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), Diagnostic> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                let t = self.bump();
+                Ok((s, t.span))
+            }
+            other => Err(self.err_here(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Phase::Parse, self.peek().span, msg)
+    }
+
+    fn fresh_id(&mut self) -> StmtId {
+        let id = StmtId(self.next_stmt);
+        self.next_stmt += 1;
+        id
+    }
+
+    // ---- items -----------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, Diagnostic> {
+        self.expect(TokenKind::Program)?;
+        let (name, _) = self.expect_ident()?;
+        let mut globals = Vec::new();
+        let mut subs = Vec::new();
+        while !self.at(&TokenKind::Eof) {
+            match self.peek_kind() {
+                TokenKind::Global => {
+                    self.bump();
+                    let (gname, gspan) = self.expect_ident()?;
+                    self.expect(TokenKind::Colon)?;
+                    let ty = self.ty()?;
+                    self.expect(TokenKind::Semi)?;
+                    globals.push(VarDecl { name: gname, ty, span: gspan });
+                }
+                TokenKind::Sub => {
+                    subs.push(self.sub()?);
+                }
+                other => {
+                    return Err(self.err_here(format!(
+                        "expected `global` or `sub`, found {}",
+                        other.describe()
+                    )));
+                }
+            }
+        }
+        Ok(Program { name, globals, subs, stmt_count: self.next_stmt })
+    }
+
+    fn sub(&mut self) -> Result<SubDecl, Diagnostic> {
+        let kw = self.expect(TokenKind::Sub)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let (pname, pspan) = self.expect_ident()?;
+                self.expect(TokenKind::Colon)?;
+                let ty = self.ty()?;
+                params.push(VarDecl { name: pname, ty, span: pspan });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(SubDecl { name, params, body, span: kw.span })
+    }
+
+    fn ty(&mut self) -> Result<Type, Diagnostic> {
+        let base = match self.peek_kind() {
+            TokenKind::KwInt => BaseType::Int,
+            TokenKind::KwReal => BaseType::Real,
+            TokenKind::KwReal4 => BaseType::Real4,
+            TokenKind::KwLogical => BaseType::Logical,
+            other => return Err(self.err_here(format!("expected type, found {}", other.describe()))),
+        };
+        self.bump();
+        let mut dims = Vec::new();
+        if self.eat(&TokenKind::LBracket) {
+            loop {
+                match self.peek_kind().clone() {
+                    TokenKind::IntLit(v) if v > 0 => {
+                        self.bump();
+                        dims.push(v);
+                    }
+                    other => {
+                        return Err(self.err_here(format!(
+                            "expected positive array extent, found {}",
+                            other.describe()
+                        )));
+                    }
+                }
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RBracket)?;
+        }
+        Ok(if dims.is_empty() { Type::scalar(base) } else { Type::array(base, dims) })
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, Diagnostic> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            if self.at(&TokenKind::Eof) {
+                return Err(self.err_here("unclosed block: expected `}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.peek().span;
+        let id = self.fresh_id();
+        let kind = match self.peek_kind().clone() {
+            TokenKind::Var => {
+                self.bump();
+                let (name, vspan) = self.expect_ident()?;
+                self.expect(TokenKind::Colon)?;
+                let ty = self.ty()?;
+                let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Local { decl: VarDecl { name, ty, span: vspan }, init }
+            }
+            TokenKind::If => self.if_stmt()?,
+            TokenKind::While => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                StmtKind::While { cond, body }
+            }
+            TokenKind::For => {
+                self.bump();
+                let (var, _) = self.expect_ident()?;
+                self.expect(TokenKind::Assign)?;
+                let lo = self.expr()?;
+                self.expect(TokenKind::Comma)?;
+                let hi = self.expr()?;
+                let step = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
+                let body = self.block()?;
+                StmtKind::For { var, lo, hi, step, body }
+            }
+            TokenKind::Call => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                self.expect(TokenKind::LParen)?;
+                let mut args = Vec::new();
+                if !self.at(&TokenKind::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Call { name, args }
+            }
+            TokenKind::Return => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Return
+            }
+            TokenKind::Read => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let lv = self.lvalue()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Read(lv)
+            }
+            TokenKind::Print => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Print(e)
+            }
+            TokenKind::Send | TokenKind::Isend | TokenKind::Recv | TokenKind::Irecv
+            | TokenKind::Bcast | TokenKind::Reduce | TokenKind::Allreduce | TokenKind::Barrier
+            | TokenKind::Wait => StmtKind::Mpi(self.mpi_stmt()?),
+            TokenKind::Ident(_) => {
+                let lhs = self.lvalue()?;
+                self.expect(TokenKind::Assign)?;
+                let rhs = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Assign { lhs, rhs }
+            }
+            other => {
+                return Err(self.err_here(format!("expected statement, found {}", other.describe())));
+            }
+        };
+        let span = start.to(self.prev_span());
+        Ok(Stmt { id, kind, span })
+    }
+
+    fn if_stmt(&mut self) -> Result<StmtKind, Diagnostic> {
+        self.expect(TokenKind::If)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let then_blk = self.block()?;
+        let else_blk = if self.eat(&TokenKind::Else) {
+            if self.at(&TokenKind::If) {
+                // `else if` desugars to an else-block containing one if-stmt.
+                let start = self.peek().span;
+                let id = self.fresh_id();
+                let kind = self.if_stmt()?;
+                let span = start.to(self.prev_span());
+                Some(Block { stmts: vec![Stmt { id, kind, span }] })
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        Ok(StmtKind::If { cond, then_blk, else_blk })
+    }
+
+    fn mpi_stmt(&mut self) -> Result<MpiStmt, Diagnostic> {
+        let kw = self.bump();
+        self.expect(TokenKind::LParen)?;
+        let stmt = match kw.kind {
+            TokenKind::Send | TokenKind::Isend => {
+                let blocking = kw.kind == TokenKind::Send;
+                let buf = self.lvalue()?;
+                self.expect(TokenKind::Comma)?;
+                let dest = self.expr()?;
+                self.expect(TokenKind::Comma)?;
+                let tag = self.expr()?;
+                let comm = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
+                MpiStmt::Send { buf, dest, tag, comm, blocking }
+            }
+            TokenKind::Recv | TokenKind::Irecv => {
+                let blocking = kw.kind == TokenKind::Recv;
+                let buf = self.lvalue()?;
+                self.expect(TokenKind::Comma)?;
+                let src = self.expr()?;
+                self.expect(TokenKind::Comma)?;
+                let tag = self.expr()?;
+                let comm = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
+                MpiStmt::Recv { buf, src, tag, comm, blocking }
+            }
+            TokenKind::Bcast => {
+                let buf = self.lvalue()?;
+                self.expect(TokenKind::Comma)?;
+                let root = self.expr()?;
+                let comm = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
+                MpiStmt::Bcast { buf, root, comm }
+            }
+            TokenKind::Reduce => {
+                let op = self.red_op()?;
+                self.expect(TokenKind::Comma)?;
+                let send = self.expr()?;
+                self.expect(TokenKind::Comma)?;
+                let recv = self.lvalue()?;
+                self.expect(TokenKind::Comma)?;
+                let root = self.expr()?;
+                let comm = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
+                MpiStmt::Reduce { op, send, recv, root, comm }
+            }
+            TokenKind::Allreduce => {
+                let op = self.red_op()?;
+                self.expect(TokenKind::Comma)?;
+                let send = self.expr()?;
+                self.expect(TokenKind::Comma)?;
+                let recv = self.lvalue()?;
+                let comm = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
+                MpiStmt::Allreduce { op, send, recv, comm }
+            }
+            TokenKind::Barrier => MpiStmt::Barrier,
+            TokenKind::Wait => MpiStmt::Wait,
+            _ => unreachable!("mpi_stmt called on non-MPI token"),
+        };
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Semi)?;
+        Ok(stmt)
+    }
+
+    fn red_op(&mut self) -> Result<RedOp, Diagnostic> {
+        let op = match self.peek_kind() {
+            TokenKind::OpSum => RedOp::Sum,
+            TokenKind::OpProd => RedOp::Prod,
+            TokenKind::OpMax => RedOp::Max,
+            TokenKind::OpMin => RedOp::Min,
+            other => {
+                return Err(self.err_here(format!(
+                    "expected reduction operator (SUM/PROD/MAX/MIN), found {}",
+                    other.describe()
+                )));
+            }
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, Diagnostic> {
+        let (name, span) = self.expect_ident()?;
+        let mut indices = Vec::new();
+        if self.eat(&TokenKind::LBracket) {
+            loop {
+                indices.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RBracket)?;
+        }
+        let span = span.to(self.prev_span());
+        Ok(LValue { name, indices, span })
+    }
+
+    fn prev_span(&self) -> Span {
+        if self.pos == 0 {
+            self.peek().span
+        } else {
+            self.tokens[self.pos - 1].span
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr { kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr { kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek_kind() {
+            TokenKind::EqEq => Some(BinOp::Eq),
+            TokenKind::NotEq => Some(BinOp::Ne),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            let span = lhs.span.to(rhs.span);
+            Ok(Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        match self.peek_kind() {
+            TokenKind::Minus => {
+                let t = self.bump();
+                let e = self.unary_expr()?;
+                let span = t.span.to(e.span);
+                Ok(Expr { kind: ExprKind::Unary(UnOp::Neg, Box::new(e)), span })
+            }
+            TokenKind::Not => {
+                let t = self.bump();
+                let e = self.unary_expr()?;
+                let span = t.span.to(e.span);
+                Ok(Expr { kind: ExprKind::Unary(UnOp::Not, Box::new(e)), span })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, Diagnostic> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::IntLit(v), span: t.span })
+            }
+            TokenKind::RealLit(v) => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::RealLit(v), span: t.span })
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::BoolLit(true), span: t.span })
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::BoolLit(false), span: t.span })
+            }
+            TokenKind::Any => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::AnyWildcard, span: t.span })
+            }
+            TokenKind::Rank => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr { kind: ExprKind::Rank, span: t.span.to(self.prev_span()) })
+            }
+            TokenKind::Nprocs => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr { kind: ExprKind::Nprocs, span: t.span.to(self.prev_span()) })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if let Some(intr) = Intrinsic::from_name(&name) {
+                    // Only a call form makes an intrinsic; a bare name like
+                    // `max` used as a variable is also permitted.
+                    if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen) {
+                        self.bump();
+                        self.bump(); // (
+                        let mut args = Vec::new();
+                        if !self.at(&TokenKind::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(&TokenKind::Comma) {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(TokenKind::RParen)?;
+                        if args.len() != intr.arity() {
+                            return Err(Diagnostic::new(
+                                Phase::Parse,
+                                t.span,
+                                format!(
+                                    "intrinsic `{}` takes {} argument(s), got {}",
+                                    intr.name(),
+                                    intr.arity(),
+                                    args.len()
+                                ),
+                            ));
+                        }
+                        let span = t.span.to(self.prev_span());
+                        return Ok(Expr { kind: ExprKind::Intrinsic(intr, args), span });
+                    }
+                }
+                let lv = self.lvalue()?;
+                let span = lv.span;
+                Ok(Expr { kind: ExprKind::Var(lv), span })
+            }
+            other => Err(self.err_here(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        match parse(src) {
+            Ok(p) => p,
+            Err(e) => panic!("parse failed: {e}\nsource:\n{src}"),
+        }
+    }
+
+    #[test]
+    fn minimal_program() {
+        let p = parse_ok("program empty");
+        assert_eq!(p.name, "empty");
+        assert!(p.globals.is_empty());
+        assert!(p.subs.is_empty());
+        assert_eq!(p.stmt_count, 0);
+    }
+
+    #[test]
+    fn globals_and_sub() {
+        let p = parse_ok(
+            "program t\n\
+             global u: real[10,20];\n\
+             global n: int;\n\
+             sub main() { u[1,2] = 3.5; }",
+        );
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[0].ty.elem_count(), 200);
+        assert_eq!(p.subs.len(), 1);
+        assert_eq!(p.stmt_count, 1);
+    }
+
+    #[test]
+    fn params_by_name() {
+        let p = parse_ok("program t sub f(a: real[5], b: int) { b = 1; }");
+        let f = p.sub("f").unwrap();
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "a");
+        assert!(f.params[0].ty.is_array());
+    }
+
+    #[test]
+    fn if_else_chain() {
+        let p = parse_ok(
+            "program t sub f() {\n\
+               var x: int;\n\
+               if (rank() == 0) { x = 1; } else if (rank() == 1) { x = 2; } else { x = 3; }\n\
+             }",
+        );
+        let f = p.sub("f").unwrap();
+        assert_eq!(f.body.stmts.len(), 2);
+        match &f.body.stmts[1].kind {
+            StmtKind::If { else_blk: Some(e), .. } => {
+                assert_eq!(e.stmts.len(), 1);
+                assert!(matches!(e.stmts[0].kind, StmtKind::If { .. }));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loops() {
+        let p = parse_ok(
+            "program t sub f() {\n\
+               var i: int; var s: real;\n\
+               for i = 1, 10 { s = s + 1.0; }\n\
+               for i = 10, 1, 0 - 1 { s = s - 1.0; }\n\
+               while (s > 0.0) { s = s / 2.0; }\n\
+             }",
+        );
+        let f = p.sub("f").unwrap();
+        assert_eq!(f.body.stmts.len(), 5);
+        assert!(matches!(f.body.stmts[2].kind, StmtKind::For { step: None, .. }));
+        assert!(matches!(f.body.stmts[3].kind, StmtKind::For { step: Some(_), .. }));
+    }
+
+    #[test]
+    fn mpi_statements_parse() {
+        let p = parse_ok(
+            "program t sub f() {\n\
+               var x: real; var y: real; var s: real;\n\
+               send(x, rank() + 1, 7);\n\
+               recv(y, ANY, 7);\n\
+               isend(x, 0, 1, 0);\n\
+               irecv(y, 0, 1, 0);\n\
+               wait();\n\
+               bcast(x, 0);\n\
+               reduce(SUM, x, s, 0);\n\
+               allreduce(MAX, x, s);\n\
+               barrier();\n\
+             }",
+        );
+        let f = p.sub("f").unwrap();
+        let mnems: Vec<&str> = f
+            .body
+            .stmts
+            .iter()
+            .filter_map(|s| match &s.kind {
+                StmtKind::Mpi(m) => Some(m.mnemonic()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            mnems,
+            vec!["send", "recv", "isend", "irecv", "wait", "bcast", "reduce", "allreduce", "barrier"]
+        );
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse_ok("program t sub f() { var x: real; x = 1.0 + 2.0 * 3.0; }");
+        let f = p.sub("f").unwrap();
+        match &f.body.stmts[1].kind {
+            StmtKind::Assign { rhs, .. } => match &rhs.kind {
+                ExprKind::Binary(BinOp::Add, _, r) => {
+                    assert!(matches!(r.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+                }
+                other => panic!("expected Add at top, got {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn intrinsics_and_builtins() {
+        let p = parse_ok(
+            "program t sub f() { var x: real; var i: int;\n\
+             x = sqrt(abs(x)) + max(x, 1.0);\n\
+             i = mod(rank() + 1, nprocs()); }",
+        );
+        assert_eq!(p.sub("f").unwrap().body.stmts.len(), 4);
+    }
+
+    #[test]
+    fn intrinsic_name_as_variable() {
+        // `max` without parens is an ordinary variable.
+        let p = parse_ok("program t sub f() { var max: real; max = max + 1.0; }");
+        assert_eq!(p.sub("f").unwrap().body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn wrong_intrinsic_arity_is_error() {
+        assert!(parse("program t sub f() { var x: real; x = sqrt(x, x); }").is_err());
+        assert!(parse("program t sub f() { var x: real; x = max(x); }").is_err());
+    }
+
+    #[test]
+    fn stmt_ids_are_dense_and_unique() {
+        let p = parse_ok(
+            "program t sub f() { var i: int; if (i == 0) { i = 1; } else { i = 2; } }\n\
+             sub g() { var j: int; for j = 1, 3 { call f(); } }",
+        );
+        let mut seen = Vec::new();
+        for sub in &p.subs {
+            visit_stmts(&sub.body, &mut |s| seen.push(s.id));
+        }
+        let mut sorted = seen.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen.len(), "duplicate StmtIds");
+        assert_eq!(seen.len() as u32, p.stmt_count);
+        assert_eq!(sorted.first(), Some(&StmtId(0)));
+        assert_eq!(sorted.last(), Some(&StmtId(p.stmt_count - 1)));
+    }
+
+    #[test]
+    fn error_messages_have_locations() {
+        let e = parse("program t sub f() { x = ; }").unwrap_err();
+        assert!(e.to_string().contains("expected expression"), "{e}");
+        assert!(e.span.line >= 1);
+    }
+
+    #[test]
+    fn unclosed_block_is_reported() {
+        let e = parse("program t sub f() { var x: int;").unwrap_err();
+        assert!(e.message.contains("unclosed block") || e.message.contains("expected"), "{e}");
+    }
+
+    #[test]
+    fn negative_array_extent_rejected() {
+        assert!(parse("program t global a: real[0];").is_err());
+    }
+}

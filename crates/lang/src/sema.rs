@@ -1,0 +1,483 @@
+//! Semantic checking for SMPL programs.
+//!
+//! Builds the [`ProgramSymbols`] table and verifies:
+//!
+//! * no duplicate globals / parameters / locals (locals may shadow globals);
+//! * every referenced variable is declared; every called subroutine exists,
+//!   with matching argument count; no recursive calls (the ICFG construction
+//!   and the paper's benchmarks assume a call *tree* per context routine);
+//! * array references index arrays with the right number of subscripts and
+//!   scalars are never indexed;
+//! * whole-array references appear only where aggregate semantics exist
+//!   (assignment operands, MPI buffers, call arguments, `read`, `print`,
+//!   reduce/allreduce send positions);
+//! * the `ANY` wildcard appears only as a `recv`/`irecv` source or tag.
+
+use crate::ast::*;
+use crate::error::{Diagnostic, Errors, Phase};
+use crate::span::Span;
+use crate::symbols::{ProgramSymbols, SubSymbols, SymbolInfo};
+use std::collections::{HashMap, HashSet};
+
+/// Check `program`, returning its symbol table or all diagnostics found.
+pub fn check(program: &Program) -> Result<ProgramSymbols, Errors> {
+    let mut cx = Checker { program, syms: ProgramSymbols::default(), errs: Vec::new() };
+    cx.run();
+    if cx.errs.is_empty() {
+        Ok(cx.syms)
+    } else {
+        Err(Errors(cx.errs))
+    }
+}
+
+struct Checker<'a> {
+    program: &'a Program,
+    syms: ProgramSymbols,
+    errs: Vec<Diagnostic>,
+}
+
+impl<'a> Checker<'a> {
+    fn err(&mut self, span: Span, msg: impl Into<String>) {
+        self.errs.push(Diagnostic::new(Phase::Sema, span, msg));
+    }
+
+    fn run(&mut self) {
+        // Detach the program reference from `self` so we can iterate it while
+        // mutating the checker state (its lifetime is 'a, not tied to &self).
+        let program = self.program;
+
+        // Pass 1: globals.
+        for g in &program.globals {
+            let inserted = self.syms.insert_global(SymbolInfo {
+                name: g.name.clone(),
+                ty: g.ty.clone(),
+                span: g.span,
+            });
+            if !inserted {
+                self.err(g.span, format!("duplicate global `{}`", g.name));
+            }
+        }
+
+        // Pass 2: subroutine signatures + locals (collected up front so that
+        // forward calls resolve).
+        let mut sub_names = HashSet::new();
+        for sub in &program.subs {
+            if !sub_names.insert(sub.name.clone()) {
+                self.err(sub.span, format!("duplicate subroutine `{}`", sub.name));
+                continue;
+            }
+            let mut ss = SubSymbols::default();
+            for p in &sub.params {
+                if !ss.insert_param(SymbolInfo {
+                    name: p.name.clone(),
+                    ty: p.ty.clone(),
+                    span: p.span,
+                }) {
+                    self.err(p.span, format!("duplicate parameter `{}` in `{}`", p.name, sub.name));
+                }
+            }
+            let mut local_errs = Vec::new();
+            visit_stmts(&sub.body, &mut |stmt| {
+                if let StmtKind::Local { decl, .. } = &stmt.kind {
+                    if !ss.insert_local(SymbolInfo {
+                        name: decl.name.clone(),
+                        ty: decl.ty.clone(),
+                        span: decl.span,
+                    }) {
+                        local_errs.push((decl.span, decl.name.clone()));
+                    }
+                }
+            });
+            for (span, name) in local_errs {
+                self.err(span, format!("duplicate local `{name}` in `{}`", sub.name));
+            }
+            self.syms.insert_sub(&sub.name, ss);
+        }
+
+        // Pass 3: statement/expression checks per subroutine.
+        for sub in &program.subs {
+            if !self.syms.has_sub(&sub.name) {
+                continue; // duplicate reported above
+            }
+            self.check_block(sub, &sub.body);
+        }
+
+        // Pass 4: call-graph acyclicity.
+        self.check_no_recursion();
+    }
+
+    fn check_block(&mut self, sub: &SubDecl, block: &Block) {
+        for stmt in &block.stmts {
+            self.check_stmt(sub, stmt);
+        }
+    }
+
+    fn check_stmt(&mut self, sub: &SubDecl, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Local { decl, init } => {
+                if let Some(e) = init {
+                    self.check_expr(sub, e, false);
+                    if decl.ty.is_array() {
+                        // elementwise fill from a scalar is fine; checked loosely.
+                    }
+                }
+            }
+            StmtKind::Assign { lhs, rhs } => {
+                self.check_lvalue(sub, lhs, true);
+                self.check_expr(sub, rhs, true);
+            }
+            StmtKind::If { cond, then_blk, else_blk } => {
+                self.check_expr(sub, cond, false);
+                self.check_block(sub, then_blk);
+                if let Some(e) = else_blk {
+                    self.check_block(sub, e);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.check_expr(sub, cond, false);
+                self.check_block(sub, body);
+            }
+            StmtKind::For { var, lo, hi, step, body } => {
+                match self.syms.resolve(&sub.name, var) {
+                    None => self.err(stmt.span, format!("unknown loop variable `{var}`")),
+                    Some(k) => {
+                        let ty = self.syms.type_of(&sub.name, k);
+                        if ty.is_array() {
+                            self.err(stmt.span, format!("loop variable `{var}` must be scalar"));
+                        }
+                    }
+                }
+                self.check_expr(sub, lo, false);
+                self.check_expr(sub, hi, false);
+                if let Some(s) = step {
+                    self.check_expr(sub, s, false);
+                }
+                self.check_block(sub, body);
+            }
+            StmtKind::Call { name, args } => {
+                let param_count = self.program.sub(name).map(|callee| callee.params.len());
+                match param_count {
+                    None => self.err(stmt.span, format!("call to unknown subroutine `{name}`")),
+                    Some(n) if n != args.len() => self.err(
+                        stmt.span,
+                        format!("`{name}` takes {n} argument(s), got {}", args.len()),
+                    ),
+                    Some(_) => {}
+                }
+                for a in args {
+                    self.check_expr(sub, a, true);
+                }
+            }
+            StmtKind::Return => {}
+            StmtKind::Mpi(m) => self.check_mpi(sub, stmt.span, m),
+            StmtKind::Read(lv) => self.check_lvalue(sub, lv, true),
+            StmtKind::Print(e) => self.check_expr(sub, e, true),
+        }
+    }
+
+    fn check_mpi(&mut self, sub: &SubDecl, span: Span, m: &MpiStmt) {
+        let rank_expr = |cx: &mut Self, e: &Expr| cx.check_expr(sub, e, false);
+        match m {
+            MpiStmt::Send { buf, dest, tag, comm, .. } => {
+                self.check_lvalue(sub, buf, true);
+                rank_expr(self, dest);
+                rank_expr(self, tag);
+                if let Some(c) = comm {
+                    rank_expr(self, c);
+                }
+                self.reject_any(dest, "send destination");
+                self.reject_any(tag, "send tag");
+            }
+            MpiStmt::Recv { buf, src, tag, comm, .. } => {
+                self.check_lvalue(sub, buf, true);
+                // ANY allowed for src and tag.
+                if !matches!(src.kind, ExprKind::AnyWildcard) {
+                    rank_expr(self, src);
+                }
+                if !matches!(tag.kind, ExprKind::AnyWildcard) {
+                    rank_expr(self, tag);
+                }
+                if let Some(c) = comm {
+                    rank_expr(self, c);
+                    self.reject_any(c, "communicator");
+                }
+            }
+            MpiStmt::Bcast { buf, root, comm } => {
+                self.check_lvalue(sub, buf, true);
+                rank_expr(self, root);
+                self.reject_any(root, "bcast root");
+                if let Some(c) = comm {
+                    rank_expr(self, c);
+                    self.reject_any(c, "communicator");
+                }
+            }
+            MpiStmt::Reduce { send, recv, root, comm, .. } => {
+                self.check_expr(sub, send, true);
+                self.check_lvalue(sub, recv, true);
+                rank_expr(self, root);
+                self.reject_any(root, "reduce root");
+                if let Some(c) = comm {
+                    rank_expr(self, c);
+                    self.reject_any(c, "communicator");
+                }
+            }
+            MpiStmt::Allreduce { send, recv, comm, .. } => {
+                self.check_expr(sub, send, true);
+                self.check_lvalue(sub, recv, true);
+                if let Some(c) = comm {
+                    rank_expr(self, c);
+                    self.reject_any(c, "communicator");
+                }
+            }
+            MpiStmt::Barrier | MpiStmt::Wait => {
+                let _ = span;
+            }
+        }
+    }
+
+    fn reject_any(&mut self, e: &Expr, what: &str) {
+        if matches!(e.kind, ExprKind::AnyWildcard) {
+            self.err(e.span, format!("`ANY` is not a valid {what}"));
+        }
+    }
+
+    /// Check an lvalue reference. `aggregate_ok` permits a whole-array
+    /// reference; otherwise the reference must resolve to a scalar value.
+    fn check_lvalue(&mut self, sub: &SubDecl, lv: &LValue, aggregate_ok: bool) {
+        let Some(kind) = self.syms.resolve(&sub.name, &lv.name) else {
+            self.err(lv.span, format!("unknown variable `{}`", lv.name));
+            return;
+        };
+        let ty = self.syms.type_of(&sub.name, kind).clone();
+        if lv.indices.is_empty() {
+            if ty.is_array() && !aggregate_ok {
+                self.err(
+                    lv.span,
+                    format!("whole-array reference to `{}` not allowed here", lv.name),
+                );
+            }
+        } else {
+            if ty.is_scalar() {
+                self.err(lv.span, format!("cannot index scalar `{}`", lv.name));
+            } else if lv.indices.len() != ty.dims.len() {
+                self.err(
+                    lv.span,
+                    format!(
+                        "`{}` has {} dimension(s) but {} subscript(s) given",
+                        lv.name,
+                        ty.dims.len(),
+                        lv.indices.len()
+                    ),
+                );
+            }
+            for ix in &lv.indices {
+                self.check_expr(sub, ix, false);
+            }
+        }
+    }
+
+    fn check_expr(&mut self, sub: &SubDecl, e: &Expr, aggregate_ok: bool) {
+        match &e.kind {
+            ExprKind::Var(lv) => self.check_lvalue(sub, lv, aggregate_ok),
+            ExprKind::Unary(_, inner) => self.check_expr(sub, inner, aggregate_ok),
+            ExprKind::Binary(_, a, b) => {
+                self.check_expr(sub, a, aggregate_ok);
+                self.check_expr(sub, b, aggregate_ok);
+            }
+            ExprKind::Intrinsic(_, args) => {
+                for a in args {
+                    self.check_expr(sub, a, false);
+                }
+            }
+            ExprKind::AnyWildcard => {
+                self.err(e.span, "`ANY` is only valid as a recv source or tag");
+            }
+            ExprKind::IntLit(_)
+            | ExprKind::RealLit(_)
+            | ExprKind::BoolLit(_)
+            | ExprKind::Rank
+            | ExprKind::Nprocs => {}
+        }
+    }
+
+    /// Reject recursion (direct or mutual) via DFS over the call graph.
+    fn check_no_recursion(&mut self) {
+        let program = self.program;
+        let mut callees: HashMap<&str, Vec<(&str, Span)>> = HashMap::new();
+        for sub in &program.subs {
+            let mut edges = Vec::new();
+            visit_stmts(&sub.body, &mut |stmt| {
+                if let StmtKind::Call { name, .. } = &stmt.kind {
+                    edges.push((name.as_str(), stmt.span));
+                }
+            });
+            callees.insert(sub.name.as_str(), edges);
+        }
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks: HashMap<&str, Mark> =
+            callees.keys().map(|&k| (k, Mark::White)).collect();
+
+        // Iterative DFS with an explicit stack to avoid recursion limits.
+        for &root in callees.keys() {
+            if marks[root] != Mark::White {
+                continue;
+            }
+            let mut stack: Vec<(&str, usize)> = vec![(root, 0)];
+            marks.insert(root, Mark::Grey);
+            while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+                let edges = &callees[node];
+                if *idx < edges.len() {
+                    let (next, span) = edges[*idx];
+                    *idx += 1;
+                    match marks.get(next) {
+                        Some(Mark::White) => {
+                            marks.insert(next, Mark::Grey);
+                            stack.push((next, 0));
+                        }
+                        Some(Mark::Grey) => {
+                            self.err(
+                                span,
+                                format!("recursive call cycle through `{next}` is not supported"),
+                            );
+                        }
+                        // Unknown callee already reported; Black is fine.
+                        _ => {}
+                    }
+                } else {
+                    marks.insert(node, Mark::Black);
+                    stack.pop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<ProgramSymbols, Errors> {
+        check(&parse(src).expect("parse"))
+    }
+
+    fn err_containing(src: &str, needle: &str) {
+        match check_src(src) {
+            Ok(_) => panic!("expected sema error containing {needle:?}"),
+            Err(e) => {
+                assert!(e.to_string().contains(needle), "got: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn clean_program_checks() {
+        let syms = check_src(
+            "program t\n\
+             global u: real[8];\n\
+             sub main() { var i: int; for i = 1, 8 { u[i] = 0.0; } call helper(u); }\n\
+             sub helper(v: real[8]) { v[1] = 1.0; }",
+        )
+        .unwrap();
+        assert_eq!(syms.globals.len(), 1);
+        assert_eq!(syms.sub("helper").params.len(), 1);
+        assert_eq!(syms.sub("main").locals.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_global() {
+        err_containing("program t global x: int; global x: real;", "duplicate global");
+    }
+
+    #[test]
+    fn duplicate_local_and_param() {
+        err_containing("program t sub f() { var a: int; var a: real; }", "duplicate local");
+        err_containing("program t sub f(a: int, a: real) { }", "duplicate parameter");
+        err_containing("program t sub f(a: int) { var a: real; }", "duplicate local");
+    }
+
+    #[test]
+    fn duplicate_sub() {
+        err_containing("program t sub f() {} sub f() {}", "duplicate subroutine");
+    }
+
+    #[test]
+    fn unknown_variable() {
+        err_containing("program t sub f() { q = 1; }", "unknown variable `q`");
+    }
+
+    #[test]
+    fn unknown_callee_and_arity() {
+        err_containing("program t sub f() { call g(); }", "unknown subroutine `g`");
+        err_containing(
+            "program t sub f() { call g(1); } sub g(a: int, b: int) {}",
+            "takes 2 argument(s), got 1",
+        );
+    }
+
+    #[test]
+    fn scalar_indexing_rejected() {
+        err_containing("program t global x: real; sub f() { x[1] = 0.0; }", "cannot index scalar");
+    }
+
+    #[test]
+    fn wrong_subscript_count() {
+        err_containing(
+            "program t global a: real[4,4]; sub f() { a[1] = 0.0; }",
+            "2 dimension(s) but 1 subscript(s)",
+        );
+    }
+
+    #[test]
+    fn whole_array_in_scalar_context_rejected() {
+        err_containing(
+            "program t global a: real[4]; sub f() { var i: int; for i = 1, 4 { } if (a > 0.0) { } }",
+            "whole-array reference",
+        );
+    }
+
+    #[test]
+    fn whole_array_ok_in_aggregate_contexts() {
+        assert!(check_src(
+            "program t global a: real[4]; global b: real[4];\n\
+             sub f() { a = b; send(a, 0, 1); recv(b, ANY, ANY); read(a); print(b); }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn any_rejected_outside_recv() {
+        err_containing("program t global x: real; sub f() { send(x, ANY, 1); }", "not a valid send destination");
+        err_containing("program t global x: real; sub f() { x = ANY; }", "only valid as a recv");
+        err_containing("program t global x: real; sub f() { bcast(x, ANY); }", "not a valid bcast root");
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        err_containing("program t sub f() { call f(); }", "recursive call cycle");
+        err_containing(
+            "program t sub f() { call g(); } sub g() { call f(); }",
+            "recursive call cycle",
+        );
+    }
+
+    #[test]
+    fn deep_nonrecursive_call_chain_ok() {
+        let mut src = String::from("program t sub s0() { }\n");
+        for i in 1..50 {
+            src.push_str(&format!("sub s{i}() {{ call s{}(); }}\n", i - 1));
+        }
+        assert!(check_src(&src).is_ok());
+    }
+
+    #[test]
+    fn multiple_errors_reported_together() {
+        let e = check_src("program t sub f() { q = 1; r = 2; }").unwrap_err();
+        assert_eq!(e.0.len(), 2);
+    }
+}

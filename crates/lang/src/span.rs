@@ -1,0 +1,90 @@
+//! Source locations and spans used throughout the front end for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range into the source text, plus the 1-based line/column of
+/// its start. Spans are attached to tokens, AST nodes, and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering nothing, used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0, line: 0, col: 0 };
+
+    /// Create a span from raw parts.
+    pub fn new(start: u32, end: u32, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    /// Line/column information is taken from the earlier span.
+    pub fn to(self, other: Span) -> Span {
+        if other == Span::DUMMY {
+            return self;
+        }
+        if self == Span::DUMMY {
+            return other;
+        }
+        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+
+    /// True for spans synthesized by the compiler rather than read from source.
+    pub fn is_dummy(&self) -> bool {
+        *self == Span::DUMMY
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_dummy() {
+            write!(f, "<builtin>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_orders_spans() {
+        let a = Span::new(0, 4, 1, 1);
+        let b = Span::new(10, 12, 2, 3);
+        let j = a.to(b);
+        assert_eq!(j.start, 0);
+        assert_eq!(j.end, 12);
+        assert_eq!(j.line, 1);
+        let j2 = b.to(a);
+        assert_eq!(j2, j);
+    }
+
+    #[test]
+    fn join_with_dummy_keeps_real_span() {
+        let a = Span::new(5, 9, 2, 1);
+        assert_eq!(a.to(Span::DUMMY), a);
+        assert_eq!(Span::DUMMY.to(a), a);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Span::DUMMY.to_string(), "<builtin>");
+        assert_eq!(Span::new(0, 1, 3, 7).to_string(), "3:7");
+    }
+}

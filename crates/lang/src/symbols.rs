@@ -1,0 +1,176 @@
+//! Symbol tables produced by semantic analysis.
+//!
+//! Names resolve with two scopes: subroutine scope (parameters and locals)
+//! shadowing program scope (globals). The analysis crates intern these symbols
+//! into abstract locations; here we only record names, types, and kinds.
+
+use crate::span::Span;
+use crate::types::Type;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Where a resolved name lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymKind {
+    /// Index into [`ProgramSymbols::globals`].
+    Global(usize),
+    /// Index into the subroutine's parameter list.
+    Param(usize),
+    /// Index into the subroutine's local list.
+    Local(usize),
+}
+
+impl fmt::Display for SymKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymKind::Global(i) => write!(f, "global#{i}"),
+            SymKind::Param(i) => write!(f, "param#{i}"),
+            SymKind::Local(i) => write!(f, "local#{i}"),
+        }
+    }
+}
+
+/// A declared symbol.
+#[derive(Debug, Clone)]
+pub struct SymbolInfo {
+    pub name: String,
+    pub ty: Type,
+    pub span: Span,
+}
+
+/// Per-subroutine symbols.
+#[derive(Debug, Clone, Default)]
+pub struct SubSymbols {
+    pub params: Vec<SymbolInfo>,
+    pub locals: Vec<SymbolInfo>,
+    by_name: HashMap<String, SymKind>,
+}
+
+impl SubSymbols {
+    pub(crate) fn insert_param(&mut self, info: SymbolInfo) -> bool {
+        if self.by_name.contains_key(&info.name) {
+            return false;
+        }
+        let idx = self.params.len();
+        self.by_name.insert(info.name.clone(), SymKind::Param(idx));
+        self.params.push(info);
+        true
+    }
+
+    pub(crate) fn insert_local(&mut self, info: SymbolInfo) -> bool {
+        if self.by_name.contains_key(&info.name) {
+            return false;
+        }
+        let idx = self.locals.len();
+        self.by_name.insert(info.name.clone(), SymKind::Local(idx));
+        self.locals.push(info);
+        true
+    }
+
+    /// Look up a name in subroutine scope only (no globals).
+    pub fn lookup_here(&self, name: &str) -> Option<SymKind> {
+        self.by_name.get(name).copied()
+    }
+}
+
+/// All symbols of a checked program.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramSymbols {
+    pub globals: Vec<SymbolInfo>,
+    globals_by_name: HashMap<String, usize>,
+    subs: HashMap<String, SubSymbols>,
+}
+
+impl ProgramSymbols {
+    pub(crate) fn insert_global(&mut self, info: SymbolInfo) -> bool {
+        if self.globals_by_name.contains_key(&info.name) {
+            return false;
+        }
+        self.globals_by_name.insert(info.name.clone(), self.globals.len());
+        self.globals.push(info);
+        true
+    }
+
+    pub(crate) fn insert_sub(&mut self, name: &str, syms: SubSymbols) {
+        self.subs.insert(name.to_string(), syms);
+    }
+
+    /// Symbols of subroutine `name` (panics if unknown; sema guarantees
+    /// every parsed subroutine has an entry).
+    pub fn sub(&self, name: &str) -> &SubSymbols {
+        self.subs.get(name).unwrap_or_else(|| panic!("unknown subroutine `{name}`"))
+    }
+
+    pub fn has_sub(&self, name: &str) -> bool {
+        self.subs.contains_key(name)
+    }
+
+    /// Resolve `name` as seen from inside `sub_name`: subroutine scope first,
+    /// then globals.
+    pub fn resolve(&self, sub_name: &str, name: &str) -> Option<SymKind> {
+        if let Some(k) = self.sub(sub_name).lookup_here(name) {
+            return Some(k);
+        }
+        self.globals_by_name.get(name).map(|&i| SymKind::Global(i))
+    }
+
+    /// The declared type of a resolved symbol.
+    pub fn type_of(&self, sub_name: &str, kind: SymKind) -> &Type {
+        match kind {
+            SymKind::Global(i) => &self.globals[i].ty,
+            SymKind::Param(i) => &self.sub(sub_name).params[i].ty,
+            SymKind::Local(i) => &self.sub(sub_name).locals[i].ty,
+        }
+    }
+
+    /// The declared info of a resolved symbol.
+    pub fn info_of(&self, sub_name: &str, kind: SymKind) -> &SymbolInfo {
+        match kind {
+            SymKind::Global(i) => &self.globals[i],
+            SymKind::Param(i) => &self.sub(sub_name).params[i],
+            SymKind::Local(i) => &self.sub(sub_name).locals[i],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BaseType, Type};
+
+    fn info(name: &str) -> SymbolInfo {
+        SymbolInfo { name: name.into(), ty: Type::scalar(BaseType::Real), span: Span::DUMMY }
+    }
+
+    #[test]
+    fn local_shadows_global() {
+        let mut ps = ProgramSymbols::default();
+        assert!(ps.insert_global(info("x")));
+        let mut ss = SubSymbols::default();
+        assert!(ss.insert_local(info("x")));
+        ps.insert_sub("f", ss);
+        assert_eq!(ps.resolve("f", "x"), Some(SymKind::Local(0)));
+    }
+
+    #[test]
+    fn param_and_global_resolution() {
+        let mut ps = ProgramSymbols::default();
+        assert!(ps.insert_global(info("g")));
+        let mut ss = SubSymbols::default();
+        assert!(ss.insert_param(info("p")));
+        ps.insert_sub("f", ss);
+        assert_eq!(ps.resolve("f", "p"), Some(SymKind::Param(0)));
+        assert_eq!(ps.resolve("f", "g"), Some(SymKind::Global(0)));
+        assert_eq!(ps.resolve("f", "q"), None);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut ps = ProgramSymbols::default();
+        assert!(ps.insert_global(info("x")));
+        assert!(!ps.insert_global(info("x")));
+        let mut ss = SubSymbols::default();
+        assert!(ss.insert_param(info("a")));
+        assert!(!ss.insert_local(info("a")), "local clashing with param rejected");
+    }
+}

@@ -1,0 +1,242 @@
+//! Token definitions for the SMPL lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexed token. Keywords are distinguished from identifiers
+/// during lexing; SMPL keywords are all lowercase except reduction operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and names
+    Ident(String),
+    IntLit(i64),
+    RealLit(f64),
+
+    // Keywords
+    Program,
+    Global,
+    Sub,
+    Var,
+    If,
+    Else,
+    While,
+    For,
+    Call,
+    Return,
+    True,
+    False,
+
+    // Types
+    KwInt,
+    KwReal,
+    KwReal4,
+    KwLogical,
+
+    // MPI / builtin statements
+    Send,
+    Isend,
+    Recv,
+    Irecv,
+    Bcast,
+    Reduce,
+    Allreduce,
+    Barrier,
+    Wait,
+    Read,
+    Print,
+
+    // Builtin expressions
+    Rank,
+    Nprocs,
+    Any,
+
+    // Reduction operators
+    OpSum,
+    OpProd,
+    OpMax,
+    OpMin,
+
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+
+    // Operators
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup used by the lexer after scanning an identifier.
+    pub fn keyword(s: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match s {
+            "program" => Program,
+            "global" => Global,
+            "sub" => Sub,
+            "var" => Var,
+            "if" => If,
+            "else" => Else,
+            "while" => While,
+            "for" => For,
+            "call" => Call,
+            "return" => Return,
+            "true" => True,
+            "false" => False,
+            "int" => KwInt,
+            "real" => KwReal,
+            "real4" => KwReal4,
+            "logical" => KwLogical,
+            "send" => Send,
+            "isend" => Isend,
+            "recv" => Recv,
+            "irecv" => Irecv,
+            "bcast" => Bcast,
+            "reduce" => Reduce,
+            "allreduce" => Allreduce,
+            "barrier" => Barrier,
+            "wait" => Wait,
+            "read" => Read,
+            "print" => Print,
+            "rank" => Rank,
+            "nprocs" => Nprocs,
+            "ANY" => Any,
+            "SUM" => OpSum,
+            "PROD" => OpProd,
+            "MAX" => OpMax,
+            "MIN" => OpMin,
+            _ => return None,
+        })
+    }
+
+    /// Short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Ident(s) => format!("identifier `{s}`"),
+            IntLit(v) => format!("integer `{v}`"),
+            RealLit(v) => format!("real `{v}`"),
+            Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            Program => "program",
+            Global => "global",
+            Sub => "sub",
+            Var => "var",
+            If => "if",
+            Else => "else",
+            While => "while",
+            For => "for",
+            Call => "call",
+            Return => "return",
+            True => "true",
+            False => "false",
+            KwInt => "int",
+            KwReal => "real",
+            KwReal4 => "real4",
+            KwLogical => "logical",
+            Send => "send",
+            Isend => "isend",
+            Recv => "recv",
+            Irecv => "irecv",
+            Bcast => "bcast",
+            Reduce => "reduce",
+            Allreduce => "allreduce",
+            Barrier => "barrier",
+            Wait => "wait",
+            Read => "read",
+            Print => "print",
+            Rank => "rank",
+            Nprocs => "nprocs",
+            Any => "ANY",
+            OpSum => "SUM",
+            OpProd => "PROD",
+            OpMax => "MAX",
+            OpMin => "MIN",
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Comma => ",",
+            Semi => ";",
+            Colon => ":",
+            Assign => "=",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            EqEq => "==",
+            NotEq => "!=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            AndAnd => "&&",
+            OrOr => "||",
+            Not => "!",
+            Ident(_) | IntLit(_) | RealLit(_) | Eof => unreachable!(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A lexed token: a kind plus the span it was read from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("sub"), Some(TokenKind::Sub));
+        assert_eq!(TokenKind::keyword("SUM"), Some(TokenKind::OpSum));
+        assert_eq!(TokenKind::keyword("frobnicate"), None);
+        // keywords are case-sensitive: `Sub` is a plain identifier
+        assert_eq!(TokenKind::keyword("Sub"), None);
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::LBrace.describe(), "`{`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

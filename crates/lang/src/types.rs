@@ -1,0 +1,135 @@
+//! The SMPL type system: four base types plus rectangular arrays.
+//!
+//! Byte sizes follow the Fortran conventions the paper's benchmarks use:
+//! `int` and `logical` are 4 bytes, `real` is an 8-byte double, `real4` a
+//! 4-byte single. Active-byte accounting (Table 1) sums these sizes over the
+//! active symbol list, counting arrays at full size.
+
+use std::fmt;
+
+/// Scalar element types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseType {
+    Int,
+    /// 8-byte floating point (Fortran `real*8` / `double precision`).
+    Real,
+    /// 4-byte floating point (Fortran `real*4`).
+    Real4,
+    Logical,
+}
+
+impl BaseType {
+    /// Size of one element in bytes.
+    pub fn byte_size(self) -> u64 {
+        match self {
+            BaseType::Int | BaseType::Logical | BaseType::Real4 => 4,
+            BaseType::Real => 8,
+        }
+    }
+
+    /// Whether values of this type participate in differentiation.
+    /// Activity analysis only tracks floating-point data.
+    pub fn is_float(self) -> bool {
+        matches!(self, BaseType::Real | BaseType::Real4)
+    }
+}
+
+impl fmt::Display for BaseType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseType::Int => write!(f, "int"),
+            BaseType::Real => write!(f, "real"),
+            BaseType::Real4 => write!(f, "real4"),
+            BaseType::Logical => write!(f, "logical"),
+        }
+    }
+}
+
+/// A complete SMPL type: a base type plus zero or more array dimensions.
+/// An empty dimension list denotes a scalar.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Type {
+    pub base: BaseType,
+    /// Extents of each dimension; all dimensions are 1-based like Fortran.
+    pub dims: Vec<i64>,
+}
+
+impl Type {
+    pub fn scalar(base: BaseType) -> Self {
+        Type { base, dims: Vec::new() }
+    }
+
+    pub fn array(base: BaseType, dims: Vec<i64>) -> Self {
+        debug_assert!(!dims.is_empty());
+        Type { base, dims }
+    }
+
+    pub fn is_scalar(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    pub fn is_array(&self) -> bool {
+        !self.dims.is_empty()
+    }
+
+    /// Total number of scalar elements (1 for scalars).
+    pub fn elem_count(&self) -> u64 {
+        self.dims.iter().map(|&d| d.max(0) as u64).product()
+    }
+
+    /// Total storage in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.elem_count() * self.base.byte_size()
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        if !self.dims.is_empty() {
+            write!(f, "[")?;
+            for (i, d) in self.dims.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{d}")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(Type::scalar(BaseType::Int).byte_size(), 4);
+        assert_eq!(Type::scalar(BaseType::Real).byte_size(), 8);
+        assert_eq!(Type::scalar(BaseType::Real4).byte_size(), 4);
+        assert_eq!(Type::scalar(BaseType::Logical).byte_size(), 4);
+    }
+
+    #[test]
+    fn array_sizes_multiply_dims() {
+        let t = Type::array(BaseType::Real, vec![5, 10, 3]);
+        assert_eq!(t.elem_count(), 150);
+        assert_eq!(t.byte_size(), 1200);
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(BaseType::Real.is_float());
+        assert!(BaseType::Real4.is_float());
+        assert!(!BaseType::Int.is_float());
+        assert!(!BaseType::Logical.is_float());
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        assert_eq!(Type::scalar(BaseType::Real).to_string(), "real");
+        assert_eq!(Type::array(BaseType::Real4, vec![2, 3]).to_string(), "real4[2,3]");
+    }
+}

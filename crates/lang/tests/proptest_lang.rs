@@ -1,0 +1,149 @@
+//! Property tests for the SMPL front end: the pretty-printer/parser pair
+//! must be a round trip on arbitrary generated ASTs.
+
+use mpi_dfa_lang::ast::*;
+use mpi_dfa_lang::parser::parse;
+use mpi_dfa_lang::pretty::program_to_string;
+use mpi_dfa_lang::span::Span;
+use mpi_dfa_lang::types::{BaseType, Type};
+use proptest::prelude::*;
+
+fn sp() -> Span {
+    Span::DUMMY
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    // Avoid keywords and intrinsic names by prefixing.
+    "[a-z][a-z0-9]{0,5}".prop_map(|s| format!("v{s}"))
+}
+
+fn base_type() -> impl Strategy<Value = BaseType> {
+    prop_oneof![
+        Just(BaseType::Int),
+        Just(BaseType::Real),
+        Just(BaseType::Real4),
+        Just(BaseType::Logical),
+    ]
+}
+
+fn ty() -> impl Strategy<Value = Type> {
+    (base_type(), proptest::collection::vec(1i64..20, 0..3)).prop_map(|(b, dims)| {
+        if dims.is_empty() {
+            Type::scalar(b)
+        } else {
+            Type::array(b, dims)
+        }
+    })
+}
+
+fn literal() -> impl Strategy<Value = ExprKind> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(ExprKind::IntLit),
+        (-100i32..100).prop_map(|v| ExprKind::RealLit(v as f64 / 4.0)),
+        any::<bool>().prop_map(ExprKind::BoolLit),
+        Just(ExprKind::Rank),
+        Just(ExprKind::Nprocs),
+    ]
+}
+
+fn expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        literal().prop_map(|kind| Expr { kind, span: sp() }),
+        ident().prop_map(|name| Expr { kind: ExprKind::Var(LValue::var(name, sp())), span: sp() }),
+    ];
+    leaf.prop_recursive(depth, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), bin_op()).prop_map(|(a, b, op)| Expr {
+                kind: ExprKind::Binary(op, Box::new(a), Box::new(b)),
+                span: sp(),
+            }),
+            inner.clone().prop_map(|e| Expr {
+                kind: ExprKind::Unary(UnOp::Neg, Box::new(e)),
+                span: sp(),
+            }),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr {
+                kind: ExprKind::Intrinsic(Intrinsic::Max, vec![a, b]),
+                span: sp(),
+            }),
+        ]
+    })
+    .boxed()
+}
+
+fn bin_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Lt),
+        Just(BinOp::Eq),
+    ]
+}
+
+fn stmt(id: u32) -> impl Strategy<Value = Stmt> {
+    (ident(), expr(2)).prop_map(move |(name, e)| Stmt {
+        id: StmtId(id),
+        kind: StmtKind::Assign { lhs: LValue::var(name, sp()), rhs: e },
+        span: sp(),
+    })
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec((ident(), ty()), 1..5),
+        proptest::collection::vec(stmt(0), 1..6),
+    )
+        .prop_map(|(globals, mut stmts)| {
+            for (i, s) in stmts.iter_mut().enumerate() {
+                s.id = StmtId(i as u32);
+            }
+            let n = stmts.len() as u32;
+            let mut names = std::collections::HashSet::new();
+            let globals = globals
+                .into_iter()
+                .filter(|(n, _)| names.insert(n.clone()))
+                .map(|(name, ty)| VarDecl { name, ty, span: sp() })
+                .collect();
+            Program {
+                name: "gen".into(),
+                globals,
+                subs: vec![SubDecl {
+                    name: "main".into(),
+                    params: vec![],
+                    body: Block { stmts },
+                    span: sp(),
+                }],
+                stmt_count: n,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// pretty ∘ parse ∘ pretty = pretty: printing a generated AST, parsing
+    /// it back, and printing again reaches a fixpoint after one round.
+    #[test]
+    fn pretty_parse_roundtrip(p in program()) {
+        let s1 = program_to_string(&p);
+        let reparsed = parse(&s1)
+            .unwrap_or_else(|e| panic!("pretty output failed to parse: {e}\n{s1}"));
+        let s2 = program_to_string(&reparsed);
+        prop_assert_eq!(&s1, &s2, "pretty/parse not a fixpoint");
+        prop_assert_eq!(reparsed.stmt_count, p.stmt_count);
+    }
+
+    /// The lexer never panics and either produces tokens or a diagnostic on
+    /// arbitrary input bytes.
+    #[test]
+    fn lexer_total_on_arbitrary_input(s in "\\PC{0,200}") {
+        let _ = mpi_dfa_lang::lexer::lex(&s);
+    }
+
+    /// The parser is total on arbitrary token-ish text.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in "[a-z0-9(){};=+*,<> \n]{0,200}") {
+        let _ = parse(&s);
+    }
+}

@@ -1,0 +1,71 @@
+//! Reproduction driver: regenerates the paper's Table 1 and Figure 4.
+//!
+//! ```text
+//! repro table1          # full Table 1, paper values alongside
+//! repro fig4            # Figure 4 series (MB saved per benchmark)
+//! repro all             # both
+//! repro row <ID>        # one row, e.g. `repro row LU-1`
+//! repro dot <program>   # DOT dump of a benchmark's MPI-ICFG
+//! ```
+
+use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
+use mpi_dfa_suite::{all_experiments, by_id, runner};
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    match cmd {
+        "table1" => {
+            let rows = runner::run_all();
+            let _ = write!(out, "{}", runner::render_table1(&rows));
+        }
+        "json" => {
+            let rows = runner::run_all();
+            let _ = write!(out, "{}", runner::render_json(&rows));
+        }
+        "fig4" => {
+            let rows = runner::run_all();
+            let _ = write!(out, "{}", runner::render_figure4(&rows));
+        }
+        "all" => {
+            let rows = runner::run_all();
+            let _ = write!(out, "{}", runner::render_table1(&rows));
+            let _ = writeln!(out);
+            let _ = write!(out, "{}", runner::render_figure4(&rows));
+        }
+        "row" => {
+            let id = args.get(1).map(String::as_str).unwrap_or("");
+            match by_id(id) {
+                Some(spec) => {
+                    let row = runner::run_experiment(&spec);
+                    let _ = write!(out, "{}", runner::render_table1(std::slice::from_ref(&row)));
+                }
+                None => {
+                    let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+                    eprintln!("unknown row `{id}`; known rows: {}", ids.join(", "));
+                    std::process::exit(2);
+                }
+            }
+        }
+        "dot" => {
+            let name = args.get(1).map(String::as_str).unwrap_or("figure1");
+            let spec = all_experiments().into_iter().find(|e| e.program == name);
+            let (context, clone) =
+                spec.as_ref().map(|s| (s.context, s.clone_level)).unwrap_or(("main", 0));
+            let ir = mpi_dfa_suite::programs::ir(name);
+            let mpi = build_mpi_icfg(ir, context, clone, Matching::ReachingConstants)
+                .expect("graph construction");
+            let _ = write!(out, "{}", mpi_dfa_graph::dot::mpi_icfg_to_dot(&mpi, name));
+        }
+        other => {
+            eprintln!(
+                "unknown command `{other}`; try: table1 | fig4 | json | all | row <ID> | dot <program>"
+            );
+            std::process::exit(2);
+        }
+    }
+}

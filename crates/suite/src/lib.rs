@@ -1,0 +1,17 @@
+//! # mpi-dfa-suite — benchmark programs and the experiment harness
+//!
+//! SMPL reimplementations of the paper's benchmark suite (Biostat, SOR,
+//! NAS CG/LU/MG, ASCI Sweep3d plus the Figure 1 program) and a runner that
+//! regenerates **Table 1** (solver iterations, active bytes, derivative
+//! bytes, % decrease for ICFG vs MPI-ICFG activity analysis) and
+//! **Figure 4** (megabytes saved per benchmark).
+//!
+//! See `cargo run -p mpi-dfa-suite --bin repro -- table1 | fig4`.
+
+pub mod experiments;
+pub mod gen;
+pub mod programs;
+pub mod runner;
+
+pub use experiments::{all as all_experiments, by_id, ExperimentSpec};
+pub use runner::{run_all, run_experiment, MeasuredRow};

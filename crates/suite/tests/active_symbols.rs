@@ -1,0 +1,141 @@
+//! Golden tests: *which symbols* each analysis keeps active, per benchmark.
+//!
+//! Table 1 only publishes byte totals; these tests pin down the mechanism —
+//! exactly which arrays the MPI-ICFG proves inactive and why — so a
+//! regression that shuffles bytes between symbols cannot hide inside a
+//! matching total.
+
+use mpi_dfa_analyses::activity::{self, ActivityConfig, Mode};
+use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
+use mpi_dfa_graph::icfg::Icfg;
+use mpi_dfa_graph::loc::LocTable;
+use mpi_dfa_suite::by_id;
+
+/// Sorted global-symbol names in the active set (locals prefixed with the
+/// owning procedure index are filtered out; the synthetic buffer too).
+fn active_globals(id: &str) -> (Vec<String>, Vec<String>) {
+    let spec = by_id(id).unwrap();
+    let ir = mpi_dfa_suite::programs::ir(spec.program);
+    let config = ActivityConfig::new(spec.independents.to_vec(), spec.dependents.to_vec());
+
+    let icfg = Icfg::build(ir.clone(), spec.context, spec.clone_level).unwrap();
+    let baseline = activity::analyze_icfg(&icfg, Mode::GlobalBuffer, &config).unwrap();
+    let mpi = build_mpi_icfg(ir.clone(), spec.context, spec.clone_level, Matching::ReachingConstants)
+        .unwrap();
+    let framework = activity::analyze_mpi(&mpi, &config).unwrap();
+
+    let names = |r: &activity::ActivityResult| -> Vec<String> {
+        let mut v: Vec<String> = r
+            .active_locs()
+            .iter()
+            .filter(|&&l| l != LocTable::MPI_BUFFER)
+            .map(|&l| ir.locs.info(l))
+            .filter(|info| info.proc.is_none())
+            .map(|info| info.name.clone())
+            .collect();
+        v.sort();
+        v
+    };
+    (names(&baseline), names(&framework))
+}
+
+fn assert_set(actual: &[String], expected: &[&str], what: &str) {
+    let expected: Vec<String> = {
+        let mut v: Vec<String> = expected.iter().map(|s| s.to_string()).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(actual, expected.as_slice(), "{what}");
+}
+
+#[test]
+fn biostat_drops_the_data_matrix() {
+    let (icfg, mpi) = active_globals("Biostat");
+    assert_set(&icfg, &["dmat", "psum", "xlogl", "xmle"], "Biostat ICFG");
+    assert_set(&mpi, &["psum", "xlogl", "xmle"], "Biostat MPI-ICFG");
+}
+
+#[test]
+fn sor_drops_only_the_boundary_table() {
+    let (icfg, mpi) = active_globals("SOR");
+    assert_set(&icfg, &["bc", "omega", "resid", "u"], "SOR ICFG");
+    assert_set(&mpi, &["omega", "resid", "u"], "SOR MPI-ICFG");
+}
+
+#[test]
+fn cg_keeps_everything_in_both_modes() {
+    let (icfg, mpi) = active_globals("CG");
+    let all = ["alpha", "beta", "d", "p", "q", "r", "rho", "rho0", "x", "z"];
+    assert_set(&icfg, &all, "CG ICFG");
+    assert_set(&mpi, &all, "CG MPI-ICFG");
+}
+
+#[test]
+fn lu1_drops_the_state_and_flux() {
+    let (icfg, mpi) = active_globals("LU-1");
+    assert_set(&icfg, &["flux", "frct", "rsd", "u"], "LU-1 ICFG");
+    assert_set(&mpi, &["frct", "rsd"], "LU-1 MPI-ICFG");
+}
+
+#[test]
+fn lu2_drops_only_the_coefficient_table() {
+    let (icfg, mpi) = active_globals("LU-2");
+    assert_set(&icfg, &["ce", "flux", "omega", "rsd", "tv", "u"], "LU-2 ICFG");
+    assert_set(&mpi, &["flux", "omega", "rsd", "tv", "u"], "LU-2 MPI-ICFG");
+}
+
+#[test]
+fn lu3_keeps_only_the_flux_path() {
+    let (icfg, mpi) = active_globals("LU-3");
+    assert_set(&icfg, &["flux", "rsd", "tx1", "tx2", "u"], "LU-3 ICFG");
+    assert_set(&mpi, &["flux", "rsd", "tx1", "tx2"], "LU-3 MPI-ICFG");
+}
+
+#[test]
+fn mg_drops_the_verification_scalars() {
+    let (icfg1, mpi1) = active_globals("MG-1");
+    assert_set(&icfg1, &["bcv", "hier", "hu", "r", "u", "vr1", "vr2"], "MG-1 ICFG");
+    assert_set(&mpi1, &["hier", "hu", "r", "u"], "MG-1 MPI-ICFG");
+
+    let (icfg2, mpi2) = active_globals("MG-2");
+    assert_set(&icfg2, &["c", "hu", "u", "vr1", "vr2"], "MG-2 ICFG");
+    assert_set(&mpi2, &["c", "hu", "u"], "MG-2 MPI-ICFG");
+}
+
+#[test]
+fn sweep_flux_vs_leakage_paths() {
+    // IND w, DEP flux: the big pipeline is active; geometry + leakage path
+    // only under the conservative baseline.
+    let (icfg1, mpi1) = active_globals("Sw-1");
+    assert_set(
+        &icfg1,
+        &["face", "flux", "hi", "lk", "phi", "phiib", "src", "w"],
+        "Sw-1 ICFG",
+    );
+    assert_set(&mpi1, &["flux", "phi", "phiib", "src", "w"], "Sw-1 MPI-ICFG");
+
+    // IND w, DEP leakage: only the small face path.
+    let (icfg3, mpi3) = active_globals("Sw-3");
+    assert_set(&icfg3, &["face", "hi", "leakage", "lk", "w"], "Sw-3 ICFG");
+    assert_set(&mpi3, &["face", "leakage", "lk", "w"], "Sw-3 MPI-ICFG");
+
+    // IND weta, DEP flux+leakage: nothing in the flux path varies.
+    let (icfg6, mpi6) = active_globals("Sw-6");
+    assert_set(
+        &icfg6,
+        &["face", "flux", "hi", "leakage", "lk", "phi", "phiib", "src", "weta"],
+        "Sw-6 ICFG",
+    );
+    assert_set(&mpi6, &["face", "leakage", "lk", "weta"], "Sw-6 MPI-ICFG");
+}
+
+#[test]
+fn q_is_never_active_anywhere_in_sweep() {
+    // The source term is read from input on every rank: useful, never
+    // varying, never communicated — inactive even in the baseline.
+    for id in ["Sw-1", "Sw-3", "Sw-4", "Sw-5", "Sw-6"] {
+        let (icfg, mpi) = active_globals(id);
+        assert!(!icfg.contains(&"q".to_string()), "{id} ICFG");
+        assert!(!mpi.contains(&"q".to_string()), "{id} MPI-ICFG");
+    }
+}

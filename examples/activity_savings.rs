@@ -1,0 +1,61 @@
+//! Activity-analysis savings on the Biostat benchmark — the paper's
+//! headline result (Section 5.2, Figure 4).
+//!
+//! The Biostat problem broadcasts a large data matrix from the root
+//! process. The matrix feeds the log-likelihood (so it is *useful*) but its
+//! values do not depend on the parameter vector being differentiated (so it
+//! never *varies*). The conservative ICFG baseline must assume every
+//! received value varies and keeps ~1.4 MB active; the MPI-ICFG framework
+//! proves the matrix inactive, shrinking derivative storage by 99.37%.
+//!
+//! Run with: `cargo run --example activity_savings`
+
+use mpi_dfa::prelude::*;
+use mpi_dfa::suite::{by_id, runner};
+
+fn main() {
+    // The packaged experiment, exactly as Table 1 row "Biostat".
+    let spec = by_id("Biostat").expect("registered");
+    let row = runner::run_experiment(&spec);
+    println!("Benchmark {} — context `{}`, d {:?} / d {:?}", spec.id, spec.context,
+        spec.dependents, spec.independents);
+    println!(
+        "  ICFG baseline : {:>12} active bytes, {:>14} derivative bytes",
+        row.icfg.active_bytes, row.icfg.deriv_bytes
+    );
+    println!(
+        "  MPI-ICFG      : {:>12} active bytes, {:>14} derivative bytes",
+        row.mpi.active_bytes, row.mpi.deriv_bytes
+    );
+    println!(
+        "  saved         : {:>12.2} MB of derivative storage ({:.2}% decrease)",
+        row.deriv_mb_saved(),
+        row.pct_decrease()
+    );
+
+    // Show *which* symbols each analysis keeps active.
+    let ir = mpi_dfa::suite::programs::ir(spec.program);
+    let config = ActivityConfig::new(spec.independents.to_vec(), spec.dependents.to_vec());
+    let icfg = Icfg::build(ir.clone(), spec.context, spec.clone_level).unwrap();
+    let baseline = activity::analyze_icfg(&icfg, Mode::GlobalBuffer, &config).unwrap();
+    let mpi = build_mpi_icfg(ir.clone(), spec.context, spec.clone_level, Matching::ReachingConstants)
+        .unwrap();
+    let framework = activity::analyze_mpi(&mpi, &config).unwrap();
+
+    let listing = |r: &ActivityResult| -> Vec<String> {
+        r.active_locs()
+            .iter()
+            .filter(|&&l| l != mpi_dfa::graph::LocTable::MPI_BUFFER)
+            .map(|&l| {
+                let info = ir.locs.info(l);
+                format!("{}[{} B]", info.name, info.byte_size())
+            })
+            .collect()
+    };
+    println!("\n  ICFG active symbols    : {}", listing(&baseline).join(", "));
+    println!("  MPI-ICFG active symbols: {}", listing(&framework).join(", "));
+    println!(
+        "\nThe 1,432,616-byte matrix `dmat` drops out: its broadcast carries data\n\
+         that is useful but provably independent of `xmle`."
+    );
+}

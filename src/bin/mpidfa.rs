@@ -1,0 +1,278 @@
+//! `mpidfa` — command-line front end for the MPI data-flow analyses.
+//!
+//! ```text
+//! mpidfa activity  <file.smpl> --context main --ind x[,y] --dep f [--clone N] [--mode mpi|global|naive]
+//! mpidfa constants <file.smpl> --context main [--clone N]
+//! mpidfa slice     <file.smpl> --context main --stmt 0 [--no-comm]
+//! mpidfa taint     <file.smpl> --context main --source x [--reads-tainted] [--conservative]
+//! mpidfa bitwidth  <file.smpl> --context main [--conservative]
+//! mpidfa graph     <file.smpl> --context main [--clone N] [--matching naive|syntactic|consts]
+//! mpidfa run       <file.smpl> [--nprocs N] [--entry main]
+//! ```
+//!
+//! Every command prints a human-readable report to stdout; parse/sema errors
+//! carry line:column locations and exit with status 1.
+
+use mpi_dfa::analyses::bitwidth::{self, WidthMode, FULL};
+use mpi_dfa::analyses::consts::{self, CVal};
+use mpi_dfa::analyses::slicing::forward_slice;
+use mpi_dfa::analyses::taint::{self, TaintConfig, TaintMode};
+use mpi_dfa::core::lattice::ConstLattice;
+use mpi_dfa::lang::interp::{self, InterpConfig};
+use mpi_dfa::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mpidfa: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal flag parser: positional file + `--key value` / `--switch` pairs.
+struct Opts {
+    file: Option<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut file = None;
+        let mut flags = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
+                    _ => None,
+                };
+                flags.push((name.to_string(), value));
+            } else if file.is_none() {
+                file = Some(a.clone());
+            }
+        }
+        Opts { file, flags }
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn list(&self, name: &str) -> Vec<String> {
+        self.value(name)
+            .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+            .unwrap_or_default()
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let opts = Opts::parse(&args[1..]);
+    let src = load(&opts)?;
+    let context = opts.value("context").unwrap_or("main").to_string();
+    let clone_level: usize =
+        opts.value("clone").map(|v| v.parse().map_err(|e| format!("--clone: {e}"))).transpose()?.unwrap_or(0);
+
+    let ir = || ProgramIr::from_source(&src).map_err(|e| e.to_string());
+    let graph = |matching: Matching| -> Result<MpiIcfg, String> {
+        build_mpi_icfg(ir()?, &context, clone_level, matching).map_err(|e| e.to_string())
+    };
+
+    match cmd.as_str() {
+        "activity" => {
+            let ind = opts.list("ind");
+            let dep = opts.list("dep");
+            if ind.is_empty() || dep.is_empty() {
+                return Err("activity requires --ind and --dep".into());
+            }
+            let config = ActivityConfig::new(ind.clone(), dep.clone());
+            let mode = opts.value("mode").unwrap_or("mpi");
+            let ir = ir()?;
+            let result = match mode {
+                "mpi" => {
+                    let g = graph(Matching::ReachingConstants)?;
+                    activity::analyze_mpi(&g, &config)?
+                }
+                "global" | "naive" => {
+                    let icfg = Icfg::build(ir.clone(), &context, clone_level)
+                        .map_err(|e| e.to_string())?;
+                    let m = if mode == "global" { Mode::GlobalBuffer } else { Mode::Naive };
+                    activity::analyze_icfg(&icfg, m, &config)?
+                }
+                other => return Err(format!("unknown --mode `{other}` (mpi|global|naive)")),
+            };
+            println!(
+                "activity analysis over {} (context `{context}`, clone level {clone_level})",
+                match mode {
+                    "mpi" => "the MPI-ICFG",
+                    "global" => "the ICFG with global-buffer assumptions",
+                    _ => "a naive CFG (no communication model)",
+                }
+            );
+            println!("  independents: {ind:?}\n  dependents:   {dep:?}");
+            println!("  solver passes: {}", result.iterations);
+            println!("  active storage: {} bytes", result.active_bytes);
+            println!(
+                "  derivative storage ({} independents): {} bytes",
+                ind.len(),
+                result.deriv_bytes(ind.len() as u64)
+            );
+            println!("  active symbols:");
+            for loc in result.active_locs() {
+                if loc == mpi_dfa::graph::LocTable::MPI_BUFFER {
+                    continue;
+                }
+                let info = ir.locs.info(loc);
+                println!("    {:<24} {:>12} bytes", ir.locs.qualified_name(loc), info.byte_size());
+            }
+        }
+        "constants" => {
+            let g = graph(Matching::ReachingConstants)?;
+            let sol = consts::analyze_mpi(&g);
+            let env = &sol.input[g.context_exit().index()];
+            println!("reaching constants at the exit of `{context}` (MPI-ICFG):");
+            let ir = ir()?;
+            for (loc, info) in ir.locs.iter() {
+                if info.name == "__mpi_buffer" {
+                    continue;
+                }
+                match env.get(loc) {
+                    ConstLattice::Const(CVal::Int(v)) => {
+                        println!("  {:<24} = {v}", ir.locs.qualified_name(loc))
+                    }
+                    ConstLattice::Const(CVal::Real(v)) => {
+                        println!("  {:<24} = {v}", ir.locs.qualified_name(loc))
+                    }
+                    ConstLattice::Const(CVal::Bool(v)) => {
+                        println!("  {:<24} = {v}", ir.locs.qualified_name(loc))
+                    }
+                    _ => {}
+                }
+            }
+            println!("(unlisted locations are not provably constant)");
+        }
+        "slice" => {
+            let stmt: u32 = opts
+                .value("stmt")
+                .ok_or("slice requires --stmt <id>")?
+                .parse()
+                .map_err(|e| format!("--stmt: {e}"))?;
+            let ids: Vec<u32> = if opts.switch("no-comm") {
+                let icfg =
+                    Icfg::build(ir()?, &context, clone_level).map_err(|e| e.to_string())?;
+                forward_slice(&icfg, &icfg, StmtId(stmt)).iter().map(|s| s.0).collect()
+            } else {
+                let g = graph(Matching::ReachingConstants)?;
+                forward_slice(&g, g.icfg(), StmtId(stmt)).iter().map(|s| s.0).collect()
+            };
+            println!(
+                "forward data slice from statement s{stmt}{}:",
+                if opts.switch("no-comm") { " (communication edges disabled)" } else { "" }
+            );
+            println!("  statements: {ids:?}");
+        }
+        "taint" => {
+            let sources = opts.list("source");
+            let config = TaintConfig {
+                tainted_vars: sources.clone(),
+                reads_are_tainted: opts.switch("reads-tainted"),
+            };
+            let ir2 = ir()?;
+            let result = if opts.switch("conservative") {
+                let icfg = Icfg::build(ir2.clone(), &context, clone_level)
+                    .map_err(|e| e.to_string())?;
+                taint::analyze(&icfg, &icfg, TaintMode::AllReceivesUntrusted, &config)?
+            } else {
+                let g = graph(Matching::ReachingConstants)?;
+                taint::analyze_mpi(&g, &config)?
+            };
+            println!("trust analysis (sources: {sources:?}):");
+            for loc in result.tainted_locs() {
+                println!("  untrusted: {}", ir2.locs.qualified_name(loc));
+            }
+        }
+        "bitwidth" => {
+            let ir2 = ir()?;
+            let result = if opts.switch("conservative") {
+                let icfg = Icfg::build(ir2.clone(), &context, clone_level)
+                    .map_err(|e| e.to_string())?;
+                bitwidth::analyze(&icfg, &icfg, WidthMode::Conservative)
+            } else {
+                let g = graph(Matching::ReachingConstants)?;
+                bitwidth::analyze_mpi(&g)
+            };
+            println!("bitwidth analysis (maximum bits needed per integer location):");
+            for (loc, w) in result.narrowed(&ir2.locs) {
+                println!("  {:<24} {w:>3} / {FULL} bits", ir2.locs.qualified_name(loc));
+            }
+        }
+        "graph" => {
+            let matching = match opts.value("matching").unwrap_or("consts") {
+                "naive" => Matching::Naive,
+                "syntactic" => Matching::Syntactic,
+                "consts" => Matching::ReachingConstants,
+                other => return Err(format!("unknown --matching `{other}`")),
+            };
+            let g = graph(matching)?;
+            print!("{}", mpi_dfa::graph::dot::mpi_icfg_to_dot(&g, &context));
+        }
+        "run" => {
+            let nprocs: usize = opts
+                .value("nprocs")
+                .map(|v| v.parse().map_err(|e| format!("--nprocs: {e}")))
+                .transpose()?
+                .unwrap_or(4);
+            let unit = compile(&src).map_err(|e| e.to_string())?;
+            let cfg = InterpConfig {
+                nprocs,
+                entry: opts.value("entry").unwrap_or("main").to_string(),
+                ..Default::default()
+            };
+            let results = interp::run(&unit.program, &cfg).map_err(|e| e.to_string())?;
+            for (rank, r) in results.iter().enumerate() {
+                println!(
+                    "rank {rank}: printed {:?}  ({} steps, {} sends, {} recvs)",
+                    r.printed, r.steps, r.sends, r.recvs
+                );
+            }
+        }
+        "help" | "--help" | "-h" => println!("{}", usage()),
+        other => return Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn load(opts: &Opts) -> Result<String, String> {
+    let Some(path) = &opts.file else {
+        return Err("missing input file".into());
+    };
+    // Benchmark names resolve to the bundled programs for convenience.
+    if let Some(src) = mpi_dfa::suite::programs::source(path) {
+        return Ok(src.to_string());
+    }
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn usage() -> String {
+    "usage: mpidfa <command> <file.smpl | bundled-name> [options]\n\
+     commands:\n\
+       activity   --context C --ind a,b --dep x,y [--clone N] [--mode mpi|global|naive]\n\
+       constants  --context C [--clone N]\n\
+       slice      --context C --stmt ID [--no-comm]\n\
+       taint      --context C --source a,b [--reads-tainted] [--conservative]\n\
+       bitwidth   --context C [--conservative]\n\
+       graph      --context C [--clone N] [--matching naive|syntactic|consts]\n\
+       run        [--nprocs N] [--entry main]\n\
+     bundled programs: figure1, biostat, sor, cg, lu, mg, sweep3d"
+        .to_string()
+}

@@ -1,0 +1,173 @@
+//! Property-based tests over randomly generated SPMD programs.
+//!
+//! These check the invariants the paper's framework relies on, on *every*
+//! program the generator can produce — not just the benchmark suite:
+//!
+//! * the solver converges and both strategies (round-robin, worklist) agree;
+//! * separable analyses (liveness, reaching definitions) are unaffected by
+//!   communication edges;
+//! * the communication-edge matching strategies form a precision ladder;
+//! * MPI-ICFG activity results never exceed the conservative baseline's
+//!   communicated-data activity;
+//! * analysis results are deterministic.
+
+use mpi_dfa::analyses::{consts, liveness, reaching_defs};
+use mpi_dfa::prelude::*;
+use mpi_dfa::suite::gen::{generate, GenConfig};
+use proptest::prelude::*;
+
+fn build(seed: u64) -> std::sync::Arc<mpi_dfa::graph::icfg::ProgramIr> {
+    let src = generate(seed, &GenConfig::default());
+    ProgramIr::from_source(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn solvers_agree_and_converge(seed in 0u64..10_000) {
+        let ir = build(seed);
+        let mpi = build_mpi_icfg(ir, "main", 1, Matching::ReachingConstants).unwrap();
+        let problem = consts::ReachingConsts::new(mpi.icfg());
+        let rr = solve(&mpi, &problem, &SolveParams::default());
+        let wl = solve_worklist(&mpi, &problem, &SolveParams::default());
+        prop_assert!(rr.stats.converged);
+        prop_assert!(wl.stats.converged);
+        prop_assert_eq!(&rr.input, &wl.input);
+        prop_assert_eq!(&rr.output, &wl.output);
+        // No hard work-count relation holds in general (a FIFO worklist can
+        // revisit more than an RPO sweep on some shapes); both must stay
+        // within the same order of magnitude though.
+        prop_assert!(wl.stats.node_visits <= 10 * rr.stats.node_visits.max(1));
+    }
+
+    #[test]
+    fn separable_analyses_ignore_comm_edges(seed in 0u64..10_000) {
+        let ir = build(seed);
+        let icfg = Icfg::build(ir.clone(), "main", 0).unwrap();
+        let mpi = build_mpi_icfg(ir, "main", 0, Matching::Naive).unwrap();
+
+        let live_plain = liveness::analyze(&icfg, &icfg);
+        let live_comm = liveness::analyze(&mpi, mpi.icfg());
+        prop_assert_eq!(&live_plain.input, &live_comm.input);
+        prop_assert_eq!(&live_plain.output, &live_comm.output);
+
+        let (_, rd_plain) = reaching_defs::analyze(&icfg, &icfg);
+        let (_, rd_comm) = reaching_defs::analyze(&mpi, mpi.icfg());
+        prop_assert_eq!(&rd_plain.input, &rd_comm.input);
+        prop_assert_eq!(&rd_plain.output, &rd_comm.output);
+    }
+
+    #[test]
+    fn matching_strategies_form_a_ladder(seed in 0u64..10_000) {
+        let ir = build(seed);
+        let naive = build_mpi_icfg(ir.clone(), "main", 0, Matching::Naive).unwrap();
+        let syn = build_mpi_icfg(ir.clone(), "main", 0, Matching::Syntactic).unwrap();
+        let rc = build_mpi_icfg(ir, "main", 0, Matching::ReachingConstants).unwrap();
+        prop_assert!(syn.comm_edges.len() <= naive.comm_edges.len());
+        prop_assert!(rc.comm_edges.len() <= syn.comm_edges.len());
+        // Refined edges must be a subset of the naive all-pairs edges.
+        for e in &rc.comm_edges {
+            prop_assert!(naive.comm_edges.contains(e));
+        }
+    }
+
+    #[test]
+    fn activity_is_deterministic(seed in 0u64..10_000) {
+        let ir = build(seed);
+        let config = ActivityConfig::new(["s0"], ["s1"]);
+        let mpi = build_mpi_icfg(ir, "main", 1, Matching::ReachingConstants).unwrap();
+        let a = activity::analyze_mpi(&mpi, &config).unwrap();
+        let b = activity::analyze_mpi(&mpi, &config).unwrap();
+        prop_assert_eq!(a.active, b.active);
+        prop_assert_eq!(a.active_bytes, b.active_bytes);
+        prop_assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn fewer_comm_edges_never_hurt_precision(seed in 0u64..10_000) {
+        // Refining the matching can only shrink the active set: a subset of
+        // communication edges means fewer "arriving" facts in Vary and
+        // fewer "needed" facts in Useful.
+        let ir = build(seed);
+        let config = ActivityConfig::new(["s0"], ["s1"]);
+        let naive = build_mpi_icfg(ir.clone(), "main", 0, Matching::Naive).unwrap();
+        let rc = build_mpi_icfg(ir, "main", 0, Matching::ReachingConstants).unwrap();
+        let coarse = activity::analyze_mpi(&naive, &config).unwrap();
+        let fine = activity::analyze_mpi(&rc, &config).unwrap();
+        prop_assert!(
+            fine.active.is_subset(&coarse.active),
+            "refined matching must not add active locations"
+        );
+        prop_assert!(fine.active_bytes <= coarse.active_bytes);
+    }
+
+    #[test]
+    fn vary_always_contains_the_independents(seed in 0u64..10_000) {
+        let ir = build(seed);
+        let mpi = build_mpi_icfg(ir.clone(), "main", 0, Matching::ReachingConstants).unwrap();
+        let config = ActivityConfig::new(["s0"], ["s1"]);
+        let res = activity::analyze_mpi(&mpi, &config).unwrap();
+        let s0 = ir.locs.global("s0").unwrap();
+        for n in 0..mpi_dfa::core::FlowGraph::num_nodes(&mpi) {
+            prop_assert!(res.vary.output[n].contains(s0.index()));
+        }
+    }
+
+    #[test]
+    fn interpreter_matches_across_runs(seed in 0u64..300) {
+        // Generated programs may deadlock (unmatched sends/recvs), so only
+        // compare the runs that complete — completion must be deterministic.
+        use mpi_dfa::lang::interp::{run, InterpConfig};
+        let src = generate(seed, &GenConfig { mpi_percent: 10, ..GenConfig::default() });
+        let unit = compile(&src).unwrap();
+        let cfg = InterpConfig {
+            nprocs: 2,
+            recv_timeout: std::time::Duration::from_millis(300),
+            max_steps: 200_000,
+            ..Default::default()
+        };
+        let a = run(&unit.program, &cfg);
+        let b = run(&unit.program, &cfg);
+        match (a, b) {
+            (Ok(ra), Ok(rb)) => {
+                for (x, y) in ra.iter().zip(&rb) {
+                    prop_assert_eq!(&x.printed, &y.printed);
+                }
+            }
+            (Err(_), Err(_)) => {} // deterministic failure is fine
+            (a, b) => prop_assert!(false, "one run failed, one succeeded: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn cloning_refines_but_never_unsoundly_shrinks_comm_structure() {
+    // Higher clone levels split shared wrapper instances; the per-site
+    // communication structure must cover the shared one's behaviors. We
+    // check a weaker structural invariant that must always hold: each clone
+    // level produces a graph whose MPI node multiset projects onto the
+    // level-0 node set.
+    for seed in 0..20u64 {
+        let ir = build(seed);
+        let base = build_mpi_icfg(ir.clone(), "main", 0, Matching::Naive).unwrap();
+        let cloned = build_mpi_icfg(ir, "main", 2, Matching::Naive).unwrap();
+        let base_kinds = mpi_kinds(&base);
+        let clone_kinds = mpi_kinds(&cloned);
+        for k in &base_kinds {
+            assert!(clone_kinds.contains(k), "seed {seed}: clone lost an MPI op kind {k:?}");
+        }
+        assert!(clone_kinds.len() >= base_kinds.len());
+    }
+}
+
+fn mpi_kinds(g: &MpiIcfg) -> Vec<mpi_dfa::graph::node::MpiKind> {
+    use mpi_dfa::graph::node::NodeKind;
+    g.mpi_nodes()
+        .iter()
+        .map(|&n| match &g.payload(n).kind {
+            NodeKind::Mpi(m) => m.kind,
+            _ => unreachable!(),
+        })
+        .collect()
+}
