@@ -23,7 +23,9 @@
 //!   value vary?" forward; "is some matching receive's target useful?"
 //!   backward).
 
-use crate::interproc::{call_backward, call_forward, return_backward, return_forward, BindMaps, UseSelector};
+use crate::interproc::{
+    call_backward, call_forward, return_backward, return_forward, BindMaps, UseSelector,
+};
 use mpi_dfa_core::graph::{Edge, EdgeKind, FlowGraph, NodeId};
 use mpi_dfa_core::lattice::BoolOr;
 use mpi_dfa_core::problem::{Dataflow, Direction};
@@ -78,6 +80,13 @@ pub struct ActivityResult {
 }
 
 impl ActivityResult {
+    /// True when both fixpoint phases converged within the pass budget.
+    /// `false` means the numbers below are a *non-fixpoint snapshot* and
+    /// must not be published as analysis results.
+    pub fn converged(&self) -> bool {
+        self.vary.stats.converged && self.useful.stats.converged
+    }
+
     /// Active locations, ascending.
     pub fn active_locs(&self) -> Vec<Loc> {
         self.active.iter().map(|i| Loc(i as u32)).collect()
@@ -104,14 +113,40 @@ fn resolve_names(icfg: &Icfg, names: &[String]) -> Result<Vec<Loc>, String> {
 
 /// Run activity analysis over the MPI-ICFG (the paper's framework).
 pub fn analyze_mpi(mpi: &MpiIcfg, config: &ActivityConfig) -> Result<ActivityResult, String> {
-    analyze_over(mpi, mpi.icfg(), Mode::MpiIcfg, config)
+    analyze_mpi_with(mpi, config, &SolveParams::default())
+}
+
+/// [`analyze_mpi`] with explicit solver parameters. With a small
+/// `max_passes` the result may be a non-fixpoint snapshot — check
+/// [`ActivityResult::converged`].
+pub fn analyze_mpi_with(
+    mpi: &MpiIcfg,
+    config: &ActivityConfig,
+    params: &SolveParams,
+) -> Result<ActivityResult, String> {
+    analyze_over(mpi, mpi.icfg(), Mode::MpiIcfg, config, params)
 }
 
 /// Run activity analysis over the plain ICFG in the given baseline mode
 /// (`Naive` or `GlobalBuffer`).
-pub fn analyze_icfg(icfg: &Icfg, mode: Mode, config: &ActivityConfig) -> Result<ActivityResult, String> {
+pub fn analyze_icfg(
+    icfg: &Icfg,
+    mode: Mode,
+    config: &ActivityConfig,
+) -> Result<ActivityResult, String> {
+    analyze_icfg_with(icfg, mode, config, &SolveParams::default())
+}
+
+/// [`analyze_icfg`] with explicit solver parameters (see
+/// [`analyze_mpi_with`]).
+pub fn analyze_icfg_with(
+    icfg: &Icfg,
+    mode: Mode,
+    config: &ActivityConfig,
+    params: &SolveParams,
+) -> Result<ActivityResult, String> {
     assert_ne!(mode, Mode::MpiIcfg, "use analyze_mpi for the MPI-ICFG mode");
-    analyze_over(icfg, icfg, mode, config)
+    analyze_over(icfg, icfg, mode, config, params)
 }
 
 /// Build the Vary and Useful problem instances for `icfg` under `mode`,
@@ -136,8 +171,18 @@ pub fn vary_useful_problems<'g>(
         useful_seed.insert(LocTable::MPI_BUFFER.index());
     }
     Ok((
-        Vary { icfg, maps: BindMaps::build(icfg), mode, seed: vary_seed },
-        Useful { icfg, maps: BindMaps::build(icfg), mode, seed: useful_seed },
+        Vary {
+            icfg,
+            maps: BindMaps::build(icfg),
+            mode,
+            seed: vary_seed,
+        },
+        Useful {
+            icfg,
+            maps: BindMaps::build(icfg),
+            mode,
+            seed: useful_seed,
+        },
     ))
 }
 
@@ -156,7 +201,10 @@ pub fn analyze_mpi_parallel(
     let (vary, useful) = std::thread::scope(|scope| {
         let v = scope.spawn(|| solve(mpi, &vary_p, &params));
         let u = scope.spawn(|| solve(mpi, &useful_p, &params));
-        (v.join().expect("vary phase"), u.join().expect("useful phase"))
+        (
+            v.join().expect("vary phase"),
+            u.join().expect("useful phase"),
+        )
     });
 
     // Active = Vary ∩ Useful at some program point (either side of a node).
@@ -168,7 +216,14 @@ pub fn analyze_mpi_parallel(
     }
     let active_bytes = active_bytes(&icfg.ir.locs, &active);
     let iterations = vary.stats.passes + useful.stats.passes;
-    Ok(ActivityResult { mode: Mode::MpiIcfg, vary, useful, active, active_bytes, iterations })
+    Ok(ActivityResult {
+        mode: Mode::MpiIcfg,
+        vary,
+        useful,
+        active,
+        active_bytes,
+        iterations,
+    })
 }
 
 fn analyze_over<G: FlowGraph>(
@@ -176,12 +231,12 @@ fn analyze_over<G: FlowGraph>(
     icfg: &Icfg,
     mode: Mode,
     config: &ActivityConfig,
+    params: &SolveParams,
 ) -> Result<ActivityResult, String> {
     let universe = icfg.ir.locs.len();
     let (vary_p, useful_p) = vary_useful_problems(icfg, mode, config)?;
-    let params = SolveParams::default();
-    let vary = solve(graph, &vary_p, &params);
-    let useful = solve(graph, &useful_p, &params);
+    let vary = solve(graph, &vary_p, params);
+    let useful = solve(graph, &useful_p, params);
 
     // Active = Vary ∩ Useful at some program point (either side of a node).
     let mut active = VarSet::empty(universe);
@@ -193,7 +248,14 @@ fn analyze_over<G: FlowGraph>(
 
     let active_bytes = active_bytes(&icfg.ir.locs, &active);
     let iterations = vary.stats.passes + useful.stats.passes;
-    Ok(ActivityResult { mode, vary, useful, active, active_bytes, iterations })
+    Ok(ActivityResult {
+        mode,
+        vary,
+        useful,
+        active,
+        active_bytes,
+        iterations,
+    })
 }
 
 /// Sum the sizes of active floating-point storage, excluding the synthetic
@@ -333,9 +395,13 @@ impl Dataflow for Vary<'_> {
 
     fn translate(&self, edge: &Edge, fact: &VarSet) -> Option<VarSet> {
         match edge.kind {
-            EdgeKind::Call { site } => {
-                Some(call_forward(self.icfg, &self.maps, site, fact, UseSelector::Differentiable))
-            }
+            EdgeKind::Call { site } => Some(call_forward(
+                self.icfg,
+                &self.maps,
+                site,
+                fact,
+                UseSelector::Differentiable,
+            )),
             EdgeKind::Return { site } => Some(return_forward(self.icfg, &self.maps, site, fact)),
             _ => None,
         }
@@ -387,10 +453,9 @@ impl Dataflow for Useful<'_> {
                     UseSelector::Differentiable.insert_uses(rhs, &mut inset);
                 }
             }
-            NodeKind::Read { target }
-                if target.is_strong_def() => {
-                    inset.remove(target.loc.index());
-                }
+            NodeKind::Read { target } if target.is_strong_def() => {
+                inset.remove(target.loc.index());
+            }
             NodeKind::Mpi(m) => {
                 // The global-buffer model treats a data operation as the
                 // statement pair `buffer = sent ; received = buffer`; running
@@ -472,9 +537,13 @@ impl Dataflow for Useful<'_> {
     fn translate(&self, edge: &Edge, fact: &VarSet) -> Option<VarSet> {
         match edge.kind {
             EdgeKind::Return { site } => Some(return_backward(self.icfg, &self.maps, site, fact)),
-            EdgeKind::Call { site } => {
-                Some(call_backward(self.icfg, &self.maps, site, fact, UseSelector::Differentiable))
-            }
+            EdgeKind::Call { site } => Some(call_backward(
+                self.icfg,
+                &self.maps,
+                site,
+                fact,
+                UseSelector::Differentiable,
+            )),
             _ => None,
         }
     }
@@ -499,7 +568,12 @@ mod tests {
           reduce(SUM, z, f, 0);\n\
         }";
 
-    fn run(src: &str, mode: Mode, ind: &[&str], dep: &[&str]) -> (ActivityResult, std::sync::Arc<ProgramIr>) {
+    fn run(
+        src: &str,
+        mode: Mode,
+        ind: &[&str],
+        dep: &[&str],
+    ) -> (ActivityResult, std::sync::Arc<ProgramIr>) {
         let ir = ProgramIr::from_source(src).expect("compile");
         let config = ActivityConfig::new(ind.to_vec(), dep.to_vec());
         let res = match mode {
@@ -517,7 +591,10 @@ mod tests {
     }
 
     fn names(res: &ActivityResult, ir: &ProgramIr) -> Vec<String> {
-        res.active_locs().iter().map(|&l| ir.locs.info(l).name.clone()).collect()
+        res.active_locs()
+            .iter()
+            .map(|&l| ir.locs.info(l).name.clone())
+            .collect()
     }
 
     #[test]
@@ -529,9 +606,15 @@ mod tests {
         // rank-0 branch) and is useful (z = b*y on the other branch), but
         // never both at the same program point, so it is rightly inactive.
         for v in ["x", "y", "z", "f"] {
-            assert!(active.contains(&v.to_string()), "{v} should be active, got {active:?}");
+            assert!(
+                active.contains(&v.to_string()),
+                "{v} should be active, got {active:?}"
+            );
         }
-        assert!(!active.contains(&"b".to_string()), "b never varies where it is useful");
+        assert!(
+            !active.contains(&"b".to_string()),
+            "b never varies where it is useful"
+        );
         assert_eq!(res.active_bytes, 4 * 8);
     }
 
@@ -540,7 +623,10 @@ mod tests {
         // The paper's motivating claim: a framework with no communication
         // model intersects disjoint Vary/Useful sets and reports nothing.
         let (res, _) = run(FIGURE1, Mode::Naive, &["x"], &["f"]);
-        assert_eq!(res.active_bytes, 0, "naive analysis finds no active variables");
+        assert_eq!(
+            res.active_bytes, 0,
+            "naive analysis finds no active variables"
+        );
         assert!(res.active.is_empty());
     }
 
@@ -556,7 +642,10 @@ mod tests {
         let (res, ir) = run(FIGURE1, Mode::GlobalBuffer, &["x"], &["f"]);
         let active = names(&res, &ir);
         for v in ["y", "z", "f"] {
-            assert!(active.contains(&v.to_string()), "{v} missing under GlobalBuffer");
+            assert!(
+                active.contains(&v.to_string()),
+                "{v} missing under GlobalBuffer"
+            );
         }
         let (framework, _) = run(FIGURE1, Mode::MpiIcfg, &["x"], &["f"]);
         let fw = names(&framework, &ir);
@@ -599,7 +688,10 @@ mod tests {
     fn broadcast_input_data_inactive_under_mpi_icfg() {
         let (res, ir) = run(BCAST_INDEPENDENT_DATA, Mode::MpiIcfg, &["xmle"], &["xlogl"]);
         let active = names(&res, &ir);
-        assert!(!active.contains(&"dmat".to_string()), "dmat does not vary: {active:?}");
+        assert!(
+            !active.contains(&"dmat".to_string()),
+            "dmat does not vary: {active:?}"
+        );
         assert!(active.contains(&"xmle".to_string()));
         assert!(active.contains(&"xlogl".to_string()));
         assert!(active.contains(&"t".to_string()));
@@ -607,7 +699,12 @@ mod tests {
 
     #[test]
     fn broadcast_input_data_active_under_global_buffer() {
-        let (res, ir) = run(BCAST_INDEPENDENT_DATA, Mode::GlobalBuffer, &["xmle"], &["xlogl"]);
+        let (res, ir) = run(
+            BCAST_INDEPENDENT_DATA,
+            Mode::GlobalBuffer,
+            &["xmle"],
+            &["xlogl"],
+        );
         let active = names(&res, &ir);
         assert!(
             active.contains(&"dmat".to_string()),
@@ -639,7 +736,10 @@ mod tests {
         let (mpi, ir) = run(HALO_VARYING, Mode::MpiIcfg, &["omega"], &["resid"]);
         let (gb, _) = run(HALO_VARYING, Mode::GlobalBuffer, &["omega"], &["resid"]);
         let m = names(&mpi, &ir);
-        assert!(m.contains(&"u".to_string()), "u varies through omega and is needed: {m:?}");
+        assert!(
+            m.contains(&"u".to_string()),
+            "u varies through omega and is needed: {m:?}"
+        );
         assert!(m.contains(&"omega".to_string()));
         assert!(m.contains(&"resid".to_string()));
         // Both modes agree on the program symbols (no savings).
@@ -682,7 +782,10 @@ mod tests {
         let (res, ir) = run(src, Mode::MpiIcfg, &["x"], &["out"]);
         let active = names(&res, &ir);
         assert!(active.contains(&"y".to_string()), "{active:?}");
-        assert!(active.contains(&"x".to_string()), "x is sent to a useful receive");
+        assert!(
+            active.contains(&"x".to_string()),
+            "x is sent to a useful receive"
+        );
     }
 
     #[test]
@@ -710,22 +813,36 @@ mod tests {
         let config = ActivityConfig::new(["a"], ["out"]);
         let ir = ProgramIr::from_source(src).unwrap();
         let merged = {
-            let mpi =
-                crate::mpi_match::build_mpi_icfg(ir.clone(), "main", 0, crate::Matching::ReachingConstants)
-                    .unwrap();
+            let mpi = crate::mpi_match::build_mpi_icfg(
+                ir.clone(),
+                "main",
+                0,
+                crate::Matching::ReachingConstants,
+            )
+            .unwrap();
             assert_eq!(mpi.comm_edges.len(), 1, "one shared send, one shared recv");
             analyze_mpi(&mpi, &config).unwrap()
         };
         let cloned = {
-            let mpi =
-                crate::mpi_match::build_mpi_icfg(ir.clone(), "main", 2, crate::Matching::ReachingConstants)
-                    .unwrap();
+            let mpi = crate::mpi_match::build_mpi_icfg(
+                ir.clone(),
+                "main",
+                2,
+                crate::Matching::ReachingConstants,
+            )
+            .unwrap();
             assert_eq!(mpi.comm_edges.len(), 2, "tag constants separate the clones");
             analyze_mpi(&mpi, &config).unwrap()
         };
         let rb = ir.locs.global("rb").unwrap();
-        assert!(merged.active.contains(rb.index()), "shared wrapper merges and pollutes rb");
-        assert!(!cloned.active.contains(rb.index()), "cloning separates the two exchanges");
+        assert!(
+            merged.active.contains(rb.index()),
+            "shared wrapper merges and pollutes rb"
+        );
+        assert!(
+            !cloned.active.contains(rb.index()),
+            "cloning separates the two exchanges"
+        );
         assert!(cloned.active_bytes < merged.active_bytes);
     }
 
@@ -767,7 +884,10 @@ mod tests {
         let (res, ir) = run(src, Mode::MpiIcfg, &["x"], &["f"]);
         let active = names(&res, &ir);
         assert!(active.contains(&"x".to_string()));
-        assert_eq!(res.active_bytes, 16, "only x and f (8 bytes each): {active:?}");
+        assert_eq!(
+            res.active_bytes, 16,
+            "only x and f (8 bytes each): {active:?}"
+        );
     }
 }
 

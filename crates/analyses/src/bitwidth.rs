@@ -147,9 +147,9 @@ impl<'g> Bitwidth<'g> {
                     _ => self.eval(&args[0], env, node),
                 },
                 Intrinsic::Abs => self.eval(&args[0], env, node),
-                Intrinsic::Max | Intrinsic::Min => {
-                    self.eval(&args[0], env, node).max(self.eval(&args[1], env, node))
-                }
+                Intrinsic::Max | Intrinsic::Min => self
+                    .eval(&args[0], env, node)
+                    .max(self.eval(&args[1], env, node)),
                 _ => FULL, // transcendental intrinsics are floating point
             },
         }
@@ -170,7 +170,9 @@ impl<'g> Bitwidth<'g> {
                     let v = m.value.as_ref().expect("reduce has value");
                     // Reductions accumulate across nprocs processes: a SUM
                     // can grow by log2(nprocs) bits.
-                    self.eval(&v.expr, input, node).saturating_add(self.rank_bits).min(FULL)
+                    self.eval(&v.expr, input, node)
+                        .saturating_add(self.rank_bits)
+                        .min(FULL)
                 }
                 _ => {
                     let buf = m.buf.as_ref().expect("send has buffer");
@@ -323,7 +325,10 @@ pub fn analyze<G: FlowGraph>(graph: &G, icfg: &Icfg, mode: WidthMode) -> Bitwidt
             *slot = (*slot).max(w);
         }
     }
-    BitwidthResult { solution, max_width }
+    BitwidthResult {
+        solution,
+        max_width,
+    }
 }
 
 /// Convenience: run in MPI-ICFG mode.
@@ -407,7 +412,10 @@ mod tests {
         let icfg = Icfg::build(ir.clone(), "main", 0).unwrap();
         let conservative = analyze(&icfg, &icfg, WidthMode::Conservative);
         let got = ir.locs.global("got").unwrap();
-        assert_eq!(conservative.solution.before(icfg.context_exit()).get(got), FULL);
+        assert_eq!(
+            conservative.solution.before(icfg.context_exit()).get(got),
+            FULL
+        );
     }
 
     #[test]
@@ -468,14 +476,19 @@ mod tests {
         );
         let r = analyze_mpi(&mpi);
         let narrowed = r.narrowed(&ir.locs);
-        let names: Vec<&str> =
-            narrowed.iter().map(|(l, _)| ir.locs.info(*l).name.as_str()).collect();
+        let names: Vec<&str> = narrowed
+            .iter()
+            .map(|(l, _)| ir.locs.info(*l).name.as_str())
+            .collect();
         assert!(names.contains(&"a"));
         assert!(!names.contains(&"x"), "floats never narrow");
         // Zero-initialized and never written: provably a single bit.
         assert!(names.contains(&"unused"));
-        let unused_width =
-            narrowed.iter().find(|(l, _)| ir.locs.info(*l).name == "unused").unwrap().1;
+        let unused_width = narrowed
+            .iter()
+            .find(|(l, _)| ir.locs.info(*l).name == "unused")
+            .unwrap()
+            .1;
         assert_eq!(unused_width, 1);
     }
 

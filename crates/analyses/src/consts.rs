@@ -156,10 +156,7 @@ pub fn eval_expr(
     }
 }
 
-fn lift1(
-    v: ConstLattice<CVal>,
-    f: impl FnOnce(CVal) -> Option<CVal>,
-) -> ConstLattice<CVal> {
+fn lift1(v: ConstLattice<CVal>, f: impl FnOnce(CVal) -> Option<CVal>) -> ConstLattice<CVal> {
     match v {
         ConstLattice::Const(c) => match f(c) {
             Some(r) => ConstLattice::Const(r),
@@ -232,10 +229,18 @@ fn eval_intrinsic(i: Intrinsic, args: &[CVal]) -> Option<CVal> {
         }
         Intrinsic::Max | Intrinsic::Min => {
             if let (CVal::Int(x), CVal::Int(y)) = (args[0], args[1]) {
-                return Some(CVal::Int(if i == Intrinsic::Max { x.max(y) } else { x.min(y) }));
+                return Some(CVal::Int(if i == Intrinsic::Max {
+                    x.max(y)
+                } else {
+                    x.min(y)
+                }));
             }
             let (x, y) = (args[0].as_f64()?, args[1].as_f64()?);
-            Some(CVal::Real(if i == Intrinsic::Max { x.max(y) } else { x.min(y) }))
+            Some(CVal::Real(if i == Intrinsic::Max {
+                x.max(y)
+            } else {
+                x.min(y)
+            }))
         }
         Intrinsic::Abs => match args[0] {
             CVal::Int(v) => Some(CVal::Int(v.abs())),
@@ -260,7 +265,11 @@ pub struct ReachingConsts<'g> {
 
 impl<'g> ReachingConsts<'g> {
     pub fn new(icfg: &'g Icfg) -> Self {
-        ReachingConsts { icfg, maps: BindMaps::build(icfg), universe: icfg.ir.locs.len() }
+        ReachingConsts {
+            icfg,
+            maps: BindMaps::build(icfg),
+            universe: icfg.ir.locs.len(),
+        }
     }
 
     fn resolver(&self, node: NodeId) -> impl Fn(&str) -> Option<Loc> + '_ {
@@ -308,38 +317,37 @@ impl Dataflow for ReachingConsts<'_> {
             NodeKind::Read { target } => {
                 self.assign(&mut out, target, ConstLattice::Bottom);
             }
-            NodeKind::Mpi(m)
-                if m.kind.receives_data() => {
-                    let buf = m.buf.as_ref().expect("data op has buffer");
-                    // Meet the values arriving over all communication edges
-                    // (the paper's ⊓ over commpred(n)); with no incoming
-                    // edges the meet is ⊤ (unreachable receive).
-                    let mut v = ConstLattice::Top;
-                    for c in comm {
-                        v.meet_with(c);
-                    }
-                    match m.kind {
-                        MpiKind::Recv | MpiKind::Irecv => self.assign(&mut out, buf, v),
-                        // The root of a bcast/reduce keeps its local value,
-                        // so the received value can only be met in weakly.
-                        MpiKind::Bcast => out.weaken(buf.loc, &v),
-                        MpiKind::Reduce | MpiKind::Allreduce => {
-                            // The reduction result is the operator applied
-                            // across processes: only idempotent operators
-                            // (MAX/MIN) preserve a shared constant.
-                            let r = match m.op {
-                                Some(RedOp::Max | RedOp::Min) => v,
-                                _ => ConstLattice::Bottom,
-                            };
-                            if m.kind == MpiKind::Allreduce {
-                                self.assign(&mut out, buf, r);
-                            } else {
-                                out.weaken(buf.loc, &r);
-                            }
-                        }
-                        _ => unreachable!(),
-                    }
+            NodeKind::Mpi(m) if m.kind.receives_data() => {
+                let buf = m.buf.as_ref().expect("data op has buffer");
+                // Meet the values arriving over all communication edges
+                // (the paper's ⊓ over commpred(n)); with no incoming
+                // edges the meet is ⊤ (unreachable receive).
+                let mut v = ConstLattice::Top;
+                for c in comm {
+                    v.meet_with(c);
                 }
+                match m.kind {
+                    MpiKind::Recv | MpiKind::Irecv => self.assign(&mut out, buf, v),
+                    // The root of a bcast/reduce keeps its local value,
+                    // so the received value can only be met in weakly.
+                    MpiKind::Bcast => out.weaken(buf.loc, &v),
+                    MpiKind::Reduce | MpiKind::Allreduce => {
+                        // The reduction result is the operator applied
+                        // across processes: only idempotent operators
+                        // (MAX/MIN) preserve a shared constant.
+                        let r = match m.op {
+                            Some(RedOp::Max | RedOp::Min) => v,
+                            _ => ConstLattice::Bottom,
+                        };
+                        if m.kind == MpiKind::Allreduce {
+                            self.assign(&mut out, buf, r);
+                        } else {
+                            out.weaken(buf.loc, &r);
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
             // Entry/Exit/Branch/Print/Nop/CallSite/AfterCall: identity.
             _ => {}
         }
@@ -377,9 +385,7 @@ impl Dataflow for ReachingConsts<'_> {
                 }
                 for b in &cs.bindings {
                     let v = match b.actual {
-                        ActualBinding::RefWhole(a) | ActualBinding::RefElement(a) => {
-                            *fact.get(a)
-                        }
+                        ActualBinding::RefWhole(a) | ActualBinding::RefElement(a) => *fact.get(a),
                         ActualBinding::Value => eval_expr(
                             &args.args[b.arg_idx].value.expr,
                             fact,
@@ -421,7 +427,11 @@ pub fn analyze_icfg(icfg: &Icfg) -> Solution<ConstEnv> {
 
 /// Solve reaching constants over the MPI-ICFG (communication edges active).
 pub fn analyze_mpi(mpi: &MpiIcfg) -> Solution<ConstEnv> {
-    solve(mpi, &ReachingConsts::new(mpi.icfg()), &SolveParams::default())
+    solve(
+        mpi,
+        &ReachingConsts::new(mpi.icfg()),
+        &SolveParams::default(),
+    )
 }
 
 /// A self-contained constant query for MPI-edge matching: snapshots the
@@ -524,17 +534,18 @@ mod tests {
 
     #[test]
     fn array_whole_assign_is_strong_element_weak() {
-        let whole = const_at_exit(
-            "program p global a: real[4]; sub main() { a = 3.0; }",
-            "a",
-        );
+        let whole = const_at_exit("program p global a: real[4]; sub main() { a = 3.0; }", "a");
         assert_eq!(whole, ConstLattice::Const(CVal::Real(3.0)));
         let elem = const_at_exit(
             "program p global a: real[4]; global i: int;\n\
              sub main() { a = 3.0; a[i] = 3.0; }",
             "a",
         );
-        assert_eq!(elem, ConstLattice::Const(CVal::Real(3.0)), "same value stays");
+        assert_eq!(
+            elem,
+            ConstLattice::Const(CVal::Real(3.0)),
+            "same value stays"
+        );
         let clobber = const_at_exit(
             "program p global a: real[4]; global i: int;\n\
              sub main() { a = 3.0; a[i] = 4.0; }",
@@ -606,7 +617,10 @@ mod tests {
             .copied()
             .find(|&n| matches!(&mpi.payload(n).kind, NodeKind::Mpi(m) if m.kind == MpiKind::Recv))
             .unwrap();
-        assert_eq!(sol.output[recv.index()].get(y), &ConstLattice::Const(CVal::Real(4.0)));
+        assert_eq!(
+            sol.output[recv.index()].get(y),
+            &ConstLattice::Const(CVal::Real(4.0))
+        );
     }
 
     #[test]
@@ -649,7 +663,10 @@ mod tests {
             .find(|&n| matches!(&mpi.payload(n).kind, NodeKind::Mpi(m) if m.kind == MpiKind::Recv))
             .unwrap();
         let y = mpi.resolve_at(recv, "y").unwrap();
-        assert_eq!(sol.output[recv.index()].get(y), &ConstLattice::Const(CVal::Real(9.0)));
+        assert_eq!(
+            sol.output[recv.index()].get(y),
+            &ConstLattice::Const(CVal::Real(9.0))
+        );
     }
 
     #[test]
@@ -671,7 +688,10 @@ mod tests {
         let sol2 = analyze_mpi(&mpi2);
         let bcast2 = mpi2.mpi_nodes()[0];
         let c2 = mpi2.resolve_at(bcast2, "c").unwrap();
-        assert_eq!(sol2.output[bcast2.index()].get(c2), &ConstLattice::Const(CVal::Real(3.5)));
+        assert_eq!(
+            sol2.output[bcast2.index()].get(c2),
+            &ConstLattice::Const(CVal::Real(3.5))
+        );
     }
 
     #[test]
@@ -703,7 +723,10 @@ mod tests {
         let sol3 = analyze_mpi(&mpi3);
         let node3 = mpi3.mpi_nodes()[0];
         let r3 = mpi3.resolve_at(node3, "r").unwrap();
-        assert!(sol3.output[node3.index()].get(r3).is_bottom(), "SUM depends on nprocs");
+        assert!(
+            sol3.output[node3.index()].get(r3).is_bottom(),
+            "SUM depends on nprocs"
+        );
     }
 
     #[test]
@@ -717,7 +740,11 @@ mod tests {
             let loc = g.resolve_at(g.context_exit(), "g").unwrap();
             *sol.input[g.context_exit().index()].get(loc)
         };
-        assert_eq!(v, ConstLattice::Const(CVal::Real(8.0)), "by-ref write propagates back");
+        assert_eq!(
+            v,
+            ConstLattice::Const(CVal::Real(8.0)),
+            "by-ref write propagates back"
+        );
     }
 
     #[test]
@@ -782,10 +809,12 @@ mod tests {
             "program t sub f() { var q: real; q = max(2.0, 3.0) + abs(-(1)); }",
         )
         .unwrap();
-        let mpi_dfa_lang::ast::StmtKind::Assign { rhs, .. } = &e.subs[0].body.stmts[1].kind
-        else {
+        let mpi_dfa_lang::ast::StmtKind::Assign { rhs, .. } = &e.subs[0].body.stmts[1].kind else {
             unreachable!()
         };
-        assert_eq!(eval_expr(rhs, &env, &resolve), ConstLattice::Const(CVal::Real(4.0)));
+        assert_eq!(
+            eval_expr(rhs, &env, &resolve),
+            ConstLattice::Const(CVal::Real(4.0))
+        );
     }
 }

@@ -285,7 +285,10 @@ mod tests {
         fact.insert(icfg.ir.locs.resolve(f, "x").unwrap().index());
         fact.insert(icfg.ir.locs.resolve(f, "v").unwrap().index());
         let out = return_forward(&icfg, &maps, 0, &fact);
-        assert!(out.contains(icfg.ir.locs.global("g").unwrap().index()), "x → g (whole ref)");
+        assert!(
+            out.contains(icfg.ir.locs.global("g").unwrap().index()),
+            "x → g (whole ref)"
+        );
         // The callee frame is cleared.
         assert!(!out.contains(icfg.ir.locs.resolve(f, "x").unwrap().index()));
         assert!(!out.contains(icfg.ir.locs.resolve(f, "v").unwrap().index()));
@@ -333,7 +336,10 @@ mod tests {
         fact2.insert(icfg.ir.locs.resolve(f, "v").unwrap().index());
         let out2 = call_backward(&icfg, &maps, 0, &fact2, UseSelector::All);
         assert!(out2.contains(icfg.ir.locs.global("arr").unwrap().index()));
-        assert!(out2.contains(icfg.ir.locs.global("i").unwrap().index()), "All selector includes index");
+        assert!(
+            out2.contains(icfg.ir.locs.global("i").unwrap().index()),
+            "All selector includes index"
+        );
         let out3 = call_backward(&icfg, &maps, 0, &fact2, UseSelector::Differentiable);
         assert!(!out3.contains(icfg.ir.locs.global("i").unwrap().index()));
     }

@@ -28,5 +28,5 @@ pub mod taint;
 pub mod twocopy;
 
 pub use activity::{ActivityConfig, ActivityResult, Mode};
-pub use consts::{ConstEnv, ConstsQuery, CVal};
+pub use consts::{CVal, ConstEnv, ConstsQuery};
 pub use mpi_match::{build_mpi_icfg, Matching};

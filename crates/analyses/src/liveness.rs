@@ -26,7 +26,11 @@ pub struct Liveness<'g> {
 
 impl<'g> Liveness<'g> {
     pub fn new(icfg: &'g Icfg) -> Self {
-        Liveness { icfg, maps: BindMaps::build(icfg), universe: icfg.ir.locs.len() }
+        Liveness {
+            icfg,
+            maps: BindMaps::build(icfg),
+            universe: icfg.ir.locs.len(),
+        }
     }
 }
 
@@ -130,9 +134,13 @@ impl Dataflow for Liveness<'_> {
     fn translate(&self, edge: &Edge, fact: &VarSet) -> Option<VarSet> {
         match edge.kind {
             EdgeKind::Return { site } => Some(return_backward(self.icfg, &self.maps, site, fact)),
-            EdgeKind::Call { site } => {
-                Some(call_backward(self.icfg, &self.maps, site, fact, UseSelector::All))
-            }
+            EdgeKind::Call { site } => Some(call_backward(
+                self.icfg,
+                &self.maps,
+                site,
+                fact,
+                UseSelector::All,
+            )),
             _ => None,
         }
     }
@@ -157,7 +165,13 @@ mod tests {
         let entry = icfg.context_entry();
         sol.before(entry)
             .iter()
-            .map(|i| icfg.ir.locs.info(mpi_dfa_graph::loc::Loc(i as u32)).name.clone())
+            .map(|i| {
+                icfg.ir
+                    .locs
+                    .info(mpi_dfa_graph::loc::Loc(i as u32))
+                    .name
+                    .clone()
+            })
             .collect()
     }
 
@@ -249,9 +263,9 @@ mod tests {
         let t = icfg.resolve_at(icfg.context_entry(), "t").unwrap();
         let def_node = icfg
             .nodes()
-            .find(|&n| {
-                matches!(&icfg.payload(n).kind, NodeKind::Assign { lhs, .. } if lhs.loc == t)
-            })
+            .find(
+                |&n| matches!(&icfg.payload(n).kind, NodeKind::Assign { lhs, .. } if lhs.loc == t),
+            )
             .unwrap();
         assert!(sol.after(def_node).contains(t.index()));
     }

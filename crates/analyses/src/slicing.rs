@@ -65,7 +65,8 @@ impl Dataflow for Influence<'_> {
         let seeded = self.is_seed(node);
         match &self.icfg.payload(node).kind {
             NodeKind::Assign { lhs, rhs } => {
-                let influenced = seeded || UseSelector::All.reads_from(rhs, input)
+                let influenced = seeded
+                    || UseSelector::All.reads_from(rhs, input)
                     || lhs.index_uses.iter().any(|l| input.contains(l.index()));
                 if influenced {
                     out.insert(lhs.loc.index());
@@ -80,26 +81,25 @@ impl Dataflow for Influence<'_> {
                     out.remove(target.loc.index());
                 }
             }
-            NodeKind::Mpi(m)
-                if m.kind.receives_data() => {
-                    let buf = m.buf.as_ref().expect("receive has buffer");
-                    let arriving = self.use_comm && comm.iter().any(|b| b.0);
-                    let gen = arriving || seeded;
-                    match m.kind {
-                        MpiKind::Recv | MpiKind::Irecv | MpiKind::Allreduce => {
-                            if gen {
-                                out.insert(buf.loc.index());
-                            } else if buf.is_strong_def() {
-                                out.remove(buf.loc.index());
-                            }
+            NodeKind::Mpi(m) if m.kind.receives_data() => {
+                let buf = m.buf.as_ref().expect("receive has buffer");
+                let arriving = self.use_comm && comm.iter().any(|b| b.0);
+                let gen = arriving || seeded;
+                match m.kind {
+                    MpiKind::Recv | MpiKind::Irecv | MpiKind::Allreduce => {
+                        if gen {
+                            out.insert(buf.loc.index());
+                        } else if buf.is_strong_def() {
+                            out.remove(buf.loc.index());
                         }
-                        _ => {
-                            if gen {
-                                out.insert(buf.loc.index());
-                            }
+                    }
+                    _ => {
+                        if gen {
+                            out.insert(buf.loc.index());
                         }
                     }
                 }
+            }
             _ => {}
         }
         out
@@ -123,9 +123,13 @@ impl Dataflow for Influence<'_> {
 
     fn translate(&self, edge: &Edge, fact: &VarSet) -> Option<VarSet> {
         match edge.kind {
-            EdgeKind::Call { site } => {
-                Some(call_forward(self.icfg, &self.maps, site, fact, UseSelector::All))
-            }
+            EdgeKind::Call { site } => Some(call_forward(
+                self.icfg,
+                &self.maps,
+                site,
+                fact,
+                UseSelector::All,
+            )),
             EdgeKind::Return { site } => Some(return_forward(self.icfg, &self.maps, site, fact)),
             _ => None,
         }
@@ -138,8 +142,10 @@ impl Dataflow for Influence<'_> {
 /// `graph` may be the plain ICFG (no communication modeling — reproduces
 /// the paper's "erroneous result") or the MPI-ICFG.
 pub fn forward_slice<G: FlowGraph>(graph: &G, icfg: &Icfg, seed: StmtId) -> BTreeSet<StmtId> {
-    let seeds: Vec<NodeId> =
-        icfg.nodes().filter(|&n| icfg.payload(n).stmt == Some(seed)).collect();
+    let seeds: Vec<NodeId> = icfg
+        .nodes()
+        .filter(|&n| icfg.payload(n).stmt == Some(seed))
+        .collect();
     let use_comm = {
         // Detect communication edges in the graph we were given.
         (0..graph.num_nodes() as u32)
@@ -157,7 +163,9 @@ pub fn forward_slice<G: FlowGraph>(graph: &G, icfg: &Icfg, seed: StmtId) -> BTre
     let mut slice = BTreeSet::new();
     slice.insert(seed);
     for n in icfg.nodes() {
-        let Some(stmt) = icfg.payload(n).stmt else { continue };
+        let Some(stmt) = icfg.payload(n).stmt else {
+            continue;
+        };
         let input = sol.before(n);
         let in_slice = match &icfg.payload(n).kind {
             NodeKind::Assign { lhs, rhs } => {
@@ -173,14 +181,16 @@ pub fn forward_slice<G: FlowGraph>(graph: &G, icfg: &Icfg, seed: StmtId) -> BTre
                             .value
                             .as_ref()
                             .is_some_and(|v| UseSelector::All.reads_from(v, input)),
-                        _ => m.buf.as_ref().is_some_and(|b| input.contains(b.loc.index())),
+                        _ => m
+                            .buf
+                            .as_ref()
+                            .is_some_and(|b| input.contains(b.loc.index())),
                     };
                 // A receive is in the slice when influenced data arrives:
                 // detectable as its buffer being influenced *after* it.
                 let recvs_influenced = m.kind.receives_data()
                     && m.buf.as_ref().is_some_and(|b| {
-                        sol.after(n).contains(b.loc.index())
-                            && !input.contains(b.loc.index())
+                        sol.after(n).contains(b.loc.index()) && !input.contains(b.loc.index())
                     });
                 let recv_kept = m.kind.receives_data()
                     && m.buf.as_ref().is_some_and(|b| {
@@ -260,7 +270,11 @@ mod tests {
         let ir = ProgramIr::from_source(FIGURE1).unwrap();
         let mpi = MpiIcfg::build(Icfg::build(ir, "main", 0).unwrap(), &SyntacticConsts);
         let slice = forward_slice(&mpi, mpi.icfg(), StmtId(1));
-        assert_eq!(ids(&slice), vec![1, 9], "z = 2 reaches the reduce on the then-path");
+        assert_eq!(
+            ids(&slice),
+            vec![1, 9],
+            "z = 2 reaches the reduce on the then-path"
+        );
     }
 
     #[test]
@@ -271,8 +285,11 @@ mod tests {
         let ir = ProgramIr::from_source(src).unwrap();
         let icfg = Icfg::build(ir, "main", 0).unwrap();
         let slice = forward_slice(&icfg, &icfg, StmtId(1)); // g = 1.0
-        // dbl's v = v*2 (s0) and h = g+1 (s3) are influenced.
-        assert!(slice.contains(&StmtId(0)), "callee statement in slice: {slice:?}");
+                                                            // dbl's v = v*2 (s0) and h = g+1 (s3) are influenced.
+        assert!(
+            slice.contains(&StmtId(0)),
+            "callee statement in slice: {slice:?}"
+        );
         assert!(slice.contains(&StmtId(3)));
     }
 

@@ -99,28 +99,27 @@ impl Dataflow for Taint<'_> {
                     out.remove(target.loc.index());
                 }
             }
-            NodeKind::Mpi(m)
-                if m.kind.receives_data() => {
-                    let buf = m.buf.as_ref().expect("receive has buffer");
-                    let arriving = match self.mode {
-                        TaintMode::AllReceivesUntrusted => true,
-                        TaintMode::MpiIcfg => comm.iter().any(|b| b.0),
-                    };
-                    match m.kind {
-                        MpiKind::Recv | MpiKind::Irecv | MpiKind::Allreduce => {
-                            if arriving {
-                                out.insert(buf.loc.index());
-                            } else if buf.is_strong_def() {
-                                out.remove(buf.loc.index());
-                            }
+            NodeKind::Mpi(m) if m.kind.receives_data() => {
+                let buf = m.buf.as_ref().expect("receive has buffer");
+                let arriving = match self.mode {
+                    TaintMode::AllReceivesUntrusted => true,
+                    TaintMode::MpiIcfg => comm.iter().any(|b| b.0),
+                };
+                match m.kind {
+                    MpiKind::Recv | MpiKind::Irecv | MpiKind::Allreduce => {
+                        if arriving {
+                            out.insert(buf.loc.index());
+                        } else if buf.is_strong_def() {
+                            out.remove(buf.loc.index());
                         }
-                        _ => {
-                            if arriving {
-                                out.insert(buf.loc.index());
-                            }
+                    }
+                    _ => {
+                        if arriving {
+                            out.insert(buf.loc.index());
                         }
                     }
                 }
+            }
             _ => {}
         }
         out
@@ -144,9 +143,13 @@ impl Dataflow for Taint<'_> {
 
     fn translate(&self, edge: &Edge, fact: &VarSet) -> Option<VarSet> {
         match edge.kind {
-            EdgeKind::Call { site } => {
-                Some(call_forward(self.icfg, &self.maps, site, fact, UseSelector::All))
-            }
+            EdgeKind::Call { site } => Some(call_forward(
+                self.icfg,
+                &self.maps,
+                site,
+                fact,
+                UseSelector::All,
+            )),
             EdgeKind::Return { site } => Some(return_forward(self.icfg, &self.maps, site, fact)),
             _ => None,
         }
@@ -183,7 +186,10 @@ pub fn analyze<G: FlowGraph>(
         ever.union_into(&solution.output[n]);
     }
     ever.remove(LocTable::MPI_BUFFER.index());
-    Ok(TaintResult { solution, ever_tainted: ever })
+    Ok(TaintResult {
+        solution,
+        ever_tainted: ever,
+    })
 }
 
 /// Convenience: run over the MPI-ICFG in precise mode.
@@ -198,7 +204,10 @@ mod tests {
     use mpi_dfa_graph::mpi::SyntacticConsts;
 
     fn names(icfg: &Icfg, r: &TaintResult) -> Vec<String> {
-        r.tainted_locs().iter().map(|&l| icfg.ir.locs.info(l).name.clone()).collect()
+        r.tainted_locs()
+            .iter()
+            .map(|&l| icfg.ir.locs.info(l).name.clone())
+            .collect()
     }
 
     const TWO_CHANNELS: &str = "program p\n\
@@ -214,11 +223,17 @@ mod tests {
     fn conservative_mode_taints_every_receive() {
         let ir = ProgramIr::from_source(TWO_CHANNELS).unwrap();
         let icfg = Icfg::build(ir, "main", 0).unwrap();
-        let cfg = TaintConfig { tainted_vars: vec!["evil".into()], reads_are_tainted: false };
+        let cfg = TaintConfig {
+            tainted_vars: vec!["evil".into()],
+            reads_are_tainted: false,
+        };
         let r = analyze(&icfg, &icfg, TaintMode::AllReceivesUntrusted, &cfg).unwrap();
         let t = names(&icfg, &r);
         assert!(t.contains(&"a".to_string()));
-        assert!(t.contains(&"b".to_string()), "conservatively tainted: {t:?}");
+        assert!(
+            t.contains(&"b".to_string()),
+            "conservatively tainted: {t:?}"
+        );
         assert!(t.contains(&"sink".to_string()));
     }
 
@@ -227,12 +242,24 @@ mod tests {
         let ir = ProgramIr::from_source(TWO_CHANNELS).unwrap();
         let mpi = MpiIcfg::build(Icfg::build(ir, "main", 0).unwrap(), &SyntacticConsts);
         assert_eq!(mpi.comm_edges.len(), 2, "tags separate the channels");
-        let cfg = TaintConfig { tainted_vars: vec!["evil".into()], reads_are_tainted: false };
+        let cfg = TaintConfig {
+            tainted_vars: vec!["evil".into()],
+            reads_are_tainted: false,
+        };
         let r = analyze_mpi(&mpi, &cfg).unwrap();
         let t = names(&mpi, &r);
-        assert!(t.contains(&"a".to_string()), "tainted channel received: {t:?}");
-        assert!(!t.contains(&"b".to_string()), "trusted channel stays clean: {t:?}");
-        assert!(!t.contains(&"sink".to_string()), "sink fed only by the clean channel");
+        assert!(
+            t.contains(&"a".to_string()),
+            "tainted channel received: {t:?}"
+        );
+        assert!(
+            !t.contains(&"b".to_string()),
+            "trusted channel stays clean: {t:?}"
+        );
+        assert!(
+            !t.contains(&"sink".to_string()),
+            "sink fed only by the clean channel"
+        );
     }
 
     #[test]
@@ -242,10 +269,16 @@ mod tests {
             sub main() { table[idx] = 1.0; out = table[1]; }";
         let ir = ProgramIr::from_source(src).unwrap();
         let icfg = Icfg::build(ir, "main", 0).unwrap();
-        let cfg = TaintConfig { tainted_vars: vec!["idx".into()], reads_are_tainted: false };
+        let cfg = TaintConfig {
+            tainted_vars: vec!["idx".into()],
+            reads_are_tainted: false,
+        };
         let r = analyze(&icfg, &icfg, TaintMode::MpiIcfg, &cfg).unwrap();
         let t = names(&icfg, &r);
-        assert!(t.contains(&"table".to_string()), "tainted index taints the write: {t:?}");
+        assert!(
+            t.contains(&"table".to_string()),
+            "tainted index taints the write: {t:?}"
+        );
         assert!(t.contains(&"out".to_string()));
     }
 
@@ -259,7 +292,10 @@ mod tests {
             &icfg,
             &icfg,
             TaintMode::MpiIcfg,
-            &TaintConfig { tainted_vars: vec![], reads_are_tainted: true },
+            &TaintConfig {
+                tainted_vars: vec![],
+                reads_are_tainted: true,
+            },
         )
         .unwrap();
         assert!(names(&icfg, &on).contains(&"y".to_string()));
@@ -267,7 +303,10 @@ mod tests {
             &icfg,
             &icfg,
             TaintMode::MpiIcfg,
-            &TaintConfig { tainted_vars: vec![], reads_are_tainted: false },
+            &TaintConfig {
+                tainted_vars: vec![],
+                reads_are_tainted: false,
+            },
         )
         .unwrap();
         assert!(off.ever_tainted.is_empty());
@@ -279,7 +318,10 @@ mod tests {
              sub main() { y = x * 2.0; y = 1.0; }";
         let ir = ProgramIr::from_source(src).unwrap();
         let icfg = Icfg::build(ir, "main", 0).unwrap();
-        let cfg = TaintConfig { tainted_vars: vec!["x".into()], reads_are_tainted: false };
+        let cfg = TaintConfig {
+            tainted_vars: vec!["x".into()],
+            reads_are_tainted: false,
+        };
         let r = analyze(&icfg, &icfg, TaintMode::MpiIcfg, &cfg).unwrap();
         // y is tainted at some point (after the first assign) even though
         // the constant overwrites it later.
@@ -295,7 +337,10 @@ mod tests {
              sub main() { allreduce(SUM, x, s); }";
         let ir = ProgramIr::from_source(src).unwrap();
         let mpi = MpiIcfg::build(Icfg::build(ir, "main", 0).unwrap(), &SyntacticConsts);
-        let cfg = TaintConfig { tainted_vars: vec!["x".into()], reads_are_tainted: false };
+        let cfg = TaintConfig {
+            tainted_vars: vec!["x".into()],
+            reads_are_tainted: false,
+        };
         let r = analyze_mpi(&mpi, &cfg).unwrap();
         assert!(names(&mpi, &r).contains(&"s".to_string()));
     }

@@ -48,19 +48,31 @@ impl TwoCopyGraph {
                     // Crossing edges only: copy A sends to copy B and vice
                     // versa (the two simulated processes).
                     push(
-                        Edge { from: e.from, to: shift(e.to), kind: e.kind },
+                        Edge {
+                            from: e.from,
+                            to: shift(e.to),
+                            kind: e.kind,
+                        },
                         &mut in_edges,
                         &mut out_edges,
                     );
                     push(
-                        Edge { from: shift(e.from), to: e.to, kind: e.kind },
+                        Edge {
+                            from: shift(e.from),
+                            to: e.to,
+                            kind: e.kind,
+                        },
                         &mut in_edges,
                         &mut out_edges,
                     );
                 } else {
                     push(*e, &mut in_edges, &mut out_edges);
                     push(
-                        Edge { from: shift(e.from), to: shift(e.to), kind: e.kind },
+                        Edge {
+                            from: shift(e.from),
+                            to: shift(e.to),
+                            kind: e.kind,
+                        },
                         &mut in_edges,
                         &mut out_edges,
                     );
@@ -69,7 +81,13 @@ impl TwoCopyGraph {
         }
         let entries = g.entries().iter().flat_map(|&e| [e, shift(e)]).collect();
         let exits = g.exits().iter().flat_map(|&e| [e, shift(e)]).collect();
-        TwoCopyGraph { base_nodes: n, in_edges, out_edges, entries, exits }
+        TwoCopyGraph {
+            base_nodes: n,
+            in_edges,
+            out_edges,
+            entries,
+            exits,
+        }
     }
 
     /// Number of base-graph nodes (half the total).
@@ -119,7 +137,10 @@ pub struct Rebased<'a, P> {
 
 /// Wrap `inner` for solving over `graph`.
 pub fn rebase<'a, P: Dataflow>(inner: &'a P, graph: &TwoCopyGraph) -> Rebased<'a, P> {
-    Rebased { inner, base_nodes: graph.base_nodes as u32 }
+    Rebased {
+        inner,
+        base_nodes: graph.base_nodes as u32,
+    }
 }
 
 impl<P: Dataflow> Rebased<'_, P> {
@@ -161,8 +182,11 @@ impl<P: Dataflow> Dataflow for Rebased<'_, P> {
     }
 
     fn translate(&self, edge: &Edge, fact: &Self::Fact) -> Option<Self::Fact> {
-        let rebased =
-            Edge { from: self.base(edge.from), to: self.base(edge.to), kind: edge.kind };
+        let rebased = Edge {
+            from: self.base(edge.from),
+            to: self.base(edge.to),
+            kind: edge.kind,
+        };
         self.inner.translate(&rebased, fact)
     }
 }
@@ -204,10 +228,14 @@ mod tests {
         // not expose its problem structs, so we use the equivalent public
         // entry point below.
         let doubled = TwoCopyGraph::build(&mpi);
-        let (vary, useful) = activity::vary_useful_problems(mpi.icfg(), Mode::MpiIcfg, &config)
-            .expect("problems");
+        let (vary, useful) =
+            activity::vary_useful_problems(mpi.icfg(), Mode::MpiIcfg, &config).expect("problems");
         let v = solve(&doubled, &rebase(&vary, &doubled), &SolveParams::default());
-        let u = solve(&doubled, &rebase(&useful, &doubled), &SolveParams::default());
+        let u = solve(
+            &doubled,
+            &rebase(&useful, &doubled),
+            &SolveParams::default(),
+        );
         let mut active = VarSet::empty(ir.locs.len());
         for n in 0..doubled.num_nodes() {
             let node = NodeId(n as u32);

@@ -19,8 +19,7 @@ fn graphs() -> Vec<(&'static str, MpiIcfg)> {
             let ir = mpi_dfa_suite::programs::ir(e.program);
             (
                 e.id,
-                build_mpi_icfg(ir, e.context, e.clone_level, Matching::ReachingConstants)
-                    .unwrap(),
+                build_mpi_icfg(ir, e.context, e.clone_level, Matching::ReachingConstants).unwrap(),
             )
         })
         .collect()
@@ -40,7 +39,10 @@ fn liveness_and_reaching_defs_scale_and_ignore_comm_edges() {
     for (id, g) in graphs() {
         let live_a = liveness::analyze(&g, g.icfg());
         let live_b = liveness::analyze(g.icfg(), g.icfg());
-        assert_eq!(live_a.input, live_b.input, "{id}: liveness must be separable");
+        assert_eq!(
+            live_a.input, live_b.input,
+            "{id}: liveness must be separable"
+        );
 
         let (rd, sol) = reaching_defs::analyze(&g, g.icfg());
         assert!(sol.stats.converged, "{id}");
@@ -52,12 +54,18 @@ fn liveness_and_reaching_defs_scale_and_ignore_comm_edges() {
 fn taint_from_first_global_is_bounded_by_conservative_mode() {
     for (id, g) in graphs() {
         let first_global = g.ir.locs.info(mpi_dfa_graph::loc::Loc(1)).name.clone();
-        let cfg = TaintConfig { tainted_vars: vec![first_global], reads_are_tainted: false };
+        let cfg = TaintConfig {
+            tainted_vars: vec![first_global],
+            reads_are_tainted: false,
+        };
         let precise = taint::analyze_mpi(&g, &cfg).unwrap();
-        let icfg = Icfg::build(g.ir.clone(), g.ir.proc_name(g.context).to_string().as_str(),
-            g.clone_level).unwrap();
-        let coarse =
-            taint::analyze(&icfg, &icfg, TaintMode::AllReceivesUntrusted, &cfg).unwrap();
+        let icfg = Icfg::build(
+            g.ir.clone(),
+            g.ir.proc_name(g.context).to_string().as_str(),
+            g.clone_level,
+        )
+        .unwrap();
+        let coarse = taint::analyze(&icfg, &icfg, TaintMode::AllReceivesUntrusted, &cfg).unwrap();
         // The precise mode can only drop receive-induced taint; anything it
         // reports must also be reported conservatively.
         assert!(
@@ -74,8 +82,12 @@ fn bitwidth_runs_on_every_benchmark_and_is_bounded() {
         assert!(r.solution.stats.converged, "{id}");
         assert!(r.max_width.iter().all(|&w| w <= bitwidth::FULL), "{id}");
         // Conservative mode can only widen.
-        let icfg = Icfg::build(g.ir.clone(), g.ir.proc_name(g.context).to_string().as_str(),
-            g.clone_level).unwrap();
+        let icfg = Icfg::build(
+            g.ir.clone(),
+            g.ir.proc_name(g.context).to_string().as_str(),
+            g.clone_level,
+        )
+        .unwrap();
         let c = bitwidth::analyze(&icfg, &icfg, WidthMode::Conservative);
         for (i, (&p, &cw)) in r.max_width.iter().zip(c.max_width.iter()).enumerate() {
             // Clone-level differences can shuffle per-node facts, but the
@@ -119,7 +131,9 @@ fn comm_edge_counts_are_stable_per_experiment() {
         ("Sw-5", 3),
         ("Sw-6", 3),
     ];
-    let got: Vec<(&str, usize)> =
-        graphs().into_iter().map(|(id, g)| (id, g.comm_edges.len())).collect();
+    let got: Vec<(&str, usize)> = graphs()
+        .into_iter()
+        .map(|(id, g)| (id, g.comm_edges.len()))
+        .collect();
     assert_eq!(got.as_slice(), expected.as_slice());
 }

@@ -7,19 +7,26 @@
 //! sizes per level, plus timing for the graph construction cost cloning
 //! adds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-use mpi_dfa_suite::runner::run_experiment_at;
+use mpi_dfa_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpi_dfa_suite::by_id;
+use mpi_dfa_suite::runner::run_experiment_at;
+use std::hint::black_box;
 
 fn bench_clone_levels(c: &mut Criterion) {
     println!("\nClone-level sweep (MPI-ICFG active bytes / active locations):");
-    println!("{:<8} {:>6} {:>16} {:>12} {:>12}", "Bench", "level", "active bytes", "active locs", "comm edges");
+    println!(
+        "{:<8} {:>6} {:>16} {:>12} {:>12}",
+        "Bench", "level", "active bytes", "active locs", "comm edges"
+    );
     for id in ["MG-1", "MG-2", "LU-2", "Sw-3"] {
         let spec = by_id(id).unwrap();
         for level in 0..=4 {
             let row = run_experiment_at(&spec, level);
-            let marker = if level == spec.clone_level { " <- paper's level" } else { "" };
+            let marker = if level == spec.clone_level {
+                " <- paper's level"
+            } else {
+                ""
+            };
             println!(
                 "{:<8} {:>6} {:>16} {:>12} {:>12}{}",
                 id, level, row.mpi.active_bytes, row.mpi.active_locs, row.comm_edges, marker

@@ -4,9 +4,9 @@
 //! Derivative-code storage saved per benchmark) and times the computation
 //! of the full series.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use mpi_dfa_bench::{criterion_group, criterion_main, Criterion};
 use mpi_dfa_suite::runner::{render_figure4, run_all};
+use std::hint::black_box;
 
 fn bench_fig4(c: &mut Criterion) {
     let rows = run_all();
@@ -17,8 +17,10 @@ fn bench_fig4(c: &mut Criterion) {
     group.bench_function("full_series", |b| {
         b.iter(|| {
             let rows = run_all();
-            let series: Vec<(f64, f64)> =
-                rows.iter().map(|r| (r.active_mb_saved(), r.deriv_mb_saved())).collect();
+            let series: Vec<(f64, f64)> = rows
+                .iter()
+                .map(|r| (r.active_mb_saved(), r.deriv_mb_saved()))
+                .collect();
             black_box(series)
         });
     });

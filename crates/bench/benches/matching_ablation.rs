@@ -6,14 +6,17 @@
 //! matching strategies on every benchmark: edge counts (printed) and the
 //! cost of building the MPI-ICFG under each.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
+use mpi_dfa_bench::{criterion_group, criterion_main, Criterion};
 use mpi_dfa_suite::all_experiments;
+use std::hint::black_box;
 
 fn bench_matching(c: &mut Criterion) {
     println!("\nCommunication edges per matching strategy:");
-    println!("{:<10} {:>8} {:>10} {:>18}", "Bench", "naive", "syntactic", "reaching-consts");
+    println!(
+        "{:<10} {:>8} {:>10} {:>18}",
+        "Bench", "naive", "syntactic", "reaching-consts"
+    );
     let mut seen = std::collections::HashSet::new();
     for spec in all_experiments() {
         if !seen.insert((spec.program, spec.context, spec.clone_level)) {
@@ -22,10 +25,20 @@ fn bench_matching(c: &mut Criterion) {
         let ir = mpi_dfa_suite::programs::ir(spec.program);
         let naive =
             build_mpi_icfg(ir.clone(), spec.context, spec.clone_level, Matching::Naive).unwrap();
-        let syn = build_mpi_icfg(ir.clone(), spec.context, spec.clone_level, Matching::Syntactic)
-            .unwrap();
-        let rc = build_mpi_icfg(ir, spec.context, spec.clone_level, Matching::ReachingConstants)
-            .unwrap();
+        let syn = build_mpi_icfg(
+            ir.clone(),
+            spec.context,
+            spec.clone_level,
+            Matching::Syntactic,
+        )
+        .unwrap();
+        let rc = build_mpi_icfg(
+            ir,
+            spec.context,
+            spec.clone_level,
+            Matching::ReachingConstants,
+        )
+        .unwrap();
         println!(
             "{:<10} {:>8} {:>10} {:>18}",
             spec.id,

@@ -4,18 +4,22 @@
 //! framework, on the Figure 1 program and on Biostat: correctness/precision
 //! (printed) and cost (timed).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use mpi_dfa_analyses::activity::{self, ActivityConfig, Mode};
 use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
+use mpi_dfa_bench::{criterion_group, criterion_main, Criterion};
 use mpi_dfa_graph::icfg::Icfg;
+use std::hint::black_box;
 
 fn bench_modes(c: &mut Criterion) {
     println!("\nActivity-analysis modes (active bytes):");
-    println!("{:<10} {:>12} {:>14} {:>12}", "Program", "naive", "global-buffer", "MPI-ICFG");
-    for (name, context, ind, dep) in
-        [("figure1", "main", "x", "f"), ("biostat", "lglik3", "xmle", "xlogl")]
-    {
+    println!(
+        "{:<10} {:>12} {:>14} {:>12}",
+        "Program", "naive", "global-buffer", "MPI-ICFG"
+    );
+    for (name, context, ind, dep) in [
+        ("figure1", "main", "x", "f"),
+        ("biostat", "lglik3", "xmle", "xlogl"),
+    ] {
         let ir = mpi_dfa_suite::programs::ir(name);
         let config = ActivityConfig::new([ind], [dep]);
         let icfg = Icfg::build(ir.clone(), context, 0).unwrap();

@@ -5,15 +5,15 @@
 //! measures how the two solver strategies scale with generated-program size
 //! and quantifies the round-robin vs worklist gap on a fixed program.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use mpi_dfa_analyses::activity::{self, ActivityConfig};
 use mpi_dfa_analyses::consts::ReachingConsts;
 use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
+use mpi_dfa_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpi_dfa_core::solver::{solve, solve_worklist, SolveParams};
 use mpi_dfa_graph::icfg::ProgramIr;
 use mpi_dfa_graph::mpi::MpiIcfg;
 use mpi_dfa_suite::gen::{generate, GenConfig};
+use std::hint::black_box;
 
 fn graph_for(factor: usize) -> MpiIcfg {
     let src = generate(42, &GenConfig::scaled(factor));

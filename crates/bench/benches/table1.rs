@@ -5,10 +5,10 @@
 //! for every benchmark row, and prints the regenerated table once so
 //! `cargo bench` output doubles as the experiment record.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use mpi_dfa_bench::{criterion_group, criterion_main, Criterion};
 use mpi_dfa_suite::runner::{render_table1, run_all, run_experiment};
 use mpi_dfa_suite::{all_experiments, by_id};
+use std::hint::black_box;
 
 fn bench_table1(c: &mut Criterion) {
     // Print the regenerated table once, with the paper's values alongside.

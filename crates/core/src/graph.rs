@@ -80,11 +80,7 @@ pub trait FlowGraph {
 /// `out_edges` (pass the exits and swap direction for backward problems).
 /// Nodes unreachable from the roots are appended in index order so every
 /// node still gets visited.
-pub fn reverse_postorder<G: FlowGraph>(
-    graph: &G,
-    roots: &[NodeId],
-    backward: bool,
-) -> Vec<NodeId> {
+pub fn reverse_postorder<G: FlowGraph>(graph: &G, roots: &[NodeId], backward: bool) -> Vec<NodeId> {
     let n = graph.num_nodes();
     let mut visited = vec![false; n];
     let mut postorder = Vec::with_capacity(n);
@@ -97,7 +93,11 @@ pub fn reverse_postorder<G: FlowGraph>(
         visited[root.index()] = true;
         stack.push((root, 0));
         while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
-            let edges = if backward { graph.in_edges(node) } else { graph.out_edges(node) };
+            let edges = if backward {
+                graph.in_edges(node)
+            } else {
+                graph.out_edges(node)
+            };
             if *idx < edges.len() {
                 let e = edges[*idx];
                 *idx += 1;
@@ -142,7 +142,11 @@ impl SimpleGraph {
     }
 
     pub fn add_edge(&mut self, from: u32, to: u32, kind: EdgeKind) {
-        let e = Edge { from: NodeId(from), to: NodeId(to), kind };
+        let e = Edge {
+            from: NodeId(from),
+            to: NodeId(to),
+            kind,
+        };
         self.out_edges[from as usize].push(e);
         self.in_edges[to as usize].push(e);
     }
@@ -206,8 +210,9 @@ mod tests {
     fn rpo_visits_preds_first_in_dags() {
         let g = diamond();
         let order = reverse_postorder(&g, g.entries(), false);
-        let pos: Vec<usize> =
-            (0..4).map(|i| order.iter().position(|n| n.0 == i as u32).unwrap()).collect();
+        let pos: Vec<usize> = (0..4)
+            .map(|i| order.iter().position(|n| n.0 == i as u32).unwrap())
+            .collect();
         assert!(pos[0] < pos[1]);
         assert!(pos[0] < pos[2]);
         assert!(pos[1] < pos[3]);
@@ -218,8 +223,9 @@ mod tests {
     fn backward_rpo_reverses_roles() {
         let g = diamond();
         let order = reverse_postorder(&g, g.exits(), true);
-        let pos: Vec<usize> =
-            (0..4).map(|i| order.iter().position(|n| n.0 == i as u32).unwrap()).collect();
+        let pos: Vec<usize> = (0..4)
+            .map(|i| order.iter().position(|n| n.0 == i as u32).unwrap())
+            .collect();
         assert!(pos[3] < pos[1]);
         assert!(pos[3] < pos[2]);
         assert!(pos[1] < pos[0]);
@@ -254,8 +260,9 @@ mod tests {
         g.comm(1, 2, 0);
         g.set_entry(0);
         let order = reverse_postorder(&g, g.entries(), false);
-        let pos: Vec<usize> =
-            (0..3).map(|i| order.iter().position(|n| n.0 == i as u32).unwrap()).collect();
+        let pos: Vec<usize> = (0..3)
+            .map(|i| order.iter().position(|n| n.0 == i as u32).unwrap())
+            .collect();
         assert!(pos[1] < pos[2], "comm successor ordered after its source");
     }
 

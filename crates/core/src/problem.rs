@@ -113,7 +113,11 @@ mod tests {
     #[test]
     fn default_translate_is_identity() {
         let p = Reach;
-        let e = Edge { from: NodeId(0), to: NodeId(1), kind: EdgeKind::Call { site: 0 } };
+        let e = Edge {
+            from: NodeId(0),
+            to: NodeId(1),
+            kind: EdgeKind::Call { site: 0 },
+        };
         assert_eq!(p.translate(&e, &true), None);
     }
 

@@ -16,7 +16,7 @@
 //! `commIN(n) = f_comm(OUT(n))` for backward ones — and hands the collected
 //! communication facts to the node's transfer function.
 
-use crate::graph::{Edge, FlowGraph, NodeId, reverse_postorder};
+use crate::graph::{reverse_postorder, Edge, FlowGraph, NodeId};
 use crate::problem::{Dataflow, Direction};
 
 /// Solver tuning knobs.
@@ -86,7 +86,10 @@ struct Oriented<'g, G: FlowGraph> {
 
 impl<'g, G: FlowGraph> Oriented<'g, G> {
     fn new(graph: &'g G, direction: Direction) -> Self {
-        Oriented { graph, backward: direction == Direction::Backward }
+        Oriented {
+            graph,
+            backward: direction == Direction::Backward,
+        }
     }
 
     /// Edges whose facts flow *into* `n` under the analysis direction.
@@ -154,8 +157,11 @@ fn update_node<G: FlowGraph, P: Dataflow>(
     stats.node_visits += 1;
 
     // Meet over upstream non-communication edges.
-    let mut new_in =
-        if is_boundary[n.index()] { problem.boundary() } else { problem.top() };
+    let mut new_in = if is_boundary[n.index()] {
+        problem.boundary()
+    } else {
+        problem.top()
+    };
     for e in graph.upstream(n) {
         if e.kind.is_comm() {
             continue;
@@ -211,7 +217,10 @@ pub fn solve<G: FlowGraph, P: Dataflow>(
 
     let mut input = vec![problem.top(); n];
     let mut output = vec![problem.top(); n];
-    let mut stats = ConvergenceStats { converged: true, ..Default::default() };
+    let mut stats = ConvergenceStats {
+        converged: true,
+        ..Default::default()
+    };
     let mut comm_buf = Vec::new();
 
     loop {
@@ -239,7 +248,12 @@ pub fn solve<G: FlowGraph, P: Dataflow>(
         }
     }
 
-    Solution { direction: problem.direction(), input, output, stats }
+    Solution {
+        direction: problem.direction(),
+        input,
+        output,
+        stats,
+    }
 }
 
 /// FIFO worklist fixpoint. Produces the same solution as [`solve`] for
@@ -260,7 +274,10 @@ pub fn solve_worklist<G: FlowGraph, P: Dataflow>(
 
     let mut input = vec![problem.top(); n];
     let mut output = vec![problem.top(); n];
-    let mut stats = ConvergenceStats { converged: true, ..Default::default() };
+    let mut stats = ConvergenceStats {
+        converged: true,
+        ..Default::default()
+    };
     let mut comm_buf = Vec::new();
 
     let mut queue: std::collections::VecDeque<NodeId> = order.iter().copied().collect();
@@ -301,7 +318,12 @@ pub fn solve_worklist<G: FlowGraph, P: Dataflow>(
     }
 
     stats.passes = (stats.node_visits as usize).div_ceil(n.max(1));
-    Solution { direction: problem.direction(), input, output, stats }
+    Solution {
+        direction: problem.direction(),
+        input,
+        output,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -339,7 +361,12 @@ mod tests {
             dst.meet_with(src)
         }
 
-        fn transfer(&self, node: NodeId, input: &Self::Fact, comm: &[Self::CommFact]) -> Self::Fact {
+        fn transfer(
+            &self,
+            node: NodeId,
+            input: &Self::Fact,
+            comm: &[Self::CommFact],
+        ) -> Self::Fact {
             if self.recv[node.index()] {
                 let mut v = ConstLattice::Top;
                 for c in comm {
@@ -359,7 +386,10 @@ mod tests {
     }
 
     fn toy(graph_nodes: usize) -> ToyConsts {
-        ToyConsts { gen: vec![None; graph_nodes], recv: vec![false; graph_nodes] }
+        ToyConsts {
+            gen: vec![None; graph_nodes],
+            recv: vec![false; graph_nodes],
+        }
     }
 
     #[test]

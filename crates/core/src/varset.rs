@@ -23,7 +23,10 @@ const BITS: usize = 64;
 impl VarSet {
     /// The empty set over a universe of `universe` ids.
     pub fn empty(universe: usize) -> Self {
-        VarSet { words: vec![0; universe.div_ceil(BITS)].into_boxed_slice(), universe }
+        VarSet {
+            words: vec![0; universe.div_ceil(BITS)].into_boxed_slice(),
+            universe,
+        }
     }
 
     /// The full set over a universe of `universe` ids.
@@ -42,7 +45,11 @@ impl VarSet {
 
     /// Insert `id`; returns true if it was newly inserted.
     pub fn insert(&mut self, id: usize) -> bool {
-        debug_assert!(id < self.universe, "id {id} outside universe {}", self.universe);
+        debug_assert!(
+            id < self.universe,
+            "id {id} outside universe {}",
+            self.universe
+        );
         let w = &mut self.words[id / BITS];
         let mask = 1u64 << (id % BITS);
         let fresh = *w & mask == 0;
@@ -119,7 +126,10 @@ impl VarSet {
     /// True if `self ⊆ other`.
     pub fn is_subset(&self, other: &VarSet) -> bool {
         debug_assert_eq!(self.universe, other.universe);
-        self.words.iter().zip(other.words.iter()).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Cardinality.
@@ -207,7 +217,11 @@ mod tests {
     #[test]
     fn intersect_and_subtract() {
         let mut a: VarSet = [1usize, 2, 3, 64, 65].into_iter().collect();
-        let b: VarSet = [2usize, 64].into_iter().collect::<Vec<_>>().into_iter().collect();
+        let b: VarSet = [2usize, 64]
+            .into_iter()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect();
         // align universes
         let mut b2 = VarSet::empty(a.universe());
         for id in b.iter() {

@@ -1,129 +1,194 @@
 //! Property-based tests for the core framework data structures:
 //! the dense bitset and the lattices must satisfy their algebraic laws for
 //! the solver's fixpoint argument to hold.
+//!
+//! The workspace builds fully offline, so instead of `proptest` these are
+//! seeded exhaustive-ish sweeps over a deterministic splitmix64 stream
+//! (`mpi-dfa-core` cannot depend on `mpi-dfa-lang`'s shared PRNG without a
+//! cycle, hence the tiny inline copy). Each law is checked over `CASES`
+//! independently drawn inputs; a failing case prints its seed so it can be
+//! replayed.
 
 use mpi_dfa_core::lattice::{BoolAnd, BoolOr, ConstLattice, MeetSemiLattice};
 use mpi_dfa_core::varset::VarSet;
-use proptest::prelude::*;
 
 const UNIVERSE: usize = 200;
+const CASES: u64 = 256;
 
-fn varset() -> impl Strategy<Value = VarSet> {
-    proptest::collection::vec(0usize..UNIVERSE, 0..40).prop_map(|ids| {
-        let mut s = VarSet::empty(UNIVERSE);
-        for id in ids {
-            s.insert(id);
+/// Minimal splitmix64 (same algorithm as `mpi_dfa_lang::rng::SplitMix64`).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
         }
-        s
-    })
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
 }
 
-fn const_lattice() -> impl Strategy<Value = ConstLattice<i64>> {
-    prop_oneof![
-        Just(ConstLattice::Top),
-        (-3i64..3).prop_map(ConstLattice::Const),
-        Just(ConstLattice::Bottom),
-    ]
+fn varset(rng: &mut Rng) -> VarSet {
+    let mut s = VarSet::empty(UNIVERSE);
+    for _ in 0..rng.below(40) {
+        s.insert(rng.below(UNIVERSE));
+    }
+    s
 }
 
-proptest! {
-    // ---- VarSet --------------------------------------------------------
-
-    #[test]
-    fn union_is_commutative(a in varset(), b in varset()) {
-        prop_assert_eq!(a.union(&b), b.union(&a));
+fn const_lattice(rng: &mut Rng) -> ConstLattice<i64> {
+    match rng.below(3) {
+        0 => ConstLattice::Top,
+        1 => ConstLattice::Const(rng.below(6) as i64 - 3),
+        _ => ConstLattice::Bottom,
     }
+}
 
-    #[test]
-    fn union_is_associative(a in varset(), b in varset(), c in varset()) {
-        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+/// Run `f` over `CASES` seeded draws, reporting the failing seed.
+fn for_cases(f: impl Fn(&mut Rng)) {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed.wrapping_mul(0x5851F42D4C957F2D) ^ 0xDEADBEEF);
+        f(&mut rng);
     }
+}
 
-    #[test]
-    fn union_is_idempotent_and_monotone(a in varset(), b in varset()) {
-        prop_assert_eq!(a.union(&a), a.clone());
-        prop_assert!(a.is_subset(&a.union(&b)));
-        prop_assert!(b.is_subset(&a.union(&b)));
-    }
+// ---- VarSet --------------------------------------------------------------
 
-    #[test]
-    fn intersection_laws(a in varset(), b in varset()) {
+#[test]
+fn union_is_commutative() {
+    for_cases(|rng| {
+        let (a, b) = (varset(rng), varset(rng));
+        assert_eq!(a.union(&b), b.union(&a));
+    });
+}
+
+#[test]
+fn union_is_associative() {
+    for_cases(|rng| {
+        let (a, b, c) = (varset(rng), varset(rng), varset(rng));
+        assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    });
+}
+
+#[test]
+fn union_is_idempotent_and_monotone() {
+    for_cases(|rng| {
+        let (a, b) = (varset(rng), varset(rng));
+        assert_eq!(a.union(&a), a.clone());
+        assert!(a.is_subset(&a.union(&b)));
+        assert!(b.is_subset(&a.union(&b)));
+    });
+}
+
+#[test]
+fn intersection_laws() {
+    for_cases(|rng| {
+        let (a, b) = (varset(rng), varset(rng));
         let i = a.intersection(&b);
-        prop_assert!(i.is_subset(&a));
-        prop_assert!(i.is_subset(&b));
-        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        assert!(i.is_subset(&a));
+        assert!(i.is_subset(&b));
+        assert_eq!(a.intersection(&b), b.intersection(&a));
         // absorption: a ∩ (a ∪ b) = a
-        prop_assert_eq!(a.intersection(&a.union(&b)), a.clone());
-    }
+        assert_eq!(a.intersection(&a.union(&b)), a.clone());
+    });
+}
 
-    #[test]
-    fn de_morgan_via_subtraction(a in varset(), b in varset()) {
+#[test]
+fn de_morgan_via_subtraction() {
+    for_cases(|rng| {
+        let (a, b) = (varset(rng), varset(rng));
         // (a - b) ∪ (a ∩ b) = a, disjointly.
         let mut diff = a.clone();
         diff.subtract_into(&b);
         let inter = a.intersection(&b);
-        prop_assert!(diff.intersection(&inter).is_empty());
-        prop_assert_eq!(diff.union(&inter), a.clone());
-    }
+        assert!(diff.intersection(&inter).is_empty());
+        assert_eq!(diff.union(&inter), a.clone());
+    });
+}
 
-    #[test]
-    fn change_reporting_is_accurate(a in varset(), b in varset()) {
+#[test]
+fn change_reporting_is_accurate() {
+    for_cases(|rng| {
+        let (a, b) = (varset(rng), varset(rng));
         let mut x = a.clone();
         let changed = x.union_into(&b);
-        prop_assert_eq!(changed, x != a, "union_into change flag");
+        assert_eq!(changed, x != a, "union_into change flag");
         let mut y = a.clone();
         let changed = y.intersect_into(&b);
-        prop_assert_eq!(changed, y != a, "intersect_into change flag");
-    }
+        assert_eq!(changed, y != a, "intersect_into change flag");
+    });
+}
 
-    #[test]
-    fn cardinality_inclusion_exclusion(a in varset(), b in varset()) {
-        prop_assert_eq!(
+#[test]
+fn cardinality_inclusion_exclusion() {
+    for_cases(|rng| {
+        let (a, b) = (varset(rng), varset(rng));
+        assert_eq!(
             a.union(&b).len() + a.intersection(&b).len(),
             a.len() + b.len()
         );
-    }
+    });
+}
 
-    #[test]
-    fn iter_roundtrip(a in varset()) {
+#[test]
+fn iter_roundtrip() {
+    for_cases(|rng| {
+        let a = varset(rng);
         let mut rebuilt = VarSet::empty(UNIVERSE);
         for id in a.iter() {
             rebuilt.insert(id);
         }
-        prop_assert_eq!(rebuilt, a);
-    }
+        assert_eq!(rebuilt, a);
+    });
+}
 
-    // ---- lattices --------------------------------------------------------
+// ---- lattices ------------------------------------------------------------
 
-    #[test]
-    fn const_lattice_laws(a in const_lattice(), b in const_lattice(), c in const_lattice()) {
+#[test]
+fn const_lattice_laws() {
+    for_cases(|rng| {
+        let (a, b, c) = (const_lattice(rng), const_lattice(rng), const_lattice(rng));
         // commutativity
-        prop_assert_eq!(a.meet(&b), b.meet(&a));
+        assert_eq!(a.meet(&b), b.meet(&a));
         // associativity
-        prop_assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
+        assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
         // idempotence & identity
-        prop_assert_eq!(a.meet(&a), a);
-        prop_assert_eq!(a.meet(&ConstLattice::Top), a);
-        prop_assert_eq!(a.meet(&ConstLattice::Bottom), ConstLattice::Bottom);
-    }
+        assert_eq!(a.meet(&a), a);
+        assert_eq!(a.meet(&ConstLattice::Top), a);
+        assert_eq!(a.meet(&ConstLattice::Bottom), ConstLattice::Bottom);
+    });
+}
 
-    #[test]
-    fn const_lattice_meet_descends(a in const_lattice(), b in const_lattice()) {
+#[test]
+fn const_lattice_meet_descends() {
+    for_cases(|rng| {
+        let (a, b) = (const_lattice(rng), const_lattice(rng));
         // meet(a, b) never moves *up*: meeting the result again changes nothing.
         let m = a.meet(&b);
         let mut again = m;
-        prop_assert!(!again.meet_with(&a));
-        prop_assert!(!again.meet_with(&b));
-    }
+        assert!(!again.meet_with(&a));
+        assert!(!again.meet_with(&b));
+    });
+}
 
-    #[test]
-    fn bool_lattices_are_bounded(x in any::<bool>(), y in any::<bool>()) {
-        let mut o = BoolOr(x);
-        o.meet_with(&BoolOr(y));
-        prop_assert_eq!(o.0, x || y);
-        let mut a = BoolAnd(x);
-        a.meet_with(&BoolAnd(y));
-        prop_assert_eq!(a.0, x && y);
+#[test]
+fn bool_lattices_are_bounded() {
+    for x in [false, true] {
+        for y in [false, true] {
+            let mut o = BoolOr(x);
+            o.meet_with(&BoolOr(y));
+            assert_eq!(o.0, x || y);
+            let mut a = BoolAnd(x);
+            a.meet_with(&BoolAnd(y));
+            assert_eq!(a.0, x && y);
+        }
     }
 }
 
@@ -141,6 +206,9 @@ fn union_chains_terminate() {
             changes += 1;
         }
     }
-    assert_eq!(changes, UNIVERSE, "each element can change the set exactly once");
+    assert_eq!(
+        changes, UNIVERSE,
+        "each element can change the set exactly once"
+    );
     assert_eq!(s.len(), UNIVERSE);
 }

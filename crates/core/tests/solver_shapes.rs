@@ -53,7 +53,9 @@ impl Dataflow for Forwarder {
 }
 
 fn forwarder(n: usize) -> Forwarder {
-    Forwarder { recv: vec![false; n] }
+    Forwarder {
+        recv: vec![false; n],
+    }
 }
 
 #[test]
@@ -68,7 +70,11 @@ fn long_chain_converges_in_constant_passes_with_rpo() {
         g.set_exit(n as u32 - 1);
         let sol = solve(&g, &forwarder(n), &SolveParams::default());
         assert_eq!(sol.output[n - 1], ConstLattice::Const(7));
-        assert!(sol.stats.passes <= 2, "chain of {n}: {} passes", sol.stats.passes);
+        assert!(
+            sol.stats.passes <= 2,
+            "chain of {n}: {} passes",
+            sol.stats.passes
+        );
     }
 }
 
@@ -92,7 +98,11 @@ fn nested_loops_take_passes_proportional_to_depth() {
     let sol = solve(&g, &forwarder(n), &SolveParams::default());
     assert!(sol.stats.converged);
     assert_eq!(sol.output[n - 1], ConstLattice::Const(7));
-    assert!(sol.stats.passes <= k + 2, "{} passes for depth {k}", sol.stats.passes);
+    assert!(
+        sol.stats.passes <= k + 2,
+        "{} passes for depth {k}",
+        sol.stats.passes
+    );
 }
 
 #[test]
@@ -115,7 +125,11 @@ fn comm_edge_chain_adds_one_pass_per_hop_at_worst() {
     g.set_entry(0);
     g.set_exit(n as u32 - 1);
     let sol = solve(&g, &problem, &SolveParams::default());
-    assert_eq!(sol.output[n - 1], ConstLattice::Const(7), "constant crossed {p} hops");
+    assert_eq!(
+        sol.output[n - 1],
+        ConstLattice::Const(7),
+        "constant crossed {p} hops"
+    );
     assert!(sol.stats.converged);
     assert!(
         sol.stats.passes <= p + 2,
@@ -188,7 +202,12 @@ fn conflicting_comm_sources_meet_to_bottom() {
         fn meet_into(&self, dst: &mut Self::Fact, src: &Self::Fact) -> bool {
             dst.meet_with(src)
         }
-        fn transfer(&self, node: NodeId, input: &Self::Fact, comm: &[Self::CommFact]) -> Self::Fact {
+        fn transfer(
+            &self,
+            node: NodeId,
+            input: &Self::Fact,
+            comm: &[Self::CommFact],
+        ) -> Self::Fact {
             match node.0 {
                 0 => ConstLattice::Const(1),
                 1 => ConstLattice::Const(2),
@@ -241,7 +260,12 @@ fn call_edges_and_comm_edges_interleave() {
         fn meet_into(&self, dst: &mut Self::Fact, src: &Self::Fact) -> bool {
             dst.meet_with(src)
         }
-        fn transfer(&self, node: NodeId, input: &Self::Fact, comm: &[Self::CommFact]) -> Self::Fact {
+        fn transfer(
+            &self,
+            node: NodeId,
+            input: &Self::Fact,
+            comm: &[Self::CommFact],
+        ) -> Self::Fact {
             if node.0 == 3 {
                 let mut v = ConstLattice::Top;
                 for c in comm {
@@ -255,11 +279,7 @@ fn call_edges_and_comm_edges_interleave() {
         fn comm_transfer(&self, _n: NodeId, input: &Self::Fact) -> Self::CommFact {
             *input
         }
-        fn translate(
-            &self,
-            edge: &mpi_dfa_core::Edge,
-            fact: &Self::Fact,
-        ) -> Option<Self::Fact> {
+        fn translate(&self, edge: &mpi_dfa_core::Edge, fact: &Self::Fact) -> Option<Self::Fact> {
             match (edge.kind, fact) {
                 (EdgeKind::Call { .. }, ConstLattice::Const(c)) => Some(ConstLattice::Const(c + 1)),
                 _ => None,

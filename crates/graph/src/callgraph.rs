@@ -47,7 +47,11 @@ impl CallGraph {
             v.sort_unstable();
             v.dedup();
         }
-        CallGraph { callees, callers, has_mpi }
+        CallGraph {
+            callees,
+            callers,
+            has_mpi,
+        }
     }
 
     pub fn num_procs(&self) -> usize {
@@ -132,7 +136,10 @@ mod tests {
         assert!(!g.has_mpi[idx("wrap1")]);
         assert!(!g.has_mpi[idx("unrelated")]);
         assert_eq!(g.callees[idx("main")], vec![ProcId(idx("wrap2") as u32)]);
-        assert_eq!(g.callers[idx("leaf_send")], vec![ProcId(idx("wrap1") as u32)]);
+        assert_eq!(
+            g.callers[idx("leaf_send")],
+            vec![ProcId(idx("wrap1") as u32)]
+        );
     }
 
     #[test]
@@ -169,7 +176,10 @@ mod tests {
         let (g, names) = cg(LAYERED);
         let idx = |n: &str| names.iter().position(|x| x == n).unwrap();
         let l0 = g.clone_set(0);
-        assert!(l0.iter().all(|&b| !b), "level 0 clones nothing (ops are inline)");
+        assert!(
+            l0.iter().all(|&b| !b),
+            "level 0 clones nothing (ops are inline)"
+        );
         let l1 = g.clone_set(1);
         assert!(l1[idx("leaf_send")] && !l1[idx("wrap1")]);
         let l2 = g.clone_set(2);

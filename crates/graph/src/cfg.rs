@@ -64,8 +64,16 @@ pub fn lower_program(unit: &CompiledUnit, locs: &LocTable) -> Vec<ProcCfg> {
                 locs,
                 proc: ProcId(i as u32),
                 nodes: vec![
-                    CfgNode { kind: NodeKind::Entry, stmt: None, span: sub.span },
-                    CfgNode { kind: NodeKind::Exit, stmt: None, span: sub.span },
+                    CfgNode {
+                        kind: NodeKind::Entry,
+                        stmt: None,
+                        span: sub.span,
+                    },
+                    CfgNode {
+                        kind: NodeKind::Exit,
+                        stmt: None,
+                        span: sub.span,
+                    },
                 ],
                 edges: Vec::new(),
                 call_sites: Vec::new(),
@@ -109,7 +117,13 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn push_node(&mut self, kind: NodeKind, stmt: Option<StmtId>, span: Span, preds: &[u32]) -> u32 {
+    fn push_node(
+        &mut self,
+        kind: NodeKind,
+        stmt: Option<StmtId>,
+        span: Span,
+        preds: &[u32],
+    ) -> u32 {
         let id = self.nodes.len() as u32;
         self.nodes.push(CfgNode { kind, stmt, span });
         for &p in preds {
@@ -147,9 +161,15 @@ impl<'a> Lowerer<'a> {
                 };
                 vec![self.push_node(kind, sid, stmt.span, &preds)]
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let b = self.push_node(
-                    NodeKind::Branch { cond: self.expr_info(cond, false) },
+                    NodeKind::Branch {
+                        cond: self.expr_info(cond, false),
+                    },
                     sid,
                     stmt.span,
                     &preds,
@@ -163,7 +183,9 @@ impl<'a> Lowerer<'a> {
             }
             StmtKind::While { cond, body } => {
                 let b = self.push_node(
-                    NodeKind::Branch { cond: self.expr_info(cond, false) },
+                    NodeKind::Branch {
+                        cond: self.expr_info(cond, false),
+                    },
                     sid,
                     stmt.span,
                     &preds,
@@ -174,7 +196,13 @@ impl<'a> Lowerer<'a> {
                 }
                 vec![b]
             }
-            StmtKind::For { var, lo, hi, step, body } => {
+            StmtKind::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 // init: var = lo
                 let init = self.push_node(
                     NodeKind::Assign {
@@ -198,7 +226,9 @@ impl<'a> Lowerer<'a> {
                     span: hi.span,
                 };
                 let header = self.push_node(
-                    NodeKind::Branch { cond: self.expr_info(&cond_expr, false) },
+                    NodeKind::Branch {
+                        cond: self.expr_info(&cond_expr, false),
+                    },
                     sid,
                     stmt.span,
                     &[init],
@@ -241,7 +271,10 @@ impl<'a> Lowerer<'a> {
                     .iter()
                     .map(|a| {
                         let reference = a.as_lvalue().map(|lv| self.ref_info(lv));
-                        ActualArg { reference, value: self.expr_info(a, true) }
+                        ActualArg {
+                            reference,
+                            value: self.expr_info(a, true),
+                        }
                     })
                     .collect();
                 let site = self.call_sites.len() as u32;
@@ -268,11 +301,15 @@ impl<'a> Lowerer<'a> {
                 vec![self.push_node(NodeKind::Mpi(info), sid, stmt.span, &preds)]
             }
             StmtKind::Read(lv) => {
-                let kind = NodeKind::Read { target: self.ref_info(lv) };
+                let kind = NodeKind::Read {
+                    target: self.ref_info(lv),
+                };
                 vec![self.push_node(kind, sid, stmt.span, &preds)]
             }
             StmtKind::Print(e) => {
-                let kind = NodeKind::Print { value: self.expr_info(e, true) };
+                let kind = NodeKind::Print {
+                    value: self.expr_info(e, true),
+                };
                 vec![self.push_node(kind, sid, stmt.span, &preds)]
             }
         }
@@ -290,16 +327,36 @@ impl<'a> Lowerer<'a> {
             op: None,
         };
         match m {
-            MpiStmt::Send { buf, dest, tag, comm, blocking } => MpiInfo {
-                kind: if *blocking { MpiKind::Send } else { MpiKind::Isend },
+            MpiStmt::Send {
+                buf,
+                dest,
+                tag,
+                comm,
+                blocking,
+            } => MpiInfo {
+                kind: if *blocking {
+                    MpiKind::Send
+                } else {
+                    MpiKind::Isend
+                },
                 buf: Some(self.ref_info(buf)),
                 peer: Some(self.match_expr(dest)),
                 tag: Some(self.match_expr(tag)),
                 comm: comm.as_ref().map(|c| self.match_expr(c)),
                 ..none
             },
-            MpiStmt::Recv { buf, src, tag, comm, blocking } => MpiInfo {
-                kind: if *blocking { MpiKind::Recv } else { MpiKind::Irecv },
+            MpiStmt::Recv {
+                buf,
+                src,
+                tag,
+                comm,
+                blocking,
+            } => MpiInfo {
+                kind: if *blocking {
+                    MpiKind::Recv
+                } else {
+                    MpiKind::Irecv
+                },
                 buf: Some(self.ref_info(buf)),
                 peer: Some(self.match_expr(src)),
                 tag: Some(self.match_expr(tag)),
@@ -313,7 +370,13 @@ impl<'a> Lowerer<'a> {
                 comm: comm.as_ref().map(|c| self.match_expr(c)),
                 ..none
             },
-            MpiStmt::Reduce { op, send, recv, root, comm } => MpiInfo {
+            MpiStmt::Reduce {
+                op,
+                send,
+                recv,
+                root,
+                comm,
+            } => MpiInfo {
                 kind: MpiKind::Reduce,
                 buf: Some(self.ref_info(recv)),
                 value: Some(self.expr_info(send, true)),
@@ -322,7 +385,12 @@ impl<'a> Lowerer<'a> {
                 op: Some(*op),
                 ..none
             },
-            MpiStmt::Allreduce { op, send, recv, comm } => MpiInfo {
+            MpiStmt::Allreduce {
+                op,
+                send,
+                recv,
+                comm,
+            } => MpiInfo {
                 kind: MpiKind::Allreduce,
                 buf: Some(self.ref_info(recv)),
                 value: Some(self.expr_info(send, true)),
@@ -330,8 +398,14 @@ impl<'a> Lowerer<'a> {
                 op: Some(*op),
                 ..none
             },
-            MpiStmt::Barrier => MpiInfo { kind: MpiKind::Barrier, ..none },
-            MpiStmt::Wait => MpiInfo { kind: MpiKind::Wait, ..none },
+            MpiStmt::Barrier => MpiInfo {
+                kind: MpiKind::Barrier,
+                ..none
+            },
+            MpiStmt::Wait => MpiInfo {
+                kind: MpiKind::Wait,
+                ..none
+            },
         }
     }
 
@@ -344,25 +418,41 @@ impl<'a> Lowerer<'a> {
     }
 
     fn whole_ref(&self, name: &str) -> RefInfo {
-        RefInfo { loc: self.resolve(name), whole: true, index_uses: Vec::new() }
+        RefInfo {
+            loc: self.resolve(name),
+            whole: true,
+            index_uses: Vec::new(),
+        }
     }
 
     fn ref_info(&self, lv: &LValue) -> RefInfo {
         let mut index_uses = Vec::new();
         for ix in &lv.indices {
-            collect_uses(ix, false, &mut UseSetSink::NonDiffOnly(&mut index_uses), &|n| {
-                self.resolve(n)
-            });
+            collect_uses(
+                ix,
+                false,
+                &mut UseSetSink::NonDiffOnly(&mut index_uses),
+                &|n| self.resolve(n),
+            );
         }
-        RefInfo { loc: self.resolve(&lv.name), whole: lv.indices.is_empty(), index_uses }
+        RefInfo {
+            loc: self.resolve(&lv.name),
+            whole: lv.indices.is_empty(),
+            index_uses,
+        }
     }
 
     fn expr_info(&self, e: &Expr, diff_root: bool) -> ExprInfo {
         let mut uses = UseSet::default();
-        collect_uses(e, diff_root, &mut UseSetSink::Full(&mut uses), &|n| self.resolve(n));
+        collect_uses(e, diff_root, &mut UseSetSink::Full(&mut uses), &|n| {
+            self.resolve(n)
+        });
         dedup(&mut uses.diff);
         dedup(&mut uses.nondiff);
-        ExprInfo { expr: e.clone(), uses }
+        ExprInfo {
+            expr: e.clone(),
+            uses,
+        }
     }
 
     fn match_expr(&self, e: &Expr) -> MatchExpr {
@@ -370,9 +460,15 @@ impl<'a> Lowerer<'a> {
             return MatchExpr::any();
         }
         let mut uses = Vec::new();
-        collect_uses(e, false, &mut UseSetSink::NonDiffOnly(&mut uses), &|n| self.resolve(n));
+        collect_uses(e, false, &mut UseSetSink::NonDiffOnly(&mut uses), &|n| {
+            self.resolve(n)
+        });
         dedup(&mut uses);
-        MatchExpr { expr: Some(e.clone()), is_any: false, uses }
+        MatchExpr {
+            expr: Some(e.clone()),
+            is_any: false,
+            uses,
+        }
     }
 }
 
@@ -529,11 +625,13 @@ mod tests {
 
     #[test]
     fn return_cuts_flow() {
-        let (_, _, cfgs) =
-            lower("program p global x: real; sub main() { return; x = 1.0; }");
+        let (_, _, cfgs) = lower("program p global x: real; sub main() { return; x = 1.0; }");
         let cfg = &cfgs[0];
         let assign = find_nodes(cfg, |k| matches!(k, NodeKind::Assign { .. }))[0].0;
-        assert!(cfg.preds(assign).is_empty(), "code after return is unreachable");
+        assert!(
+            cfg.preds(assign).is_empty(),
+            "code after return is unreachable"
+        );
         // The return edge goes straight from entry to exit; the dead assign
         // keeps its structural edge to exit but can never execute.
         assert!(cfg.preds(EXIT).contains(&ENTRY));
@@ -545,7 +643,10 @@ mod tests {
         let cfg = &cfgs[1];
         assert_eq!(cfg.call_sites.len(), 1);
         let cs = &cfg.call_sites[0];
-        assert!(cfg.succs(cs.call_node).is_empty(), "call connects only via ICFG");
+        assert!(
+            cfg.succs(cs.call_node).is_empty(),
+            "call connects only via ICFG"
+        );
         assert!(cfg.preds(cs.after_node).is_empty());
         assert_eq!(cfg.succs(cs.after_node), &[EXIT]);
     }
@@ -563,7 +664,9 @@ mod tests {
             .enumerate()
             .find(|(_, n)| matches!(n.kind, NodeKind::Assign { .. }))
             .unwrap();
-        let NodeKind::Assign { lhs, rhs } = &node.kind else { unreachable!() };
+        let NodeKind::Assign { lhs, rhs } = &node.kind else {
+            unreachable!()
+        };
         let a = locs.global("a").unwrap();
         let b = locs.global("b").unwrap();
         let i = locs.global("i").unwrap();
@@ -571,7 +674,10 @@ mod tests {
         assert!(lhs.whole);
         assert!(rhs.uses.diff.contains(&a));
         assert!(rhs.uses.diff.contains(&b));
-        assert!(rhs.uses.nondiff.contains(&i), "subscript use is non-differentiable");
+        assert!(
+            rhs.uses.nondiff.contains(&i),
+            "subscript use is non-differentiable"
+        );
         assert!(!rhs.uses.diff.contains(&i));
     }
 
@@ -582,8 +688,7 @@ mod tests {
              sub main() { if (x > 0.0) { k = mod(k, 4); } }",
         );
         let cfg = &cfgs[0];
-        let NodeKind::Branch { cond } =
-            &find(cfg, |k| matches!(k, NodeKind::Branch { .. })).kind
+        let NodeKind::Branch { cond } = &find(cfg, |k| matches!(k, NodeKind::Branch { .. })).kind
         else {
             unreachable!()
         };
@@ -635,7 +740,13 @@ mod tests {
         assert!(recv.comm.is_none(), "default communicator");
         let reduce = mpis[3];
         assert_eq!(reduce.kind, MpiKind::Reduce);
-        assert!(reduce.value.as_ref().unwrap().uses.diff.contains(&locs.global("s").unwrap()));
+        assert!(reduce
+            .value
+            .as_ref()
+            .unwrap()
+            .uses
+            .diff
+            .contains(&locs.global("s").unwrap()));
         assert_eq!(reduce.buf.as_ref().unwrap().loc, locs.global("s").unwrap());
     }
 
@@ -674,6 +785,9 @@ mod tests {
                 }
             }
         }
-        assert!(seen.iter().all(|&b| b), "unreachable nodes in structured code");
+        assert!(
+            seen.iter().all(|&b| b),
+            "unreachable nodes in structured code"
+        );
     }
 }

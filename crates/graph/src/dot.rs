@@ -15,7 +15,10 @@ use std::fmt::Write;
 pub fn icfg_to_dot(g: &Icfg, title: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", escape(title));
-    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\", fontsize=10];");
+    let _ = writeln!(
+        out,
+        "  node [shape=box, fontname=\"monospace\", fontsize=10];"
+    );
 
     // Cluster nodes by instance.
     for (i, inst) in g.instances.iter().enumerate() {
@@ -25,7 +28,12 @@ pub fn icfg_to_dot(g: &Icfg, title: &str) -> String {
         let len = g.ir.cfgs[inst.proc.index()].num_nodes();
         for local in 0..len {
             let n = NodeId(inst.base + local as u32);
-            let _ = writeln!(out, "    n{} [label=\"{}\"];", n.0, escape(&node_label(g, n)));
+            let _ = writeln!(
+                out,
+                "    n{} [label=\"{}\"];",
+                n.0,
+                escape(&node_label(g, n))
+            );
         }
         let _ = writeln!(out, "  }}");
     }
@@ -37,8 +45,16 @@ pub fn icfg_to_dot(g: &Icfg, title: &str) -> String {
                 EdgeKind::Call { .. } | EdgeKind::Return { .. } => "dotted",
                 EdgeKind::Comm { .. } => "dashed",
             };
-            let extra = if e.kind.is_comm() { ", color=red, constraint=false" } else { "" };
-            let _ = writeln!(out, "  n{} -> n{} [style={style}{extra}];", e.from.0, e.to.0);
+            let extra = if e.kind.is_comm() {
+                ", color=red, constraint=false"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [style={style}{extra}];",
+                e.from.0, e.to.0
+            );
         }
     }
     let _ = writeln!(out, "}}");

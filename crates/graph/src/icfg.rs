@@ -17,8 +17,8 @@ use crate::callgraph::CallGraph;
 use crate::cfg::{lower_program, ProcCfg, ENTRY, EXIT};
 use crate::loc::{Loc, LocTable, ProcId};
 use crate::node::{CallSiteInfo, CfgNode, NodeKind};
-use mpi_dfa_lang::CompiledUnit;
 use mpi_dfa_core::graph::{Edge, EdgeKind, FlowGraph, NodeId};
+use mpi_dfa_lang::CompiledUnit;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -37,7 +37,12 @@ impl ProgramIr {
         let locs = LocTable::build(&unit);
         let cfgs = lower_program(&unit, &locs);
         let callgraph = CallGraph::build(&cfgs);
-        Arc::new(ProgramIr { unit, locs, cfgs, callgraph })
+        Arc::new(ProgramIr {
+            unit,
+            locs,
+            cfgs,
+            callgraph,
+        })
     }
 
     /// Compile and build in one step.
@@ -46,7 +51,10 @@ impl ProgramIr {
     }
 
     pub fn proc_id(&self, name: &str) -> Option<ProcId> {
-        self.cfgs.iter().position(|c| c.name == name).map(|i| ProcId(i as u32))
+        self.cfgs
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ProcId(i as u32))
     }
 
     pub fn proc_name(&self, p: ProcId) -> &str {
@@ -102,6 +110,13 @@ pub struct GlobalCallSite {
 pub enum IcfgError {
     UnknownContext(String),
     TooManyNodes(usize),
+    /// A callee's formal parameter was missing from the location table —
+    /// an internal inconsistency between sema and graph construction that
+    /// is reported instead of panicking.
+    MissingFormal {
+        callee: String,
+        param: String,
+    },
 }
 
 impl std::fmt::Display for IcfgError {
@@ -110,6 +125,12 @@ impl std::fmt::Display for IcfgError {
             IcfgError::UnknownContext(n) => write!(f, "unknown context routine `{n}`"),
             IcfgError::TooManyNodes(n) => {
                 write!(f, "cloning produced {n} nodes; lower the clone level")
+            }
+            IcfgError::MissingFormal { callee, param } => {
+                write!(
+                    f,
+                    "internal error: formal parameter `{param}` of `{callee}` was never interned"
+                )
             }
         }
     }
@@ -140,7 +161,9 @@ pub struct Icfg {
 impl Icfg {
     /// Build the ICFG rooted at `context` with the given clone level.
     pub fn build(ir: Arc<ProgramIr>, context: &str, clone_level: usize) -> Result<Icfg, IcfgError> {
-        let ctx = ir.proc_id(context).ok_or_else(|| IcfgError::UnknownContext(context.into()))?;
+        let ctx = ir
+            .proc_id(context)
+            .ok_or_else(|| IcfgError::UnknownContext(context.into()))?;
         let clone_marks = ir.callgraph.clone_set(clone_level);
 
         let mut b = Builder {
@@ -189,12 +212,20 @@ impl Icfg {
         }
         for (k, cs) in call_sites.iter().enumerate() {
             push(
-                Edge { from: cs.call_node, to: cs.callee_entry, kind: EdgeKind::Call { site: k as u32 } },
+                Edge {
+                    from: cs.call_node,
+                    to: cs.callee_entry,
+                    kind: EdgeKind::Call { site: k as u32 },
+                },
                 &mut in_edges,
                 &mut out_edges,
             );
             push(
-                Edge { from: cs.callee_exit, to: cs.after_node, kind: EdgeKind::Return { site: k as u32 } },
+                Edge {
+                    from: cs.callee_exit,
+                    to: cs.after_node,
+                    kind: EdgeKind::Return { site: k as u32 },
+                },
                 &mut in_edges,
                 &mut out_edges,
             );
@@ -284,7 +315,11 @@ impl Icfg {
 
     /// Append a communication edge (used by the MPI-ICFG builder).
     pub(crate) fn push_comm_edge(&mut self, from: NodeId, to: NodeId, pair: u32) {
-        let e = Edge { from, to, kind: EdgeKind::Comm { pair } };
+        let e = Edge {
+            from,
+            to,
+            kind: EdgeKind::Comm { pair },
+        };
         self.out_edges[from.index()].push(e);
         self.in_edges[to.index()].push(e);
     }
@@ -349,7 +384,7 @@ impl<'a> Builder<'a> {
         for (local_site, cs) in sites.iter().enumerate() {
             let callee_inst = self.instantiate(cs.callee)?;
             let callee_base = self.instances[callee_inst as usize].base;
-            let bindings = self.bindings(cs);
+            let bindings = self.bindings(cs)?;
             self.call_sites.push(GlobalCallSite {
                 caller_proc: proc,
                 local_site: local_site as u32,
@@ -364,7 +399,7 @@ impl<'a> Builder<'a> {
         Ok(idx)
     }
 
-    fn bindings(&self, cs: &CallSiteInfo) -> Vec<Binding> {
+    fn bindings(&self, cs: &CallSiteInfo) -> Result<Vec<Binding>, IcfgError> {
         let callee_sub = &self.ir.unit.program.subs[cs.callee.index()];
         callee_sub
             .params
@@ -376,13 +411,20 @@ impl<'a> Builder<'a> {
                     .ir
                     .locs
                     .resolve(cs.callee, &param.name)
-                    .expect("formal parameter interned");
+                    .ok_or_else(|| IcfgError::MissingFormal {
+                        callee: callee_sub.name.clone(),
+                        param: param.name.clone(),
+                    })?;
                 let actual = match &arg.reference {
                     Some(r) if r.whole => ActualBinding::RefWhole(r.loc),
                     Some(r) => ActualBinding::RefElement(r.loc),
                     None => ActualBinding::Value,
                 };
-                Binding { formal, actual, arg_idx: i }
+                Ok(Binding {
+                    formal,
+                    actual,
+                    arg_idx: i,
+                })
             })
             .collect()
     }
@@ -417,7 +459,11 @@ mod tests {
         let g = icfg(LAYERED, "main", 0);
         // main + wrap + leaf, each once.
         assert_eq!(g.instances.len(), 3);
-        assert_eq!(g.call_sites.len(), 3, "two calls to wrap + one call to leaf");
+        assert_eq!(
+            g.call_sites.len(),
+            3,
+            "two calls to wrap + one call to leaf"
+        );
         // wrap's entry has two incoming call edges (context-insensitive merge).
         let wrap_entry = g
             .call_sites
@@ -440,7 +486,10 @@ mod tests {
             .filter(|cs| g.ir.proc_name(cs.callee) == "wrap")
             .map(|cs| cs.callee_entry)
             .collect();
-        assert_ne!(wrap_entries[0], wrap_entries[1], "wrap cloned per call site");
+        assert_ne!(
+            wrap_entries[0], wrap_entries[1],
+            "wrap cloned per call site"
+        );
         assert_eq!(g.mpi_nodes().len(), 2, "leaf's send node duplicated");
     }
 
@@ -499,7 +548,10 @@ mod tests {
             0,
         );
         assert_eq!(g.instances.len(), 2);
-        assert!(g.instances.iter().all(|i| g.ir.proc_name(i.proc) != "unused"));
+        assert!(g
+            .instances
+            .iter()
+            .all(|i| g.ir.proc_name(i.proc) != "unused"));
     }
 
     #[test]

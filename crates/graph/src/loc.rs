@@ -115,7 +115,11 @@ impl LocTable {
 
     fn intern(&mut self, key: usize, name: &str, proc: Option<ProcId>, ty: Type) -> Loc {
         let loc = Loc(self.infos.len() as u32);
-        self.infos.push(LocInfo { name: name.to_string(), proc, ty });
+        self.infos.push(LocInfo {
+            name: name.to_string(),
+            proc,
+            ty,
+        });
         self.by_name.insert((key, name.to_string()), loc);
         loc
     }
@@ -160,7 +164,10 @@ impl LocTable {
 
     /// Iterate all locations with their infos.
     pub fn iter(&self) -> impl Iterator<Item = (Loc, &LocInfo)> {
-        self.infos.iter().enumerate().map(|(i, info)| (Loc(i as u32), info))
+        self.infos
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (Loc(i as u32), info))
     }
 
     /// Number of program globals (excluding the synthetic buffer).
@@ -216,7 +223,8 @@ mod tests {
 
     #[test]
     fn scoping_matches_sema() {
-        let (_, t) = table("program p global x: real; sub f() { var x: int; } sub g() { x = 1.0; }");
+        let (_, t) =
+            table("program p global x: real; sub f() { var x: int; } sub g() { x = 1.0; }");
         let f_x = t.resolve(ProcId(0), "x").unwrap();
         let g_x = t.resolve(ProcId(1), "x").unwrap();
         assert_ne!(f_x, g_x, "local shadows global");

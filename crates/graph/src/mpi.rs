@@ -18,8 +18,8 @@
 
 use crate::icfg::Icfg;
 use crate::node::{MatchExpr, MpiInfo, MpiKind, NodeKind};
-use mpi_dfa_lang::ast::{BinOp, Expr, ExprKind, Intrinsic, UnOp};
 use mpi_dfa_core::graph::{Edge, FlowGraph, NodeId};
+use mpi_dfa_lang::ast::{BinOp, Expr, ExprKind, Intrinsic, UnOp};
 use std::ops::Deref;
 
 /// Resolves MPI match arguments to integer constants where possible.
@@ -109,18 +109,24 @@ impl MpiIcfg {
             .mpi_nodes()
             .iter()
             .map(|&n| {
-                let NodeKind::Mpi(info) = &icfg.payload(n).kind else { unreachable!() };
+                let NodeKind::Mpi(info) = &icfg.payload(n).kind else {
+                    unreachable!()
+                };
                 (n, info.kind)
             })
             .collect();
 
         let arg = |n: NodeId, f: fn(&MpiInfo) -> &Option<MatchExpr>| -> ArgVal {
-            let NodeKind::Mpi(info) = &icfg.payload(n).kind else { unreachable!() };
+            let NodeKind::Mpi(info) = &icfg.payload(n).kind else {
+                unreachable!()
+            };
             ArgVal::of(f(info), n, consts)
         };
         // A missing communicator argument *is* the constant COMM_WORLD (0).
         let comm_arg = |n: NodeId| -> ArgVal {
-            let NodeKind::Mpi(info) = &icfg.payload(n).kind else { unreachable!() };
+            let NodeKind::Mpi(info) = &icfg.payload(n).kind else {
+                unreachable!()
+            };
             match &info.comm {
                 None => ArgVal::Const(0),
                 some => ArgVal::of(some, n, consts),
@@ -144,7 +150,11 @@ impl MpiIcfg {
         // Collectives: all ordered pairs (including self) of the same kind
         // with compatible root (bcast/reduce) and communicator.
         let collective = |kind: MpiKind| {
-            nodes.iter().filter(move |(_, k)| *k == kind).map(|&(n, _)| n).collect::<Vec<_>>()
+            nodes
+                .iter()
+                .filter(move |(_, k)| *k == kind)
+                .map(|&(n, _)| n)
+                .collect::<Vec<_>>()
         };
         for kind in [MpiKind::Bcast, MpiKind::Reduce, MpiKind::Allreduce] {
             let group = collective(kind);
@@ -164,7 +174,10 @@ impl MpiIcfg {
         for (pair, e) in edges.iter().enumerate() {
             icfg.push_comm_edge(e.from, e.to, pair as u32);
         }
-        MpiIcfg { icfg, comm_edges: edges }
+        MpiIcfg {
+            icfg,
+            comm_edges: edges,
+        }
     }
 
     /// Full conservative connectivity (no constant matching).
@@ -181,19 +194,32 @@ impl MpiIcfg {
     /// Communication predecessors of a node (sources of incoming comm
     /// edges) — the paper's `commpred(n)`.
     pub fn comm_preds(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.icfg.in_edges(n).iter().filter(|e| e.kind.is_comm()).map(|e| e.from)
+        self.icfg
+            .in_edges(n)
+            .iter()
+            .filter(|e| e.kind.is_comm())
+            .map(|e| e.from)
     }
 
     /// Communication successors of a node.
     pub fn comm_succs(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.icfg.out_edges(n).iter().filter(|e| e.kind.is_comm()).map(|e| e.to)
+        self.icfg
+            .out_edges(n)
+            .iter()
+            .filter(|e| e.kind.is_comm())
+            .map(|e| e.to)
     }
 
     /// Count MPI node kinds and edges.
     pub fn stats(&self) -> CommStats {
-        let mut s = CommStats { comm_edges: self.comm_edges.len(), ..Default::default() };
+        let mut s = CommStats {
+            comm_edges: self.comm_edges.len(),
+            ..Default::default()
+        };
         for &n in self.icfg.mpi_nodes() {
-            let NodeKind::Mpi(info) = &self.icfg.payload(n).kind else { unreachable!() };
+            let NodeKind::Mpi(info) = &self.icfg.payload(n).kind else {
+                unreachable!()
+            };
             match info.kind {
                 MpiKind::Send | MpiKind::Isend => s.p2p_sends += 1,
                 MpiKind::Recv | MpiKind::Irecv => s.p2p_recvs += 1,
@@ -414,7 +440,10 @@ mod tests {
         let src = "program p global x: real; global y: real;\n\
              sub main() { send(x, 1, 7); send(x, 1, 8); recv(y, 0, 7); recv(y, 0, 8); }";
         let ir = ProgramIr::from_source(src).unwrap();
-        let refined = MpiIcfg::build(Icfg::build(ir.clone(), "main", 0).unwrap(), &SyntacticConsts);
+        let refined = MpiIcfg::build(
+            Icfg::build(ir.clone(), "main", 0).unwrap(),
+            &SyntacticConsts,
+        );
         let naive = MpiIcfg::build_naive(Icfg::build(ir, "main", 0).unwrap());
         assert_eq!(refined.comm_edges.len(), 2);
         assert_eq!(naive.comm_edges.len(), 4);

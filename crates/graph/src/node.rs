@@ -145,7 +145,11 @@ pub struct MatchExpr {
 
 impl MatchExpr {
     pub fn any() -> Self {
-        MatchExpr { expr: None, is_any: true, uses: Vec::new() }
+        MatchExpr {
+            expr: None,
+            is_any: true,
+            uses: Vec::new(),
+        }
     }
 }
 
@@ -211,7 +215,11 @@ pub struct CfgNode {
 
 impl CfgNode {
     pub fn synthetic(kind: NodeKind) -> Self {
-        CfgNode { kind, stmt: None, span: Span::DUMMY }
+        CfgNode {
+            kind,
+            stmt: None,
+            span: Span::DUMMY,
+        }
     }
 
     /// Short label for dumps and DOT output.
@@ -250,15 +258,26 @@ mod tests {
 
     #[test]
     fn strong_def_is_whole_reference() {
-        let strong = RefInfo { loc: Loc(3), whole: true, index_uses: vec![] };
-        let weak = RefInfo { loc: Loc(3), whole: false, index_uses: vec![Loc(4)] };
+        let strong = RefInfo {
+            loc: Loc(3),
+            whole: true,
+            index_uses: vec![],
+        };
+        let weak = RefInfo {
+            loc: Loc(3),
+            whole: false,
+            index_uses: vec![Loc(4)],
+        };
         assert!(strong.is_strong_def());
         assert!(!weak.is_strong_def());
     }
 
     #[test]
     fn useset_all_iterates_both_classes() {
-        let u = UseSet { diff: vec![Loc(1)], nondiff: vec![Loc(2), Loc(3)] };
+        let u = UseSet {
+            diff: vec![Loc(1)],
+            nondiff: vec![Loc(2), Loc(3)],
+        };
         assert_eq!(u.all().collect::<Vec<_>>(), vec![Loc(1), Loc(2), Loc(3)]);
     }
 }

@@ -62,9 +62,11 @@ fn num_edges_counts_every_kind() {
 
 #[test]
 fn in_and_out_edge_tables_are_consistent() {
-    for (name, context, clone) in
-        [("lu", "ssor", 2), ("mg", "mg3P", 3), ("sweep3d", "sweep", 2)]
-    {
+    for (name, context, clone) in [
+        ("lu", "ssor", 2),
+        ("mg", "mg3P", 3),
+        ("sweep3d", "sweep", 2),
+    ] {
         let ir = mpi_dfa_suite::programs::ir(name);
         let g = MpiIcfg::build(Icfg::build(ir, context, clone).unwrap(), &SyntacticConsts);
         let mut out_count = 0usize;
@@ -72,11 +74,16 @@ fn in_and_out_edge_tables_are_consistent() {
             let n = NodeId(i as u32);
             for e in g.out_edges(n) {
                 assert_eq!(e.from, n);
-                assert!(g.in_edges(e.to).contains(e), "{name}: missing mirror in-edge");
+                assert!(
+                    g.in_edges(e.to).contains(e),
+                    "{name}: missing mirror in-edge"
+                );
                 out_count += 1;
             }
         }
-        let in_count: usize = (0..g.num_nodes()).map(|i| g.in_edges(NodeId(i as u32)).len()).sum();
+        let in_count: usize = (0..g.num_nodes())
+            .map(|i| g.in_edges(NodeId(i as u32)).len())
+            .sum();
         assert_eq!(out_count, in_count, "{name}");
     }
 }
@@ -91,7 +98,10 @@ fn call_and_return_edges_pair_up() {
         for e in g.out_edges(NodeId(i as u32)) {
             match e.kind {
                 EdgeKind::Call { site } => {
-                    assert!(calls.insert(site, *e).is_none(), "duplicate call edge for site");
+                    assert!(
+                        calls.insert(site, *e).is_none(),
+                        "duplicate call edge for site"
+                    );
                 }
                 EdgeKind::Return { site } => {
                     assert!(returns.insert(site, *e).is_none());

@@ -82,11 +82,21 @@ pub enum StmtKind {
     /// `lhs = rhs;`
     Assign { lhs: LValue, rhs: Expr },
     /// `if (cond) { .. } else { .. }`
-    If { cond: Expr, then_blk: Block, else_blk: Option<Block> },
+    If {
+        cond: Expr,
+        then_blk: Block,
+        else_blk: Option<Block>,
+    },
     /// `while (cond) { .. }`
     While { cond: Expr, body: Block },
     /// `for i = lo, hi[, step] { .. }` — inclusive bounds, Fortran `do`.
-    For { var: String, lo: Expr, hi: Expr, step: Option<Expr>, body: Block },
+    For {
+        var: String,
+        lo: Expr,
+        hi: Expr,
+        step: Option<Expr>,
+        body: Block,
+    },
     /// `call f(a, b, ...);` — lvalue arguments bind by reference.
     Call { name: String, args: Vec<Expr> },
     /// `return;`
@@ -125,15 +135,42 @@ impl fmt::Display for RedOp {
 #[derive(Debug, Clone)]
 pub enum MpiStmt {
     /// `send(buf, dest, tag[, comm]);` / `isend(...)`.
-    Send { buf: LValue, dest: Expr, tag: Expr, comm: Option<Expr>, blocking: bool },
+    Send {
+        buf: LValue,
+        dest: Expr,
+        tag: Expr,
+        comm: Option<Expr>,
+        blocking: bool,
+    },
     /// `recv(buf, src, tag[, comm]);` / `irecv(...)`. `src`/`tag` may be `ANY`.
-    Recv { buf: LValue, src: Expr, tag: Expr, comm: Option<Expr>, blocking: bool },
+    Recv {
+        buf: LValue,
+        src: Expr,
+        tag: Expr,
+        comm: Option<Expr>,
+        blocking: bool,
+    },
     /// `bcast(buf, root[, comm]);` — root sends, everyone else receives.
-    Bcast { buf: LValue, root: Expr, comm: Option<Expr> },
+    Bcast {
+        buf: LValue,
+        root: Expr,
+        comm: Option<Expr>,
+    },
     /// `reduce(OP, sendval, recvbuf, root[, comm]);`
-    Reduce { op: RedOp, send: Expr, recv: LValue, root: Expr, comm: Option<Expr> },
+    Reduce {
+        op: RedOp,
+        send: Expr,
+        recv: LValue,
+        root: Expr,
+        comm: Option<Expr>,
+    },
     /// `allreduce(OP, sendval, recvbuf[, comm]);`
-    Allreduce { op: RedOp, send: Expr, recv: LValue, comm: Option<Expr> },
+    Allreduce {
+        op: RedOp,
+        send: Expr,
+        recv: LValue,
+        comm: Option<Expr>,
+    },
     /// `barrier();`
     Barrier,
     /// `wait();` — completes the most recent nonblocking operation.
@@ -145,9 +182,13 @@ impl MpiStmt {
     pub fn mnemonic(&self) -> &'static str {
         match self {
             MpiStmt::Send { blocking: true, .. } => "send",
-            MpiStmt::Send { blocking: false, .. } => "isend",
+            MpiStmt::Send {
+                blocking: false, ..
+            } => "isend",
             MpiStmt::Recv { blocking: true, .. } => "recv",
-            MpiStmt::Recv { blocking: false, .. } => "irecv",
+            MpiStmt::Recv {
+                blocking: false, ..
+            } => "irecv",
             MpiStmt::Bcast { .. } => "bcast",
             MpiStmt::Reduce { .. } => "reduce",
             MpiStmt::Allreduce { .. } => "allreduce",
@@ -169,7 +210,11 @@ pub struct LValue {
 
 impl LValue {
     pub fn var(name: impl Into<String>, span: Span) -> Self {
-        LValue { name: name.into(), indices: Vec::new(), span }
+        LValue {
+            name: name.into(),
+            indices: Vec::new(),
+            span,
+        }
     }
 
     pub fn is_whole(&self) -> bool {
@@ -296,7 +341,10 @@ pub enum ExprKind {
 
 impl Expr {
     pub fn int(v: i64, span: Span) -> Self {
-        Expr { kind: ExprKind::IntLit(v), span }
+        Expr {
+            kind: ExprKind::IntLit(v),
+            span,
+        }
     }
 
     /// If this expression is a bare variable reference (no indices), its name.
@@ -351,7 +399,9 @@ pub fn visit_stmts<'a>(block: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
     for stmt in &block.stmts {
         f(stmt);
         match &stmt.kind {
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 visit_stmts(then_blk, f);
                 if let Some(e) = else_blk {
                     visit_stmts(e, f);
@@ -373,7 +423,10 @@ mod tests {
 
     #[test]
     fn bare_var_detection() {
-        let e = Expr { kind: ExprKind::Var(LValue::var("x", sp())), span: sp() };
+        let e = Expr {
+            kind: ExprKind::Var(LValue::var("x", sp())),
+            span: sp(),
+        };
         assert_eq!(e.as_bare_var(), Some("x"));
         let idx = Expr {
             kind: ExprKind::Var(LValue {
@@ -403,13 +456,19 @@ mod tests {
                     }),
                     span: sp(),
                 }),
-                Box::new(Expr { kind: ExprKind::Var(LValue::var("b", sp())), span: sp() }),
+                Box::new(Expr {
+                    kind: ExprKind::Var(LValue::var("b", sp())),
+                    span: sp(),
+                }),
             ),
             span: sp(),
         };
         let mut vars = Vec::new();
         e.collect_vars(&mut vars);
-        assert_eq!(vars, vec!["a".to_string(), "i".to_string(), "b".to_string()]);
+        assert_eq!(
+            vars,
+            vec!["a".to_string(), "i".to_string(), "b".to_string()]
+        );
     }
 
     #[test]
@@ -426,9 +485,21 @@ mod tests {
     fn mnemonics() {
         let lv = LValue::var("x", sp());
         let e = || Expr::int(0, sp());
-        let s = MpiStmt::Send { buf: lv.clone(), dest: e(), tag: e(), comm: None, blocking: true };
+        let s = MpiStmt::Send {
+            buf: lv.clone(),
+            dest: e(),
+            tag: e(),
+            comm: None,
+            blocking: true,
+        };
         assert_eq!(s.mnemonic(), "send");
-        let i = MpiStmt::Send { buf: lv, dest: e(), tag: e(), comm: None, blocking: false };
+        let i = MpiStmt::Send {
+            buf: lv,
+            dest: e(),
+            tag: e(),
+            comm: None,
+            blocking: false,
+        };
         assert_eq!(i.mnemonic(), "isend");
         assert_eq!(MpiStmt::Barrier.mnemonic(), "barrier");
     }

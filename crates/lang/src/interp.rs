@@ -6,10 +6,14 @@
 //! completion under P processes, communicate, and produce deterministic
 //! results.
 //!
-//! Each process runs on its own OS thread with a mailbox (Mutex + Condvar).
-//! `send` is eager/buffered (never blocks); `recv` blocks until a matching
-//! message arrives or the deadlock timeout expires. Collectives are lowered
-//! onto point-to-point transfers using a reserved tag space keyed by a
+//! Each process runs on its own OS thread; all communication goes through a
+//! [`Transport`] (see [`crate::fault`]) — by default per-rank mailboxes with
+//! a blocked-rank registry that detects genuine deadlocks immediately, and
+//! optionally a seeded [`FaultPlan`] that perturbs delivery for adversarial
+//! schedule exploration. `send` is eager/buffered (never blocks); `recv`
+//! blocks until a matching message arrives, the registry proves a deadlock,
+//! or the fallback timeout expires. Collectives are lowered onto
+//! point-to-point transfers using a reserved tag space keyed by a
 //! per-process collective sequence number, which is valid because SMPL
 //! programs (like the paper's benchmarks) execute collectives in the same
 //! order on every process.
@@ -28,25 +32,70 @@
 //!   distinctly where it matters).
 
 use crate::ast::*;
+use crate::fault::{ChannelTransport, FaultPlan, RankWait, RecvError, Transport};
 use crate::span::Span;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
-use std::cell::RefCell;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
-/// Runtime failure during interpretation.
+/// Runtime failure during interpretation. Communication deadlocks carry a
+/// structured per-rank wait-for report from the transport's blocked-rank
+/// registry; everything else is a per-rank failure with a source span.
 #[derive(Debug, Clone)]
-pub struct RuntimeError {
-    pub rank: usize,
-    pub span: Span,
-    pub message: String,
+pub enum RuntimeError {
+    /// A rank failed executing a statement (bad index, budget exceeded,
+    /// arity mismatch, receive timeout, ...).
+    Failed {
+        rank: usize,
+        span: Span,
+        message: String,
+    },
+    /// Every live rank was blocked with no matching message in flight.
+    Deadlock { waiting: Vec<RankWait> },
+}
+
+impl RuntimeError {
+    /// The rank that reported the error (the lowest blocked rank for a
+    /// deadlock).
+    pub fn rank(&self) -> usize {
+        match self {
+            RuntimeError::Failed { rank, .. } => *rank,
+            RuntimeError::Deadlock { waiting } => {
+                waiting.first().map(|w| w.rank).unwrap_or(usize::MAX)
+            }
+        }
+    }
+
+    /// True for the structured deadlock report.
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, RuntimeError::Deadlock { .. })
+    }
 }
 
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "runtime error on rank {} at {}: {}", self.rank, self.span, self.message)
+        match self {
+            RuntimeError::Failed {
+                rank,
+                span,
+                message,
+            } => {
+                write!(f, "runtime error on rank {rank} at {span}: {message}")
+            }
+            RuntimeError::Deadlock { waiting } => {
+                write!(
+                    f,
+                    "deadlock detected: every live rank is blocked with no matching message in flight"
+                )?;
+                for w in waiting {
+                    write!(f, "\n  {w}")?;
+                }
+                Ok(())
+            }
+        }
     }
 }
 
@@ -70,6 +119,9 @@ pub struct InterpConfig {
     /// Capture every global's final value into
     /// [`ProcessResult::final_globals`].
     pub capture_globals: bool,
+    /// Optional seeded fault-injection / adversarial-schedule plan applied
+    /// by the transport (see [`crate::fault::FaultPlan`]).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for InterpConfig {
@@ -81,6 +133,7 @@ impl Default for InterpConfig {
             recv_timeout: Duration::from_secs(10),
             init_globals: Vec::new(),
             capture_globals: false,
+            fault_plan: None,
         }
     }
 }
@@ -100,106 +153,70 @@ pub struct ProcessResult {
     pub final_globals: Vec<(String, Vec<f64>)>,
 }
 
-/// Run `program` under `config`, returning per-rank results.
+/// Run `program` under `config`, returning per-rank results. Uses the
+/// default [`ChannelTransport`], configured with `config.fault_plan`.
 pub fn run(program: &Program, config: &InterpConfig) -> Result<Vec<ProcessResult>, RuntimeError> {
+    let transport = ChannelTransport::new(config.nprocs.max(1), config.fault_plan.clone());
+    run_with_transport(program, config, &transport)
+}
+
+/// Run `program` with an explicit [`Transport`] implementation.
+pub fn run_with_transport(
+    program: &Program,
+    config: &InterpConfig,
+    transport: &(dyn Transport + Sync),
+) -> Result<Vec<ProcessResult>, RuntimeError> {
     let nprocs = config.nprocs.max(1);
-    let mailboxes: Arc<Vec<Mailbox>> = Arc::new((0..nprocs).map(|_| Mailbox::default()).collect());
     let program = Arc::new(program.clone());
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nprocs);
         for rank in 0..nprocs {
             let program = Arc::clone(&program);
-            let mailboxes = Arc::clone(&mailboxes);
             let config = config.clone();
             handles.push(scope.spawn(move || {
+                transport.rank_started(rank);
                 let mut proc = Process {
                     program: &program,
                     rank,
                     nprocs,
-                    mailboxes: &mailboxes,
+                    transport,
                     result: ProcessResult::default(),
                     read_counter: rank as u64,
                     coll_seq: 0,
                     config: &config,
                 };
-                proc.run_entry().map(|_| proc.result)
+                let outcome = proc.run_entry().map(|_| proc.result);
+                // Always unregister from the wait graph, success or not, so
+                // the deadlock detector never counts a dead rank as live.
+                transport.rank_finished(rank);
+                outcome
             }));
         }
         let mut results = Vec::with_capacity(nprocs);
-        let mut first_err = None;
+        let mut errors: Vec<RuntimeError> = Vec::new();
         for h in handles {
             match h.join() {
                 Ok(Ok(r)) => results.push(r),
-                Ok(Err(e)) => first_err = first_err.or(Some(e)),
-                Err(_) => {
-                    first_err = first_err.or(Some(RuntimeError {
-                        rank: usize::MAX,
-                        span: Span::DUMMY,
-                        message: "interpreter thread panicked".to_string(),
-                    }));
-                }
+                Ok(Err(e)) => errors.push(e),
+                Err(_) => errors.push(RuntimeError::Failed {
+                    rank: usize::MAX,
+                    span: Span::DUMMY,
+                    message: "interpreter thread panicked".to_string(),
+                }),
             }
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(results),
+        // A deadlock report is often the *consequence* of another rank's
+        // failure (it died and left its peers stranded); prefer the root
+        // cause when both kinds are present.
+        match errors.iter().position(|e| !e.is_deadlock()) {
+            Some(pos) => Err(errors.swap_remove(pos)),
+            None => match errors.into_iter().next() {
+                Some(e) => Err(e),
+                None => Ok(results),
+            },
         }
     })
-}
-
-// ---- message transport -----------------------------------------------------
-
-#[derive(Debug, Clone)]
-struct Message {
-    src: usize,
-    tag: i64,
-    comm: i64,
-    payload: Vec<f64>,
-}
-
-#[derive(Default)]
-struct Mailbox {
-    queue: Mutex<Vec<Message>>,
-    cond: Condvar,
-}
-
-impl Mailbox {
-    fn post(&self, msg: Message) {
-        self.queue.lock().expect("mailbox poisoned").push(msg);
-        self.cond.notify_all();
-    }
-
-    /// Remove and return the first message matching `(src, tag, comm)`;
-    /// `None` for src/tag means wildcard.
-    fn take(
-        &self,
-        src: Option<usize>,
-        tag: Option<i64>,
-        comm: i64,
-        timeout: Duration,
-    ) -> Option<Message> {
-        let deadline = Instant::now() + timeout;
-        let mut queue = self.queue.lock().expect("mailbox poisoned");
-        loop {
-            if let Some(pos) = queue.iter().position(|m| {
-                src.is_none_or(|s| s == m.src)
-                    && tag.is_none_or(|t| t == m.tag)
-                    && m.comm == comm
-            }) {
-                return Some(queue.remove(pos));
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            let (q, _res) = self
-                .cond
-                .wait_timeout(queue, deadline - now)
-                .expect("mailbox poisoned");
-            queue = q;
-        }
-    }
 }
 
 /// Tag space reserved for lowered collectives; user tags must stay below.
@@ -219,7 +236,10 @@ impl Storage {
         if ty.is_scalar() {
             Storage::Scalar(0.0)
         } else {
-            Storage::Array { data: vec![0.0; ty.elem_count() as usize], dims: ty.dims.clone() }
+            Storage::Array {
+                data: vec![0.0; ty.elem_count() as usize],
+                dims: ty.dims.clone(),
+            }
         }
     }
 }
@@ -259,7 +279,7 @@ struct Process<'a> {
     program: &'a Program,
     rank: usize,
     nprocs: usize,
-    mailboxes: &'a [Mailbox],
+    transport: &'a (dyn Transport + Sync),
     result: ProcessResult,
     read_counter: u64,
     coll_seq: i64,
@@ -269,7 +289,10 @@ struct Process<'a> {
 impl<'a> Process<'a> {
     fn run_entry(&mut self) -> Result<(), RuntimeError> {
         let entry = self.program.sub(&self.config.entry).ok_or_else(|| {
-            self.err(Span::DUMMY, format!("entry subroutine `{}` not found", self.config.entry))
+            self.err(
+                Span::DUMMY,
+                format!("entry subroutine `{}` not found", self.config.entry),
+            )
         })?;
         if !entry.params.is_empty() {
             return Err(self.err(entry.span, "entry subroutine must take no parameters"));
@@ -278,8 +301,11 @@ impl<'a> Process<'a> {
         let mut globals = HashMap::new();
         for g in &self.program.globals {
             let mut storage = Storage::from_type(&g.ty);
-            if let Some((_, v)) =
-                self.config.init_globals.iter().find(|(name, _)| *name == g.name)
+            if let Some((_, v)) = self
+                .config
+                .init_globals
+                .iter()
+                .find(|(name, _)| *name == g.name)
             {
                 match &mut storage {
                     Storage::Scalar(x) => *x = *v,
@@ -289,7 +315,9 @@ impl<'a> Process<'a> {
             globals.insert(g.name.clone(), Rc::new(RefCell::new(storage)));
         }
         let globals = Frame { vars: globals };
-        let mut frame = Frame { vars: HashMap::new() };
+        let mut frame = Frame {
+            vars: HashMap::new(),
+        };
         self.exec_block(&entry.body, &mut frame, &globals)?;
         if self.config.capture_globals {
             let mut finals: Vec<(String, Vec<f64>)> = globals
@@ -310,10 +338,20 @@ impl<'a> Process<'a> {
     }
 
     fn err(&self, span: Span, msg: impl Into<String>) -> RuntimeError {
-        RuntimeError { rank: self.rank, span, message: msg.into() }
+        RuntimeError::Failed {
+            rank: self.rank,
+            span,
+            message: msg.into(),
+        }
     }
 
-    fn lookup(&self, frame: &Frame, globals: &Frame, name: &str, span: Span) -> Result<Slot, RuntimeError> {
+    fn lookup(
+        &self,
+        frame: &Frame,
+        globals: &Frame,
+        name: &str,
+        span: Span,
+    ) -> Result<Slot, RuntimeError> {
         frame
             .vars
             .get(name)
@@ -366,8 +404,14 @@ impl<'a> Process<'a> {
                 let idx = self.eval_indices(lhs, frame, globals)?;
                 self.store_into(&slot, &idx, v, stmt.span)?;
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
-                let c = self.eval(cond, frame, globals)?.as_num(|| self.err(cond.span, "array condition"))?;
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let c = self
+                    .eval(cond, frame, globals)?
+                    .as_num(|| self.err(cond.span, "array condition"))?;
                 if c != 0.0 {
                     return self.exec_block(then_blk, frame, globals);
                 } else if let Some(e) = else_blk {
@@ -376,7 +420,9 @@ impl<'a> Process<'a> {
             }
             StmtKind::While { cond, body } => loop {
                 self.tick(stmt.span)?;
-                let c = self.eval(cond, frame, globals)?.as_num(|| self.err(cond.span, "array condition"))?;
+                let c = self
+                    .eval(cond, frame, globals)?
+                    .as_num(|| self.err(cond.span, "array condition"))?;
                 if c == 0.0 {
                     break;
                 }
@@ -384,11 +430,23 @@ impl<'a> Process<'a> {
                     return Ok(Flow::Return);
                 }
             },
-            StmtKind::For { var, lo, hi, step, body } => {
-                let lo = self.eval(lo, frame, globals)?.as_num(|| self.err(stmt.span, "array loop bound"))?;
-                let hi = self.eval(hi, frame, globals)?.as_num(|| self.err(stmt.span, "array loop bound"))?;
+            StmtKind::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                let lo = self
+                    .eval(lo, frame, globals)?
+                    .as_num(|| self.err(stmt.span, "array loop bound"))?;
+                let hi = self
+                    .eval(hi, frame, globals)?
+                    .as_num(|| self.err(stmt.span, "array loop bound"))?;
                 let st = match step {
-                    Some(s) => self.eval(s, frame, globals)?.as_num(|| self.err(stmt.span, "array step"))?,
+                    Some(s) => self
+                        .eval(s, frame, globals)?
+                        .as_num(|| self.err(stmt.span, "array step"))?,
                     None => 1.0,
                 };
                 if st == 0.0 {
@@ -447,7 +505,10 @@ impl<'a> Process<'a> {
 
     /// Deterministic pseudo-input stream, distinct per rank.
     fn next_input(&mut self) -> f64 {
-        self.read_counter = self.read_counter.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.read_counter = self
+            .read_counter
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         // Map to a small stable range to keep arithmetic well-behaved.
         ((self.read_counter >> 33) % 1000) as f64 / 100.0 + 1.0
     }
@@ -467,7 +528,9 @@ impl<'a> Process<'a> {
         if callee.params.len() != args.len() {
             return Err(self.err(span, format!("arity mismatch calling `{name}`")));
         }
-        let mut new_frame = Frame { vars: HashMap::new() };
+        let mut new_frame = Frame {
+            vars: HashMap::new(),
+        };
         for (param, arg) in callee.params.iter().zip(args) {
             let slot = match arg.as_lvalue() {
                 Some(lv) if lv.is_whole() => {
@@ -488,7 +551,10 @@ impl<'a> Process<'a> {
                                 Storage::Scalar(x)
                             }
                         }
-                        Val::Arr(xs) => Storage::Array { data: xs, dims: param.ty.dims.clone() },
+                        Val::Arr(xs) => Storage::Array {
+                            data: xs,
+                            dims: param.ty.dims.clone(),
+                        },
                     };
                     Rc::new(RefCell::new(storage))
                 }
@@ -509,14 +575,26 @@ impl<'a> Process<'a> {
         globals: &Frame,
     ) -> Result<(), RuntimeError> {
         match m {
-            MpiStmt::Send { buf, dest, tag, comm, .. } => {
+            MpiStmt::Send {
+                buf,
+                dest,
+                tag,
+                comm,
+                ..
+            } => {
                 let payload = self.load_payload(buf, frame, globals)?;
                 let dest = self.eval_rank(dest, frame, globals)?;
                 let tag = self.eval_int(tag, frame, globals)?;
                 let comm = self.eval_comm(comm, frame, globals)?;
                 self.post(dest, tag, comm, payload, span)?;
             }
-            MpiStmt::Recv { buf, src, tag, comm, .. } => {
+            MpiStmt::Recv {
+                buf,
+                src,
+                tag,
+                comm,
+                ..
+            } => {
                 let src = match src.kind {
                     ExprKind::AnyWildcard => None,
                     _ => Some(self.eval_rank(src, frame, globals)?),
@@ -545,7 +623,13 @@ impl<'a> Process<'a> {
                     self.store_payload(buf, msg.payload, frame, globals, span)?;
                 }
             }
-            MpiStmt::Reduce { op, send, recv, root, comm } => {
+            MpiStmt::Reduce {
+                op,
+                send,
+                recv,
+                root,
+                comm,
+            } => {
                 let root = self.eval_rank(root, frame, globals)?;
                 let comm = self.eval_comm(comm, frame, globals)?;
                 let tag = self.next_coll_tag();
@@ -569,7 +653,11 @@ impl<'a> Process<'a> {
                             *a = combine(*op, *a, b);
                         }
                     }
-                    let v = if acc.len() == 1 { Val::Num(acc[0]) } else { Val::Arr(acc) };
+                    let v = if acc.len() == 1 {
+                        Val::Num(acc[0])
+                    } else {
+                        Val::Arr(acc)
+                    };
                     let slot = self.lookup(frame, globals, &recv.name, recv.span)?;
                     let idx = self.eval_indices(recv, frame, globals)?;
                     self.store_into(&slot, &idx, v, span)?;
@@ -577,7 +665,12 @@ impl<'a> Process<'a> {
                     self.post(root, tag, comm, mine, span)?;
                 }
             }
-            MpiStmt::Allreduce { op, send, recv, comm } => {
+            MpiStmt::Allreduce {
+                op,
+                send,
+                recv,
+                comm,
+            } => {
                 // Lower to reduce-to-0 + bcast using two collective tags.
                 let comm_v = self.eval_comm(comm, frame, globals)?;
                 let tag_r = self.next_coll_tag();
@@ -605,7 +698,11 @@ impl<'a> Process<'a> {
                     self.post(0, tag_r, comm_v, mine, span)?;
                     self.take(Some(0), Some(tag_b), comm_v, span)?.payload
                 };
-                let v = if result.len() == 1 { Val::Num(result[0]) } else { Val::Arr(result) };
+                let v = if result.len() == 1 {
+                    Val::Num(result[0])
+                } else {
+                    Val::Arr(result)
+                };
                 let slot = self.lookup(frame, globals, &recv.name, recv.span)?;
                 let idx = self.eval_indices(recv, frame, globals)?;
                 self.store_into(&slot, &idx, v, span)?;
@@ -636,26 +733,54 @@ impl<'a> Process<'a> {
         COLLECTIVE_TAG_BASE + self.coll_seq
     }
 
-    fn post(&mut self, dest: usize, tag: i64, comm: i64, payload: Vec<f64>, span: Span) -> Result<(), RuntimeError> {
+    fn post(
+        &mut self,
+        dest: usize,
+        tag: i64,
+        comm: i64,
+        payload: Vec<f64>,
+        span: Span,
+    ) -> Result<(), RuntimeError> {
         if dest >= self.nprocs {
-            return Err(self.err(span, format!("send to invalid rank {dest} (nprocs={})", self.nprocs)));
+            return Err(self.err(
+                span,
+                format!("send to invalid rank {dest} (nprocs={})", self.nprocs),
+            ));
         }
         self.result.sends += 1;
-        self.mailboxes[dest].post(Message { src: self.rank, tag, comm, payload });
+        self.transport.send(self.rank, dest, tag, comm, payload);
         Ok(())
     }
 
-    fn take(&mut self, src: Option<usize>, tag: Option<i64>, comm: i64, span: Span) -> Result<Message, RuntimeError> {
-        match self.mailboxes[self.rank].take(src, tag, comm, self.config.recv_timeout) {
-            Some(m) => {
+    fn take(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<i64>,
+        comm: i64,
+        span: Span,
+    ) -> Result<crate::fault::Message, RuntimeError> {
+        match self
+            .transport
+            .recv(self.rank, src, tag, comm, span, self.config.recv_timeout)
+        {
+            Ok(m) => {
                 self.result.recvs += 1;
                 Ok(m)
             }
-            None => Err(self.err(span, "recv timed out: deadlock or missing matching send")),
+            Err(RecvError::Timeout) => Err(self.err(
+                span,
+                "recv timed out: missing matching send (no deadlock proven)",
+            )),
+            Err(RecvError::Deadlock(waiting)) => Err(RuntimeError::Deadlock { waiting }),
         }
     }
 
-    fn load_payload(&mut self, lv: &LValue, frame: &Frame, globals: &Frame) -> Result<Vec<f64>, RuntimeError> {
+    fn load_payload(
+        &mut self,
+        lv: &LValue,
+        frame: &Frame,
+        globals: &Frame,
+    ) -> Result<Vec<f64>, RuntimeError> {
         let slot = self.lookup(frame, globals, &lv.name, lv.span)?;
         let idx = self.eval_indices(lv, frame, globals)?;
         let s = slot.borrow();
@@ -680,21 +805,37 @@ impl<'a> Process<'a> {
     ) -> Result<(), RuntimeError> {
         let slot = self.lookup(frame, globals, &lv.name, lv.span)?;
         let idx = self.eval_indices(lv, frame, globals)?;
-        let v = if payload.len() == 1 { Val::Num(payload[0]) } else { Val::Arr(payload) };
+        let v = if payload.len() == 1 {
+            Val::Num(payload[0])
+        } else {
+            Val::Arr(payload)
+        };
         self.store_into(&slot, &idx, v, span)
     }
 
-    fn eval_rank(&mut self, e: &Expr, frame: &Frame, globals: &Frame) -> Result<usize, RuntimeError> {
+    fn eval_rank(
+        &mut self,
+        e: &Expr,
+        frame: &Frame,
+        globals: &Frame,
+    ) -> Result<usize, RuntimeError> {
         let v = self.eval_int(e, frame, globals)?;
         usize::try_from(v).map_err(|_| self.err(e.span, format!("negative rank {v}")))
     }
 
     fn eval_int(&mut self, e: &Expr, frame: &Frame, globals: &Frame) -> Result<i64, RuntimeError> {
-        let v = self.eval(e, frame, globals)?.as_num(|| self.err(e.span, "expected scalar"))?;
+        let v = self
+            .eval(e, frame, globals)?
+            .as_num(|| self.err(e.span, "expected scalar"))?;
         Ok(v as i64)
     }
 
-    fn eval_comm(&mut self, comm: &Option<Expr>, frame: &Frame, globals: &Frame) -> Result<i64, RuntimeError> {
+    fn eval_comm(
+        &mut self,
+        comm: &Option<Expr>,
+        frame: &Frame,
+        globals: &Frame,
+    ) -> Result<i64, RuntimeError> {
         match comm {
             Some(c) => self.eval_int(c, frame, globals),
             None => Ok(0),
@@ -703,8 +844,16 @@ impl<'a> Process<'a> {
 
     // ---- expressions -----------------------------------------------------
 
-    fn eval_indices(&mut self, lv: &LValue, frame: &Frame, globals: &Frame) -> Result<Vec<i64>, RuntimeError> {
-        lv.indices.iter().map(|e| self.eval_int(e, frame, globals)).collect()
+    fn eval_indices(
+        &mut self,
+        lv: &LValue,
+        frame: &Frame,
+        globals: &Frame,
+    ) -> Result<Vec<i64>, RuntimeError> {
+        lv.indices
+            .iter()
+            .map(|e| self.eval_int(e, frame, globals))
+            .collect()
     }
 
     /// Column-major (Fortran) flattening of 1-based subscripts.
@@ -739,7 +888,10 @@ impl<'a> Process<'a> {
             }
             (Storage::Array { data, .. }, true, Val::Arr(xs)) => {
                 if xs.len() != data.len() {
-                    return Err(self.err(span, format!("array length mismatch: {} vs {}", xs.len(), data.len())));
+                    return Err(self.err(
+                        span,
+                        format!("array length mismatch: {} vs {}", xs.len(), data.len()),
+                    ));
                 }
                 data.copy_from_slice(&xs);
             }
@@ -798,7 +950,10 @@ impl<'a> Process<'a> {
             ExprKind::Intrinsic(i, args) => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
-                    vals.push(self.eval(a, frame, globals)?.as_num(|| self.err(a.span, "array intrinsic arg"))?);
+                    vals.push(
+                        self.eval(a, frame, globals)?
+                            .as_num(|| self.err(a.span, "array intrinsic arg"))?,
+                    );
                 }
                 let r = match i {
                     Intrinsic::Sqrt => vals[0].abs().sqrt(),
@@ -848,13 +1003,22 @@ impl<'a> Process<'a> {
         }
         Ok(match (a, b) {
             (Val::Num(x), Val::Num(y)) => Val::Num(scalar(op, x, y)),
-            (Val::Arr(xs), Val::Num(y)) => Val::Arr(xs.into_iter().map(|x| scalar(op, x, y)).collect()),
-            (Val::Num(x), Val::Arr(ys)) => Val::Arr(ys.into_iter().map(|y| scalar(op, x, y)).collect()),
+            (Val::Arr(xs), Val::Num(y)) => {
+                Val::Arr(xs.into_iter().map(|x| scalar(op, x, y)).collect())
+            }
+            (Val::Num(x), Val::Arr(ys)) => {
+                Val::Arr(ys.into_iter().map(|y| scalar(op, x, y)).collect())
+            }
             (Val::Arr(xs), Val::Arr(ys)) => {
                 if xs.len() != ys.len() {
                     return Err(self.err(span, "elementwise op on arrays of different lengths"));
                 }
-                Val::Arr(xs.into_iter().zip(ys).map(|(x, y)| scalar(op, x, y)).collect())
+                Val::Arr(
+                    xs.into_iter()
+                        .zip(ys)
+                        .map(|(x, y)| scalar(op, x, y))
+                        .collect(),
+                )
             }
         })
     }
@@ -877,8 +1041,15 @@ mod tests {
     fn run_src(src: &str, nprocs: usize) -> Vec<ProcessResult> {
         let p = parse(src).expect("parse");
         crate::sema::check(&p).expect("sema");
-        run(&p, &InterpConfig { nprocs, recv_timeout: Duration::from_secs(5), ..Default::default() })
-            .expect("run")
+        run(
+            &p,
+            &InterpConfig {
+                nprocs,
+                recv_timeout: Duration::from_secs(5),
+                ..Default::default()
+            },
+        )
+        .expect("run")
     }
 
     #[test]
@@ -996,31 +1167,154 @@ mod tests {
         assert_eq!(r[0].printed, vec![3.0]);
     }
 
-    #[test]
-    fn deadlock_is_detected() {
-        let p = parse("program t sub main() { var x: real; recv(x, 0, 1); }").unwrap();
+    /// Run expecting a structured deadlock; the detector (not the timeout)
+    /// must fire, so a generous timeout still finishes almost instantly.
+    fn expect_deadlock(src: &str, nprocs: usize) -> Vec<crate::fault::RankWait> {
+        let p = parse(src).unwrap();
         let cfg = InterpConfig {
-            nprocs: 2,
-            recv_timeout: Duration::from_millis(50),
+            nprocs,
+            recv_timeout: Duration::from_secs(30),
             ..Default::default()
         };
+        let started = std::time::Instant::now();
         let e = run(&p, &cfg).unwrap_err();
-        assert!(e.message.contains("deadlock") || e.message.contains("timed out"), "{e}");
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "deadlock took {:?} — detector did not fire, timeout did",
+            started.elapsed()
+        );
+        match e {
+            RuntimeError::Deadlock { waiting } => waiting,
+            other => panic!("expected structured deadlock, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_is_detected_structurally() {
+        let waiting = expect_deadlock("program t sub main() { var x: real; recv(x, 0, 1); }", 2);
+        assert_eq!(waiting.len(), 2);
+        assert_eq!(waiting[0].rank, 0);
+        assert_eq!(waiting[0].src, Some(0), "rank 0 waits on itself");
+        assert_eq!(waiting[1].rank, 1);
+        assert_eq!(waiting[1].src, Some(0));
+    }
+
+    #[test]
+    fn self_recv_deadlocks() {
+        let waiting = expect_deadlock(
+            "program t sub main() { var x: real; recv(x, rank(), 7); }",
+            1,
+        );
+        assert_eq!(waiting.len(), 1);
+        assert_eq!(
+            waiting[0],
+            crate::fault::RankWait {
+                rank: 0,
+                src: Some(0),
+                tag: Some(7),
+                comm: 0,
+                span: waiting[0].span,
+            }
+        );
+    }
+
+    #[test]
+    fn cyclic_recv_before_send_deadlocks() {
+        // Classic head-to-head: both ranks recv first, send after. With a
+        // rendezvous send this deadlocks in real MPI; our sends are eager,
+        // but the recv-before-send cycle still blocks both ranks forever.
+        let waiting = expect_deadlock(
+            "program t sub main() {\n\
+               var x: real; var y: real; x = 1.0;\n\
+               recv(y, 1 - rank(), 5);\n\
+               send(x, 1 - rank(), 5);\n\
+             }",
+            2,
+        );
+        assert_eq!(waiting.len(), 2);
+        assert_eq!(waiting[0].src, Some(1));
+        assert_eq!(waiting[1].src, Some(0));
+    }
+
+    #[test]
+    fn mismatched_collective_deadlocks() {
+        // Rank 1 skips the barrier and exits; rank 0 is stranded inside the
+        // lowered collective. The finished rank must trigger detection.
+        let waiting = expect_deadlock(
+            "program t sub main() { if (rank() == 0) { barrier(); } }",
+            2,
+        );
+        assert_eq!(waiting.len(), 1);
+        assert_eq!(waiting[0].rank, 0);
+        assert_eq!(waiting[0].src, Some(1), "waiting on rank 1's barrier token");
+    }
+
+    #[test]
+    fn deadlock_report_formats_per_rank_lines() {
+        let p = parse("program t sub main() { var x: real; recv(x, 0, 1); }").unwrap();
+        let e = run(
+            &p,
+            &InterpConfig {
+                nprocs: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("deadlock detected"), "{msg}");
+        assert!(msg.contains("rank 0 waiting for recv(src=0"), "{msg}");
+        assert!(msg.contains("rank 1 waiting for recv(src=0"), "{msg}");
     }
 
     #[test]
     fn infinite_loop_is_bounded() {
         let p = parse("program t sub main() { while (true) { } }").unwrap();
-        let cfg = InterpConfig { nprocs: 1, max_steps: 1000, ..Default::default() };
+        let cfg = InterpConfig {
+            nprocs: 1,
+            max_steps: 1000,
+            ..Default::default()
+        };
         let e = run(&p, &cfg).unwrap_err();
-        assert!(e.message.contains("budget"), "{e}");
+        assert!(e.to_string().contains("budget"), "{e}");
+    }
+
+    #[test]
+    fn failed_rank_wins_over_consequent_deadlock() {
+        // Rank 1 dies on an out-of-bounds store; rank 0 is left waiting and
+        // the registry reports a deadlock — but the *root cause* must be
+        // the failure, not the deadlock it caused.
+        let p = parse(
+            "program t sub main() {\n\
+               var a: real[2]; var x: real;\n\
+               if (rank() == 0) { recv(x, 1, 1); } else { a[3] = 1.0; }\n\
+             }",
+        )
+        .unwrap();
+        let e = run(
+            &p,
+            &InterpConfig {
+                nprocs: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(!e.is_deadlock(), "root cause must win: {e}");
+        assert_eq!(e.rank(), 1);
+        assert!(e.to_string().contains("out of bounds"), "{e}");
     }
 
     #[test]
     fn out_of_bounds_index() {
         let p = parse("program t sub main() { var a: real[2]; a[3] = 1.0; }").unwrap();
-        let e = run(&p, &InterpConfig { nprocs: 1, ..Default::default() }).unwrap_err();
-        assert!(e.message.contains("out of bounds"), "{e}");
+        let e = run(
+            &p,
+            &InterpConfig {
+                nprocs: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("out of bounds"), "{e}");
     }
 
     #[test]
@@ -1096,7 +1390,11 @@ mod capture_tests {
     fn capture_globals_reports_finals_sorted() {
         let src = "program t global b: real; global a: real[2];\n\
              sub main() { b = 3.0; a[1] = 1.0; a[2] = 2.0; }";
-        let cfg = InterpConfig { nprocs: 1, capture_globals: true, ..Default::default() };
+        let cfg = InterpConfig {
+            nprocs: 1,
+            capture_globals: true,
+            ..Default::default()
+        };
         let r = run_cfg(src, &cfg);
         let finals = &r[0].final_globals;
         assert_eq!(finals.len(), 2);
@@ -1107,7 +1405,13 @@ mod capture_tests {
     #[test]
     fn capture_off_by_default() {
         let src = "program t global b: real; sub main() { b = 1.0; }";
-        let r = run_cfg(src, &InterpConfig { nprocs: 1, ..Default::default() });
+        let r = run_cfg(
+            src,
+            &InterpConfig {
+                nprocs: 1,
+                ..Default::default()
+            },
+        );
         assert!(r[0].final_globals.is_empty());
     }
 
@@ -1135,7 +1439,13 @@ mod capture_tests {
         // Reducing an array value: elementwise SUM across ranks.
         let src = "program t global a: real[3]; global r: real[3];\n\
              sub main() { a = rank() * 1.0 + 1.0; reduce(SUM, a, r, 0); print(r[1]); }";
-        let out = run_cfg(src, &InterpConfig { nprocs: 3, ..Default::default() });
+        let out = run_cfg(
+            src,
+            &InterpConfig {
+                nprocs: 3,
+                ..Default::default()
+            },
+        );
         // 1 + 2 + 3 on the root; others untouched (0).
         assert_eq!(out[0].printed, vec![6.0]);
         assert_eq!(out[1].printed, vec![0.0]);
@@ -1145,7 +1455,13 @@ mod capture_tests {
     fn allreduce_array_agrees_everywhere() {
         let src = "program t global a: real[2]; global r: real[2];\n\
              sub main() { a = rank() * 1.0; allreduce(MAX, a, r); print(r[2]); }";
-        let out = run_cfg(src, &InterpConfig { nprocs: 4, ..Default::default() });
+        let out = run_cfg(
+            src,
+            &InterpConfig {
+                nprocs: 4,
+                ..Default::default()
+            },
+        );
         for pr in &out {
             assert_eq!(pr.printed, vec![3.0]);
         }
@@ -1163,9 +1479,19 @@ mod capture_tests {
                if (rank() == 1) { recv(x, 0, 3); }\n\
                print(s); print(x);\n\
              }";
-        let out = run_cfg(src, &InterpConfig { nprocs: 2, ..Default::default() });
+        let out = run_cfg(
+            src,
+            &InterpConfig {
+                nprocs: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(out[0].printed, vec![3.0, 1.0]);
-        assert_eq!(out[1].printed, vec![3.0, 1.0], "recv got the p2p message, not a collective");
+        assert_eq!(
+            out[1].printed,
+            vec![3.0, 1.0],
+            "recv got the p2p message, not a collective"
+        );
     }
 
     #[test]
@@ -1174,7 +1500,13 @@ mod capture_tests {
              sub add1(v: real) { v = v + 1.0; }\n\
              sub add2(v: real) { call add1(v); call add1(v); }\n\
              sub main() { var x: real; x = 0.0; call add2(x); call add2(x); print(x); }";
-        let out = run_cfg(src, &InterpConfig { nprocs: 1, ..Default::default() });
+        let out = run_cfg(
+            src,
+            &InterpConfig {
+                nprocs: 1,
+                ..Default::default()
+            },
+        );
         assert_eq!(out[0].printed, vec![4.0]);
     }
 }

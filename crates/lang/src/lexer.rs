@@ -24,7 +24,13 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1, tokens: Vec::new() }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
     }
 
     fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
@@ -36,7 +42,10 @@ impl<'a> Lexer<'a> {
             self.scan_token()?;
         }
         let span = Span::new(self.pos as u32, self.pos as u32, self.line, self.col);
-        self.tokens.push(Token { kind: TokenKind::Eof, span });
+        self.tokens.push(Token {
+            kind: TokenKind::Eof,
+            span,
+        });
         Ok(self.tokens)
     }
 
@@ -163,10 +172,9 @@ impl<'a> Lexer<'a> {
                         }
                     }
                     other => {
-                        return Err(self.err(
-                            start,
-                            format!("unexpected character `{}`", other as char),
-                        ));
+                        return Err(
+                            self.err(start, format!("unexpected character `{}`", other as char))
+                        );
                     }
                 };
                 self.push(kind, start);
@@ -223,7 +231,11 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, start: (u32, u32, u32), msg: impl Into<String>) -> Diagnostic {
-        Diagnostic::new(Phase::Lex, Span::new(start.0, self.pos as u32, start.1, start.2), msg)
+        Diagnostic::new(
+            Phase::Lex,
+            Span::new(start.0, self.pos as u32, start.1, start.2),
+            msg,
+        )
     }
 }
 
@@ -244,7 +256,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(kinds("// nothing\nx // trailing\n"), vec![Ident("x".into()), Eof]);
+        assert_eq!(
+            kinds("// nothing\nx // trailing\n"),
+            vec![Ident("x".into()), Eof]
+        );
     }
 
     #[test]
@@ -277,7 +292,10 @@ mod tests {
 
     #[test]
     fn two_char_operators() {
-        assert_eq!(kinds("== != <= >= && || ="), vec![EqEq, NotEq, Le, Ge, AndAnd, OrOr, Assign, Eof]);
+        assert_eq!(
+            kinds("== != <= >= && || ="),
+            vec![EqEq, NotEq, Le, Ge, AndAnd, OrOr, Assign, Eof]
+        );
         assert_eq!(kinds("<>!"), vec![Lt, Gt, Not, Eof]);
     }
 

@@ -32,10 +32,12 @@
 
 pub mod ast;
 pub mod error;
+pub mod fault;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod rng;
 pub mod sema;
 pub mod span;
 pub mod symbols;

@@ -45,7 +45,11 @@ struct Parser {
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0, next_stmt: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            next_stmt: 0,
+        }
     }
 
     fn peek(&self) -> &Token {
@@ -81,7 +85,11 @@ impl Parser {
         if self.at(&kind) {
             Ok(self.bump())
         } else {
-            Err(self.err_here(format!("expected {}, found {}", kind.describe(), self.peek_kind().describe())))
+            Err(self.err_here(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek_kind().describe()
+            )))
         }
     }
 
@@ -120,7 +128,11 @@ impl Parser {
                     self.expect(TokenKind::Colon)?;
                     let ty = self.ty()?;
                     self.expect(TokenKind::Semi)?;
-                    globals.push(VarDecl { name: gname, ty, span: gspan });
+                    globals.push(VarDecl {
+                        name: gname,
+                        ty,
+                        span: gspan,
+                    });
                 }
                 TokenKind::Sub => {
                     subs.push(self.sub()?);
@@ -133,7 +145,12 @@ impl Parser {
                 }
             }
         }
-        Ok(Program { name, globals, subs, stmt_count: self.next_stmt })
+        Ok(Program {
+            name,
+            globals,
+            subs,
+            stmt_count: self.next_stmt,
+        })
     }
 
     fn sub(&mut self) -> Result<SubDecl, Diagnostic> {
@@ -146,7 +163,11 @@ impl Parser {
                 let (pname, pspan) = self.expect_ident()?;
                 self.expect(TokenKind::Colon)?;
                 let ty = self.ty()?;
-                params.push(VarDecl { name: pname, ty, span: pspan });
+                params.push(VarDecl {
+                    name: pname,
+                    ty,
+                    span: pspan,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -154,7 +175,12 @@ impl Parser {
         }
         self.expect(TokenKind::RParen)?;
         let body = self.block()?;
-        Ok(SubDecl { name, params, body, span: kw.span })
+        Ok(SubDecl {
+            name,
+            params,
+            body,
+            span: kw.span,
+        })
     }
 
     fn ty(&mut self) -> Result<Type, Diagnostic> {
@@ -163,7 +189,9 @@ impl Parser {
             TokenKind::KwReal => BaseType::Real,
             TokenKind::KwReal4 => BaseType::Real4,
             TokenKind::KwLogical => BaseType::Logical,
-            other => return Err(self.err_here(format!("expected type, found {}", other.describe()))),
+            other => {
+                return Err(self.err_here(format!("expected type, found {}", other.describe())))
+            }
         };
         self.bump();
         let mut dims = Vec::new();
@@ -187,7 +215,11 @@ impl Parser {
             }
             self.expect(TokenKind::RBracket)?;
         }
-        Ok(if dims.is_empty() { Type::scalar(base) } else { Type::array(base, dims) })
+        Ok(if dims.is_empty() {
+            Type::scalar(base)
+        } else {
+            Type::array(base, dims)
+        })
     }
 
     // ---- statements ------------------------------------------------------
@@ -214,9 +246,20 @@ impl Parser {
                 let (name, vspan) = self.expect_ident()?;
                 self.expect(TokenKind::Colon)?;
                 let ty = self.ty()?;
-                let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+                let init = if self.eat(&TokenKind::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 self.expect(TokenKind::Semi)?;
-                StmtKind::Local { decl: VarDecl { name, ty, span: vspan }, init }
+                StmtKind::Local {
+                    decl: VarDecl {
+                        name,
+                        ty,
+                        span: vspan,
+                    },
+                    init,
+                }
             }
             TokenKind::If => self.if_stmt()?,
             TokenKind::While => {
@@ -234,9 +277,19 @@ impl Parser {
                 let lo = self.expr()?;
                 self.expect(TokenKind::Comma)?;
                 let hi = self.expr()?;
-                let step = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
+                let step = if self.eat(&TokenKind::Comma) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 let body = self.block()?;
-                StmtKind::For { var, lo, hi, step, body }
+                StmtKind::For {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                }
             }
             TokenKind::Call => {
                 self.bump();
@@ -276,8 +329,14 @@ impl Parser {
                 self.expect(TokenKind::Semi)?;
                 StmtKind::Print(e)
             }
-            TokenKind::Send | TokenKind::Isend | TokenKind::Recv | TokenKind::Irecv
-            | TokenKind::Bcast | TokenKind::Reduce | TokenKind::Allreduce | TokenKind::Barrier
+            TokenKind::Send
+            | TokenKind::Isend
+            | TokenKind::Recv
+            | TokenKind::Irecv
+            | TokenKind::Bcast
+            | TokenKind::Reduce
+            | TokenKind::Allreduce
+            | TokenKind::Barrier
             | TokenKind::Wait => StmtKind::Mpi(self.mpi_stmt()?),
             TokenKind::Ident(_) => {
                 let lhs = self.lvalue()?;
@@ -287,7 +346,9 @@ impl Parser {
                 StmtKind::Assign { lhs, rhs }
             }
             other => {
-                return Err(self.err_here(format!("expected statement, found {}", other.describe())));
+                return Err(
+                    self.err_here(format!("expected statement, found {}", other.describe()))
+                );
             }
         };
         let span = start.to(self.prev_span());
@@ -307,14 +368,20 @@ impl Parser {
                 let id = self.fresh_id();
                 let kind = self.if_stmt()?;
                 let span = start.to(self.prev_span());
-                Some(Block { stmts: vec![Stmt { id, kind, span }] })
+                Some(Block {
+                    stmts: vec![Stmt { id, kind, span }],
+                })
             } else {
                 Some(self.block()?)
             }
         } else {
             None
         };
-        Ok(StmtKind::If { cond, then_blk, else_blk })
+        Ok(StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        })
     }
 
     fn mpi_stmt(&mut self) -> Result<MpiStmt, Diagnostic> {
@@ -328,8 +395,18 @@ impl Parser {
                 let dest = self.expr()?;
                 self.expect(TokenKind::Comma)?;
                 let tag = self.expr()?;
-                let comm = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
-                MpiStmt::Send { buf, dest, tag, comm, blocking }
+                let comm = if self.eat(&TokenKind::Comma) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                MpiStmt::Send {
+                    buf,
+                    dest,
+                    tag,
+                    comm,
+                    blocking,
+                }
             }
             TokenKind::Recv | TokenKind::Irecv => {
                 let blocking = kw.kind == TokenKind::Recv;
@@ -338,14 +415,28 @@ impl Parser {
                 let src = self.expr()?;
                 self.expect(TokenKind::Comma)?;
                 let tag = self.expr()?;
-                let comm = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
-                MpiStmt::Recv { buf, src, tag, comm, blocking }
+                let comm = if self.eat(&TokenKind::Comma) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                MpiStmt::Recv {
+                    buf,
+                    src,
+                    tag,
+                    comm,
+                    blocking,
+                }
             }
             TokenKind::Bcast => {
                 let buf = self.lvalue()?;
                 self.expect(TokenKind::Comma)?;
                 let root = self.expr()?;
-                let comm = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
+                let comm = if self.eat(&TokenKind::Comma) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 MpiStmt::Bcast { buf, root, comm }
             }
             TokenKind::Reduce => {
@@ -356,8 +447,18 @@ impl Parser {
                 let recv = self.lvalue()?;
                 self.expect(TokenKind::Comma)?;
                 let root = self.expr()?;
-                let comm = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
-                MpiStmt::Reduce { op, send, recv, root, comm }
+                let comm = if self.eat(&TokenKind::Comma) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                MpiStmt::Reduce {
+                    op,
+                    send,
+                    recv,
+                    root,
+                    comm,
+                }
             }
             TokenKind::Allreduce => {
                 let op = self.red_op()?;
@@ -365,8 +466,17 @@ impl Parser {
                 let send = self.expr()?;
                 self.expect(TokenKind::Comma)?;
                 let recv = self.lvalue()?;
-                let comm = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
-                MpiStmt::Allreduce { op, send, recv, comm }
+                let comm = if self.eat(&TokenKind::Comma) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                MpiStmt::Allreduce {
+                    op,
+                    send,
+                    recv,
+                    comm,
+                }
             }
             TokenKind::Barrier => MpiStmt::Barrier,
             TokenKind::Wait => MpiStmt::Wait,
@@ -407,7 +517,11 @@ impl Parser {
             self.expect(TokenKind::RBracket)?;
         }
         let span = span.to(self.prev_span());
-        Ok(LValue { name, indices, span })
+        Ok(LValue {
+            name,
+            indices,
+            span,
+        })
     }
 
     fn prev_span(&self) -> Span {
@@ -429,7 +543,10 @@ impl Parser {
         while self.eat(&TokenKind::OrOr) {
             let rhs = self.and_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr { kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span };
+            lhs = Expr {
+                kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -439,7 +556,10 @@ impl Parser {
         while self.eat(&TokenKind::AndAnd) {
             let rhs = self.cmp_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr { kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)), span };
+            lhs = Expr {
+                kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -459,7 +579,10 @@ impl Parser {
             self.bump();
             let rhs = self.add_expr()?;
             let span = lhs.span.to(rhs.span);
-            Ok(Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span })
+            Ok(Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            })
         } else {
             Ok(lhs)
         }
@@ -476,7 +599,10 @@ impl Parser {
             self.bump();
             let rhs = self.mul_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span };
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -492,7 +618,10 @@ impl Parser {
             self.bump();
             let rhs = self.unary_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span };
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -503,13 +632,19 @@ impl Parser {
                 let t = self.bump();
                 let e = self.unary_expr()?;
                 let span = t.span.to(e.span);
-                Ok(Expr { kind: ExprKind::Unary(UnOp::Neg, Box::new(e)), span })
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnOp::Neg, Box::new(e)),
+                    span,
+                })
             }
             TokenKind::Not => {
                 let t = self.bump();
                 let e = self.unary_expr()?;
                 let span = t.span.to(e.span);
-                Ok(Expr { kind: ExprKind::Unary(UnOp::Not, Box::new(e)), span })
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnOp::Not, Box::new(e)),
+                    span,
+                })
             }
             _ => self.primary(),
         }
@@ -520,35 +655,56 @@ impl Parser {
         match t.kind {
             TokenKind::IntLit(v) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::IntLit(v), span: t.span })
+                Ok(Expr {
+                    kind: ExprKind::IntLit(v),
+                    span: t.span,
+                })
             }
             TokenKind::RealLit(v) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::RealLit(v), span: t.span })
+                Ok(Expr {
+                    kind: ExprKind::RealLit(v),
+                    span: t.span,
+                })
             }
             TokenKind::True => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::BoolLit(true), span: t.span })
+                Ok(Expr {
+                    kind: ExprKind::BoolLit(true),
+                    span: t.span,
+                })
             }
             TokenKind::False => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::BoolLit(false), span: t.span })
+                Ok(Expr {
+                    kind: ExprKind::BoolLit(false),
+                    span: t.span,
+                })
             }
             TokenKind::Any => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::AnyWildcard, span: t.span })
+                Ok(Expr {
+                    kind: ExprKind::AnyWildcard,
+                    span: t.span,
+                })
             }
             TokenKind::Rank => {
                 self.bump();
                 self.expect(TokenKind::LParen)?;
                 self.expect(TokenKind::RParen)?;
-                Ok(Expr { kind: ExprKind::Rank, span: t.span.to(self.prev_span()) })
+                Ok(Expr {
+                    kind: ExprKind::Rank,
+                    span: t.span.to(self.prev_span()),
+                })
             }
             TokenKind::Nprocs => {
                 self.bump();
                 self.expect(TokenKind::LParen)?;
                 self.expect(TokenKind::RParen)?;
-                Ok(Expr { kind: ExprKind::Nprocs, span: t.span.to(self.prev_span()) })
+                Ok(Expr {
+                    kind: ExprKind::Nprocs,
+                    span: t.span.to(self.prev_span()),
+                })
             }
             TokenKind::LParen => {
                 self.bump();
@@ -586,12 +742,18 @@ impl Parser {
                             ));
                         }
                         let span = t.span.to(self.prev_span());
-                        return Ok(Expr { kind: ExprKind::Intrinsic(intr, args), span });
+                        return Ok(Expr {
+                            kind: ExprKind::Intrinsic(intr, args),
+                            span,
+                        });
                     }
                 }
                 let lv = self.lvalue()?;
                 let span = lv.span;
-                Ok(Expr { kind: ExprKind::Var(lv), span })
+                Ok(Expr {
+                    kind: ExprKind::Var(lv),
+                    span,
+                })
             }
             other => Err(self.err_here(format!("expected expression, found {}", other.describe()))),
         }
@@ -652,7 +814,9 @@ mod tests {
         let f = p.sub("f").unwrap();
         assert_eq!(f.body.stmts.len(), 2);
         match &f.body.stmts[1].kind {
-            StmtKind::If { else_blk: Some(e), .. } => {
+            StmtKind::If {
+                else_blk: Some(e), ..
+            } => {
                 assert_eq!(e.stmts.len(), 1);
                 assert!(matches!(e.stmts[0].kind, StmtKind::If { .. }));
             }
@@ -672,8 +836,14 @@ mod tests {
         );
         let f = p.sub("f").unwrap();
         assert_eq!(f.body.stmts.len(), 5);
-        assert!(matches!(f.body.stmts[2].kind, StmtKind::For { step: None, .. }));
-        assert!(matches!(f.body.stmts[3].kind, StmtKind::For { step: Some(_), .. }));
+        assert!(matches!(
+            f.body.stmts[2].kind,
+            StmtKind::For { step: None, .. }
+        ));
+        assert!(matches!(
+            f.body.stmts[3].kind,
+            StmtKind::For { step: Some(_), .. }
+        ));
     }
 
     #[test]
@@ -704,7 +874,17 @@ mod tests {
             .collect();
         assert_eq!(
             mnems,
-            vec!["send", "recv", "isend", "irecv", "wait", "bcast", "reduce", "allreduce", "barrier"]
+            vec![
+                "send",
+                "recv",
+                "isend",
+                "irecv",
+                "wait",
+                "bcast",
+                "reduce",
+                "allreduce",
+                "barrier"
+            ]
         );
     }
 
@@ -775,7 +955,10 @@ mod tests {
     #[test]
     fn unclosed_block_is_reported() {
         let e = parse("program t sub f() { var x: int;").unwrap_err();
-        assert!(e.message.contains("unclosed block") || e.message.contains("expected"), "{e}");
+        assert!(
+            e.message.contains("unclosed block") || e.message.contains("expected"),
+            "{e}"
+        );
     }
 
     #[test]

@@ -73,7 +73,11 @@ fn stmt(out: &mut String, s: &Stmt, level: usize) {
             expr(out, rhs);
             out.push_str(";\n");
         }
-        StmtKind::If { cond, then_blk, else_blk } => {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             out.push_str("if (");
             expr(out, cond);
             out.push_str(") {\n");
@@ -96,7 +100,13 @@ fn stmt(out: &mut String, s: &Stmt, level: usize) {
             indent(out, level);
             out.push_str("}\n");
         }
-        StmtKind::For { var, lo, hi, step, body } => {
+        StmtKind::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => {
             let _ = write!(out, "for {var} = ");
             expr(out, lo);
             out.push_str(", ");
@@ -132,7 +142,13 @@ fn stmt(out: &mut String, s: &Stmt, level: usize) {
 
 fn mpi(out: &mut String, m: &MpiStmt) {
     match m {
-        MpiStmt::Send { buf, dest, tag, comm, blocking } => {
+        MpiStmt::Send {
+            buf,
+            dest,
+            tag,
+            comm,
+            blocking,
+        } => {
             out.push_str(if *blocking { "send(" } else { "isend(" });
             lvalue(out, buf);
             out.push_str(", ");
@@ -142,7 +158,13 @@ fn mpi(out: &mut String, m: &MpiStmt) {
             opt_comm(out, comm);
             out.push_str(");\n");
         }
-        MpiStmt::Recv { buf, src, tag, comm, blocking } => {
+        MpiStmt::Recv {
+            buf,
+            src,
+            tag,
+            comm,
+            blocking,
+        } => {
             out.push_str(if *blocking { "recv(" } else { "irecv(" });
             lvalue(out, buf);
             out.push_str(", ");
@@ -160,7 +182,13 @@ fn mpi(out: &mut String, m: &MpiStmt) {
             opt_comm(out, comm);
             out.push_str(");\n");
         }
-        MpiStmt::Reduce { op, send, recv, root, comm } => {
+        MpiStmt::Reduce {
+            op,
+            send,
+            recv,
+            root,
+            comm,
+        } => {
             let _ = write!(out, "reduce({op}, ");
             expr(out, send);
             out.push_str(", ");
@@ -170,7 +198,12 @@ fn mpi(out: &mut String, m: &MpiStmt) {
             opt_comm(out, comm);
             out.push_str(");\n");
         }
-        MpiStmt::Allreduce { op, send, recv, comm } => {
+        MpiStmt::Allreduce {
+            op,
+            send,
+            recv,
+            comm,
+        } => {
             let _ = write!(out, "allreduce({op}, ");
             expr(out, send);
             out.push_str(", ");

@@ -21,7 +21,11 @@ use std::collections::{HashMap, HashSet};
 
 /// Check `program`, returning its symbol table or all diagnostics found.
 pub fn check(program: &Program) -> Result<ProgramSymbols, Errors> {
-    let mut cx = Checker { program, syms: ProgramSymbols::default(), errs: Vec::new() };
+    let mut cx = Checker {
+        program,
+        syms: ProgramSymbols::default(),
+        errs: Vec::new(),
+    };
     cx.run();
     if cx.errs.is_empty() {
         Ok(cx.syms)
@@ -73,7 +77,10 @@ impl<'a> Checker<'a> {
                     ty: p.ty.clone(),
                     span: p.span,
                 }) {
-                    self.err(p.span, format!("duplicate parameter `{}` in `{}`", p.name, sub.name));
+                    self.err(
+                        p.span,
+                        format!("duplicate parameter `{}` in `{}`", p.name, sub.name),
+                    );
                 }
             }
             let mut local_errs = Vec::new();
@@ -126,7 +133,11 @@ impl<'a> Checker<'a> {
                 self.check_lvalue(sub, lhs, true);
                 self.check_expr(sub, rhs, true);
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 self.check_expr(sub, cond, false);
                 self.check_block(sub, then_blk);
                 if let Some(e) = else_blk {
@@ -137,7 +148,13 @@ impl<'a> Checker<'a> {
                 self.check_expr(sub, cond, false);
                 self.check_block(sub, body);
             }
-            StmtKind::For { var, lo, hi, step, body } => {
+            StmtKind::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 match self.syms.resolve(&sub.name, var) {
                     None => self.err(stmt.span, format!("unknown loop variable `{var}`")),
                     Some(k) => {
@@ -178,7 +195,13 @@ impl<'a> Checker<'a> {
     fn check_mpi(&mut self, sub: &SubDecl, span: Span, m: &MpiStmt) {
         let rank_expr = |cx: &mut Self, e: &Expr| cx.check_expr(sub, e, false);
         match m {
-            MpiStmt::Send { buf, dest, tag, comm, .. } => {
+            MpiStmt::Send {
+                buf,
+                dest,
+                tag,
+                comm,
+                ..
+            } => {
                 self.check_lvalue(sub, buf, true);
                 rank_expr(self, dest);
                 rank_expr(self, tag);
@@ -188,7 +211,13 @@ impl<'a> Checker<'a> {
                 self.reject_any(dest, "send destination");
                 self.reject_any(tag, "send tag");
             }
-            MpiStmt::Recv { buf, src, tag, comm, .. } => {
+            MpiStmt::Recv {
+                buf,
+                src,
+                tag,
+                comm,
+                ..
+            } => {
                 self.check_lvalue(sub, buf, true);
                 // ANY allowed for src and tag.
                 if !matches!(src.kind, ExprKind::AnyWildcard) {
@@ -211,7 +240,13 @@ impl<'a> Checker<'a> {
                     self.reject_any(c, "communicator");
                 }
             }
-            MpiStmt::Reduce { send, recv, root, comm, .. } => {
+            MpiStmt::Reduce {
+                send,
+                recv,
+                root,
+                comm,
+                ..
+            } => {
                 self.check_expr(sub, send, true);
                 self.check_lvalue(sub, recv, true);
                 rank_expr(self, root);
@@ -221,7 +256,9 @@ impl<'a> Checker<'a> {
                     self.reject_any(c, "communicator");
                 }
             }
-            MpiStmt::Allreduce { send, recv, comm, .. } => {
+            MpiStmt::Allreduce {
+                send, recv, comm, ..
+            } => {
                 self.check_expr(sub, send, true);
                 self.check_lvalue(sub, recv, true);
                 if let Some(c) = comm {
@@ -319,8 +356,7 @@ impl<'a> Checker<'a> {
             Grey,
             Black,
         }
-        let mut marks: HashMap<&str, Mark> =
-            callees.keys().map(|&k| (k, Mark::White)).collect();
+        let mut marks: HashMap<&str, Mark> = callees.keys().map(|&k| (k, Mark::White)).collect();
 
         // Iterative DFS with an explicit stack to avoid recursion limits.
         for &root in callees.keys() {
@@ -391,14 +427,26 @@ mod tests {
 
     #[test]
     fn duplicate_global() {
-        err_containing("program t global x: int; global x: real;", "duplicate global");
+        err_containing(
+            "program t global x: int; global x: real;",
+            "duplicate global",
+        );
     }
 
     #[test]
     fn duplicate_local_and_param() {
-        err_containing("program t sub f() { var a: int; var a: real; }", "duplicate local");
-        err_containing("program t sub f(a: int, a: real) { }", "duplicate parameter");
-        err_containing("program t sub f(a: int) { var a: real; }", "duplicate local");
+        err_containing(
+            "program t sub f() { var a: int; var a: real; }",
+            "duplicate local",
+        );
+        err_containing(
+            "program t sub f(a: int, a: real) { }",
+            "duplicate parameter",
+        );
+        err_containing(
+            "program t sub f(a: int) { var a: real; }",
+            "duplicate local",
+        );
     }
 
     #[test]
@@ -422,7 +470,10 @@ mod tests {
 
     #[test]
     fn scalar_indexing_rejected() {
-        err_containing("program t global x: real; sub f() { x[1] = 0.0; }", "cannot index scalar");
+        err_containing(
+            "program t global x: real; sub f() { x[1] = 0.0; }",
+            "cannot index scalar",
+        );
     }
 
     #[test]
@@ -452,9 +503,18 @@ mod tests {
 
     #[test]
     fn any_rejected_outside_recv() {
-        err_containing("program t global x: real; sub f() { send(x, ANY, 1); }", "not a valid send destination");
-        err_containing("program t global x: real; sub f() { x = ANY; }", "only valid as a recv");
-        err_containing("program t global x: real; sub f() { bcast(x, ANY); }", "not a valid bcast root");
+        err_containing(
+            "program t global x: real; sub f() { send(x, ANY, 1); }",
+            "not a valid send destination",
+        );
+        err_containing(
+            "program t global x: real; sub f() { x = ANY; }",
+            "only valid as a recv",
+        );
+        err_containing(
+            "program t global x: real; sub f() { bcast(x, ANY); }",
+            "not a valid bcast root",
+        );
     }
 
     #[test]

@@ -18,11 +18,21 @@ pub struct Span {
 
 impl Span {
     /// A span covering nothing, used for synthesized nodes.
-    pub const DUMMY: Span = Span { start: 0, end: 0, line: 0, col: 0 };
+    pub const DUMMY: Span = Span {
+        start: 0,
+        end: 0,
+        line: 0,
+        col: 0,
+    };
 
     /// Create a span from raw parts.
     pub fn new(start: u32, end: u32, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// The smallest span covering both `self` and `other`.
@@ -34,7 +44,11 @@ impl Span {
         if self == Span::DUMMY {
             return other;
         }
-        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        let (first, _) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
         Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),

@@ -86,7 +86,8 @@ impl ProgramSymbols {
         if self.globals_by_name.contains_key(&info.name) {
             return false;
         }
-        self.globals_by_name.insert(info.name.clone(), self.globals.len());
+        self.globals_by_name
+            .insert(info.name.clone(), self.globals.len());
         self.globals.push(info);
         true
     }
@@ -98,7 +99,9 @@ impl ProgramSymbols {
     /// Symbols of subroutine `name` (panics if unknown; sema guarantees
     /// every parsed subroutine has an entry).
     pub fn sub(&self, name: &str) -> &SubSymbols {
-        self.subs.get(name).unwrap_or_else(|| panic!("unknown subroutine `{name}`"))
+        self.subs
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown subroutine `{name}`"))
     }
 
     pub fn has_sub(&self, name: &str) -> bool {
@@ -139,7 +142,11 @@ mod tests {
     use crate::types::{BaseType, Type};
 
     fn info(name: &str) -> SymbolInfo {
-        SymbolInfo { name: name.into(), ty: Type::scalar(BaseType::Real), span: Span::DUMMY }
+        SymbolInfo {
+            name: name.into(),
+            ty: Type::scalar(BaseType::Real),
+            span: Span::DUMMY,
+        }
     }
 
     #[test]
@@ -171,6 +178,9 @@ mod tests {
         assert!(!ps.insert_global(info("x")));
         let mut ss = SubSymbols::default();
         assert!(ss.insert_param(info("a")));
-        assert!(!ss.insert_local(info("a")), "local clashing with param rejected");
+        assert!(
+            !ss.insert_local(info("a")),
+            "local clashing with param rejected"
+        );
     }
 }

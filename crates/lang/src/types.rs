@@ -56,7 +56,10 @@ pub struct Type {
 
 impl Type {
     pub fn scalar(base: BaseType) -> Self {
-        Type { base, dims: Vec::new() }
+        Type {
+            base,
+            dims: Vec::new(),
+        }
     }
 
     pub fn array(base: BaseType, dims: Vec<i64>) -> Self {
@@ -130,6 +133,9 @@ mod tests {
     #[test]
     fn display_round_trip_shape() {
         assert_eq!(Type::scalar(BaseType::Real).to_string(), "real");
-        assert_eq!(Type::array(BaseType::Real4, vec![2, 3]).to_string(), "real4[2,3]");
+        assert_eq!(
+            Type::array(BaseType::Real4, vec![2, 3]).to_string(),
+            "real4[2,3]"
+        );
     }
 }

@@ -7,12 +7,37 @@
 //! repro row <ID>        # one row, e.g. `repro row LU-1`
 //! repro dot <program>   # DOT dump of a benchmark's MPI-ICFG
 //! ```
+//!
+//! Exit status: 0 on success, 1 when any rendered row failed to reach its
+//! solver fixpoint (the row is also flagged inline — non-fixpoint numbers
+//! must never be published silently), 2 on usage errors.
 
 use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
+use mpi_dfa_suite::runner::MeasuredRow;
 use mpi_dfa_suite::{all_experiments, by_id, runner};
 use std::io::Write as _;
+use std::process::ExitCode;
 
-fn main() {
+/// 1 when any row is a non-fixpoint snapshot, else 0.
+fn convergence_exit(rows: &[MeasuredRow]) -> ExitCode {
+    let bad: Vec<&str> = rows
+        .iter()
+        .filter(|r| !r.converged())
+        .map(|r| r.spec.id)
+        .collect();
+    if bad.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "repro: {} row(s) did not converge ({}); numbers above are non-fixpoint snapshots",
+            bad.len(),
+            bad.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let stdout = std::io::stdout();
@@ -22,20 +47,24 @@ fn main() {
         "table1" => {
             let rows = runner::run_all();
             let _ = write!(out, "{}", runner::render_table1(&rows));
+            convergence_exit(&rows)
         }
         "json" => {
             let rows = runner::run_all();
             let _ = write!(out, "{}", runner::render_json(&rows));
+            convergence_exit(&rows)
         }
         "fig4" => {
             let rows = runner::run_all();
             let _ = write!(out, "{}", runner::render_figure4(&rows));
+            convergence_exit(&rows)
         }
         "all" => {
             let rows = runner::run_all();
             let _ = write!(out, "{}", runner::render_table1(&rows));
             let _ = writeln!(out);
             let _ = write!(out, "{}", runner::render_figure4(&rows));
+            convergence_exit(&rows)
         }
         "row" => {
             let id = args.get(1).map(String::as_str).unwrap_or("");
@@ -43,29 +72,49 @@ fn main() {
                 Some(spec) => {
                     let row = runner::run_experiment(&spec);
                     let _ = write!(out, "{}", runner::render_table1(std::slice::from_ref(&row)));
+                    convergence_exit(std::slice::from_ref(&row))
                 }
                 None => {
                     let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
                     eprintln!("unknown row `{id}`; known rows: {}", ids.join(", "));
-                    std::process::exit(2);
+                    ExitCode::from(2)
                 }
             }
         }
         "dot" => {
             let name = args.get(1).map(String::as_str).unwrap_or("figure1");
             let spec = all_experiments().into_iter().find(|e| e.program == name);
-            let (context, clone) =
-                spec.as_ref().map(|s| (s.context, s.clone_level)).unwrap_or(("main", 0));
-            let ir = mpi_dfa_suite::programs::ir(name);
-            let mpi = build_mpi_icfg(ir, context, clone, Matching::ReachingConstants)
-                .expect("graph construction");
-            let _ = write!(out, "{}", mpi_dfa_graph::dot::mpi_icfg_to_dot(&mpi, name));
+            let (context, clone) = spec
+                .as_ref()
+                .map(|s| (s.context, s.clone_level))
+                .unwrap_or(("main", 0));
+            let Some(src) = mpi_dfa_suite::programs::source(name) else {
+                eprintln!("repro: unknown benchmark program `{name}`");
+                return ExitCode::from(2);
+            };
+            let ir = match mpi_dfa_graph::icfg::ProgramIr::from_source(src) {
+                Ok(ir) => ir,
+                Err(e) => {
+                    eprintln!("repro: `{name}` failed to compile: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match build_mpi_icfg(ir, context, clone, Matching::ReachingConstants) {
+                Ok(mpi) => {
+                    let _ = write!(out, "{}", mpi_dfa_graph::dot::mpi_icfg_to_dot(&mpi, name));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("repro: graph construction for `{name}` failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         other => {
             eprintln!(
                 "unknown command `{other}`; try: table1 | fig4 | json | all | row <ID> | dot <program>"
             );
-            std::process::exit(2);
+            ExitCode::from(2)
         }
     }
 }

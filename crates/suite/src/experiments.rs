@@ -51,7 +51,11 @@ pub struct ExperimentSpec {
 }
 
 fn mode(iterations: u64, active_bytes: u64, deriv_bytes: u64) -> PaperMode {
-    PaperMode { iterations, active_bytes, deriv_bytes }
+    PaperMode {
+        iterations,
+        active_bytes,
+        deriv_bytes,
+    }
 }
 
 /// All thirteen Table 1 rows.
@@ -297,7 +301,11 @@ mod tests {
         ids.dedup();
         assert_eq!(ids.len(), rows.len());
         for r in &rows {
-            assert!(crate::programs::source(r.program).is_some(), "{} program missing", r.id);
+            assert!(
+                crate::programs::source(r.program).is_some(),
+                "{} program missing",
+                r.id
+            );
         }
     }
 
@@ -340,7 +348,12 @@ mod tests {
     fn context_routines_exist() {
         for r in all() {
             let ir = crate::programs::ir(r.program);
-            assert!(ir.proc_id(r.context).is_some(), "{}: context {}", r.id, r.context);
+            assert!(
+                ir.proc_id(r.context).is_some(),
+                "{}: context {}",
+                r.id,
+                r.context
+            );
         }
     }
 }

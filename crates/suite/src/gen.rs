@@ -10,8 +10,7 @@
 //! form `mod(<int var>, dim) + 1`, which keeps every generated index in
 //! bounds by construction.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mpi_dfa_lang::rng::SplitMix64;
 use std::fmt::Write;
 
 /// Size/shape knobs for generated programs.
@@ -68,11 +67,15 @@ impl GenConfig {
 
 /// Generate one SMPL program as source text.
 pub fn generate(seed: u64, config: &GenConfig) -> String {
-    Generator { rng: StdRng::seed_from_u64(seed), config: config.clone() }.run()
+    Generator {
+        rng: SplitMix64::new(seed),
+        config: config.clone(),
+    }
+    .run()
 }
 
 struct Generator {
-    rng: StdRng,
+    rng: SplitMix64,
     config: GenConfig,
 }
 
@@ -84,7 +87,7 @@ impl Generator {
             let _ = writeln!(out, "global s{i}: real;");
         }
         for i in 0..self.config.arrays {
-            let dim = self.rng.gen_range(4..64);
+            let dim = self.rng.range(4, 64);
             let _ = writeln!(out, "global a{i}: real[{dim}];");
         }
         let _ = writeln!(out, "global iv: int;");
@@ -108,24 +111,24 @@ impl Generator {
     }
 
     fn scalar(&mut self) -> String {
-        if self.rng.gen_bool(0.3) {
+        if self.rng.chance(0.3) {
             "t".to_string()
         } else {
-            format!("s{}", self.rng.gen_range(0..self.config.scalars))
+            format!("s{}", self.rng.range(0, self.config.scalars))
         }
     }
 
     /// An in-bounds array element reference.
     fn element(&mut self) -> String {
-        let a = self.rng.gen_range(0..self.config.arrays);
+        let a = self.rng.range(0, self.config.arrays);
         // dims are unknown here, so index via mod of the smallest possible
         // dim (4), which is always in bounds.
         format!("a{a}[mod(i, 4) + 1]")
     }
 
     fn operand(&mut self) -> String {
-        match self.rng.gen_range(0..4) {
-            0 => format!("{:.1}", self.rng.gen_range(0..100) as f64 / 10.0),
+        match self.rng.range(0, 4) {
+            0 => format!("{:.1}", self.rng.range(0, 100) as f64 / 10.0),
             1 => self.element(),
             _ => self.scalar(),
         }
@@ -134,8 +137,8 @@ impl Generator {
     fn expr(&mut self) -> String {
         let a = self.operand();
         let b = self.operand();
-        let op = ["+", "-", "*"][self.rng.gen_range(0..3)];
-        if self.rng.gen_bool(0.2) {
+        let op = ["+", "-", "*"][self.rng.range(0, 3)];
+        if self.rng.chance(0.2) {
             format!("sqrt(abs({a} {op} {b}))")
         } else {
             format!("{a} {op} {b}")
@@ -143,7 +146,7 @@ impl Generator {
     }
 
     fn tag(&mut self) -> usize {
-        self.rng.gen_range(0..self.config.tags)
+        self.rng.range(0, self.config.tags)
     }
 
     fn block(&mut self, sub: usize, depth: usize, stmts: usize) -> String {
@@ -153,7 +156,7 @@ impl Generator {
     fn block_inner(&mut self, sub: usize, depth: usize, stmts: usize, in_branch: bool) -> String {
         let mut out = String::new();
         for _ in 0..stmts {
-            let roll = self.rng.gen_range(0..100);
+            let roll = self.rng.range(0, 100) as u32;
             if roll < self.config.mpi_percent {
                 // In runnable mode, communication inside a rank-dependent
                 // branch would desynchronize the processes.
@@ -166,21 +169,21 @@ impl Generator {
                 }
             } else if roll < self.config.mpi_percent + 10 && depth > 0 {
                 // nested control flow
-                if self.rng.gen_bool(0.5) {
-                    let _ = writeln!(out, "  if (rank() == {}) {{", self.rng.gen_range(0..4));
+                if self.rng.chance(0.5) {
+                    let _ = writeln!(out, "  if (rank() == {}) {{", self.rng.range(0, 4));
                     out.push_str(&self.block_inner(sub, depth - 1, 2, true));
-                    if self.rng.gen_bool(0.5) {
+                    if self.rng.chance(0.5) {
                         let _ = writeln!(out, "  }} else {{");
                         out.push_str(&self.block_inner(sub, depth - 1, 2, true));
                     }
                     let _ = writeln!(out, "  }}");
                 } else {
-                    let _ = writeln!(out, "  for i = 1, {} {{", self.rng.gen_range(2..8));
+                    let _ = writeln!(out, "  for i = 1, {} {{", self.rng.range(2, 8));
                     out.push_str(&self.block_inner(sub, depth - 1, 2, in_branch));
                     let _ = writeln!(out, "  }}");
                 }
             } else if roll < self.config.mpi_percent + 15 && sub > 0 {
-                let callee = self.rng.gen_range(0..sub);
+                let callee = self.rng.range(0, sub);
                 let _ = writeln!(out, "  call f{callee}();");
             } else if roll < self.config.mpi_percent + 20 {
                 let e = self.element();
@@ -198,16 +201,13 @@ impl Generator {
     fn mpi_stmt(&mut self) -> String {
         let mut out = String::new();
         let kinds = if self.config.runnable { 5 } else { 6 };
-        match self.rng.gen_range(0..kinds) {
+        match self.rng.range(0, kinds) {
             0 if self.config.runnable => {
                 // A paired neighbour shift: every send has its receive.
                 let s = self.scalar();
                 let r = self.scalar();
                 let tag = self.tag();
-                let _ = writeln!(
-                    out,
-                    "  if (rank() > 0) {{ send({s}, rank() - 1, {tag}); }}"
-                );
+                let _ = writeln!(out, "  if (rank() > 0) {{ send({s}, rank() - 1, {tag}); }}");
                 let _ = writeln!(
                     out,
                     "  if (rank() < nprocs() - 1) {{ recv({r}, rank() + 1, {tag}); }}"
@@ -216,10 +216,7 @@ impl Generator {
             0 => {
                 let s = self.scalar();
                 let tag = self.tag();
-                let _ = writeln!(
-                    out,
-                    "  if (rank() > 0) {{ send({s}, rank() - 1, {tag}); }}"
-                );
+                let _ = writeln!(out, "  if (rank() > 0) {{ send({s}, rank() - 1, {tag}); }}");
             }
             1 if self.config.runnable => {
                 // Ring exchange: unconditional, always matched.
@@ -241,7 +238,7 @@ impl Generator {
                 );
             }
             2 => {
-                let a = self.rng.gen_range(0..self.config.arrays);
+                let a = self.rng.range(0, self.config.arrays);
                 let _ = writeln!(out, "  bcast(a{a}, 0);");
             }
             3 => {

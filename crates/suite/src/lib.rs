@@ -12,6 +12,7 @@ pub mod experiments;
 pub mod gen;
 pub mod programs;
 pub mod runner;
+pub mod schedules;
 
 pub use experiments::{all as all_experiments, by_id, ExperimentSpec};
 pub use runner::{run_all, run_experiment, MeasuredRow};

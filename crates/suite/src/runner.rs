@@ -10,6 +10,7 @@ use crate::experiments::{all, ExperimentSpec};
 use crate::programs;
 use mpi_dfa_analyses::activity::{self, ActivityConfig, Mode};
 use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
+use mpi_dfa_core::solver::SolveParams;
 use mpi_dfa_graph::icfg::Icfg;
 use std::fmt::Write as _;
 
@@ -22,6 +23,10 @@ pub struct MeasuredMode {
     /// Number of active locations (set cardinality; not in the paper's
     /// table but useful for the clone ablation).
     pub active_locs: u64,
+    /// Did both fixpoint phases converge within the pass budget? `false`
+    /// means the row is a non-fixpoint snapshot and is flagged in every
+    /// rendering (and fails the `repro` binary).
+    pub converged: bool,
 }
 
 /// Measured values for one experiment.
@@ -35,6 +40,11 @@ pub struct MeasuredRow {
 }
 
 impl MeasuredRow {
+    /// True when every analysis mode in this row reached its fixpoint.
+    pub fn converged(&self) -> bool {
+        self.icfg.converged && self.mpi.converged
+    }
+
     /// Active-byte decrease, as the paper computes it.
     pub fn pct_decrease(&self) -> f64 {
         if self.icfg.active_bytes == 0 {
@@ -63,31 +73,52 @@ pub fn run_experiment(spec: &ExperimentSpec) -> MeasuredRow {
 
 /// Run one experiment spec at an explicit clone level (for the ablation).
 pub fn run_experiment_at(spec: &ExperimentSpec, clone_level: usize) -> MeasuredRow {
+    run_experiment_with(spec, clone_level, &SolveParams::default())
+}
+
+/// Run one experiment with explicit solver parameters. A pass budget too
+/// small for the fixpoint yields `converged == false` on the affected
+/// mode; the row is flagged rather than silently published, and a warning
+/// goes to stderr.
+pub fn run_experiment_with(
+    spec: &ExperimentSpec,
+    clone_level: usize,
+    params: &SolveParams,
+) -> MeasuredRow {
     let ir = programs::ir(spec.program);
     let config = ActivityConfig::new(spec.independents.to_vec(), spec.dependents.to_vec());
 
     let icfg = Icfg::build(ir.clone(), spec.context, clone_level)
         .unwrap_or_else(|e| panic!("{}: {e}", spec.id));
-    let baseline = activity::analyze_icfg(&icfg, Mode::GlobalBuffer, &config)
+    let baseline = activity::analyze_icfg_with(&icfg, Mode::GlobalBuffer, &config, params)
         .unwrap_or_else(|e| panic!("{}: {e}", spec.id));
 
     let mpi = build_mpi_icfg(ir, spec.context, clone_level, Matching::ReachingConstants)
         .unwrap_or_else(|e| panic!("{}: {e}", spec.id));
-    let framework =
-        activity::analyze_mpi(&mpi, &config).unwrap_or_else(|e| panic!("{}: {e}", spec.id));
+    let framework = activity::analyze_mpi_with(&mpi, &config, params)
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.id));
 
     let to_mode = |r: &activity::ActivityResult| MeasuredMode {
         iterations: r.iterations as u64,
         active_bytes: r.active_bytes,
         deriv_bytes: r.deriv_bytes(spec.num_indeps),
         active_locs: r.active.len() as u64,
+        converged: r.converged(),
     };
-    MeasuredRow {
+    let row = MeasuredRow {
         spec: spec.clone(),
         icfg: to_mode(&baseline),
         mpi: to_mode(&framework),
         comm_edges: mpi.comm_edges.len(),
+    };
+    if !row.converged() {
+        eprintln!(
+            "warning: {}: solver did not reach a fixpoint within {} passes \
+             (ICFG converged: {}, MPI-ICFG converged: {}) — row flagged",
+            spec.id, params.max_passes, row.icfg.converged, row.mpi.converged
+        );
     }
+    row
 }
 
 /// Run every Table 1 row.
@@ -105,8 +136,17 @@ pub fn render_table1(rows: &[MeasuredRow]) -> String {
     let _ = writeln!(
         out,
         "{:<8} {:<9} {:>5} {:<9} {:>6} {:>14} {:>14} {:>16} {:>16} {:>9} {:>9}",
-        "Bench", "Analysis", "Clone", "IND", "Iter", "ActiveBytes", "(paper)", "DerivBytes",
-        "(paper)", "%Dec", "(paper)"
+        "Bench",
+        "Analysis",
+        "Clone",
+        "IND",
+        "Iter",
+        "ActiveBytes",
+        "(paper)",
+        "DerivBytes",
+        "(paper)",
+        "%Dec",
+        "(paper)"
     );
     for r in rows {
         let ind = r.spec.independents.join(",");
@@ -140,6 +180,13 @@ pub fn render_table1(rows: &[MeasuredRow]) -> String {
             r.pct_decrease(),
             r.spec.paper.pct_decrease
         );
+        if !r.converged() {
+            let _ = writeln!(
+                out,
+                "{:<8} *** NOT CONVERGED — non-fixpoint snapshot, do not publish ***",
+                ""
+            );
+        }
         if let Some(note) = r.spec.note {
             let _ = writeln!(out, "{:<8} note: {}", "", note);
         }
@@ -151,7 +198,10 @@ pub fn render_table1(rows: &[MeasuredRow]) -> String {
 /// Derivative code series.
 pub fn render_figure4(rows: &[MeasuredRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 4 — megabytes saved by MPI-ICFG over ICFG activity analysis");
+    let _ = writeln!(
+        out,
+        "Figure 4 — megabytes saved by MPI-ICFG over ICFG activity analysis"
+    );
     let _ = writeln!(
         out,
         "{:<8} {:>14} {:>14} {:>16} {:>16}",
@@ -185,7 +235,7 @@ pub fn render_json(rows: &[MeasuredRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"id\": \"{}\", \"program\": \"{}\", \"context\": \"{}\", \"clone_level\": {}, \"independents\": [{}], \"dependents\": [{}], \"num_indeps\": {}, \"comm_edges\": {}, \"icfg\": {{\"iterations\": {}, \"active_bytes\": {}, \"deriv_bytes\": {}}}, \"mpi_icfg\": {{\"iterations\": {}, \"active_bytes\": {}, \"deriv_bytes\": {}}}, \"pct_decrease\": {:.4}, \"paper\": {{\"icfg_active_bytes\": {}, \"mpi_active_bytes\": {}, \"pct_decrease\": {}}}}}",
+            "    {{\"id\": \"{}\", \"program\": \"{}\", \"context\": \"{}\", \"clone_level\": {}, \"independents\": [{}], \"dependents\": [{}], \"num_indeps\": {}, \"comm_edges\": {}, \"converged\": {}, \"icfg\": {{\"iterations\": {}, \"active_bytes\": {}, \"deriv_bytes\": {}}}, \"mpi_icfg\": {{\"iterations\": {}, \"active_bytes\": {}, \"deriv_bytes\": {}}}, \"pct_decrease\": {:.4}, \"paper\": {{\"icfg_active_bytes\": {}, \"mpi_active_bytes\": {}, \"pct_decrease\": {}}}}}",
             esc(r.spec.id),
             esc(r.spec.program),
             esc(r.spec.context),
@@ -194,6 +244,7 @@ pub fn render_json(rows: &[MeasuredRow]) -> String {
             r.spec.dependents.iter().map(|s| format!("\"{}\"", esc(s))).collect::<Vec<_>>().join(", "),
             r.spec.num_indeps,
             r.comm_edges,
+            r.converged(),
             r.icfg.iterations,
             r.icfg.active_bytes,
             r.icfg.deriv_bytes,
@@ -246,7 +297,11 @@ mod tests {
     fn lu_rows_match_shape() {
         let lu1 = run_experiment(&by_id("LU-1").unwrap());
         assert_eq!(lu1.mpi.active_bytes, 93_636_000);
-        assert!((lu1.pct_decrease() - 49.98).abs() < 0.05, "{}", lu1.pct_decrease());
+        assert!(
+            (lu1.pct_decrease() - 49.98).abs() < 0.05,
+            "{}",
+            lu1.pct_decrease()
+        );
 
         let lu2 = run_experiment(&by_id("LU-2").unwrap());
         assert_eq!(lu2.mpi.active_bytes, 145_901_168);
@@ -254,7 +309,11 @@ mod tests {
 
         let lu3 = run_experiment(&by_id("LU-3").unwrap());
         assert_eq!(lu3.mpi.active_bytes, 46_818_016);
-        assert!((lu3.pct_decrease() - 66.65).abs() < 0.05, "{}", lu3.pct_decrease());
+        assert!(
+            (lu3.pct_decrease() - 66.65).abs() < 0.05,
+            "{}",
+            lu3.pct_decrease()
+        );
     }
 
     #[test]
@@ -295,6 +354,24 @@ mod tests {
     }
 
     #[test]
+    fn non_convergence_is_flagged_not_silent() {
+        // A one-pass budget cannot reach the Biostat fixpoint; the row must
+        // say so loudly instead of publishing non-fixpoint numbers.
+        let spec = by_id("Biostat").unwrap();
+        let row = run_experiment_with(&spec, spec.clone_level, &SolveParams { max_passes: 1 });
+        assert!(!row.converged(), "1 pass cannot be a fixpoint on Biostat");
+        let table = render_table1(std::slice::from_ref(&row));
+        assert!(table.contains("NOT CONVERGED"), "{table}");
+        let json = render_json(&[row]);
+        assert!(json.contains("\"converged\": false"), "{json}");
+
+        // And the default budget does converge, unflagged.
+        let row = run_experiment(&spec);
+        assert!(row.converged());
+        assert!(!render_table1(&[row]).contains("NOT CONVERGED"));
+    }
+
+    #[test]
     fn json_render_is_parsable_shape() {
         let rows = vec![run_experiment(&by_id("Biostat").unwrap())];
         let j = render_json(&rows);
@@ -308,8 +385,10 @@ mod tests {
 
     #[test]
     fn renders_are_nonempty_and_mention_every_row() {
-        let rows: Vec<MeasuredRow> =
-            ["Biostat", "SOR"].iter().map(|id| run_experiment(&by_id(id).unwrap())).collect();
+        let rows: Vec<MeasuredRow> = ["Biostat", "SOR"]
+            .iter()
+            .map(|id| run_experiment(&by_id(id).unwrap()))
+            .collect();
         let t = render_table1(&rows);
         assert!(t.contains("Biostat") && t.contains("SOR"));
         let f = render_figure4(&rows);

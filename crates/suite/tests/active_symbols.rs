@@ -20,8 +20,13 @@ fn active_globals(id: &str) -> (Vec<String>, Vec<String>) {
 
     let icfg = Icfg::build(ir.clone(), spec.context, spec.clone_level).unwrap();
     let baseline = activity::analyze_icfg(&icfg, Mode::GlobalBuffer, &config).unwrap();
-    let mpi = build_mpi_icfg(ir.clone(), spec.context, spec.clone_level, Matching::ReachingConstants)
-        .unwrap();
+    let mpi = build_mpi_icfg(
+        ir.clone(),
+        spec.context,
+        spec.clone_level,
+        Matching::ReachingConstants,
+    )
+    .unwrap();
     let framework = activity::analyze_mpi(&mpi, &config).unwrap();
 
     let names = |r: &activity::ActivityResult| -> Vec<String> {
@@ -80,7 +85,11 @@ fn lu1_drops_the_state_and_flux() {
 #[test]
 fn lu2_drops_only_the_coefficient_table() {
     let (icfg, mpi) = active_globals("LU-2");
-    assert_set(&icfg, &["ce", "flux", "omega", "rsd", "tv", "u"], "LU-2 ICFG");
+    assert_set(
+        &icfg,
+        &["ce", "flux", "omega", "rsd", "tv", "u"],
+        "LU-2 ICFG",
+    );
     assert_set(&mpi, &["flux", "omega", "rsd", "tv", "u"], "LU-2 MPI-ICFG");
 }
 
@@ -94,7 +103,11 @@ fn lu3_keeps_only_the_flux_path() {
 #[test]
 fn mg_drops_the_verification_scalars() {
     let (icfg1, mpi1) = active_globals("MG-1");
-    assert_set(&icfg1, &["bcv", "hier", "hu", "r", "u", "vr1", "vr2"], "MG-1 ICFG");
+    assert_set(
+        &icfg1,
+        &["bcv", "hier", "hu", "r", "u", "vr1", "vr2"],
+        "MG-1 ICFG",
+    );
     assert_set(&mpi1, &["hier", "hu", "r", "u"], "MG-1 MPI-ICFG");
 
     let (icfg2, mpi2) = active_globals("MG-2");
@@ -112,7 +125,11 @@ fn sweep_flux_vs_leakage_paths() {
         &["face", "flux", "hi", "lk", "phi", "phiib", "src", "w"],
         "Sw-1 ICFG",
     );
-    assert_set(&mpi1, &["flux", "phi", "phiib", "src", "w"], "Sw-1 MPI-ICFG");
+    assert_set(
+        &mpi1,
+        &["flux", "phi", "phiib", "src", "w"],
+        "Sw-1 MPI-ICFG",
+    );
 
     // IND w, DEP leakage: only the small face path.
     let (icfg3, mpi3) = active_globals("Sw-3");
@@ -123,7 +140,9 @@ fn sweep_flux_vs_leakage_paths() {
     let (icfg6, mpi6) = active_globals("Sw-6");
     assert_set(
         &icfg6,
-        &["face", "flux", "hi", "leakage", "lk", "phi", "phiib", "src", "weta"],
+        &[
+            "face", "flux", "hi", "leakage", "lk", "phi", "phiib", "src", "weta",
+        ],
         "Sw-6 ICFG",
     );
     assert_set(&mpi6, &["face", "leakage", "lk", "weta"], "Sw-6 MPI-ICFG");

@@ -17,8 +17,10 @@ fn main() {
     // The packaged experiment, exactly as Table 1 row "Biostat".
     let spec = by_id("Biostat").expect("registered");
     let row = runner::run_experiment(&spec);
-    println!("Benchmark {} — context `{}`, d {:?} / d {:?}", spec.id, spec.context,
-        spec.dependents, spec.independents);
+    println!(
+        "Benchmark {} — context `{}`, d {:?} / d {:?}",
+        spec.id, spec.context, spec.dependents, spec.independents
+    );
     println!(
         "  ICFG baseline : {:>12} active bytes, {:>14} derivative bytes",
         row.icfg.active_bytes, row.icfg.deriv_bytes
@@ -38,8 +40,13 @@ fn main() {
     let config = ActivityConfig::new(spec.independents.to_vec(), spec.dependents.to_vec());
     let icfg = Icfg::build(ir.clone(), spec.context, spec.clone_level).unwrap();
     let baseline = activity::analyze_icfg(&icfg, Mode::GlobalBuffer, &config).unwrap();
-    let mpi = build_mpi_icfg(ir.clone(), spec.context, spec.clone_level, Matching::ReachingConstants)
-        .unwrap();
+    let mpi = build_mpi_icfg(
+        ir.clone(),
+        spec.context,
+        spec.clone_level,
+        Matching::ReachingConstants,
+    )
+    .unwrap();
     let framework = activity::analyze_mpi(&mpi, &config).unwrap();
 
     let listing = |r: &ActivityResult| -> Vec<String> {
@@ -52,8 +59,14 @@ fn main() {
             })
             .collect()
     };
-    println!("\n  ICFG active symbols    : {}", listing(&baseline).join(", "));
-    println!("  MPI-ICFG active symbols: {}", listing(&framework).join(", "));
+    println!(
+        "\n  ICFG active symbols    : {}",
+        listing(&baseline).join(", ")
+    );
+    println!(
+        "  MPI-ICFG active symbols: {}",
+        listing(&framework).join(", ")
+    );
     println!(
         "\nThe 1,432,616-byte matrix `dmat` drops out: its broadcast carries data\n\
          that is useful but provably independent of `xmle`."

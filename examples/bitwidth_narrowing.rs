@@ -44,7 +44,14 @@ fn main() {
     let ir = ProgramIr::from_source(SRC).expect("telemetry compiles");
     let report = |label: &str, r: &bitwidth::BitwidthResult, icfg: &Icfg| {
         println!("{label}");
-        for name in ["sample", "level", "checksum", "got_sample", "got_check", "decoded"] {
+        for name in [
+            "sample",
+            "level",
+            "checksum",
+            "got_sample",
+            "got_check",
+            "decoded",
+        ] {
             let loc = ir.locs.global(name).unwrap();
             let w = r.solution.before(icfg.context_exit()).get(loc);
             let bar: String = std::iter::repeat_n('#', (w / 2) as usize).collect();
@@ -54,16 +61,23 @@ fn main() {
 
     let icfg = Icfg::build(ir.clone(), "main", 0).unwrap();
     let conservative = bitwidth::analyze(&icfg, &icfg, WidthMode::Conservative);
-    report("Without communication modeling (receives are full width):", &conservative, &icfg);
+    report(
+        "Without communication modeling (receives are full width):",
+        &conservative,
+        &icfg,
+    );
 
     let mpi = build_mpi_icfg(ir.clone(), "main", 0, Matching::ReachingConstants).unwrap();
     let precise = bitwidth::analyze_mpi(&mpi);
     println!();
-    report("Over the MPI-ICFG (widths cross the matched edges):", &precise, mpi.icfg());
+    report(
+        "Over the MPI-ICFG (widths cross the matched edges):",
+        &precise,
+        mpi.icfg(),
+    );
 
     let narrowed = precise.narrowed(&ir.locs);
-    let total_saved: u64 =
-        narrowed.iter().map(|&(_, w)| (FULL - w) as u64).sum();
+    let total_saved: u64 = narrowed.iter().map(|&(_, w)| (FULL - w) as u64).sum();
     println!(
         "\n{} of {} integer variables provably narrower than {FULL} bits; \
          {total_saved} bits of storage removable in a packed layout.",
@@ -73,6 +87,9 @@ fn main() {
     println!(
         "`got_sample` narrows from 64 to {} bits only because the tag-1 edge\n\
          carries the 10-bit quantized sample and not the full-width checksum.",
-        precise.solution.before(mpi.context_exit()).get(ir.locs.global("got_sample").unwrap())
+        precise
+            .solution
+            .before(mpi.context_exit())
+            .get(ir.locs.global("got_sample").unwrap())
     );
 }

@@ -48,7 +48,10 @@ fn main() {
     // ---- activity analysis in all three modes -----------------------------
     let config = ActivityConfig::new(["x"], ["f"]);
     let names = |r: &ActivityResult| -> Vec<String> {
-        r.active_locs().iter().map(|&l| ir.locs.info(l).name.clone()).collect()
+        r.active_locs()
+            .iter()
+            .map(|&l| ir.locs.info(l).name.clone())
+            .collect()
     };
 
     let icfg = Icfg::build(ir.clone(), "main", 0).unwrap();
@@ -76,14 +79,15 @@ fn main() {
     let unit = compile(src).unwrap();
     let results = interp::run(
         &unit.program,
-        &InterpConfig { nprocs: 2, ..Default::default() },
+        &InterpConfig {
+            nprocs: 2,
+            ..Default::default()
+        },
     )
     .expect("figure1 runs");
     println!(
         "\nInterpreted under 2 SPMD processes: rank 0 printed {:?}, rank 1 printed {:?}",
         results[0].printed, results[1].printed
     );
-    println!(
-        "(f = reduce(SUM, z): rank 0 contributes z = 2, rank 1 contributes z = b*y = 7)"
-    );
+    println!("(f = reduce(SUM, z): rank 0 contributes z = 2, rank 1 contributes z = b*y = 7)");
 }

@@ -19,7 +19,14 @@ fn main() {
     let unit = compile(src).unwrap();
     for sub in &unit.program.subs {
         mpi_dfa::lang::ast::visit_stmts(&sub.body, &mut |s| {
-            println!("  {}: {}", s.id, mpi_dfa::lang::pretty::stmt_to_string(s).lines().next().unwrap_or(""));
+            println!(
+                "  {}: {}",
+                s.id,
+                mpi_dfa::lang::pretty::stmt_to_string(s)
+                    .lines()
+                    .next()
+                    .unwrap_or("")
+            );
         });
     }
 

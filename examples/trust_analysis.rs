@@ -51,15 +51,24 @@ sub main() {
 fn main() {
     let ir = ProgramIr::from_source(SRC).expect("service program compiles");
     let names = |r: &taint::TaintResult| -> Vec<String> {
-        r.tainted_locs().iter().map(|&l| ir.locs.info(l).name.clone()).collect()
+        r.tainted_locs()
+            .iter()
+            .map(|&l| ir.locs.info(l).name.clone())
+            .collect()
     };
-    let config = TaintConfig { tainted_vars: vec!["request".into()], reads_are_tainted: false };
+    let config = TaintConfig {
+        tainted_vars: vec!["request".into()],
+        reads_are_tainted: false,
+    };
 
     // Conservative ICFG treatment: every receive is untrusted.
     let icfg = Icfg::build(ir.clone(), "main", 0).unwrap();
     let conservative =
         taint::analyze(&icfg, &icfg, TaintMode::AllReceivesUntrusted, &config).unwrap();
-    println!("Conservative (all receives untrusted): {:?}", names(&conservative));
+    println!(
+        "Conservative (all receives untrusted): {:?}",
+        names(&conservative)
+    );
 
     // MPI-ICFG: taint follows only the matched edges (tag 1 vs tag 2).
     let mpi = build_mpi_icfg(ir.clone(), "main", 0, Matching::ReachingConstants).unwrap();
@@ -68,7 +77,10 @@ fn main() {
         mpi.comm_edges.len()
     );
     let precise = taint::analyze_mpi(&mpi, &config).unwrap();
-    println!("MPI-ICFG taint:                        {:?}", names(&precise));
+    println!(
+        "MPI-ICFG taint:                        {:?}",
+        names(&precise)
+    );
 
     let cleared: Vec<String> = names(&conservative)
         .into_iter()

@@ -7,7 +7,7 @@
 //! mpidfa taint     <file.smpl> --context main --source x [--reads-tainted] [--conservative]
 //! mpidfa bitwidth  <file.smpl> --context main [--conservative]
 //! mpidfa graph     <file.smpl> --context main [--clone N] [--matching naive|syntactic|consts]
-//! mpidfa run       <file.smpl> [--nprocs N] [--entry main]
+//! mpidfa run       <file.smpl> [--nprocs N] [--entry main] [--faults seed=N[,...]] [--schedules K]
 //! ```
 //!
 //! Every command prints a human-readable report to stdout; parse/sema errors
@@ -18,8 +18,10 @@ use mpi_dfa::analyses::consts::{self, CVal};
 use mpi_dfa::analyses::slicing::forward_slice;
 use mpi_dfa::analyses::taint::{self, TaintConfig, TaintMode};
 use mpi_dfa::core::lattice::ConstLattice;
+use mpi_dfa::lang::fault::FaultPlan;
 use mpi_dfa::lang::interp::{self, InterpConfig};
 use mpi_dfa::prelude::*;
+use mpi_dfa::suite::schedules::ScheduleConfig;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -46,9 +48,13 @@ impl Opts {
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = match it.peek() {
-                    Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
-                    _ => None,
+                // Take the following token as this flag's value unless it
+                // looks like another flag; `it.next()` cannot panic here
+                // because the peek succeeded, but avoid relying on that.
+                let value = if it.peek().is_some_and(|v| !v.starts_with("--")) {
+                    it.next().cloned()
+                } else {
+                    None
                 };
                 flags.push((name.to_string(), value));
             } else if file.is_none() {
@@ -59,7 +65,10 @@ impl Opts {
     }
 
     fn value(&self, name: &str) -> Option<&str> {
-        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
     }
 
     fn switch(&self, name: &str) -> bool {
@@ -80,8 +89,11 @@ fn run(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(&args[1..]);
     let src = load(&opts)?;
     let context = opts.value("context").unwrap_or("main").to_string();
-    let clone_level: usize =
-        opts.value("clone").map(|v| v.parse().map_err(|e| format!("--clone: {e}"))).transpose()?.unwrap_or(0);
+    let clone_level: usize = opts
+        .value("clone")
+        .map(|v| v.parse().map_err(|e| format!("--clone: {e}")))
+        .transpose()?
+        .unwrap_or(0);
 
     let ir = || ProgramIr::from_source(&src).map_err(|e| e.to_string());
     let graph = |matching: Matching| -> Result<MpiIcfg, String> {
@@ -106,7 +118,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 "global" | "naive" => {
                     let icfg = Icfg::build(ir.clone(), &context, clone_level)
                         .map_err(|e| e.to_string())?;
-                    let m = if mode == "global" { Mode::GlobalBuffer } else { Mode::Naive };
+                    let m = if mode == "global" {
+                        Mode::GlobalBuffer
+                    } else {
+                        Mode::Naive
+                    };
                     activity::analyze_icfg(&icfg, m, &config)?
                 }
                 other => return Err(format!("unknown --mode `{other}` (mpi|global|naive)")),
@@ -133,7 +149,11 @@ fn run(args: &[String]) -> Result<(), String> {
                     continue;
                 }
                 let info = ir.locs.info(loc);
-                println!("    {:<24} {:>12} bytes", ir.locs.qualified_name(loc), info.byte_size());
+                println!(
+                    "    {:<24} {:>12} bytes",
+                    ir.locs.qualified_name(loc),
+                    info.byte_size()
+                );
             }
         }
         "constants" => {
@@ -168,16 +188,25 @@ fn run(args: &[String]) -> Result<(), String> {
                 .parse()
                 .map_err(|e| format!("--stmt: {e}"))?;
             let ids: Vec<u32> = if opts.switch("no-comm") {
-                let icfg =
-                    Icfg::build(ir()?, &context, clone_level).map_err(|e| e.to_string())?;
-                forward_slice(&icfg, &icfg, StmtId(stmt)).iter().map(|s| s.0).collect()
+                let icfg = Icfg::build(ir()?, &context, clone_level).map_err(|e| e.to_string())?;
+                forward_slice(&icfg, &icfg, StmtId(stmt))
+                    .iter()
+                    .map(|s| s.0)
+                    .collect()
             } else {
                 let g = graph(Matching::ReachingConstants)?;
-                forward_slice(&g, g.icfg(), StmtId(stmt)).iter().map(|s| s.0).collect()
+                forward_slice(&g, g.icfg(), StmtId(stmt))
+                    .iter()
+                    .map(|s| s.0)
+                    .collect()
             };
             println!(
                 "forward data slice from statement s{stmt}{}:",
-                if opts.switch("no-comm") { " (communication edges disabled)" } else { "" }
+                if opts.switch("no-comm") {
+                    " (communication edges disabled)"
+                } else {
+                    ""
+                }
             );
             println!("  statements: {ids:?}");
         }
@@ -189,8 +218,8 @@ fn run(args: &[String]) -> Result<(), String> {
             };
             let ir2 = ir()?;
             let result = if opts.switch("conservative") {
-                let icfg = Icfg::build(ir2.clone(), &context, clone_level)
-                    .map_err(|e| e.to_string())?;
+                let icfg =
+                    Icfg::build(ir2.clone(), &context, clone_level).map_err(|e| e.to_string())?;
                 taint::analyze(&icfg, &icfg, TaintMode::AllReceivesUntrusted, &config)?
             } else {
                 let g = graph(Matching::ReachingConstants)?;
@@ -204,8 +233,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "bitwidth" => {
             let ir2 = ir()?;
             let result = if opts.switch("conservative") {
-                let icfg = Icfg::build(ir2.clone(), &context, clone_level)
-                    .map_err(|e| e.to_string())?;
+                let icfg =
+                    Icfg::build(ir2.clone(), &context, clone_level).map_err(|e| e.to_string())?;
                 bitwidth::analyze(&icfg, &icfg, WidthMode::Conservative)
             } else {
                 let g = graph(Matching::ReachingConstants)?;
@@ -213,7 +242,10 @@ fn run(args: &[String]) -> Result<(), String> {
             };
             println!("bitwidth analysis (maximum bits needed per integer location):");
             for (loc, w) in result.narrowed(&ir2.locs) {
-                println!("  {:<24} {w:>3} / {FULL} bits", ir2.locs.qualified_name(loc));
+                println!(
+                    "  {:<24} {w:>3} / {FULL} bits",
+                    ir2.locs.qualified_name(loc)
+                );
             }
         }
         "graph" => {
@@ -233,17 +265,82 @@ fn run(args: &[String]) -> Result<(), String> {
                 .transpose()?
                 .unwrap_or(4);
             let unit = compile(&src).map_err(|e| e.to_string())?;
-            let cfg = InterpConfig {
-                nprocs,
-                entry: opts.value("entry").unwrap_or("main").to_string(),
-                ..Default::default()
-            };
-            let results = interp::run(&unit.program, &cfg).map_err(|e| e.to_string())?;
-            for (rank, r) in results.iter().enumerate() {
+            let entry = opts.value("entry").unwrap_or("main").to_string();
+            let plan = opts
+                .value("faults")
+                .map(FaultPlan::from_spec)
+                .transpose()
+                .map_err(|e| format!("--faults: {e}"))?;
+            let schedules: usize = opts
+                .value("schedules")
+                .map(|v| v.parse().map_err(|e| format!("--schedules: {e}")))
+                .transpose()?
+                .unwrap_or(0);
+            if schedules > 0 {
+                // Schedule-exploration mode: replay the program under K
+                // fault plans derived from the base seed and report each.
+                let base = plan.unwrap_or_else(|| FaultPlan::adversarial(0));
+                let sc = ScheduleConfig {
+                    schedules,
+                    base_seed: base.seed,
+                    plan: base.clone(),
+                    nprocs,
+                    ..Default::default()
+                };
                 println!(
-                    "rank {rank}: printed {:?}  ({} steps, {} sends, {} recvs)",
-                    r.printed, r.steps, r.sends, r.recvs
+                    "exploring {schedules} {} schedules (base seed {})",
+                    if base.is_legal() {
+                        "adversarial"
+                    } else {
+                        "chaotic"
+                    },
+                    base.seed
                 );
+                let mut failed = 0usize;
+                for i in 0..schedules {
+                    let p = sc.plan_for(i);
+                    let seed = p.seed;
+                    let cfg = InterpConfig {
+                        nprocs,
+                        entry: entry.clone(),
+                        fault_plan: Some(p),
+                        ..Default::default()
+                    };
+                    match interp::run(&unit.program, &cfg) {
+                        Ok(results) => {
+                            let steps: u64 = results.iter().map(|r| r.steps).sum();
+                            let sends: u64 = results.iter().map(|r| r.sends).sum();
+                            println!(
+                                "  schedule {i} (seed {seed}): ok — {steps} steps, {sends} sends"
+                            );
+                        }
+                        Err(e) => {
+                            failed += 1;
+                            println!("  schedule {i} (seed {seed}): FAILED");
+                            for line in e.to_string().lines() {
+                                println!("    {line}");
+                            }
+                        }
+                    }
+                }
+                if failed > 0 {
+                    return Err(format!("{failed}/{schedules} schedules failed"));
+                }
+                println!("all {schedules} schedules completed");
+            } else {
+                let cfg = InterpConfig {
+                    nprocs,
+                    entry,
+                    fault_plan: plan,
+                    ..Default::default()
+                };
+                let results = interp::run(&unit.program, &cfg).map_err(|e| e.to_string())?;
+                for (rank, r) in results.iter().enumerate() {
+                    println!(
+                        "rank {rank}: printed {:?}  ({} steps, {} sends, {} recvs)",
+                        r.printed, r.steps, r.sends, r.recvs
+                    );
+                }
             }
         }
         "help" | "--help" | "-h" => println!("{}", usage()),
@@ -272,7 +369,9 @@ fn usage() -> String {
        taint      --context C --source a,b [--reads-tainted] [--conservative]\n\
        bitwidth   --context C [--conservative]\n\
        graph      --context C [--clone N] [--matching naive|syntactic|consts]\n\
-       run        [--nprocs N] [--entry main]\n\
+       run        [--nprocs N] [--entry main] [--faults SPEC] [--schedules K]\n\
+                  SPEC: bare seed (`7`) or `seed=7,mode=adversarial|chaotic,\n\
+                  reorder=P,delay=P,max_delay=US,stagger=US,dup=P,drop=P`\n\
      bundled programs: figure1, biostat, sor, cg, lu, mg, sweep3d"
         .to_string()
 }

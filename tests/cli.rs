@@ -26,8 +26,9 @@ fn activity_on_bundled_figure1() {
 #[test]
 fn activity_modes_differ() {
     let (mpi, _, _) = mpidfa(&["activity", "figure1", "--ind", "x", "--dep", "f"]);
-    let (naive, _, _) =
-        mpidfa(&["activity", "figure1", "--ind", "x", "--dep", "f", "--mode", "naive"]);
+    let (naive, _, _) = mpidfa(&[
+        "activity", "figure1", "--ind", "x", "--dep", "f", "--mode", "naive",
+    ]);
     assert!(mpi.contains("32 bytes"));
     assert!(naive.contains("active storage: 0 bytes"), "{naive}");
 }
@@ -62,11 +63,13 @@ fn taint_lists_untrusted() {
     let (clean, _, ok) = mpidfa(&["taint", "figure1", "--source", "x"]);
     assert!(ok);
     assert!(clean.contains("untrusted: x"), "the seed itself: {clean}");
-    assert!(!clean.contains("untrusted: y"), "sanitized before the send: {clean}");
+    assert!(
+        !clean.contains("untrusted: y"),
+        "sanitized before the send: {clean}"
+    );
     assert!(!clean.contains("untrusted: f"), "{clean}");
     // With external reads as sources, biostat's broadcast input spreads.
-    let (stdout, _, ok) =
-        mpidfa(&["taint", "biostat", "--context", "lglik3", "--reads-tainted"]);
+    let (stdout, _, ok) = mpidfa(&["taint", "biostat", "--context", "lglik3", "--reads-tainted"]);
     assert!(ok);
     assert!(stdout.contains("untrusted: dmat"), "{stdout}");
     assert!(stdout.contains("untrusted: xlogl"), "{stdout}");
@@ -77,7 +80,11 @@ fn file_input_and_errors() {
     let dir = std::env::temp_dir().join("mpidfa-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
     let good = dir.join("ok.smpl");
-    std::fs::write(&good, "program t global a: int; sub main() { a = mod(7, 4); }").unwrap();
+    std::fs::write(
+        &good,
+        "program t global a: int; sub main() { a = mod(7, 4); }",
+    )
+    .unwrap();
     let (stdout, _, ok) = mpidfa(&["bitwidth", good.to_str().unwrap()]);
     assert!(ok);
     assert!(stdout.contains("a"), "{stdout}");

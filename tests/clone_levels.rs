@@ -25,8 +25,14 @@ fn mg2_needs_exactly_clone_level_one() {
         l0.mpi.active_bytes,
         l1.mpi.active_bytes
     );
-    assert_eq!(l1.mpi.active_bytes, 16_908_640, "paper's configured level is precise");
-    assert_eq!(l1.mpi.active_bytes, l2.mpi.active_bytes, "no further gain above level 1");
+    assert_eq!(
+        l1.mpi.active_bytes, 16_908_640,
+        "paper's configured level is precise"
+    );
+    assert_eq!(
+        l1.mpi.active_bytes, l2.mpi.active_bytes,
+        "no further gain above level 1"
+    );
 }
 
 #[test]
@@ -39,8 +45,14 @@ fn mg1_set_precision_stabilizes_at_clone_level_three() {
         assert!(w[1].mpi.active_locs <= w[0].mpi.active_locs);
     }
     // The paper's level (3) is the lowest with the best precision.
-    assert!(rows[2].mpi.active_locs > rows[3].mpi.active_locs, "level 3 still improves");
-    assert_eq!(rows[3].mpi.active_locs, rows[4].mpi.active_locs, "level 4 adds nothing");
+    assert!(
+        rows[2].mpi.active_locs > rows[3].mpi.active_locs,
+        "level 3 still improves"
+    );
+    assert_eq!(
+        rows[3].mpi.active_locs, rows[4].mpi.active_locs,
+        "level 4 adds nothing"
+    );
     assert_eq!(rows[3].mpi.active_bytes, 647_487_896);
 }
 

@@ -13,12 +13,19 @@
 //! Both are checked on the Figure 1 program, on hand-written cases, and on
 //! a batch of generated programs (skipping seeds whose programs deadlock —
 //! the static analyses don't care, the interpreter does).
+//!
+//! Beyond the single OS-scheduled interleaving, the
+//! `*_under_adversarial_schedules` tests replay each program under `K = 8`
+//! seeded adversarial legal schedules (cross-source reordering, delivery
+//! delays, staggered rank starts — see `mpi_dfa::suite::schedules`) and
+//! re-check both obligations under every explored schedule.
 
 use mpi_dfa::analyses::consts::{self, CVal};
 use mpi_dfa::core::lattice::ConstLattice;
 use mpi_dfa::lang::interp::{run, InterpConfig, ProcessResult};
 use mpi_dfa::prelude::*;
 use mpi_dfa::suite::gen::{generate, GenConfig};
+use mpi_dfa::suite::schedules::{self, ScheduleConfig};
 use std::time::Duration;
 
 fn interp(src: &str, init: &[(&str, f64)]) -> Option<Vec<ProcessResult>> {
@@ -49,7 +56,9 @@ fn final_value(results: &[ProcessResult], rank: usize, name: &str) -> Vec<f64> {
 /// Obligation 1 on one program: every Const claim at exit must hold on
 /// every rank of an actual run.
 fn check_constants(src: &str) -> bool {
-    let Some(results) = interp(src, &[]) else { return false };
+    let Some(results) = interp(src, &[]) else {
+        return false;
+    };
     let ir = ProgramIr::from_source(src).unwrap();
     let mpi = build_mpi_icfg(ir.clone(), "main", 0, Matching::ReachingConstants).unwrap();
     let sol = consts::analyze_mpi(&mpi);
@@ -87,8 +96,12 @@ fn check_constants(src: &str) -> bool {
 /// Obligation 2 on one program: non-varying globals must not respond to a
 /// perturbation of the independent `ind`.
 fn check_vary(src: &str, ind: &str) -> bool {
-    let Some(base) = interp(src, &[(ind, 1.0)]) else { return false };
-    let Some(perturbed) = interp(src, &[(ind, 2.0)]) else { return false };
+    let Some(base) = interp(src, &[(ind, 1.0)]) else {
+        return false;
+    };
+    let Some(perturbed) = interp(src, &[(ind, 2.0)]) else {
+        return false;
+    };
     let ir = ProgramIr::from_source(src).unwrap();
     let mpi = build_mpi_icfg(ir.clone(), "main", 0, Matching::ReachingConstants).unwrap();
     // Dependents irrelevant for the Vary phase; pick the independent.
@@ -160,22 +173,138 @@ fn vary_sound_on_handwritten_cases() {
 fn constants_sound_on_generated_programs() {
     let mut checked = 0;
     for seed in 0..40u64 {
-        let src = generate(seed, &GenConfig { mpi_percent: 12, runnable: true, ..GenConfig::default() });
+        let src = generate(
+            seed,
+            &GenConfig {
+                mpi_percent: 12,
+                runnable: true,
+                ..GenConfig::default()
+            },
+        );
         if check_constants(&src) {
             checked += 1;
         }
     }
-    assert!(checked >= 25, "too few non-deadlocking seeds ({checked}) — generator drifted?");
+    assert!(
+        checked >= 25,
+        "too few non-deadlocking seeds ({checked}) — generator drifted?"
+    );
 }
 
 #[test]
 fn vary_sound_on_generated_programs() {
     let mut checked = 0;
     for seed in 0..40u64 {
-        let src = generate(seed, &GenConfig { mpi_percent: 12, runnable: true, ..GenConfig::default() });
+        let src = generate(
+            seed,
+            &GenConfig {
+                mpi_percent: 12,
+                runnable: true,
+                ..GenConfig::default()
+            },
+        );
         if check_vary(&src, "s0") {
             checked += 1;
         }
     }
     assert!(checked >= 25, "too few non-deadlocking seeds ({checked})");
+}
+
+// ---- adversarial-schedule exploration (K = 8 seeded legal schedules) -----
+
+/// The hand-written deadlock-free cases, shared by both schedule tests.
+fn schedule_cases() -> Vec<&'static str> {
+    vec![
+        mpi_dfa::suite::programs::FIGURE1,
+        "program p global a: real; global b: real;\n\
+         sub main() { a = 2.0; if (rank() == 0) { send(a, 1, 1); } else { recv(b, 0, 1); } }",
+        "program p global c: real;\n\
+         sub main() { if (rank() == 0) { c = 3.5; } bcast(c, 0); }",
+        "program p global s: real; global m: real;\n\
+         sub main() { s = 4.0; allreduce(MAX, s, m); }",
+    ]
+}
+
+#[test]
+fn constants_sound_under_adversarial_schedules() {
+    let sc = ScheduleConfig::default(); // K = 8
+    assert!(sc.schedules >= 8);
+    for (i, src) in schedule_cases().iter().enumerate() {
+        let report = schedules::check_constants(src, &sc)
+            .unwrap_or_else(|e| panic!("case {i}: {e}"))
+            .unwrap_or_else(|| panic!("case {i} deadlocked without faults"));
+        assert_eq!(
+            report.completed, sc.schedules,
+            "case {i}: legal schedules must complete"
+        );
+        assert!(
+            report.violations.is_empty(),
+            "case {i}: {:?}",
+            report.violations
+        );
+    }
+    // Generated runnable programs: every explored schedule must uphold the
+    // analysis' constant claims.
+    let mut explored = 0;
+    for seed in 0..16u64 {
+        let src = generate(
+            seed,
+            &GenConfig {
+                mpi_percent: 12,
+                runnable: true,
+                ..GenConfig::default()
+            },
+        );
+        if let Some(report) = schedules::check_constants(&src, &sc).unwrap() {
+            assert!(
+                report.violations.is_empty(),
+                "seed {seed}: {:?}",
+                report.violations
+            );
+            assert!(report.completed > 0, "seed {seed}: no schedule completed");
+            explored += 1;
+        }
+    }
+    assert!(explored >= 8, "too few non-deadlocking seeds ({explored})");
+}
+
+#[test]
+fn vary_sound_under_adversarial_schedules() {
+    let sc = ScheduleConfig::default(); // K = 8
+    let independents = ["x", "a", "c", "s"];
+    for (i, (src, ind)) in schedule_cases().iter().zip(independents).enumerate() {
+        let report = schedules::check_vary(src, ind, &sc)
+            .unwrap_or_else(|e| panic!("case {i}: {e}"))
+            .unwrap_or_else(|| panic!("case {i} deadlocked without faults"));
+        assert_eq!(
+            report.completed, sc.schedules,
+            "case {i}: legal schedules must complete"
+        );
+        assert!(
+            report.violations.is_empty(),
+            "case {i}: {:?}",
+            report.violations
+        );
+    }
+    let mut explored = 0;
+    for seed in 0..16u64 {
+        let src = generate(
+            seed,
+            &GenConfig {
+                mpi_percent: 12,
+                runnable: true,
+                ..GenConfig::default()
+            },
+        );
+        if let Some(report) = schedules::check_vary(&src, "s0", &sc).unwrap() {
+            assert!(
+                report.violations.is_empty(),
+                "seed {seed}: {:?}",
+                report.violations
+            );
+            assert!(report.completed > 0, "seed {seed}: no schedule completed");
+            explored += 1;
+        }
+    }
+    assert!(explored >= 8, "too few non-deadlocking seeds ({explored})");
 }

@@ -61,14 +61,23 @@ fn activity_naive_is_incorrect_framework_is_correct() {
 
     let icfg = Icfg::build(ir.clone(), "main", 0).unwrap();
     let naive = activity::analyze_icfg(&icfg, Mode::Naive, &config).unwrap();
-    assert!(naive.active.is_empty(), "paper: naive analysis concludes no active variables");
+    assert!(
+        naive.active.is_empty(),
+        "paper: naive analysis concludes no active variables"
+    );
 
     let g = mpi_icfg();
     let fw = activity::analyze_mpi(&g, &config).unwrap();
-    let names: Vec<String> =
-        fw.active_locs().iter().map(|&l| ir.locs.info(l).name.clone()).collect();
+    let names: Vec<String> = fw
+        .active_locs()
+        .iter()
+        .map(|&l| ir.locs.info(l).name.clone())
+        .collect();
     for v in ["x", "y", "z", "f"] {
-        assert!(names.contains(&v.to_string()), "{v} must be active, got {names:?}");
+        assert!(
+            names.contains(&v.to_string()),
+            "{v} must be active, got {names:?}"
+        );
     }
     assert_eq!(fw.active_bytes, 32);
 }
@@ -88,7 +97,10 @@ fn forward_vary_set_matches_paper() {
         .map(|i| ir.locs.info(mpi_dfa::graph::Loc(i as u32)).name.clone())
         .collect();
     for v in ["x", "y", "z", "b", "f"] {
-        assert!(vary_names.contains(&v.to_string()), "{v} should vary at exit: {vary_names:?}");
+        assert!(
+            vary_names.contains(&v.to_string()),
+            "{v} should vary at exit: {vary_names:?}"
+        );
     }
 }
 
@@ -106,8 +118,10 @@ fn backward_useful_set_matches_paper() {
         ever.union_into(&fw.useful.input[n]);
         ever.union_into(&fw.useful.output[n]);
     }
-    let useful_names: Vec<String> =
-        ever.iter().map(|i| ir.locs.info(mpi_dfa::graph::Loc(i as u32)).name.clone()).collect();
+    let useful_names: Vec<String> = ever
+        .iter()
+        .map(|i| ir.locs.info(mpi_dfa::graph::Loc(i as u32)).name.clone())
+        .collect();
     for v in ["x", "y", "b", "z", "f"] {
         assert!(
             useful_names.contains(&v.to_string()),
@@ -122,19 +136,35 @@ fn forward_slice_statement_sets_match_paper() {
     // SMPL ids 0,4,5,6,7,8,9 (plus the trailing print, id 10, which uses f).
     let ir = ProgramIr::from_source(figure1_src()).unwrap();
     let icfg = Icfg::build(ir.clone(), "main", 0).unwrap();
-    let wrong: Vec<u32> = forward_slice(&icfg, &icfg, StmtId(0)).iter().map(|s| s.0).collect();
-    assert_eq!(wrong, vec![0, 4, 5, 6], "CFG-only slice misses the receive side");
+    let wrong: Vec<u32> = forward_slice(&icfg, &icfg, StmtId(0))
+        .iter()
+        .map(|s| s.0)
+        .collect();
+    assert_eq!(
+        wrong,
+        vec![0, 4, 5, 6],
+        "CFG-only slice misses the receive side"
+    );
 
     let g = mpi_icfg();
-    let right: Vec<u32> = forward_slice(&g, g.icfg(), StmtId(0)).iter().map(|s| s.0).collect();
+    let right: Vec<u32> = forward_slice(&g, g.icfg(), StmtId(0))
+        .iter()
+        .map(|s| s.0)
+        .collect();
     assert_eq!(right, vec![0, 4, 5, 6, 7, 8, 9, 10]);
 }
 
 #[test]
 fn program_executes_correctly_under_the_interpreter() {
     let unit = compile(figure1_src()).unwrap();
-    let results =
-        interp::run(&unit.program, &InterpConfig { nprocs: 2, ..Default::default() }).unwrap();
+    let results = interp::run(
+        &unit.program,
+        &InterpConfig {
+            nprocs: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     // rank 0: x=1, sends it; z stays 2. rank 1: y=1, z = b*y = 7.
     // f = reduce(SUM, z) on root = 2 + 7 = 9.
     assert_eq!(results[0].printed, vec![9.0]);

@@ -45,11 +45,23 @@ fn exact_byte_matches_hold() {
     ];
     for r in rows() {
         if exact_both.contains(&r.spec.id) {
-            assert_eq!(r.icfg.active_bytes, r.spec.paper.icfg.active_bytes, "{} ICFG", r.spec.id);
-            assert_eq!(r.mpi.active_bytes, r.spec.paper.mpi.active_bytes, "{} MPI", r.spec.id);
+            assert_eq!(
+                r.icfg.active_bytes, r.spec.paper.icfg.active_bytes,
+                "{} ICFG",
+                r.spec.id
+            );
+            assert_eq!(
+                r.mpi.active_bytes, r.spec.paper.mpi.active_bytes,
+                "{} MPI",
+                r.spec.id
+            );
         } else {
             // LU-1, LU-3, Sw-1, Sw-6: MPI side exact, ICFG side within 150 B.
-            assert_eq!(r.mpi.active_bytes, r.spec.paper.mpi.active_bytes, "{} MPI", r.spec.id);
+            assert_eq!(
+                r.mpi.active_bytes, r.spec.paper.mpi.active_bytes,
+                "{} MPI",
+                r.spec.id
+            );
             let diff = r.icfg.active_bytes.abs_diff(r.spec.paper.icfg.active_bytes);
             assert!(diff <= 150, "{}: ICFG off by {diff} bytes", r.spec.id);
         }
@@ -59,8 +71,18 @@ fn exact_byte_matches_hold() {
 #[test]
 fn deriv_bytes_formula_is_respected() {
     for r in rows() {
-        assert_eq!(r.icfg.deriv_bytes, r.spec.num_indeps * r.icfg.active_bytes, "{}", r.spec.id);
-        assert_eq!(r.mpi.deriv_bytes, r.spec.num_indeps * r.mpi.active_bytes, "{}", r.spec.id);
+        assert_eq!(
+            r.icfg.deriv_bytes,
+            r.spec.num_indeps * r.icfg.active_bytes,
+            "{}",
+            r.spec.id
+        );
+        assert_eq!(
+            r.mpi.deriv_bytes,
+            r.spec.num_indeps * r.mpi.active_bytes,
+            "{}",
+            r.spec.id
+        );
     }
 }
 
@@ -74,13 +96,26 @@ fn convergence_is_comparable_between_graphs() {
     let rs = rows();
     let mut mpi_ge = 0usize;
     for r in &rs {
-        assert!(r.icfg.iterations <= 40, "{}: ICFG iter {}", r.spec.id, r.icfg.iterations);
-        assert!(r.mpi.iterations <= 40, "{}: MPI iter {}", r.spec.id, r.mpi.iterations);
+        assert!(
+            r.icfg.iterations <= 40,
+            "{}: ICFG iter {}",
+            r.spec.id,
+            r.icfg.iterations
+        );
+        assert!(
+            r.mpi.iterations <= 40,
+            "{}: MPI iter {}",
+            r.spec.id,
+            r.mpi.iterations
+        );
         if r.mpi.iterations >= r.icfg.iterations {
             mpi_ge += 1;
         }
     }
-    assert!(mpi_ge * 2 >= rs.len(), "MPI-ICFG should usually need at least as many passes");
+    assert!(
+        mpi_ge * 2 >= rs.len(),
+        "MPI-ICFG should usually need at least as many passes"
+    );
 }
 
 #[test]
@@ -94,9 +129,17 @@ fn communication_edges_exist_everywhere() {
 fn figure4_series_are_consistent_with_table1() {
     for r in rows() {
         let expect_active = (r.icfg.active_bytes - r.mpi.active_bytes) as f64 / 1.0e6;
-        assert!((r.active_mb_saved() - expect_active).abs() < 1e-9, "{}", r.spec.id);
+        assert!(
+            (r.active_mb_saved() - expect_active).abs() < 1e-9,
+            "{}",
+            r.spec.id
+        );
         let expect_deriv = (r.icfg.deriv_bytes - r.mpi.deriv_bytes) as f64 / 1.0e6;
-        assert!((r.deriv_mb_saved() - expect_deriv).abs() < 1e-9, "{}", r.spec.id);
+        assert!(
+            (r.deriv_mb_saved() - expect_deriv).abs() < 1e-9,
+            "{}",
+            r.spec.id
+        );
     }
 }
 

@@ -16,10 +16,13 @@ use mpi_dfa::suite::gen::{generate, GenConfig};
 
 fn two_copy_active(mpi: &MpiIcfg, config: &ActivityConfig) -> VarSet {
     let doubled = TwoCopyGraph::build(mpi);
-    let (vary, useful) =
-        activity::vary_useful_problems(mpi.icfg(), Mode::MpiIcfg, config).unwrap();
+    let (vary, useful) = activity::vary_useful_problems(mpi.icfg(), Mode::MpiIcfg, config).unwrap();
     let v = solve(&doubled, &rebase(&vary, &doubled), &SolveParams::default());
-    let u = solve(&doubled, &rebase(&useful, &doubled), &SolveParams::default());
+    let u = solve(
+        &doubled,
+        &rebase(&useful, &doubled),
+        &SolveParams::default(),
+    );
     let mut active = VarSet::empty(mpi.ir.locs.len());
     for n in 0..doubled.num_nodes() {
         let node = NodeId(n as u32);
@@ -33,11 +36,14 @@ fn two_copy_active(mpi: &MpiIcfg, config: &ActivityConfig) -> VarSet {
 fn equivalence_on_every_benchmark() {
     for spec in mpi_dfa::suite::all_experiments() {
         let ir = mpi_dfa::suite::programs::ir(spec.program);
-        let config =
-            ActivityConfig::new(spec.independents.to_vec(), spec.dependents.to_vec());
-        let mpi =
-            build_mpi_icfg(ir, spec.context, spec.clone_level, Matching::ReachingConstants)
-                .unwrap();
+        let config = ActivityConfig::new(spec.independents.to_vec(), spec.dependents.to_vec());
+        let mpi = build_mpi_icfg(
+            ir,
+            spec.context,
+            spec.clone_level,
+            Matching::ReachingConstants,
+        )
+        .unwrap();
         let one = activity::analyze_mpi(&mpi, &config).unwrap();
         let two = two_copy_active(&mpi, &config);
         assert_eq!(
@@ -68,7 +74,8 @@ fn two_copy_costs_twice_the_nodes() {
     let mpi = build_mpi_icfg(ir, "ssor", 2, Matching::ReachingConstants).unwrap();
     let doubled = TwoCopyGraph::build(&mpi);
     assert_eq!(doubled.num_nodes(), 2 * mpi.num_nodes());
-    let edges: usize =
-        (0..doubled.num_nodes()).map(|i| doubled.out_edges(NodeId(i as u32)).len()).sum();
+    let edges: usize = (0..doubled.num_nodes())
+        .map(|i| doubled.out_edges(NodeId(i as u32)).len())
+        .sum();
     assert_eq!(edges, 2 * mpi.num_edges());
 }
