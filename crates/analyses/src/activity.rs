@@ -41,6 +41,15 @@ use mpi_dfa_graph::node::{MpiInfo, MpiKind, NodeKind, RefInfo};
 pub enum Mode {
     Naive,
     GlobalBuffer,
+    /// Worst-case-sound plain-ICFG model used as the degradation ladder's
+    /// T2 tier: every receive may deliver varying data (gen, never a strong
+    /// kill) and every sent value is assumed needed by some receiver. By
+    /// construction its transfer functions are pointwise ≥ the MPI-ICFG
+    /// ones on the same location universe, so its Vary/Useful/Active sets
+    /// over-approximate [`Mode::MpiIcfg`] at *any* clone level or matching
+    /// strategy — unlike [`Mode::GlobalBuffer`], whose buffer kills make it
+    /// a baseline rather than a guaranteed superset.
+    GlobalBufferSound,
     MpiIcfg,
 }
 
@@ -201,10 +210,12 @@ pub fn analyze_mpi_parallel(
     let (vary, useful) = std::thread::scope(|scope| {
         let v = scope.spawn(|| solve(mpi, &vary_p, &params));
         let u = scope.spawn(|| solve(mpi, &useful_p, &params));
-        (
-            v.join().expect("vary phase"),
-            u.join().expect("useful phase"),
-        )
+        // A join error means the phase thread panicked; re-raise the
+        // original payload instead of replacing it with a fresh panic so
+        // callers (and the fuzz harness) see the real failure.
+        let vary = v.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        let useful = u.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        (vary, useful)
     });
 
     // Active = Vary ∩ Useful at some program point (either side of a node).
@@ -281,32 +292,36 @@ fn apply_def(set: &mut VarSet, r: &RefInfo, gen: bool) {
 }
 
 /// Does the data this operation sends vary / does it read from `set`?
+/// A malformed node with no recorded operand is treated as varying — the
+/// conservative (sound) answer for a may-analysis.
 fn sent_reads_from(m: &MpiInfo, set: &VarSet) -> bool {
     match m.kind {
-        MpiKind::Reduce | MpiKind::Allreduce => {
-            let v = m.value.as_ref().expect("reduce has value");
-            UseSelector::Differentiable.reads_from(v, set)
-        }
-        _ => {
-            let buf = m.buf.as_ref().expect("send has buffer");
-            set.contains(buf.loc.index())
-        }
+        MpiKind::Reduce | MpiKind::Allreduce => match m.value.as_ref() {
+            Some(v) => UseSelector::Differentiable.reads_from(v, set),
+            None => true,
+        },
+        _ => match m.buf.as_ref() {
+            Some(buf) => set.contains(buf.loc.index()),
+            None => true,
+        },
     }
 }
 
 /// Apply the receive side of `m` given whether varying data may arrive.
-/// Strong updates only where every process overwrites the buffer.
+/// Strong updates only where every process overwrites the buffer. A node
+/// with no recorded buffer contributes nothing (in particular, no kill).
 fn recv_def_forward(out: &mut VarSet, m: &MpiInfo, arriving: bool) {
-    let buf = m.buf.as_ref().expect("receive has buffer");
+    let Some(buf) = m.buf.as_ref() else {
+        return;
+    };
     match m.kind {
         MpiKind::Recv | MpiKind::Irecv | MpiKind::Allreduce => apply_def(out, buf, arriving),
-        // Roots of bcast/reduce keep their local buffer: weak.
-        MpiKind::Bcast | MpiKind::Reduce => {
-            if arriving {
-                out.insert(buf.loc.index());
-            }
+        // Roots of bcast/reduce keep their local buffer: weak. Any other
+        // kind is not a receiving op and contributes nothing.
+        MpiKind::Bcast | MpiKind::Reduce if arriving => {
+            out.insert(buf.loc.index());
         }
-        _ => unreachable!("not a receiving op"),
+        _ => {}
     }
 }
 
@@ -368,6 +383,13 @@ impl Dataflow for Vary<'_> {
                     if m.kind.receives_data() {
                         let arriving = out.contains(LocTable::MPI_BUFFER.index());
                         recv_def_forward(&mut out, m, arriving);
+                    }
+                }
+                Mode::GlobalBufferSound => {
+                    // Worst case: varying data may always arrive, so every
+                    // receive gens its buffer and never strongly kills it.
+                    if m.kind.receives_data() {
+                        recv_def_forward(&mut out, m, true);
                     }
                 }
                 Mode::MpiIcfg => {
@@ -464,25 +486,26 @@ impl Dataflow for Useful<'_> {
                 // buffer-usefulness from leaking upward past unrelated sends
                 // (the paper's Sweep3d ICFG numbers depend on it).
                 if m.kind.receives_data() {
-                    let buf = m.buf.as_ref().expect("receive has buffer");
-                    let overwritten = match m.kind {
-                        MpiKind::Recv | MpiKind::Irecv | MpiKind::Allreduce => true,
-                        MpiKind::Bcast | MpiKind::Reduce => false, // root keeps
-                        _ => unreachable!(),
-                    };
-                    match self.mode {
-                        Mode::GlobalBuffer => {
-                            if input.contains(buf.loc.index()) {
-                                // received = buffer: the buffer becomes useful.
-                                inset.insert(LocTable::MPI_BUFFER.index());
-                                if buf.is_strong_def() && overwritten {
-                                    inset.remove(buf.loc.index());
+                    if let Some(buf) = m.buf.as_ref() {
+                        let overwritten =
+                            matches!(m.kind, MpiKind::Recv | MpiKind::Irecv | MpiKind::Allreduce); // bcast/reduce roots keep their buffer
+                        match self.mode {
+                            Mode::GlobalBuffer => {
+                                if input.contains(buf.loc.index()) {
+                                    // received = buffer: the buffer becomes useful.
+                                    inset.insert(LocTable::MPI_BUFFER.index());
+                                    if buf.is_strong_def() && overwritten {
+                                        inset.remove(buf.loc.index());
+                                    }
                                 }
                             }
-                        }
-                        _ => {
-                            if overwritten && buf.is_strong_def() {
-                                inset.remove(buf.loc.index());
+                            // Worst-case-sound tier: a receive may deliver
+                            // only part of the buffer — never kill.
+                            Mode::GlobalBufferSound => {}
+                            _ => {
+                                if overwritten && buf.is_strong_def() {
+                                    inset.remove(buf.loc.index());
+                                }
                             }
                         }
                     }
@@ -495,6 +518,8 @@ impl Dataflow for Useful<'_> {
                         // `inset` (not `input`): a collective's own receive
                         // side may have just made the buffer useful.
                         Mode::GlobalBuffer => inset.contains(LocTable::MPI_BUFFER.index()),
+                        // Worst case: some receiver always needs the data.
+                        Mode::GlobalBufferSound => true,
                         Mode::MpiIcfg => comm.iter().any(|b| b.0),
                     };
                     if self.mode == Mode::GlobalBuffer {
@@ -504,12 +529,14 @@ impl Dataflow for Useful<'_> {
                     if needed {
                         match m.kind {
                             MpiKind::Reduce | MpiKind::Allreduce => {
-                                let v = m.value.as_ref().expect("reduce has value");
-                                UseSelector::Differentiable.insert_uses(v, &mut inset);
+                                if let Some(v) = m.value.as_ref() {
+                                    UseSelector::Differentiable.insert_uses(v, &mut inset);
+                                }
                             }
                             _ => {
-                                let buf = m.buf.as_ref().expect("send has buffer");
-                                inset.insert(buf.loc.index());
+                                if let Some(buf) = m.buf.as_ref() {
+                                    inset.insert(buf.loc.index());
+                                }
                             }
                         }
                     }
@@ -526,10 +553,14 @@ impl Dataflow for Useful<'_> {
     /// matching sends.
     fn comm_transfer(&self, node: NodeId, input: &VarSet) -> BoolOr {
         match &self.icfg.payload(node).kind {
-            NodeKind::Mpi(m) if m.kind.receives_data() => {
-                let buf = m.buf.as_ref().expect("receive has buffer");
-                BoolOr(input.contains(buf.loc.index()))
-            }
+            NodeKind::Mpi(m) if m.kind.receives_data() => BoolOr(
+                // A malformed receive with no buffer is conservatively
+                // assumed useful (sound for the may-analysis).
+                m.buf
+                    .as_ref()
+                    .map(|buf| input.contains(buf.loc.index()))
+                    .unwrap_or(true),
+            ),
             _ => BoolOr(false),
         }
     }

@@ -167,7 +167,11 @@ impl<'g> Bitwidth<'g> {
         match &self.icfg.payload(node).kind {
             NodeKind::Mpi(m) if m.kind.sends_data() => match m.kind {
                 MpiKind::Reduce | MpiKind::Allreduce => {
-                    let v = m.value.as_ref().expect("reduce has value");
+                    // Lowering always attaches a value to reductions; a
+                    // malformed node degrades to full width (sound).
+                    let Some(v) = m.value.as_ref() else {
+                        return FULL;
+                    };
                     // Reductions accumulate across nprocs processes: a SUM
                     // can grow by log2(nprocs) bits.
                     self.eval(&v.expr, input, node)
@@ -175,7 +179,11 @@ impl<'g> Bitwidth<'g> {
                         .min(FULL)
                 }
                 _ => {
-                    let buf = m.buf.as_ref().expect("send has buffer");
+                    // Sends always carry a buffer; degrade to full width if
+                    // one is ever missing rather than unwinding.
+                    let Some(buf) = m.buf.as_ref() else {
+                        return FULL;
+                    };
                     if self.icfg.ir.locs.info(buf.loc).is_float() {
                         FULL
                     } else {
@@ -229,7 +237,11 @@ impl Dataflow for Bitwidth<'_> {
             }
             NodeKind::Read { target } => self.assign(&mut out, target, FULL),
             NodeKind::Mpi(m) if m.kind.receives_data() => {
-                let buf = m.buf.as_ref().expect("receive has buffer");
+                // Receives always carry a buffer; a malformed node has
+                // nothing to write and transfers as the identity.
+                let Some(buf) = m.buf.as_ref() else {
+                    return out;
+                };
                 let arriving = match self.mode {
                     WidthMode::Conservative => FULL,
                     WidthMode::MpiIcfg => comm.iter().copied().max().unwrap_or(0),
@@ -238,9 +250,10 @@ impl Dataflow for Bitwidth<'_> {
                     MpiKind::Recv | MpiKind::Irecv | MpiKind::Allreduce => {
                         self.assign(&mut out, buf, arriving)
                     }
-                    // Roots keep their local value: widen only.
-                    MpiKind::Bcast | MpiKind::Reduce => out.widen(buf.loc, arriving),
-                    _ => unreachable!(),
+                    // Roots keep their local value: widen only. The widen
+                    // is also the conservative catch-all for any other
+                    // data-receiving kind (it never strong-kills).
+                    _ => out.widen(buf.loc, arriving),
                 }
             }
             _ => {}

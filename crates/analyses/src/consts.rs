@@ -127,7 +127,7 @@ pub fn eval_expr(
         ExprKind::Unary(op, inner) => {
             let v = eval_expr(inner, env, resolve);
             lift1(v, |c| match (op, c) {
-                (UnOp::Neg, CVal::Int(v)) => Some(CVal::Int(-v)),
+                (UnOp::Neg, CVal::Int(v)) => v.checked_neg().map(CVal::Int),
                 (UnOp::Neg, CVal::Real(v)) => Some(CVal::Real(-v)),
                 (UnOp::Not, c) => Some(CVal::Bool(!c.truthy())),
                 (UnOp::Neg, CVal::Bool(_)) => None,
@@ -147,7 +147,9 @@ pub fn eval_expr(
             if vals.iter().any(|v| v.is_top()) {
                 return Top;
             }
-            let cs: Vec<CVal> = vals.iter().map(|v| *v.as_const().unwrap()).collect();
+            // Neither bottom nor top above ⇒ every value is a constant;
+            // `filter_map` keeps this panic-free regardless.
+            let cs: Vec<CVal> = vals.iter().filter_map(|v| v.as_const().copied()).collect();
             match eval_intrinsic(*i, &cs) {
                 Some(c) => Const(c),
                 None => Bottom,
@@ -190,19 +192,24 @@ fn eval_binop(op: BinOp, a: CVal, b: CVal) -> Option<CVal> {
         _ => {}
     }
     // Integer arithmetic stays integral; anything mixing reals goes real.
+    // Overflow (including `i64::MIN / -1`) folds to "not a constant"
+    // rather than panicking in debug builds — same treatment as division
+    // by zero.
     if let (CVal::Int(x), CVal::Int(y)) = (a, b) {
         return match op {
-            Add => Some(CVal::Int(x + y)),
-            Sub => Some(CVal::Int(x - y)),
-            Mul => Some(CVal::Int(x * y)),
-            Div => (y != 0).then(|| CVal::Int(x / y)),
+            Add => x.checked_add(y).map(CVal::Int),
+            Sub => x.checked_sub(y).map(CVal::Int),
+            Mul => x.checked_mul(y).map(CVal::Int),
+            Div => x.checked_div(y).map(CVal::Int),
             Eq => Some(CVal::Bool(x == y)),
             Ne => Some(CVal::Bool(x != y)),
             Lt => Some(CVal::Bool(x < y)),
             Le => Some(CVal::Bool(x <= y)),
             Gt => Some(CVal::Bool(x > y)),
             Ge => Some(CVal::Bool(x >= y)),
-            And | Or => unreachable!(),
+            // Handled by the early return above; `None` keeps the fold
+            // panic-free regardless.
+            And | Or => None,
         };
     }
     let (x, y) = (a.as_f64()?, b.as_f64()?);
@@ -217,41 +224,48 @@ fn eval_binop(op: BinOp, a: CVal, b: CVal) -> Option<CVal> {
         Le => Some(CVal::Bool(x <= y)),
         Gt => Some(CVal::Bool(x > y)),
         Ge => Some(CVal::Bool(x >= y)),
-        And | Or => unreachable!(),
+        // Handled by the early return above; see the integer arm.
+        And | Or => None,
     }
 }
 
+/// Fold one intrinsic over constant arguments. Sema enforces arities, but
+/// indexing stays checked (`get`) and the `i64` edge cases
+/// (`i64::MIN.rem_euclid(-1)`, `i64::MIN.abs()`) fold to "not a constant"
+/// instead of panicking.
 fn eval_intrinsic(i: Intrinsic, args: &[CVal]) -> Option<CVal> {
+    let a0 = *args.first()?;
     match i {
         Intrinsic::Mod => {
-            let (a, m) = (args[0].as_int()?, args[1].as_int()?);
-            (m != 0).then(|| CVal::Int(a.rem_euclid(m)))
+            let (a, m) = (a0.as_int()?, args.get(1)?.as_int()?);
+            a.checked_rem_euclid(m).map(CVal::Int)
         }
         Intrinsic::Max | Intrinsic::Min => {
-            if let (CVal::Int(x), CVal::Int(y)) = (args[0], args[1]) {
+            let a1 = *args.get(1)?;
+            if let (CVal::Int(x), CVal::Int(y)) = (a0, a1) {
                 return Some(CVal::Int(if i == Intrinsic::Max {
                     x.max(y)
                 } else {
                     x.min(y)
                 }));
             }
-            let (x, y) = (args[0].as_f64()?, args[1].as_f64()?);
+            let (x, y) = (a0.as_f64()?, a1.as_f64()?);
             Some(CVal::Real(if i == Intrinsic::Max {
                 x.max(y)
             } else {
                 x.min(y)
             }))
         }
-        Intrinsic::Abs => match args[0] {
-            CVal::Int(v) => Some(CVal::Int(v.abs())),
+        Intrinsic::Abs => match a0 {
+            CVal::Int(v) => v.checked_abs().map(CVal::Int),
             CVal::Real(v) => Some(CVal::Real(v.abs())),
             CVal::Bool(_) => None,
         },
-        Intrinsic::Sqrt => Some(CVal::Real(args[0].as_f64()?.abs().sqrt())),
-        Intrinsic::Exp => Some(CVal::Real(args[0].as_f64()?.exp())),
-        Intrinsic::Log => Some(CVal::Real(args[0].as_f64()?.abs().max(1e-300).ln())),
-        Intrinsic::Sin => Some(CVal::Real(args[0].as_f64()?.sin())),
-        Intrinsic::Cos => Some(CVal::Real(args[0].as_f64()?.cos())),
+        Intrinsic::Sqrt => Some(CVal::Real(a0.as_f64()?.abs().sqrt())),
+        Intrinsic::Exp => Some(CVal::Real(a0.as_f64()?.exp())),
+        Intrinsic::Log => Some(CVal::Real(a0.as_f64()?.abs().max(1e-300).ln())),
+        Intrinsic::Sin => Some(CVal::Real(a0.as_f64()?.sin())),
+        Intrinsic::Cos => Some(CVal::Real(a0.as_f64()?.cos())),
     }
 }
 
@@ -318,34 +332,37 @@ impl Dataflow for ReachingConsts<'_> {
                 self.assign(&mut out, target, ConstLattice::Bottom);
             }
             NodeKind::Mpi(m) if m.kind.receives_data() => {
-                let buf = m.buf.as_ref().expect("data op has buffer");
-                // Meet the values arriving over all communication edges
-                // (the paper's ⊓ over commpred(n)); with no incoming
-                // edges the meet is ⊤ (unreachable receive).
-                let mut v = ConstLattice::Top;
-                for c in comm {
-                    v.meet_with(c);
-                }
-                match m.kind {
-                    MpiKind::Recv | MpiKind::Irecv => self.assign(&mut out, buf, v),
-                    // The root of a bcast/reduce keeps its local value,
-                    // so the received value can only be met in weakly.
-                    MpiKind::Bcast => out.weaken(buf.loc, &v),
-                    MpiKind::Reduce | MpiKind::Allreduce => {
-                        // The reduction result is the operator applied
-                        // across processes: only idempotent operators
-                        // (MAX/MIN) preserve a shared constant.
-                        let r = match m.op {
-                            Some(RedOp::Max | RedOp::Min) => v,
-                            _ => ConstLattice::Bottom,
-                        };
-                        if m.kind == MpiKind::Allreduce {
-                            self.assign(&mut out, buf, r);
-                        } else {
-                            out.weaken(buf.loc, &r);
-                        }
+                // A malformed receive with no recorded buffer updates
+                // nothing (reported elsewhere; never panic here).
+                if let Some(buf) = m.buf.as_ref() {
+                    // Meet the values arriving over all communication edges
+                    // (the paper's ⊓ over commpred(n)); with no incoming
+                    // edges the meet is ⊤ (unreachable receive).
+                    let mut v = ConstLattice::Top;
+                    for c in comm {
+                        v.meet_with(c);
                     }
-                    _ => unreachable!(),
+                    match m.kind {
+                        MpiKind::Recv | MpiKind::Irecv => self.assign(&mut out, buf, v),
+                        // The root of a bcast/reduce keeps its local value,
+                        // so the received value can only be met in weakly.
+                        MpiKind::Bcast => out.weaken(buf.loc, &v),
+                        MpiKind::Reduce | MpiKind::Allreduce => {
+                            // The reduction result is the operator applied
+                            // across processes: only idempotent operators
+                            // (MAX/MIN) preserve a shared constant.
+                            let r = match m.op {
+                                Some(RedOp::Max | RedOp::Min) => v,
+                                _ => ConstLattice::Bottom,
+                            };
+                            if m.kind == MpiKind::Allreduce {
+                                self.assign(&mut out, buf, r);
+                            } else {
+                                out.weaken(buf.loc, &r);
+                            }
+                        }
+                        _ => {}
+                    }
                 }
             }
             // Entry/Exit/Branch/Print/Nop/CallSite/AfterCall: identity.
@@ -358,14 +375,16 @@ impl Dataflow for ReachingConsts<'_> {
         // commOUT(n) = f_comm(IN(n)): the lattice value of the sent data.
         match &self.icfg.payload(node).kind {
             NodeKind::Mpi(m) if m.kind.sends_data() => match m.kind {
-                MpiKind::Reduce | MpiKind::Allreduce => {
-                    let value = m.value.as_ref().expect("reduce has value");
-                    eval_expr(&value.expr, input, &self.resolver(node))
-                }
-                _ => {
-                    let buf = m.buf.as_ref().expect("send has buffer");
-                    *input.get(buf.loc)
-                }
+                // Malformed nodes with a missing operand send ⊥ — the
+                // conservative value that never enables edge pruning.
+                MpiKind::Reduce | MpiKind::Allreduce => match m.value.as_ref() {
+                    Some(value) => eval_expr(&value.expr, input, &self.resolver(node)),
+                    None => ConstLattice::Bottom,
+                },
+                _ => match m.buf.as_ref() {
+                    Some(buf) => *input.get(buf.loc),
+                    None => ConstLattice::Bottom,
+                },
             },
             // Receive-only nodes can be comm-edge *sources* in backward
             // problems, never here; other nodes have no comm edges.
@@ -450,6 +469,29 @@ impl ConstsQuery {
     /// the bootstrap analysis the paper uses for matching) and snapshot.
     pub fn compute(icfg: &Icfg) -> ConstsQuery {
         let sol = analyze_icfg(icfg);
+        Self::snapshot(icfg, sol)
+    }
+
+    /// Budget-aware [`ConstsQuery::compute`]. A non-fixpoint constant
+    /// snapshot could *unsoundly* prune communication edges (a location may
+    /// still look constant before the meet that would have lowered it to
+    /// ⊥), so if the solve does not converge within `params` the query is
+    /// refused and the caller must fall back to a cheaper matching.
+    pub fn compute_with(
+        icfg: &Icfg,
+        params: &SolveParams,
+    ) -> Result<ConstsQuery, mpi_dfa_core::budget::Exhaustion> {
+        let sol = solve(icfg, &ReachingConsts::new(icfg), params);
+        if !sol.stats.converged {
+            return Err(sol
+                .stats
+                .exhausted
+                .unwrap_or(mpi_dfa_core::budget::Exhaustion::WorkUnits));
+        }
+        Ok(Self::snapshot(icfg, sol))
+    }
+
+    fn snapshot(icfg: &Icfg, sol: Solution<ConstEnv>) -> ConstsQuery {
         ConstsQuery {
             ir: icfg.ir.clone(),
             node_proc: icfg.nodes().map(|n| icfg.proc_of(n)).collect(),

@@ -19,6 +19,7 @@
 pub mod activity;
 pub mod bitwidth;
 pub mod consts;
+pub mod governor;
 pub mod interproc;
 pub mod liveness;
 pub mod mpi_match;
@@ -29,4 +30,7 @@ pub mod twocopy;
 
 pub use activity::{ActivityConfig, ActivityResult, Mode};
 pub use consts::{CVal, ConstEnv, ConstsQuery};
-pub use mpi_match::{build_mpi_icfg, Matching};
+pub use governor::{
+    governed_activity, AnalysisProvenance, DegradeMode, GovernedActivity, GovernorConfig, Tier,
+};
+pub use mpi_match::{build_mpi_icfg, build_mpi_icfg_with_budget, Matching};

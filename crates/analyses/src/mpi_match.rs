@@ -7,8 +7,10 @@
 //! semantics to reduce the number of communication edges."
 
 use crate::consts::ConstsQuery;
+use mpi_dfa_core::budget::Budget;
+use mpi_dfa_core::solver::SolveParams;
 use mpi_dfa_graph::icfg::{Icfg, IcfgError, ProgramIr};
-use mpi_dfa_graph::mpi::MpiIcfg;
+use mpi_dfa_graph::mpi::{MpiIcfg, NoConsts, SyntacticConsts};
 use std::sync::Arc;
 
 /// How communication edges are matched.
@@ -33,12 +35,35 @@ pub fn build_mpi_icfg(
     let icfg = Icfg::build(ir, context, clone_level)?;
     Ok(match matching {
         Matching::Naive => MpiIcfg::build_naive(icfg),
-        Matching::Syntactic => MpiIcfg::build(icfg, &mpi_dfa_graph::mpi::SyntacticConsts),
+        Matching::Syntactic => MpiIcfg::build(icfg, &SyntacticConsts),
         Matching::ReachingConstants => {
             let query = ConstsQuery::compute(&icfg);
             MpiIcfg::build(icfg, &query)
         }
     })
+}
+
+/// Budget-governed [`build_mpi_icfg`]: clone expansion, the
+/// reaching-constants bootstrap solve, and pairwise edge matching all
+/// charge `budget`; exhaustion at any stage returns [`IcfgError::Budget`]
+/// so the degradation ladder can retry a cheaper configuration.
+pub fn build_mpi_icfg_with_budget(
+    ir: Arc<ProgramIr>,
+    context: &str,
+    clone_level: usize,
+    matching: Matching,
+    budget: &Budget,
+) -> Result<MpiIcfg, IcfgError> {
+    let icfg = Icfg::build_with_budget(ir, context, clone_level, budget)?;
+    match matching {
+        Matching::Naive => MpiIcfg::try_build(icfg, &NoConsts, budget),
+        Matching::Syntactic => MpiIcfg::try_build(icfg, &SyntacticConsts, budget),
+        Matching::ReachingConstants => {
+            let query = ConstsQuery::compute_with(&icfg, &SolveParams::with_budget(budget.clone()))
+                .map_err(IcfgError::Budget)?;
+            MpiIcfg::try_build(icfg, &query, budget)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -82,7 +82,11 @@ impl Dataflow for Influence<'_> {
                 }
             }
             NodeKind::Mpi(m) if m.kind.receives_data() => {
-                let buf = m.buf.as_ref().expect("receive has buffer");
+                // Receives always carry a buffer; a malformed node has
+                // nothing to gen or kill and transfers as the identity.
+                let Some(buf) = m.buf.as_ref() else {
+                    return out;
+                };
                 let arriving = self.use_comm && comm.iter().any(|b| b.0);
                 let gen = arriving || seeded;
                 match m.kind {
@@ -107,15 +111,17 @@ impl Dataflow for Influence<'_> {
 
     fn comm_transfer(&self, node: NodeId, input: &VarSet) -> BoolOr {
         match &self.icfg.payload(node).kind {
+            // A malformed send missing its payload counts as relevant
+            // (`true`): over-approximating keeps the slice sound.
             NodeKind::Mpi(m) if m.kind.sends_data() => BoolOr(match m.kind {
-                MpiKind::Reduce | MpiKind::Allreduce => {
-                    let v = m.value.as_ref().expect("reduce has value");
-                    UseSelector::All.reads_from(v, input)
-                }
-                _ => {
-                    let buf = m.buf.as_ref().expect("send has buffer");
-                    input.contains(buf.loc.index())
-                }
+                MpiKind::Reduce | MpiKind::Allreduce => m
+                    .value
+                    .as_ref()
+                    .is_none_or(|v| UseSelector::All.reads_from(v, input)),
+                _ => m
+                    .buf
+                    .as_ref()
+                    .is_none_or(|buf| input.contains(buf.loc.index())),
             }),
             _ => BoolOr(false),
         }

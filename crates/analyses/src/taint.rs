@@ -100,7 +100,12 @@ impl Dataflow for Taint<'_> {
                 }
             }
             NodeKind::Mpi(m) if m.kind.receives_data() => {
-                let buf = m.buf.as_ref().expect("receive has buffer");
+                // Receives always carry a buffer; a malformed node writes
+                // nothing and transfers as the identity (it cannot launder
+                // taint because it cannot kill anything either).
+                let Some(buf) = m.buf.as_ref() else {
+                    return out;
+                };
                 let arriving = match self.mode {
                     TaintMode::AllReceivesUntrusted => true,
                     TaintMode::MpiIcfg => comm.iter().any(|b| b.0),
@@ -127,15 +132,17 @@ impl Dataflow for Taint<'_> {
 
     fn comm_transfer(&self, node: NodeId, input: &VarSet) -> BoolOr {
         match &self.icfg.payload(node).kind {
+            // A malformed send missing its payload is treated as tainted
+            // (`true`): over-approximating keeps the analysis sound.
             NodeKind::Mpi(m) if m.kind.sends_data() => BoolOr(match m.kind {
-                MpiKind::Reduce | MpiKind::Allreduce => {
-                    let v = m.value.as_ref().expect("reduce has value");
-                    UseSelector::All.reads_from(v, input)
-                }
-                _ => {
-                    let buf = m.buf.as_ref().expect("send has buffer");
-                    input.contains(buf.loc.index())
-                }
+                MpiKind::Reduce | MpiKind::Allreduce => m
+                    .value
+                    .as_ref()
+                    .is_none_or(|v| UseSelector::All.reads_from(v, input)),
+                _ => m
+                    .buf
+                    .as_ref()
+                    .is_none_or(|buf| input.contains(buf.loc.index())),
             }),
             _ => BoolOr(false),
         }

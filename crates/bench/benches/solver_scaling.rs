@@ -49,6 +49,21 @@ fn bench_scaling(c: &mut Criterion) {
         b.iter(|| black_box(solve_worklist(&mpi, &p, &SolveParams::default())));
     });
     group.finish();
+
+    // Budget headroom: both strategies report the same consumption schema
+    // (node visits, comm-edge evaluations, elapsed), so the work-unit cost
+    // of a full fixpoint — i.e. the budget a production caller must grant
+    // before the degradation ladder kicks in — can be charted per strategy.
+    let p = ReachingConsts::new(mpi.icfg());
+    let rr = solve(&mpi, &p, &SolveParams::default());
+    let wl = solve_worklist(&mpi, &p, &SolveParams::default());
+    for (name, stats) in [("round_robin", &rr.stats), ("worklist", &wl.stats)] {
+        println!(
+            "solver_scaling/budget_headroom/{name}: {} node visits, {} comm evals, \
+             {} passes, {:?} (converged={})",
+            stats.node_visits, stats.comm_evals, stats.passes, stats.elapsed, stats.converged
+        );
+    }
 }
 
 criterion_group!(benches, bench_scaling);

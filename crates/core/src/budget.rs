@@ -1,0 +1,367 @@
+//! Resource budgets for every analysis entry point.
+//!
+//! Production static analyzers degrade under pressure instead of hanging:
+//! each pipeline stage (clone expansion, comm-edge matching, fixpoint
+//! solving) consumes from a [`Budget`] and reports *why* it stopped via
+//! [`Exhaustion`] rather than running until killed. The degradation ladder
+//! in `crates/analyses` uses these signals to step down to cheaper, still
+//! sound configurations.
+//!
+//! Design notes:
+//!
+//! - The budget's currency is the **work unit**: one solver node transfer,
+//!   one send/receive candidate-pair check, or one instantiated clone node.
+//!   `max_work` caps the total; the wall-clock `deadline` and the
+//!   cooperative [`CancelToken`] are polled only every
+//!   [`CHECK_INTERVAL`] units so the hot loops stay cheap.
+//! - [`Budget`] is a plain description; [`BudgetMeter`] is the running
+//!   counter. A meter can be handed down through several stages so one
+//!   budget governs the entire pipeline.
+//! - All limits default to "unlimited", so existing call sites that use
+//!   [`Budget::default`] behave exactly as before.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often (in work units) the deadline and cancellation token are
+/// polled. A power of two so the modulo folds to a mask.
+pub const CHECK_INTERVAL: u64 = 1024;
+
+/// Why a budgeted computation stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Exhaustion {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The work-unit cap (node visits / pair checks / clone nodes) was hit.
+    WorkUnits,
+    /// The projected fact-memory requirement exceeds the cap.
+    FactMemory,
+    /// The cooperative cancellation token was triggered.
+    Cancelled,
+}
+
+impl std::fmt::Display for Exhaustion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Exhaustion::Deadline => write!(f, "wall-clock deadline exceeded"),
+            Exhaustion::WorkUnits => write!(f, "work-unit cap exceeded"),
+            Exhaustion::FactMemory => write!(f, "fact-memory cap exceeded"),
+            Exhaustion::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// Cooperative cancellation: cloneable handle over a shared flag.
+///
+/// Long-running analyses poll the token (via their [`BudgetMeter`]) every
+/// [`CHECK_INTERVAL`] work units; any holder of a clone can cancel.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. All clones observe it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// A resource budget: every limit optional, absent limits are infinite.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    /// Absolute wall-clock deadline.
+    pub deadline: Option<Instant>,
+    /// Cap on total work units (solver node visits, matcher pair checks,
+    /// clone-expansion node instantiations).
+    pub max_work: Option<u64>,
+    /// Cap on the projected bytes of data-flow facts. Checked up front by
+    /// the governor (facts are bitvectors of known size), not in hot loops.
+    pub max_fact_bytes: Option<u64>,
+    /// Cooperative cancellation token.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Budget {
+    /// A budget with no limits; behaves exactly like pre-budget code.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Is every limit absent?
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_work.is_none()
+            && self.max_fact_bytes.is_none()
+            && self.cancel.is_none()
+    }
+
+    /// Set a deadline `ms` milliseconds from now.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline = Some(Instant::now() + Duration::from_millis(ms));
+        self
+    }
+
+    /// Set the work-unit cap.
+    pub fn with_max_work(mut self, units: u64) -> Self {
+        self.max_work = Some(units);
+        self
+    }
+
+    /// Set the fact-memory cap in bytes.
+    pub fn with_max_fact_bytes(mut self, bytes: u64) -> Self {
+        self.max_fact_bytes = Some(bytes);
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Start metering against this budget.
+    pub fn meter(&self) -> BudgetMeter {
+        BudgetMeter {
+            budget: self.clone(),
+            started: Instant::now(),
+            work: 0,
+            exhausted: None,
+        }
+    }
+
+    /// The remaining budget after `spent`, for handing to the next ladder
+    /// tier: work and wall-clock already consumed are subtracted, the
+    /// deadline (an absolute instant) carries over unchanged.
+    pub fn remaining_after(&self, spent: &BudgetSpent) -> Budget {
+        Budget {
+            deadline: self.deadline,
+            max_work: self.max_work.map(|w| w.saturating_sub(spent.work)),
+            max_fact_bytes: self.max_fact_bytes,
+            cancel: self.cancel.clone(),
+        }
+    }
+}
+
+/// What a metered computation actually consumed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetSpent {
+    /// Work units consumed.
+    pub work: u64,
+    /// Wall-clock time consumed.
+    pub elapsed: Duration,
+}
+
+/// Running counter against a [`Budget`].
+///
+/// The typical loop charges one unit per step and bails out when
+/// [`BudgetMeter::charge`] returns an [`Exhaustion`]:
+///
+/// ```
+/// use mpi_dfa_core::budget::{Budget, Exhaustion};
+/// let mut meter = Budget::unlimited().with_max_work(10).meter();
+/// let mut stopped = None;
+/// for _ in 0..100 {
+///     if let Err(e) = meter.charge(1) {
+///         stopped = Some(e);
+///         break;
+///     }
+/// }
+/// assert_eq!(stopped, Some(Exhaustion::WorkUnits));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BudgetMeter {
+    budget: Budget,
+    started: Instant,
+    work: u64,
+    exhausted: Option<Exhaustion>,
+}
+
+impl BudgetMeter {
+    /// Charge `units` work units. Returns `Err` once the budget is
+    /// exhausted (and keeps returning the same error afterwards, so loops
+    /// need not special-case repeated polls).
+    pub fn charge(&mut self, units: u64) -> Result<(), Exhaustion> {
+        if let Some(e) = self.exhausted {
+            return Err(e);
+        }
+        let before = self.work;
+        self.work = self.work.saturating_add(units);
+        if let Some(cap) = self.budget.max_work {
+            if self.work > cap {
+                return Err(self.mark(Exhaustion::WorkUnits));
+            }
+        }
+        // Deadline / cancellation are polled only when the charge crosses a
+        // CHECK_INTERVAL boundary, keeping hot loops cheap.
+        if before / CHECK_INTERVAL != self.work / CHECK_INTERVAL || units >= CHECK_INTERVAL {
+            self.poll()?;
+        }
+        Ok(())
+    }
+
+    /// Immediately poll the deadline and cancellation token.
+    pub fn poll(&mut self) -> Result<(), Exhaustion> {
+        if let Some(e) = self.exhausted {
+            return Err(e);
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if Instant::now() >= deadline {
+                return Err(self.mark(Exhaustion::Deadline));
+            }
+        }
+        if let Some(token) = &self.budget.cancel {
+            if token.is_cancelled() {
+                return Err(self.mark(Exhaustion::Cancelled));
+            }
+        }
+        Ok(())
+    }
+
+    /// Check a projected fact-memory requirement against the cap without
+    /// consuming work units.
+    pub fn check_fact_bytes(&mut self, bytes: u64) -> Result<(), Exhaustion> {
+        if let Some(e) = self.exhausted {
+            return Err(e);
+        }
+        if let Some(cap) = self.budget.max_fact_bytes {
+            if bytes > cap {
+                return Err(self.mark(Exhaustion::FactMemory));
+            }
+        }
+        Ok(())
+    }
+
+    fn mark(&mut self, e: Exhaustion) -> Exhaustion {
+        self.exhausted = Some(e);
+        e
+    }
+
+    /// Why the meter stopped, if it did.
+    pub fn exhaustion(&self) -> Option<Exhaustion> {
+        self.exhausted
+    }
+
+    /// Work units consumed so far.
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Consumption so far (work units + elapsed wall clock).
+    pub fn spent(&self) -> BudgetSpent {
+        BudgetSpent {
+            work: self.work,
+            elapsed: self.started.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let mut meter = Budget::unlimited().meter();
+        for _ in 0..10_000 {
+            meter.charge(1).expect("unlimited");
+        }
+        assert!(meter.exhaustion().is_none());
+        assert_eq!(meter.work(), 10_000);
+    }
+
+    #[test]
+    fn work_cap_trips_exactly_past_cap() {
+        let mut meter = Budget::unlimited().with_max_work(5).meter();
+        for _ in 0..5 {
+            meter.charge(1).expect("within cap");
+        }
+        assert_eq!(meter.charge(1), Err(Exhaustion::WorkUnits));
+        // Sticky afterwards.
+        assert_eq!(meter.charge(1), Err(Exhaustion::WorkUnits));
+        assert_eq!(meter.exhaustion(), Some(Exhaustion::WorkUnits));
+    }
+
+    #[test]
+    fn deadline_in_past_trips_on_poll() {
+        let budget = Budget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..Budget::default()
+        };
+        let mut meter = budget.meter();
+        assert_eq!(meter.poll(), Err(Exhaustion::Deadline));
+        // A big charge also polls immediately.
+        let mut meter2 = Budget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..Budget::default()
+        }
+        .meter();
+        assert_eq!(meter2.charge(CHECK_INTERVAL), Err(Exhaustion::Deadline));
+    }
+
+    #[test]
+    fn cancel_token_observed_across_clones() {
+        let token = CancelToken::new();
+        let budget = Budget::unlimited().with_cancel(token.clone());
+        let mut meter = budget.meter();
+        meter.poll().expect("not yet cancelled");
+        token.cancel();
+        assert_eq!(meter.poll(), Err(Exhaustion::Cancelled));
+    }
+
+    #[test]
+    fn fact_memory_cap() {
+        let mut meter = Budget::unlimited().with_max_fact_bytes(1000).meter();
+        meter.check_fact_bytes(999).expect("under cap");
+        assert_eq!(meter.check_fact_bytes(1001), Err(Exhaustion::FactMemory));
+    }
+
+    #[test]
+    fn remaining_after_subtracts_work() {
+        let budget = Budget::unlimited().with_max_work(100);
+        let spent = BudgetSpent {
+            work: 30,
+            elapsed: Duration::from_millis(5),
+        };
+        let rest = budget.remaining_after(&spent);
+        assert_eq!(rest.max_work, Some(70));
+        // Saturates at zero.
+        let over = BudgetSpent {
+            work: 1000,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(budget.remaining_after(&over).max_work, Some(0));
+    }
+
+    #[test]
+    fn is_unlimited_reflects_limits() {
+        assert!(Budget::unlimited().is_unlimited());
+        assert!(!Budget::unlimited().with_max_work(1).is_unlimited());
+        assert!(!Budget::unlimited().with_deadline_ms(1).is_unlimited());
+    }
+
+    #[test]
+    fn display_strings_are_stable() {
+        assert_eq!(
+            Exhaustion::Deadline.to_string(),
+            "wall-clock deadline exceeded"
+        );
+        assert_eq!(Exhaustion::WorkUnits.to_string(), "work-unit cap exceeded");
+        assert_eq!(
+            Exhaustion::FactMemory.to_string(),
+            "fact-memory cap exceeded"
+        );
+        assert_eq!(Exhaustion::Cancelled.to_string(), "cancelled");
+    }
+}

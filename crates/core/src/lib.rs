@@ -46,12 +46,14 @@
 //! assert!(sol.stats.converged);
 //! ```
 
+pub mod budget;
 pub mod graph;
 pub mod lattice;
 pub mod problem;
 pub mod solver;
 pub mod varset;
 
+pub use budget::{Budget, BudgetMeter, BudgetSpent, CancelToken, Exhaustion};
 pub use graph::{Edge, EdgeKind, FlowGraph, NodeId};
 pub use lattice::{BoolAnd, BoolOr, ConstLattice, MeetSemiLattice};
 pub use problem::{Dataflow, Direction};

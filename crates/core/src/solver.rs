@@ -16,8 +16,10 @@
 //! `commIN(n) = f_comm(OUT(n))` for backward ones — and hands the collected
 //! communication facts to the node's transfer function.
 
+use crate::budget::{Budget, Exhaustion};
 use crate::graph::{reverse_postorder, Edge, FlowGraph, NodeId};
 use crate::problem::{Dataflow, Direction};
+use std::time::{Duration, Instant};
 
 /// Solver tuning knobs.
 #[derive(Debug, Clone)]
@@ -26,15 +28,34 @@ pub struct SolveParams {
     /// visits divided by node count). Exceeding it sets
     /// `ConvergenceStats::converged = false` instead of looping forever.
     pub max_passes: usize,
+    /// Resource budget (deadline, work-unit cap, cancellation). The solver
+    /// charges one work unit per node transfer; exhaustion stops the
+    /// fixpoint early with `converged = false` and records the reason in
+    /// `ConvergenceStats::exhausted`.
+    pub budget: Budget,
 }
 
 impl Default for SolveParams {
     fn default() -> Self {
-        SolveParams { max_passes: 10_000 }
+        SolveParams {
+            max_passes: 10_000,
+            budget: Budget::unlimited(),
+        }
     }
 }
 
-/// Convergence accounting.
+impl SolveParams {
+    /// Default pass bound with the given budget.
+    pub fn with_budget(budget: Budget) -> Self {
+        SolveParams {
+            budget,
+            ..SolveParams::default()
+        }
+    }
+}
+
+/// Convergence accounting, reported uniformly by both solver strategies so
+/// bench output can chart budget headroom.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ConvergenceStats {
     /// Number of full passes over the graph (round-robin) or an equivalent
@@ -44,8 +65,27 @@ pub struct ConvergenceStats {
     pub node_visits: u64,
     /// Total `f_comm` evaluations.
     pub comm_evals: u64,
-    /// False if the pass bound was hit before reaching a fixpoint.
+    /// Wall-clock time the solve consumed.
+    pub elapsed: Duration,
+    /// False if the pass bound or the budget was hit before a fixpoint.
     pub converged: bool,
+    /// Why the budget stopped the solve, if it did.
+    pub exhausted: Option<Exhaustion>,
+}
+
+impl ConvergenceStats {
+    /// Merge the consumption of a sub-solve into this one (used by clients
+    /// that run several solves under one budget).
+    pub fn absorb(&mut self, other: &ConvergenceStats) {
+        self.passes = self.passes.max(other.passes);
+        self.node_visits += other.node_visits;
+        self.comm_evals += other.comm_evals;
+        self.elapsed += other.elapsed;
+        self.converged &= other.converged;
+        if self.exhausted.is_none() {
+            self.exhausted = other.exhausted;
+        }
+    }
 }
 
 /// The fixpoint: per-node facts on both sides of each transfer.
@@ -222,11 +262,18 @@ pub fn solve<G: FlowGraph, P: Dataflow>(
         ..Default::default()
     };
     let mut comm_buf = Vec::new();
+    let started = Instant::now();
+    let mut meter = params.budget.meter();
 
-    loop {
+    'passes: loop {
         stats.passes += 1;
         let mut changed = false;
         for &node in &order {
+            if let Err(e) = meter.charge(1) {
+                stats.converged = false;
+                stats.exhausted = Some(e);
+                break 'passes;
+            }
             let (ic, oc) = update_node(
                 &oriented,
                 problem,
@@ -248,6 +295,7 @@ pub fn solve<G: FlowGraph, P: Dataflow>(
         }
     }
 
+    stats.elapsed = started.elapsed();
     Solution {
         direction: problem.direction(),
         input,
@@ -283,9 +331,16 @@ pub fn solve_worklist<G: FlowGraph, P: Dataflow>(
     let mut queue: std::collections::VecDeque<NodeId> = order.iter().copied().collect();
     let mut queued = vec![true; n];
     let visit_budget = (params.max_passes as u64).saturating_mul(n.max(1) as u64);
+    let started = Instant::now();
+    let mut meter = params.budget.meter();
 
     while let Some(node) = queue.pop_front() {
         queued[node.index()] = false;
+        if let Err(e) = meter.charge(1) {
+            stats.converged = false;
+            stats.exhausted = Some(e);
+            break;
+        }
         let (ic, oc) = update_node(
             &oriented,
             problem,
@@ -318,6 +373,7 @@ pub fn solve_worklist<G: FlowGraph, P: Dataflow>(
     }
 
     stats.passes = (stats.node_visits as usize).div_ceil(n.max(1));
+    stats.elapsed = started.elapsed();
     Solution {
         direction: problem.direction(),
         input,
@@ -559,9 +615,88 @@ mod tests {
         g.flow(0, 0);
         g.set_entry(0);
         g.set_exit(0);
-        let sol = solve(&g, &Flip, &SolveParams { max_passes: 50 });
+        let sol = solve(
+            &g,
+            &Flip,
+            &SolveParams {
+                max_passes: 50,
+                ..SolveParams::default()
+            },
+        );
         assert!(!sol.stats.converged);
         assert_eq!(sol.stats.passes, 50);
+        // Pass-bound non-convergence is distinct from budget exhaustion.
+        assert_eq!(sol.stats.exhausted, None);
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_round_robin_and_is_reported() {
+        let mut g = SimpleGraph::new(4);
+        g.flow(0, 1);
+        g.flow(1, 2);
+        g.flow(2, 1); // loop keeps the solver busy for a few passes
+        g.flow(2, 3);
+        g.set_entry(0);
+        g.set_exit(3);
+        let mut p = toy(4);
+        p.gen[0] = Some(1);
+        let params = SolveParams::with_budget(crate::budget::Budget::unlimited().with_max_work(3));
+        let sol = solve(&g, &p, &params);
+        assert!(!sol.stats.converged);
+        assert_eq!(
+            sol.stats.exhausted,
+            Some(crate::budget::Exhaustion::WorkUnits)
+        );
+        assert!(sol.stats.node_visits <= 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_worklist_and_is_reported() {
+        let mut g = SimpleGraph::new(4);
+        g.flow(0, 1);
+        g.flow(1, 2);
+        g.flow(2, 1);
+        g.flow(2, 3);
+        g.set_entry(0);
+        g.set_exit(3);
+        let mut p = toy(4);
+        p.gen[0] = Some(1);
+        let params = SolveParams::with_budget(crate::budget::Budget::unlimited().with_max_work(3));
+        let sol = solve_worklist(&g, &p, &params);
+        assert!(!sol.stats.converged);
+        assert_eq!(
+            sol.stats.exhausted,
+            Some(crate::budget::Exhaustion::WorkUnits)
+        );
+        assert!(sol.stats.node_visits <= 3);
+    }
+
+    #[test]
+    fn both_strategies_report_elapsed_and_visits_uniformly() {
+        let mut g = SimpleGraph::new(3);
+        g.flow(0, 1);
+        g.flow(1, 2);
+        g.set_entry(0);
+        g.set_exit(2);
+        let mut p = toy(3);
+        p.gen[0] = Some(7);
+        let a = solve(&g, &p, &SolveParams::default());
+        let b = solve_worklist(&g, &p, &SolveParams::default());
+        for s in [&a.stats, &b.stats] {
+            assert!(s.node_visits > 0);
+            assert!(s.converged);
+            assert_eq!(s.exhausted, None);
+            // elapsed is recorded (may be zero on coarse clocks but the
+            // field must exist and absorb must accumulate it).
+        }
+        let mut total = ConvergenceStats {
+            converged: true,
+            ..Default::default()
+        };
+        total.absorb(&a.stats);
+        total.absorb(&b.stats);
+        assert_eq!(total.node_visits, a.stats.node_visits + b.stats.node_visits);
+        assert!(total.converged);
     }
 
     #[test]

@@ -260,6 +260,8 @@ impl<'a> Lowerer<'a> {
                 vec![header]
             }
             StmtKind::Call { name, args } => {
+                // Infallible by construction: a `CompiledUnit` only exists
+                // after sema, which rejects calls to undefined subroutines.
                 let callee = self
                     .unit
                     .program
@@ -411,6 +413,9 @@ impl<'a> Lowerer<'a> {
 
     // ---- reference / expression resolution --------------------------------
 
+    // Infallible by construction: a `CompiledUnit` only exists after sema,
+    // which rejects references to undeclared names, and `LocTable::build`
+    // enumerates every declared name of every procedure.
     fn resolve(&self, name: &str) -> Loc {
         self.locs
             .resolve(self.proc, name)

@@ -17,6 +17,7 @@ use crate::callgraph::CallGraph;
 use crate::cfg::{lower_program, ProcCfg, ENTRY, EXIT};
 use crate::loc::{Loc, LocTable, ProcId};
 use crate::node::{CallSiteInfo, CfgNode, NodeKind};
+use mpi_dfa_core::budget::{Budget, BudgetMeter, Exhaustion};
 use mpi_dfa_core::graph::{Edge, EdgeKind, FlowGraph, NodeId};
 use mpi_dfa_lang::CompiledUnit;
 use std::collections::HashMap;
@@ -117,6 +118,13 @@ pub enum IcfgError {
         callee: String,
         param: String,
     },
+    /// The resource budget was exhausted mid-construction (clone expansion
+    /// or communication-edge matching). The degradation ladder reacts by
+    /// retrying a cheaper configuration.
+    Budget(Exhaustion),
+    /// An expected node payload or lookup was absent — an internal
+    /// inconsistency reported instead of panicking.
+    Internal(String),
 }
 
 impl std::fmt::Display for IcfgError {
@@ -132,6 +140,8 @@ impl std::fmt::Display for IcfgError {
                     "internal error: formal parameter `{param}` of `{callee}` was never interned"
                 )
             }
+            IcfgError::Budget(e) => write!(f, "budget exhausted during graph construction: {e}"),
+            IcfgError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -161,6 +171,18 @@ pub struct Icfg {
 impl Icfg {
     /// Build the ICFG rooted at `context` with the given clone level.
     pub fn build(ir: Arc<ProgramIr>, context: &str, clone_level: usize) -> Result<Icfg, IcfgError> {
+        Self::build_with_budget(ir, context, clone_level, &Budget::unlimited())
+    }
+
+    /// Like [`Icfg::build`], but charges one work unit per instantiated
+    /// clone node against `budget`; returns [`IcfgError::Budget`] if clone
+    /// expansion exhausts it.
+    pub fn build_with_budget(
+        ir: Arc<ProgramIr>,
+        context: &str,
+        clone_level: usize,
+        budget: &Budget,
+    ) -> Result<Icfg, IcfgError> {
         let ctx = ir
             .proc_id(context)
             .ok_or_else(|| IcfgError::UnknownContext(context.into()))?;
@@ -173,6 +195,7 @@ impl Icfg {
             instances: Vec::new(),
             call_sites: Vec::new(),
             next_base: 0,
+            meter: budget.meter(),
         };
         b.instantiate(ctx)?;
 
@@ -355,6 +378,7 @@ struct Builder<'a> {
     instances: Vec<Instance>,
     call_sites: Vec<GlobalCallSite>,
     next_base: u32,
+    meter: BudgetMeter,
 }
 
 impl<'a> Builder<'a> {
@@ -371,6 +395,11 @@ impl<'a> Builder<'a> {
             let cfg = &self.ir.cfgs[proc.index()];
             (cfg.num_nodes(), cfg.call_sites.clone())
         };
+        // One work unit per instantiated clone node keeps pathological
+        // clone explosions inside the budget.
+        self.meter
+            .charge(num_nodes as u64)
+            .map_err(IcfgError::Budget)?;
         let idx = self.instances.len() as u32;
         let base = self.next_base;
         self.next_base += num_nodes as u32;
@@ -444,6 +473,17 @@ mod tests {
         sub leaf() { send(x, 1, 7); }\n\
         sub wrap() { call leaf(); }\n\
         sub main() { call wrap(); call wrap(); }";
+
+    #[test]
+    fn budget_caps_clone_expansion() {
+        let ir = ProgramIr::from_source(LAYERED).unwrap();
+        let tiny = Budget::unlimited().with_max_work(1);
+        assert!(matches!(
+            Icfg::build_with_budget(ir.clone(), "main", 2, &tiny),
+            Err(IcfgError::Budget(Exhaustion::WorkUnits))
+        ));
+        assert!(Icfg::build_with_budget(ir, "main", 2, &Budget::unlimited()).is_ok());
+    }
 
     #[test]
     fn unknown_context_is_error() {

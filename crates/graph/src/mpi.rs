@@ -16,8 +16,9 @@
 //! * the interprocedural reaching-constants query from `mpi-dfa-analyses`
 //!   (the configuration the paper uses).
 
-use crate::icfg::Icfg;
+use crate::icfg::{Icfg, IcfgError};
 use crate::node::{MatchExpr, MpiInfo, MpiKind, NodeKind};
+use mpi_dfa_core::budget::{Budget, BudgetMeter};
 use mpi_dfa_core::graph::{Edge, FlowGraph, NodeId};
 use mpi_dfa_lang::ast::{BinOp, Expr, ExprKind, Intrinsic, UnOp};
 use std::ops::Deref;
@@ -103,42 +104,79 @@ pub struct MpiIcfg {
 impl MpiIcfg {
     /// Add communication edges to `icfg` using `consts` for argument
     /// matching.
-    pub fn build(mut icfg: Icfg, consts: &dyn ConstQuery) -> MpiIcfg {
+    pub fn build(icfg: Icfg, consts: &dyn ConstQuery) -> MpiIcfg {
+        match Self::build_metered(icfg, consts, None) {
+            Ok(g) => g,
+            // `build_metered` can only fail when a meter is attached.
+            Err(_) => unreachable!("unmetered MPI-ICFG construction is infallible"),
+        }
+    }
+
+    /// Like [`MpiIcfg::build`], but charges one work unit per candidate
+    /// pair checked during send/receive and collective matching; returns
+    /// [`IcfgError::Budget`] if matching exhausts `budget`.
+    pub fn try_build(
+        icfg: Icfg,
+        consts: &dyn ConstQuery,
+        budget: &Budget,
+    ) -> Result<MpiIcfg, IcfgError> {
+        let mut meter = budget.meter();
+        Self::build_metered(icfg, consts, Some(&mut meter))
+    }
+
+    fn build_metered(
+        mut icfg: Icfg,
+        consts: &dyn ConstQuery,
+        mut meter: Option<&mut BudgetMeter>,
+    ) -> Result<MpiIcfg, IcfgError> {
+        let mut charge = move |units: u64| -> Result<(), IcfgError> {
+            match meter.as_deref_mut() {
+                Some(m) => m.charge(units).map_err(IcfgError::Budget),
+                None => Ok(()),
+            }
+        };
         let mut edges = Vec::new();
+        // Non-MPI payloads in `mpi_nodes()` would be an internal
+        // inconsistency; they are skipped rather than panicked on.
         let nodes: Vec<(NodeId, MpiKind)> = icfg
             .mpi_nodes()
             .iter()
-            .map(|&n| {
-                let NodeKind::Mpi(info) = &icfg.payload(n).kind else {
-                    unreachable!()
-                };
-                (n, info.kind)
+            .filter_map(|&n| match &icfg.payload(n).kind {
+                NodeKind::Mpi(info) => Some((n, info.kind)),
+                _ => None,
             })
             .collect();
 
+        let mpi_info = |n: NodeId| -> Option<&MpiInfo> {
+            match &icfg.payload(n).kind {
+                NodeKind::Mpi(info) => Some(info),
+                _ => None,
+            }
+        };
+        // A non-MPI payload yields Unknown, which matches conservatively.
         let arg = |n: NodeId, f: fn(&MpiInfo) -> &Option<MatchExpr>| -> ArgVal {
-            let NodeKind::Mpi(info) = &icfg.payload(n).kind else {
-                unreachable!()
-            };
-            ArgVal::of(f(info), n, consts)
+            match mpi_info(n) {
+                Some(info) => ArgVal::of(f(info), n, consts),
+                None => ArgVal::Unknown,
+            }
         };
         // A missing communicator argument *is* the constant COMM_WORLD (0).
         let comm_arg = |n: NodeId| -> ArgVal {
-            let NodeKind::Mpi(info) = &icfg.payload(n).kind else {
-                unreachable!()
-            };
-            match &info.comm {
-                None => ArgVal::Const(0),
-                some => ArgVal::of(some, n, consts),
+            match mpi_info(n) {
+                Some(info) => match &info.comm {
+                    None => ArgVal::Const(0),
+                    some => ArgVal::of(some, n, consts),
+                },
+                None => ArgVal::Unknown,
             }
         };
 
         // Point-to-point: sends × receives on tag and communicator.
-        for &(s, sk) in nodes.iter().filter(|(_, k)| k.is_p2p_send()) {
-            let _ = sk;
+        for &(s, _) in nodes.iter().filter(|(_, k)| k.is_p2p_send()) {
             let s_tag = arg(s, |i| &i.tag);
             let s_comm = comm_arg(s);
             for &(r, _) in nodes.iter().filter(|(_, k)| k.is_p2p_recv()) {
+                charge(1)?;
                 let r_tag = arg(r, |i| &i.tag);
                 let r_comm = comm_arg(r);
                 if s_tag.compatible(&r_tag) && s_comm.compatible(&r_comm) {
@@ -162,6 +200,7 @@ impl MpiIcfg {
                 let a_root = arg(a, |i| &i.root);
                 let a_comm = comm_arg(a);
                 for &b in &group {
+                    charge(1)?;
                     let b_root = arg(b, |i| &i.root);
                     let b_comm = comm_arg(b);
                     if a_root.compatible(&b_root) && a_comm.compatible(&b_comm) {
@@ -174,10 +213,10 @@ impl MpiIcfg {
         for (pair, e) in edges.iter().enumerate() {
             icfg.push_comm_edge(e.from, e.to, pair as u32);
         }
-        MpiIcfg {
+        Ok(MpiIcfg {
             icfg,
             comm_edges: edges,
-        }
+        })
     }
 
     /// Full conservative connectivity (no constant matching).
@@ -218,7 +257,7 @@ impl MpiIcfg {
         };
         for &n in self.icfg.mpi_nodes() {
             let NodeKind::Mpi(info) = &self.icfg.payload(n).kind else {
-                unreachable!()
+                continue; // skip inconsistent entries instead of panicking
             };
             match info.kind {
                 MpiKind::Send | MpiKind::Isend => s.p2p_sends += 1,
@@ -323,6 +362,25 @@ mod tests {
         assert_eq!(fold_int(&e("10 / 0")), None);
         assert_eq!(fold_int(&e("rank()")), None);
         assert_eq!(fold_int(&e("q")), None);
+    }
+
+    #[test]
+    fn try_build_respects_pair_budget() {
+        let src = "program p global x: real; global y: real;\n\
+             sub main() { send(x, 1, 7); send(x, 1, 8); recv(y, 0, 7); recv(y, 0, 8); }";
+        let ir = ProgramIr::from_source(src).unwrap();
+        let icfg = || Icfg::build(ir.clone(), "main", 0).unwrap();
+        // 2 sends × 2 recvs = 4 pair checks; a 1-unit budget exhausts.
+        let tiny = mpi_dfa_core::budget::Budget::unlimited().with_max_work(1);
+        assert!(matches!(
+            MpiIcfg::try_build(icfg(), &SyntacticConsts, &tiny),
+            Err(IcfgError::Budget(_))
+        ));
+        // A sufficient budget matches identically to the unmetered build.
+        let enough = mpi_dfa_core::budget::Budget::unlimited().with_max_work(100);
+        let metered = MpiIcfg::try_build(icfg(), &SyntacticConsts, &enough).unwrap();
+        let plain = MpiIcfg::build(icfg(), &SyntacticConsts);
+        assert_eq!(metered.comm_edges, plain.comm_edges);
     }
 
     #[test]

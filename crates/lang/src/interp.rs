@@ -101,6 +101,64 @@ impl fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
+/// Execution limits that keep interpreter runs bounded.
+///
+/// Every "magic" safety constant of the runtime lives here, so library
+/// callers, the test suites, and `mpidfa run` all draw from one documented
+/// source instead of scattering literals. The named presets cover the
+/// recurring configurations:
+///
+/// * [`RuntimeLimits::default`] — production defaults, generous enough for
+///   the full benchmark suite (20 M steps, 10 s receive backstop);
+/// * [`RuntimeLimits::quick_test`] — a shorter receive backstop for fast
+///   in-process unit tests that are not expected to block;
+/// * [`RuntimeLimits::detector_backstop`] — a deliberately *long* receive
+///   timeout for tests asserting the structural deadlock detector fires
+///   (a test that finishes quickly under this limit proves the detector,
+///   not the timeout, reported the deadlock).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeLimits {
+    /// Per-process statement execution budget (guards infinite loops).
+    pub max_steps: u64,
+    /// How long a blocked `recv` waits before reporting deadlock. The
+    /// structural deadlock detector normally fires long before this; the
+    /// timeout is the backstop for schedules the detector cannot prove.
+    pub recv_timeout: Duration,
+}
+
+impl RuntimeLimits {
+    /// Default per-process statement budget.
+    pub const DEFAULT_MAX_STEPS: u64 = 20_000_000;
+    /// Default receive-timeout backstop.
+    pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(10);
+
+    /// Short receive backstop (5 s) for unit tests that should never block.
+    pub fn quick_test() -> Self {
+        RuntimeLimits {
+            recv_timeout: Duration::from_secs(5),
+            ..RuntimeLimits::default()
+        }
+    }
+
+    /// Patient receive backstop (30 s) for tests asserting that the
+    /// structural deadlock detector — not the timeout — reports deadlocks.
+    pub fn detector_backstop() -> Self {
+        RuntimeLimits {
+            recv_timeout: Duration::from_secs(30),
+            ..RuntimeLimits::default()
+        }
+    }
+}
+
+impl Default for RuntimeLimits {
+    fn default() -> Self {
+        RuntimeLimits {
+            max_steps: Self::DEFAULT_MAX_STEPS,
+            recv_timeout: Self::DEFAULT_RECV_TIMEOUT,
+        }
+    }
+}
+
 /// Interpreter configuration.
 #[derive(Debug, Clone)]
 pub struct InterpConfig {
@@ -108,10 +166,8 @@ pub struct InterpConfig {
     pub nprocs: usize,
     /// Entry subroutine (must take no parameters).
     pub entry: String,
-    /// Per-process statement execution budget (guards infinite loops).
-    pub max_steps: u64,
-    /// How long a blocked `recv` waits before reporting deadlock.
-    pub recv_timeout: Duration,
+    /// Step and timeout limits; see [`RuntimeLimits`].
+    pub limits: RuntimeLimits,
     /// Initial values for global scalars (arrays are filled elementwise),
     /// applied identically on every rank before the entry runs. Used by the
     /// dynamic-vs-static cross-validation tests to perturb independents.
@@ -129,8 +185,7 @@ impl Default for InterpConfig {
         InterpConfig {
             nprocs: 4,
             entry: "main".to_string(),
-            max_steps: 20_000_000,
-            recv_timeout: Duration::from_secs(10),
+            limits: RuntimeLimits::default(),
             init_globals: Vec::new(),
             capture_globals: false,
             fault_plan: None,
@@ -362,7 +417,7 @@ impl<'a> Process<'a> {
 
     fn tick(&mut self, span: Span) -> Result<(), RuntimeError> {
         self.result.steps += 1;
-        if self.result.steps > self.config.max_steps {
+        if self.result.steps > self.config.limits.max_steps {
             return Err(self.err(span, "statement budget exceeded (possible infinite loop)"));
         }
         Ok(())
@@ -759,10 +814,14 @@ impl<'a> Process<'a> {
         comm: i64,
         span: Span,
     ) -> Result<crate::fault::Message, RuntimeError> {
-        match self
-            .transport
-            .recv(self.rank, src, tag, comm, span, self.config.recv_timeout)
-        {
+        match self.transport.recv(
+            self.rank,
+            src,
+            tag,
+            comm,
+            span,
+            self.config.limits.recv_timeout,
+        ) {
             Ok(m) => {
                 self.result.recvs += 1;
                 Ok(m)
@@ -1045,7 +1104,7 @@ mod tests {
             &p,
             &InterpConfig {
                 nprocs,
-                recv_timeout: Duration::from_secs(5),
+                limits: RuntimeLimits::quick_test(),
                 ..Default::default()
             },
         )
@@ -1173,7 +1232,7 @@ mod tests {
         let p = parse(src).unwrap();
         let cfg = InterpConfig {
             nprocs,
-            recv_timeout: Duration::from_secs(30),
+            limits: RuntimeLimits::detector_backstop(),
             ..Default::default()
         };
         let started = std::time::Instant::now();
@@ -1271,7 +1330,10 @@ mod tests {
         let p = parse("program t sub main() { while (true) { } }").unwrap();
         let cfg = InterpConfig {
             nprocs: 1,
-            max_steps: 1000,
+            limits: RuntimeLimits {
+                max_steps: 1000,
+                ..RuntimeLimits::default()
+            },
             ..Default::default()
         };
         let e = run(&p, &cfg).unwrap_err();

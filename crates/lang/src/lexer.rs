@@ -9,8 +9,26 @@ use crate::error::{Diagnostic, Phase};
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 
+/// Maximum accepted source size in bytes. Real SMPL programs (including
+/// the generated stress suite) are well under a megabyte; anything larger
+/// is a runaway input and is rejected up front instead of being fed to the
+/// token vector, the parser, and every downstream pass. Spans also store
+/// byte offsets as `u32`, so this cap keeps them exact.
+pub const MAX_SOURCE_BYTES: usize = 16 * 1024 * 1024;
+
 /// Lex `src` into tokens. Returns the first lexical error encountered.
 pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    if src.len() > MAX_SOURCE_BYTES {
+        return Err(Diagnostic::new(
+            Phase::Lex,
+            Span::new(0, 0, 1, 1),
+            format!(
+                "source is {} bytes; the maximum accepted size is {} bytes",
+                src.len(),
+                MAX_SOURCE_BYTES
+            ),
+        ));
+    }
     Lexer::new(src).run()
 }
 
@@ -252,6 +270,13 @@ mod tests {
     fn empty_input_yields_eof() {
         assert_eq!(kinds(""), vec![Eof]);
         assert_eq!(kinds("   \n\t "), vec![Eof]);
+    }
+
+    #[test]
+    fn oversized_source_is_rejected_up_front() {
+        let big = "x ".repeat(MAX_SOURCE_BYTES / 2 + 1);
+        let e = lex(&big).unwrap_err();
+        assert!(e.message.contains("maximum accepted size"), "{e}");
     }
 
     #[test]

@@ -31,6 +31,17 @@ use crate::span::Span;
 use crate::token::{Token, TokenKind};
 use crate::types::{BaseType, Type};
 
+/// Maximum syntactic nesting depth (statements inside blocks, `else if`
+/// chains, parenthesized/unary expressions). The recursive-descent parser
+/// recurses several stack frames per level — comfortably over a kilobyte
+/// of stack each in debug builds — so the cap is sized to stay far inside
+/// a 2 MiB thread stack. Real SMPL programs (including the generated
+/// stress suite) nest well under 20 levels; deeper input is adversarial or
+/// corrupted and is rejected with a diagnostic instead of overflowing the
+/// stack. Semantic checking and lowering recurse over the AST and are
+/// therefore bounded by the same limit.
+pub const MAX_NESTING_DEPTH: usize = 64;
+
 /// Parse a full SMPL program from source text.
 pub fn parse(src: &str) -> Result<Program, Diagnostic> {
     let tokens = lex(src)?;
@@ -41,6 +52,8 @@ struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     next_stmt: u32,
+    /// Current recursion depth; guarded by [`MAX_NESTING_DEPTH`].
+    depth: usize,
 }
 
 impl Parser {
@@ -49,7 +62,26 @@ impl Parser {
             tokens,
             pos: 0,
             next_stmt: 0,
+            depth: 0,
         }
+    }
+
+    /// Enter one nesting level; errors out past [`MAX_NESTING_DEPTH`].
+    /// Callers pair this with [`Parser::leave`] on the success path; on the
+    /// error path the whole parse aborts, so the counter need not unwind.
+    fn enter(&mut self) -> Result<(), Diagnostic> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            Err(self.err_here(format!(
+                "program nesting exceeds {MAX_NESTING_DEPTH} levels"
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> &Token {
@@ -238,6 +270,13 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        self.enter()?;
+        let r = self.stmt_inner();
+        self.leave();
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, Diagnostic> {
         let start = self.peek().span;
         let id = self.fresh_id();
         let kind = match self.peek_kind().clone() {
@@ -356,6 +395,15 @@ impl Parser {
     }
 
     fn if_stmt(&mut self) -> Result<StmtKind, Diagnostic> {
+        // `else if` chains recurse here without passing through `stmt`, so
+        // this entry point carries its own depth guard.
+        self.enter()?;
+        let r = self.if_stmt_inner();
+        self.leave();
+        r
+    }
+
+    fn if_stmt_inner(&mut self) -> Result<StmtKind, Diagnostic> {
         self.expect(TokenKind::If)?;
         self.expect(TokenKind::LParen)?;
         let cond = self.expr()?;
@@ -535,7 +583,12 @@ impl Parser {
     // ---- expressions -----------------------------------------------------
 
     fn expr(&mut self) -> Result<Expr, Diagnostic> {
-        self.or_expr()
+        // Parenthesized primaries re-enter `expr`, so the guard here bounds
+        // `((((...))))` towers.
+        self.enter()?;
+        let r = self.or_expr();
+        self.leave();
+        r
     }
 
     fn or_expr(&mut self) -> Result<Expr, Diagnostic> {
@@ -627,6 +680,14 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        // `- - - x` chains self-recurse without re-entering `expr`.
+        self.enter()?;
+        let r = self.unary_expr_inner();
+        self.leave();
+        r
+    }
+
+    fn unary_expr_inner(&mut self) -> Result<Expr, Diagnostic> {
         match self.peek_kind() {
             TokenKind::Minus => {
                 let t = self.bump();
@@ -964,5 +1025,69 @@ mod tests {
     #[test]
     fn negative_array_extent_rejected() {
         assert!(parse("program t global a: real[0];").is_err());
+    }
+
+    #[test]
+    fn deep_paren_tower_is_rejected_not_stack_overflow() {
+        let depth = MAX_NESTING_DEPTH * 10;
+        let src = format!(
+            "program t sub f() {{ var x: int; x = {}1{}; }}",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        let e = parse(&src).unwrap_err();
+        assert!(e.message.contains("nesting exceeds"), "{e}");
+    }
+
+    #[test]
+    fn deep_unary_chain_is_rejected() {
+        let src = format!(
+            "program t sub f() {{ var x: int; x = {}1; }}",
+            "-".repeat(MAX_NESTING_DEPTH * 10)
+        );
+        assert!(parse(&src).is_err());
+    }
+
+    #[test]
+    fn deep_else_if_chain_is_rejected() {
+        let mut src = String::from("program t sub f() { var x: int; if (x == 0) { x = 1; }");
+        for _ in 0..MAX_NESTING_DEPTH * 4 {
+            src.push_str(" else if (x == 0) { x = 1; }");
+        }
+        src.push_str(" }");
+        assert!(parse(&src).is_err());
+    }
+
+    #[test]
+    fn deep_block_nesting_is_rejected() {
+        let depth = MAX_NESTING_DEPTH * 4;
+        let mut src = String::from("program t sub f() { var x: int; ");
+        for _ in 0..depth {
+            src.push_str("while (x == 0) { ");
+        }
+        src.push_str("x = 1; ");
+        for _ in 0..depth {
+            src.push('}');
+        }
+        src.push('}');
+        assert!(parse(&src).is_err());
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        // Each `if` level consumes a few guard units (stmt + if_stmt +
+        // cond expr); 20 syntactic levels is still double what any real
+        // benchmark or generated program uses.
+        let depth = 20;
+        let mut src = String::from("program t sub f() { var x: int; ");
+        for _ in 0..depth {
+            src.push_str("if (x == 0) { ");
+        }
+        src.push_str("x = 1; ");
+        for _ in 0..depth {
+            src.push('}');
+        }
+        src.push('}');
+        assert!(parse(&src).is_ok());
     }
 }

@@ -17,7 +17,15 @@ use crate::ast::*;
 use crate::error::{Diagnostic, Errors, Phase};
 use crate::span::Span;
 use crate::symbols::{ProgramSymbols, SubSymbols, SymbolInfo};
+use crate::types::Type;
 use std::collections::{HashMap, HashSet};
+
+/// Maximum declarable storage for a single variable, in bytes (1 TiB).
+/// The paper's largest benchmark arrays are a few hundred megabytes;
+/// anything past this cap is a runaway or adversarial declaration whose
+/// size arithmetic would otherwise saturate and distort every byte count
+/// downstream (active-byte totals, fact-memory projections).
+pub const MAX_DECL_BYTES: u64 = 1 << 40;
 
 /// Check `program`, returning its symbol table or all diagnostics found.
 pub fn check(program: &Program) -> Result<ProgramSymbols, Errors> {
@@ -45,6 +53,26 @@ impl<'a> Checker<'a> {
         self.errs.push(Diagnostic::new(Phase::Sema, span, msg));
     }
 
+    /// Reject declarations whose storage exceeds [`MAX_DECL_BYTES`] or
+    /// whose size arithmetic overflows `u64` (checked multiplication; the
+    /// saturating `Type::byte_size` would silently clamp instead).
+    fn check_decl_size(&mut self, name: &str, ty: &Type, span: Span) {
+        let mut bytes = Some(ty.base.byte_size());
+        for &d in &ty.dims {
+            bytes = bytes.and_then(|b| b.checked_mul(d.max(0) as u64));
+        }
+        match bytes {
+            Some(b) if b <= MAX_DECL_BYTES => {}
+            _ => self.err(
+                span,
+                format!(
+                    "`{name}` declares more than the per-variable storage cap \
+                     of {MAX_DECL_BYTES} bytes"
+                ),
+            ),
+        }
+    }
+
     fn run(&mut self) {
         // Detach the program reference from `self` so we can iterate it while
         // mutating the checker state (its lifetime is 'a, not tied to &self).
@@ -52,6 +80,7 @@ impl<'a> Checker<'a> {
 
         // Pass 1: globals.
         for g in &program.globals {
+            self.check_decl_size(&g.name, &g.ty, g.span);
             let inserted = self.syms.insert_global(SymbolInfo {
                 name: g.name.clone(),
                 ty: g.ty.clone(),
@@ -72,6 +101,7 @@ impl<'a> Checker<'a> {
             }
             let mut ss = SubSymbols::default();
             for p in &sub.params {
+                self.check_decl_size(&p.name, &p.ty, p.span);
                 if !ss.insert_param(SymbolInfo {
                     name: p.name.clone(),
                     ty: p.ty.clone(),
@@ -84,8 +114,10 @@ impl<'a> Checker<'a> {
                 }
             }
             let mut local_errs = Vec::new();
+            let mut local_decls = Vec::new();
             visit_stmts(&sub.body, &mut |stmt| {
                 if let StmtKind::Local { decl, .. } = &stmt.kind {
+                    local_decls.push((decl.span, decl.name.clone(), decl.ty.clone()));
                     if !ss.insert_local(SymbolInfo {
                         name: decl.name.clone(),
                         ty: decl.ty.clone(),
@@ -97,6 +129,9 @@ impl<'a> Checker<'a> {
             });
             for (span, name) in local_errs {
                 self.err(span, format!("duplicate local `{name}` in `{}`", sub.name));
+            }
+            for (span, name, ty) in local_decls {
+                self.check_decl_size(&name, &ty, span);
             }
             self.syms.insert_sub(&sub.name, ss);
         }
@@ -533,6 +568,24 @@ mod tests {
             src.push_str(&format!("sub s{i}() {{ call s{}(); }}\n", i - 1));
         }
         assert!(check_src(&src).is_ok());
+    }
+
+    #[test]
+    fn oversized_declarations_rejected() {
+        // Product of extents overflows u64: checked arithmetic must reject,
+        // not wrap or saturate silently.
+        err_containing(
+            "program t global a: real[9000000000000000000, 9000000000000000000];",
+            "storage cap",
+        );
+        // Within-u64 but above the per-variable cap.
+        err_containing("program t sub f(p: real[2000000000000]) { }", "storage cap");
+        err_containing(
+            "program t sub f() { var v: int[9999999999999]; }",
+            "storage cap",
+        );
+        // A large-but-legal benchmark-scale array is fine.
+        assert!(check_src("program t global a: real[8000000];").is_ok());
     }
 
     #[test]

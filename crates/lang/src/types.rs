@@ -75,14 +75,21 @@ impl Type {
         !self.dims.is_empty()
     }
 
-    /// Total number of scalar elements (1 for scalars).
+    /// Total number of scalar elements (1 for scalars). Saturating: a
+    /// product past `u64::MAX` clamps instead of overflowing — sema rejects
+    /// such declarations (see its `MAX_DECL_BYTES` cap) before any analysis
+    /// consumes the size, but size queries must stay panic-free on
+    /// arbitrary ASTs regardless.
     pub fn elem_count(&self) -> u64 {
-        self.dims.iter().map(|&d| d.max(0) as u64).product()
+        self.dims
+            .iter()
+            .map(|&d| d.max(0) as u64)
+            .fold(1u64, u64::saturating_mul)
     }
 
-    /// Total storage in bytes.
+    /// Total storage in bytes (saturating, see [`Type::elem_count`]).
     pub fn byte_size(&self) -> u64 {
-        self.elem_count() * self.base.byte_size()
+        self.elem_count().saturating_mul(self.base.byte_size())
     }
 }
 

@@ -8,11 +8,19 @@
 //! repro dot <program>   # DOT dump of a benchmark's MPI-ICFG
 //! ```
 //!
+//! Every row-producing command accepts the resource-governor flags
+//! `--budget-ms MS`, `--max-visits N`, `--max-fact-bytes B`, and
+//! `--degrade auto|off`. With any of them present the framework side of
+//! each row runs under the degradation ladder and the rendered output
+//! (including the JSON report) carries the provenance tier.
+//!
 //! Exit status: 0 on success, 1 when any rendered row failed to reach its
 //! solver fixpoint (the row is also flagged inline — non-fixpoint numbers
 //! must never be published silently), 2 on usage errors.
 
+use mpi_dfa_analyses::governor::{DegradeMode, GovernorConfig};
 use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
+use mpi_dfa_core::budget::Budget;
 use mpi_dfa_suite::runner::MeasuredRow;
 use mpi_dfa_suite::{all_experiments, by_id, runner};
 use std::io::Write as _;
@@ -37,40 +45,129 @@ fn convergence_exit(rows: &[MeasuredRow]) -> ExitCode {
     }
 }
 
+/// Parse the optional governor flags; `Ok(None)` when none are present
+/// (the historical ungoverned behavior).
+fn governor_from_args(args: &[String]) -> Result<Option<GovernorConfig>, String> {
+    let mut budget = Budget::unlimited();
+    let mut degrade = DegradeMode::Auto;
+    let mut seen = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{a}`"));
+        };
+        let mut value = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("--{name} needs a value"))
+        };
+        match name {
+            "budget-ms" => {
+                budget = budget
+                    .with_deadline_ms(value()?.parse().map_err(|e| format!("--budget-ms: {e}"))?);
+            }
+            "max-visits" => {
+                budget = budget
+                    .with_max_work(value()?.parse().map_err(|e| format!("--max-visits: {e}"))?);
+            }
+            "max-fact-bytes" => {
+                budget = budget.with_max_fact_bytes(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--max-fact-bytes: {e}"))?,
+                );
+            }
+            "degrade" => {
+                degrade = match value()?.as_str() {
+                    "auto" => DegradeMode::Auto,
+                    "off" => DegradeMode::Off,
+                    other => return Err(format!("unknown --degrade `{other}` (auto|off)")),
+                };
+            }
+            other => return Err(format!("unknown flag --{other}")),
+        }
+        seen = true;
+    }
+    Ok(seen.then_some(GovernorConfig {
+        budget,
+        degrade,
+        ..GovernorConfig::default()
+    }))
+}
+
+/// All Table 1 rows, governed when `gov` is set.
+fn all_rows(gov: &Option<GovernorConfig>) -> Result<Vec<MeasuredRow>, String> {
+    match gov {
+        None => Ok(runner::run_all()),
+        Some(g) => all_experiments()
+            .iter()
+            .map(|spec| runner::run_experiment_governed(spec, g))
+            .collect(),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
 
+    // Row-producing commands share the governor flags; `row` consumes one
+    // positional ID first.
+    let flag_args = match cmd {
+        "table1" | "json" | "fig4" | "all" => &args[1.min(args.len())..],
+        "row" => &args[2.min(args.len())..],
+        _ => &[],
+    };
+    let gov = match governor_from_args(flag_args) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let rows = |gov: &Option<GovernorConfig>| -> Result<Vec<MeasuredRow>, String> { all_rows(gov) };
+
     match cmd {
-        "table1" => {
-            let rows = runner::run_all();
-            let _ = write!(out, "{}", runner::render_table1(&rows));
-            convergence_exit(&rows)
-        }
-        "json" => {
-            let rows = runner::run_all();
-            let _ = write!(out, "{}", runner::render_json(&rows));
-            convergence_exit(&rows)
-        }
-        "fig4" => {
-            let rows = runner::run_all();
-            let _ = write!(out, "{}", runner::render_figure4(&rows));
-            convergence_exit(&rows)
-        }
-        "all" => {
-            let rows = runner::run_all();
-            let _ = write!(out, "{}", runner::render_table1(&rows));
-            let _ = writeln!(out);
-            let _ = write!(out, "{}", runner::render_figure4(&rows));
+        "table1" | "json" | "fig4" | "all" => {
+            let rows = match rows(&gov) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("repro: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match cmd {
+                "table1" => {
+                    let _ = write!(out, "{}", runner::render_table1(&rows));
+                }
+                "json" => {
+                    let _ = write!(out, "{}", runner::render_json(&rows));
+                }
+                "fig4" => {
+                    let _ = write!(out, "{}", runner::render_figure4(&rows));
+                }
+                _ => {
+                    let _ = write!(out, "{}", runner::render_table1(&rows));
+                    let _ = writeln!(out);
+                    let _ = write!(out, "{}", runner::render_figure4(&rows));
+                }
+            }
             convergence_exit(&rows)
         }
         "row" => {
             let id = args.get(1).map(String::as_str).unwrap_or("");
             match by_id(id) {
                 Some(spec) => {
-                    let row = runner::run_experiment(&spec);
+                    let row = match &gov {
+                        None => runner::run_experiment(&spec),
+                        Some(g) => match runner::run_experiment_governed(&spec, g) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                eprintln!("repro: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        },
+                    };
                     let _ = write!(out, "{}", runner::render_table1(std::slice::from_ref(&row)));
                     convergence_exit(std::slice::from_ref(&row))
                 }
@@ -112,7 +209,8 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; try: table1 | fig4 | json | all | row <ID> | dot <program>"
+                "unknown command `{other}`; try: table1 | fig4 | json | all | row <ID> | dot <program>\n\
+                 governor flags: --budget-ms MS --max-visits N --max-fact-bytes B --degrade auto|off"
             );
             ExitCode::from(2)
         }

@@ -1,0 +1,318 @@
+//! Deterministic fuzz harness for the front end and graph pipeline.
+//!
+//! Mutates the bundled benchmark programs (plus a handful of generated
+//! ones) with a [`SplitMix64`]-seeded byte/token mutator and pushes every
+//! mutant through **lexer → parser → sema → ICFG → MPI-ICFG**, asserting
+//! the robustness contract:
+//!
+//! * **no panic** — every malformed input must surface as a `Diagnostic`
+//!   or `IcfgError`, never as an unwind;
+//! * **no hang** — graph construction and the reaching-constants bootstrap
+//!   run under a wall-clock [`Budget`]; a case that still exceeds a large
+//!   multiple of its deadline is reported as a hang.
+//!
+//! Everything is deterministic in the seed, so a CI failure reproduces
+//! locally with `FUZZ_SEED=<seed> FUZZ_CASES=1 cargo test -p mpi-dfa-suite
+//! --test fuzz_smoke`.
+
+use crate::gen::{self, GenConfig};
+use crate::programs;
+use mpi_dfa_analyses::mpi_match::{build_mpi_icfg_with_budget, Matching};
+use mpi_dfa_core::budget::Budget;
+use mpi_dfa_graph::icfg::ProgramIr;
+use mpi_dfa_lang::rng::SplitMix64;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Fuzzing run parameters.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Number of cases; seeds are `start_seed .. start_seed + cases`.
+    pub cases: usize,
+    pub start_seed: u64,
+    /// Wall-clock budget for the graph/matching stages of one case. A case
+    /// counts as a hang when its total time exceeds [`HANG_FACTOR`] times
+    /// this deadline (the front end is linear-time and uncapped).
+    pub per_case_deadline: Duration,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            cases: 64,
+            start_seed: 0,
+            per_case_deadline: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Grace multiplier between the per-case budget deadline and the point at
+/// which a case is declared hung. The budget is polled cooperatively every
+/// `CHECK_INTERVAL` work units, so some overshoot is expected; an order of
+/// magnitude is not.
+pub const HANG_FACTOR: u32 = 10;
+
+/// How one fuzz case violated the contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    Panic,
+    Hang,
+}
+
+/// A contract violation, with enough context to reproduce it.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    pub seed: u64,
+    pub kind: FailureKind,
+    pub detail: String,
+}
+
+/// Aggregate outcome of a fuzzing run.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    pub cases: usize,
+    /// Mutants that made it all the way to an MPI-ICFG.
+    pub built: usize,
+    /// Mutants cleanly rejected by lexer/parser/sema.
+    pub rejected_frontend: usize,
+    /// Mutants cleanly rejected during graph construction/matching
+    /// (unknown context, budget, node caps, …).
+    pub rejected_graph: usize,
+    pub failures: Vec<FuzzFailure>,
+    /// Slowest single case observed.
+    pub max_case: Duration,
+}
+
+/// The mutation corpus: all bundled benchmarks plus a few deterministic
+/// generated programs (which exercise wrapper calls and deeper nesting).
+pub fn corpus() -> Vec<String> {
+    let mut v: Vec<String> = programs::ALL
+        .iter()
+        .map(|(_, src)| (*src).to_string())
+        .collect();
+    for seed in 0..3u64 {
+        v.push(gen::generate(seed, &GenConfig::default()));
+    }
+    v
+}
+
+/// ASCII fragments spliced into mutants: statement/keyword/punctuation
+/// shrapnel chosen to hit parser and sema edges (unbalanced brackets,
+/// wildcards, huge literals, MPI forms, nesting openers).
+const SPLICE: &[&str] = &[
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    "-",
+    "&&",
+    "||",
+    "==",
+    "=",
+    "if (",
+    "else",
+    "while (",
+    "for ",
+    "call ",
+    "return;",
+    "var v: int;",
+    "global g: real[1000];",
+    "send(",
+    "recv(",
+    "bcast(",
+    "reduce(SUM,",
+    "allreduce(MAX,",
+    "barrier();",
+    "wait();",
+    "ANY",
+    "rank()",
+    "nprocs()",
+    "9999999999999999999",
+    "0",
+    "1e308",
+    "sub ",
+    "program ",
+    "x",
+    "_",
+];
+
+/// Deterministically mutate `src` (1–8 stacked edits). ASCII-only splices
+/// keep the result valid UTF-8; a lossy pass guards the boundary cuts.
+pub fn mutate(src: &str, rng: &mut SplitMix64) -> String {
+    let mut bytes = src.as_bytes().to_vec();
+    let edits = rng.range(1, 9);
+    for _ in 0..edits {
+        if bytes.is_empty() {
+            bytes.extend_from_slice(SPLICE[rng.below(SPLICE.len())].as_bytes());
+            continue;
+        }
+        match rng.below(5) {
+            // Delete a short range.
+            0 => {
+                let at = rng.below(bytes.len());
+                let len = rng.range(1, 32).min(bytes.len() - at);
+                bytes.drain(at..at + len);
+            }
+            // Duplicate a short range.
+            1 => {
+                let at = rng.below(bytes.len());
+                let len = rng.range(1, 32).min(bytes.len() - at);
+                let dup: Vec<u8> = bytes[at..at + len].to_vec();
+                let insert_at = rng.below(bytes.len() + 1);
+                bytes.splice(insert_at..insert_at, dup);
+            }
+            // Splice a fragment.
+            2 => {
+                let frag = SPLICE[rng.below(SPLICE.len())];
+                let at = rng.below(bytes.len() + 1);
+                bytes.splice(at..at, frag.bytes());
+            }
+            // Flip one byte to a printable ASCII char.
+            3 => {
+                let at = rng.below(bytes.len());
+                bytes[at] = (rng.range(0x20, 0x7f)) as u8;
+            }
+            // Truncate.
+            _ => {
+                let at = rng.below(bytes.len() + 1);
+                bytes.truncate(at);
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Stage a mutant reached without violating the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    RejectedFrontend,
+    RejectedGraph,
+    Built,
+}
+
+/// Push one source through the full pipeline under a wall-clock budget.
+/// Returns the stage reached; all rejections must be clean `Err`s.
+pub fn pipeline(src: &str, deadline: Duration) -> Stage {
+    let Ok(ir) = ProgramIr::from_source(src) else {
+        return Stage::RejectedFrontend;
+    };
+    let budget = Budget::unlimited().with_deadline_ms(deadline.as_millis() as u64);
+    // Clone level 1 + reaching-constants matching exercises instantiation,
+    // the bootstrap solve, and pairwise matching. Mutants usually keep a
+    // `main`; those that lose it exercise the unknown-context error path.
+    match build_mpi_icfg_with_budget(ir, "main", 1, Matching::ReachingConstants, &budget) {
+        Ok(_) => Stage::Built,
+        Err(_) => Stage::RejectedGraph,
+    }
+}
+
+/// Run one seeded case against `corpus`. `Err` means contract violation.
+pub fn run_case(
+    seed: u64,
+    corpus: &[String],
+    deadline: Duration,
+) -> Result<(Stage, Duration), FuzzFailure> {
+    let mut rng = SplitMix64::fork(seed, 0xF0CC);
+    let base = &corpus[rng.below(corpus.len())];
+    let mutant = mutate(base, &mut rng);
+    let started = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| pipeline(&mutant, deadline)));
+    let elapsed = started.elapsed();
+    match outcome {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(FuzzFailure {
+                seed,
+                kind: FailureKind::Panic,
+                detail: msg,
+            })
+        }
+        Ok(stage) => {
+            if elapsed > deadline * HANG_FACTOR {
+                Err(FuzzFailure {
+                    seed,
+                    kind: FailureKind::Hang,
+                    detail: format!("case took {elapsed:?} against a {deadline:?} deadline"),
+                })
+            } else {
+                Ok((stage, elapsed))
+            }
+        }
+    }
+}
+
+/// Run the whole seeded range and aggregate.
+pub fn run(config: &FuzzConfig) -> FuzzReport {
+    let corpus = corpus();
+    let mut report = FuzzReport {
+        cases: config.cases,
+        ..FuzzReport::default()
+    };
+    for seed in config.start_seed..config.start_seed + config.cases as u64 {
+        match run_case(seed, &corpus, config.per_case_deadline) {
+            Ok((stage, elapsed)) => {
+                report.max_case = report.max_case.max(elapsed);
+                match stage {
+                    Stage::RejectedFrontend => report.rejected_frontend += 1,
+                    Stage::RejectedGraph => report.rejected_graph += 1,
+                    Stage::Built => report.built += 1,
+                }
+            }
+            Err(f) => report.failures.push(f),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_is_deterministic_in_the_seed() {
+        let base = programs::FIGURE1;
+        let a = mutate(base, &mut SplitMix64::fork(7, 0xF0CC));
+        let b = mutate(base, &mut SplitMix64::fork(7, 0xF0CC));
+        let c = mutate(base, &mut SplitMix64::fork(8, 0xF0CC));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should (virtually always) differ");
+    }
+
+    #[test]
+    fn unmutated_corpus_builds_or_rejects_cleanly() {
+        for src in corpus() {
+            // The bundled/generated programs themselves must never panic.
+            let stage = pipeline(&src, Duration::from_secs(5));
+            assert_ne!(
+                stage,
+                Stage::RejectedFrontend,
+                "corpus program failed the front end"
+            );
+        }
+    }
+
+    #[test]
+    fn small_seeded_run_is_clean_and_covers_both_outcomes() {
+        let report = run(&FuzzConfig {
+            cases: 48,
+            ..FuzzConfig::default()
+        });
+        assert!(report.failures.is_empty(), "{:#?}", report.failures);
+        assert_eq!(
+            report.built + report.rejected_frontend + report.rejected_graph,
+            report.cases
+        );
+        // With 1–8 stacked random edits most mutants break, but the mix
+        // should still contain both rejected and surviving cases.
+        assert!(report.rejected_frontend > 0, "{report:?}");
+    }
+}

@@ -9,10 +9,12 @@
 //! See `cargo run -p mpi-dfa-suite --bin repro -- table1 | fig4`.
 
 pub mod experiments;
+pub mod fuzz;
 pub mod gen;
 pub mod programs;
 pub mod runner;
 pub mod schedules;
 
 pub use experiments::{all as all_experiments, by_id, ExperimentSpec};
+pub use fuzz::{FuzzConfig, FuzzReport};
 pub use runner::{run_all, run_experiment, MeasuredRow};

@@ -9,6 +9,7 @@
 use crate::experiments::{all, ExperimentSpec};
 use crate::programs;
 use mpi_dfa_analyses::activity::{self, ActivityConfig, Mode};
+use mpi_dfa_analyses::governor::{governed_activity, AnalysisProvenance, GovernorConfig};
 use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
 use mpi_dfa_core::solver::SolveParams;
 use mpi_dfa_graph::icfg::Icfg;
@@ -35,8 +36,12 @@ pub struct MeasuredRow {
     pub spec: ExperimentSpec,
     pub icfg: MeasuredMode,
     pub mpi: MeasuredMode,
-    /// Number of communication edges in the MPI-ICFG.
+    /// Number of communication edges in the MPI-ICFG (0 when a governed
+    /// run degraded past the MPI-ICFG tiers and no such graph exists).
     pub comm_edges: usize,
+    /// Provenance of the framework-side result when the row was produced
+    /// under the resource governor; `None` for ungoverned runs.
+    pub provenance: Option<AnalysisProvenance>,
 }
 
 impl MeasuredRow {
@@ -110,6 +115,7 @@ pub fn run_experiment_with(
         icfg: to_mode(&baseline),
         mpi: to_mode(&framework),
         comm_edges: mpi.comm_edges.len(),
+        provenance: None,
     };
     if !row.converged() {
         eprintln!(
@@ -119,6 +125,51 @@ pub fn run_experiment_with(
         );
     }
     row
+}
+
+/// Run one experiment under the resource governor. The ICFG baseline runs
+/// ungoverned (it is itself essentially the fallback tier and is needed as
+/// the comparison reference); the framework side goes through the
+/// degradation ladder within `gov.budget` and tags the row with its
+/// [`AnalysisProvenance`]. The spec's clone level overrides the governor's
+/// so Table-1 rows keep their configured context sensitivity at T0.
+pub fn run_experiment_governed(
+    spec: &ExperimentSpec,
+    gov: &GovernorConfig,
+) -> Result<MeasuredRow, String> {
+    let ir = programs::ir(spec.program);
+    let config = ActivityConfig::new(spec.independents.to_vec(), spec.dependents.to_vec());
+    let params = SolveParams {
+        max_passes: gov.max_passes,
+        ..SolveParams::default()
+    };
+
+    let icfg = Icfg::build(ir.clone(), spec.context, spec.clone_level)
+        .map_err(|e| format!("{}: {e}", spec.id))?;
+    let baseline = activity::analyze_icfg_with(&icfg, Mode::GlobalBuffer, &config, &params)
+        .map_err(|e| format!("{}: {e}", spec.id))?;
+
+    let gov = GovernorConfig {
+        clone_level: spec.clone_level,
+        ..gov.clone()
+    };
+    let governed = governed_activity(&ir, spec.context, &config, &gov)
+        .map_err(|e| format!("{}: {e}", spec.id))?;
+
+    let to_mode = |r: &activity::ActivityResult| MeasuredMode {
+        iterations: r.iterations as u64,
+        active_bytes: r.active_bytes,
+        deriv_bytes: r.deriv_bytes(spec.num_indeps),
+        active_locs: r.active.len() as u64,
+        converged: r.converged(),
+    };
+    Ok(MeasuredRow {
+        spec: spec.clone(),
+        icfg: to_mode(&baseline),
+        mpi: to_mode(&governed.result),
+        comm_edges: governed.comm_edges.unwrap_or(0),
+        provenance: Some(governed.provenance),
+    })
 }
 
 /// Run every Table 1 row.
@@ -187,6 +238,26 @@ pub fn render_table1(rows: &[MeasuredRow]) -> String {
                 ""
             );
         }
+        if let Some(p) = &r.provenance {
+            if p.is_precise() {
+                let _ = writeln!(
+                    out,
+                    "{:<8} governed: tier {} (precise), {} work units, {:?}",
+                    "", p.tier, p.budget_spent.work, p.budget_spent.elapsed
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{:<8} *** DEGRADED to tier {}{} — {} ***",
+                    "",
+                    p.tier,
+                    if p.saturated { " (saturated ⊤)" } else { "" },
+                    p.degradation_reason
+                        .as_deref()
+                        .unwrap_or("budget exhausted")
+                );
+            }
+        }
         if let Some(note) = r.spec.note {
             let _ = writeln!(out, "{:<8} note: {}", "", note);
         }
@@ -212,14 +283,20 @@ pub fn render_figure4(rows: &[MeasuredRow]) -> String {
             (r.spec.paper.icfg.active_bytes - r.spec.paper.mpi.active_bytes) as f64 / 1.0e6;
         let paper_deriv =
             (r.spec.paper.icfg.deriv_bytes - r.spec.paper.mpi.deriv_bytes) as f64 / 1.0e6;
+        let degraded = r.provenance.as_ref().is_some_and(|p| !p.is_precise());
         let _ = writeln!(
             out,
-            "{:<8} {:>14.3} {:>14.3} {:>16.3} {:>16.3}",
+            "{:<8} {:>14.3} {:>14.3} {:>16.3} {:>16.3}{}",
             r.spec.id,
             r.active_mb_saved(),
             paper_active,
             r.deriv_mb_saved(),
-            paper_deriv
+            paper_deriv,
+            if degraded {
+                "  [degraded — savings not comparable]"
+            } else {
+                ""
+            }
         );
     }
     out
@@ -233,9 +310,23 @@ pub fn render_json(rows: &[MeasuredRow]) -> String {
     }
     let mut out = String::from("{\n  \"experiments\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let provenance = match &r.provenance {
+            None => "null".to_string(),
+            Some(p) => format!(
+                "{{\"tier\": \"{}\", \"saturated\": {}, \"work_units\": {}, \"elapsed_ms\": {}, \"degradation_reason\": {}}}",
+                p.tier,
+                p.saturated,
+                p.budget_spent.work,
+                p.budget_spent.elapsed.as_millis(),
+                match &p.degradation_reason {
+                    None => "null".to_string(),
+                    Some(s) => format!("\"{}\"", esc(s)),
+                }
+            ),
+        };
         let _ = write!(
             out,
-            "    {{\"id\": \"{}\", \"program\": \"{}\", \"context\": \"{}\", \"clone_level\": {}, \"independents\": [{}], \"dependents\": [{}], \"num_indeps\": {}, \"comm_edges\": {}, \"converged\": {}, \"icfg\": {{\"iterations\": {}, \"active_bytes\": {}, \"deriv_bytes\": {}}}, \"mpi_icfg\": {{\"iterations\": {}, \"active_bytes\": {}, \"deriv_bytes\": {}}}, \"pct_decrease\": {:.4}, \"paper\": {{\"icfg_active_bytes\": {}, \"mpi_active_bytes\": {}, \"pct_decrease\": {}}}}}",
+            "    {{\"id\": \"{}\", \"program\": \"{}\", \"context\": \"{}\", \"clone_level\": {}, \"independents\": [{}], \"dependents\": [{}], \"num_indeps\": {}, \"comm_edges\": {}, \"converged\": {}, \"icfg\": {{\"iterations\": {}, \"active_bytes\": {}, \"deriv_bytes\": {}}}, \"mpi_icfg\": {{\"iterations\": {}, \"active_bytes\": {}, \"deriv_bytes\": {}}}, \"pct_decrease\": {:.4}, \"paper\": {{\"icfg_active_bytes\": {}, \"mpi_active_bytes\": {}, \"pct_decrease\": {}}}, \"provenance\": {provenance}}}",
             esc(r.spec.id),
             esc(r.spec.program),
             esc(r.spec.context),
@@ -358,7 +449,14 @@ mod tests {
         // A one-pass budget cannot reach the Biostat fixpoint; the row must
         // say so loudly instead of publishing non-fixpoint numbers.
         let spec = by_id("Biostat").unwrap();
-        let row = run_experiment_with(&spec, spec.clone_level, &SolveParams { max_passes: 1 });
+        let row = run_experiment_with(
+            &spec,
+            spec.clone_level,
+            &SolveParams {
+                max_passes: 1,
+                ..SolveParams::default()
+            },
+        );
         assert!(!row.converged(), "1 pass cannot be a fixpoint on Biostat");
         let table = render_table1(std::slice::from_ref(&row));
         assert!(table.contains("NOT CONVERGED"), "{table}");
@@ -369,6 +467,51 @@ mod tests {
         let row = run_experiment(&spec);
         assert!(row.converged());
         assert!(!render_table1(&[row]).contains("NOT CONVERGED"));
+    }
+
+    #[test]
+    fn governed_row_with_unlimited_budget_is_precise_and_tagged() {
+        let spec = by_id("Biostat").unwrap();
+        let row = run_experiment_governed(&spec, &GovernorConfig::default()).unwrap();
+        let p = row.provenance.as_ref().unwrap();
+        assert!(p.is_precise(), "{p:?}");
+        // Same numbers as the ungoverned run.
+        let plain = run_experiment(&spec);
+        assert_eq!(row.mpi.active_bytes, plain.mpi.active_bytes);
+        assert_eq!(row.comm_edges, plain.comm_edges);
+        let table = render_table1(std::slice::from_ref(&row));
+        assert!(table.contains("governed: tier T0"), "{table}");
+        let json = render_json(&[row]);
+        assert!(json.contains("\"tier\": \"T0\""), "{json}");
+        assert!(json.contains("\"saturated\": false"), "{json}");
+    }
+
+    #[test]
+    fn governed_row_under_tiny_budget_degrades_and_is_flagged_everywhere() {
+        use mpi_dfa_core::budget::Budget;
+        let spec = by_id("LU-1").unwrap();
+        let gov = GovernorConfig {
+            budget: Budget::unlimited().with_max_work(10),
+            ..GovernorConfig::default()
+        };
+        let row = run_experiment_governed(&spec, &gov).unwrap();
+        let p = row.provenance.clone().unwrap();
+        assert!(!p.is_precise());
+        assert!(p.degradation_reason.is_some());
+        // The degraded result over-approximates the full-budget T0 result.
+        let full = run_experiment(&spec);
+        assert!(
+            row.mpi.active_bytes >= full.mpi.active_bytes,
+            "degraded {} < precise {}",
+            row.mpi.active_bytes,
+            full.mpi.active_bytes
+        );
+        let table = render_table1(std::slice::from_ref(&row));
+        assert!(table.contains("DEGRADED"), "{table}");
+        let fig = render_figure4(std::slice::from_ref(&row));
+        assert!(fig.contains("degraded"), "{fig}");
+        let json = render_json(&[row]);
+        assert!(json.contains("\"degradation_reason\": \""), "{json}");
     }
 
     #[test]

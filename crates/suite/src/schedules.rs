@@ -26,7 +26,7 @@ use mpi_dfa_core::lattice::ConstLattice;
 use mpi_dfa_graph::icfg::ProgramIr;
 use mpi_dfa_lang::compile;
 use mpi_dfa_lang::fault::FaultPlan;
-use mpi_dfa_lang::interp::{run, InterpConfig, ProcessResult, RuntimeError};
+use mpi_dfa_lang::interp::{run, InterpConfig, ProcessResult, RuntimeError, RuntimeLimits};
 use mpi_dfa_lang::rng::SplitMix64;
 use std::time::Duration;
 
@@ -43,11 +43,11 @@ pub struct ScheduleConfig {
     pub plan: FaultPlan,
     /// Simulated process count.
     pub nprocs: usize,
-    /// Per-run recv deadline (structural deadlock detection usually fires
-    /// long before this).
-    pub recv_timeout: Duration,
-    /// Per-rank statement budget.
-    pub max_steps: u64,
+    /// Per-run step budget and recv deadline (structural deadlock
+    /// detection usually fires long before the timeout). Defaults to a
+    /// much shorter deadline and step budget than the production
+    /// [`RuntimeLimits::default`] because each schedule run is tiny.
+    pub limits: RuntimeLimits,
 }
 
 impl Default for ScheduleConfig {
@@ -57,8 +57,10 @@ impl Default for ScheduleConfig {
             base_seed: 0xFA017,
             plan: FaultPlan::adversarial(0),
             nprocs: 2,
-            recv_timeout: Duration::from_millis(400),
-            max_steps: 500_000,
+            limits: RuntimeLimits {
+                recv_timeout: Duration::from_millis(400),
+                max_steps: 500_000,
+            },
         }
     }
 }
@@ -113,8 +115,7 @@ fn interp_config(
 ) -> InterpConfig {
     InterpConfig {
         nprocs: sc.nprocs,
-        recv_timeout: sc.recv_timeout,
-        max_steps: sc.max_steps,
+        limits: sc.limits.clone(),
         capture_globals: true,
         init_globals: init.to_vec(),
         fault_plan: plan,

@@ -1,0 +1,177 @@
+//! Soundness of the resource governor's degradation ladder.
+//!
+//! The ladder promises that stepping down a tier can only *add* to the
+//! may-information an activity analysis reports, never remove it:
+//!
+//! * **T0** — MPI-ICFG at the configured clone level with
+//!   reaching-constants matching (most precise);
+//! * **T1** — MPI-ICFG at clone level 0 with syntactic matching (keeps a
+//!   superset of T0's communication edges, merges calling contexts);
+//! * **T2** — plain ICFG under [`Mode::GlobalBufferSound`] (every receive
+//!   may deliver varying data, every send is needed).
+//!
+//! These tests check the chain `T0 ⊆ T1 ⊆ T2` for both the Vary and the
+//! Active location sets on generated programs, that reaching constants
+//! only *lose* precision when clone contexts are merged, and that a
+//! forced budget exhaustion on a NAS-style benchmark publishes a degraded
+//! result that over-approximates the full-budget T0 answer.
+
+use mpi_dfa_analyses::activity::{
+    analyze_icfg as activity_over_icfg, analyze_mpi, ActivityConfig, ActivityResult, Mode,
+};
+use mpi_dfa_analyses::consts;
+use mpi_dfa_analyses::governor::{governed_activity, GovernorConfig, Tier};
+use mpi_dfa_analyses::{build_mpi_icfg, Matching};
+use mpi_dfa_core::budget::Budget;
+use mpi_dfa_core::graph::NodeId;
+use mpi_dfa_core::lattice::ConstLattice;
+use mpi_dfa_core::varset::VarSet;
+use mpi_dfa_graph::icfg::{Icfg, ProgramIr};
+use mpi_dfa_suite::gen::{generate, GenConfig};
+
+/// Union of the Vary solution over every program point: the set of
+/// locations that may carry varying data *anywhere*. Node spaces differ
+/// across tiers, but the location universe is shared, so this is the
+/// tier-comparable projection of the Vary phase.
+fn vary_everywhere(result: &ActivityResult, universe: usize) -> VarSet {
+    let mut s = VarSet::empty(universe);
+    for n in 0..result.vary.input.len() {
+        let node = NodeId(n as u32);
+        s.union_into(result.vary.before(node));
+        s.union_into(result.vary.after(node));
+    }
+    s
+}
+
+/// Run the three ladder tiers by hand on one program.
+fn tiers(src: &str, config: &ActivityConfig) -> (ActivityResult, ActivityResult, ActivityResult) {
+    let ir = ProgramIr::from_source(src).expect("generated programs compile");
+    let t0 = {
+        let mpi =
+            build_mpi_icfg(ir.clone(), "main", 1, Matching::ReachingConstants).expect("T0 graph");
+        analyze_mpi(&mpi, config).expect("T0 analysis")
+    };
+    let t1 = {
+        let mpi = build_mpi_icfg(ir.clone(), "main", 0, Matching::Syntactic).expect("T1 graph");
+        analyze_mpi(&mpi, config).expect("T1 analysis")
+    };
+    let t2 = {
+        let icfg = Icfg::build(ir, "main", 0).expect("T2 graph");
+        activity_over_icfg(&icfg, Mode::GlobalBufferSound, config).expect("T2 analysis")
+    };
+    (t0, t1, t2)
+}
+
+#[test]
+fn ladder_tiers_are_nested_on_generated_programs() {
+    for seed in 0..12u64 {
+        let src = generate(seed, &GenConfig::default());
+        let config = ActivityConfig::new(["s0"], ["s1"]);
+        let (t0, t1, t2) = tiers(&src, &config);
+        let universe = t2.active.universe();
+
+        // Active sets: each degraded tier may only over-approximate.
+        assert!(
+            t0.active.is_subset(&t1.active),
+            "seed {seed}: T0 active ⊄ T1 active"
+        );
+        assert!(
+            t1.active.is_subset(&t2.active),
+            "seed {seed}: T1 active ⊄ T2 active"
+        );
+
+        // Vary sets, projected onto the shared location universe.
+        let v0 = vary_everywhere(&t0, universe);
+        let v1 = vary_everywhere(&t1, universe);
+        let v2 = vary_everywhere(&t2, universe);
+        assert!(v0.is_subset(&v1), "seed {seed}: T0 vary ⊄ T1 vary");
+        assert!(v1.is_subset(&v2), "seed {seed}: T1 vary ⊄ T2 vary");
+
+        // ActiveBytes is monotone along the ladder as a consequence.
+        assert!(t0.active_bytes <= t1.active_bytes, "seed {seed}");
+        assert!(t1.active_bytes <= t2.active_bytes, "seed {seed}");
+    }
+}
+
+#[test]
+fn reaching_constants_only_lose_precision_when_contexts_merge() {
+    // Clone level 0 merges every calling context; the merged (degraded)
+    // solution must sit at or below the context-sensitive one in the
+    // lattice at every shared program point. Checked at the context exit,
+    // which exists in both graphs: a constant surviving the merged
+    // analysis must also survive — with the same value — in the cloned
+    // one (or be vacuously Top there).
+    for seed in 0..12u64 {
+        let src = generate(seed, &GenConfig::default());
+        let ir = ProgramIr::from_source(&src).expect("compile");
+        let g0 = Icfg::build(ir.clone(), "main", 0).expect("clone 0");
+        let g1 = Icfg::build(ir.clone(), "main", 1).expect("clone 1");
+        let sol0 = consts::analyze_icfg(&g0);
+        let sol1 = consts::analyze_icfg(&g1);
+        let env0 = sol0.before(g0.context_exit());
+        let env1 = sol1.before(g1.context_exit());
+        for loc in 0..ir.locs.len() {
+            let loc = mpi_dfa_graph::loc::Loc(loc as u32);
+            let merged = env0.get(loc);
+            let cloned = env1.get(loc);
+            match merged {
+                // Degraded to non-constant: any context-sensitive value is
+                // at least as precise.
+                ConstLattice::Bottom => {}
+                // Constant after merging ⇒ the cloned analysis agrees (or
+                // never reached the location at all).
+                ConstLattice::Const(c) => assert!(
+                    matches!(cloned, ConstLattice::Top) || cloned == &ConstLattice::Const(*c),
+                    "seed {seed}: clone-0 found {merged:?} but clone-1 found {cloned:?}"
+                ),
+                // Unreached while merged ⇒ unreached while cloned.
+                ConstLattice::Top => assert_eq!(
+                    cloned,
+                    &ConstLattice::Top,
+                    "seed {seed}: clone-1 reached a location clone-0 did not"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_exhaustion_on_lu_degrades_and_over_approximates_t0() {
+    // Acceptance check: a tiny work-unit cap on a NAS-style benchmark must
+    // publish a degraded result that (a) is tagged with a non-T0 tier and
+    // a degradation reason, and (b) over-approximates the full-budget T0
+    // activity answer.
+    let spec = mpi_dfa_suite::by_id("LU-1").expect("LU-1 experiment exists");
+    let ir = mpi_dfa_suite::programs::ir(spec.program);
+    let config = ActivityConfig::new(spec.independents.to_vec(), spec.dependents.to_vec());
+
+    let base_gov = GovernorConfig {
+        clone_level: spec.clone_level,
+        matching: Matching::ReachingConstants,
+        ..GovernorConfig::default()
+    };
+
+    let full = governed_activity(&ir, spec.context, &config, &base_gov).expect("full budget");
+    assert_eq!(full.provenance.tier, Tier::T0);
+    assert!(full.provenance.is_precise(), "{:?}", full.provenance);
+
+    let tiny = GovernorConfig {
+        budget: Budget::unlimited().with_max_work(10),
+        ..base_gov
+    };
+    let degraded = governed_activity(&ir, spec.context, &config, &tiny).expect("degraded");
+    assert_ne!(
+        degraded.provenance.tier,
+        Tier::T0,
+        "10 work units cannot complete T0 on LU"
+    );
+    assert!(
+        degraded.provenance.degradation_reason.is_some(),
+        "degraded results must explain why"
+    );
+    assert!(
+        full.result.active.is_subset(&degraded.result.active),
+        "degraded active set must over-approximate the full-budget T0 set"
+    );
+    assert!(full.result.active_bytes <= degraded.result.active_bytes);
+}

@@ -1,0 +1,40 @@
+//! Seeded fuzz smoke test for the full front-end + graph pipeline.
+//!
+//! Runs a deterministic range of mutated inputs through
+//! lexer → parser → sema → ICFG → MPI-ICFG and asserts the robustness
+//! contract (no panic, no hang). Case count and start seed come from the
+//! environment so CI can run a wide sweep while local runs stay fast:
+//!
+//! ```sh
+//! FUZZ_CASES=500 cargo test -p mpi-dfa-suite --test fuzz_smoke
+//! FUZZ_SEED=1234 FUZZ_CASES=1 cargo test -p mpi-dfa-suite --test fuzz_smoke
+//! ```
+
+use mpi_dfa_suite::fuzz::{run, FuzzConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+fn seeded_fuzz_run_upholds_the_no_panic_no_hang_contract() {
+    let config = FuzzConfig {
+        cases: env_u64("FUZZ_CASES", 64) as usize,
+        start_seed: env_u64("FUZZ_SEED", 0),
+        ..FuzzConfig::default()
+    };
+    let report = run(&config);
+    assert!(
+        report.failures.is_empty(),
+        "fuzz contract violations (reproduce with FUZZ_SEED=<seed> FUZZ_CASES=1):\n{:#?}",
+        report.failures
+    );
+    assert_eq!(
+        report.built + report.rejected_frontend + report.rejected_graph,
+        report.cases,
+        "every case must be accounted for: {report:?}"
+    );
+}

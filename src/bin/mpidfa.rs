@@ -15,11 +15,13 @@
 
 use mpi_dfa::analyses::bitwidth::{self, WidthMode, FULL};
 use mpi_dfa::analyses::consts::{self, CVal};
+use mpi_dfa::analyses::governor::{governed_activity, DegradeMode, GovernorConfig};
 use mpi_dfa::analyses::slicing::forward_slice;
 use mpi_dfa::analyses::taint::{self, TaintConfig, TaintMode};
+use mpi_dfa::core::budget::Budget;
 use mpi_dfa::core::lattice::ConstLattice;
 use mpi_dfa::lang::fault::FaultPlan;
-use mpi_dfa::lang::interp::{self, InterpConfig};
+use mpi_dfa::lang::interp::{self, InterpConfig, RuntimeLimits};
 use mpi_dfa::prelude::*;
 use mpi_dfa::suite::schedules::ScheduleConfig;
 use std::process::ExitCode;
@@ -110,10 +112,15 @@ fn run(args: &[String]) -> Result<(), String> {
             let config = ActivityConfig::new(ind.clone(), dep.clone());
             let mode = opts.value("mode").unwrap_or("mpi");
             let ir = ir()?;
-            let result = match mode {
+            let (result, provenance) = match mode {
                 "mpi" => {
-                    let g = graph(Matching::ReachingConstants)?;
-                    activity::analyze_mpi(&g, &config)?
+                    // The MPI-ICFG path runs under the resource governor:
+                    // with the default unlimited budget it is exactly the
+                    // precise T0 analysis; with --budget-ms / --max-visits
+                    // it degrades soundly instead of hanging.
+                    let gov = governor_config(&opts, clone_level)?;
+                    let g = governed_activity(&ir, &context, &config, &gov)?;
+                    (g.result, Some(g.provenance))
                 }
                 "global" | "naive" => {
                     let icfg = Icfg::build(ir.clone(), &context, clone_level)
@@ -123,7 +130,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     } else {
                         Mode::Naive
                     };
-                    activity::analyze_icfg(&icfg, m, &config)?
+                    (activity::analyze_icfg(&icfg, m, &config)?, None)
                 }
                 other => return Err(format!("unknown --mode `{other}` (mpi|global|naive)")),
             };
@@ -135,6 +142,22 @@ fn run(args: &[String]) -> Result<(), String> {
                     _ => "a naive CFG (no communication model)",
                 }
             );
+            if let Some(p) = &provenance {
+                println!(
+                    "  provenance: tier {}{} ({} solver work units, {:?})",
+                    p.tier,
+                    if p.saturated {
+                        " — saturated ⊤"
+                    } else {
+                        ""
+                    },
+                    p.budget_spent.work,
+                    p.budget_spent.elapsed
+                );
+                if let Some(reason) = &p.degradation_reason {
+                    println!("  degraded: {reason}");
+                }
+            }
             println!("  independents: {ind:?}\n  dependents:   {dep:?}");
             println!("  solver passes: {}", result.iterations);
             println!("  active storage: {} bytes", result.active_bytes);
@@ -276,6 +299,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map(|v| v.parse().map_err(|e| format!("--schedules: {e}")))
                 .transpose()?
                 .unwrap_or(0);
+            let limits = runtime_limits(&opts)?;
             if schedules > 0 {
                 // Schedule-exploration mode: replay the program under K
                 // fault plans derived from the base seed and report each.
@@ -285,7 +309,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     base_seed: base.seed,
                     plan: base.clone(),
                     nprocs,
-                    ..Default::default()
+                    limits: limits.clone(),
                 };
                 println!(
                     "exploring {schedules} {} schedules (base seed {})",
@@ -303,6 +327,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     let cfg = InterpConfig {
                         nprocs,
                         entry: entry.clone(),
+                        limits: limits.clone(),
                         fault_plan: Some(p),
                         ..Default::default()
                     };
@@ -331,6 +356,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 let cfg = InterpConfig {
                     nprocs,
                     entry,
+                    limits,
                     fault_plan: plan,
                     ..Default::default()
                 };
@@ -349,6 +375,48 @@ fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Build [`RuntimeLimits`] from `mpidfa run`'s `--max-steps` and
+/// `--recv-timeout-ms` flags, starting from the documented defaults.
+fn runtime_limits(opts: &Opts) -> Result<RuntimeLimits, String> {
+    let mut limits = RuntimeLimits::default();
+    if let Some(v) = opts.value("max-steps") {
+        limits.max_steps = v.parse().map_err(|e| format!("--max-steps: {e}"))?;
+    }
+    if let Some(v) = opts.value("recv-timeout-ms") {
+        let ms: u64 = v.parse().map_err(|e| format!("--recv-timeout-ms: {e}"))?;
+        limits.recv_timeout = std::time::Duration::from_millis(ms);
+    }
+    Ok(limits)
+}
+
+/// Build a [`GovernorConfig`] from the shared budget flags
+/// (`--budget-ms`, `--max-visits`, `--max-fact-bytes`, `--degrade`).
+fn governor_config(opts: &Opts, clone_level: usize) -> Result<GovernorConfig, String> {
+    let mut budget = Budget::unlimited();
+    if let Some(v) = opts.value("budget-ms") {
+        budget = budget.with_deadline_ms(v.parse().map_err(|e| format!("--budget-ms: {e}"))?);
+    }
+    if let Some(v) = opts.value("max-visits") {
+        budget = budget.with_max_work(v.parse().map_err(|e| format!("--max-visits: {e}"))?);
+    }
+    if let Some(v) = opts.value("max-fact-bytes") {
+        budget =
+            budget.with_max_fact_bytes(v.parse().map_err(|e| format!("--max-fact-bytes: {e}"))?);
+    }
+    let degrade = match opts.value("degrade").unwrap_or("auto") {
+        "auto" => DegradeMode::Auto,
+        "off" => DegradeMode::Off,
+        other => return Err(format!("unknown --degrade `{other}` (auto|off)")),
+    };
+    Ok(GovernorConfig {
+        clone_level,
+        matching: Matching::ReachingConstants,
+        budget,
+        degrade,
+        ..GovernorConfig::default()
+    })
+}
+
 fn load(opts: &Opts) -> Result<String, String> {
     let Some(path) = &opts.file else {
         return Err("missing input file".into());
@@ -364,14 +432,20 @@ fn usage() -> String {
     "usage: mpidfa <command> <file.smpl | bundled-name> [options]\n\
      commands:\n\
        activity   --context C --ind a,b --dep x,y [--clone N] [--mode mpi|global|naive]\n\
+                  [--budget-ms MS] [--max-visits N] [--max-fact-bytes B] [--degrade auto|off]\n\
+                  (budget flags apply to --mode mpi; on exhaustion the resource\n\
+                  governor degrades T0 -> T1 -> T2 and reports the provenance)\n\
        constants  --context C [--clone N]\n\
        slice      --context C --stmt ID [--no-comm]\n\
        taint      --context C --source a,b [--reads-tainted] [--conservative]\n\
        bitwidth   --context C [--conservative]\n\
        graph      --context C [--clone N] [--matching naive|syntactic|consts]\n\
        run        [--nprocs N] [--entry main] [--faults SPEC] [--schedules K]\n\
+                  [--max-steps N] [--recv-timeout-ms MS]\n\
                   SPEC: bare seed (`7`) or `seed=7,mode=adversarial|chaotic,\n\
                   reorder=P,delay=P,max_delay=US,stagger=US,dup=P,drop=P`\n\
+                  (--max-steps / --recv-timeout-ms override the documented\n\
+                  RuntimeLimits defaults: 20000000 steps, 10000 ms)\n\
      bundled programs: figure1, biostat, sor, cg, lu, mg, sweep3d"
         .to_string()
 }

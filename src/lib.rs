@@ -56,8 +56,12 @@ pub use mpi_dfa_suite as suite;
 /// The most common imports for building and analyzing MPI-ICFGs.
 pub mod prelude {
     pub use mpi_dfa_analyses::activity::{self, ActivityConfig, ActivityResult, Mode};
+    pub use mpi_dfa_analyses::governor::{
+        governed_activity, AnalysisProvenance, DegradeMode, GovernedActivity, GovernorConfig, Tier,
+    };
     pub use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
     pub use mpi_dfa_analyses::{consts, liveness, reaching_defs, slicing, taint};
+    pub use mpi_dfa_core::budget::{Budget, BudgetSpent, CancelToken, Exhaustion};
     pub use mpi_dfa_core::solver::{solve, solve_worklist, Solution, SolveParams};
     pub use mpi_dfa_core::{Dataflow, Direction, VarSet};
     pub use mpi_dfa_graph::icfg::{Icfg, ProgramIr};

@@ -6,7 +6,7 @@
 //! hundreds of megabytes per rank, which is exactly why the paper's memory
 //! savings matter; the analyses never materialize them.
 
-use mpi_dfa::lang::interp::{run, InterpConfig, ProcessResult};
+use mpi_dfa::lang::interp::{run, InterpConfig, ProcessResult, RuntimeLimits};
 use mpi_dfa::prelude::*;
 use std::time::Duration;
 
@@ -17,7 +17,10 @@ fn execute(name: &str, nprocs: usize) -> Vec<ProcessResult> {
         &unit.program,
         &InterpConfig {
             nprocs,
-            recv_timeout: Duration::from_secs(20),
+            limits: RuntimeLimits {
+                recv_timeout: Duration::from_secs(20),
+                ..RuntimeLimits::default()
+            },
             ..Default::default()
         },
     )
@@ -99,7 +102,10 @@ fn figure1_deadlocks_with_more_ranks_and_is_detected() {
         &unit.program,
         &InterpConfig {
             nprocs: 3,
-            recv_timeout: Duration::from_millis(200),
+            limits: RuntimeLimits {
+                recv_timeout: Duration::from_millis(200),
+                ..RuntimeLimits::default()
+            },
             ..Default::default()
         },
     )

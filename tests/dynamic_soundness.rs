@@ -22,7 +22,7 @@
 
 use mpi_dfa::analyses::consts::{self, CVal};
 use mpi_dfa::core::lattice::ConstLattice;
-use mpi_dfa::lang::interp::{run, InterpConfig, ProcessResult};
+use mpi_dfa::lang::interp::{run, InterpConfig, ProcessResult, RuntimeLimits};
 use mpi_dfa::prelude::*;
 use mpi_dfa::suite::gen::{generate, GenConfig};
 use mpi_dfa::suite::schedules::{self, ScheduleConfig};
@@ -34,8 +34,10 @@ fn interp(src: &str, init: &[(&str, f64)]) -> Option<Vec<ProcessResult>> {
         &unit.program,
         &InterpConfig {
             nprocs: 2,
-            recv_timeout: Duration::from_millis(400),
-            max_steps: 500_000,
+            limits: RuntimeLimits {
+                recv_timeout: Duration::from_millis(400),
+                max_steps: 500_000,
+            },
             capture_globals: true,
             init_globals: init.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
             ..Default::default()

@@ -147,7 +147,7 @@ fn vary_always_contains_the_independents() {
 fn interpreter_matches_across_runs() {
     // Generated programs may deadlock (unmatched sends/recvs), so only
     // compare the runs that complete — completion must be deterministic.
-    use mpi_dfa::lang::interp::{run, InterpConfig};
+    use mpi_dfa::lang::interp::{run, InterpConfig, RuntimeLimits};
     let mut rng = SplitMix64::fork(0xC0FFEE, 7);
     for _ in 0..24 {
         let seed = rng.below(300) as u64;
@@ -161,8 +161,10 @@ fn interpreter_matches_across_runs() {
         let unit = compile(&src).unwrap();
         let cfg = InterpConfig {
             nprocs: 2,
-            recv_timeout: std::time::Duration::from_millis(300),
-            max_steps: 200_000,
+            limits: RuntimeLimits {
+                recv_timeout: std::time::Duration::from_millis(300),
+                max_steps: 200_000,
+            },
             ..Default::default()
         };
         let a = run(&unit.program, &cfg);
@@ -187,7 +189,7 @@ fn interpreter_is_deterministic_under_fault_plans() {
     // programs contain no wildcard receives). Same final globals, same
     // trace lengths (steps/sends/recvs), same printed output.
     use mpi_dfa::lang::fault::FaultPlan;
-    use mpi_dfa::lang::interp::{run, InterpConfig};
+    use mpi_dfa::lang::interp::{run, InterpConfig, RuntimeLimits};
     let mut rng = SplitMix64::fork(0xDE7E12, 0);
     let mut compared = 0;
     for case in 0..12u64 {
@@ -204,8 +206,10 @@ fn interpreter_is_deterministic_under_fault_plans() {
         let unit = compile(&src).unwrap();
         let cfg = InterpConfig {
             nprocs: 2,
-            recv_timeout: std::time::Duration::from_millis(400),
-            max_steps: 500_000,
+            limits: RuntimeLimits {
+                recv_timeout: std::time::Duration::from_millis(400),
+                max_steps: 500_000,
+            },
             capture_globals: true,
             fault_plan: Some(FaultPlan::adversarial(fault_seed)),
             ..Default::default()
