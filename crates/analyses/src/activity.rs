@@ -30,6 +30,7 @@ use mpi_dfa_core::graph::{Edge, EdgeKind, FlowGraph, NodeId};
 use mpi_dfa_core::lattice::BoolOr;
 use mpi_dfa_core::problem::{Dataflow, Direction};
 use mpi_dfa_core::solver::{solve, Solution, SolveParams};
+use mpi_dfa_core::telemetry;
 use mpi_dfa_core::varset::VarSet;
 use mpi_dfa_graph::icfg::Icfg;
 use mpi_dfa_graph::loc::{Loc, LocTable};
@@ -208,8 +209,14 @@ pub fn analyze_mpi_parallel(
     let (vary_p, useful_p) = vary_useful_problems(icfg, Mode::MpiIcfg, config)?;
     let params = SolveParams::default();
     let (vary, useful) = std::thread::scope(|scope| {
-        let v = scope.spawn(|| solve(mpi, &vary_p, &params));
-        let u = scope.spawn(|| solve(mpi, &useful_p, &params));
+        let v = scope.spawn(|| {
+            let _span = telemetry::span("analysis", "activity:vary");
+            solve(mpi, &vary_p, &params)
+        });
+        let u = scope.spawn(|| {
+            let _span = telemetry::span("analysis", "activity:useful");
+            solve(mpi, &useful_p, &params)
+        });
         // A join error means the phase thread panicked; re-raise the
         // original payload instead of replacing it with a fresh panic so
         // callers (and the fuzz harness) see the real failure.
@@ -217,6 +224,8 @@ pub fn analyze_mpi_parallel(
         let useful = u.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
         (vary, useful)
     });
+    vary.stats.publish_metrics("vary");
+    useful.stats.publish_metrics("useful");
 
     // Active = Vary ∩ Useful at some program point (either side of a node).
     let mut active = VarSet::empty(universe);
@@ -246,8 +255,20 @@ fn analyze_over<G: FlowGraph>(
 ) -> Result<ActivityResult, String> {
     let universe = icfg.ir.locs.len();
     let (vary_p, useful_p) = vary_useful_problems(icfg, mode, config)?;
-    let vary = solve(graph, &vary_p, params);
-    let useful = solve(graph, &useful_p, params);
+    let vary = {
+        let mut span = telemetry::span("analysis", "activity:vary");
+        let s = solve(graph, &vary_p, params);
+        span.arg("converged", s.stats.converged);
+        s
+    };
+    let useful = {
+        let mut span = telemetry::span("analysis", "activity:useful");
+        let s = solve(graph, &useful_p, params);
+        span.arg("converged", s.stats.converged);
+        s
+    };
+    vary.stats.publish_metrics("vary");
+    useful.stats.publish_metrics("useful");
 
     // Active = Vary ∩ Useful at some program point (either side of a node).
     let mut active = VarSet::empty(universe);

@@ -481,7 +481,13 @@ impl ConstsQuery {
         icfg: &Icfg,
         params: &SolveParams,
     ) -> Result<ConstsQuery, mpi_dfa_core::budget::Exhaustion> {
-        let sol = solve(icfg, &ReachingConsts::new(icfg), params);
+        let sol = {
+            let mut span = mpi_dfa_core::telemetry::span("analysis", "consts:bootstrap");
+            let sol = solve(icfg, &ReachingConsts::new(icfg), params);
+            span.arg("converged", sol.stats.converged);
+            sol
+        };
+        sol.stats.publish_metrics("consts");
         if !sol.stats.converged {
             return Err(sol
                 .stats

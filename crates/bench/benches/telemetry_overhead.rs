@@ -1,0 +1,132 @@
+//! Telemetry overhead guard: the disabled sink must be (near-)free.
+//!
+//! The observability layer promises that when no sink is installed every
+//! probe is one relaxed atomic load and an early return — i.e. solver
+//! wall-clock with telemetry compiled in but disabled stays within 5% of
+//! the un-probed cost. Since the probes cannot be compiled out, the guard
+//! is established from two directions:
+//!
+//! 1. **end-to-end**: median solver wall-clock with the sink disabled vs
+//!    at `spans` vs at `full` on a generated mid-size MPI-ICFG, and
+//! 2. **first-principles**: the measured per-probe cost of a disabled
+//!    `span()`/`is_enabled()` pair times a conservative probes-per-visit
+//!    factor, as a fraction of the solver's measured per-visit cost.
+//!
+//! The bench *asserts* bound (2) at ≤ 5% — a regression that makes the
+//! disabled path allocate or lock will blow past it by orders of
+//! magnitude. The final line is a machine-readable JSON summary; the
+//! checked-in `BENCH_telemetry.json` baseline is exactly that line.
+
+use mpi_dfa_analyses::consts::ReachingConsts;
+use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
+use mpi_dfa_bench::{criterion_group, criterion_main, Criterion};
+use mpi_dfa_core::solver::{solve, SolveParams};
+use mpi_dfa_core::telemetry::{self, TraceLevel};
+use mpi_dfa_graph::icfg::ProgramIr;
+use mpi_dfa_graph::mpi::MpiIcfg;
+use mpi_dfa_suite::gen::{generate, GenConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Conservative upper bound on disabled-telemetry probes per node visit
+/// (span open/close, headroom sample, counter sample).
+const PROBES_PER_VISIT: f64 = 8.0;
+
+fn median_ns(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples[samples.len() / 2]
+}
+
+/// Median wall-clock (ns) of `samples` solver runs under the *current*
+/// sink state, plus the (deterministic) visit count.
+fn time_solver(mpi: &MpiIcfg, samples: usize) -> (f64, u64) {
+    let p = ReachingConsts::new(mpi.icfg());
+    let params = SolveParams::default();
+    let mut times = Vec::with_capacity(samples);
+    let mut visits = 0;
+    for _ in 0..samples {
+        let t = Instant::now();
+        let sol = black_box(solve(mpi, &p, &params));
+        times.push(t.elapsed().as_secs_f64() * 1e9);
+        assert!(sol.stats.converged, "bench graph must reach a fixpoint");
+        visits = sol.stats.node_visits;
+    }
+    (median_ns(times), visits)
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let src = generate(42, &GenConfig::scaled(3));
+    let ir = ProgramIr::from_source(&src).expect("generated program compiles");
+    let mpi = build_mpi_icfg(ir, "main", 1, Matching::ReachingConstants).expect("graph");
+
+    // Standard printout via the criterion-compatible harness.
+    let mut group = c.benchmark_group("telemetry_overhead/solver");
+    group.sample_size(10);
+    let p = ReachingConsts::new(mpi.icfg());
+    let params = SolveParams::default();
+    group.bench_function("disabled", |b| {
+        b.iter(|| black_box(solve(&mpi, &p, &params)));
+    });
+    telemetry::install(TraceLevel::Full);
+    group.bench_function("full", |b| {
+        b.iter(|| black_box(solve(&mpi, &p, &params)));
+    });
+    let full_report = telemetry::finish();
+    group.finish();
+
+    // Precise medians for the baseline JSON (sink state per block).
+    let (disabled_ns, visits) = time_solver(&mpi, 15);
+    telemetry::install(TraceLevel::Spans);
+    let (spans_ns, _) = time_solver(&mpi, 15);
+    telemetry::finish();
+    telemetry::install(TraceLevel::Full);
+    let (full_ns, _) = time_solver(&mpi, 15);
+    telemetry::finish();
+
+    // First-principles disabled-probe cost: a span open/drop plus an
+    // is_enabled check, against a sink that is genuinely disabled.
+    const PROBE_ITERS: u32 = 1_000_000;
+    let t = Instant::now();
+    for _ in 0..PROBE_ITERS {
+        black_box(telemetry::is_enabled());
+        let s = telemetry::span("bench", "probe");
+        black_box(&s);
+    }
+    let probe_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(PROBE_ITERS);
+    let per_visit_ns = disabled_ns / visits as f64;
+    let guard_pct = 100.0 * probe_ns * PROBES_PER_VISIT / per_visit_ns;
+
+    println!(
+        "telemetry_overhead: disabled {disabled_ns:.0}ns, spans {spans_ns:.0}ns, \
+         full {full_ns:.0}ns over {visits} visits; disabled probe {probe_ns:.1}ns \
+         => {guard_pct:.2}% of per-visit cost (bound 5%)"
+    );
+    assert!(
+        guard_pct <= 5.0,
+        "disabled telemetry probes cost {guard_pct:.2}% of solver per-visit time (> 5%); \
+         the disabled path must stay a bare atomic load"
+    );
+    assert!(
+        !full_report.events.is_empty(),
+        "the full-level run must have recorded events"
+    );
+
+    // Machine-readable baseline — `BENCH_telemetry.json` is this line.
+    println!(
+        "{{\"bench\":\"telemetry_overhead\",\"nodes\":{},\"node_visits\":{},\
+         \"solver_ns_median\":{{\"disabled\":{:.0},\"spans\":{:.0},\"full\":{:.0}}},\
+         \"disabled_probe_ns\":{:.2},\"disabled_overhead_bound_pct\":{:.3},\
+         \"full_level_events\":{}}}",
+        mpi_dfa_core::FlowGraph::num_nodes(&mpi),
+        visits,
+        disabled_ns,
+        spans_ns,
+        full_ns,
+        probe_ns,
+        guard_pct,
+        full_report.events.len(),
+    );
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -51,6 +51,7 @@ pub mod graph;
 pub mod lattice;
 pub mod problem;
 pub mod solver;
+pub mod telemetry;
 pub mod varset;
 
 pub use budget::{Budget, BudgetMeter, BudgetSpent, CancelToken, Exhaustion};
@@ -58,4 +59,5 @@ pub use graph::{Edge, EdgeKind, FlowGraph, NodeId};
 pub use lattice::{BoolAnd, BoolOr, ConstLattice, MeetSemiLattice};
 pub use problem::{Dataflow, Direction};
 pub use solver::{solve, solve_worklist, ConvergenceStats, Solution, SolveParams};
+pub use telemetry::{SpanGuard, TelemetryReport, TraceLevel};
 pub use varset::VarSet;

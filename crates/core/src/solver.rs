@@ -19,6 +19,7 @@
 use crate::budget::{Budget, Exhaustion};
 use crate::graph::{reverse_postorder, Edge, FlowGraph, NodeId};
 use crate::problem::{Dataflow, Direction};
+use crate::telemetry;
 use std::time::{Duration, Instant};
 
 /// Solver tuning knobs.
@@ -65,6 +66,19 @@ pub struct ConvergenceStats {
     pub node_visits: u64,
     /// Total `f_comm` evaluations.
     pub comm_evals: u64,
+    /// Total meet operations applied while recomputing node inputs (one per
+    /// upstream non-communication edge visited).
+    pub meets: u64,
+    /// High-water mark of the worklist depth (0 for the round-robin
+    /// strategy, which has no queue).
+    pub worklist_peak: usize,
+    /// Number of nodes whose input or output changed, per pass (round-robin)
+    /// or per visit bucket of `num_nodes` visits (worklist). Shows how fast
+    /// the fixpoint tightens.
+    pub pass_deltas: Vec<u64>,
+    /// Per-node visit counts, indexed by `NodeId::index()`. Feeds the DOT
+    /// heat overlay; element-wise summed by [`ConvergenceStats::absorb`].
+    pub per_node_visits: Vec<u64>,
     /// Wall-clock time the solve consumed.
     pub elapsed: Duration,
     /// False if the pass bound or the budget was hit before a fixpoint.
@@ -76,15 +90,79 @@ pub struct ConvergenceStats {
 impl ConvergenceStats {
     /// Merge the consumption of a sub-solve into this one (used by clients
     /// that run several solves under one budget).
+    ///
+    /// On the pure counters (`passes`, `node_visits`, `comm_evals`, `meets`,
+    /// `worklist_peak`, `pass_deltas`, `per_node_visits`, `elapsed`,
+    /// `converged`) this operation is commutative and associative — sums,
+    /// maxima, element-wise sums, and conjunction all are. `exhausted`
+    /// deliberately keeps the *first* recorded reason, so it depends on
+    /// absorb order (a degradation trace reads in pipeline order).
     pub fn absorb(&mut self, other: &ConvergenceStats) {
         self.passes = self.passes.max(other.passes);
         self.node_visits += other.node_visits;
         self.comm_evals += other.comm_evals;
+        self.meets += other.meets;
+        self.worklist_peak = self.worklist_peak.max(other.worklist_peak);
+        if self.pass_deltas.len() < other.pass_deltas.len() {
+            self.pass_deltas.resize(other.pass_deltas.len(), 0);
+        }
+        for (d, s) in self.pass_deltas.iter_mut().zip(other.pass_deltas.iter()) {
+            *d += *s;
+        }
+        if self.per_node_visits.len() < other.per_node_visits.len() {
+            self.per_node_visits.resize(other.per_node_visits.len(), 0);
+        }
+        for (d, s) in self
+            .per_node_visits
+            .iter_mut()
+            .zip(other.per_node_visits.iter())
+        {
+            *d += *s;
+        }
         self.elapsed += other.elapsed;
         self.converged &= other.converged;
         if self.exhausted.is_none() {
             self.exhausted = other.exhausted;
         }
+    }
+
+    /// Publish this solve's fixpoint counters to the telemetry sink under
+    /// the given per-analysis label (no-op when the sink is disabled).
+    /// Appears in the `--metrics-out` dump as
+    /// `solver_node_visits_total{analysis="<label>"}` and friends.
+    pub fn publish_metrics(&self, analysis: &str) {
+        if !telemetry::is_enabled() {
+            return;
+        }
+        let labels = [("analysis", analysis)];
+        telemetry::metric_add(
+            &telemetry::metric_name("solver_passes_total", &labels),
+            self.passes as f64,
+        );
+        telemetry::metric_add(
+            &telemetry::metric_name("solver_node_visits_total", &labels),
+            self.node_visits as f64,
+        );
+        telemetry::metric_add(
+            &telemetry::metric_name("solver_comm_evals_total", &labels),
+            self.comm_evals as f64,
+        );
+        telemetry::metric_add(
+            &telemetry::metric_name("solver_meets_total", &labels),
+            self.meets as f64,
+        );
+        telemetry::metric_max(
+            &telemetry::metric_name("solver_worklist_peak", &labels),
+            self.worklist_peak as f64,
+        );
+        telemetry::metric_add(
+            &telemetry::metric_name("solver_elapsed_us_total", &labels),
+            self.elapsed.as_micros() as f64,
+        );
+        telemetry::metric_set(
+            &telemetry::metric_name("solver_converged", &labels),
+            if self.converged { 1.0 } else { 0.0 },
+        );
     }
 }
 
@@ -195,6 +273,7 @@ fn update_node<G: FlowGraph, P: Dataflow>(
     n: NodeId,
 ) -> (bool, bool) {
     stats.node_visits += 1;
+    stats.per_node_visits[n.index()] += 1;
 
     // Meet over upstream non-communication edges.
     let mut new_in = if is_boundary[n.index()] {
@@ -206,6 +285,7 @@ fn update_node<G: FlowGraph, P: Dataflow>(
         if e.kind.is_comm() {
             continue;
         }
+        stats.meets += 1;
         let src = graph.source(e);
         match problem.translate(e, &output[src.index()]) {
             Some(translated) => {
@@ -259,19 +339,24 @@ pub fn solve<G: FlowGraph, P: Dataflow>(
     let mut output = vec![problem.top(); n];
     let mut stats = ConvergenceStats {
         converged: true,
+        per_node_visits: vec![0; n],
         ..Default::default()
     };
     let mut comm_buf = Vec::new();
+    let mut span = telemetry::span("solver", "fixpoint:round_robin");
+    let traced = telemetry::is_enabled();
     let started = Instant::now();
     let mut meter = params.budget.meter();
 
     'passes: loop {
         stats.passes += 1;
         let mut changed = false;
+        let mut pass_delta = 0u64;
         for &node in &order {
             if let Err(e) = meter.charge(1) {
                 stats.converged = false;
                 stats.exhausted = Some(e);
+                stats.pass_deltas.push(pass_delta);
                 break 'passes;
             }
             let (ic, oc) = update_node(
@@ -284,7 +369,14 @@ pub fn solve<G: FlowGraph, P: Dataflow>(
                 &mut stats,
                 node,
             );
+            if ic || oc {
+                pass_delta += 1;
+            }
             changed |= ic | oc;
+        }
+        stats.pass_deltas.push(pass_delta);
+        if traced {
+            sample_budget_headroom(&params.budget, meter.work());
         }
         if !changed {
             break;
@@ -296,6 +388,7 @@ pub fn solve<G: FlowGraph, P: Dataflow>(
     }
 
     stats.elapsed = started.elapsed();
+    close_solver_span(&mut span, &stats, n);
     Solution {
         direction: problem.direction(),
         input,
@@ -324,6 +417,7 @@ pub fn solve_worklist<G: FlowGraph, P: Dataflow>(
     let mut output = vec![problem.top(); n];
     let mut stats = ConvergenceStats {
         converged: true,
+        per_node_visits: vec![0; n],
         ..Default::default()
     };
     let mut comm_buf = Vec::new();
@@ -331,8 +425,15 @@ pub fn solve_worklist<G: FlowGraph, P: Dataflow>(
     let mut queue: std::collections::VecDeque<NodeId> = order.iter().copied().collect();
     let mut queued = vec![true; n];
     let visit_budget = (params.max_passes as u64).saturating_mul(n.max(1) as u64);
+    let mut span = telemetry::span("solver", "fixpoint:worklist");
+    let traced = telemetry::is_enabled();
     let started = Instant::now();
     let mut meter = params.budget.meter();
+    stats.worklist_peak = queue.len();
+    // Bucket deltas every `n` visits so pass_deltas is roughly comparable
+    // to the round-robin per-pass series.
+    let bucket = n.max(1) as u64;
+    let mut bucket_delta = 0u64;
 
     while let Some(node) = queue.pop_front() {
         queued[node.index()] = false;
@@ -352,6 +453,7 @@ pub fn solve_worklist<G: FlowGraph, P: Dataflow>(
             node,
         );
         if ic || oc {
+            bucket_delta += 1;
             for e in oriented.downstream(node) {
                 // Output changes invalidate flow successors; input changes
                 // invalidate communication successors (whose comm facts read
@@ -365,20 +467,74 @@ pub fn solve_worklist<G: FlowGraph, P: Dataflow>(
                     }
                 }
             }
+            stats.worklist_peak = stats.worklist_peak.max(queue.len());
+        }
+        if stats.node_visits.is_multiple_of(bucket) {
+            stats.pass_deltas.push(bucket_delta);
+            bucket_delta = 0;
+            if traced {
+                sample_budget_headroom(&params.budget, meter.work());
+                telemetry::counter("solver", "worklist_depth", queue.len() as f64);
+            }
         }
         if stats.node_visits >= visit_budget {
             stats.converged = false;
             break;
         }
     }
+    if bucket_delta > 0 {
+        stats.pass_deltas.push(bucket_delta);
+    }
 
     stats.passes = (stats.node_visits as usize).div_ceil(n.max(1));
     stats.elapsed = started.elapsed();
+    close_solver_span(&mut span, &stats, n);
     Solution {
         direction: problem.direction(),
         input,
         output,
         stats,
+    }
+}
+
+/// Sample remaining budget headroom into the trace as counter series (only
+/// called when the sink is enabled, at pass/bucket granularity — never per
+/// node).
+fn sample_budget_headroom(budget: &Budget, work_done: u64) {
+    if let Some(max) = budget.max_work {
+        telemetry::counter(
+            "solver",
+            "budget_headroom_work",
+            max.saturating_sub(work_done) as f64,
+        );
+    }
+    if let Some(deadline) = budget.deadline {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .unwrap_or(Duration::ZERO);
+        telemetry::counter(
+            "solver",
+            "budget_headroom_ms",
+            remaining.as_secs_f64() * 1000.0,
+        );
+    }
+}
+
+/// Attach the final fixpoint counters to the solver span (no-op when the
+/// guard is disabled).
+fn close_solver_span(span: &mut telemetry::SpanGuard, stats: &ConvergenceStats, nodes: usize) {
+    if span.id().is_none() {
+        return;
+    }
+    span.arg("nodes", nodes);
+    span.arg("passes", stats.passes);
+    span.arg("node_visits", stats.node_visits);
+    span.arg("comm_evals", stats.comm_evals);
+    span.arg("meets", stats.meets);
+    span.arg("worklist_peak", stats.worklist_peak);
+    span.arg("converged", stats.converged);
+    if let Some(e) = stats.exhausted {
+        span.arg("exhausted", format!("{e:?}"));
     }
 }
 
@@ -710,6 +866,188 @@ mod tests {
         let sol = solve(&g, &p, &SolveParams::default());
         assert_eq!(*sol.before(NodeId(1)), ConstLattice::Const(5));
         assert_eq!(*sol.after(NodeId(0)), ConstLattice::Const(5));
+    }
+
+    #[test]
+    fn per_node_visits_sum_to_node_visits_and_feed_absorb() {
+        let mut g = SimpleGraph::new(4);
+        g.flow(0, 1);
+        g.flow(1, 2);
+        g.flow(2, 1);
+        g.flow(2, 3);
+        g.set_entry(0);
+        g.set_exit(3);
+        let mut p = toy(4);
+        p.gen[0] = Some(1);
+        for sol in [
+            solve(&g, &p, &SolveParams::default()),
+            solve_worklist(&g, &p, &SolveParams::default()),
+        ] {
+            assert_eq!(sol.stats.per_node_visits.len(), 4);
+            assert_eq!(
+                sol.stats.per_node_visits.iter().sum::<u64>(),
+                sol.stats.node_visits
+            );
+            assert!(sol.stats.meets > 0);
+            assert!(
+                sol.stats.pass_deltas.iter().sum::<u64>() > 0,
+                "some node must change before the fixpoint: {:?}",
+                sol.stats.pass_deltas
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_pass_deltas_match_pass_count_and_tighten_to_zero() {
+        let mut g = SimpleGraph::new(3);
+        g.flow(0, 1);
+        g.flow(1, 2);
+        g.set_entry(0);
+        g.set_exit(2);
+        let mut p = toy(3);
+        p.gen[0] = Some(7);
+        let sol = solve(&g, &p, &SolveParams::default());
+        assert_eq!(sol.stats.pass_deltas.len(), sol.stats.passes);
+        // The final pass observes no change by definition of convergence.
+        assert_eq!(*sol.stats.pass_deltas.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn worklist_tracks_queue_high_water() {
+        let mut g = SimpleGraph::new(5);
+        g.flow(0, 1);
+        g.flow(0, 2);
+        g.flow(1, 3);
+        g.flow(2, 3);
+        g.flow(3, 4);
+        g.set_entry(0);
+        g.set_exit(4);
+        let mut p = toy(5);
+        p.gen[0] = Some(2);
+        let sol = solve_worklist(&g, &p, &SolveParams::default());
+        // The initial seeding puts every node on the queue.
+        assert!(sol.stats.worklist_peak >= 5, "{}", sol.stats.worklist_peak);
+        // Round-robin has no queue.
+        let rr = solve(&g, &p, &SolveParams::default());
+        assert_eq!(rr.stats.worklist_peak, 0);
+    }
+
+    #[test]
+    fn absorb_is_commutative_and_associative_on_counters() {
+        #[allow(clippy::too_many_arguments)]
+        fn stats(
+            passes: usize,
+            visits: u64,
+            meets: u64,
+            comm: u64,
+            peak: usize,
+            deltas: &[u64],
+            pnv: &[u64],
+            us: u64,
+            converged: bool,
+        ) -> ConvergenceStats {
+            ConvergenceStats {
+                passes,
+                node_visits: visits,
+                comm_evals: comm,
+                meets,
+                worklist_peak: peak,
+                pass_deltas: deltas.to_vec(),
+                per_node_visits: pnv.to_vec(),
+                elapsed: Duration::from_micros(us),
+                converged,
+                exhausted: None,
+            }
+        }
+        // Zero out order-dependent state (`exhausted` is first-wins by
+        // design); every *counter* must combine commutatively.
+        let a = stats(3, 10, 20, 2, 7, &[5, 3, 0], &[4, 6], 100, true);
+        let b = stats(5, 4, 9, 1, 2, &[4], &[1, 2, 1], 50, true);
+        let c = stats(1, 8, 3, 0, 9, &[2, 2, 2, 2], &[8], 10, false);
+
+        let combine = |xs: &[&ConvergenceStats]| {
+            let mut acc = ConvergenceStats {
+                converged: true,
+                ..Default::default()
+            };
+            for x in xs {
+                acc.absorb(x);
+            }
+            acc
+        };
+        let abc = combine(&[&a, &b, &c]);
+        let cba = combine(&[&c, &b, &a]);
+        let bac = combine(&[&b, &a, &c]);
+        for other in [&cba, &bac] {
+            assert_eq!(abc.passes, other.passes);
+            assert_eq!(abc.node_visits, other.node_visits);
+            assert_eq!(abc.comm_evals, other.comm_evals);
+            assert_eq!(abc.meets, other.meets);
+            assert_eq!(abc.worklist_peak, other.worklist_peak);
+            assert_eq!(abc.pass_deltas, other.pass_deltas);
+            assert_eq!(abc.per_node_visits, other.per_node_visits);
+            assert_eq!(abc.elapsed, other.elapsed);
+            assert_eq!(abc.converged, other.converged);
+        }
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ab_c = ab.clone();
+        ab_c.absorb(&c);
+        let mut bc = b.clone();
+        bc.absorb(&c);
+        let mut a_bc = a.clone();
+        a_bc.absorb(&bc);
+        assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn absorb_monotone_across_passes() {
+        // Counters only grow as more sub-solves are absorbed.
+        let mut g = SimpleGraph::new(3);
+        g.flow(0, 1);
+        g.flow(1, 2);
+        g.set_entry(0);
+        g.set_exit(2);
+        let mut p = toy(3);
+        p.gen[0] = Some(7);
+        let s1 = solve(&g, &p, &SolveParams::default()).stats;
+        let s2 = solve_worklist(&g, &p, &SolveParams::default()).stats;
+        let mut acc = ConvergenceStats {
+            converged: true,
+            ..Default::default()
+        };
+        let mut prev_visits = 0;
+        let mut prev_meets = 0;
+        for s in [&s1, &s2, &s1] {
+            acc.absorb(s);
+            assert!(acc.node_visits >= prev_visits);
+            assert!(acc.meets >= prev_meets);
+            prev_visits = acc.node_visits;
+            prev_meets = acc.meets;
+        }
+        assert_eq!(acc.node_visits, s1.node_visits * 2 + s2.node_visits);
+    }
+
+    #[test]
+    fn publish_metrics_lands_in_the_sink_with_analysis_label() {
+        use crate::telemetry::{self, TraceLevel, TEST_SINK_GATE};
+        let _gate = TEST_SINK_GATE.lock().unwrap_or_else(|p| p.into_inner());
+        let mut g = SimpleGraph::new(2);
+        g.flow(0, 1);
+        g.set_entry(0);
+        g.set_exit(1);
+        let mut p = toy(2);
+        p.gen[0] = Some(5);
+        let sol = solve(&g, &p, &SolveParams::default());
+        telemetry::install(TraceLevel::Spans);
+        sol.stats.publish_metrics("toy");
+        let report = telemetry::finish();
+        let key = "solver_node_visits_total{analysis=\"toy\"}";
+        assert_eq!(report.metrics[key], sol.stats.node_visits as f64);
+        assert!(report
+            .metrics
+            .contains_key("solver_converged{analysis=\"toy\"}"));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::loc::{Loc, LocTable, ProcId};
 use crate::node::{CallSiteInfo, CfgNode, NodeKind};
 use mpi_dfa_core::budget::{Budget, BudgetMeter, Exhaustion};
 use mpi_dfa_core::graph::{Edge, EdgeKind, FlowGraph, NodeId};
+use mpi_dfa_core::telemetry;
 use mpi_dfa_lang::CompiledUnit;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -35,9 +36,12 @@ pub struct ProgramIr {
 
 impl ProgramIr {
     pub fn build(unit: CompiledUnit) -> Arc<Self> {
+        let mut span = telemetry::span("pipeline", "cfg_build");
         let locs = LocTable::build(&unit);
         let cfgs = lower_program(&unit, &locs);
         let callgraph = CallGraph::build(&cfgs);
+        span.arg("procs", cfgs.len());
+        span.arg("locs", locs.len());
         Arc::new(ProgramIr {
             unit,
             locs,
@@ -183,6 +187,9 @@ impl Icfg {
         clone_level: usize,
         budget: &Budget,
     ) -> Result<Icfg, IcfgError> {
+        let mut build_span = telemetry::span("pipeline", "icfg_build");
+        build_span.arg("context", context);
+        build_span.arg("clone_level", clone_level);
         let ctx = ir
             .proc_id(context)
             .ok_or_else(|| IcfgError::UnknownContext(context.into()))?;
@@ -197,9 +204,15 @@ impl Icfg {
             next_base: 0,
             meter: budget.meter(),
         };
-        b.instantiate(ctx)?;
+        {
+            let mut clone_span = telemetry::span("pipeline", "clone_expansion");
+            b.instantiate(ctx)?;
+            clone_span.arg("instances", b.instances.len());
+            clone_span.arg("nodes", b.next_base as u64);
+        }
 
         let num_nodes = b.next_base as usize;
+        build_span.arg("nodes", num_nodes);
         let instances = b.instances;
         let call_sites = b.call_sites;
 

@@ -129,6 +129,7 @@ impl MpiIcfg {
         consts: &dyn ConstQuery,
         mut meter: Option<&mut BudgetMeter>,
     ) -> Result<MpiIcfg, IcfgError> {
+        let mut span = mpi_dfa_core::telemetry::span("pipeline", "mpi_matching");
         let mut charge = move |units: u64| -> Result<(), IcfgError> {
             match meter.as_deref_mut() {
                 Some(m) => m.charge(units).map_err(IcfgError::Budget),
@@ -213,6 +214,8 @@ impl MpiIcfg {
         for (pair, e) in edges.iter().enumerate() {
             icfg.push_comm_edge(e.from, e.to, pair as u32);
         }
+        span.arg("mpi_nodes", nodes.len());
+        span.arg("comm_edges", edges.len());
         Ok(MpiIcfg {
             icfg,
             comm_edges: edges,

@@ -40,8 +40,9 @@
 
 use crate::rng::SplitMix64;
 use crate::span::Span;
+use mpi_dfa_core::telemetry::{self, ArgValue, TraceLevel};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -346,6 +347,33 @@ pub struct ChannelTransport {
     deadlocked: AtomicBool,
     plan: Option<FaultPlan>,
     senders: Vec<SenderFaults>,
+    /// Logical (Lamport-style) clock over communication events: ticks once
+    /// per recorded event, giving the telemetry timeline a total order that
+    /// is independent of wall-clock resolution. Only advanced while the
+    /// telemetry sink records at [`TraceLevel::Full`].
+    clock: AtomicU64,
+}
+
+/// Record one communication-timeline event at [`TraceLevel::Full`]. The
+/// closure building the argument list only runs when the sink records, so
+/// the disabled path performs a single relaxed load and no allocation.
+#[inline]
+fn trace_comm(
+    clock: &AtomicU64,
+    name: &str,
+    rank: usize,
+    extra: impl FnOnce() -> Vec<(&'static str, ArgValue)>,
+) {
+    if telemetry::level() < TraceLevel::Full {
+        return;
+    }
+    let lt = clock.fetch_add(1, Ordering::Relaxed);
+    let mut args = vec![
+        ("rank", ArgValue::U64(rank as u64)),
+        ("lt", ArgValue::U64(lt)),
+    ];
+    args.extend(extra());
+    telemetry::comm_event(name, args);
 }
 
 impl ChannelTransport {
@@ -375,6 +403,7 @@ impl ChannelTransport {
                     rng: Mutex::new(SplitMix64::fork(seed, 2 * rank as u64 + 1)),
                 })
                 .collect(),
+            clock: AtomicU64::new(0),
         }
     }
 
@@ -498,6 +527,14 @@ impl ChannelTransport {
 
 impl Transport for ChannelTransport {
     fn send(&self, src: usize, dest: usize, tag: i64, comm: i64, payload: Vec<f64>) {
+        trace_comm(&self.clock, "send", src, || {
+            vec![
+                ("dest", ArgValue::U64(dest as u64)),
+                ("tag", ArgValue::I64(tag)),
+                ("comm", ArgValue::I64(comm)),
+                ("len", ArgValue::U64(payload.len() as u64)),
+            ]
+        });
         let msg = Message {
             src,
             tag,
@@ -526,12 +563,32 @@ impl Transport for ChannelTransport {
             (dropped, copies, delay, reorder)
         };
         if dropped {
+            trace_comm(&self.clock, "fault:drop", src, || {
+                vec![
+                    ("dest", ArgValue::U64(dest as u64)),
+                    ("tag", ArgValue::I64(tag)),
+                ]
+            });
             return;
         }
         if let Some(d) = delay {
+            trace_comm(&self.clock, "fault:delay", src, || {
+                vec![
+                    ("dest", ArgValue::U64(dest as u64)),
+                    ("micros", ArgValue::U64(d.as_micros() as u64)),
+                ]
+            });
             // The sender is still `Running` while it sleeps, so the deadlock
             // detector cannot fire spuriously during an injected delay.
             std::thread::sleep(d);
+        }
+        if copies > 1 {
+            trace_comm(&self.clock, "fault:duplicate", src, || {
+                vec![
+                    ("dest", ArgValue::U64(dest as u64)),
+                    ("tag", ArgValue::I64(tag)),
+                ]
+            });
         }
         for _ in 0..copies {
             self.deliver(dest, msg.clone(), reorder);
@@ -549,6 +606,7 @@ impl Transport for ChannelTransport {
     ) -> Result<Message, RecvError> {
         let deadline = Instant::now() + timeout;
         let mb = &self.mailboxes[rank];
+        let mut blocked_once = false;
         loop {
             // Fast path: match under the mailbox lock only.
             {
@@ -557,10 +615,22 @@ impl Transport for ChannelTransport {
                     let msg = st.queue.remove(pos);
                     drop(st);
                     self.note_taken(rank, &msg);
+                    if blocked_once {
+                        trace_comm(&self.clock, "unblock", rank, Vec::new);
+                    }
+                    trace_comm(&self.clock, "recv", rank, || {
+                        vec![
+                            ("src", ArgValue::U64(msg.src as u64)),
+                            ("tag", ArgValue::I64(msg.tag)),
+                            ("comm", ArgValue::I64(msg.comm)),
+                            ("len", ArgValue::U64(msg.payload.len() as u64)),
+                        ]
+                    });
                     return Ok(msg);
                 }
             }
             if self.deadlocked.load(Ordering::Acquire) {
+                trace_comm(&self.clock, "deadlock", rank, Vec::new);
                 return Err(RecvError::Deadlock(self.verdict()));
             }
             // Nothing matched: announce the block and test for deadlock.
@@ -574,7 +644,30 @@ impl Transport for ChannelTransport {
                 comm,
                 span,
             };
+            if !blocked_once {
+                blocked_once = true;
+                trace_comm(&self.clock, "block", rank, || {
+                    vec![
+                        (
+                            "src",
+                            match src {
+                                Some(s) => ArgValue::U64(s as u64),
+                                None => ArgValue::Str("ANY".to_string()),
+                            },
+                        ),
+                        (
+                            "tag",
+                            match tag {
+                                Some(t) => ArgValue::I64(t),
+                                None => ArgValue::Str("ANY".to_string()),
+                            },
+                        ),
+                        ("comm", ArgValue::I64(comm)),
+                    ]
+                });
+            }
             if let Some(report) = self.block_and_detect(rank, wait) {
+                trace_comm(&self.clock, "deadlock", rank, Vec::new);
                 return Err(RecvError::Deadlock(report));
             }
             // Sleep until something arrives, the verdict lands, or the
@@ -605,6 +698,7 @@ impl Transport for ChannelTransport {
     }
 
     fn rank_started(&self, rank: usize) {
+        trace_comm(&self.clock, "rank_start", rank, Vec::new);
         if let Some(plan) = &self.plan {
             if plan.stagger_micros > 0 {
                 let micros = {
@@ -617,6 +711,7 @@ impl Transport for ChannelTransport {
     }
 
     fn rank_finished(&self, rank: usize) {
+        trace_comm(&self.clock, "rank_finish", rank, Vec::new);
         let verdict = {
             let mut reg = lock_recover(&self.registry);
             reg.states[rank] = RankState::Finished;

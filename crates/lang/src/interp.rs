@@ -34,6 +34,7 @@
 use crate::ast::*;
 use crate::fault::{ChannelTransport, FaultPlan, RankWait, RecvError, Transport};
 use crate::span::Span;
+use mpi_dfa_core::telemetry::{self, ArgValue, TraceLevel};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -223,6 +224,9 @@ pub fn run_with_transport(
 ) -> Result<Vec<ProcessResult>, RuntimeError> {
     let nprocs = config.nprocs.max(1);
     let program = Arc::new(program.clone());
+    let mut run_span = telemetry::span("runtime", "interp:run");
+    run_span.arg("nprocs", nprocs);
+    run_span.arg("entry", config.entry.as_str());
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nprocs);
@@ -666,6 +670,7 @@ impl<'a> Process<'a> {
                 let root = self.eval_rank(root, frame, globals)?;
                 let comm = self.eval_comm(comm, frame, globals)?;
                 let tag = self.next_coll_tag();
+                self.trace_collective("bcast", root);
                 if self.rank == root {
                     let payload = self.load_payload(buf, frame, globals)?;
                     for dest in 0..self.nprocs {
@@ -688,6 +693,7 @@ impl<'a> Process<'a> {
                 let root = self.eval_rank(root, frame, globals)?;
                 let comm = self.eval_comm(comm, frame, globals)?;
                 let tag = self.next_coll_tag();
+                self.trace_collective("reduce", root);
                 let mine = self.eval(send, frame, globals)?;
                 let mine = match mine {
                     Val::Num(x) => vec![x],
@@ -730,6 +736,7 @@ impl<'a> Process<'a> {
                 let comm_v = self.eval_comm(comm, frame, globals)?;
                 let tag_r = self.next_coll_tag();
                 let tag_b = self.next_coll_tag();
+                self.trace_collective("allreduce", 0);
                 let mine = match self.eval(send, frame, globals)? {
                     Val::Num(x) => vec![x],
                     Val::Arr(xs) => xs,
@@ -766,6 +773,7 @@ impl<'a> Process<'a> {
                 // All-to-root gather of empty payloads, then root broadcast.
                 let tag_r = self.next_coll_tag();
                 let tag_b = self.next_coll_tag();
+                self.trace_collective("barrier", 0);
                 if self.rank == 0 {
                     for src in 1..self.nprocs {
                         self.take(Some(src), Some(tag_r), 0, span)?;
@@ -786,6 +794,23 @@ impl<'a> Process<'a> {
     fn next_coll_tag(&mut self) -> i64 {
         self.coll_seq += 1;
         COLLECTIVE_TAG_BASE + self.coll_seq
+    }
+
+    /// Emit a collective-entry event on the communication timeline (the
+    /// lowered point-to-point traffic appears as individual send/recv
+    /// events from the transport). No-op below [`TraceLevel::Full`].
+    fn trace_collective(&self, name: &str, root: usize) {
+        if telemetry::level() < TraceLevel::Full {
+            return;
+        }
+        telemetry::comm_event(
+            name,
+            vec![
+                ("rank", ArgValue::U64(self.rank as u64)),
+                ("root", ArgValue::U64(root as u64)),
+                ("seq", ArgValue::I64(self.coll_seq)),
+            ],
+        );
     }
 
     fn post(

@@ -57,10 +57,18 @@ pub struct CompiledUnit {
     pub symbols: ProgramSymbols,
 }
 
-/// Lex, parse, and check `src` in one step.
+/// Lex, parse, and check `src` in one step. Each phase opens a telemetry
+/// span (`lex`, `parse`, `sema`) when the global sink is enabled — see
+/// `mpi_dfa_core::telemetry` and docs/OBSERVABILITY.md.
 pub fn compile(src: &str) -> Result<CompiledUnit, Errors> {
+    let _span = mpi_dfa_core::telemetry::span("pipeline", "compile");
     let program = parser::parse(src).map_err(Errors::single)?;
-    let symbols = sema::check(&program)?;
+    let symbols = {
+        let mut span = mpi_dfa_core::telemetry::span("pipeline", "sema");
+        let symbols = sema::check(&program)?;
+        span.arg("globals", symbols.globals.len());
+        symbols
+    };
     Ok(CompiledUnit { program, symbols })
 }
 

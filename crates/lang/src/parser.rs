@@ -44,7 +44,14 @@ pub const MAX_NESTING_DEPTH: usize = 64;
 
 /// Parse a full SMPL program from source text.
 pub fn parse(src: &str) -> Result<Program, Diagnostic> {
-    let tokens = lex(src)?;
+    let tokens = {
+        let mut span = mpi_dfa_core::telemetry::span("pipeline", "lex");
+        span.arg("bytes", src.len());
+        let tokens = lex(src)?;
+        span.arg("tokens", tokens.len());
+        tokens
+    };
+    let _span = mpi_dfa_core::telemetry::span("pipeline", "parse");
     Parser::new(tokens).program()
 }
 

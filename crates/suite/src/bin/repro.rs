@@ -14,6 +14,11 @@
 //! each row runs under the degradation ladder and the rendered output
 //! (including the JSON report) carries the provenance tier.
 //!
+//! Every command additionally accepts the telemetry flags `--trace-out
+//! FILE.json` (Chrome-trace of the whole reproduction), `--metrics-out
+//! FILE.txt` (Prometheus-style text metrics), and `--trace-level
+//! off|spans|full` — see docs/OBSERVABILITY.md.
+//!
 //! Exit status: 0 on success, 1 when any rendered row failed to reach its
 //! solver fixpoint (the row is also flagged inline — non-fixpoint numbers
 //! must never be published silently), 2 on usage errors.
@@ -21,6 +26,7 @@
 use mpi_dfa_analyses::governor::{DegradeMode, GovernorConfig};
 use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
 use mpi_dfa_core::budget::Budget;
+use mpi_dfa_core::telemetry::CliTelemetry;
 use mpi_dfa_suite::runner::MeasuredRow;
 use mpi_dfa_suite::{all_experiments, by_id, runner};
 use std::io::Write as _;
@@ -43,6 +49,35 @@ fn convergence_exit(rows: &[MeasuredRow]) -> ExitCode {
         );
         ExitCode::FAILURE
     }
+}
+
+/// Split the telemetry flags (`--trace-out`, `--metrics-out`,
+/// `--trace-level`) out of `args` *before* governor parsing — every command
+/// accepts them, and [`governor_from_args`] rejects flags it does not know.
+fn telemetry_from_args(args: &[String]) -> Result<(CliTelemetry, Vec<String>), String> {
+    let mut trace_out = None;
+    let mut metrics_out = None;
+    let mut level = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let target = match a.as_str() {
+            "--trace-out" => &mut trace_out,
+            "--metrics-out" => &mut metrics_out,
+            "--trace-level" => &mut level,
+            _ => {
+                rest.push(a.clone());
+                continue;
+            }
+        };
+        *target = Some(
+            it.next()
+                .ok_or_else(|| format!("{a} needs a value"))?
+                .clone(),
+        );
+    }
+    let tel = CliTelemetry::resolve(trace_out, metrics_out, level.as_deref())?;
+    Ok((tel, rest))
 }
 
 /// Parse the optional governor flags; `Ok(None)` when none are present
@@ -105,7 +140,26 @@ fn all_rows(gov: &Option<GovernorConfig>) -> Result<Vec<MeasuredRow>, String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (tel, args) = match telemetry_from_args(&raw) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    tel.install();
+    let code = drive(&args);
+    // Telemetry files are written even when the command failed: a trace of
+    // a failing reproduction is exactly when you want one.
+    if let Err(e) = tel.write() {
+        eprintln!("repro: {e}");
+        return ExitCode::FAILURE;
+    }
+    code
+}
+
+fn drive(args: &[String]) -> ExitCode {
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -210,7 +264,9 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown command `{other}`; try: table1 | fig4 | json | all | row <ID> | dot <program>\n\
-                 governor flags: --budget-ms MS --max-visits N --max-fact-bytes B --degrade auto|off"
+                 governor flags: --budget-ms MS --max-visits N --max-fact-bytes B --degrade auto|off\n\
+                 telemetry flags (any command): --trace-out FILE.json --metrics-out FILE.txt\n\
+                 --trace-level off|spans|full (see docs/OBSERVABILITY.md)"
             );
             ExitCode::from(2)
         }

@@ -19,8 +19,10 @@ use crate::gen::{self, GenConfig};
 use crate::programs;
 use mpi_dfa_analyses::mpi_match::{build_mpi_icfg_with_budget, Matching};
 use mpi_dfa_core::budget::Budget;
+use mpi_dfa_core::telemetry::{self, TraceLevel};
 use mpi_dfa_graph::icfg::ProgramIr;
 use mpi_dfa_lang::rng::SplitMix64;
+use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -250,7 +252,58 @@ pub fn run_case(
     }
 }
 
-/// Run the whole seeded range and aggregate.
+/// Re-run a failing case's mutant with the telemetry sink enabled and
+/// render a diagnosis: coarse per-stage wall-clock timings plus the span
+/// tree of the pipeline stages the case reached. Used by [`run`] to enrich
+/// [`FuzzFailure::detail`] so a CI failure shows *where* the case spent its
+/// time, not just the seed.
+///
+/// Installs (and drains) the **global** telemetry sink, so any concurrently
+/// recorded events are stolen — acceptable in the failure path, where the
+/// run is already doomed. A panic during the re-run is caught: the
+/// diagnosis describes it instead of propagating.
+pub fn diagnose_case(seed: u64, corpus: &[String], deadline: Duration) -> String {
+    let mut rng = SplitMix64::fork(seed, 0xF0CC);
+    let base = &corpus[rng.below(corpus.len())];
+    let mutant = mutate(base, &mut rng);
+    telemetry::install(TraceLevel::Spans);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "per-stage timings (seed {seed}, re-run):");
+    let front_started = Instant::now();
+    let front = catch_unwind(AssertUnwindSafe(|| ProgramIr::from_source(&mutant)));
+    let _ = writeln!(out, "  frontend+cfg:   {:?}", front_started.elapsed());
+    match front {
+        Ok(Ok(ir)) => {
+            let budget = Budget::unlimited().with_deadline_ms(deadline.as_millis() as u64);
+            let graph_started = Instant::now();
+            let graph = catch_unwind(AssertUnwindSafe(|| {
+                build_mpi_icfg_with_budget(ir, "main", 1, Matching::ReachingConstants, &budget)
+            }));
+            let _ = writeln!(out, "  graph+matching: {:?}", graph_started.elapsed());
+            let verdict = match &graph {
+                Ok(Ok(_)) => "built".to_string(),
+                Ok(Err(e)) => format!("rejected: {e}"),
+                Err(_) => "PANICKED during graph construction/matching".to_string(),
+            };
+            let _ = writeln!(out, "  outcome:        {verdict}");
+        }
+        Ok(Err(e)) => {
+            let _ = writeln!(out, "  outcome:        rejected by the front end: {e}");
+        }
+        Err(_) => {
+            let _ = writeln!(out, "  outcome:        PANICKED in the front end");
+        }
+    }
+    let report = telemetry::finish();
+    out.push_str("span tree of the failing case:\n");
+    out.push_str(&telemetry::render_span_tree(&report.events));
+    out
+}
+
+/// Run the whole seeded range and aggregate. Failures carry the
+/// [`diagnose_case`] breakdown (per-stage timings + span tree) in their
+/// `detail`.
 pub fn run(config: &FuzzConfig) -> FuzzReport {
     let corpus = corpus();
     let mut report = FuzzReport {
@@ -267,7 +320,11 @@ pub fn run(config: &FuzzConfig) -> FuzzReport {
                     Stage::Built => report.built += 1,
                 }
             }
-            Err(f) => report.failures.push(f),
+            Err(mut f) => {
+                let diagnosis = diagnose_case(seed, &corpus, config.per_case_deadline);
+                f.detail = format!("{}\n{diagnosis}", f.detail);
+                report.failures.push(f);
+            }
         }
     }
     report
@@ -298,6 +355,28 @@ mod tests {
                 "corpus program failed the front end"
             );
         }
+    }
+
+    #[test]
+    fn diagnosis_includes_stage_timings_and_span_tree() {
+        // Serialize against other tests that install the global sink.
+        let _g = telemetry::TEST_SINK_GATE
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let corpus = corpus();
+        for seed in [0u64, 3, 17] {
+            let d = diagnose_case(seed, &corpus, Duration::from_millis(500));
+            assert!(d.contains("per-stage timings"), "{d}");
+            assert!(d.contains("frontend+cfg"), "{d}");
+            assert!(d.contains("outcome:"), "{d}");
+            assert!(d.contains("span tree of the failing case:"), "{d}");
+        }
+        // A mutant that survives the front end leaves pipeline spans in the
+        // tree; an unmutated corpus program certainly does. Use the real
+        // FIGURE1 text through the same path to pin the span names.
+        let fig = vec![programs::FIGURE1.to_string()];
+        let d = diagnose_case(0, &fig, Duration::from_millis(500));
+        assert!(d.contains("compile"), "span tree names stages: {d}");
     }
 
     #[test]

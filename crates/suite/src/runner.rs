@@ -11,7 +11,7 @@ use crate::programs;
 use mpi_dfa_analyses::activity::{self, ActivityConfig, Mode};
 use mpi_dfa_analyses::governor::{governed_activity, AnalysisProvenance, GovernorConfig};
 use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
-use mpi_dfa_core::solver::SolveParams;
+use mpi_dfa_core::solver::{ConvergenceStats, SolveParams};
 use mpi_dfa_graph::icfg::Icfg;
 use std::fmt::Write as _;
 
@@ -28,6 +28,13 @@ pub struct MeasuredMode {
     /// means the row is a non-fixpoint snapshot and is flagged in every
     /// rendering (and fails the `repro` binary).
     pub converged: bool,
+    /// Solver counters absorbed across the Vary and Useful phases (see
+    /// `ConvergenceStats`); rendered by [`render_json`] in a fixed field
+    /// order so CI diffs are stable.
+    pub node_visits: u64,
+    pub meets: u64,
+    pub comm_evals: u64,
+    pub worklist_peak: u64,
 }
 
 /// Measured values for one experiment.
@@ -71,6 +78,25 @@ impl MeasuredRow {
     }
 }
 
+/// Project an [`activity::ActivityResult`] onto the row representation,
+/// absorbing the Vary and Useful solver counters into one set.
+fn to_mode(r: &activity::ActivityResult, num_indeps: u64) -> MeasuredMode {
+    let mut stats = ConvergenceStats::default();
+    stats.absorb(&r.vary.stats);
+    stats.absorb(&r.useful.stats);
+    MeasuredMode {
+        iterations: r.iterations as u64,
+        active_bytes: r.active_bytes,
+        deriv_bytes: r.deriv_bytes(num_indeps),
+        active_locs: r.active.len() as u64,
+        converged: r.converged(),
+        node_visits: stats.node_visits,
+        meets: stats.meets,
+        comm_evals: stats.comm_evals,
+        worklist_peak: stats.worklist_peak as u64,
+    }
+}
+
 /// Run one experiment spec.
 pub fn run_experiment(spec: &ExperimentSpec) -> MeasuredRow {
     run_experiment_at(spec, spec.clone_level)
@@ -103,17 +129,10 @@ pub fn run_experiment_with(
     let framework = activity::analyze_mpi_with(&mpi, &config, params)
         .unwrap_or_else(|e| panic!("{}: {e}", spec.id));
 
-    let to_mode = |r: &activity::ActivityResult| MeasuredMode {
-        iterations: r.iterations as u64,
-        active_bytes: r.active_bytes,
-        deriv_bytes: r.deriv_bytes(spec.num_indeps),
-        active_locs: r.active.len() as u64,
-        converged: r.converged(),
-    };
     let row = MeasuredRow {
         spec: spec.clone(),
-        icfg: to_mode(&baseline),
-        mpi: to_mode(&framework),
+        icfg: to_mode(&baseline, spec.num_indeps),
+        mpi: to_mode(&framework, spec.num_indeps),
         comm_edges: mpi.comm_edges.len(),
         provenance: None,
     };
@@ -156,17 +175,10 @@ pub fn run_experiment_governed(
     let governed = governed_activity(&ir, spec.context, &config, &gov)
         .map_err(|e| format!("{}: {e}", spec.id))?;
 
-    let to_mode = |r: &activity::ActivityResult| MeasuredMode {
-        iterations: r.iterations as u64,
-        active_bytes: r.active_bytes,
-        deriv_bytes: r.deriv_bytes(spec.num_indeps),
-        active_locs: r.active.len() as u64,
-        converged: r.converged(),
-    };
     Ok(MeasuredRow {
         spec: spec.clone(),
-        icfg: to_mode(&baseline),
-        mpi: to_mode(&governed.result),
+        icfg: to_mode(&baseline, spec.num_indeps),
+        mpi: to_mode(&governed.result, spec.num_indeps),
         comm_edges: governed.comm_edges.unwrap_or(0),
         provenance: Some(governed.provenance),
     })
@@ -302,11 +314,53 @@ pub fn render_figure4(rows: &[MeasuredRow]) -> String {
     out
 }
 
+/// The fixed key order of one experiment object in [`render_json`], shared
+/// with the determinism test so a reordering cannot slip in silently.
+pub const JSON_EXPERIMENT_KEYS: [&str; 14] = [
+    "id",
+    "program",
+    "context",
+    "clone_level",
+    "independents",
+    "dependents",
+    "num_indeps",
+    "comm_edges",
+    "converged",
+    "icfg",
+    "mpi_icfg",
+    "pct_decrease",
+    "paper",
+    "provenance",
+];
+
 /// Render the full result set as JSON (hand-rolled writer: the structure is
 /// flat and the workspace avoids a JSON dependency for one report).
+///
+/// The output is **deterministic**: every object emits its keys in a fixed,
+/// documented order ([`JSON_EXPERIMENT_KEYS`] at the experiment level;
+/// `iterations, active_bytes, deriv_bytes, solver` inside each mode;
+/// `node_visits, meets, comm_evals, worklist_peak` inside `solver`;
+/// `tier, saturated, work_units, elapsed_ms, degradation_reason` inside
+/// `provenance`). Rendering the same rows twice is byte-identical, so CI
+/// can diff reports. The only fields that vary *between* runs of the same
+/// experiment are wall-clock measurements (`elapsed_ms`).
 pub fn render_json(rows: &[MeasuredRow]) -> String {
     fn esc(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    fn mode_json(m: &MeasuredMode) -> String {
+        format!(
+            "{{\"iterations\": {}, \"active_bytes\": {}, \"deriv_bytes\": {}, \
+             \"solver\": {{\"node_visits\": {}, \"meets\": {}, \"comm_evals\": {}, \
+             \"worklist_peak\": {}}}}}",
+            m.iterations,
+            m.active_bytes,
+            m.deriv_bytes,
+            m.node_visits,
+            m.meets,
+            m.comm_evals,
+            m.worklist_peak,
+        )
     }
     let mut out = String::from("{\n  \"experiments\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -326,7 +380,7 @@ pub fn render_json(rows: &[MeasuredRow]) -> String {
         };
         let _ = write!(
             out,
-            "    {{\"id\": \"{}\", \"program\": \"{}\", \"context\": \"{}\", \"clone_level\": {}, \"independents\": [{}], \"dependents\": [{}], \"num_indeps\": {}, \"comm_edges\": {}, \"converged\": {}, \"icfg\": {{\"iterations\": {}, \"active_bytes\": {}, \"deriv_bytes\": {}}}, \"mpi_icfg\": {{\"iterations\": {}, \"active_bytes\": {}, \"deriv_bytes\": {}}}, \"pct_decrease\": {:.4}, \"paper\": {{\"icfg_active_bytes\": {}, \"mpi_active_bytes\": {}, \"pct_decrease\": {}}}, \"provenance\": {provenance}}}",
+            "    {{\"id\": \"{}\", \"program\": \"{}\", \"context\": \"{}\", \"clone_level\": {}, \"independents\": [{}], \"dependents\": [{}], \"num_indeps\": {}, \"comm_edges\": {}, \"converged\": {}, \"icfg\": {}, \"mpi_icfg\": {}, \"pct_decrease\": {:.4}, \"paper\": {{\"icfg_active_bytes\": {}, \"mpi_active_bytes\": {}, \"pct_decrease\": {}}}, \"provenance\": {provenance}}}",
             esc(r.spec.id),
             esc(r.spec.program),
             esc(r.spec.context),
@@ -336,12 +390,8 @@ pub fn render_json(rows: &[MeasuredRow]) -> String {
             r.spec.num_indeps,
             r.comm_edges,
             r.converged(),
-            r.icfg.iterations,
-            r.icfg.active_bytes,
-            r.icfg.deriv_bytes,
-            r.mpi.iterations,
-            r.mpi.active_bytes,
-            r.mpi.deriv_bytes,
+            mode_json(&r.icfg),
+            mode_json(&r.mpi),
             r.pct_decrease(),
             r.spec.paper.icfg.active_bytes,
             r.spec.paper.mpi.active_bytes,
@@ -524,6 +574,53 @@ mod tests {
         // Balanced braces and brackets (a cheap well-formedness check).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_render_is_deterministic_and_keys_are_ordered() {
+        // Satellite: CI diffs the JSON report, so rendering the same rows
+        // twice must be byte-identical, and every experiment object must
+        // emit its keys in the documented fixed order.
+        let rows = vec![
+            run_experiment(&by_id("Biostat").unwrap()),
+            run_experiment(&by_id("SOR").unwrap()),
+        ];
+        let a = render_json(&rows);
+        let b = render_json(&rows);
+        assert_eq!(a, b, "same rows must render byte-identically");
+
+        for line in a.lines().filter(|l| l.trim_start().starts_with("{\"id\"")) {
+            let mut last = 0usize;
+            for key in JSON_EXPERIMENT_KEYS {
+                let needle = format!("\"{key}\":");
+                let pos = line[last..]
+                    .find(&needle)
+                    .unwrap_or_else(|| panic!("key `{key}` missing or out of order in {line}"));
+                last += pos + needle.len();
+            }
+        }
+
+        // Solver stats appear in their fixed order inside each mode object.
+        let stats_order = "\"solver\": {\"node_visits\": ";
+        assert!(a.contains(stats_order), "{a}");
+        let after = a.split(stats_order).nth(1).unwrap();
+        let head: String = after.chars().take(120).collect();
+        let m = head.find("\"meets\":").expect("meets after node_visits");
+        let c = head
+            .find("\"comm_evals\":")
+            .expect("comm_evals after meets");
+        let w = head.find("\"worklist_peak\":").expect("worklist_peak last");
+        assert!(m < c && c < w, "stats key order drifted: {head}");
+    }
+
+    #[test]
+    fn json_solver_stats_are_populated() {
+        let row = run_experiment(&by_id("Biostat").unwrap());
+        assert!(row.mpi.node_visits > 0);
+        assert!(row.mpi.meets > 0);
+        assert!(row.mpi.comm_evals > 0, "MPI-ICFG mode evaluates f_comm");
+        let j = render_json(std::slice::from_ref(&row));
+        assert!(j.contains("\"node_visits\": "), "{j}");
     }
 
     #[test]

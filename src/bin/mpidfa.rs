@@ -20,6 +20,8 @@ use mpi_dfa::analyses::slicing::forward_slice;
 use mpi_dfa::analyses::taint::{self, TaintConfig, TaintMode};
 use mpi_dfa::core::budget::Budget;
 use mpi_dfa::core::lattice::ConstLattice;
+use mpi_dfa::core::solver::ConvergenceStats;
+use mpi_dfa::core::telemetry;
 use mpi_dfa::lang::fault::FaultPlan;
 use mpi_dfa::lang::interp::{self, InterpConfig, RuntimeLimits};
 use mpi_dfa::prelude::*;
@@ -89,7 +91,21 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err(usage());
     };
     let opts = Opts::parse(&args[1..]);
-    let src = load(&opts)?;
+    let tel = telemetry::CliTelemetry::resolve(
+        opts.value("trace-out").map(String::from),
+        opts.value("metrics-out").map(String::from),
+        opts.value("trace-level"),
+    )?;
+    tel.install();
+    let result = dispatch(cmd, &opts);
+    // Telemetry files are written even when the command fails: a trace of a
+    // failing run is exactly when you want one.
+    let tel_result = tel.write();
+    result.and(tel_result)
+}
+
+fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
+    let src = load(opts)?;
     let context = opts.value("context").unwrap_or("main").to_string();
     let clone_level: usize = opts
         .value("clone")
@@ -102,7 +118,7 @@ fn run(args: &[String]) -> Result<(), String> {
         build_mpi_icfg(ir()?, &context, clone_level, matching).map_err(|e| e.to_string())
     };
 
-    match cmd.as_str() {
+    match cmd {
         "activity" => {
             let ind = opts.list("ind");
             let dep = opts.list("dep");
@@ -118,7 +134,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     // with the default unlimited budget it is exactly the
                     // precise T0 analysis; with --budget-ms / --max-visits
                     // it degrades soundly instead of hanging.
-                    let gov = governor_config(&opts, clone_level)?;
+                    let gov = governor_config(opts, clone_level)?;
                     let g = governed_activity(&ir, &context, &config, &gov)?;
                     (g.result, Some(g.provenance))
                 }
@@ -279,7 +295,28 @@ fn run(args: &[String]) -> Result<(), String> {
                 other => return Err(format!("unknown --matching `{other}`")),
             };
             let g = graph(matching)?;
-            print!("{}", mpi_dfa::graph::dot::mpi_icfg_to_dot(&g, &context));
+            if opts.switch("heat") {
+                // Colour nodes by solver visit counts: an activity run when
+                // --ind/--dep are given, otherwise the reaching-constants
+                // bootstrap — the cheapest fixpoint that touches every node.
+                let ind = opts.list("ind");
+                let dep = opts.list("dep");
+                let mut stats = ConvergenceStats::default();
+                if !ind.is_empty() && !dep.is_empty() {
+                    let config = ActivityConfig::new(ind, dep);
+                    let r = activity::analyze_mpi(&g, &config)?;
+                    stats.absorb(&r.vary.stats);
+                    stats.absorb(&r.useful.stats);
+                } else {
+                    stats.absorb(&consts::analyze_mpi(&g).stats);
+                }
+                print!(
+                    "{}",
+                    mpi_dfa::graph::dot::mpi_icfg_to_dot_heat(&g, &context, &stats.per_node_visits)
+                );
+            } else {
+                print!("{}", mpi_dfa::graph::dot::mpi_icfg_to_dot(&g, &context));
+            }
         }
         "run" => {
             let nprocs: usize = opts
@@ -299,7 +336,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map(|v| v.parse().map_err(|e| format!("--schedules: {e}")))
                 .transpose()?
                 .unwrap_or(0);
-            let limits = runtime_limits(&opts)?;
+            let limits = runtime_limits(opts)?;
             if schedules > 0 {
                 // Schedule-exploration mode: replay the program under K
                 // fault plans derived from the base seed and report each.
@@ -440,12 +477,24 @@ fn usage() -> String {
        taint      --context C --source a,b [--reads-tainted] [--conservative]\n\
        bitwidth   --context C [--conservative]\n\
        graph      --context C [--clone N] [--matching naive|syntactic|consts]\n\
+                  [--heat [--ind a,b --dep x,y]]\n\
+                  (--heat colours nodes by solver visit count: white -> red,\n\
+                  grey = never visited; comm edges no fixpoint exercised are\n\
+                  flagged `never`. Uses activity when --ind/--dep are given,\n\
+                  else the reaching-constants bootstrap.)\n\
        run        [--nprocs N] [--entry main] [--faults SPEC] [--schedules K]\n\
                   [--max-steps N] [--recv-timeout-ms MS]\n\
                   SPEC: bare seed (`7`) or `seed=7,mode=adversarial|chaotic,\n\
                   reorder=P,delay=P,max_delay=US,stagger=US,dup=P,drop=P`\n\
                   (--max-steps / --recv-timeout-ms override the documented\n\
                   RuntimeLimits defaults: 20000000 steps, 10000 ms)\n\
+     telemetry (every command): [--trace-out FILE.json] [--metrics-out FILE.txt]\n\
+                  [--trace-level off|spans|full]\n\
+                  --trace-out writes a Chrome-trace (chrome://tracing, Perfetto);\n\
+                  --metrics-out writes Prometheus-style text metrics; with a\n\
+                  level but no outputs the span tree prints to stderr.\n\
+                  Default level when an output is requested: full.\n\
+                  See docs/OBSERVABILITY.md.\n\
      bundled programs: figure1, biostat, sor, cg, lu, mg, sweep3d"
         .to_string()
 }
