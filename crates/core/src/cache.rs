@@ -1,0 +1,380 @@
+//! Bounded in-memory LRU caches and a content-addressed on-disk store.
+//!
+//! This module is the storage substrate of the analysis service
+//! (`crates/service`): artifacts produced by the pipeline — per-procedure
+//! CFGs, whole-program IRs, finished analysis responses — are keyed by a
+//! 128-bit content hash ([`crate::hash`]) and held in a bounded LRU, with
+//! an optional spill to a content-addressed directory for results that are
+//! cheap to serialize.
+//!
+//! Design constraints, in order:
+//!
+//! * **Determinism.** Cache behaviour may change *latency*, never *bytes*:
+//!   a hit must return a value observably equal to what a recompute would
+//!   produce. The cache therefore stores only values that are pure
+//!   functions of their key (the key embeds every configuration input —
+//!   see `service::cache` for the key schema) and the eviction policy
+//!   never influences results, only hit rates.
+//! * **Bounded.** `capacity` caps the entry count; inserting into a full
+//!   cache evicts the least-recently-used entry. Capacity 0 disables the
+//!   cache (every lookup misses, nothing is retained).
+//! * **Observable.** Every cache carries [`CacheCounters`]
+//!   (hits/misses/insertions/evictions as relaxed atomics, readable
+//!   without locking) and mirrors them into the telemetry sink as
+//!   `cache_hits_total{cache="…"}`-style series when tracing is enabled.
+//! * **Zero dependencies.** The LRU is a `HashMap` plus a monotonic use
+//!   tick; eviction scans for the minimum tick. That is O(n) per eviction,
+//!   which is fine at the capacities the service uses (hundreds of entries
+//!   holding megabyte-scale artifacts — the artifact build being cached
+//!   costs orders of magnitude more than the scan).
+
+use crate::hash::hex128;
+use crate::telemetry;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonic counters for one cache, shared between the cache and anyone
+/// holding a clone of the handle (tests, metrics exporters).
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub insertions: AtomicU64,
+    pub evictions: AtomicU64,
+}
+
+/// A point-in-time copy of [`CacheCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A bounded LRU keyed by a 128-bit content hash.
+///
+/// Not thread-safe by itself; wrap in [`SharedLru`] to share across the
+/// service worker pool.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    name: &'static str,
+    capacity: usize,
+    tick: u64,
+    map: HashMap<u128, (u64, V)>,
+    counters: Arc<CacheCounters>,
+}
+
+impl<V> LruCache<V> {
+    /// An LRU holding at most `capacity` entries. Capacity 0 disables it.
+    pub fn new(name: &'static str, capacity: usize) -> Self {
+        LruCache {
+            name,
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            counters: Arc::new(CacheCounters::default()),
+        }
+    }
+
+    /// Shared handle to this cache's counters.
+    pub fn counters(&self) -> Arc<CacheCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn bump(counter: &AtomicU64, name: &'static str, which: &str) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        if telemetry::is_enabled() {
+            telemetry::metric_add(
+                &telemetry::metric_name(&format!("cache_{which}_total"), &[("cache", name)]),
+                1.0,
+            );
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u128) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&key) {
+            Some((last, v)) => {
+                *last = tick;
+                Self::bump(&self.counters.hits, self.name, "hits");
+                Some(v)
+            }
+            None => {
+                Self::bump(&self.counters.misses, self.name, "misses");
+                None
+            }
+        }
+    }
+
+    /// Insert `value` under `key`, evicting the least-recently-used entry
+    /// when full. A zero-capacity cache drops the value immediately.
+    pub fn put(&mut self, key: u128, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            // Evict the minimum-tick entry. O(n) scan — see module docs.
+            if let Some(&victim) = self.map.iter().min_by_key(|(_, (t, _))| *t).map(|(k, _)| k) {
+                self.map.remove(&victim);
+                Self::bump(&self.counters.evictions, self.name, "evictions");
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+        Self::bump(&self.counters.insertions, self.name, "insertions");
+    }
+
+    /// Does the cache currently hold `key`? Does not refresh recency and
+    /// does not count as a hit or a miss.
+    pub fn peek(&self, key: u128) -> bool {
+        self.map.contains_key(&key)
+    }
+}
+
+/// A mutex-wrapped [`LruCache`] shared across the worker pool. A poisoned
+/// lock is recovered (a panicking analysis job must not take the cache
+/// down with it); the cache holds only fully-constructed values inserted
+/// after the fallible work finished, so recovered state is consistent.
+#[derive(Debug, Clone)]
+pub struct SharedLru<V> {
+    inner: Arc<Mutex<LruCache<V>>>,
+    counters: Arc<CacheCounters>,
+}
+
+impl<V: Clone> SharedLru<V> {
+    pub fn new(name: &'static str, capacity: usize) -> Self {
+        let cache = LruCache::new(name, capacity);
+        let counters = cache.counters();
+        SharedLru {
+            inner: Arc::new(Mutex::new(cache)),
+            counters,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LruCache<V>> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Clone out the cached value for `key`, if present.
+    pub fn get(&self, key: u128) -> Option<V> {
+        self.lock().get(key).cloned()
+    }
+
+    pub fn put(&self, key: u128, value: V) {
+        self.lock().put(key, value);
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity()
+    }
+
+    pub fn counters(&self) -> Arc<CacheCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Get-or-compute: returns the cached value or runs `compute`, caching
+    /// its `Ok`. The lock is **not** held during `compute`, so two racing
+    /// workers may both compute the same key — both produce the same bytes
+    /// (values are pure functions of the key), so last-write-wins is
+    /// harmless and the pool never serializes on a slow build.
+    pub fn get_or_try_insert<E>(
+        &self,
+        key: u128,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(V, bool), E> {
+        if let Some(v) = self.get(key) {
+            return Ok((v, true));
+        }
+        let v = compute()?;
+        self.put(key, v.clone());
+        Ok((v, false))
+    }
+}
+
+/// A content-addressed on-disk artifact store: one file per key, named by
+/// the hex digest, grouped into a namespace directory per artifact kind.
+///
+/// Writes are atomic (temp file in the same directory + rename) so a
+/// crashed or concurrent writer can never leave a torn entry; readers
+/// treat any I/O error as a miss — the store is an optimization layer, and
+/// a recompute is always available and always correct.
+#[derive(Debug, Clone)]
+pub struct DiskStore {
+    root: PathBuf,
+    counters: Arc<CacheCounters>,
+}
+
+impl DiskStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<DiskStore> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DiskStore {
+            root,
+            counters: Arc::new(CacheCounters::default()),
+        })
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    pub fn counters(&self) -> Arc<CacheCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    fn path(&self, namespace: &str, key: u128) -> PathBuf {
+        self.root.join(namespace).join(hex128(key))
+    }
+
+    /// Fetch the bytes stored for `key`, or `None` (including on any I/O
+    /// error — a corrupt entry is a miss, not a failure).
+    pub fn get(&self, namespace: &str, key: u128) -> Option<Vec<u8>> {
+        match std::fs::read(self.path(namespace, key)) {
+            Ok(bytes) => {
+                LruCache::<()>::bump(&self.counters.hits, "disk", "hits");
+                Some(bytes)
+            }
+            Err(_) => {
+                LruCache::<()>::bump(&self.counters.misses, "disk", "misses");
+                None
+            }
+        }
+    }
+
+    /// Store `bytes` under `key` atomically. Errors are returned so the
+    /// caller can log them, but the caller should treat a failed put as
+    /// non-fatal (the store is best-effort).
+    pub fn put(&self, namespace: &str, key: u128, bytes: &[u8]) -> std::io::Result<()> {
+        let path = self.path(namespace, key);
+        let dir = path.parent().expect("store paths always have a parent");
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.counters.insertions.load(Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, &path)?;
+        LruCache::<()>::bump(&self.counters.insertions, "disk", "insertions");
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_hit_miss_counters() {
+        let mut c = LruCache::new("t", 4);
+        assert!(c.get(1).is_none());
+        c.put(1, "one");
+        assert_eq!(c.get(1), Some(&"one"));
+        let s = c.counters().snapshot();
+        assert_eq!((s.hits, s.misses, s.insertions, s.evictions), (1, 1, 1, 0));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = LruCache::new("t", 2);
+        c.put(1, 1);
+        c.put(2, 2);
+        assert!(c.get(1).is_some()); // refresh 1 → 2 is now LRU
+        c.put(3, 3);
+        assert!(c.peek(1) && c.peek(3) && !c.peek(2));
+        assert_eq!(c.counters().snapshot().evictions, 1);
+        // Re-inserting an existing key does not evict.
+        c.put(1, 10);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.counters().snapshot().evictions, 1);
+        assert_eq!(c.get(1), Some(&10));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new("t", 0);
+        c.put(1, 1);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn shared_get_or_insert_computes_once_then_hits() {
+        let c: SharedLru<u64> = SharedLru::new("t", 8);
+        let (v, was_hit) = c.get_or_try_insert::<()>(7, || Ok(42)).unwrap();
+        assert_eq!((v, was_hit), (42, false));
+        let (v, was_hit) = c
+            .get_or_try_insert::<()>(7, || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!((v, was_hit), (42, true));
+        let s = c.counters().snapshot();
+        assert_eq!(s.hits, 1);
+        // get() inside the first get_or_try_insert counted the miss.
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn shared_error_is_not_cached() {
+        let c: SharedLru<u64> = SharedLru::new("t", 8);
+        assert!(c.get_or_try_insert(9, || Err("boom")).is_err());
+        assert!(c.get(9).is_none());
+    }
+
+    #[test]
+    fn disk_store_round_trip_and_miss() {
+        let dir = std::env::temp_dir().join(format!("mpidfa-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(store.get("results", 5).is_none());
+        store.put("results", 5, b"payload").unwrap();
+        assert_eq!(store.get("results", 5).as_deref(), Some(&b"payload"[..]));
+        // Reopening sees the same entry (content-addressed, stable names).
+        let store2 = DiskStore::open(&dir).unwrap();
+        assert_eq!(store2.get("results", 5).as_deref(), Some(&b"payload"[..]));
+        // No stray temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(dir.join("results"))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -47,7 +47,9 @@
 //! ```
 
 pub mod budget;
+pub mod cache;
 pub mod graph;
+pub mod hash;
 pub mod lattice;
 pub mod problem;
 pub mod solver;
@@ -55,7 +57,9 @@ pub mod telemetry;
 pub mod varset;
 
 pub use budget::{Budget, BudgetMeter, BudgetSpent, CancelToken, Exhaustion};
+pub use cache::{CacheCounters, CacheSnapshot, DiskStore, LruCache, SharedLru};
 pub use graph::{Edge, EdgeKind, FlowGraph, NodeId};
+pub use hash::{fnv128, fnv64, hex128, Hasher128};
 pub use lattice::{BoolAnd, BoolOr, ConstLattice, MeetSemiLattice};
 pub use problem::{Dataflow, Direction};
 pub use solver::{solve, solve_worklist, ConvergenceStats, Solution, SolveParams};

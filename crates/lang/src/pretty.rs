@@ -15,17 +15,32 @@ pub fn program_to_string(p: &Program) -> String {
         let _ = writeln!(out, "global {}: {};", g.name, g.ty);
     }
     for s in &p.subs {
-        let _ = write!(out, "sub {}(", s.name);
-        for (i, pm) in s.params.iter().enumerate() {
-            if i > 0 {
-                let _ = write!(out, ", ");
-            }
-            let _ = write!(out, "{}: {}", pm.name, pm.ty);
-        }
-        let _ = writeln!(out, ") {{");
-        block(&mut out, &s.body, 1);
-        let _ = writeln!(out, "}}");
+        out.push_str(&sub_to_string(s));
     }
+    out
+}
+
+/// Render one subroutine declaration (signature + body) as SMPL source.
+///
+/// This is the **per-procedure content boundary** used by the incremental
+/// analysis cache (`crates/service`): a procedure's cache identity is the
+/// hash of this normalized rendering, so whitespace/comment edits and
+/// edits to *other* procedures leave it unchanged, while any edit to the
+/// procedure's own signature or body changes it. The rendering is
+/// normalized (fixed indentation, no spans, no comments), making it a
+/// stable hashing hook — treat its output as a compatibility surface.
+pub fn sub_to_string(s: &SubDecl) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "sub {}(", s.name);
+    for (i, pm) in s.params.iter().enumerate() {
+        if i > 0 {
+            let _ = write!(out, ", ");
+        }
+        let _ = write!(out, "{}: {}", pm.name, pm.ty);
+    }
+    let _ = writeln!(out, ") {{");
+    block(&mut out, &s.body, 1);
+    let _ = writeln!(out, "}}");
     out
 }
 

@@ -1,0 +1,677 @@
+//! The query engine: executes one protocol request against the cached
+//! pipeline.
+//!
+//! Layering per request (all misses fall through, all hits short-circuit):
+//!
+//! ```text
+//! result LRU ── result disk store ── IR LRU ── per-procedure CFG LRU ── lower/solve
+//! ```
+//!
+//! Determinism contract: for any request without a wall-clock budget, the
+//! rendered `result` object is a pure function of the request fields and
+//! the program text — it contains **no wall-clock measurements**, so a
+//! cache hit is byte-identical to a recompute and batch output does not
+//! depend on worker-pool size. Requests with `budget_ms` are answered but
+//! never cached (`cache: "bypass"`).
+
+use crate::cache::{proc_cfg_key, result_key, source_key, ServiceCaches, RESULTS_NAMESPACE};
+use crate::json::escape;
+use crate::proto::{CacheStatus, ProtoError, Request, RequestKind};
+use mpi_dfa_analyses::activity::{self, ActivityConfig, ActivityResult, Mode};
+use mpi_dfa_analyses::governor::{governed_activity, AnalysisProvenance, GovernorConfig};
+use mpi_dfa_analyses::mpi_match::build_mpi_icfg;
+use mpi_dfa_core::budget::Budget;
+use mpi_dfa_core::cache::DiskStore;
+use mpi_dfa_core::solver::SolveParams;
+use mpi_dfa_core::telemetry;
+use mpi_dfa_graph::cfg::ProcCfg;
+use mpi_dfa_graph::icfg::{Icfg, ProgramIr};
+use mpi_dfa_graph::loc::LocTable;
+use mpi_dfa_suite::experiments::{by_id, ExperimentSpec};
+use mpi_dfa_suite::programs;
+use mpi_dfa_suite::runner;
+use std::cell::OnceCell;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Entry bound per in-memory cache layer; 0 disables in-memory caching.
+    pub cache_capacity: usize,
+    /// Optional on-disk result store root (`--cache-dir`).
+    pub cache_dir: Option<String>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cache_capacity: 256,
+            cache_dir: None,
+        }
+    }
+}
+
+/// The shared, thread-safe query engine. One instance serves the whole
+/// worker pool / all server connections.
+#[derive(Debug)]
+pub struct Engine {
+    caches: ServiceCaches,
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Result<Engine, String> {
+        let disk = match &config.cache_dir {
+            Some(dir) => Some(DiskStore::open(dir).map_err(|e| format!("--cache-dir {dir}: {e}"))?),
+            None => None,
+        };
+        Ok(Engine {
+            caches: ServiceCaches::new(config.cache_capacity, disk),
+        })
+    }
+
+    /// The cache layers (counters are used by tests, benches, and the
+    /// telemetry exporters).
+    pub fn caches(&self) -> &ServiceCaches {
+        &self.caches
+    }
+
+    /// Process one already-parsed request into a response line.
+    pub fn handle(&self, req: &Request) -> String {
+        let mut span = telemetry::span("service", "request");
+        span.arg("kind", req.kind.as_str());
+        match self.handle_inner(req) {
+            Ok((cache, result)) => {
+                span.arg("cache", cache.as_str());
+                crate::proto::render_ok(req.id, req.kind, cache, &result)
+            }
+            Err(e) => {
+                span.arg("error", e.code);
+                crate::proto::render_err(req.id, &e)
+            }
+        }
+    }
+
+    /// Parse + process one raw request line.
+    pub fn handle_line(&self, line: &str) -> String {
+        match crate::proto::parse_request(line) {
+            Ok(req) => self.handle(&req),
+            Err(e) => crate::proto::render_err(0, &e),
+        }
+    }
+
+    /// The request's result-cache key, or `None` when it bypasses the
+    /// cache (wall-clock budget, ping/shutdown, or an unresolvable
+    /// program/row — those produce their error during [`Engine::handle`]).
+    /// The batch scheduler uses this to group identical requests so hit/
+    /// miss labels do not depend on scheduling order.
+    pub fn request_key(&self, req: &Request) -> Option<u128> {
+        let (source, _, _) = self.resolve_source(req).ok()?;
+        result_key(req, source_key(&source), self.effective_max_passes(req))
+    }
+
+    fn effective_max_passes(&self, req: &Request) -> u64 {
+        req.max_passes
+            .unwrap_or(SolveParams::default().max_passes as u64)
+    }
+
+    fn handle_inner(&self, req: &Request) -> Result<(CacheStatus, String), ProtoError> {
+        match req.kind {
+            RequestKind::Ping => return Ok((CacheStatus::Bypass, "{\"pong\":true}".into())),
+            RequestKind::Shutdown => {
+                return Ok((CacheStatus::Bypass, "{\"stopping\":true}".into()))
+            }
+            _ => {}
+        }
+        let (source, context, spec) = self.resolve_source(req)?;
+        let key = result_key(req, source_key(&source), self.effective_max_passes(req));
+
+        if let Some(key) = key {
+            if let Some(result) = self.caches.results.get(key) {
+                return Ok((CacheStatus::Hit, result));
+            }
+            if let Some(disk) = &self.caches.disk {
+                if let Some(bytes) = disk.get(RESULTS_NAMESPACE, key) {
+                    if let Ok(result) = String::from_utf8(bytes) {
+                        // Warm the memory layer so the next hit skips I/O.
+                        self.caches.results.put(key, result.clone());
+                        return Ok((CacheStatus::Hit, result));
+                    }
+                }
+            }
+        }
+
+        let result = self.compute(req, &source, &context, spec.as_ref())?;
+
+        match key {
+            Some(key) => {
+                self.caches.results.put(key, result.clone());
+                if let Some(disk) = &self.caches.disk {
+                    // Best-effort: a failed spill only costs future misses.
+                    let _ = disk.put(RESULTS_NAMESPACE, key, result.as_bytes());
+                }
+                Ok((CacheStatus::Miss, result))
+            }
+            None => Ok((CacheStatus::Bypass, result)),
+        }
+    }
+
+    /// Resolve the request to `(source text, context routine, spec)`.
+    fn resolve_source(
+        &self,
+        req: &Request,
+    ) -> Result<(String, String, Option<ExperimentSpec>), ProtoError> {
+        if req.kind == RequestKind::Table1Row {
+            let row = req.row.as_deref().unwrap_or_default();
+            let spec = by_id(row).ok_or_else(|| {
+                ProtoError::new("unknown-row", format!("unknown Table-1 row `{row}`"))
+            })?;
+            let source = programs::source(spec.program)
+                .expect("every registered row names a bundled program");
+            return Ok((source.to_string(), spec.context.to_string(), Some(spec)));
+        }
+        let source = match (&req.program, &req.source) {
+            (Some(name), None) => programs::source(name)
+                .ok_or_else(|| {
+                    ProtoError::new(
+                        "unknown-program",
+                        format!("unknown bundled program `{name}`"),
+                    )
+                })?
+                .to_string(),
+            (None, Some(src)) => src.clone(),
+            // parse_request enforces exclusivity and presence for the kinds
+            // that reach here.
+            _ => return Err(ProtoError::new("bad-request", "missing program or source")),
+        };
+        let context = req.context.clone().unwrap_or_else(|| "main".to_string());
+        Ok((source, context, None))
+    }
+
+    /// Build (or fetch) the [`ProgramIr`] for `source`, reusing cached
+    /// per-procedure CFGs for subroutines whose normalized content and
+    /// location table are unchanged.
+    pub fn ir_for(&self, source: &str) -> Result<Arc<ProgramIr>, ProtoError> {
+        let key = source_key(source);
+        if let Some(ir) = self.caches.irs.get(key) {
+            return Ok(ir);
+        }
+        let unit =
+            mpi_dfa_lang::compile(source).map_err(|e| ProtoError::new("compile", e.to_string()))?;
+
+        // Per-subroutine cache metadata, computed before `unit` moves into
+        // the builder: normalized content and the statement-id base used to
+        // rebase transplanted CFGs (ids are program-global; see
+        // `ProcCfg::rebase_stmt_ids`).
+        let subs: Vec<(String, i64)> = unit
+            .program
+            .subs
+            .iter()
+            .map(|s| {
+                (
+                    mpi_dfa_lang::pretty::sub_to_string(s),
+                    i64::from(s.first_stmt_id().map(|id| id.0).unwrap_or(0)),
+                )
+            })
+            .collect();
+        let fp_cell: OnceCell<u128> = OnceCell::new();
+        let fingerprint = |locs: &LocTable| *fp_cell.get_or_init(|| locs.fingerprint());
+
+        let cfgs = self.caches.cfgs.clone();
+        let mut reuse = |i: usize, locs: &LocTable| -> Option<ProcCfg> {
+            let key = proc_cfg_key(&subs[i].0, fingerprint(locs), i);
+            cfgs.get(key).map(|mut cfg| {
+                cfg.rebase_stmt_ids(subs[i].1);
+                cfg
+            })
+        };
+        let cfgs2 = self.caches.cfgs.clone();
+        let mut store = |i: usize, locs: &LocTable, cfg: &ProcCfg| {
+            let key = proc_cfg_key(&subs[i].0, fingerprint(locs), i);
+            let mut normalized = cfg.clone();
+            normalized.rebase_stmt_ids(-subs[i].1);
+            cfgs2.put(key, normalized);
+        };
+
+        let (ir, _reuse_stats) = ProgramIr::build_with_cfg_cache(unit, &mut reuse, &mut store);
+        self.caches.irs.put(key, ir.clone());
+        Ok(ir)
+    }
+
+    fn governor(&self, req: &Request) -> GovernorConfig {
+        let mut budget = Budget::unlimited();
+        if let Some(ms) = req.budget_ms {
+            budget = budget.with_deadline_ms(ms);
+        }
+        if let Some(w) = req.max_visits {
+            budget = budget.with_max_work(w);
+        }
+        if let Some(b) = req.max_fact_bytes {
+            budget = budget.with_max_fact_bytes(b);
+        }
+        GovernorConfig {
+            clone_level: req.clone_level,
+            matching: req.matching,
+            budget,
+            degrade: req.degrade,
+            max_passes: self.effective_max_passes(req) as usize,
+        }
+    }
+
+    fn compute(
+        &self,
+        req: &Request,
+        source: &str,
+        context: &str,
+        spec: Option<&ExperimentSpec>,
+    ) -> Result<String, ProtoError> {
+        match req.kind {
+            RequestKind::Analyze => {
+                let ir = self.ir_for(source)?;
+                let (result, provenance) = self.run_activity(req, &ir, context)?;
+                Ok(render_activity(
+                    req,
+                    &ir,
+                    context,
+                    &result,
+                    provenance.as_ref(),
+                ))
+            }
+            RequestKind::ActivityAtLocation => {
+                let ir = self.ir_for(source)?;
+                let var = req.var.as_deref().expect("validated by parse_request");
+                let proc = ir.proc_id(context).ok_or_else(|| {
+                    ProtoError::new("analysis", format!("unknown context routine `{context}`"))
+                })?;
+                let loc = ir.locs.resolve(proc, var).ok_or_else(|| {
+                    ProtoError::new(
+                        "bad-request",
+                        format!("unknown variable `{var}` in `{context}`"),
+                    )
+                })?;
+                let (result, provenance) = self.run_activity(req, &ir, context)?;
+                let info = ir.locs.info(loc);
+                Ok(format!(
+                    "{{\"var\":\"{}\",\"location\":\"{}\",\"active\":{},\"byte_size\":{},\"tier\":{}}}",
+                    escape(var),
+                    escape(&ir.locs.qualified_name(loc)),
+                    result.active.contains(loc.index()),
+                    info.byte_size(),
+                    provenance
+                        .as_ref()
+                        .map(|p| format!("\"{}\"", p.tier))
+                        .unwrap_or_else(|| "null".to_string()),
+                ))
+            }
+            RequestKind::Dot => {
+                let ir = self.ir_for(source)?;
+                let mpi = build_mpi_icfg(ir, context, req.clone_level, req.matching)
+                    .map_err(|e| ProtoError::new("analysis", e.to_string()))?;
+                let dot = mpi_dfa_graph::dot::mpi_icfg_to_dot(&mpi, context);
+                Ok(format!(
+                    "{{\"context\":\"{}\",\"comm_edges\":{},\"dot\":\"{}\"}}",
+                    escape(context),
+                    mpi.comm_edges.len(),
+                    escape(&dot)
+                ))
+            }
+            RequestKind::Table1Row => {
+                let spec = spec.expect("resolve_source sets the spec for table1-row");
+                let gov = self.governor(req);
+                let row = runner::run_experiment_governed(spec, &gov)
+                    .map_err(|e| ProtoError::new("analysis", e))?;
+                Ok(render_row(&row))
+            }
+            RequestKind::Ping | RequestKind::Shutdown => unreachable!("handled before compute"),
+        }
+    }
+
+    fn run_activity(
+        &self,
+        req: &Request,
+        ir: &Arc<ProgramIr>,
+        context: &str,
+    ) -> Result<(ActivityResult, Option<AnalysisProvenance>), ProtoError> {
+        if req.ind.is_empty() || req.dep.is_empty() {
+            return Err(ProtoError::new(
+                "bad-request",
+                "activity analysis requires non-empty `ind` and `dep`",
+            ));
+        }
+        let config = ActivityConfig::new(req.ind.clone(), req.dep.clone());
+        match req.mode.as_str() {
+            "mpi" => {
+                let gov = self.governor(req);
+                let g = governed_activity(ir, context, &config, &gov)
+                    .map_err(|e| ProtoError::new("analysis", e))?;
+                Ok((g.result, Some(g.provenance)))
+            }
+            mode => {
+                let icfg = Icfg::build(ir.clone(), context, req.clone_level)
+                    .map_err(|e| ProtoError::new("analysis", e.to_string()))?;
+                let m = if mode == "global" {
+                    Mode::GlobalBuffer
+                } else {
+                    Mode::Naive
+                };
+                let r = activity::analyze_icfg(&icfg, m, &config)
+                    .map_err(|e| ProtoError::new("analysis", e))?;
+                Ok((r, None))
+            }
+        }
+    }
+}
+
+fn render_str_list(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+/// Deterministic provenance JSON: tier, saturation, solver work — but **no
+/// elapsed wall clock** (that would break hit ≡ recompute byte equality).
+fn render_provenance(p: Option<&AnalysisProvenance>) -> String {
+    match p {
+        None => "null".to_string(),
+        Some(p) => format!(
+            "{{\"tier\":\"{}\",\"saturated\":{},\"work_units\":{},\"degradation_reason\":{}}}",
+            p.tier,
+            p.saturated,
+            p.budget_spent.work,
+            match &p.degradation_reason {
+                None => "null".to_string(),
+                Some(r) => format!("\"{}\"", escape(r)),
+            }
+        ),
+    }
+}
+
+fn render_activity(
+    req: &Request,
+    ir: &Arc<ProgramIr>,
+    context: &str,
+    result: &ActivityResult,
+    provenance: Option<&AnalysisProvenance>,
+) -> String {
+    let mut active = String::from("[");
+    let mut first = true;
+    for loc in result.active_locs() {
+        if loc == mpi_dfa_graph::loc::LocTable::MPI_BUFFER {
+            continue;
+        }
+        if !first {
+            active.push(',');
+        }
+        first = false;
+        let _ = write!(active, "\"{}\"", escape(&ir.locs.qualified_name(loc)));
+    }
+    active.push(']');
+    format!(
+        "{{\"context\":\"{}\",\"clone_level\":{},\"mode\":\"{}\",\"independents\":{},\
+         \"dependents\":{},\"converged\":{},\"iterations\":{},\"active_bytes\":{},\
+         \"deriv_bytes\":{},\"active\":{},\"provenance\":{}}}",
+        escape(context),
+        req.clone_level,
+        escape(&req.mode),
+        render_str_list(&req.ind),
+        render_str_list(&req.dep),
+        result.converged(),
+        result.iterations,
+        result.active_bytes,
+        result.deriv_bytes(req.ind.len() as u64),
+        active,
+        render_provenance(provenance),
+    )
+}
+
+fn render_mode(m: &runner::MeasuredMode) -> String {
+    format!(
+        "{{\"iterations\":{},\"active_bytes\":{},\"deriv_bytes\":{},\"converged\":{}}}",
+        m.iterations, m.active_bytes, m.deriv_bytes, m.converged
+    )
+}
+
+/// One Table-1 row as deterministic JSON (the `repro json` report keeps its
+/// own independent rendering — that one includes wall-clock provenance and
+/// is not cached at this layer).
+fn render_row(row: &runner::MeasuredRow) -> String {
+    let p = row.provenance.as_ref();
+    format!(
+        "{{\"id\":\"{}\",\"program\":\"{}\",\"context\":\"{}\",\"clone_level\":{},\
+         \"comm_edges\":{},\"converged\":{},\"icfg\":{},\"mpi_icfg\":{},\
+         \"pct_decrease\":{:.4},\"provenance\":{}}}",
+        escape(row.spec.id),
+        escape(row.spec.program),
+        escape(row.spec.context),
+        row.spec.clone_level,
+        row.comm_edges,
+        row.converged(),
+        render_mode(&row.icfg),
+        render_mode(&row.mpi),
+        row.pct_decrease(),
+        render_provenance(p),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::parse_request;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig::default()).unwrap()
+    }
+
+    fn parse(line: &str) -> Request {
+        parse_request(line).unwrap()
+    }
+
+    #[test]
+    fn ping_round_trips() {
+        let e = engine();
+        let resp = e.handle_line(r#"{"id":5,"kind":"ping"}"#);
+        assert_eq!(
+            resp,
+            r#"{"id":5,"ok":true,"kind":"ping","cache":"bypass","result":{"pong":true}}"#
+        );
+    }
+
+    #[test]
+    fn analyze_miss_then_hit_is_byte_identical() {
+        let e = engine();
+        let req = parse(r#"{"id":1,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#);
+        let first = e.handle(&req);
+        assert!(first.contains("\"cache\":\"miss\""), "{first}");
+        let second = e.handle(&req);
+        assert!(second.contains("\"cache\":\"hit\""), "{second}");
+        // The result payload must be identical; only the cache label moves.
+        assert_eq!(
+            first.replace("\"cache\":\"miss\"", "\"cache\":\"hit\""),
+            second
+        );
+        // Response is valid JSON with the provenance attached.
+        let parsed = crate::json::parse(&second).unwrap();
+        let result = parsed.get("result").unwrap();
+        assert_eq!(
+            result
+                .get("provenance")
+                .unwrap()
+                .get("tier")
+                .unwrap()
+                .as_str(),
+            Some("T0")
+        );
+        assert!(result.get("converged").unwrap().as_bool().unwrap());
+    }
+
+    #[test]
+    fn degrade_flip_is_a_miss_not_a_stale_hit() {
+        // Satellite regression: a result computed under `degrade: auto`
+        // must never be served for a `degrade: off` request (and vice
+        // versa) — the keys differ, so the flipped request misses.
+        let e = engine();
+        let auto = parse(
+            r#"{"id":1,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"],"degrade":"auto"}"#,
+        );
+        let off = parse(
+            r#"{"id":2,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"],"degrade":"off"}"#,
+        );
+        assert!(e.handle(&auto).contains("\"cache\":\"miss\""));
+        let r = e.handle(&off);
+        assert!(
+            r.contains("\"cache\":\"miss\""),
+            "degrade flip must miss: {r}"
+        );
+        // And a repeat of each now hits its own entry.
+        assert!(e.handle(&auto).contains("\"cache\":\"hit\""));
+        assert!(e.handle(&off).contains("\"cache\":\"hit\""));
+    }
+
+    #[test]
+    fn tier_capped_result_is_keyed_separately_from_precise() {
+        // A T2/degraded result (max_visits cap) and the precise T0 result
+        // live under different keys; the precise request never sees the
+        // degraded payload.
+        let e = engine();
+        let capped = parse(
+            r#"{"id":1,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"],"max_visits":1}"#,
+        );
+        let precise =
+            parse(r#"{"id":2,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#);
+        let r1 = e.handle(&capped);
+        assert!(r1.contains("\"cache\":\"miss\""));
+        assert!(!r1.contains("\"tier\":\"T0\""), "capped run degraded: {r1}");
+        let r2 = e.handle(&precise);
+        assert!(r2.contains("\"cache\":\"miss\""), "{r2}");
+        assert!(r2.contains("\"tier\":\"T0\""), "{r2}");
+        // Hits keep serving their own payloads.
+        assert!(e.handle(&capped).contains("\"cache\":\"hit\""));
+        let r1b = e.handle(&capped);
+        assert_eq!(r1b, r1.replace("\"cache\":\"miss\"", "\"cache\":\"hit\""));
+    }
+
+    #[test]
+    fn wall_clock_budget_bypasses_cache() {
+        let e = engine();
+        let req = parse(
+            r#"{"id":1,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"],"budget_ms":10000}"#,
+        );
+        assert!(e.handle(&req).contains("\"cache\":\"bypass\""));
+        assert!(e.handle(&req).contains("\"cache\":\"bypass\""));
+        assert!(e.request_key(&req).is_none());
+    }
+
+    #[test]
+    fn table1_row_matches_direct_runner_numbers() {
+        let e = engine();
+        let resp = e.handle(&parse(r#"{"id":1,"kind":"table1-row","row":"Biostat"}"#));
+        assert!(resp.contains("\"cache\":\"miss\""), "{resp}");
+        assert!(resp.contains("\"active_bytes\":9016"), "{resp}");
+        assert!(resp.contains("\"active_bytes\":1441632"), "{resp}");
+        assert!(resp.contains("\"tier\":\"T0\""), "{resp}");
+        let warm = e.handle(&parse(r#"{"id":1,"kind":"table1-row","row":"Biostat"}"#));
+        assert!(warm.contains("\"cache\":\"hit\""));
+    }
+
+    #[test]
+    fn activity_at_location_answers_per_variable() {
+        let e = engine();
+        let z = e.handle(&parse(
+            r#"{"id":1,"kind":"activity-at-location","program":"figure1","ind":["x"],"dep":["f"],"var":"z"}"#,
+        ));
+        assert!(z.contains("\"active\":true"), "{z}");
+        let resp = e.handle(&parse(
+            r#"{"id":2,"kind":"activity-at-location","program":"figure1","ind":["x"],"dep":["f"],"var":"nope"}"#,
+        ));
+        assert!(
+            resp.contains("\"ok\":false") && resp.contains("unknown variable"),
+            "{resp}"
+        );
+    }
+
+    #[test]
+    fn dot_renders_and_caches() {
+        let e = engine();
+        let req = parse(r#"{"id":3,"kind":"dot","program":"figure1"}"#);
+        let a = e.handle(&req);
+        assert!(a.contains("digraph"), "{a}");
+        assert!(a.contains("\"cache\":\"miss\""));
+        let b = e.handle(&req);
+        assert!(b.contains("\"cache\":\"hit\""));
+    }
+
+    #[test]
+    fn unknown_program_and_row_are_structured_errors() {
+        let e = engine();
+        let r =
+            e.handle_line(r#"{"id":1,"kind":"analyze","program":"nope","ind":["x"],"dep":["f"]}"#);
+        assert!(r.contains("\"code\":\"unknown-program\""), "{r}");
+        let r = e.handle_line(r#"{"id":1,"kind":"table1-row","row":"nope"}"#);
+        assert!(r.contains("\"code\":\"unknown-row\""), "{r}");
+        let r = e.handle_line("not json at all");
+        assert!(
+            r.contains("\"code\":\"parse\"") && r.contains("\"id\":0"),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn compile_errors_are_structured() {
+        let e = engine();
+        let r = e.handle_line(
+            r#"{"id":4,"kind":"analyze","source":"program p sub main() { x = }","ind":["x"],"dep":["x"]}"#,
+        );
+        assert!(r.contains("\"code\":\"compile\""), "{r}");
+    }
+
+    #[test]
+    fn single_sub_edit_reuses_all_other_proc_cfgs() {
+        // The incremental-reuse acceptance criterion, on the real LU
+        // benchmark: edit ONE subroutine (the paper's `rhs` driver context
+        // keeps working), re-analyze, and every *other* procedure's CFG
+        // must come from the cache even though the edit shifts every
+        // following subroutine's statement ids.
+        let e = engine();
+        let lu = programs::source("lu").unwrap();
+        let n_subs = {
+            let ir = e.ir_for(lu).unwrap();
+            ir.cfgs.len()
+        };
+        assert!(n_subs >= 3, "LU has several procedures: {n_subs}");
+        let before = e.caches().cfgs.counters().snapshot();
+        assert_eq!(before.insertions as usize, n_subs, "cold build stores all");
+
+        // Edit the body of the FIRST subroutine in the file (worst case for
+        // statement-id shifting: every later sub's ids move).
+        let first_sub_at = lu.find("sub ").expect("lu has subs");
+        let insert_at = lu[first_sub_at..].find('{').unwrap() + first_sub_at + 1;
+        let edited = format!(
+            "{} print(1.0); print(2.0); {}",
+            &lu[..insert_at],
+            &lu[insert_at..]
+        );
+        let ir2 = e.ir_for(&edited).unwrap();
+        assert_eq!(ir2.cfgs.len(), n_subs);
+        let after = e.caches().cfgs.counters().snapshot();
+        assert_eq!(
+            (after.hits - before.hits) as usize,
+            n_subs - 1,
+            "all but the edited procedure reuse their CFG"
+        );
+        assert_eq!(
+            (after.insertions - before.insertions) as usize,
+            1,
+            "only the edited procedure re-lowers"
+        );
+
+        // The transplanted CFGs carry correctly rebased statement ids:
+        // lowering from scratch must agree exactly.
+        let fresh = ProgramIr::from_source(&edited).unwrap();
+        for (a, b) in ir2.cfgs.iter().zip(fresh.cfgs.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.num_nodes(), b.num_nodes());
+            for (na, nb) in a.nodes.iter().zip(b.nodes.iter()) {
+                assert_eq!(na.stmt, nb.stmt, "stmt ids rebased exactly in {}", a.name);
+            }
+        }
+    }
+}

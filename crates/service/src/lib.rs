@@ -1,0 +1,45 @@
+//! Analysis service: content-addressed incremental cache + parallel
+//! batch/daemon query engine.
+//!
+//! This crate packages the whole analysis pipeline (parse → sema → CFG →
+//! MPI-ICFG → governed fixpoint) behind a line-oriented JSONL request
+//! protocol, with three layers of content-addressed caching in front of
+//! the expensive work:
+//!
+//! * [`cache`] — key construction ([`cache::source_key`],
+//!   [`cache::proc_cfg_key`], [`cache::result_key`]) and the bounded
+//!   in-memory LRU layers + optional on-disk result store
+//!   ([`cache::ServiceCaches`]).
+//! * [`engine`] — the single-request evaluator: resolves a source,
+//!   consults the caches (memory → disk → compute), and renders
+//!   deterministic JSON responses. [`engine::Engine`] is `Sync` and is
+//!   shared across worker threads.
+//! * [`sched`] — the deterministic batch scheduler: a `std::thread`
+//!   worker pool with a two-phase leader/follower plan so that the
+//!   rendered output (including per-response `cache:` labels) is
+//!   byte-identical for any pool size.
+//! * [`server`] — a `std::net` TCP daemon speaking the same JSONL
+//!   protocol, one thread per connection, graceful shutdown via the
+//!   `shutdown` request kind.
+//! * [`proto`] — request parsing/validation and response rendering;
+//!   every malformed input maps to a structured error, never a panic.
+//! * [`json`] — a minimal hand-rolled JSON parser/renderer (the
+//!   workspace is dependency-free by design).
+//!
+//! The wire protocol and cache-key contract are specified in
+//! `docs/SERVING.md`.
+
+pub mod cache;
+pub mod engine;
+pub mod json;
+pub mod proto;
+pub mod sched;
+pub mod server;
+
+pub use cache::{ServiceCaches, CACHE_SCHEMA_VERSION};
+pub use engine::{Engine, EngineConfig};
+pub use proto::{
+    parse_request, render_err, render_ok, CacheStatus, ProtoError, Request, RequestKind,
+};
+pub use sched::run_batch;
+pub use server::{serve, Server};

@@ -1,0 +1,445 @@
+//! The JSONL request/response protocol shared by `mpidfa batch` and
+//! `mpidfa serve`.
+//!
+//! One request per line, one response line per request, **responses carry
+//! the request's `id` and appear in input order** (batch) or arrival order
+//! (serve). The full field reference lives in `docs/SERVING.md`; the key
+//! invariants enforced here:
+//!
+//! * a line longer than [`MAX_LINE_BYTES`] (the same 16 MiB cap the lexer
+//!   puts on source files) is rejected with a structured `too-large` error
+//!   — never buffered further;
+//! * unknown request kinds and unknown fields produce structured errors,
+//!   not panics or silent drops (the protocol fuzz corpus leans on this);
+//! * responses are rendered with a **fixed key order** and contain no
+//!   wall-clock fields, so a batch run is byte-identical across worker
+//!   pool sizes and repeated runs.
+
+use crate::json::{self, Json};
+use mpi_dfa_analyses::governor::DegradeMode;
+use mpi_dfa_analyses::mpi_match::Matching;
+
+/// Hard cap on one request line, reusing the lexer's source cap: a request
+/// embedding the largest acceptable program still fits, anything bigger is
+/// rejected before parsing.
+pub const MAX_LINE_BYTES: usize = mpi_dfa_lang::lexer::MAX_SOURCE_BYTES;
+
+/// A structured protocol error (the `error` object of a failure response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Stable machine-readable code (`parse`, `too-large`, `bad-request`,
+    /// `unknown-kind`, `unknown-program`, `unknown-row`, `compile`,
+    /// `analysis`, `unsupported`, `internal`).
+    pub code: &'static str,
+    pub message: String,
+}
+
+impl ProtoError {
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        ProtoError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    fn bad(message: impl Into<String>) -> Self {
+        Self::new("bad-request", message)
+    }
+}
+
+/// What a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Full activity analysis of a program.
+    Analyze,
+    /// One Table-1 experiment row by id.
+    Table1Row,
+    /// Is one named variable in the active set?
+    ActivityAtLocation,
+    /// DOT rendering of the MPI-ICFG.
+    Dot,
+    /// Liveness probe; answered without touching the pipeline.
+    Ping,
+    /// Ask a server to stop accepting connections (serve mode only).
+    Shutdown,
+}
+
+impl RequestKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequestKind::Analyze => "analyze",
+            RequestKind::Table1Row => "table1-row",
+            RequestKind::ActivityAtLocation => "activity-at-location",
+            RequestKind::Dot => "dot",
+            RequestKind::Ping => "ping",
+            RequestKind::Shutdown => "shutdown",
+        }
+    }
+
+    fn parse(s: &str) -> Option<RequestKind> {
+        Some(match s {
+            "analyze" => RequestKind::Analyze,
+            "table1-row" => RequestKind::Table1Row,
+            "activity-at-location" => RequestKind::ActivityAtLocation,
+            "dot" => RequestKind::Dot,
+            "ping" => RequestKind::Ping,
+            "shutdown" => RequestKind::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// A validated protocol request. Every analysis-configuration field is part
+/// of the result cache key (see `cache::result_key`): two requests that
+/// differ in any of them can never share a cached result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    pub id: u64,
+    pub kind: RequestKind,
+    /// Bundled benchmark name (`figure1`, `biostat`, …). Exclusive with
+    /// `source`.
+    pub program: Option<String>,
+    /// Inline SMPL source. Exclusive with `program`.
+    pub source: Option<String>,
+    pub context: Option<String>,
+    pub clone_level: usize,
+    pub ind: Vec<String>,
+    pub dep: Vec<String>,
+    /// Variable name for `activity-at-location`.
+    pub var: Option<String>,
+    /// Row id for `table1-row`.
+    pub row: Option<String>,
+    pub matching: Matching,
+    /// `mpi` | `global` | `naive` (communication model for `analyze`).
+    pub mode: String,
+    /// Wall-clock budget. **Nondeterministic**: its presence forces the
+    /// result cache to bypass (`cache: "bypass"`).
+    pub budget_ms: Option<u64>,
+    pub max_visits: Option<u64>,
+    pub max_fact_bytes: Option<u64>,
+    pub degrade: DegradeMode,
+    pub max_passes: Option<u64>,
+}
+
+impl Request {
+    fn with_defaults(id: u64, kind: RequestKind) -> Request {
+        Request {
+            id,
+            kind,
+            program: None,
+            source: None,
+            context: None,
+            clone_level: 0,
+            ind: Vec::new(),
+            dep: Vec::new(),
+            var: None,
+            row: None,
+            matching: Matching::ReachingConstants,
+            mode: "mpi".to_string(),
+            budget_ms: None,
+            max_visits: None,
+            max_fact_bytes: None,
+            degrade: DegradeMode::Auto,
+            max_passes: None,
+        }
+    }
+
+    pub fn degrade_str(&self) -> &'static str {
+        match self.degrade {
+            DegradeMode::Auto => "auto",
+            DegradeMode::Off => "off",
+        }
+    }
+
+    pub fn matching_str(&self) -> &'static str {
+        match self.matching {
+            Matching::Naive => "naive",
+            Matching::Syntactic => "syntactic",
+            Matching::ReachingConstants => "consts",
+        }
+    }
+}
+
+fn str_field(v: &Json, name: &str) -> Result<String, ProtoError> {
+    v.as_str()
+        .map(String::from)
+        .ok_or_else(|| ProtoError::bad(format!("field `{name}` must be a string")))
+}
+
+fn u64_field(v: &Json, name: &str) -> Result<u64, ProtoError> {
+    v.as_u64()
+        .ok_or_else(|| ProtoError::bad(format!("field `{name}` must be a non-negative integer")))
+}
+
+fn list_field(v: &Json, name: &str) -> Result<Vec<String>, ProtoError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| ProtoError::bad(format!("field `{name}` must be an array of strings")))?;
+    items
+        .iter()
+        .map(|x| {
+            x.as_str()
+                .map(String::from)
+                .ok_or_else(|| ProtoError::bad(format!("field `{name}` must contain only strings")))
+        })
+        .collect()
+}
+
+/// Parse and validate one request line. Enforces the line cap, rejects
+/// non-object payloads, unknown kinds, and unknown fields — all as
+/// structured [`ProtoError`]s.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(ProtoError::new(
+            "too-large",
+            format!(
+                "request line is {} bytes; the limit is {} bytes",
+                line.len(),
+                MAX_LINE_BYTES
+            ),
+        ));
+    }
+    let value = json::parse(line).map_err(|e| ProtoError::new("parse", e.to_string()))?;
+    let Json::Obj(fields) = &value else {
+        return Err(ProtoError::bad("request must be a JSON object"));
+    };
+
+    let id = match value.get("id") {
+        Some(v) => u64_field(v, "id")?,
+        None => return Err(ProtoError::bad("missing required field `id`")),
+    };
+    let kind_str = match value.get("kind") {
+        Some(v) => str_field(v, "kind")?,
+        None => return Err(ProtoError::bad("missing required field `kind`")),
+    };
+    let Some(kind) = RequestKind::parse(&kind_str) else {
+        return Err(ProtoError::new(
+            "unknown-kind",
+            format!(
+                "unknown request kind `{kind_str}` (expected analyze | table1-row | \
+                 activity-at-location | dot | ping | shutdown)"
+            ),
+        ));
+    };
+
+    let mut req = Request::with_defaults(id, kind);
+    for (key, v) in fields {
+        match key.as_str() {
+            "id" | "kind" => {}
+            "program" => req.program = Some(str_field(v, key)?),
+            "source" => req.source = Some(str_field(v, key)?),
+            "context" => req.context = Some(str_field(v, key)?),
+            "clone" => req.clone_level = u64_field(v, key)? as usize,
+            "ind" => req.ind = list_field(v, key)?,
+            "dep" => req.dep = list_field(v, key)?,
+            "var" => req.var = Some(str_field(v, key)?),
+            "row" => req.row = Some(str_field(v, key)?),
+            "matching" => {
+                req.matching = match str_field(v, key)?.as_str() {
+                    "naive" => Matching::Naive,
+                    "syntactic" => Matching::Syntactic,
+                    "consts" => Matching::ReachingConstants,
+                    other => {
+                        return Err(ProtoError::bad(format!(
+                            "unknown matching `{other}` (naive | syntactic | consts)"
+                        )))
+                    }
+                }
+            }
+            "mode" => {
+                let m = str_field(v, key)?;
+                if !matches!(m.as_str(), "mpi" | "global" | "naive") {
+                    return Err(ProtoError::bad(format!(
+                        "unknown mode `{m}` (mpi | global | naive)"
+                    )));
+                }
+                req.mode = m;
+            }
+            "budget_ms" => req.budget_ms = Some(u64_field(v, key)?),
+            "max_visits" => req.max_visits = Some(u64_field(v, key)?),
+            "max_fact_bytes" => req.max_fact_bytes = Some(u64_field(v, key)?),
+            "degrade" => {
+                req.degrade = match str_field(v, key)?.as_str() {
+                    "auto" => DegradeMode::Auto,
+                    "off" => DegradeMode::Off,
+                    other => {
+                        return Err(ProtoError::bad(format!(
+                            "unknown degrade `{other}` (auto | off)"
+                        )))
+                    }
+                }
+            }
+            "max_passes" => req.max_passes = Some(u64_field(v, key)?),
+            other => {
+                return Err(ProtoError::bad(format!("unknown field `{other}`")));
+            }
+        }
+    }
+
+    if req.program.is_some() && req.source.is_some() {
+        return Err(ProtoError::bad(
+            "fields `program` and `source` are mutually exclusive",
+        ));
+    }
+    match kind {
+        RequestKind::Analyze | RequestKind::ActivityAtLocation | RequestKind::Dot => {
+            if req.program.is_none() && req.source.is_none() {
+                return Err(ProtoError::bad(format!(
+                    "kind `{}` requires `program` or `source`",
+                    kind.as_str()
+                )));
+            }
+        }
+        RequestKind::Table1Row => {
+            if req.row.is_none() {
+                return Err(ProtoError::bad("kind `table1-row` requires `row`"));
+            }
+        }
+        RequestKind::Ping | RequestKind::Shutdown => {}
+    }
+    if kind == RequestKind::ActivityAtLocation && req.var.is_none() {
+        return Err(ProtoError::bad(
+            "kind `activity-at-location` requires `var`",
+        ));
+    }
+    Ok(req)
+}
+
+/// How the result cache participated in a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from the in-memory or on-disk result cache.
+    Hit,
+    /// Computed and stored.
+    Miss,
+    /// Computed and **not** cached (wall-clock budget present, or the kind
+    /// has no cacheable result).
+    Bypass,
+}
+
+impl CacheStatus {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Bypass => "bypass",
+        }
+    }
+}
+
+/// Render a success response. `result_json` must already be valid JSON.
+/// Fixed key order: `id`, `ok`, `kind`, `cache`, `result`.
+pub fn render_ok(id: u64, kind: RequestKind, cache: CacheStatus, result_json: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"kind\":\"{}\",\"cache\":\"{}\",\"result\":{result_json}}}",
+        kind.as_str(),
+        cache.as_str()
+    )
+}
+
+/// Render a failure response. Fixed key order: `id`, `ok`, `error`
+/// (`code`, `message`). `id` 0 is used when the line never parsed far
+/// enough to yield one.
+pub fn render_err(id: u64, e: &ProtoError) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}",
+        e.code,
+        json::escape(&e.message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_analyze_request_parses_with_defaults() {
+        let r = parse_request(
+            r#"{"id":1,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id, 1);
+        assert_eq!(r.kind, RequestKind::Analyze);
+        assert_eq!(r.program.as_deref(), Some("figure1"));
+        assert_eq!(r.clone_level, 0);
+        assert_eq!(r.mode, "mpi");
+        assert_eq!(r.matching, Matching::ReachingConstants);
+        assert_eq!(r.degrade, DegradeMode::Auto);
+    }
+
+    #[test]
+    fn unknown_kind_is_structured() {
+        let e = parse_request(r#"{"id":1,"kind":"explode"}"#).unwrap_err();
+        assert_eq!(e.code, "unknown-kind");
+        assert!(e.message.contains("explode"));
+    }
+
+    #[test]
+    fn unknown_field_is_structured() {
+        let e = parse_request(r#"{"id":1,"kind":"ping","wat":true}"#).unwrap_err();
+        assert_eq!(e.code, "bad-request");
+        assert!(e.message.contains("wat"));
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_before_parsing() {
+        let huge = format!(
+            r#"{{"id":1,"kind":"analyze","source":"{}"}}"#,
+            "x".repeat(MAX_LINE_BYTES)
+        );
+        let e = parse_request(&huge).unwrap_err();
+        assert_eq!(e.code, "too-large");
+    }
+
+    #[test]
+    fn requires_are_enforced_per_kind() {
+        assert_eq!(
+            parse_request(r#"{"id":1,"kind":"analyze"}"#)
+                .unwrap_err()
+                .code,
+            "bad-request"
+        );
+        assert_eq!(
+            parse_request(r#"{"id":1,"kind":"table1-row"}"#)
+                .unwrap_err()
+                .code,
+            "bad-request"
+        );
+        assert_eq!(
+            parse_request(r#"{"id":1,"kind":"activity-at-location","program":"cg"}"#)
+                .unwrap_err()
+                .code,
+            "bad-request"
+        );
+        assert_eq!(
+            parse_request(r#"{"id":1,"kind":"dot","program":"cg","source":"program p"}"#)
+                .unwrap_err()
+                .code,
+            "bad-request"
+        );
+        // ping needs nothing.
+        assert!(parse_request(r#"{"id":9,"kind":"ping"}"#).is_ok());
+    }
+
+    #[test]
+    fn response_rendering_is_fixed_order() {
+        let ok = render_ok(
+            7,
+            RequestKind::Ping,
+            CacheStatus::Bypass,
+            r#"{"pong":true}"#,
+        );
+        assert_eq!(
+            ok,
+            r#"{"id":7,"ok":true,"kind":"ping","cache":"bypass","result":{"pong":true}}"#
+        );
+        let err = render_err(0, &ProtoError::new("parse", "boom \"quoted\""));
+        assert_eq!(
+            err,
+            r#"{"id":0,"ok":false,"error":{"code":"parse","message":"boom \"quoted\""}}"#
+        );
+        // Both responses are themselves valid JSON.
+        assert!(crate::json::parse(&ok).is_ok());
+        assert!(crate::json::parse(&err).is_ok());
+    }
+}

@@ -1,0 +1,314 @@
+//! JSONL-over-TCP daemon front end (`mpidfa serve`).
+//!
+//! One `std::net::TcpListener`, one thread per connection, all sharing one
+//! [`Engine`] (and therefore one set of caches — the second client to ask
+//! a question gets the first client's warm answer). The wire protocol is
+//! exactly the batch protocol: one JSON request per line in, one JSON
+//! response per line out, in order, on the same connection.
+//!
+//! Robustness contract (exercised by the fuzz corpus in `tests/`):
+//!
+//! * a malformed line gets a structured `parse` error, never a dropped
+//!   connection;
+//! * a line longer than [`MAX_LINE_BYTES`] gets a `too-large` error and
+//!   the reader **resynchronizes at the next newline**, so the client can
+//!   keep using the connection;
+//! * a `shutdown` request is acknowledged (`{"stopping":true}`), then the
+//!   whole server drains: the accept loop is woken by a loopback connect,
+//!   and every connection thread notices the flag within its read-timeout
+//!   tick and exits. `Server::run` returns only after all threads join.
+
+use crate::engine::Engine;
+use crate::proto::{parse_request, render_err, ProtoError, RequestKind, MAX_LINE_BYTES};
+use mpi_dfa_core::telemetry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often a blocked connection read wakes up to check the shutdown
+/// flag. Bounds how long `Server::run` lingers after `shutdown`.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// A bound-but-not-yet-running server. Splitting bind from run lets the
+/// caller learn the actual address (port 0 ⇒ ephemeral) before blocking.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:7117`, or port `0` for ephemeral).
+    pub fn bind(engine: Arc<Engine>, addr: &str) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        Ok(Server {
+            listener,
+            engine,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound socket address.
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))
+    }
+
+    /// Accept and serve connections until a client sends `shutdown`.
+    /// Returns once every connection thread has exited.
+    pub fn run(self) -> Result<(), String> {
+        let addr = self.local_addr()?;
+        let mut threads = Vec::new();
+        loop {
+            let (stream, peer) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(_) if self.shutdown.load(Ordering::SeqCst) => break,
+                Err(e) => return Err(format!("accept: {e}")),
+            };
+            if self.shutdown.load(Ordering::SeqCst) {
+                // The stream that woke us (loopback or a late client) is
+                // dropped unanswered; we are draining.
+                break;
+            }
+            let engine = Arc::clone(&self.engine);
+            let shutdown = Arc::clone(&self.shutdown);
+            threads.push(std::thread::spawn(move || {
+                let mut span = telemetry::span("service", "connection");
+                span.arg("peer", peer.to_string());
+                // I/O errors here mean the client vanished; nothing to do.
+                let _ = serve_connection(&engine, stream, &shutdown, addr);
+            }));
+        }
+        for t in threads {
+            let _ = t.join();
+        }
+        Ok(())
+    }
+}
+
+/// Bind, announce `listening on ADDR` on stdout (line-buffered clients —
+/// including the CI harness — wait for exactly this line), then serve
+/// until shutdown.
+pub fn serve(engine: Arc<Engine>, addr: &str) -> Result<(), String> {
+    let server = Server::bind(engine, addr)?;
+    let bound = server.local_addr()?;
+    println!("listening on {bound}");
+    let _ = std::io::stdout().flush();
+    server.run()
+}
+
+/// Serve one connection. Returns `Ok(true)` iff this connection requested
+/// shutdown (in which case the flag is already set and the acceptor has
+/// been woken).
+fn serve_connection(
+    engine: &Engine,
+    mut stream: TcpStream,
+    shutdown: &Arc<AtomicBool>,
+    server_addr: SocketAddr,
+) -> std::io::Result<bool> {
+    stream.set_read_timeout(Some(READ_TICK))?;
+    // One JSON line per response: without TCP_NODELAY the Nagle /
+    // delayed-ACK interaction can add ~40 ms to every round trip, which
+    // dwarfs a warm cache hit.
+    stream.set_nodelay(true)?;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    // After an oversized line is reported, discard bytes up to the next
+    // newline so the stream resynchronizes on line boundaries.
+    let mut skip_to_newline = false;
+
+    loop {
+        // Drain every complete line currently buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            if skip_to_newline {
+                skip_to_newline = false; // this newline ends the giant line
+                continue;
+            }
+            if answer_line(engine, &mut stream, &line_bytes)? {
+                shutdown.store(true, Ordering::SeqCst);
+                // Wake the acceptor if it is parked in `accept`.
+                let _ = TcpStream::connect(server_addr);
+                return Ok(true);
+            }
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            if !skip_to_newline {
+                let e = ProtoError::new(
+                    "too-large",
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                );
+                writeln!(stream, "{}", render_err(0, &e))?;
+                skip_to_newline = true;
+            }
+            buf.clear();
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF. Be forgiving about a final line with no trailing
+                // newline — answer it, then close.
+                if !buf.is_empty() && !skip_to_newline {
+                    let line = std::mem::take(&mut buf);
+                    if answer_line(engine, &mut stream, &line)? {
+                        shutdown.store(true, Ordering::SeqCst);
+                        let _ = TcpStream::connect(server_addr);
+                        return Ok(true);
+                    }
+                }
+                return Ok(false);
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue; // tick: loop re-checks the shutdown flag
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Answer one raw line. Returns `Ok(true)` iff the line was a valid
+/// `shutdown` request (already acknowledged on the stream).
+fn answer_line(
+    engine: &Engine,
+    stream: &mut TcpStream,
+    line_bytes: &[u8],
+) -> std::io::Result<bool> {
+    let line = String::from_utf8_lossy(line_bytes);
+    let line = line.trim_end_matches(['\n', '\r']);
+    if line.trim().is_empty() {
+        return Ok(false);
+    }
+    match parse_request(line) {
+        Err(e) => {
+            writeln!(stream, "{}", render_err(0, &e))?;
+            Ok(false)
+        }
+        Ok(req) => {
+            let resp = engine.handle(&req);
+            writeln!(stream, "{resp}")?;
+            Ok(req.kind == RequestKind::Shutdown)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use std::io::{BufRead, BufReader};
+
+    fn start() -> (SocketAddr, std::thread::JoinHandle<Result<(), String>>) {
+        let engine = Arc::new(Engine::new(EngineConfig::default()).unwrap());
+        let server = Server::bind(engine, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+        (addr, handle)
+    }
+
+    struct Client {
+        stream: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            Client { stream, reader }
+        }
+
+        fn roundtrip(&mut self, line: &str) -> String {
+            writeln!(self.stream, "{line}").unwrap();
+            let mut resp = String::new();
+            self.reader.read_line(&mut resp).unwrap();
+            resp.trim_end().to_string()
+        }
+    }
+
+    #[test]
+    fn serve_ping_analyze_and_clean_shutdown() {
+        let (addr, handle) = start();
+        let mut c = Client::connect(addr);
+        let pong = c.roundtrip(r#"{"id":1,"kind":"ping"}"#);
+        assert!(pong.contains("\"pong\":true"), "{pong}");
+
+        let cold =
+            c.roundtrip(r#"{"id":2,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#);
+        assert!(cold.contains("\"cache\":\"miss\""), "{cold}");
+        // Warmth is shared across connections: a NEW client hits.
+        let mut c2 = Client::connect(addr);
+        let warm = c2
+            .roundtrip(r#"{"id":3,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#);
+        assert!(warm.contains("\"cache\":\"hit\""), "{warm}");
+
+        let bye = c2.roundtrip(r#"{"id":4,"kind":"shutdown"}"#);
+        assert!(bye.contains("\"stopping\":true"), "{bye}");
+        // run() returns: every thread drained.
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_get_errors_and_connection_survives() {
+        let (addr, handle) = start();
+        let mut c = Client::connect(addr);
+        let r = c.roundtrip("{\"id\":1,\"kind\":");
+        assert!(
+            r.contains("\"code\":\"parse\"") && r.contains("\"id\":0"),
+            "{r}"
+        );
+        let r = c.roundtrip(r#"{"id":2,"kind":"warp"}"#);
+        assert!(r.contains("\"code\":\"unknown-kind\""), "{r}");
+        // Still alive after both errors.
+        let r = c.roundtrip(r#"{"id":3,"kind":"ping"}"#);
+        assert!(r.contains("\"pong\":true"), "{r}");
+        c.roundtrip(r#"{"id":4,"kind":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_and_stream_resyncs() {
+        let (addr, handle) = start();
+        let mut c = Client::connect(addr);
+        // One line just over the cap, then a valid ping on the same
+        // connection: the reader must resync at the newline.
+        let huge = vec![b'a'; MAX_LINE_BYTES + 2];
+        c.stream.write_all(&huge).unwrap();
+        c.stream.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        c.reader.read_line(&mut resp).unwrap();
+        assert!(resp.contains("\"code\":\"too-large\""), "{resp}");
+        let r = c.roundtrip(r#"{"id":9,"kind":"ping"}"#);
+        assert!(r.contains("\"pong\":true"), "resync failed: {r}");
+        c.roundtrip(r#"{"id":10,"kind":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn final_line_without_newline_is_answered() {
+        let (addr, handle) = start();
+        let mut c = Client::connect(addr);
+        c.stream.write_all(br#"{"id":1,"kind":"ping"}"#).unwrap();
+        c.stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut resp = String::new();
+        c.reader.read_line(&mut resp).unwrap();
+        assert!(resp.contains("\"pong\":true"), "{resp}");
+        // Shut the server down from a second client.
+        let mut c2 = Client::connect(addr);
+        c2.roundtrip(r#"{"id":2,"kind":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
+}

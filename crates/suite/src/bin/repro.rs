@@ -14,6 +14,12 @@
 //! each row runs under the degradation ladder and the rendered output
 //! (including the JSON report) carries the provenance tier.
 //!
+//! Row-producing commands also accept `--cache-dir DIR`: a
+//! content-addressed on-disk row cache (keyed by spec, program source, and
+//! every governor knob — see `mpi_dfa_suite::rowcache`). Cached rows are
+//! labelled `cache: hit|miss` in Table 1 and the JSON report; runs under a
+//! wall-clock `--budget-ms` bypass the cache.
+//!
 //! Every command additionally accepts the telemetry flags `--trace-out
 //! FILE.json` (Chrome-trace of the whole reproduction), `--metrics-out
 //! FILE.txt` (Prometheus-style text metrics), and `--trace-level
@@ -27,8 +33,9 @@ use mpi_dfa_analyses::governor::{DegradeMode, GovernorConfig};
 use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
 use mpi_dfa_core::budget::Budget;
 use mpi_dfa_core::telemetry::CliTelemetry;
-use mpi_dfa_suite::runner::MeasuredRow;
-use mpi_dfa_suite::{all_experiments, by_id, runner};
+use mpi_dfa_suite::rowcache::RowCache;
+use mpi_dfa_suite::runner::{MeasuredRow, RowCacheStatus};
+use mpi_dfa_suite::{all_experiments, by_id, runner, ExperimentSpec};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -80,6 +87,58 @@ fn telemetry_from_args(args: &[String]) -> Result<(CliTelemetry, Vec<String>), S
     Ok((tel, rest))
 }
 
+/// Split `--cache-dir DIR` out of `args` (same pattern as
+/// [`telemetry_from_args`]: [`governor_from_args`] rejects unknown flags).
+/// Returns the opened row cache, if requested.
+fn cache_from_args(args: &[String]) -> Result<(Option<RowCache>, Vec<String>), String> {
+    let mut dir = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--cache-dir" {
+            dir = Some(
+                it.next()
+                    .ok_or_else(|| format!("{a} needs a value"))?
+                    .clone(),
+            );
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    let cache = dir.map(|d| RowCache::open(&d)).transpose()?;
+    Ok((cache, rest))
+}
+
+/// Run one spec through the optional row cache: consult it, label the row
+/// hit/miss, and populate it on a miss. Deadline-budgeted runs have no key
+/// (their tier outcome is timing-dependent); they always recompute and
+/// keep `cache: None` even when a cache directory is configured — the
+/// same contract as the service's `bypass` label.
+fn run_one(
+    spec: &ExperimentSpec,
+    gov: &Option<GovernorConfig>,
+    cache: &Option<RowCache>,
+) -> Result<MeasuredRow, String> {
+    let key = cache
+        .as_ref()
+        .and_then(|_| RowCache::key(spec, gov.as_ref()));
+    if let (Some(c), Some(k)) = (cache, key) {
+        if let Some(mut row) = c.get(k, spec) {
+            row.cache = Some(RowCacheStatus::Hit);
+            return Ok(row);
+        }
+    }
+    let mut row = match gov {
+        None => runner::run_experiment(spec),
+        Some(g) => runner::run_experiment_governed(spec, g)?,
+    };
+    if let (Some(c), Some(k)) = (cache, key) {
+        c.put(k, &row);
+        row.cache = Some(RowCacheStatus::Miss);
+    }
+    Ok(row)
+}
+
 /// Parse the optional governor flags; `Ok(None)` when none are present
 /// (the historical ungoverned behavior).
 fn governor_from_args(args: &[String]) -> Result<Option<GovernorConfig>, String> {
@@ -128,15 +187,15 @@ fn governor_from_args(args: &[String]) -> Result<Option<GovernorConfig>, String>
     }))
 }
 
-/// All Table 1 rows, governed when `gov` is set.
-fn all_rows(gov: &Option<GovernorConfig>) -> Result<Vec<MeasuredRow>, String> {
-    match gov {
-        None => Ok(runner::run_all()),
-        Some(g) => all_experiments()
-            .iter()
-            .map(|spec| runner::run_experiment_governed(spec, g))
-            .collect(),
-    }
+/// All Table 1 rows, governed when `gov` is set, cached when `cache` is.
+fn all_rows(
+    gov: &Option<GovernorConfig>,
+    cache: &Option<RowCache>,
+) -> Result<Vec<MeasuredRow>, String> {
+    all_experiments()
+        .iter()
+        .map(|spec| run_one(spec, gov, cache))
+        .collect()
 }
 
 fn main() -> ExitCode {
@@ -171,7 +230,16 @@ fn drive(args: &[String]) -> ExitCode {
         "row" => &args[2.min(args.len())..],
         _ => &[],
     };
-    let gov = match governor_from_args(flag_args) {
+    // `--cache-dir` is stripped first (like the telemetry flags in `main`),
+    // then the remainder must be governor flags.
+    let (cache, flag_args) = match cache_from_args(flag_args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let gov = match governor_from_args(&flag_args) {
         Ok(g) => g,
         Err(e) => {
             eprintln!("repro: {e}");
@@ -179,11 +247,9 @@ fn drive(args: &[String]) -> ExitCode {
         }
     };
 
-    let rows = |gov: &Option<GovernorConfig>| -> Result<Vec<MeasuredRow>, String> { all_rows(gov) };
-
     match cmd {
         "table1" | "json" | "fig4" | "all" => {
-            let rows = match rows(&gov) {
+            let rows = match all_rows(&gov, &cache) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("repro: {e}");
@@ -212,15 +278,12 @@ fn drive(args: &[String]) -> ExitCode {
             let id = args.get(1).map(String::as_str).unwrap_or("");
             match by_id(id) {
                 Some(spec) => {
-                    let row = match &gov {
-                        None => runner::run_experiment(&spec),
-                        Some(g) => match runner::run_experiment_governed(&spec, g) {
-                            Ok(r) => r,
-                            Err(e) => {
-                                eprintln!("repro: {e}");
-                                return ExitCode::FAILURE;
-                            }
-                        },
+                    let row = match run_one(&spec, &gov, &cache) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!("repro: {e}");
+                            return ExitCode::FAILURE;
+                        }
                     };
                     let _ = write!(out, "{}", runner::render_table1(std::slice::from_ref(&row)));
                     convergence_exit(std::slice::from_ref(&row))
@@ -265,6 +328,9 @@ fn drive(args: &[String]) -> ExitCode {
             eprintln!(
                 "unknown command `{other}`; try: table1 | fig4 | json | all | row <ID> | dot <program>\n\
                  governor flags: --budget-ms MS --max-visits N --max-fact-bytes B --degrade auto|off\n\
+                 caching (row commands): --cache-dir DIR — content-addressed on-disk row store;\n\
+                 rows render `cache: hit|miss` and the JSON report gains a `cache` key\n\
+                 (--budget-ms runs bypass the cache; see docs/SERVING.md)\n\
                  telemetry flags (any command): --trace-out FILE.json --metrics-out FILE.txt\n\
                  --trace-level off|spans|full (see docs/OBSERVABILITY.md)"
             );

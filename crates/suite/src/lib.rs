@@ -12,9 +12,11 @@ pub mod experiments;
 pub mod fuzz;
 pub mod gen;
 pub mod programs;
+pub mod rowcache;
 pub mod runner;
 pub mod schedules;
 
 pub use experiments::{all as all_experiments, by_id, ExperimentSpec};
 pub use fuzz::{FuzzConfig, FuzzReport};
+pub use rowcache::RowCache;
 pub use runner::{run_all, run_experiment, MeasuredRow};

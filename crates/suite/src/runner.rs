@@ -37,6 +37,23 @@ pub struct MeasuredMode {
     pub worklist_peak: u64,
 }
 
+/// Whether a row was served from the on-disk row cache
+/// (`repro --cache-dir`, see [`crate::rowcache`]) or freshly measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowCacheStatus {
+    Hit,
+    Miss,
+}
+
+impl RowCacheStatus {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RowCacheStatus::Hit => "hit",
+            RowCacheStatus::Miss => "miss",
+        }
+    }
+}
+
 /// Measured values for one experiment.
 #[derive(Debug, Clone)]
 pub struct MeasuredRow {
@@ -49,6 +66,9 @@ pub struct MeasuredRow {
     /// Provenance of the framework-side result when the row was produced
     /// under the resource governor; `None` for ungoverned runs.
     pub provenance: Option<AnalysisProvenance>,
+    /// Row-cache disposition: `None` when caching is disabled (no
+    /// `--cache-dir`), otherwise hit or miss.
+    pub cache: Option<RowCacheStatus>,
 }
 
 impl MeasuredRow {
@@ -135,6 +155,7 @@ pub fn run_experiment_with(
         mpi: to_mode(&framework, spec.num_indeps),
         comm_edges: mpi.comm_edges.len(),
         provenance: None,
+        cache: None,
     };
     if !row.converged() {
         eprintln!(
@@ -181,6 +202,7 @@ pub fn run_experiment_governed(
         mpi: to_mode(&governed.result, spec.num_indeps),
         comm_edges: governed.comm_edges.unwrap_or(0),
         provenance: Some(governed.provenance),
+        cache: None,
     })
 }
 
@@ -270,6 +292,14 @@ pub fn render_table1(rows: &[MeasuredRow]) -> String {
                 );
             }
         }
+        if let Some(c) = r.cache {
+            let _ = writeln!(
+                out,
+                "{:<8} cache: {} (content-addressed row store)",
+                "",
+                c.as_str()
+            );
+        }
         if let Some(note) = r.spec.note {
             let _ = writeln!(out, "{:<8} note: {}", "", note);
         }
@@ -316,7 +346,7 @@ pub fn render_figure4(rows: &[MeasuredRow]) -> String {
 
 /// The fixed key order of one experiment object in [`render_json`], shared
 /// with the determinism test so a reordering cannot slip in silently.
-pub const JSON_EXPERIMENT_KEYS: [&str; 14] = [
+pub const JSON_EXPERIMENT_KEYS: [&str; 15] = [
     "id",
     "program",
     "context",
@@ -331,6 +361,7 @@ pub const JSON_EXPERIMENT_KEYS: [&str; 14] = [
     "pct_decrease",
     "paper",
     "provenance",
+    "cache",
 ];
 
 /// Render the full result set as JSON (hand-rolled writer: the structure is
@@ -341,9 +372,10 @@ pub const JSON_EXPERIMENT_KEYS: [&str; 14] = [
 /// `iterations, active_bytes, deriv_bytes, solver` inside each mode;
 /// `node_visits, meets, comm_evals, worklist_peak` inside `solver`;
 /// `tier, saturated, work_units, elapsed_ms, degradation_reason` inside
-/// `provenance`). Rendering the same rows twice is byte-identical, so CI
-/// can diff reports. The only fields that vary *between* runs of the same
-/// experiment are wall-clock measurements (`elapsed_ms`).
+/// `provenance`; `cache` last — `null` without `--cache-dir`, else
+/// `"hit"`/`"miss"`). Rendering the same rows twice is byte-identical, so
+/// CI can diff reports. The only fields that vary *between* runs of the
+/// same experiment are wall-clock measurements (`elapsed_ms`).
 pub fn render_json(rows: &[MeasuredRow]) -> String {
     fn esc(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -378,9 +410,13 @@ pub fn render_json(rows: &[MeasuredRow]) -> String {
                 }
             ),
         };
+        let cache = match r.cache {
+            None => "null".to_string(),
+            Some(c) => format!("\"{}\"", c.as_str()),
+        };
         let _ = write!(
             out,
-            "    {{\"id\": \"{}\", \"program\": \"{}\", \"context\": \"{}\", \"clone_level\": {}, \"independents\": [{}], \"dependents\": [{}], \"num_indeps\": {}, \"comm_edges\": {}, \"converged\": {}, \"icfg\": {}, \"mpi_icfg\": {}, \"pct_decrease\": {:.4}, \"paper\": {{\"icfg_active_bytes\": {}, \"mpi_active_bytes\": {}, \"pct_decrease\": {}}}, \"provenance\": {provenance}}}",
+            "    {{\"id\": \"{}\", \"program\": \"{}\", \"context\": \"{}\", \"clone_level\": {}, \"independents\": [{}], \"dependents\": [{}], \"num_indeps\": {}, \"comm_edges\": {}, \"converged\": {}, \"icfg\": {}, \"mpi_icfg\": {}, \"pct_decrease\": {:.4}, \"paper\": {{\"icfg_active_bytes\": {}, \"mpi_active_bytes\": {}, \"pct_decrease\": {}}}, \"provenance\": {provenance}, \"cache\": {cache}}}",
             esc(r.spec.id),
             esc(r.spec.program),
             esc(r.spec.context),
@@ -611,6 +647,20 @@ mod tests {
             .expect("comm_evals after meets");
         let w = head.find("\"worklist_peak\":").expect("worklist_peak last");
         assert!(m < c && c < w, "stats key order drifted: {head}");
+    }
+
+    #[test]
+    fn json_cache_key_renders_all_three_states() {
+        // The 15th key: `null` without --cache-dir, "hit"/"miss" with it.
+        let mut row = run_experiment(&by_id("Biostat").unwrap());
+        assert!(render_json(std::slice::from_ref(&row)).contains("\"cache\": null"));
+        row.cache = Some(RowCacheStatus::Miss);
+        assert!(render_json(std::slice::from_ref(&row)).contains("\"cache\": \"miss\""));
+        let table = render_table1(std::slice::from_ref(&row));
+        assert!(table.contains("cache: miss"), "{table}");
+        row.cache = Some(RowCacheStatus::Hit);
+        assert!(render_json(std::slice::from_ref(&row)).contains("\"cache\": \"hit\""));
+        assert!(render_table1(std::slice::from_ref(&row)).contains("cache: hit"));
     }
 
     #[test]

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""CI driver for `mpidfa serve`: JSONL-over-TCP smoke test.
+
+Starts the daemon on an ephemeral port, waits for its `listening on ADDR`
+line, then asserts over a real socket:
+
+  * ping round-trips;
+  * a cold Table-1 query set computes (`cache: miss`), the same set warm
+    comes back from the content-addressed result cache (`cache: hit`) with
+    byte-identical result payloads and a measurable wall-clock speedup
+    (the >=5x floor itself is asserted by `cargo bench --bench
+    service_cache`; over a socket the round-trip dominates, so this test
+    requires warm to be at least 2x faster end-to-end);
+  * a second connection shares the first connection's warm cache;
+  * malformed lines get structured errors without dropping the connection;
+  * `shutdown` is acknowledged and the process exits cleanly with code 0.
+
+Usage: python3 scripts/serve_client.py [path/to/mpidfa]
+"""
+
+import json
+import socket
+import subprocess
+import sys
+import time
+
+ROWS = ["Biostat", "SOR", "CG", "LU-1", "MG-1"]
+
+
+class Client:
+    def __init__(self, host, port):
+        self.sock = socket.create_connection((host, port), timeout=60)
+        # One JSON line per round trip: without TCP_NODELAY the Nagle /
+        # delayed-ACK interaction adds ~40 ms per request and swamps the
+        # cold-vs-warm comparison.
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.f = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def raw(self, line):
+        self.f.write(line + "\n")
+        self.f.flush()
+        resp = self.f.readline()
+        assert resp, "server closed the connection unexpectedly"
+        return json.loads(resp)
+
+    def rpc(self, obj):
+        resp = self.raw(json.dumps(obj))
+        assert resp["id"] == obj["id"], resp
+        return resp
+
+
+def query_set(base_id):
+    return [
+        {"id": base_id + i, "kind": "table1-row", "row": row}
+        for i, row in enumerate(ROWS)
+    ]
+
+
+def timed(client, reqs):
+    t0 = time.perf_counter()
+    resps = [client.rpc(q) for q in reqs]
+    return time.perf_counter() - t0, resps
+
+
+def main():
+    binary = sys.argv[1] if len(sys.argv) > 1 else "target/release/mpidfa"
+    proc = subprocess.Popen(
+        [binary, "serve", "--addr", "127.0.0.1:0"],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = proc.stdout.readline().strip()
+        assert banner.startswith("listening on "), f"unexpected banner: {banner!r}"
+        host, port = banner.split()[-1].rsplit(":", 1)
+
+        c = Client(host, int(port))
+
+        r = c.rpc({"id": 1, "kind": "ping"})
+        assert r["ok"] and r["result"]["pong"] is True, r
+
+        # Cold: every row computes.
+        cold_s, cold = timed(c, query_set(100))
+        for resp in cold:
+            assert resp["ok"], resp
+            assert resp["cache"] == "miss", resp
+
+        # Warm: same rows, same connection — all hits, identical payloads.
+        # Best of three rounds to shave scheduler noise.
+        warm_s = float("inf")
+        for _ in range(3):
+            s, warm = timed(c, query_set(100))
+            warm_s = min(warm_s, s)
+            for resp, cold_resp in zip(warm, cold):
+                assert resp["ok"] and resp["cache"] == "hit", resp
+                assert resp["result"] == cold_resp["result"], (
+                    "warm result diverged from cold"
+                )
+        assert warm_s * 2 < cold_s, (
+            f"warm queries ({warm_s*1e3:.2f} ms) not measurably faster than "
+            f"cold ({cold_s*1e3:.2f} ms)"
+        )
+
+        # Malformed lines: structured error, connection survives.
+        err = c.raw('{"id":5,"kind":')
+        assert err["ok"] is False and err["error"]["code"] == "parse", err
+        err = c.raw(json.dumps({"id": 6, "kind": "warp"}))
+        assert err["ok"] is False and err["error"]["code"] == "unknown-kind", err
+        r = c.rpc({"id": 7, "kind": "ping"})
+        assert r["ok"], r
+
+        # A second connection shares the warm cache.
+        c2 = Client(host, int(port))
+        r = c2.rpc({"id": 200, "kind": "table1-row", "row": ROWS[0]})
+        assert r["ok"] and r["cache"] == "hit", r
+
+        # Clean shutdown: acknowledged, then the process exits 0.
+        r = c2.rpc({"id": 999, "kind": "shutdown"})
+        assert r["ok"] and r["result"]["stopping"] is True, r
+        code = proc.wait(timeout=60)
+        assert code == 0, f"server exited with {code}"
+
+        print(
+            f"ok: {len(ROWS)} rows cold {cold_s*1e3:.2f} ms, "
+            f"warm {warm_s*1e3:.2f} ms ({cold_s/warm_s:.1f}x over the socket), "
+            f"clean shutdown"
+        )
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    main()

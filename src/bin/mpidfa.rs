@@ -8,6 +8,8 @@
 //! mpidfa bitwidth  <file.smpl> --context main [--conservative]
 //! mpidfa graph     <file.smpl> --context main [--clone N] [--matching naive|syntactic|consts]
 //! mpidfa run       <file.smpl> [--nprocs N] [--entry main] [--faults seed=N[,...]] [--schedules K]
+//! mpidfa batch     <requests.jsonl | -> [--pool N] [--cache-mem N] [--cache-dir D]
+//! mpidfa serve     [--addr 127.0.0.1:PORT] [--cache-mem N] [--cache-dir D]
 //! ```
 //!
 //! Every command prints a human-readable report to stdout; parse/sema errors
@@ -105,6 +107,13 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
+    // Service front ends take a JSONL stream / a socket address, not a
+    // single SMPL file — route them before the source loader runs.
+    match cmd {
+        "batch" => return cmd_batch(opts),
+        "serve" => return cmd_serve(opts),
+        _ => {}
+    }
     let src = load(opts)?;
     let context = opts.value("context").unwrap_or("main").to_string();
     let clone_level: usize = opts
@@ -412,6 +421,68 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Build the shared service [`Engine`](mpi_dfa::service::Engine) from the
+/// cache flags (`--cache-mem` entries per layer, `--cache-dir` on-disk
+/// result store).
+fn service_engine(opts: &Opts) -> Result<mpi_dfa::service::Engine, String> {
+    let cache_capacity: usize = opts
+        .value("cache-mem")
+        .map(|v| v.parse().map_err(|e| format!("--cache-mem: {e}")))
+        .transpose()?
+        .unwrap_or(256);
+    mpi_dfa::service::Engine::new(mpi_dfa::service::EngineConfig {
+        cache_capacity,
+        cache_dir: opts.value("cache-dir").map(String::from),
+    })
+}
+
+/// `mpidfa batch requests.jsonl [--pool N] [--cache-mem N] [--cache-dir D]`
+/// — answer a JSONL request file on stdout, responses in input order,
+/// byte-identical for any `--pool` size.
+fn cmd_batch(opts: &Opts) -> Result<(), String> {
+    let path = opts
+        .file
+        .as_deref()
+        .ok_or("batch requires a JSONL request file (or `-` for stdin)")?;
+    let input = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    let pool: usize = opts
+        .value("pool")
+        .map(|v| v.parse().map_err(|e| format!("--pool: {e}")))
+        .transpose()?
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    let engine = service_engine(opts)?;
+    use std::io::Write as _;
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for line in mpi_dfa::service::run_batch(&engine, &input, pool) {
+        writeln!(out, "{line}").map_err(|e| format!("stdout: {e}"))?;
+    }
+    out.flush().map_err(|e| format!("stdout: {e}"))?;
+    Ok(())
+}
+
+/// `mpidfa serve --addr 127.0.0.1:PORT [--cache-mem N] [--cache-dir D]` —
+/// JSONL-over-TCP daemon; prints `listening on ADDR`, runs until a client
+/// sends `{"kind":"shutdown"}`.
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let addr = opts.value("addr").unwrap_or("127.0.0.1:7117");
+    let engine = std::sync::Arc::new(service_engine(opts)?);
+    mpi_dfa::service::serve(engine, addr)
+}
+
 /// Build [`RuntimeLimits`] from `mpidfa run`'s `--max-steps` and
 /// `--recv-timeout-ms` flags, starting from the documented defaults.
 fn runtime_limits(opts: &Opts) -> Result<RuntimeLimits, String> {
@@ -482,6 +553,12 @@ fn usage() -> String {
                   grey = never visited; comm edges no fixpoint exercised are\n\
                   flagged `never`. Uses activity when --ind/--dep are given,\n\
                   else the reaching-constants bootstrap.)\n\
+       batch      <requests.jsonl | -> [--pool N] [--cache-mem N] [--cache-dir D]\n\
+                  (JSONL request stream -> JSONL responses on stdout, in input\n\
+                  order, byte-identical for any --pool size; see docs/SERVING.md)\n\
+       serve      [--addr 127.0.0.1:7117] [--cache-mem N] [--cache-dir D]\n\
+                  (JSONL-over-TCP daemon; prints `listening on ADDR`; stops on\n\
+                  a `{\"kind\":\"shutdown\"}` request; see docs/SERVING.md)\n\
        run        [--nprocs N] [--entry main] [--faults SPEC] [--schedules K]\n\
                   [--max-steps N] [--recv-timeout-ms MS]\n\
                   SPEC: bare seed (`7`) or `seed=7,mode=adversarial|chaotic,\n\

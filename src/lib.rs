@@ -19,7 +19,11 @@
 //! * [`analyses`] — reaching constants, activity (Vary/Useful/Active),
 //!   liveness, reaching definitions, forward slicing, taint;
 //! * [`suite`] — the benchmark programs and the Table 1 / Figure 4
-//!   experiment harness.
+//!   experiment harness;
+//! * [`service`] — the analysis service: content-addressed incremental
+//!   caching (per-procedure CFG reuse, whole-program IR, result store)
+//!   behind a JSONL batch scheduler and TCP daemon (see
+//!   `docs/SERVING.md`).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +55,7 @@ pub use mpi_dfa_analyses as analyses;
 pub use mpi_dfa_core as core;
 pub use mpi_dfa_graph as graph;
 pub use mpi_dfa_lang as lang;
+pub use mpi_dfa_service as service;
 pub use mpi_dfa_suite as suite;
 
 /// The most common imports for building and analyzing MPI-ICFGs.
