@@ -29,7 +29,7 @@ use crate::interproc::{
 use mpi_dfa_core::graph::{Edge, EdgeKind, FlowGraph, NodeId};
 use mpi_dfa_core::lattice::BoolOr;
 use mpi_dfa_core::problem::{Dataflow, Direction};
-use mpi_dfa_core::solver::{solve, Solution, SolveParams};
+use mpi_dfa_core::solver::{Solution, SolveParams, Solver};
 use mpi_dfa_core::telemetry;
 use mpi_dfa_core::varset::VarSet;
 use mpi_dfa_graph::icfg::Icfg;
@@ -211,11 +211,11 @@ pub fn analyze_mpi_parallel(
     let (vary, useful) = std::thread::scope(|scope| {
         let v = scope.spawn(|| {
             let _span = telemetry::span("analysis", "activity:vary");
-            solve(mpi, &vary_p, &params)
+            Solver::new(&vary_p, mpi).params(params.clone()).run()
         });
         let u = scope.spawn(|| {
             let _span = telemetry::span("analysis", "activity:useful");
-            solve(mpi, &useful_p, &params)
+            Solver::new(&useful_p, mpi).params(params.clone()).run()
         });
         // A join error means the phase thread panicked; re-raise the
         // original payload instead of replacing it with a fresh panic so
@@ -246,7 +246,7 @@ pub fn analyze_mpi_parallel(
     })
 }
 
-fn analyze_over<G: FlowGraph>(
+fn analyze_over<G: FlowGraph + Sync>(
     graph: &G,
     icfg: &Icfg,
     mode: Mode,
@@ -257,13 +257,13 @@ fn analyze_over<G: FlowGraph>(
     let (vary_p, useful_p) = vary_useful_problems(icfg, mode, config)?;
     let vary = {
         let mut span = telemetry::span("analysis", "activity:vary");
-        let s = solve(graph, &vary_p, params);
+        let s = Solver::new(&vary_p, graph).params(params.clone()).run();
         span.arg("converged", s.stats.converged);
         s
     };
     let useful = {
         let mut span = telemetry::span("analysis", "activity:useful");
-        let s = solve(graph, &useful_p, params);
+        let s = Solver::new(&useful_p, graph).params(params.clone()).run();
         span.arg("converged", s.stats.converged);
         s
     };

@@ -19,7 +19,7 @@
 use crate::interproc::BindMaps;
 use mpi_dfa_core::graph::{Edge, EdgeKind, FlowGraph, NodeId};
 use mpi_dfa_core::problem::{Dataflow, Direction};
-use mpi_dfa_core::solver::{solve, Solution, SolveParams};
+use mpi_dfa_core::solver::{Solution, Solver};
 use mpi_dfa_graph::icfg::{ActualBinding, Icfg};
 use mpi_dfa_graph::loc::{Loc, LocTable};
 use mpi_dfa_graph::mpi::MpiIcfg;
@@ -329,9 +329,9 @@ impl BitwidthResult {
 
 /// Run bitwidth analysis over `graph` (ICFG for [`WidthMode::Conservative`],
 /// MPI-ICFG for [`WidthMode::MpiIcfg`]).
-pub fn analyze<G: FlowGraph>(graph: &G, icfg: &Icfg, mode: WidthMode) -> BitwidthResult {
+pub fn analyze<G: FlowGraph + Sync>(graph: &G, icfg: &Icfg, mode: WidthMode) -> BitwidthResult {
     let problem = Bitwidth::new(icfg, mode);
-    let solution = solve(graph, &problem, &SolveParams::default());
+    let solution = Solver::new(&problem, graph).run();
     let mut max_width = vec![0u8; icfg.ir.locs.len()];
     for env in solution.output.iter().chain(solution.input.iter()) {
         for (slot, &w) in max_width.iter_mut().zip(env.0.iter()) {

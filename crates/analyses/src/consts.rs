@@ -15,7 +15,7 @@ use crate::interproc::BindMaps;
 use mpi_dfa_core::graph::{Edge, EdgeKind, NodeId};
 use mpi_dfa_core::lattice::{ConstLattice, MeetSemiLattice};
 use mpi_dfa_core::problem::{Dataflow, Direction};
-use mpi_dfa_core::solver::{solve, Solution, SolveParams};
+use mpi_dfa_core::solver::{Solution, SolveParams, Solver};
 use mpi_dfa_graph::icfg::{ActualBinding, Icfg, ProgramIr};
 use mpi_dfa_graph::loc::{Loc, ProcId};
 use mpi_dfa_graph::mpi::{ConstQuery, MpiIcfg};
@@ -441,16 +441,12 @@ impl Dataflow for ReachingConsts<'_> {
 
 /// Solve reaching constants over the plain ICFG.
 pub fn analyze_icfg(icfg: &Icfg) -> Solution<ConstEnv> {
-    solve(icfg, &ReachingConsts::new(icfg), &SolveParams::default())
+    Solver::new(&ReachingConsts::new(icfg), icfg).run()
 }
 
 /// Solve reaching constants over the MPI-ICFG (communication edges active).
 pub fn analyze_mpi(mpi: &MpiIcfg) -> Solution<ConstEnv> {
-    solve(
-        mpi,
-        &ReachingConsts::new(mpi.icfg()),
-        &SolveParams::default(),
-    )
+    Solver::new(&ReachingConsts::new(mpi.icfg()), mpi).run()
 }
 
 /// A self-contained constant query for MPI-edge matching: snapshots the
@@ -483,7 +479,9 @@ impl ConstsQuery {
     ) -> Result<ConstsQuery, mpi_dfa_core::budget::Exhaustion> {
         let sol = {
             let mut span = mpi_dfa_core::telemetry::span("analysis", "consts:bootstrap");
-            let sol = solve(icfg, &ReachingConsts::new(icfg), params);
+            let sol = Solver::new(&ReachingConsts::new(icfg), icfg)
+                .params(params.clone())
+                .run();
             span.arg("converged", sol.stats.converged);
             sol
         };

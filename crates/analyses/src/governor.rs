@@ -35,7 +35,7 @@ use crate::activity::{
 use crate::mpi_match::{build_mpi_icfg_with_budget, Matching};
 use mpi_dfa_core::budget::{Budget, BudgetSpent};
 use mpi_dfa_core::problem::Direction;
-use mpi_dfa_core::solver::{ConvergenceStats, Solution, SolveParams};
+use mpi_dfa_core::solver::{ConvergenceStats, Solution, SolveParams, Strategy};
 use mpi_dfa_core::telemetry::{self, ArgValue};
 use mpi_dfa_core::varset::VarSet;
 use mpi_dfa_graph::icfg::{Icfg, ProgramIr};
@@ -114,6 +114,10 @@ pub struct GovernorConfig {
     pub degrade: DegradeMode,
     /// Solver pass bound per fixpoint (see [`SolveParams::max_passes`]).
     pub max_passes: usize,
+    /// Fixpoint strategy used by every tier's solves. Deliberately **not**
+    /// part of any result-cache key: all strategies produce identical facts
+    /// (see `docs/SOLVER.md`), so a cached result is valid for any strategy.
+    pub strategy: Strategy,
 }
 
 impl Default for GovernorConfig {
@@ -124,6 +128,7 @@ impl Default for GovernorConfig {
             budget: Budget::unlimited(),
             degrade: DegradeMode::Auto,
             max_passes: SolveParams::default().max_passes,
+            strategy: Strategy::session_default(),
         }
     }
 }
@@ -319,6 +324,7 @@ fn attempt_tier(
     let params = SolveParams {
         max_passes: gov.max_passes,
         budget: remaining.clone(),
+        strategy: gov.strategy,
     };
 
     let check_mem = |num_nodes: usize| -> Result<(), TierFailure> {

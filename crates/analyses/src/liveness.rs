@@ -11,7 +11,7 @@
 use crate::interproc::{call_backward, return_backward, BindMaps, UseSelector};
 use mpi_dfa_core::graph::{Edge, EdgeKind, FlowGraph, NodeId};
 use mpi_dfa_core::problem::{Dataflow, Direction};
-use mpi_dfa_core::solver::{solve, Solution, SolveParams};
+use mpi_dfa_core::solver::{Solution, Solver};
 use mpi_dfa_core::varset::VarSet;
 use mpi_dfa_graph::icfg::Icfg;
 use mpi_dfa_graph::node::{MpiKind, NodeKind, RefInfo};
@@ -148,8 +148,8 @@ impl Dataflow for Liveness<'_> {
 
 /// Solve liveness over any graph built from `icfg` (the plain ICFG or the
 /// MPI-ICFG — the result is identical because the problem is separable).
-pub fn analyze<G: FlowGraph>(graph: &G, icfg: &Icfg) -> Solution<VarSet> {
-    solve(graph, &Liveness::new(icfg), &SolveParams::default())
+pub fn analyze<G: FlowGraph + Sync>(graph: &G, icfg: &Icfg) -> Solution<VarSet> {
+    Solver::new(&Liveness::new(icfg), graph).run()
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use crate::interproc::{call_forward, return_forward, BindMaps, UseSelector};
 use mpi_dfa_core::graph::{Edge, EdgeKind, FlowGraph, NodeId};
 use mpi_dfa_core::lattice::BoolOr;
 use mpi_dfa_core::problem::{Dataflow, Direction};
-use mpi_dfa_core::solver::{solve, SolveParams};
+use mpi_dfa_core::solver::Solver;
 use mpi_dfa_core::varset::VarSet;
 use mpi_dfa_graph::icfg::Icfg;
 use mpi_dfa_graph::node::{MpiKind, NodeKind};
@@ -147,7 +147,11 @@ impl Dataflow for Influence<'_> {
 ///
 /// `graph` may be the plain ICFG (no communication modeling — reproduces
 /// the paper's "erroneous result") or the MPI-ICFG.
-pub fn forward_slice<G: FlowGraph>(graph: &G, icfg: &Icfg, seed: StmtId) -> BTreeSet<StmtId> {
+pub fn forward_slice<G: FlowGraph + Sync>(
+    graph: &G,
+    icfg: &Icfg,
+    seed: StmtId,
+) -> BTreeSet<StmtId> {
     let seeds: Vec<NodeId> = icfg
         .nodes()
         .filter(|&n| icfg.payload(n).stmt == Some(seed))
@@ -164,7 +168,7 @@ pub fn forward_slice<G: FlowGraph>(graph: &G, icfg: &Icfg, seed: StmtId) -> BTre
         universe: icfg.ir.locs.len(),
         use_comm,
     };
-    let sol = solve(graph, &problem, &SolveParams::default());
+    let sol = Solver::new(&problem, graph).run();
 
     let mut slice = BTreeSet::new();
     slice.insert(seed);

@@ -12,7 +12,7 @@ use crate::interproc::{call_forward, return_forward, BindMaps, UseSelector};
 use mpi_dfa_core::graph::{Edge, EdgeKind, FlowGraph, NodeId};
 use mpi_dfa_core::lattice::BoolOr;
 use mpi_dfa_core::problem::{Dataflow, Direction};
-use mpi_dfa_core::solver::{solve, Solution, SolveParams};
+use mpi_dfa_core::solver::{Solution, Solver};
 use mpi_dfa_core::varset::VarSet;
 use mpi_dfa_graph::icfg::Icfg;
 use mpi_dfa_graph::loc::{Loc, LocTable};
@@ -164,7 +164,7 @@ impl Dataflow for Taint<'_> {
 }
 
 /// Run trust analysis.
-pub fn analyze<G: FlowGraph>(
+pub fn analyze<G: FlowGraph + Sync>(
     graph: &G,
     icfg: &Icfg,
     mode: TaintMode,
@@ -187,7 +187,7 @@ pub fn analyze<G: FlowGraph>(
         seed,
         reads_tainted: config.reads_are_tainted,
     };
-    let solution = solve(graph, &problem, &SolveParams::default());
+    let solution = Solver::new(&problem, graph).run();
     let mut ever = VarSet::empty(universe);
     for n in 0..graph.num_nodes() {
         ever.union_into(&solution.output[n]);

@@ -212,7 +212,7 @@ mod tests {
         }";
 
     fn two_copy_active(src: &str, context: &str, ind: &[&str], dep: &[&str]) -> (u64, u64) {
-        use mpi_dfa_core::solver::{solve, SolveParams};
+        use mpi_dfa_core::solver::Solver;
         use mpi_dfa_core::varset::VarSet;
 
         let ir = ProgramIr::from_source(src).unwrap();
@@ -230,12 +230,8 @@ mod tests {
         let doubled = TwoCopyGraph::build(&mpi);
         let (vary, useful) =
             activity::vary_useful_problems(mpi.icfg(), Mode::MpiIcfg, &config).expect("problems");
-        let v = solve(&doubled, &rebase(&vary, &doubled), &SolveParams::default());
-        let u = solve(
-            &doubled,
-            &rebase(&useful, &doubled),
-            &SolveParams::default(),
-        );
+        let v = Solver::new(&rebase(&vary, &doubled), &doubled).run();
+        let u = Solver::new(&rebase(&useful, &doubled), &doubled).run();
         let mut active = VarSet::empty(ir.locs.len());
         for n in 0..doubled.num_nodes() {
             let node = NodeId(n as u32);

@@ -9,7 +9,7 @@ use mpi_dfa_analyses::activity::{self, ActivityConfig};
 use mpi_dfa_analyses::consts::ReachingConsts;
 use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
 use mpi_dfa_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mpi_dfa_core::solver::{solve, solve_worklist, SolveParams};
+use mpi_dfa_core::solver::{Solver, Strategy};
 use mpi_dfa_graph::icfg::ProgramIr;
 use mpi_dfa_graph::mpi::MpiIcfg;
 use mpi_dfa_suite::gen::{generate, GenConfig};
@@ -42,11 +42,11 @@ fn bench_scaling(c: &mut Criterion) {
     let mpi = graph_for(4);
     group.bench_function("round_robin", |b| {
         let p = ReachingConsts::new(mpi.icfg());
-        b.iter(|| black_box(solve(&mpi, &p, &SolveParams::default())));
+        b.iter(|| black_box(Solver::new(&p, &mpi).strategy(Strategy::RoundRobin).run()));
     });
     group.bench_function("worklist", |b| {
         let p = ReachingConsts::new(mpi.icfg());
-        b.iter(|| black_box(solve_worklist(&mpi, &p, &SolveParams::default())));
+        b.iter(|| black_box(Solver::new(&p, &mpi).strategy(Strategy::Worklist).run()));
     });
     group.finish();
 
@@ -55,8 +55,8 @@ fn bench_scaling(c: &mut Criterion) {
     // of a full fixpoint — i.e. the budget a production caller must grant
     // before the degradation ladder kicks in — can be charted per strategy.
     let p = ReachingConsts::new(mpi.icfg());
-    let rr = solve(&mpi, &p, &SolveParams::default());
-    let wl = solve_worklist(&mpi, &p, &SolveParams::default());
+    let rr = Solver::new(&p, &mpi).strategy(Strategy::RoundRobin).run();
+    let wl = Solver::new(&p, &mpi).strategy(Strategy::Worklist).run();
     for (name, stats) in [("round_robin", &rr.stats), ("worklist", &wl.stats)] {
         println!(
             "solver_scaling/budget_headroom/{name}: {} node visits, {} comm evals, \

@@ -17,14 +17,17 @@
 //!   (forward) or a receive-like node emits from its OUT set (backward);
 //! * optional fact translation across call/return edges.
 //!
-//! The [`solver`] module provides a round-robin strategy (whose pass count is
-//! the paper's "Iter" statistic) and a worklist strategy. [`varset::VarSet`]
-//! and the lattices in [`lattice`] cover the fact types the canonical
-//! analyses need.
+//! The [`solver`] module exposes a single builder entry point,
+//! [`solver::Solver`], over three interchangeable [`solver::Strategy`]
+//! values: a round-robin strategy (whose pass count is the paper's "Iter"
+//! statistic), a sequential worklist, and an SCC-region-parallel engine
+//! (backed by [`scc`]) that produces byte-identical facts at any thread
+//! count. [`varset::VarSet`] and the lattices in [`lattice`] cover the fact
+//! types the canonical analyses need.
 //!
 //! ```
 //! use mpi_dfa_core::graph::SimpleGraph;
-//! use mpi_dfa_core::solver::{solve, SolveParams};
+//! use mpi_dfa_core::solver::{Solver, Strategy};
 //! # use mpi_dfa_core::graph::NodeId;
 //! # use mpi_dfa_core::problem::{Dataflow, Direction};
 //! # struct Reach;
@@ -41,7 +44,7 @@
 //! g.flow(0, 1);
 //! g.set_entry(0);
 //! g.set_exit(1);
-//! let sol = solve(&g, &Reach, &SolveParams::default());
+//! let sol = Solver::new(&Reach, &g).strategy(Strategy::Worklist).run();
 //! assert!(sol.output[1]);
 //! assert!(sol.stats.converged);
 //! ```
@@ -52,6 +55,7 @@ pub mod graph;
 pub mod hash;
 pub mod lattice;
 pub mod problem;
+pub mod scc;
 pub mod solver;
 pub mod telemetry;
 pub mod varset;
@@ -62,6 +66,9 @@ pub use graph::{Edge, EdgeKind, FlowGraph, NodeId};
 pub use hash::{fnv128, fnv64, hex128, Hasher128};
 pub use lattice::{BoolAnd, BoolOr, ConstLattice, MeetSemiLattice};
 pub use problem::{Dataflow, Direction};
-pub use solver::{solve, solve_worklist, ConvergenceStats, Solution, SolveParams};
+pub use scc::{condense, Condensation};
+#[allow(deprecated)]
+pub use solver::{solve, solve_worklist};
+pub use solver::{ConvergenceStats, Solution, SolveParams, Solver, Strategy};
 pub use telemetry::{SpanGuard, TelemetryReport, TraceLevel};
 pub use varset::VarSet;

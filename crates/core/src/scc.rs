@@ -1,0 +1,349 @@
+//! Tarjan condensation of a [`FlowGraph`] into strongly connected regions.
+//!
+//! The region-parallel solver strategy ([`crate::solver::Strategy::RegionParallel`])
+//! needs to know which nodes can participate in a fact cycle. On an MPI-ICFG
+//! a cycle may run through **communication edges** — a send whose payload
+//! feeds a receive that loops back to the send (CG's cyclic communication
+//! structure is the canonical case) — so the condensation here traverses
+//! *every* edge kind: flow, call, return, and comm. Anything that can carry a
+//! fact can close a cycle, and anything that can close a cycle must land in
+//! one region.
+//!
+//! Region ids are renumbered into **topological order**: for every
+//! cross-region edge `u -> v` in the underlying graph,
+//! `region_of[u] < region_of[v]`. Tarjan emits components in reverse
+//! topological order (a component is only popped once everything reachable
+//! from it has been popped), so the renumbering is just a reversal — no
+//! second sort is needed. The solver relies on this invariant to schedule
+//! regions: once every predecessor region of `R` has reached its local
+//! fixpoint, the facts flowing into `R` are final, so `R`'s local fixpoint is
+//! a piece of the global one.
+//!
+//! The implementation is fully iterative (explicit DFS stack); deep
+//! straight-line programs must not overflow the thread stack.
+
+use crate::graph::{FlowGraph, NodeId};
+
+/// The condensation: each node mapped to its strongly connected region, with
+/// region ids in topological order of the region DAG.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// Node index → region id. Invariant: for every edge `u -> v` of the
+    /// condensed graph (any kind, including comm),
+    /// `region_of[u] <= region_of[v]`, with equality exactly when `u` and
+    /// `v` share a region.
+    pub region_of: Vec<u32>,
+    /// Node index → position of the node inside `regions[region_of[node]]`.
+    pub local_index: Vec<u32>,
+    /// Region id → member nodes, sorted by node index. Every node of the
+    /// graph (including unreachable ones) appears in exactly one region.
+    pub regions: Vec<Vec<NodeId>>,
+    /// Region id → distinct successor region ids (sorted, deduplicated).
+    pub succs: Vec<Vec<u32>>,
+    /// Region id → distinct predecessor region ids (sorted, deduplicated).
+    pub preds: Vec<Vec<u32>>,
+}
+
+impl Condensation {
+    /// Number of strongly connected regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Size of the largest region — the sequential bottleneck of any
+    /// region-parallel schedule (a single giant comm SCC degrades the whole
+    /// solve to effectively sequential).
+    pub fn largest_region(&self) -> usize {
+        self.regions.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+const UNVISITED: u32 = u32::MAX;
+
+/// Compute the condensation of `graph`, traversing **all** edge kinds
+/// (flow, call, return, and communication).
+pub fn condense<G: FlowGraph>(graph: &G) -> Condensation {
+    let n = graph.num_nodes();
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next = 0u32;
+    // Components in Tarjan emission order (= reverse topological order).
+    let mut emitted: Vec<Vec<NodeId>> = Vec::new();
+    let mut raw_region = vec![UNVISITED; n];
+
+    // Explicit DFS frames: (node, next out-edge offset).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        index[root as usize] = next;
+        low[root as usize] = next;
+        next += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+        frames.push((root, 0));
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.0;
+            let edges = graph.out_edges(NodeId(v));
+            if frame.1 < edges.len() {
+                // Every edge kind participates: comm edges carry facts too.
+                let w = edges[frame.1].to.0;
+                frame.1 += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next;
+                    low[w as usize] = next;
+                    next += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    let p = parent.0 as usize;
+                    low[p] = low[p].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        raw_region[w as usize] = emitted.len() as u32;
+                        comp.push(NodeId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    emitted.push(comp);
+                }
+            }
+        }
+    }
+
+    // Renumber emission order (reverse topological) into topological order.
+    let total = emitted.len() as u32;
+    let regions: Vec<Vec<NodeId>> = emitted.into_iter().rev().collect();
+    let mut region_of = vec![0u32; n];
+    for (i, raw) in raw_region.iter().enumerate() {
+        debug_assert_ne!(*raw, UNVISITED, "node {i} missed by Tarjan sweep");
+        region_of[i] = total - 1 - raw;
+    }
+    let mut local_index = vec![0u32; n];
+    for region in &regions {
+        for (i, nd) in region.iter().enumerate() {
+            local_index[nd.index()] = i as u32;
+        }
+    }
+
+    // Cross-region adjacency, deduplicated.
+    let r = regions.len();
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); r];
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); r];
+    for u in 0..n {
+        let ru = region_of[u];
+        for e in graph.out_edges(NodeId(u as u32)) {
+            let rv = region_of[e.to.index()];
+            if ru != rv {
+                debug_assert!(
+                    ru < rv,
+                    "topological invariant violated: edge {u} -> {} maps {ru} -> {rv}",
+                    e.to.index()
+                );
+                succs[ru as usize].push(rv);
+                preds[rv as usize].push(ru);
+            }
+        }
+    }
+    for list in succs.iter_mut().chain(preds.iter_mut()) {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    Condensation {
+        region_of,
+        local_index,
+        regions,
+        succs,
+        preds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SimpleGraph;
+
+    fn check_invariants<G: FlowGraph>(g: &G, c: &Condensation) {
+        // Every node is in exactly one region, at its recorded local index.
+        let mut seen = vec![0usize; g.num_nodes()];
+        for (rid, region) in c.regions.iter().enumerate() {
+            for (i, nd) in region.iter().enumerate() {
+                seen[nd.index()] += 1;
+                assert_eq!(c.region_of[nd.index()], rid as u32);
+                assert_eq!(c.local_index[nd.index()], i as u32);
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1), "partition property: {seen:?}");
+        // Topological numbering across every edge kind.
+        for u in 0..g.num_nodes() {
+            for e in g.out_edges(NodeId(u as u32)) {
+                let (ru, rv) = (c.region_of[u], c.region_of[e.to.index()]);
+                assert!(ru <= rv, "edge {u}->{} regions {ru}->{rv}", e.to.index());
+            }
+        }
+        // Adjacency lists are consistent, sorted, deduplicated.
+        for (rid, ss) in c.succs.iter().enumerate() {
+            for w in ss.windows(2) {
+                assert!(w[0] < w[1], "succs sorted+deduped");
+            }
+            for &s in ss {
+                assert!(c.preds[s as usize].contains(&(rid as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_is_four_singleton_regions_in_topo_order() {
+        let mut g = SimpleGraph::new(4);
+        g.flow(0, 1);
+        g.flow(0, 2);
+        g.flow(1, 3);
+        g.flow(2, 3);
+        g.set_entry(0);
+        g.set_exit(3);
+        let c = condense(&g);
+        check_invariants(&g, &c);
+        assert_eq!(c.num_regions(), 4);
+        assert_eq!(c.largest_region(), 1);
+        assert_eq!(c.region_of[0], 0, "entry first");
+        assert_eq!(c.region_of[3], 3, "join last");
+        assert_eq!(c.preds[c.region_of[3] as usize].len(), 2);
+    }
+
+    #[test]
+    fn flow_loop_collapses_into_one_region() {
+        // 0 -> 1 <-> 2 -> 3
+        let mut g = SimpleGraph::new(4);
+        g.flow(0, 1);
+        g.flow(1, 2);
+        g.flow(2, 1);
+        g.flow(2, 3);
+        g.set_entry(0);
+        g.set_exit(3);
+        let c = condense(&g);
+        check_invariants(&g, &c);
+        assert_eq!(c.num_regions(), 3);
+        assert_eq!(c.region_of[1], c.region_of[2]);
+        assert_eq!(c.largest_region(), 2);
+    }
+
+    #[test]
+    fn comm_edges_close_cycles_send_recv_lands_in_one_region() {
+        // A send/recv pair connected only through a comm edge one way and a
+        // flow path back: 1 -comm-> 2, 2 -> 3 -> 1. Without comm edges in
+        // the condensation 1/2/3 would look acyclic; with them they are one
+        // region — the property the region scheduler's soundness needs.
+        let mut g = SimpleGraph::new(5);
+        g.flow(0, 1);
+        g.comm(1, 2, 0);
+        g.flow(2, 3);
+        g.flow(3, 1);
+        g.flow(3, 4);
+        g.set_entry(0);
+        g.set_exit(4);
+        let c = condense(&g);
+        check_invariants(&g, &c);
+        assert_eq!(c.region_of[1], c.region_of[2]);
+        assert_eq!(c.region_of[2], c.region_of[3]);
+        assert_eq!(c.num_regions(), 3);
+        assert_eq!(c.largest_region(), 3);
+    }
+
+    #[test]
+    fn pure_comm_cycle_is_one_region() {
+        // Two ranks exchanging: 1 -comm-> 2 and 2 -comm-> 1.
+        let mut g = SimpleGraph::new(3);
+        g.flow(0, 1);
+        g.flow(0, 2);
+        g.comm(1, 2, 0);
+        g.comm(2, 1, 1);
+        g.set_entry(0);
+        g.set_exit(1);
+        let c = condense(&g);
+        check_invariants(&g, &c);
+        assert_eq!(c.region_of[1], c.region_of[2]);
+    }
+
+    #[test]
+    fn self_loop_and_isolated_and_unreachable_nodes_are_covered() {
+        // 0 has a self loop; 1 is reachable; 2 is unreachable from the
+        // entry; 3 is fully isolated. All must receive a region.
+        let mut g = SimpleGraph::new(4);
+        g.flow(0, 0);
+        g.flow(0, 1);
+        g.flow(2, 1);
+        g.set_entry(0);
+        g.set_exit(1);
+        let c = condense(&g);
+        check_invariants(&g, &c);
+        assert_eq!(c.num_regions(), 4, "self-loop region is its own SCC");
+        assert_eq!(c.regions[c.region_of[0] as usize], vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SimpleGraph::new(0);
+        let c = condense(&g);
+        assert_eq!(c.num_regions(), 0);
+        assert_eq!(c.largest_region(), 0);
+    }
+
+    #[test]
+    fn call_and_return_edges_participate() {
+        use crate::graph::EdgeKind;
+        // caller 0 -call-> callee entry 1 -> callee exit 2 -return-> 3 -> 0
+        // forms a cycle through interprocedural edges.
+        let mut g = SimpleGraph::new(4);
+        g.add_edge(0, 1, EdgeKind::Call { site: 0 });
+        g.flow(1, 2);
+        g.add_edge(2, 3, EdgeKind::Return { site: 0 });
+        g.flow(3, 0);
+        g.set_entry(0);
+        g.set_exit(3);
+        let c = condense(&g);
+        check_invariants(&g, &c);
+        assert_eq!(c.num_regions(), 1);
+        assert_eq!(c.largest_region(), 4);
+    }
+
+    #[test]
+    fn topological_ids_on_a_chain_of_loops() {
+        // (0 1) -> (2 3) -> (4 5): three two-node loops in a chain.
+        let mut g = SimpleGraph::new(6);
+        g.flow(0, 1);
+        g.flow(1, 0);
+        g.flow(1, 2);
+        g.flow(2, 3);
+        g.flow(3, 2);
+        g.flow(3, 4);
+        g.flow(4, 5);
+        g.flow(5, 4);
+        g.set_entry(0);
+        g.set_exit(5);
+        let c = condense(&g);
+        check_invariants(&g, &c);
+        assert_eq!(c.num_regions(), 3);
+        assert_eq!(c.region_of[0], 0);
+        assert_eq!(c.region_of[2], 1);
+        assert_eq!(c.region_of[4], 2);
+        assert_eq!(c.succs[0], vec![1]);
+        assert_eq!(c.succs[1], vec![2]);
+        assert_eq!(c.preds[2], vec![1]);
+    }
+}

@@ -1,32 +1,164 @@
-//! The iterative data-flow solver.
+//! The iterative data-flow solver behind the unified [`Solver`] builder.
 //!
-//! Two strategies are provided:
+//! Three strategies are provided (see [`Strategy`]):
 //!
-//! * [`solve`] — round-robin passes in reverse postorder until a full pass
-//!   changes nothing. The pass count it records is the "Iter" statistic the
-//!   paper's Table 1 reports, so the experiment harness uses this strategy.
-//! * [`solve_worklist`] — a FIFO worklist that only revisits nodes whose
-//!   inputs may have changed. Faster in practice; used by the ablation
-//!   benchmarks to quantify the difference.
+//! * [`Strategy::RoundRobin`] — full passes in reverse postorder until a
+//!   pass changes nothing. The pass count it records is the "Iter"
+//!   statistic the paper's Table 1 reports, so the experiment harness pins
+//!   this strategy.
+//! * [`Strategy::Worklist`] — a FIFO worklist that only revisits nodes
+//!   whose inputs may have changed. Faster in practice; the reference for
+//!   the region-parallel strategy's byte-identical guarantee.
+//! * [`Strategy::RegionParallel`] — Tarjan-condenses the graph (including
+//!   communication edges, see [`crate::scc`]) and solves each strongly
+//!   connected region to a local fixpoint in topological order, running
+//!   independent ready regions on a scoped thread pool. For monotone
+//!   problems the solution is **byte-identical** to the sequential
+//!   worklist at any thread count: parallelism changes wall-clock, never
+//!   facts. See `docs/SOLVER.md` for the full determinism argument.
 //!
-//! Both handle communication edges: at a node with (direction-adjusted)
-//! incoming communication edges, the solver evaluates `f_comm` at each edge's
-//! source using that source's *input* fact — matching the paper's
-//! `commOUT(n) = f_comm(IN(n))` for forward analyses and
-//! `commIN(n) = f_comm(OUT(n))` for backward ones — and hands the collected
-//! communication facts to the node's transfer function.
+//! All strategies handle communication edges: at a node with
+//! (direction-adjusted) incoming communication edges, the solver evaluates
+//! `f_comm` at each edge's source using that source's *input* fact —
+//! matching the paper's `commOUT(n) = f_comm(IN(n))` for forward analyses
+//! and `commIN(n) = f_comm(OUT(n))` for backward ones — and hands the
+//! collected communication facts to the node's transfer function.
+//!
+//! The free functions [`solve`] / [`solve_worklist`] are deprecated shims
+//! over the builder:
+//!
+//! ```
+//! # use mpi_dfa_core::graph::{NodeId, SimpleGraph};
+//! # use mpi_dfa_core::problem::{Dataflow, Direction};
+//! # use mpi_dfa_core::solver::{Solver, Strategy};
+//! # struct Reach;
+//! # impl Dataflow for Reach {
+//! #     type Fact = bool; type CommFact = ();
+//! #     fn direction(&self) -> Direction { Direction::Forward }
+//! #     fn top(&self) -> bool { false }
+//! #     fn boundary(&self) -> bool { true }
+//! #     fn meet_into(&self, d: &mut bool, s: &bool) -> bool { let c = !*d && *s; *d |= *s; c }
+//! #     fn transfer(&self, _: NodeId, i: &bool, _: &[()]) -> bool { *i }
+//! #     fn comm_transfer(&self, _: NodeId, _: &bool) {}
+//! # }
+//! let mut g = SimpleGraph::new(2);
+//! g.flow(0, 1);
+//! g.set_entry(0);
+//! g.set_exit(1);
+//! let sol = Solver::new(&Reach, &g)
+//!     .strategy(Strategy::RegionParallel { threads: 2 })
+//!     .run();
+//! assert!(sol.output[1]);
+//! assert!(sol.stats.converged);
+//! ```
 
-use crate::budget::{Budget, Exhaustion};
+use crate::budget::{Budget, Exhaustion, CHECK_INTERVAL};
 use crate::graph::{reverse_postorder, Edge, FlowGraph, NodeId};
 use crate::problem::{Dataflow, Direction};
+use crate::scc::{self, Condensation};
 use crate::telemetry;
+use std::cell::UnsafeCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Environment variable consulted once per process by
+/// [`Strategy::session_default`] (and thus [`SolveParams::default`]);
+/// lets CI run the whole suite under a different default strategy without
+/// touching call sites.
+pub const STRATEGY_ENV: &str = "MPIDFA_SOLVER";
+
+/// Fixpoint iteration strategy. A pure performance knob: for monotone,
+/// converging problems every strategy computes the same maximal fixpoint,
+/// which is why strategy is deliberately **excluded** from every result
+/// cache key (service result cache, `repro` row cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Full reverse-postorder passes; `passes` matches Table 1's "Iter".
+    RoundRobin,
+    /// Sequential FIFO worklist; the determinism reference.
+    Worklist,
+    /// SCC condensation + topological region schedule on a scoped thread
+    /// pool. `threads: 0` means "use available parallelism".
+    RegionParallel {
+        /// Worker thread count; `0` resolves to the machine's available
+        /// parallelism at run time.
+        threads: usize,
+    },
+}
+
+static SESSION_DEFAULT: OnceLock<Strategy> = OnceLock::new();
+
+impl Strategy {
+    /// Parse the CLI/service spelling: `round-robin`, `worklist`,
+    /// `region-parallel`, or `region-parallel:N` (N ≥ 1 worker threads).
+    pub fn parse(s: &str) -> Result<Strategy, String> {
+        match s {
+            "round-robin" => Ok(Strategy::RoundRobin),
+            "worklist" => Ok(Strategy::Worklist),
+            "region-parallel" => Ok(Strategy::RegionParallel { threads: 0 }),
+            other => match other.strip_prefix("region-parallel:") {
+                Some(n) => match n.parse::<usize>() {
+                    Ok(t) if t >= 1 => Ok(Strategy::RegionParallel { threads: t }),
+                    Ok(_) => Err(
+                        "region-parallel thread count must be >= 1 (omit `:N` for auto)".into(),
+                    ),
+                    Err(_) => Err(format!("invalid region-parallel thread count {n:?}")),
+                },
+                None => Err(format!(
+                    "unknown solver strategy {other:?} (expected round-robin|worklist|region-parallel[:N])"
+                )),
+            },
+        }
+    }
+
+    /// The strategy named by [`STRATEGY_ENV`], or `default` when the
+    /// variable is unset, empty, or unparsable (a bad value must not turn
+    /// library calls into panics; the CLIs validate loudly instead).
+    pub fn from_env_or(default: Strategy) -> Strategy {
+        match std::env::var(STRATEGY_ENV) {
+            Ok(v) if !v.trim().is_empty() => Strategy::parse(v.trim()).unwrap_or(default),
+            _ => default,
+        }
+    }
+
+    /// Process-wide default strategy: [`STRATEGY_ENV`] read once, falling
+    /// back to [`Strategy::RoundRobin`] (the paper's Table-1 iteration
+    /// scheme). Cached so hot paths constructing [`SolveParams::default`]
+    /// never touch the environment again.
+    pub fn session_default() -> Strategy {
+        *SESSION_DEFAULT.get_or_init(|| Strategy::from_env_or(Strategy::RoundRobin))
+    }
+
+    /// Pin the process-wide default strategy (what `--solver` on the CLIs
+    /// does). Returns `false` when the default was already established —
+    /// either by a previous call or because something already solved under
+    /// the environment-derived default; callers that need the override to
+    /// stick should invoke this before running any analysis.
+    pub fn set_session_default(strategy: Strategy) -> bool {
+        SESSION_DEFAULT.set(strategy).is_ok()
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::RoundRobin => write!(f, "round-robin"),
+            Strategy::Worklist => write!(f, "worklist"),
+            Strategy::RegionParallel { threads: 0 } => write!(f, "region-parallel"),
+            Strategy::RegionParallel { threads } => write!(f, "region-parallel:{threads}"),
+        }
+    }
+}
 
 /// Solver tuning knobs.
 #[derive(Debug, Clone)]
 pub struct SolveParams {
-    /// Upper bound on round-robin passes (or, for the worklist, on node
-    /// visits divided by node count). Exceeding it sets
+    /// Upper bound on round-robin passes (or, for worklist-based
+    /// strategies, on node visits divided by node count). Exceeding it sets
     /// `ConvergenceStats::converged = false` instead of looping forever.
     pub max_passes: usize,
     /// Resource budget (deadline, work-unit cap, cancellation). The solver
@@ -34,6 +166,8 @@ pub struct SolveParams {
     /// fixpoint early with `converged = false` and records the reason in
     /// `ConvergenceStats::exhausted`.
     pub budget: Budget,
+    /// Iteration strategy; defaults to [`Strategy::session_default`].
+    pub strategy: Strategy,
 }
 
 impl Default for SolveParams {
@@ -41,6 +175,7 @@ impl Default for SolveParams {
         SolveParams {
             max_passes: 10_000,
             budget: Budget::unlimited(),
+            strategy: Strategy::session_default(),
         }
     }
 }
@@ -53,14 +188,26 @@ impl SolveParams {
             ..SolveParams::default()
         }
     }
+
+    /// Default params with the given strategy.
+    pub fn with_strategy(strategy: Strategy) -> Self {
+        SolveParams {
+            strategy,
+            ..SolveParams::default()
+        }
+    }
 }
 
-/// Convergence accounting, reported uniformly by both solver strategies so
+/// Convergence accounting, reported uniformly by all solver strategies so
 /// bench output can chart budget headroom.
+///
+/// Under [`Strategy::RegionParallel`] every field except `elapsed` is
+/// derived from per-region accounting merged in region-id order, so the
+/// whole struct (minus wall-clock) is independent of the thread count.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ConvergenceStats {
     /// Number of full passes over the graph (round-robin) or an equivalent
-    /// estimate (worklist: visits / nodes, rounded up).
+    /// estimate (worklist strategies: visits / nodes, rounded up).
     pub passes: usize,
     /// Total node transfer evaluations.
     pub node_visits: u64,
@@ -70,11 +217,14 @@ pub struct ConvergenceStats {
     /// upstream non-communication edge visited).
     pub meets: u64,
     /// High-water mark of the worklist depth (0 for the round-robin
-    /// strategy, which has no queue).
+    /// strategy, which has no queue). Under the region-parallel strategy
+    /// this is the **maximum over per-region queue high-waters** — a
+    /// deterministic quantity — never a racy global queue measurement.
     pub worklist_peak: usize,
     /// Number of nodes whose input or output changed, per pass (round-robin)
-    /// or per visit bucket of `num_nodes` visits (worklist). Shows how fast
-    /// the fixpoint tightens.
+    /// or per visit bucket (worklist strategies). Region-parallel merges
+    /// per-region bucket series element-wise in region-id order, so the
+    /// result is deterministic at any thread count.
     pub pass_deltas: Vec<u64>,
     /// Per-node visit counts, indexed by `NodeId::index()`. Feeds the DOT
     /// heat overlay; element-wise summed by [`ConvergenceStats::absorb`].
@@ -89,14 +239,16 @@ pub struct ConvergenceStats {
 
 impl ConvergenceStats {
     /// Merge the consumption of a sub-solve into this one (used by clients
-    /// that run several solves under one budget).
+    /// that run several solves under one budget, and by the region-parallel
+    /// engine to fold per-region stats).
     ///
     /// On the pure counters (`passes`, `node_visits`, `comm_evals`, `meets`,
     /// `worklist_peak`, `pass_deltas`, `per_node_visits`, `elapsed`,
     /// `converged`) this operation is commutative and associative — sums,
-    /// maxima, element-wise sums, and conjunction all are. `exhausted`
-    /// deliberately keeps the *first* recorded reason, so it depends on
-    /// absorb order (a degradation trace reads in pipeline order).
+    /// maxima, element-wise sums, and conjunction all are — which is what
+    /// makes parallel merges order-independent. `exhausted` deliberately
+    /// keeps the *first* recorded reason, so it depends on absorb order (a
+    /// degradation trace reads in pipeline order).
     pub fn absorb(&mut self, other: &ConvergenceStats) {
         self.passes = self.passes.max(other.passes);
         self.node_visits += other.node_visits;
@@ -196,6 +348,101 @@ impl<F> Solution<F> {
     }
 }
 
+/// Unified builder over every iteration strategy.
+///
+/// ```text
+/// Solver::new(problem, graph)
+///     .strategy(Strategy::RegionParallel { threads: 8 })
+///     .params(SolveParams::default())   // or .max_passes(..) / .budget(..)
+///     .run()
+/// ```
+///
+/// `run()` requires the problem, graph, and facts to be shareable across
+/// threads (`Sync`/`Send`) because the region-parallel strategy may fan out
+/// to a scoped pool; every analysis in this workspace satisfies the bounds
+/// structurally (plain owned data).
+#[derive(Debug)]
+pub struct Solver<'a, P, G> {
+    problem: &'a P,
+    graph: &'a G,
+    params: SolveParams,
+}
+
+impl<'a, P: Dataflow, G: FlowGraph> Solver<'a, P, G> {
+    /// Start building a solve of `problem` over `graph` with
+    /// [`SolveParams::default`].
+    pub fn new(problem: &'a P, graph: &'a G) -> Self {
+        Solver {
+            problem,
+            graph,
+            params: SolveParams::default(),
+        }
+    }
+
+    /// Select the iteration strategy (overrides the one in the params).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.params.strategy = strategy;
+        self
+    }
+
+    /// Replace all tuning knobs at once (including the strategy).
+    pub fn params(mut self, params: SolveParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Set the pass bound.
+    pub fn max_passes(mut self, max_passes: usize) -> Self {
+        self.params.max_passes = max_passes;
+        self
+    }
+
+    /// Set the resource budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.params.budget = budget;
+        self
+    }
+
+    /// Run the fixpoint to completion (or budget/pass-bound exhaustion).
+    pub fn run(self) -> Solution<P::Fact>
+    where
+        P: Sync,
+        G: Sync,
+        P::Fact: Send,
+        P::CommFact: Send,
+    {
+        match self.params.strategy {
+            Strategy::RoundRobin => run_round_robin(self.graph, self.problem, &self.params),
+            Strategy::Worklist => run_worklist(self.graph, self.problem, &self.params),
+            Strategy::RegionParallel { threads } => {
+                run_region_parallel(self.graph, self.problem, &self.params, threads)
+            }
+        }
+    }
+}
+
+/// Round-robin fixpoint in reverse postorder (deprecated free-function
+/// entry point; ignores `params.strategy` by construction).
+#[deprecated(note = "use `Solver::new(problem, graph).strategy(Strategy::RoundRobin).run()`")]
+pub fn solve<G: FlowGraph, P: Dataflow>(
+    graph: &G,
+    problem: &P,
+    params: &SolveParams,
+) -> Solution<P::Fact> {
+    run_round_robin(graph, problem, params)
+}
+
+/// FIFO worklist fixpoint (deprecated free-function entry point; ignores
+/// `params.strategy` by construction).
+#[deprecated(note = "use `Solver::new(problem, graph).strategy(Strategy::Worklist).run()`")]
+pub fn solve_worklist<G: FlowGraph, P: Dataflow>(
+    graph: &G,
+    problem: &P,
+    params: &SolveParams,
+) -> Solution<P::Fact> {
+    run_worklist(graph, problem, params)
+}
+
 /// Direction-adjusted view of the graph.
 struct Oriented<'g, G: FlowGraph> {
     graph: &'g G,
@@ -259,7 +506,7 @@ impl<'g, G: FlowGraph> Oriented<'g, G> {
     }
 }
 
-/// State shared by both strategies: recompute one node, returning
+/// State shared by the sequential strategies: recompute one node, returning
 /// (input_changed, output_changed).
 #[allow(clippy::too_many_arguments)] // hot path: a context struct would add a borrow dance
 fn update_node<G: FlowGraph, P: Dataflow>(
@@ -322,7 +569,7 @@ fn update_node<G: FlowGraph, P: Dataflow>(
 
 /// Round-robin fixpoint in reverse postorder. The recorded `passes` value is
 /// directly comparable to the paper's Table 1 "Iter" column.
-pub fn solve<G: FlowGraph, P: Dataflow>(
+fn run_round_robin<G: FlowGraph, P: Dataflow>(
     graph: &G,
     problem: &P,
     params: &SolveParams,
@@ -397,10 +644,10 @@ pub fn solve<G: FlowGraph, P: Dataflow>(
     }
 }
 
-/// FIFO worklist fixpoint. Produces the same solution as [`solve`] for
+/// FIFO worklist fixpoint. Produces the same solution as round-robin for
 /// monotone problems, usually with far fewer node visits; `passes` reports
 /// `ceil(node_visits / num_nodes)` for rough comparability.
-pub fn solve_worklist<G: FlowGraph, P: Dataflow>(
+fn run_worklist<G: FlowGraph, P: Dataflow>(
     graph: &G,
     problem: &P,
     params: &SolveParams,
@@ -493,6 +740,704 @@ pub fn solve_worklist<G: FlowGraph, P: Dataflow>(
         direction: problem.direction(),
         input,
         output,
+        stats,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Region-parallel strategy
+// ---------------------------------------------------------------------------
+
+/// Per-element interior mutability for the fact vectors shared across the
+/// region pool.
+///
+/// Soundness is delegated to the region scheduler: each element belongs to
+/// exactly one region, a region is solved by exactly one thread at a time,
+/// and a region only starts after every region it reads from has completed
+/// — with the scheduler mutex providing the happens-before edge between the
+/// upstream region's final write and the downstream region's first read.
+struct SharedSlice<F>(Vec<UnsafeCell<F>>);
+
+// SAFETY: see the struct docs — element access is partitioned by region and
+// ordered by the scheduler lock; `F: Send` is required because elements are
+// written from pool threads and read back on the calling thread.
+unsafe impl<F: Send> Sync for SharedSlice<F> {}
+
+impl<F> SharedSlice<F> {
+    fn new(init: Vec<F>) -> Self {
+        SharedSlice(init.into_iter().map(UnsafeCell::new).collect())
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Safety
+    /// No thread may hold or create a mutable reference to element `i`
+    /// concurrently (scheduler protocol: `i` is in the caller's region or
+    /// in a completed upstream region).
+    unsafe fn get(&self, i: usize) -> &F {
+        &*self.0[i].get()
+    }
+
+    /// Mutably access element `i`.
+    ///
+    /// # Safety
+    /// The caller must have exclusive access to element `i` (scheduler
+    /// protocol: `i` is in the region the caller currently owns).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self, i: usize) -> &mut F {
+        &mut *self.0[i].get()
+    }
+
+    fn into_vec(self) -> Vec<F> {
+        self.0.into_iter().map(UnsafeCell::into_inner).collect()
+    }
+}
+
+fn encode_exhaustion(e: Exhaustion) -> u8 {
+    match e {
+        Exhaustion::Deadline => 1,
+        Exhaustion::WorkUnits => 2,
+        Exhaustion::FactMemory => 3,
+        Exhaustion::Cancelled => 4,
+    }
+}
+
+fn decode_exhaustion(code: u8) -> Option<Exhaustion> {
+    match code {
+        1 => Some(Exhaustion::Deadline),
+        2 => Some(Exhaustion::WorkUnits),
+        3 => Some(Exhaustion::FactMemory),
+        4 => Some(Exhaustion::Cancelled),
+        _ => None,
+    }
+}
+
+/// Budget meter shared by all solver threads.
+///
+/// Only wall-clock deadlines and cooperative cancellation are metered here:
+/// deterministic caps (`max_work`, `max_fact_bytes`) make the
+/// region-parallel strategy degrade to the sequential worklist *before*
+/// this type is constructed, because "which node hit the cap" cannot be
+/// answered identically by racing threads. Exhaustion is recorded
+/// first-writer-wins and observed by every other thread on its next
+/// charge, which is what makes cancellation cancel *across* threads.
+struct SharedMeter<'b> {
+    budget: &'b Budget,
+    work: AtomicU64,
+    /// 0 = healthy; otherwise an encoded [`Exhaustion`].
+    tripped: AtomicU8,
+}
+
+impl<'b> SharedMeter<'b> {
+    fn new(budget: &'b Budget) -> Self {
+        SharedMeter {
+            budget,
+            work: AtomicU64::new(0),
+            tripped: AtomicU8::new(0),
+        }
+    }
+
+    /// Charge one work unit; deadline/cancel polled every
+    /// [`CHECK_INTERVAL`] units (same cadence as the sequential
+    /// [`crate::budget::BudgetMeter`]).
+    fn charge(&self) -> Result<(), Exhaustion> {
+        if let Some(e) = decode_exhaustion(self.tripped.load(Ordering::Relaxed)) {
+            return Err(e);
+        }
+        let done = self.work.fetch_add(1, Ordering::Relaxed) + 1;
+        if done.is_multiple_of(CHECK_INTERVAL) {
+            self.poll_controls()?;
+        }
+        Ok(())
+    }
+
+    /// Unconditionally poll deadline + cancellation (called once per region
+    /// start so cancellation propagates promptly even on small regions).
+    fn poll_controls(&self) -> Result<(), Exhaustion> {
+        if let Some(e) = decode_exhaustion(self.tripped.load(Ordering::Relaxed)) {
+            return Err(e);
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if Instant::now() >= deadline {
+                return Err(self.trip(Exhaustion::Deadline));
+            }
+        }
+        if self
+            .budget
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.is_cancelled())
+        {
+            return Err(self.trip(Exhaustion::Cancelled));
+        }
+        Ok(())
+    }
+
+    /// Record an exhaustion reason; the first writer wins and every thread
+    /// reports that same reason from then on.
+    fn trip(&self, e: Exhaustion) -> Exhaustion {
+        let _ = self.tripped.compare_exchange(
+            0,
+            encode_exhaustion(e),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        decode_exhaustion(self.tripped.load(Ordering::Relaxed)).unwrap_or(e)
+    }
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+struct SchedState {
+    dep_count: Vec<u32>,
+    /// Ready regions, lowest id (earliest in topological order) first.
+    ready: BinaryHeap<Reverse<u32>>,
+    incomplete: usize,
+    stop: bool,
+}
+
+/// Topological region scheduler: a region becomes ready when all regions it
+/// reads facts from have completed.
+struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    fn new(deps: &[Vec<u32>]) -> Scheduler {
+        let dep_count: Vec<u32> = deps.iter().map(|d| d.len() as u32).collect();
+        let ready: BinaryHeap<Reverse<u32>> = dep_count
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| (c == 0).then_some(Reverse(i as u32)))
+            .collect();
+        Scheduler {
+            state: Mutex::new(SchedState {
+                incomplete: deps.len(),
+                dep_count,
+                ready,
+                stop: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until a region is ready (returning the lowest ready id), the
+    /// schedule has drained, or the solve was aborted.
+    fn claim(&self) -> Option<u32> {
+        let mut st = lock_recover(&self.state);
+        loop {
+            if st.stop {
+                return None;
+            }
+            if let Some(Reverse(rid)) = st.ready.pop() {
+                return Some(rid);
+            }
+            if st.incomplete == 0 {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Mark `rid` complete, unlocking any dependents whose inputs are now
+    /// final.
+    fn complete(&self, rid: u32, dependents: &[Vec<u32>]) {
+        let mut st = lock_recover(&self.state);
+        st.incomplete -= 1;
+        for &d in &dependents[rid as usize] {
+            st.dep_count[d as usize] -= 1;
+            if st.dep_count[d as usize] == 0 {
+                st.ready.push(Reverse(d));
+                self.cv.notify_one();
+            }
+        }
+        if st.incomplete == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Stop the schedule (budget exhaustion, or a worker panicking mid
+    /// region — turning a panic into a clean join instead of a hang).
+    fn abort(&self) {
+        let mut st = lock_recover(&self.state);
+        st.stop = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Aborts the schedule if dropped while armed, so a panic in a transfer
+/// function wakes the other workers (which then exit and let the scope
+/// propagate the panic) instead of deadlocking the pool.
+struct AbortOnPanic<'s> {
+    sched: &'s Scheduler,
+    armed: bool,
+}
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.sched.abort();
+        }
+    }
+}
+
+/// Per-region accounting; merged into [`ConvergenceStats`] in region-id
+/// order, making every derived stat independent of thread scheduling.
+#[derive(Debug, Default)]
+struct RegionStats {
+    node_visits: u64,
+    comm_evals: u64,
+    meets: u64,
+    worklist_peak: usize,
+    pass_deltas: Vec<u64>,
+    /// Visit counts indexed by the node's local index within the region.
+    visits: Vec<u64>,
+    converged: bool,
+    exhausted: Option<Exhaustion>,
+}
+
+/// Per-worker memo of `f_comm` source facts, epoch-validated per region
+/// solve.
+///
+/// The dominant cost on comm-dense graphs is re-evaluating `comm_transfer`
+/// for *every* incoming communication edge on every visit — all-pairs
+/// collective matching makes that quadratic in clique size per sweep. A
+/// source's comm fact changes only when its *input* fact changes, so
+/// within a region solve each source is evaluated once per input change
+/// instead of once per (visit × in-edge); unchanged sources hand out a
+/// clone of the memoised fact.
+///
+/// The epoch bump at region start drops every entry, so facts that flow in
+/// from upstream regions are re-read after those regions finalize — never
+/// stale. Hit/miss behavior depends only on the region's deterministic
+/// visit sequence, which keeps `comm_evals` (the miss count) independent
+/// of the thread count and of which worker solves which region.
+struct CommCache<F> {
+    /// Entry `i` is valid iff `epoch[i] == cur` (0 = never / invalidated).
+    epoch: Vec<u64>,
+    facts: Vec<Option<F>>,
+    cur: u64,
+}
+
+impl<F> CommCache<F> {
+    fn new(n: usize) -> Self {
+        CommCache {
+            epoch: vec![0; n],
+            facts: (0..n).map(|_| None).collect(),
+            cur: 0,
+        }
+    }
+
+    /// Invalidate every entry; called once at the start of each region.
+    fn begin_region(&mut self) {
+        self.cur += 1;
+    }
+
+    fn valid(&self, i: usize) -> bool {
+        self.epoch[i] == self.cur
+    }
+
+    fn store(&mut self, i: usize, f: F) {
+        self.epoch[i] = self.cur;
+        self.facts[i] = Some(f);
+    }
+
+    fn fact(&self, i: usize) -> &F {
+        self.facts[i].as_ref().expect("validated before read")
+    }
+
+    /// Drop one source's memo (its input fact just changed).
+    fn invalidate(&mut self, i: usize) {
+        self.epoch[i] = 0;
+    }
+}
+
+/// Everything a worker needs to solve one region; immutable and shared.
+struct RegionCtx<'a, P: Dataflow, G: FlowGraph> {
+    oriented: &'a Oriented<'a, G>,
+    problem: &'a P,
+    cond: &'a Condensation,
+    /// Node index → position in the global direction-adjusted RPO.
+    rpo_pos: &'a [u32],
+    is_boundary: &'a [bool],
+    input: &'a SharedSlice<P::Fact>,
+    output: &'a SharedSlice<P::Fact>,
+    meter: &'a SharedMeter<'a>,
+    max_passes: usize,
+}
+
+/// Recompute one node against the shared fact slices; the parallel analogue
+/// of [`update_node`].
+///
+/// # Safety
+/// The calling thread must currently own region `cond.region_of[n]` under
+/// the scheduler protocol. Then:
+/// * writes touch only `input[n]` / `output[n]` — nodes of the owned region;
+/// * reads touch `n`'s upstream sources, which are either in the owned
+///   region (no other writer) or in a region that completed before this one
+///   was scheduled (no concurrent writer, ordered by the scheduler lock).
+///   Communication edges are part of the condensation, so comm sources obey
+///   the same rule.
+unsafe fn update_node_shared<P: Dataflow, G: FlowGraph>(
+    ctx: &RegionCtx<'_, P, G>,
+    comm_buf: &mut Vec<P::CommFact>,
+    cache: &mut CommCache<P::CommFact>,
+    stats: &mut RegionStats,
+    n: NodeId,
+) -> (bool, bool) {
+    // Meet over upstream non-communication edges.
+    let mut new_in = if ctx.is_boundary[n.index()] {
+        ctx.problem.boundary()
+    } else {
+        ctx.problem.top()
+    };
+    for e in ctx.oriented.upstream(n) {
+        if e.kind.is_comm() {
+            continue;
+        }
+        stats.meets += 1;
+        let src = ctx.oriented.source(e);
+        let src_out = ctx.output.get(src.index());
+        match ctx.problem.translate(e, src_out) {
+            Some(translated) => {
+                ctx.problem.meet_into(&mut new_in, &translated);
+            }
+            None => {
+                ctx.problem.meet_into(&mut new_in, src_out);
+            }
+        }
+    }
+
+    // Communication facts: f_comm applied to the source's *input* fact,
+    // memoised per source until that input changes (see [`CommCache`]).
+    comm_buf.clear();
+    for e in ctx.oriented.upstream(n) {
+        if e.kind.is_comm() {
+            let src = ctx.oriented.source(e);
+            let si = src.index();
+            if !cache.valid(si) {
+                cache.store(si, ctx.problem.comm_transfer(src, ctx.input.get(si)));
+                stats.comm_evals += 1;
+            }
+            comm_buf.push(cache.fact(si).clone());
+        }
+    }
+
+    let input_n = ctx.input.get_mut(n.index());
+    let in_changed = new_in != *input_n;
+    if in_changed {
+        *input_n = new_in;
+        // `n`'s memoised comm fact (if any) was computed from the old
+        // input; the next reader must re-evaluate it.
+        cache.invalidate(n.index());
+    }
+    let new_out = ctx.problem.transfer(n, input_n, comm_buf);
+    let output_n = ctx.output.get_mut(n.index());
+    let out_changed = new_out != *output_n;
+    if out_changed {
+        *output_n = new_out;
+    }
+    (in_changed, out_changed)
+}
+
+/// Solve one region to its local fixpoint with **round-separated dirty
+/// sweeps**: each round pops pending nodes from a priority heap in global
+/// RPO order, and a change propagates *within* the current round only to
+/// targets later in RPO (forward edges) — back-edge targets, which already
+/// ran this round, are deferred to the next round's heap. Pops are
+/// therefore monotone in RPO within a round, every node runs at most once
+/// per round, and a round visits only the dirty subset — so the region
+/// never does more work than a round-robin sweep restricted to it, and the
+/// visit order is deterministic regardless of which thread runs the
+/// region.
+///
+/// (A single heap without the round barrier is pathological on the
+/// all-pairs comm-edge cliques collective matching produces: a change at a
+/// high-RPO clique member re-enqueues every lower-RPO member *ahead of*
+/// the still-pending tail, driving O(k²) visits per wave through a
+/// k-clique. The round barrier restores the O(k)-per-wave sweep bound.)
+fn solve_region<P: Dataflow, G: FlowGraph>(
+    ctx: &RegionCtx<'_, P, G>,
+    cache: &mut CommCache<P::CommFact>,
+    rid: u32,
+) -> RegionStats {
+    cache.begin_region();
+    let nodes = &ctx.cond.regions[rid as usize];
+    let len = nodes.len();
+    let mut span = telemetry::span("solver", "region");
+    let mut stats = RegionStats {
+        converged: true,
+        visits: vec![0; len],
+        ..Default::default()
+    };
+
+    if ctx.meter.poll_controls().is_err() {
+        // Don't even start: deadline passed or cancellation requested. The
+        // region records zero work and the exhaustion reason.
+        stats.converged = false;
+        stats.exhausted = ctx.meter.poll_controls().err();
+        return stats;
+    }
+
+    let mut current: BinaryHeap<Reverse<(u32, u32)>> = nodes
+        .iter()
+        .map(|&nd| Reverse((ctx.rpo_pos[nd.index()], nd.0)))
+        .collect();
+    let mut next: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    let mut in_current = vec![true; len];
+    let mut in_next = vec![false; len];
+    stats.worklist_peak = current.len();
+    let mut rounds = 0usize;
+    let mut round_delta = 0u64;
+    let mut comm_buf: Vec<P::CommFact> = Vec::new();
+
+    'rounds: loop {
+        rounds += 1;
+        while let Some(Reverse((pos, v))) = current.pop() {
+            let node = NodeId(v);
+            let local = ctx.cond.local_index[node.index()] as usize;
+            in_current[local] = false;
+            if let Err(e) = ctx.meter.charge() {
+                stats.converged = false;
+                stats.exhausted = Some(e);
+                break 'rounds;
+            }
+            stats.node_visits += 1;
+            stats.visits[local] += 1;
+            // SAFETY: this thread owns region `rid` (handed out exactly once
+            // by `Scheduler::claim`), and every upstream region completed
+            // first.
+            let (ic, oc) =
+                unsafe { update_node_shared(ctx, &mut comm_buf, cache, &mut stats, node) };
+            if ic || oc {
+                round_delta += 1;
+                for e in ctx.oriented.downstream(node) {
+                    // Output changes invalidate flow successors; input
+                    // changes invalidate communication successors.
+                    let relevant = if e.kind.is_comm() { ic } else { oc };
+                    if !relevant {
+                        continue;
+                    }
+                    let t = ctx.oriented.target(e);
+                    // Cross-region targets need no notification: their
+                    // region seeds every node when it starts, after this
+                    // one is final.
+                    if ctx.cond.region_of[t.index()] != rid {
+                        continue;
+                    }
+                    let lt = ctx.cond.local_index[t.index()] as usize;
+                    if in_current[lt] || in_next[lt] {
+                        continue; // already pending this round or the next
+                    }
+                    if ctx.rpo_pos[t.index()] > pos {
+                        // Forward edge: `t` has not run yet this round
+                        // (pops are RPO-monotone), so it sweeps with fresh
+                        // data in this round.
+                        in_current[lt] = true;
+                        current.push(Reverse((ctx.rpo_pos[t.index()], t.0)));
+                    } else {
+                        // Back edge: `t` already ran this round — defer.
+                        in_next[lt] = true;
+                        next.push(Reverse((ctx.rpo_pos[t.index()], t.0)));
+                    }
+                }
+                stats.worklist_peak = stats.worklist_peak.max(current.len() + next.len());
+            }
+        }
+        stats.pass_deltas.push(round_delta);
+        round_delta = 0;
+        if next.is_empty() {
+            break;
+        }
+        if rounds >= ctx.max_passes {
+            stats.converged = false;
+            break;
+        }
+        std::mem::swap(&mut current, &mut next);
+        std::mem::swap(&mut in_current, &mut in_next);
+    }
+
+    if span.id().is_some() {
+        span.arg("region", rid as u64);
+        span.arg("nodes", len);
+        span.arg("node_visits", stats.node_visits);
+        span.arg("converged", stats.converged);
+    }
+    stats
+}
+
+fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1)
+    }
+}
+
+/// Region-parallel fixpoint: condense, schedule regions topologically,
+/// solve independent ready regions on a scoped pool. Facts are
+/// byte-identical to [`Strategy::Worklist`] for monotone converging
+/// problems at any thread count; stats (except `elapsed`) are
+/// thread-count-independent by construction.
+fn run_region_parallel<G, P>(
+    graph: &G,
+    problem: &P,
+    params: &SolveParams,
+    threads: usize,
+) -> Solution<P::Fact>
+where
+    G: FlowGraph + Sync,
+    P: Dataflow + Sync,
+    P::Fact: Send,
+    P::CommFact: Send,
+{
+    // Deterministic resource caps answer "which node hit the cap", which
+    // racing threads cannot answer reproducibly. Degrade to the sequential
+    // worklist so capped runs stay deterministic (and cacheable); deadline
+    // and cancellation budgets — which already bypass every cache — stay
+    // truly parallel below.
+    if params.budget.max_work.is_some() || params.budget.max_fact_bytes.is_some() {
+        telemetry::instant("solver", "region_parallel_degraded_to_worklist", vec![]);
+        return run_worklist(graph, problem, params);
+    }
+
+    let n = graph.num_nodes();
+    let oriented = Oriented::new(graph, problem.direction());
+    let order = oriented.order();
+    let mut rpo_pos = vec![0u32; n];
+    for (i, nd) in order.iter().enumerate() {
+        rpo_pos[nd.index()] = i as u32;
+    }
+    let mut is_boundary = vec![false; n];
+    for &b in oriented.boundary() {
+        is_boundary[b.index()] = true;
+    }
+
+    let mut span = telemetry::span("solver", "fixpoint:region_parallel");
+    let started = Instant::now();
+
+    let cond = scc::condense(graph);
+    let num_regions = cond.num_regions();
+
+    // Direction-adjusted dependencies: a forward analysis reads facts from
+    // predecessor regions, a backward one from successor regions.
+    let (deps, dependents) = match problem.direction() {
+        Direction::Forward => (&cond.preds, &cond.succs),
+        Direction::Backward => (&cond.succs, &cond.preds),
+    };
+
+    let input = SharedSlice::new(vec![problem.top(); n]);
+    let output = SharedSlice::new(vec![problem.top(); n]);
+    let meter = SharedMeter::new(&params.budget);
+    let sched = Scheduler::new(deps);
+    let region_stats: Vec<OnceLock<RegionStats>> =
+        (0..num_regions).map(|_| OnceLock::new()).collect();
+    let workers = resolve_threads(threads).clamp(1, num_regions.max(1));
+    let active = AtomicUsize::new(0);
+    let peak_active = AtomicUsize::new(0);
+
+    let ctx = RegionCtx {
+        oriented: &oriented,
+        problem,
+        cond: &cond,
+        rpo_pos: &rpo_pos,
+        is_boundary: &is_boundary,
+        input: &input,
+        output: &output,
+        meter: &meter,
+        max_passes: params.max_passes,
+    };
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut guard = AbortOnPanic {
+                    sched: &sched,
+                    armed: true,
+                };
+                // Per-worker comm-fact memo, epoch-cleared at each region.
+                let mut cache = CommCache::new(n);
+                while let Some(rid) = sched.claim() {
+                    let now = active.fetch_add(1, Ordering::Relaxed) + 1;
+                    peak_active.fetch_max(now, Ordering::Relaxed);
+                    let rs = solve_region(&ctx, &mut cache, rid);
+                    active.fetch_sub(1, Ordering::Relaxed);
+                    let stop = rs.exhausted.is_some();
+                    let _ = region_stats[rid as usize].set(rs);
+                    if stop {
+                        sched.abort();
+                    } else {
+                        sched.complete(rid, dependents);
+                    }
+                }
+                guard.armed = false;
+            });
+        }
+    });
+
+    // Deterministic merge in region-id order. Each per-region stat depends
+    // only on the region's seed order and its (final) upstream facts, never
+    // on which thread ran it — so everything below except `elapsed` is
+    // identical at any thread count.
+    let mut stats = ConvergenceStats {
+        converged: true,
+        per_node_visits: vec![0; n],
+        ..Default::default()
+    };
+    let mut completed = 0usize;
+    for (rid, cell) in region_stats.into_iter().enumerate() {
+        let Some(rs) = cell.into_inner() else {
+            continue;
+        };
+        completed += 1;
+        stats.node_visits += rs.node_visits;
+        stats.comm_evals += rs.comm_evals;
+        stats.meets += rs.meets;
+        stats.worklist_peak = stats.worklist_peak.max(rs.worklist_peak);
+        if stats.pass_deltas.len() < rs.pass_deltas.len() {
+            stats.pass_deltas.resize(rs.pass_deltas.len(), 0);
+        }
+        for (d, s) in stats.pass_deltas.iter_mut().zip(rs.pass_deltas.iter()) {
+            *d += *s;
+        }
+        for (local, &count) in rs.visits.iter().enumerate() {
+            stats.per_node_visits[cond.regions[rid][local].index()] += count;
+        }
+        stats.converged &= rs.converged;
+        if stats.exhausted.is_none() {
+            stats.exhausted = rs.exhausted;
+        }
+    }
+    if completed < num_regions {
+        // The schedule was aborted before every region ran.
+        stats.converged = false;
+    }
+    stats.passes = (stats.node_visits as usize).div_ceil(n.max(1));
+    stats.elapsed = started.elapsed();
+
+    if telemetry::is_enabled() {
+        telemetry::metric_add("solver_regions_total", num_regions as f64);
+        telemetry::metric_max(
+            "solver_threads_peak",
+            peak_active.load(Ordering::Relaxed) as f64,
+        );
+    }
+    if span.id().is_some() {
+        span.arg("regions", num_regions);
+        span.arg("largest_region", cond.largest_region());
+        span.arg("threads", workers);
+    }
+    close_solver_span(&mut span, &stats, n);
+
+    Solution {
+        direction: problem.direction(),
+        input: input.into_vec(),
+        output: output.into_vec(),
         stats,
     }
 }
@@ -604,6 +1549,56 @@ mod tests {
         }
     }
 
+    fn rr<P: Dataflow + Sync, G: FlowGraph + Sync>(g: &G, p: &P) -> Solution<P::Fact>
+    where
+        P::Fact: Send,
+        P::CommFact: Send,
+    {
+        Solver::new(p, g).strategy(Strategy::RoundRobin).run()
+    }
+
+    fn wl<P: Dataflow + Sync, G: FlowGraph + Sync>(g: &G, p: &P) -> Solution<P::Fact>
+    where
+        P::Fact: Send,
+        P::CommFact: Send,
+    {
+        Solver::new(p, g).strategy(Strategy::Worklist).run()
+    }
+
+    fn rp<P: Dataflow + Sync, G: FlowGraph + Sync>(
+        g: &G,
+        p: &P,
+        threads: usize,
+    ) -> Solution<P::Fact>
+    where
+        P::Fact: Send,
+        P::CommFact: Send,
+    {
+        Solver::new(p, g)
+            .strategy(Strategy::RegionParallel { threads })
+            .run()
+    }
+
+    /// The graph used by several equivalence tests: branches, a loop, and
+    /// a comm edge between otherwise disjoint branches.
+    fn loopy_comm_graph() -> (SimpleGraph, ToyConsts) {
+        let mut g = SimpleGraph::new(6);
+        g.flow(0, 1);
+        g.flow(0, 2);
+        g.flow(1, 3);
+        g.flow(2, 3);
+        g.flow(3, 4);
+        g.flow(4, 1); // loop back
+        g.flow(3, 5);
+        g.comm(1, 2, 0);
+        g.set_entry(0);
+        g.set_exit(5);
+        let mut p = toy(6);
+        p.gen[0] = Some(3);
+        p.recv[2] = true;
+        (g, p)
+    }
+
     #[test]
     fn straight_line_propagation() {
         // 0 -gen 7-> 1 -> 2
@@ -614,7 +1609,7 @@ mod tests {
         g.set_exit(2);
         let mut p = toy(3);
         p.gen[0] = Some(7);
-        let sol = solve(&g, &p, &SolveParams::default());
+        let sol = rr(&g, &p);
         assert_eq!(sol.output[2], ConstLattice::Const(7));
         assert!(sol.stats.converged);
     }
@@ -632,7 +1627,7 @@ mod tests {
         let mut p = toy(4);
         p.gen[1] = Some(1);
         p.gen[2] = Some(2);
-        let sol = solve(&g, &p, &SolveParams::default());
+        let sol = rr(&g, &p);
         assert!(sol.input[3].is_bottom());
         assert!(sol.output[3].is_bottom());
     }
@@ -655,7 +1650,7 @@ mod tests {
         // Node 1's *input* is what f_comm reads: make the entry generate 42.
         p.gen[0] = Some(42);
         p.recv[2] = true;
-        let sol = solve(&g, &p, &SolveParams::default());
+        let sol = rr(&g, &p);
         assert_eq!(sol.output[2], ConstLattice::Const(42));
         assert!(sol.stats.comm_evals > 0);
     }
@@ -672,7 +1667,7 @@ mod tests {
         g.set_exit(3);
         let mut p = toy(4);
         p.gen[2] = Some(9);
-        let sol = solve(&g, &p, &SolveParams::default());
+        let sol = rr(&g, &p);
         // 1 merges boundary-bottom (via 0) with 9 -> bottom.
         assert!(sol.output[3].is_bottom());
         assert!(sol.stats.converged);
@@ -681,25 +1676,89 @@ mod tests {
 
     #[test]
     fn worklist_matches_round_robin() {
-        let mut g = SimpleGraph::new(6);
-        g.flow(0, 1);
-        g.flow(0, 2);
-        g.flow(1, 3);
-        g.flow(2, 3);
-        g.flow(3, 4);
-        g.flow(4, 1); // loop back
-        g.flow(3, 5);
-        g.comm(1, 2, 0);
-        g.set_entry(0);
-        g.set_exit(5);
-        let mut p = toy(6);
-        p.gen[0] = Some(3);
-        p.recv[2] = true;
-        let a = solve(&g, &p, &SolveParams::default());
-        let b = solve_worklist(&g, &p, &SolveParams::default());
+        let (g, p) = loopy_comm_graph();
+        let a = rr(&g, &p);
+        let b = wl(&g, &p);
         assert_eq!(a.input, b.input);
         assert_eq!(a.output, b.output);
         assert!(b.stats.node_visits <= a.stats.node_visits);
+    }
+
+    #[test]
+    fn region_parallel_matches_worklist_at_every_thread_count() {
+        let (g, p) = loopy_comm_graph();
+        let reference = wl(&g, &p);
+        for threads in [1, 2, 8] {
+            let sol = rp(&g, &p, threads);
+            assert_eq!(sol.input, reference.input, "threads={threads}");
+            assert_eq!(sol.output, reference.output, "threads={threads}");
+            assert!(sol.stats.converged);
+            assert!(sol.stats.comm_evals > 0);
+        }
+        // Auto thread count too.
+        let auto = rp(&g, &p, 0);
+        assert_eq!(auto.input, reference.input);
+        assert_eq!(auto.output, reference.output);
+    }
+
+    #[test]
+    fn region_parallel_stats_are_thread_count_independent() {
+        let (g, p) = loopy_comm_graph();
+        let s1 = rp(&g, &p, 1).stats;
+        for threads in [2, 3, 8] {
+            let s = rp(&g, &p, threads).stats;
+            assert_eq!(s.passes, s1.passes, "threads={threads}");
+            assert_eq!(s.node_visits, s1.node_visits, "threads={threads}");
+            assert_eq!(s.comm_evals, s1.comm_evals, "threads={threads}");
+            assert_eq!(s.meets, s1.meets, "threads={threads}");
+            assert_eq!(s.worklist_peak, s1.worklist_peak, "threads={threads}");
+            assert_eq!(s.pass_deltas, s1.pass_deltas, "threads={threads}");
+            assert_eq!(s.per_node_visits, s1.per_node_visits, "threads={threads}");
+            assert_eq!(s.converged, s1.converged, "threads={threads}");
+            assert_eq!(s.exhausted, s1.exhausted, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn region_parallel_backward_direction() {
+        struct Live;
+        impl Dataflow for Live {
+            type Fact = bool;
+            type CommFact = ();
+            fn direction(&self) -> Direction {
+                Direction::Backward
+            }
+            fn top(&self) -> bool {
+                false
+            }
+            fn boundary(&self) -> bool {
+                true
+            }
+            fn meet_into(&self, dst: &mut bool, src: &bool) -> bool {
+                let c = !*dst && *src;
+                *dst |= src;
+                c
+            }
+            fn transfer(&self, _n: NodeId, input: &bool, _c: &[()]) -> bool {
+                *input
+            }
+            fn comm_transfer(&self, _n: NodeId, _i: &bool) {}
+        }
+        let mut g = SimpleGraph::new(5);
+        g.flow(0, 1);
+        g.flow(1, 2);
+        g.flow(2, 1); // loop
+        g.flow(2, 3);
+        g.flow(3, 4);
+        g.set_entry(0);
+        g.set_exit(4);
+        let reference = wl(&g, &Live);
+        for threads in [1, 2, 8] {
+            let sol = rp(&g, &Live, threads);
+            assert_eq!(sol.input, reference.input, "threads={threads}");
+            assert_eq!(sol.output, reference.output, "threads={threads}");
+        }
+        assert!(reference.output.iter().all(|&b| b));
     }
 
     #[test]
@@ -732,7 +1791,7 @@ mod tests {
         g.flow(1, 2);
         g.set_entry(0);
         g.set_exit(2);
-        let sol = solve(&g, &Live, &SolveParams::default());
+        let sol = rr(&g, &Live);
         // Everything reaches the exit backward.
         assert!(sol.output.iter().all(|&b| b));
         assert!(*sol.before(NodeId(0)));
@@ -771,18 +1830,22 @@ mod tests {
         g.flow(0, 0);
         g.set_entry(0);
         g.set_exit(0);
-        let sol = solve(
-            &g,
-            &Flip,
-            &SolveParams {
-                max_passes: 50,
-                ..SolveParams::default()
-            },
-        );
+        let sol = Solver::new(&Flip, &g)
+            .strategy(Strategy::RoundRobin)
+            .max_passes(50)
+            .run();
         assert!(!sol.stats.converged);
         assert_eq!(sol.stats.passes, 50);
         // Pass-bound non-convergence is distinct from budget exhaustion.
         assert_eq!(sol.stats.exhausted, None);
+        // The region-parallel strategy hits its per-region visit bound too
+        // instead of spinning forever.
+        let par = Solver::new(&Flip, &g)
+            .strategy(Strategy::RegionParallel { threads: 2 })
+            .max_passes(50)
+            .run();
+        assert!(!par.stats.converged);
+        assert_eq!(par.stats.exhausted, None);
     }
 
     #[test]
@@ -796,8 +1859,10 @@ mod tests {
         g.set_exit(3);
         let mut p = toy(4);
         p.gen[0] = Some(1);
-        let params = SolveParams::with_budget(crate::budget::Budget::unlimited().with_max_work(3));
-        let sol = solve(&g, &p, &params);
+        let sol = Solver::new(&p, &g)
+            .strategy(Strategy::RoundRobin)
+            .budget(crate::budget::Budget::unlimited().with_max_work(3))
+            .run();
         assert!(!sol.stats.converged);
         assert_eq!(
             sol.stats.exhausted,
@@ -817,14 +1882,83 @@ mod tests {
         g.set_exit(3);
         let mut p = toy(4);
         p.gen[0] = Some(1);
-        let params = SolveParams::with_budget(crate::budget::Budget::unlimited().with_max_work(3));
-        let sol = solve_worklist(&g, &p, &params);
+        let sol = Solver::new(&p, &g)
+            .strategy(Strategy::Worklist)
+            .budget(crate::budget::Budget::unlimited().with_max_work(3))
+            .run();
         assert!(!sol.stats.converged);
         assert_eq!(
             sol.stats.exhausted,
             Some(crate::budget::Exhaustion::WorkUnits)
         );
         assert!(sol.stats.node_visits <= 3);
+    }
+
+    #[test]
+    fn region_parallel_with_deterministic_cap_degrades_to_worklist() {
+        // A `max_work` cap must produce the exact sequential-worklist
+        // outcome (the strategy degrades), keeping exhaustion reproducible.
+        let mut g = SimpleGraph::new(4);
+        g.flow(0, 1);
+        g.flow(1, 2);
+        g.flow(2, 1);
+        g.flow(2, 3);
+        g.set_entry(0);
+        g.set_exit(3);
+        let mut p = toy(4);
+        p.gen[0] = Some(1);
+        let budget = || crate::budget::Budget::unlimited().with_max_work(3);
+        let seq = Solver::new(&p, &g)
+            .strategy(Strategy::Worklist)
+            .budget(budget())
+            .run();
+        let par = Solver::new(&p, &g)
+            .strategy(Strategy::RegionParallel { threads: 8 })
+            .budget(budget())
+            .run();
+        assert_eq!(par.input, seq.input);
+        assert_eq!(par.output, seq.output);
+        let mut a = par.stats.clone();
+        let mut b = seq.stats.clone();
+        a.elapsed = Duration::ZERO;
+        b.elapsed = Duration::ZERO;
+        assert_eq!(a, b, "degraded run is the sequential worklist, exactly");
+        assert_eq!(
+            par.stats.exhausted,
+            Some(crate::budget::Exhaustion::WorkUnits)
+        );
+        assert!(par.stats.node_visits <= 3);
+    }
+
+    #[test]
+    fn region_parallel_observes_cancellation_across_threads() {
+        let token = crate::budget::CancelToken::new();
+        token.cancel(); // pre-cancelled: every region must refuse to start
+        let (g, p) = loopy_comm_graph();
+        let sol = Solver::new(&p, &g)
+            .strategy(Strategy::RegionParallel { threads: 4 })
+            .budget(crate::budget::Budget::unlimited().with_cancel(token))
+            .run();
+        assert!(!sol.stats.converged);
+        assert_eq!(
+            sol.stats.exhausted,
+            Some(crate::budget::Exhaustion::Cancelled)
+        );
+        assert_eq!(sol.stats.node_visits, 0, "no region started any work");
+    }
+
+    #[test]
+    fn region_parallel_expired_deadline_stops_immediately() {
+        let (g, p) = loopy_comm_graph();
+        let sol = Solver::new(&p, &g)
+            .strategy(Strategy::RegionParallel { threads: 2 })
+            .budget(crate::budget::Budget::unlimited().with_deadline_ms(0))
+            .run();
+        assert!(!sol.stats.converged);
+        assert_eq!(
+            sol.stats.exhausted,
+            Some(crate::budget::Exhaustion::Deadline)
+        );
     }
 
     #[test]
@@ -836,9 +1970,10 @@ mod tests {
         g.set_exit(2);
         let mut p = toy(3);
         p.gen[0] = Some(7);
-        let a = solve(&g, &p, &SolveParams::default());
-        let b = solve_worklist(&g, &p, &SolveParams::default());
-        for s in [&a.stats, &b.stats] {
+        let a = rr(&g, &p);
+        let b = wl(&g, &p);
+        let c = rp(&g, &p, 2);
+        for s in [&a.stats, &b.stats, &c.stats] {
             assert!(s.node_visits > 0);
             assert!(s.converged);
             assert_eq!(s.exhausted, None);
@@ -863,7 +1998,7 @@ mod tests {
         g.set_exit(1);
         let mut p = toy(2);
         p.gen[0] = Some(5);
-        let sol = solve(&g, &p, &SolveParams::default());
+        let sol = rr(&g, &p);
         assert_eq!(*sol.before(NodeId(1)), ConstLattice::Const(5));
         assert_eq!(*sol.after(NodeId(0)), ConstLattice::Const(5));
     }
@@ -879,10 +2014,7 @@ mod tests {
         g.set_exit(3);
         let mut p = toy(4);
         p.gen[0] = Some(1);
-        for sol in [
-            solve(&g, &p, &SolveParams::default()),
-            solve_worklist(&g, &p, &SolveParams::default()),
-        ] {
+        for sol in [rr(&g, &p), wl(&g, &p), rp(&g, &p, 3)] {
             assert_eq!(sol.stats.per_node_visits.len(), 4);
             assert_eq!(
                 sol.stats.per_node_visits.iter().sum::<u64>(),
@@ -906,7 +2038,7 @@ mod tests {
         g.set_exit(2);
         let mut p = toy(3);
         p.gen[0] = Some(7);
-        let sol = solve(&g, &p, &SolveParams::default());
+        let sol = rr(&g, &p);
         assert_eq!(sol.stats.pass_deltas.len(), sol.stats.passes);
         // The final pass observes no change by definition of convergence.
         assert_eq!(*sol.stats.pass_deltas.last().unwrap(), 0);
@@ -924,12 +2056,16 @@ mod tests {
         g.set_exit(4);
         let mut p = toy(5);
         p.gen[0] = Some(2);
-        let sol = solve_worklist(&g, &p, &SolveParams::default());
+        let sol = wl(&g, &p);
         // The initial seeding puts every node on the queue.
         assert!(sol.stats.worklist_peak >= 5, "{}", sol.stats.worklist_peak);
         // Round-robin has no queue.
-        let rr = solve(&g, &p, &SolveParams::default());
-        assert_eq!(rr.stats.worklist_peak, 0);
+        let rr_sol = rr(&g, &p);
+        assert_eq!(rr_sol.stats.worklist_peak, 0);
+        // Region-parallel: peak is the max per-region high-water — on this
+        // acyclic graph every region is a single node, so the peak is 1.
+        let rp_sol = rp(&g, &p, 2);
+        assert_eq!(rp_sol.stats.worklist_peak, 1);
     }
 
     #[test]
@@ -1011,8 +2147,8 @@ mod tests {
         g.set_exit(2);
         let mut p = toy(3);
         p.gen[0] = Some(7);
-        let s1 = solve(&g, &p, &SolveParams::default()).stats;
-        let s2 = solve_worklist(&g, &p, &SolveParams::default()).stats;
+        let s1 = rr(&g, &p).stats;
+        let s2 = wl(&g, &p).stats;
         let mut acc = ConvergenceStats {
             converged: true,
             ..Default::default()
@@ -1039,7 +2175,7 @@ mod tests {
         g.set_exit(1);
         let mut p = toy(2);
         p.gen[0] = Some(5);
-        let sol = solve(&g, &p, &SolveParams::default());
+        let sol = rr(&g, &p);
         telemetry::install(TraceLevel::Spans);
         sol.stats.publish_metrics("toy");
         let report = telemetry::finish();
@@ -1048,6 +2184,28 @@ mod tests {
         assert!(report
             .metrics
             .contains_key("solver_converged{analysis=\"toy\"}"));
+    }
+
+    #[test]
+    fn region_parallel_publishes_region_metrics() {
+        use crate::telemetry::{self, TraceLevel, TEST_SINK_GATE};
+        let _gate = TEST_SINK_GATE.lock().unwrap_or_else(|p| p.into_inner());
+        let (g, p) = loopy_comm_graph();
+        telemetry::install(TraceLevel::Full);
+        let _ = rp(&g, &p, 2);
+        let report = telemetry::finish();
+        assert!(
+            report.metrics.get("solver_regions_total").copied() > Some(0.0),
+            "metrics: {:?}",
+            report.metrics.keys().collect::<Vec<_>>()
+        );
+        assert!(report.metrics.get("solver_threads_peak").copied() >= Some(1.0));
+        // Per-region spans exist under the solver category.
+        assert!(report
+            .events
+            .iter()
+            .any(|e| e.name == "fixpoint:region_parallel"));
+        assert!(report.events.iter().any(|e| e.name == "region"));
     }
 
     #[test]
@@ -1087,7 +2245,69 @@ mod tests {
         g.add_edge(0, 1, EdgeKind::Call { site: 0 });
         g.set_entry(0);
         g.set_exit(1);
-        let sol = solve(&g, &Inc, &SolveParams::default());
+        let sol = rr(&g, &Inc);
         assert_eq!(sol.input[1], ConstLattice::Const(11));
+        // Translate must behave identically across strategies.
+        let par = rp(&g, &Inc, 2);
+        assert_eq!(par.input, sol.input);
+        assert_eq!(par.output, sol.output);
+    }
+
+    #[test]
+    fn strategy_parse_and_display_round_trip() {
+        for (text, want) in [
+            ("round-robin", Strategy::RoundRobin),
+            ("worklist", Strategy::Worklist),
+            ("region-parallel", Strategy::RegionParallel { threads: 0 }),
+            ("region-parallel:4", Strategy::RegionParallel { threads: 4 }),
+            ("region-parallel:1", Strategy::RegionParallel { threads: 1 }),
+        ] {
+            let parsed = Strategy::parse(text).unwrap();
+            assert_eq!(parsed, want);
+            assert_eq!(parsed.to_string(), text, "display round-trips");
+        }
+        assert!(Strategy::parse("bogus").is_err());
+        assert!(Strategy::parse("region-parallel:0").is_err());
+        assert!(Strategy::parse("region-parallel:x").is_err());
+        assert!(Strategy::parse("Worklist").is_err(), "case-sensitive");
+        // `from_env_or` honors the given default unless the environment
+        // names a parsable strategy (as CI's solver-parallel job does, so
+        // this assertion must not assume the variable is unset).
+        let expect = std::env::var(STRATEGY_ENV)
+            .ok()
+            .and_then(|v| Strategy::parse(v.trim()).ok())
+            .unwrap_or(Strategy::Worklist);
+        assert_eq!(Strategy::from_env_or(Strategy::Worklist), expect);
+    }
+
+    /// The deprecated free functions must stay exact aliases of the builder
+    /// with the matching pinned strategy.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder() {
+        let (g, p) = loopy_comm_graph();
+        let params = SolveParams::default();
+        let via_shim_rr = solve(&g, &p, &params);
+        let via_builder_rr = rr(&g, &p);
+        assert_eq!(via_shim_rr.input, via_builder_rr.input);
+        assert_eq!(via_shim_rr.output, via_builder_rr.output);
+        assert_eq!(via_shim_rr.stats.passes, via_builder_rr.stats.passes);
+        assert_eq!(
+            via_shim_rr.stats.node_visits,
+            via_builder_rr.stats.node_visits
+        );
+        let via_shim_wl = solve_worklist(&g, &p, &params);
+        let via_builder_wl = wl(&g, &p);
+        assert_eq!(via_shim_wl.input, via_builder_wl.input);
+        assert_eq!(via_shim_wl.output, via_builder_wl.output);
+        assert_eq!(
+            via_shim_wl.stats.node_visits,
+            via_builder_wl.stats.node_visits
+        );
+        // The shims pin their strategy even if params says otherwise.
+        let sneaky = SolveParams::with_strategy(Strategy::RegionParallel { threads: 8 });
+        let pinned = solve(&g, &p, &sneaky);
+        assert_eq!(pinned.stats.passes, via_builder_rr.stats.passes);
+        assert_eq!(pinned.stats.worklist_peak, 0, "round-robin has no queue");
     }
 }

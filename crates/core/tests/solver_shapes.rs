@@ -6,7 +6,7 @@
 use mpi_dfa_core::graph::{EdgeKind, SimpleGraph};
 use mpi_dfa_core::lattice::{ConstLattice, MeetSemiLattice};
 use mpi_dfa_core::problem::{Dataflow, Direction};
-use mpi_dfa_core::solver::{solve, solve_worklist, SolveParams};
+use mpi_dfa_core::solver::{Solver, Strategy};
 use mpi_dfa_core::NodeId;
 
 /// Constant propagation where node 0 generates `7` and every node forwards;
@@ -68,7 +68,9 @@ fn long_chain_converges_in_constant_passes_with_rpo() {
         }
         g.set_entry(0);
         g.set_exit(n as u32 - 1);
-        let sol = solve(&g, &forwarder(n), &SolveParams::default());
+        let sol = Solver::new(&forwarder(n), &g)
+            .strategy(Strategy::RoundRobin)
+            .run();
         assert_eq!(sol.output[n - 1], ConstLattice::Const(7));
         assert!(
             sol.stats.passes <= 2,
@@ -95,7 +97,9 @@ fn nested_loops_take_passes_proportional_to_depth() {
         // back edge from node (n-2-d) to node (1+d): nested loop nest.
         g.flow((n - 2 - d) as u32, (1 + d) as u32);
     }
-    let sol = solve(&g, &forwarder(n), &SolveParams::default());
+    let sol = Solver::new(&forwarder(n), &g)
+        .strategy(Strategy::RoundRobin)
+        .run();
     assert!(sol.stats.converged);
     assert_eq!(sol.output[n - 1], ConstLattice::Const(7));
     assert!(
@@ -124,7 +128,9 @@ fn comm_edge_chain_adds_one_pass_per_hop_at_worst() {
     }
     g.set_entry(0);
     g.set_exit(n as u32 - 1);
-    let sol = solve(&g, &problem, &SolveParams::default());
+    let sol = Solver::new(&problem, &g)
+        .strategy(Strategy::RoundRobin)
+        .run();
     assert_eq!(
         sol.output[n - 1],
         ConstLattice::Const(7),
@@ -137,8 +143,15 @@ fn comm_edge_chain_adds_one_pass_per_hop_at_worst() {
         sol.stats.passes
     );
     // The worklist agrees.
-    let wl = solve_worklist(&g, &problem, &SolveParams::default());
+    let wl = Solver::new(&problem, &g).strategy(Strategy::Worklist).run();
     assert_eq!(wl.output, sol.output);
+    // And so does the region-parallel engine: each send/recv pair is its
+    // own region here, chained by comm edges in topological order.
+    let rp = Solver::new(&problem, &g)
+        .strategy(Strategy::RegionParallel { threads: 4 })
+        .run();
+    assert_eq!(rp.output, sol.output);
+    assert_eq!(rp.input, sol.input);
 }
 
 #[test]
@@ -157,11 +170,21 @@ fn irreducible_comm_cycle_converges() {
     g.set_exit(3);
     let mut problem = forwarder(4);
     problem.recv[2] = true;
-    let sol = solve(&g, &problem, &SolveParams::default());
+    let sol = Solver::new(&problem, &g)
+        .strategy(Strategy::RoundRobin)
+        .run();
     assert!(sol.stats.converged);
     // The boundary constant enters at 0, flows to 1, hops the comm edge
     // into the second segment, and reaches 3 despite the graph-level cycle.
     assert_eq!(sol.output[3], ConstLattice::Const(7));
+    // The comm cycle condenses into a single region, so the region-parallel
+    // strategy degrades gracefully to one sequential region — and agrees.
+    let rp = Solver::new(&problem, &g)
+        .strategy(Strategy::RegionParallel { threads: 8 })
+        .run();
+    assert!(rp.stats.converged);
+    assert_eq!(rp.output, sol.output);
+    assert_eq!(rp.input, sol.input);
 }
 
 #[test]
@@ -177,7 +200,9 @@ fn wide_fanout_meets_cleanly() {
         g.flow(0, 1 + i as u32);
         g.flow(1 + i as u32, n as u32 - 1);
     }
-    let sol = solve(&g, &forwarder(n), &SolveParams::default());
+    let sol = Solver::new(&forwarder(n), &g)
+        .strategy(Strategy::RoundRobin)
+        .run();
     assert_eq!(sol.output[n - 1], ConstLattice::Const(7));
     assert!(sol.stats.passes <= 2);
 }
@@ -236,7 +261,9 @@ fn conflicting_comm_sources_meet_to_bottom() {
     g.set_entry(0);
     g.set_entry(1);
     g.set_exit(2);
-    let sol = solve(&g, &TwoConsts, &SolveParams::default());
+    let sol = Solver::new(&TwoConsts, &g)
+        .strategy(Strategy::RoundRobin)
+        .run();
     assert!(sol.output[2].is_bottom(), "1 ⊓ 2 over commpred = ⊥");
 }
 
@@ -294,7 +321,7 @@ fn call_edges_and_comm_edges_interleave() {
     g.set_entry(0);
     g.set_entry(2);
     g.set_exit(3);
-    let sol = solve(&g, &Inc, &SolveParams::default());
+    let sol = Solver::new(&Inc, &g).strategy(Strategy::RoundRobin).run();
     // 10 at entry, +1 across the call edge, sent over the comm edge.
     assert_eq!(sol.output[3], ConstLattice::Const(11));
 }

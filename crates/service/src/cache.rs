@@ -71,6 +71,13 @@ pub fn proc_cfg_key(sub_content: &str, locs_fingerprint: u128, proc_index: usize
 ///
 /// Deterministic budget caps (`max_visits`, `max_fact_bytes`,
 /// `max_passes`) *are* cacheable and are part of the key.
+///
+/// The `solver` strategy is deliberately **excluded**: every strategy
+/// produces byte-identical facts (see `docs/SOLVER.md`), so a result
+/// computed under one strategy is a valid hit for any other — the warm
+/// cache is shared across strategies. (Non-semantic solver counters
+/// embedded in a cached rendering reflect whichever strategy populated
+/// the entry.)
 pub fn result_key(req: &Request, source_hash: u128, effective_max_passes: u64) -> Option<u128> {
     if req.budget_ms.is_some() {
         return None;
@@ -156,6 +163,25 @@ mod tests {
         }
         assert_ne!(result_key(&req(""), 43, 100), Some(base), "source hash");
         assert_ne!(result_key(&req(""), 42, 99), Some(base), "max_passes");
+    }
+
+    #[test]
+    fn solver_strategy_is_not_part_of_the_result_key() {
+        // All strategies produce identical facts, so a warm cache must hit
+        // across them — the strategy is excluded from the key on purpose.
+        let base = result_key(&req(""), 42, 100).unwrap();
+        for solver in [
+            r#","solver":"round-robin""#,
+            r#","solver":"worklist""#,
+            r#","solver":"region-parallel""#,
+            r#","solver":"region-parallel:8""#,
+        ] {
+            assert_eq!(
+                result_key(&req(solver), 42, 100),
+                Some(base),
+                "{solver} must share the strategy-agnostic key"
+            );
+        }
     }
 
     #[test]

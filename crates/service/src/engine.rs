@@ -22,7 +22,7 @@ use mpi_dfa_analyses::governor::{governed_activity, AnalysisProvenance, Governor
 use mpi_dfa_analyses::mpi_match::build_mpi_icfg;
 use mpi_dfa_core::budget::Budget;
 use mpi_dfa_core::cache::DiskStore;
-use mpi_dfa_core::solver::SolveParams;
+use mpi_dfa_core::solver::{SolveParams, Strategy};
 use mpi_dfa_core::telemetry;
 use mpi_dfa_graph::cfg::ProcCfg;
 use mpi_dfa_graph::icfg::{Icfg, ProgramIr};
@@ -255,6 +255,9 @@ impl Engine {
             budget,
             degrade: req.degrade,
             max_passes: self.effective_max_passes(req) as usize,
+            // Per-request override, else the process default (which the
+            // CLI's `--solver` flag or `MPIDFA_SOLVER` establishes).
+            strategy: req.solver.unwrap_or_else(Strategy::session_default),
         }
     }
 
@@ -501,6 +504,42 @@ mod tests {
             Some("T0")
         );
         assert!(result.get("converged").unwrap().as_bool().unwrap());
+    }
+
+    #[test]
+    fn warm_cache_hits_across_solver_strategies() {
+        // Satellite regression: the strategy is excluded from the result
+        // cache key because all strategies produce identical facts. A
+        // result computed under the worklist must be served as a *hit* to
+        // a region-parallel request for the same analysis — and the ids
+        // aside, the payload must be the very same cached bytes.
+        let e = engine();
+        let miss = e.handle(&parse(
+            r#"{"id":1,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"],"solver":"worklist"}"#,
+        ));
+        assert!(miss.contains("\"cache\":\"miss\""), "{miss}");
+        for (id, solver) in [
+            (2, "region-parallel"),
+            (3, "region-parallel:8"),
+            (4, "round-robin"),
+        ] {
+            let hit = e.handle(&parse(&format!(
+                r#"{{"id":{id},"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"],"solver":"{solver}"}}"#,
+            )));
+            assert!(hit.contains("\"cache\":\"hit\""), "{solver}: {hit}");
+            assert_eq!(
+                miss.replace("\"id\":1", &format!("\"id\":{id}"))
+                    .replace("\"cache\":\"miss\"", "\"cache\":\"hit\""),
+                hit,
+                "{solver} must be served the cached worklist result"
+            );
+        }
+        // An invalid solver value is a structured error, not a panic.
+        let err = e.handle_line(
+            r#"{"id":5,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"],"solver":"magic"}"#,
+        );
+        assert!(err.contains("\"error\""), "{err}");
+        assert!(err.contains("unknown solver strategy"), "{err}");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use crate::json::{self, Json};
 use mpi_dfa_analyses::governor::DegradeMode;
 use mpi_dfa_analyses::mpi_match::Matching;
+use mpi_dfa_core::solver::Strategy;
 
 /// Hard cap on one request line, reusing the lexer's source cap: a request
 /// embedding the largest acceptable program still fits, anything bigger is
@@ -119,6 +120,11 @@ pub struct Request {
     pub max_fact_bytes: Option<u64>,
     pub degrade: DegradeMode,
     pub max_passes: Option<u64>,
+    /// Fixpoint strategy (`round-robin` | `worklist` | `region-parallel` |
+    /// `region-parallel:N`). Deliberately **not** part of the result cache
+    /// key: every strategy produces identical facts (`docs/SOLVER.md`), so
+    /// a result computed under one strategy is a valid hit for any other.
+    pub solver: Option<Strategy>,
 }
 
 impl Request {
@@ -141,6 +147,7 @@ impl Request {
             max_fact_bytes: None,
             degrade: DegradeMode::Auto,
             max_passes: None,
+            solver: None,
         }
     }
 
@@ -270,6 +277,9 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 }
             }
             "max_passes" => req.max_passes = Some(u64_field(v, key)?),
+            "solver" => {
+                req.solver = Some(Strategy::parse(&str_field(v, key)?).map_err(ProtoError::bad)?)
+            }
             other => {
                 return Err(ProtoError::bad(format!("unknown field `{other}`")));
             }

@@ -49,6 +49,10 @@ impl RowCache {
 
     /// The content-addressed key for `spec` under `gov`, or `None` when
     /// the run must bypass the cache (wall-clock deadline budget).
+    ///
+    /// The governor's solver `strategy` is deliberately **not** hashed:
+    /// every strategy produces identical rows (`docs/SOLVER.md`), so a row
+    /// computed under one strategy is a valid hit for any other.
     pub fn key(spec: &ExperimentSpec, gov: Option<&GovernorConfig>) -> Option<u128> {
         if gov.is_some_and(|g| g.budget.deadline.is_some()) {
             return None;
@@ -295,6 +299,33 @@ mod tests {
         assert_ne!(k0, RowCache::key(&spec, None).unwrap());
         // But the key is stable for an identical config.
         assert_eq!(k0, RowCache::key(&spec, Some(&base.clone())).unwrap());
+    }
+
+    #[test]
+    fn solver_strategy_does_not_change_the_key() {
+        // Satellite regression: the warm row cache must HIT across solver
+        // strategies — all strategies produce identical rows, so hashing
+        // the strategy would only manufacture cold misses.
+        use mpi_dfa_core::solver::Strategy;
+        let spec = by_id("Biostat").unwrap();
+        let base = GovernorConfig::default();
+        let k0 = RowCache::key(&spec, Some(&base)).unwrap();
+        for strategy in [
+            Strategy::RoundRobin,
+            Strategy::Worklist,
+            Strategy::RegionParallel { threads: 0 },
+            Strategy::RegionParallel { threads: 8 },
+        ] {
+            let gov = GovernorConfig {
+                strategy,
+                ..base.clone()
+            };
+            assert_eq!(
+                k0,
+                RowCache::key(&spec, Some(&gov)).unwrap(),
+                "{strategy} must share the strategy-agnostic row key"
+            );
+        }
     }
 
     #[test]

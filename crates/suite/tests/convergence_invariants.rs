@@ -14,7 +14,8 @@
 use mpi_dfa_analyses::activity::{vary_useful_problems, ActivityConfig, Mode};
 use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
 use mpi_dfa_core::graph::FlowGraph;
-use mpi_dfa_core::solver::{solve, solve_worklist, ConvergenceStats, SolveParams};
+use mpi_dfa_core::solver::{ConvergenceStats, Solver, Strategy};
+use mpi_dfa_graph::mpi::MpiIcfg;
 use mpi_dfa_suite::all_experiments;
 use mpi_dfa_suite::programs;
 
@@ -22,51 +23,66 @@ use mpi_dfa_suite::programs;
 /// LU/Sw variant re-checks the same graphs with different seeds).
 const ROWS: &[&str] = &["Biostat", "SOR", "CG", "LU-1", "MG-1", "Sw-1"];
 
+fn suite_graphs() -> Vec<(&'static str, MpiIcfg, ActivityConfig)> {
+    all_experiments()
+        .iter()
+        .filter(|s| ROWS.contains(&s.id))
+        .map(|spec| {
+            let ir = programs::ir(spec.program);
+            let mpi = build_mpi_icfg(
+                ir,
+                spec.context,
+                spec.clone_level,
+                Matching::ReachingConstants,
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.id));
+            let config = ActivityConfig::new(spec.independents.to_vec(), spec.dependents.to_vec());
+            (spec.id, mpi, config)
+        })
+        .collect()
+}
+
 #[test]
 fn worklist_visits_bounded_by_round_robin_on_suite_programs() {
     let mut rr_total: u64 = 0;
     let mut wl_total: u64 = 0;
-    for spec in all_experiments().iter().filter(|s| ROWS.contains(&s.id)) {
-        let ir = programs::ir(spec.program);
-        let mpi = build_mpi_icfg(
-            ir,
-            spec.context,
-            spec.clone_level,
-            Matching::ReachingConstants,
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", spec.id));
-        let config = ActivityConfig::new(spec.independents.to_vec(), spec.dependents.to_vec());
+    for (id, mpi, config) in suite_graphs() {
         let (vary_p, useful_p) =
             vary_useful_problems(mpi.icfg(), Mode::MpiIcfg, &config).expect("problems");
-        let params = SolveParams::default();
 
         for (phase, rr, wl) in [
             (
                 "vary",
-                solve(&mpi, &vary_p, &params),
-                solve_worklist(&mpi, &vary_p, &params),
+                Solver::new(&vary_p, &mpi)
+                    .strategy(Strategy::RoundRobin)
+                    .run(),
+                Solver::new(&vary_p, &mpi)
+                    .strategy(Strategy::Worklist)
+                    .run(),
             ),
             (
                 "useful",
-                solve(&mpi, &useful_p, &params),
-                solve_worklist(&mpi, &useful_p, &params),
+                Solver::new(&useful_p, &mpi)
+                    .strategy(Strategy::RoundRobin)
+                    .run(),
+                Solver::new(&useful_p, &mpi)
+                    .strategy(Strategy::Worklist)
+                    .run(),
             ),
         ] {
-            assert!(rr.stats.converged && wl.stats.converged, "{}", spec.id);
+            assert!(rr.stats.converged && wl.stats.converged, "{id}");
             assert_eq!(
                 rr.input, wl.input,
-                "{} {phase}: strategies must agree on the fixpoint",
-                spec.id
+                "{id} {phase}: strategies must agree on the fixpoint"
             );
-            assert_eq!(rr.output, wl.output, "{} {phase}", spec.id);
+            assert_eq!(rr.output, wl.output, "{id} {phase}");
             rr_total += rr.stats.node_visits;
             wl_total += wl.stats.node_visits;
             // Per-program sanity factor (see module docs: CG's vary phase
             // legitimately exceeds 1× under FIFO ordering).
             assert!(
                 wl.stats.node_visits <= 2 * rr.stats.node_visits,
-                "{} {phase}: worklist {} visits > 2x round-robin {}",
-                spec.id,
+                "{id} {phase}: worklist {} visits > 2x round-robin {}",
                 wl.stats.node_visits,
                 rr.stats.node_visits
             );
@@ -75,31 +91,26 @@ fn worklist_visits_bounded_by_round_robin_on_suite_programs() {
                 assert_eq!(
                     s.per_node_visits.iter().sum::<u64>(),
                     s.node_visits,
-                    "{} {phase}: per-node visits must sum to the total",
-                    spec.id
+                    "{id} {phase}: per-node visits must sum to the total"
                 );
                 assert!(
                     s.pass_deltas.iter().sum::<u64>() > 0,
-                    "{} {phase}: some node must change before the fixpoint",
-                    spec.id
+                    "{id} {phase}: some node must change before the fixpoint"
                 );
             }
             assert_eq!(
                 rr.stats.pass_deltas.len(),
                 rr.stats.passes,
-                "{} {phase}: one delta recorded per round-robin pass",
-                spec.id
+                "{id} {phase}: one delta recorded per round-robin pass"
             );
             assert_eq!(
                 *rr.stats.pass_deltas.last().expect("at least one pass"),
                 0,
-                "{} {phase}: a converged round-robin run ends with a zero-delta pass",
-                spec.id
+                "{id} {phase}: a converged round-robin run ends with a zero-delta pass"
             );
             assert!(
                 wl.stats.worklist_peak > 0 && rr.stats.worklist_peak == 0,
-                "{} {phase}: only the worklist strategy has a queue",
-                spec.id
+                "{id} {phase}: only the worklist strategy has a queue"
             );
         }
     }
@@ -116,24 +127,34 @@ fn worklist_visits_bounded_by_round_robin_on_suite_programs() {
 fn absorb_is_order_independent_across_benchmark_stats() {
     // Absorbing the per-benchmark stats in any order yields the same
     // counters — the property that makes cross-run metric aggregation in
-    // the telemetry sink well-defined.
+    // the telemetry sink well-defined. Mixing in stats produced by the
+    // region-parallel engine (which itself merges per-region stats in
+    // region-id order) extends the PR-3 property to parallel-merged
+    // inputs: absorbing sequential and parallel-produced stats together
+    // must stay order-independent.
     let mut stats: Vec<ConvergenceStats> = Vec::new();
-    for spec in all_experiments().iter().filter(|s| ROWS.contains(&s.id)) {
-        let ir = programs::ir(spec.program);
-        let mpi = build_mpi_icfg(
-            ir,
-            spec.context,
-            spec.clone_level,
-            Matching::ReachingConstants,
-        )
-        .unwrap();
-        let config = ActivityConfig::new(spec.independents.to_vec(), spec.dependents.to_vec());
-        let (vary_p, _) = vary_useful_problems(mpi.icfg(), Mode::MpiIcfg, &config).unwrap();
-        stats.push(solve(&mpi, &vary_p, &SolveParams::default()).stats);
+    for (i, (_, mpi, config)) in suite_graphs().iter().enumerate() {
+        let (vary_p, _) = vary_useful_problems(mpi.icfg(), Mode::MpiIcfg, config).unwrap();
+        stats.push(
+            Solver::new(&vary_p, mpi)
+                .strategy(Strategy::RoundRobin)
+                .run()
+                .stats,
+        );
+        // Alternate the thread count so the absorbed set contains stats
+        // merged from differently-scheduled parallel runs.
+        stats.push(
+            Solver::new(&vary_p, mpi)
+                .strategy(Strategy::RegionParallel {
+                    threads: 1 + (i % 8),
+                })
+                .run()
+                .stats,
+        );
         // Record a graph-size witness so zero-padding in absorb is hit.
         assert!(mpi.num_nodes() > 0);
     }
-    assert!(stats.len() >= 3);
+    assert!(stats.len() >= 6);
 
     let absorb_all = |order: &[usize]| {
         let mut acc = ConvergenceStats::default();

@@ -12,6 +12,7 @@
 
 use mpi_dfa_analyses::governor::{DegradeMode, GovernorConfig};
 use mpi_dfa_core::budget::Budget;
+use mpi_dfa_core::solver::Strategy;
 use mpi_dfa_core::telemetry::{self, TraceLevel, TEST_SINK_GATE};
 use mpi_dfa_suite::{by_id, runner};
 
@@ -285,6 +286,14 @@ fn chrome_trace_from_cg_and_lu_repro_is_valid_and_complete() {
         names.push(e.get("name").and_then(Json::as_str).expect("name"));
     }
     assert_eq!(begins, ends, "every span must open and close");
+    // The fixpoint span name depends on the strategy the run solved under,
+    // which CI varies via `MPIDFA_SOLVER` (the solver-parallel job runs the
+    // whole suite with the region-parallel default).
+    let fixpoint_span = match Strategy::session_default() {
+        Strategy::RoundRobin => "fixpoint:round_robin",
+        Strategy::Worklist => "fixpoint:worklist",
+        Strategy::RegionParallel { .. } => "fixpoint:region_parallel",
+    };
     for required in [
         "compile",
         "lex",
@@ -294,7 +303,7 @@ fn chrome_trace_from_cg_and_lu_repro_is_valid_and_complete() {
         "icfg_build",
         "clone_expansion",
         "mpi_matching",
-        "fixpoint:round_robin",
+        fixpoint_span,
         "activity:vary",
         "activity:useful",
     ] {

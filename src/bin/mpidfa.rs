@@ -22,7 +22,7 @@ use mpi_dfa::analyses::slicing::forward_slice;
 use mpi_dfa::analyses::taint::{self, TaintConfig, TaintMode};
 use mpi_dfa::core::budget::Budget;
 use mpi_dfa::core::lattice::ConstLattice;
-use mpi_dfa::core::solver::ConvergenceStats;
+use mpi_dfa::core::solver::{ConvergenceStats, Strategy};
 use mpi_dfa::core::telemetry;
 use mpi_dfa::lang::fault::FaultPlan;
 use mpi_dfa::lang::interp::{self, InterpConfig, RuntimeLimits};
@@ -99,6 +99,14 @@ fn run(args: &[String]) -> Result<(), String> {
         opts.value("trace-level"),
     )?;
     tel.install();
+    // `--solver` pins the process-wide default strategy before any analysis
+    // runs; every fixpoint in this invocation (including batch/serve
+    // requests without their own `"solver"` field) then uses it. A bad
+    // value fails loudly here, unlike the forgiving `MPIDFA_SOLVER` path.
+    if let Some(v) = opts.value("solver") {
+        let strategy = Strategy::parse(v).map_err(|e| format!("--solver: {e}"))?;
+        Strategy::set_session_default(strategy);
+    }
     let result = dispatch(cmd, &opts);
     // Telemetry files are written even when the command fails: a trace of a
     // failing run is exactly when you want one.
@@ -565,6 +573,11 @@ fn usage() -> String {
                   reorder=P,delay=P,max_delay=US,stagger=US,dup=P,drop=P`\n\
                   (--max-steps / --recv-timeout-ms override the documented\n\
                   RuntimeLimits defaults: 20000000 steps, 10000 ms)\n\
+     solver (every command): [--solver round-robin|worklist|region-parallel[:N]]\n\
+                  fixpoint strategy for all analyses in this invocation\n\
+                  (default: $MPIDFA_SOLVER, else round-robin; `region-parallel`\n\
+                  without `:N` sizes the pool from available parallelism; all\n\
+                  strategies produce identical facts — see docs/SOLVER.md)\n\
      telemetry (every command): [--trace-out FILE.json] [--metrics-out FILE.txt]\n\
                   [--trace-level off|spans|full]\n\
                   --trace-out writes a Chrome-trace (chrome://tracing, Perfetto);\n\

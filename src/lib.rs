@@ -14,8 +14,9 @@
 //! * [`graph`] — CFG/ICFG construction, clone-level context sensitivity,
 //!   and MPI-ICFG communication-edge matching;
 //! * [`core`] — the generic solver: lattices, the [`core::Dataflow`] trait
-//!   with its communication transfer function, round-robin and worklist
-//!   strategies;
+//!   with its communication transfer function, and the [`core::Solver`]
+//!   builder over round-robin, worklist, and SCC-region-parallel
+//!   strategies (see `docs/SOLVER.md`);
 //! * [`analyses`] — reaching constants, activity (Vary/Useful/Active),
 //!   liveness, reaching definitions, forward slicing, taint;
 //! * [`suite`] — the benchmark programs and the Table 1 / Figure 4
@@ -67,7 +68,9 @@ pub mod prelude {
     pub use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
     pub use mpi_dfa_analyses::{consts, liveness, reaching_defs, slicing, taint};
     pub use mpi_dfa_core::budget::{Budget, BudgetSpent, CancelToken, Exhaustion};
-    pub use mpi_dfa_core::solver::{solve, solve_worklist, Solution, SolveParams};
+    #[allow(deprecated)] // back-compat: the shims stay importable from here
+    pub use mpi_dfa_core::solver::{solve, solve_worklist};
+    pub use mpi_dfa_core::solver::{Solution, SolveParams, Solver, Strategy};
     pub use mpi_dfa_core::{Dataflow, Direction, VarSet};
     pub use mpi_dfa_graph::icfg::{Icfg, ProgramIr};
     pub use mpi_dfa_graph::mpi::{MpiIcfg, SyntacticConsts};

@@ -3,7 +3,8 @@
 //! These check the invariants the paper's framework relies on, on *every*
 //! program the generator can produce — not just the benchmark suite:
 //!
-//! * the solver converges and both strategies (round-robin, worklist) agree;
+//! * the solver converges and all strategies (round-robin, worklist,
+//!   region-parallel at several thread counts) agree byte-for-byte;
 //! * separable analyses (liveness, reaching definitions) are unaffected by
 //!   communication edges;
 //! * the communication-edge matching strategies form a precision ladder;
@@ -38,12 +39,26 @@ fn solvers_agree_and_converge() {
         let ir = build(seed);
         let mpi = build_mpi_icfg(ir, "main", 1, Matching::ReachingConstants).unwrap();
         let problem = consts::ReachingConsts::new(mpi.icfg());
-        let rr = solve(&mpi, &problem, &SolveParams::default());
-        let wl = solve_worklist(&mpi, &problem, &SolveParams::default());
+        let rr = Solver::new(&problem, &mpi)
+            .strategy(Strategy::RoundRobin)
+            .run();
+        let wl = Solver::new(&problem, &mpi)
+            .strategy(Strategy::Worklist)
+            .run();
         assert!(rr.stats.converged, "seed {seed}");
         assert!(wl.stats.converged, "seed {seed}");
         assert_eq!(&rr.input, &wl.input, "seed {seed}");
         assert_eq!(&rr.output, &wl.output, "seed {seed}");
+        // The region-parallel engine must be byte-identical at any thread
+        // count — parallelism changes wall-clock, never facts.
+        for threads in [1usize, 2, 8] {
+            let rp = Solver::new(&problem, &mpi)
+                .strategy(Strategy::RegionParallel { threads })
+                .run();
+            assert!(rp.stats.converged, "seed {seed}, {threads} threads");
+            assert_eq!(&rp.input, &wl.input, "seed {seed}, {threads} threads");
+            assert_eq!(&rp.output, &wl.output, "seed {seed}, {threads} threads");
+        }
         // No hard work-count relation holds in general (a FIFO worklist can
         // revisit more than an RPO sweep on some shapes); both must stay
         // within the same order of magnitude though.

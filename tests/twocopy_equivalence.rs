@@ -9,7 +9,7 @@
 //! nodes.
 
 use mpi_dfa::analyses::twocopy::{rebase, TwoCopyGraph};
-use mpi_dfa::core::solver::{solve, SolveParams};
+use mpi_dfa::core::solver::Solver;
 use mpi_dfa::core::{FlowGraph, NodeId, VarSet};
 use mpi_dfa::prelude::*;
 use mpi_dfa::suite::gen::{generate, GenConfig};
@@ -17,12 +17,8 @@ use mpi_dfa::suite::gen::{generate, GenConfig};
 fn two_copy_active(mpi: &MpiIcfg, config: &ActivityConfig) -> VarSet {
     let doubled = TwoCopyGraph::build(mpi);
     let (vary, useful) = activity::vary_useful_problems(mpi.icfg(), Mode::MpiIcfg, config).unwrap();
-    let v = solve(&doubled, &rebase(&vary, &doubled), &SolveParams::default());
-    let u = solve(
-        &doubled,
-        &rebase(&useful, &doubled),
-        &SolveParams::default(),
-    );
+    let v = Solver::new(&rebase(&vary, &doubled), &doubled).run();
+    let u = Solver::new(&rebase(&useful, &doubled), &doubled).run();
     let mut active = VarSet::empty(mpi.ir.locs.len());
     for n in 0..doubled.num_nodes() {
         let node = NodeId(n as u32);
