@@ -118,6 +118,12 @@ pub struct GovernorConfig {
     /// part of any result-cache key: all strategies produce identical facts
     /// (see `docs/SOLVER.md`), so a cached result is valid for any strategy.
     pub strategy: Strategy,
+    /// Lowest rung the ladder may *start* from. `Tier::T0` (the default)
+    /// is the normal full ladder; the service's admission control raises
+    /// this under sustained load so heavy traffic degrades deterministically
+    /// instead of queueing unboundedly. Results produced under a raised
+    /// floor are still sound (the floor only skips the more precise rungs).
+    pub tier_floor: Tier,
 }
 
 impl Default for GovernorConfig {
@@ -129,6 +135,7 @@ impl Default for GovernorConfig {
             degrade: DegradeMode::Auto,
             max_passes: SolveParams::default().max_passes,
             strategy: Strategy::session_default(),
+            tier_floor: Tier::T0,
         }
     }
 }
@@ -171,13 +178,30 @@ pub fn governed_activity(
     let t1_redundant = gov.clone_level == 0
         && matches!(gov.matching, Matching::Syntactic | Matching::Naive)
         && gov.degrade == DegradeMode::Auto;
-    let tiers: &[Tier] = match gov.degrade {
-        DegradeMode::Off => &[Tier::T0],
+    let full_ladder: &[Tier] = match gov.degrade {
+        // With degradation off the floor still applies: the service uses
+        // the floor for load shedding, which must override precision even
+        // for clients that opted out of budget-driven degradation.
+        DegradeMode::Off => match gov.tier_floor {
+            Tier::T0 => &[Tier::T0],
+            Tier::T1 => &[Tier::T1],
+            Tier::T2 => &[Tier::T2],
+        },
         DegradeMode::Auto if t1_redundant => &[Tier::T0, Tier::T2],
         DegradeMode::Auto => &[Tier::T0, Tier::T1, Tier::T2],
     };
+    let tiers: Vec<Tier> = full_ladder
+        .iter()
+        .copied()
+        // A T1 floor keeps a T0 attempt that is already configured at T1's
+        // cost (clone 0, cheap matching) — skipping it would only lose work.
+        .filter(|&t| t >= gov.tier_floor || (t1_redundant && gov.tier_floor == Tier::T1))
+        .collect();
+    if gov.tier_floor > Tier::T0 {
+        reasons.push(format!("tier floor {} (load shedding)", gov.tier_floor));
+    }
 
-    for &tier in tiers {
+    for &tier in &tiers {
         let spent = BudgetSpent {
             work: spent_work,
             elapsed: started.elapsed(),

@@ -28,7 +28,7 @@
 //!   holding megabyte-scale artifacts — the artifact build being cached
 //!   costs orders of magnitude more than the scan).
 
-use crate::hash::hex128;
+use crate::hash::{fnv64, hex128};
 use crate::telemetry;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -43,6 +43,9 @@ pub struct CacheCounters {
     pub misses: AtomicU64,
     pub insertions: AtomicU64,
     pub evictions: AtomicU64,
+    /// Entries whose on-disk frame failed validation (bad magic, version
+    /// skew, length mismatch, checksum mismatch) and were moved aside.
+    pub quarantined: AtomicU64,
 }
 
 /// A point-in-time copy of [`CacheCounters`].
@@ -52,6 +55,7 @@ pub struct CacheSnapshot {
     pub misses: u64,
     pub insertions: u64,
     pub evictions: u64,
+    pub quarantined: u64,
 }
 
 impl CacheCounters {
@@ -61,6 +65,7 @@ impl CacheCounters {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -227,13 +232,49 @@ impl<V: Clone> SharedLru<V> {
     }
 }
 
+/// Frame magic for on-disk entries (`"MDFC"`).
+const FRAME_MAGIC: [u8; 4] = *b"MDFC";
+/// Frame format version; bump when the header layout changes.
+const FRAME_VERSION: u32 = 1;
+/// Fixed header: magic(4) + version(4) + payload_len(8) + fnv64(payload)(8).
+const FRAME_HEADER_LEN: usize = 24;
+/// Directory (under the store root) holding quarantined entries.
+const QUARANTINE_DIR: &str = "quarantine";
+
+/// Result of a [`DiskStore::fsck`] pass over every namespace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Entry files examined (excluding temp files and the quarantine dir).
+    pub scanned: u64,
+    /// Entries whose frame validated.
+    pub valid: u64,
+    /// Entries moved to the quarantine directory.
+    pub quarantined: u64,
+    /// Stale `.tmp-*` files from interrupted writers that were removed.
+    pub removed_tmp: u64,
+}
+
 /// A content-addressed on-disk artifact store: one file per key, named by
 /// the hex digest, grouped into a namespace directory per artifact kind.
 ///
-/// Writes are atomic (temp file in the same directory + rename) so a
-/// crashed or concurrent writer can never leave a torn entry; readers
-/// treat any I/O error as a miss — the store is an optimization layer, and
-/// a recompute is always available and always correct.
+/// Crash-only design, in two layers:
+///
+/// * **Writes are atomic** (temp file in the same directory + rename) so a
+///   crashed or concurrent writer can never publish a torn entry under the
+///   final name.
+/// * **Every entry is framed and checksummed** (magic, version, payload
+///   length, FNV-1a 64 of the payload). Reads validate the frame before
+///   returning bytes; any violation — truncation, bit rot, a hostile or
+///   accidental overwrite — **quarantines** the file (moved to
+///   `quarantine/`, counted in `CacheCounters::quarantined` and the
+///   `cache_quarantined_total` metric) and reports a miss. The store never
+///   panics and never returns wrong bytes; a recompute is always available
+///   and always correct. Single-byte corruption is *guaranteed* detected:
+///   each FNV-1a step (xor byte, multiply by an odd prime) is injective in
+///   the byte given the surrounding state.
+///
+/// A startup [`DiskStore::fsck`] pass applies the same validation eagerly
+/// to every entry and sweeps temp files left by interrupted writers.
 #[derive(Debug, Clone)]
 pub struct DiskStore {
     root: PathBuf,
@@ -263,24 +304,102 @@ impl DiskStore {
         self.root.join(namespace).join(hex128(key))
     }
 
-    /// Fetch the bytes stored for `key`, or `None` (including on any I/O
-    /// error — a corrupt entry is a miss, not a failure).
+    /// Wrap `payload` in the checksummed frame.
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        out.extend_from_slice(&FRAME_MAGIC);
+        out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv64(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Validate a framed entry and return its payload, or a reason string.
+    fn unframe(bytes: &[u8]) -> Result<&[u8], &'static str> {
+        if bytes.len() < FRAME_HEADER_LEN {
+            return Err("truncated header");
+        }
+        if bytes[..4] != FRAME_MAGIC {
+            return Err("bad magic");
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != FRAME_VERSION {
+            return Err("version skew");
+        }
+        let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let payload = &bytes[FRAME_HEADER_LEN..];
+        if len != payload.len() as u64 {
+            return Err("length mismatch");
+        }
+        let checksum = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        if checksum != fnv64(payload) {
+            return Err("checksum mismatch");
+        }
+        Ok(payload)
+    }
+
+    /// Move a failed entry aside (best effort: fall back to deletion) and
+    /// count it. The quarantined copy keeps the original bytes so a failure
+    /// can be inspected after the fact.
+    fn quarantine(&self, namespace: &str, path: &Path, reason: &str) {
+        let n = self.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+        if telemetry::is_enabled() {
+            telemetry::metric_add(
+                &telemetry::metric_name("cache_quarantined_total", &[("cache", "disk")]),
+                1.0,
+            );
+            telemetry::instant(
+                "cache",
+                "quarantine",
+                vec![
+                    ("namespace", telemetry::ArgValue::Str(namespace.to_string())),
+                    ("reason", telemetry::ArgValue::Str(reason.to_string())),
+                ],
+            );
+        }
+        let qdir = self.root.join(QUARANTINE_DIR);
+        let name = path
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "entry".to_string());
+        let moved = std::fs::create_dir_all(&qdir)
+            .and_then(|()| std::fs::rename(path, qdir.join(format!("{namespace}-{name}-{n}"))));
+        if moved.is_err() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Fetch the bytes stored for `key`, or `None`. A missing file is a
+    /// plain miss; a file that exists but fails frame validation is
+    /// quarantined and reported as a miss — never a panic, never wrong
+    /// bytes.
     pub fn get(&self, namespace: &str, key: u128) -> Option<Vec<u8>> {
-        match std::fs::read(self.path(namespace, key)) {
-            Ok(bytes) => {
-                LruCache::<()>::bump(&self.counters.hits, "disk", "hits");
-                Some(bytes)
-            }
+        let path = self.path(namespace, key);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
             Err(_) => {
+                LruCache::<()>::bump(&self.counters.misses, "disk", "misses");
+                return None;
+            }
+        };
+        match Self::unframe(&bytes) {
+            Ok(payload) => {
+                let payload = payload.to_vec();
+                LruCache::<()>::bump(&self.counters.hits, "disk", "hits");
+                Some(payload)
+            }
+            Err(reason) => {
+                self.quarantine(namespace, &path, reason);
                 LruCache::<()>::bump(&self.counters.misses, "disk", "misses");
                 None
             }
         }
     }
 
-    /// Store `bytes` under `key` atomically. Errors are returned so the
-    /// caller can log them, but the caller should treat a failed put as
-    /// non-fatal (the store is best-effort).
+    /// Store `bytes` under `key` atomically, framed and checksummed.
+    /// Errors are returned so the caller can log them, but the caller
+    /// should treat a failed put as non-fatal (the store is best-effort).
     pub fn put(&self, namespace: &str, key: u128, bytes: &[u8]) -> std::io::Result<()> {
         let path = self.path(namespace, key);
         let dir = path.parent().expect("store paths always have a parent");
@@ -290,10 +409,55 @@ impl DiskStore {
             std::process::id(),
             self.counters.insertions.load(Ordering::Relaxed)
         ));
-        std::fs::write(&tmp, bytes)?;
+        std::fs::write(&tmp, Self::frame(bytes))?;
         std::fs::rename(&tmp, &path)?;
         LruCache::<()>::bump(&self.counters.insertions, "disk", "insertions");
         Ok(())
+    }
+
+    /// Startup integrity pass: validate every entry in every namespace,
+    /// quarantining invalid frames and sweeping stale temp files. Returns
+    /// what was found; never fails the caller — an unreadable directory
+    /// simply contributes nothing.
+    pub fn fsck(&self) -> FsckReport {
+        let mut report = FsckReport::default();
+        let Ok(namespaces) = std::fs::read_dir(&self.root) else {
+            return report;
+        };
+        for ns in namespaces.flatten() {
+            let ns_path = ns.path();
+            let ns_name = ns.file_name().to_string_lossy().into_owned();
+            if !ns_path.is_dir() || ns_name == QUARANTINE_DIR {
+                continue;
+            }
+            let Ok(entries) = std::fs::read_dir(&ns_path) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.starts_with(".tmp-") {
+                    // An interrupted writer's leftover; it was never
+                    // published, so removal cannot lose a valid entry.
+                    if std::fs::remove_file(&path).is_ok() {
+                        report.removed_tmp += 1;
+                    }
+                    continue;
+                }
+                report.scanned += 1;
+                let valid = crate::hash::parse_hex128(&name).is_some()
+                    && std::fs::read(&path)
+                        .ok()
+                        .is_some_and(|bytes| Self::unframe(&bytes).is_ok());
+                if valid {
+                    report.valid += 1;
+                } else {
+                    self.quarantine(&ns_name, &path, "fsck");
+                    report.quarantined += 1;
+                }
+            }
+        }
+        report
     }
 }
 
@@ -375,6 +539,140 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
             .collect();
         assert!(leftovers.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn scratch_store(tag: &str) -> (PathBuf, DiskStore) {
+        let dir = std::env::temp_dir().join(format!("mpidfa-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    /// The single on-disk file for `key` in `namespace`.
+    fn entry_path(dir: &Path, namespace: &str, key: u128) -> PathBuf {
+        dir.join(namespace).join(hex128(key))
+    }
+
+    #[test]
+    fn frame_round_trips_and_reports_each_violation() {
+        let framed = DiskStore::frame(b"hello frame");
+        assert_eq!(framed.len(), FRAME_HEADER_LEN + 11);
+        assert_eq!(DiskStore::unframe(&framed).unwrap(), b"hello frame");
+        // Empty payloads are legal.
+        let empty = DiskStore::frame(b"");
+        assert_eq!(DiskStore::unframe(&empty).unwrap(), b"");
+
+        assert_eq!(DiskStore::unframe(b"MDFC"), Err("truncated header"));
+        let mut bad = framed.clone();
+        bad[0] = b'X';
+        assert_eq!(DiskStore::unframe(&bad), Err("bad magic"));
+        let mut bad = framed.clone();
+        bad[4] ^= 0xFF; // version field
+        assert_eq!(DiskStore::unframe(&bad), Err("version skew"));
+        let mut bad = framed.clone();
+        bad.pop(); // lost payload byte: a torn write
+        assert_eq!(DiskStore::unframe(&bad), Err("length mismatch"));
+        let mut bad = framed.clone();
+        *bad.last_mut().unwrap() ^= 0x01;
+        assert_eq!(DiskStore::unframe(&bad), Err("checksum mismatch"));
+    }
+
+    #[test]
+    fn torn_and_truncated_entries_are_quarantined_misses() {
+        let (dir, store) = scratch_store("torn");
+        store.put("results", 1, b"first").unwrap();
+        store.put("results", 2, b"second").unwrap();
+
+        // Truncate one entry mid-payload (torn write), gut the other below
+        // the header (crash during the very first block).
+        let p1 = entry_path(&dir, "results", 1);
+        let bytes = std::fs::read(&p1).unwrap();
+        std::fs::write(&p1, &bytes[..bytes.len() - 2]).unwrap();
+        let p2 = entry_path(&dir, "results", 2);
+        std::fs::write(&p2, b"MD").unwrap();
+
+        assert_eq!(store.get("results", 1), None);
+        assert_eq!(store.get("results", 2), None);
+        assert_eq!(store.counters().snapshot().quarantined, 2);
+        // The files were moved aside: a retry is a plain miss, not another
+        // quarantine.
+        assert_eq!(store.get("results", 1), None);
+        assert_eq!(store.counters().snapshot().quarantined, 2);
+        // The quarantine keeps the evidence.
+        let quarantined = std::fs::read_dir(dir.join(QUARANTINE_DIR)).unwrap().count();
+        assert_eq!(quarantined, 2);
+        // The key is writable again and round-trips.
+        store.put("results", 1, b"recomputed").unwrap();
+        assert_eq!(store.get("results", 1).as_deref(), Some(&b"recomputed"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        // The acceptance criterion for the crash-only store: flip each bit
+        // of a framed entry in turn; every flip must yield a miss (plus a
+        // quarantine), never a payload and never a panic.
+        let (dir, store) = scratch_store("bitflip");
+        store.put("results", 7, b"bit-flip target").unwrap();
+        let path = entry_path(&dir, "results", 7);
+        let pristine = std::fs::read(&path).unwrap();
+
+        let mut flips = 0u64;
+        for byte in 0..pristine.len() {
+            for bit in 0..8 {
+                let mut corrupt = pristine.clone();
+                corrupt[byte] ^= 1 << bit;
+                std::fs::write(&path, &corrupt).unwrap();
+                assert_eq!(
+                    store.get("results", 7),
+                    None,
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+                flips += 1;
+            }
+        }
+        assert_eq!(store.counters().snapshot().quarantined, flips);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_sweeps_temp_files_and_quarantines_invalid_frames() {
+        let (dir, store) = scratch_store("fsck");
+        store.put("results", 1, b"good one").unwrap();
+        store.put("ir", 2, b"good two").unwrap();
+        // A stale writer temp file, an unframed (legacy/garbage) entry, and
+        // a file whose name is not a content hash.
+        std::fs::write(dir.join("results").join(".tmp-999-0"), b"partial").unwrap();
+        std::fs::write(entry_path(&dir, "results", 3), b"not a frame").unwrap();
+        std::fs::write(dir.join("ir").join("README"), b"hello").unwrap();
+
+        let report = store.fsck();
+        assert_eq!(
+            report,
+            FsckReport {
+                scanned: 4,
+                valid: 2,
+                quarantined: 2,
+                removed_tmp: 1,
+            },
+            "{report:?}"
+        );
+        // Valid entries survive fsck; invalid ones are gone from the
+        // namespaces.
+        assert_eq!(store.get("results", 1).as_deref(), Some(&b"good one"[..]));
+        assert_eq!(store.get("ir", 2).as_deref(), Some(&b"good two"[..]));
+        assert_eq!(store.get("results", 3), None);
+        // A second pass finds a clean store.
+        assert_eq!(
+            store.fsck(),
+            FsckReport {
+                scanned: 2,
+                valid: 2,
+                quarantined: 0,
+                removed_tmp: 0,
+            }
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

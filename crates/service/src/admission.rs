@@ -1,0 +1,322 @@
+//! Admission control and load shedding for the service tier.
+//!
+//! The ROADMAP's service item asks for admission control that "maps load
+//! to the PR-2 governor ladder": instead of queueing unboundedly under
+//! heavy traffic, the service degrades *deterministically*. This module
+//! implements that as a bounded in-flight ledger with a watermark ladder:
+//!
+//! * `inflight < t1_watermark` — **T0**: requests run the full ladder;
+//! * `inflight >= t1_watermark` — **T1** floor: the governor skips the
+//!   precise full-MPI-ICFG rung (clone 0, syntactic matching);
+//! * `inflight >= t2_watermark` — **T2** floor: plain-ICFG sound
+//!   worst-case analysis only;
+//! * `inflight >= max_inflight` — **shed**: the request is refused with a
+//!   structured `overloaded` error carrying a `retry_after_ms` hint.
+//!
+//! Stepping *up* is immediate at the watermark; stepping *down* requires
+//! the load to drain `hysteresis` permits below it, so the tier doesn't
+//! flap at the boundary. Both transitions are pure functions of the
+//! in-flight count, so a fixed request schedule sheds and degrades
+//! identically on every run — the overload chaos tests assert exact shed
+//! counts at a fixed seed.
+//!
+//! Results computed under a raised floor are **never cached** (the engine
+//! bypasses the result cache when the floor is above T0): a degraded
+//! answer must not be served later, from the cache, to an unloaded server.
+
+use mpi_dfa_analyses::governor::Tier;
+use mpi_dfa_core::telemetry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Watermark configuration for [`AdmissionControl`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Hard cap on concurrently admitted requests; at or above it new
+    /// requests are shed.
+    pub max_inflight: usize,
+    /// In-flight count at which the governor floor steps to T1.
+    pub t1_watermark: usize,
+    /// In-flight count at which the governor floor steps to T2.
+    pub t2_watermark: usize,
+    /// Permits of drain below a watermark required before the floor steps
+    /// back down (anti-flap).
+    pub hysteresis: usize,
+    /// Backoff hint attached to `overloaded` errors.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig::for_max_inflight(64)
+    }
+}
+
+impl AdmissionConfig {
+    /// Derive the ladder from a single knob: T1 at half the cap, T2 at
+    /// three quarters, hysteresis an eighth (at least 1).
+    pub fn for_max_inflight(max_inflight: usize) -> Self {
+        let max_inflight = max_inflight.max(1);
+        AdmissionConfig {
+            max_inflight,
+            t1_watermark: (max_inflight / 2).max(1),
+            t2_watermark: (max_inflight * 3 / 4).max(1),
+            hysteresis: (max_inflight / 8).max(1),
+            retry_after_ms: 100,
+        }
+    }
+}
+
+/// Why a request was refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shed {
+    /// Hint for the client's backoff (mirrors the config).
+    pub retry_after_ms: u64,
+}
+
+/// Point-in-time admission counters for `cache-stats` and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionSnapshot {
+    pub inflight: usize,
+    pub tier_floor: Tier,
+    pub admitted_total: u64,
+    pub shed_total: u64,
+    pub max_inflight: usize,
+}
+
+#[derive(Debug)]
+struct LadderState {
+    inflight: usize,
+    tier: Tier,
+}
+
+/// The bounded request ledger. One instance is shared by every connection
+/// of a server (and by the engine, which consults [`tier_floor`] when
+/// running governed analyses).
+///
+/// [`tier_floor`]: AdmissionControl::tier_floor
+#[derive(Debug)]
+pub struct AdmissionControl {
+    cfg: AdmissionConfig,
+    state: Mutex<LadderState>,
+    admitted_total: AtomicU64,
+    shed_total: AtomicU64,
+}
+
+impl AdmissionControl {
+    pub fn new(cfg: AdmissionConfig) -> Arc<AdmissionControl> {
+        Arc::new(AdmissionControl {
+            cfg,
+            state: Mutex::new(LadderState {
+                inflight: 0,
+                tier: Tier::T0,
+            }),
+            admitted_total: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+        })
+    }
+
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// The ladder transition: a pure function of (current tier, in-flight
+    /// count). Step up immediately at a watermark; step down only once the
+    /// load has drained `hysteresis` permits below it.
+    fn next_tier(&self, cur: Tier, inflight: usize) -> Tier {
+        let c = &self.cfg;
+        // The tier the raw count maps to (no hysteresis).
+        let pressure = if inflight >= c.t2_watermark {
+            Tier::T2
+        } else if inflight >= c.t1_watermark {
+            Tier::T1
+        } else {
+            Tier::T0
+        };
+        if pressure >= cur {
+            // Upward (or steady) pressure applies immediately.
+            return pressure;
+        }
+        // Stepping down: require `hysteresis` permits of slack below the
+        // watermark that put us on the current rung, and descend one rung
+        // at a time so a T2→T0 drain passes visibly through T1.
+        let watermark = match cur {
+            Tier::T2 => c.t2_watermark,
+            _ => c.t1_watermark,
+        };
+        if inflight + c.hysteresis > watermark {
+            return cur;
+        }
+        match cur {
+            Tier::T2 => Tier::T1,
+            _ => Tier::T0,
+        }
+    }
+
+    fn record_gauges(&self, inflight: usize, tier: Tier) {
+        if !telemetry::is_enabled() {
+            return;
+        }
+        telemetry::metric_set("service_inflight", inflight as f64);
+        telemetry::metric_max("service_inflight_peak", inflight as f64);
+        telemetry::metric_set(
+            "service_admission_tier",
+            match tier {
+                Tier::T0 => 0.0,
+                Tier::T1 => 1.0,
+                Tier::T2 => 2.0,
+            },
+        );
+    }
+
+    /// Try to admit one request. On success the returned [`Permit`] holds
+    /// the in-flight slot until dropped; on failure the caller must answer
+    /// a structured `overloaded` error with the shed's retry hint.
+    pub fn try_admit(self: &Arc<Self>) -> Result<Permit, Shed> {
+        let mut st = self.state.lock().unwrap();
+        if st.inflight >= self.cfg.max_inflight {
+            drop(st);
+            self.shed_total.fetch_add(1, Ordering::Relaxed);
+            if telemetry::is_enabled() {
+                telemetry::metric_add("service_shed_total", 1.0);
+            }
+            return Err(Shed {
+                retry_after_ms: self.cfg.retry_after_ms,
+            });
+        }
+        st.inflight += 1;
+        st.tier = self.next_tier(st.tier, st.inflight);
+        let (inflight, tier) = (st.inflight, st.tier);
+        drop(st);
+        self.admitted_total.fetch_add(1, Ordering::Relaxed);
+        self.record_gauges(inflight, tier);
+        Ok(Permit {
+            control: Arc::clone(self),
+        })
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.inflight = st.inflight.saturating_sub(1);
+        st.tier = self.next_tier(st.tier, st.inflight);
+        let (inflight, tier) = (st.inflight, st.tier);
+        drop(st);
+        self.record_gauges(inflight, tier);
+    }
+
+    /// The governor floor currently imposed by load (see module docs).
+    pub fn tier_floor(&self) -> Tier {
+        self.state.lock().unwrap().tier
+    }
+
+    pub fn snapshot(&self) -> AdmissionSnapshot {
+        let st = self.state.lock().unwrap();
+        AdmissionSnapshot {
+            inflight: st.inflight,
+            tier_floor: st.tier,
+            admitted_total: self.admitted_total.load(Ordering::Relaxed),
+            shed_total: self.shed_total.load(Ordering::Relaxed),
+            max_inflight: self.cfg.max_inflight,
+        }
+    }
+}
+
+/// An admitted request's in-flight slot; dropping it releases the slot and
+/// re-evaluates the ladder.
+#[derive(Debug)]
+pub struct Permit {
+    control: Arc<AdmissionControl>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.control.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg4() -> AdmissionConfig {
+        AdmissionConfig {
+            max_inflight: 4,
+            t1_watermark: 2,
+            t2_watermark: 3,
+            hysteresis: 1,
+            retry_after_ms: 50,
+        }
+    }
+
+    #[test]
+    fn sheds_at_the_cap_with_retry_hint_and_exact_counts() {
+        let ac = AdmissionControl::new(cfg4());
+        let permits: Vec<_> = (0..4).map(|_| ac.try_admit().unwrap()).collect();
+        for _ in 0..3 {
+            let shed = ac.try_admit().unwrap_err();
+            assert_eq!(shed.retry_after_ms, 50);
+        }
+        let snap = ac.snapshot();
+        assert_eq!(snap.inflight, 4);
+        assert_eq!(snap.admitted_total, 4);
+        assert_eq!(snap.shed_total, 3, "shed count is deterministic");
+        drop(permits);
+        assert_eq!(ac.snapshot().inflight, 0);
+        assert!(ac.try_admit().is_ok());
+    }
+
+    #[test]
+    fn ladder_steps_up_at_watermarks_and_back_after_drain() {
+        let ac = AdmissionControl::new(cfg4());
+        assert_eq!(ac.tier_floor(), Tier::T0);
+        let p1 = ac.try_admit().unwrap(); // inflight 1 < t1
+        assert_eq!(ac.tier_floor(), Tier::T0);
+        let p2 = ac.try_admit().unwrap(); // inflight 2 == t1
+        assert_eq!(ac.tier_floor(), Tier::T1);
+        let p3 = ac.try_admit().unwrap(); // inflight 3 == t2
+        assert_eq!(ac.tier_floor(), Tier::T2);
+        // Drain: 3 -> 2 (2 + hysteresis(1) <= t2) steps back to T1 …
+        drop(p3);
+        assert_eq!(ac.tier_floor(), Tier::T1);
+        // … 2 -> 1 (1 + 1 <= t1) steps back to T0.
+        drop(p2);
+        assert_eq!(ac.tier_floor(), Tier::T0);
+        drop(p1);
+        assert_eq!(ac.tier_floor(), Tier::T0);
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping_at_the_boundary() {
+        let ac = AdmissionControl::new(AdmissionConfig {
+            max_inflight: 8,
+            t1_watermark: 4,
+            t2_watermark: 6,
+            hysteresis: 2,
+            retry_after_ms: 10,
+        });
+        let mut permits: Vec<_> = (0..4).map(|_| ac.try_admit().unwrap()).collect();
+        assert_eq!(ac.tier_floor(), Tier::T1);
+        // Drop to 3: 3 + 2 > 4, still T1 (no flap)…
+        permits.pop();
+        assert_eq!(ac.tier_floor(), Tier::T1);
+        // …admit back to 4: still T1, no thrash through T0.
+        permits.push(ac.try_admit().unwrap());
+        assert_eq!(ac.tier_floor(), Tier::T1);
+        // Drain to 2: 2 + 2 <= 4 steps back down.
+        permits.pop();
+        permits.pop();
+        assert_eq!(ac.tier_floor(), Tier::T0);
+        drop(permits);
+    }
+
+    #[test]
+    fn derived_config_is_sane_for_small_caps() {
+        for n in 1..=16 {
+            let c = AdmissionConfig::for_max_inflight(n);
+            assert!(c.t1_watermark >= 1);
+            assert!(c.t1_watermark <= c.t2_watermark);
+            assert!(c.t2_watermark <= c.max_inflight);
+            assert!(c.hysteresis >= 1);
+        }
+    }
+}

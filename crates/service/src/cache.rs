@@ -36,7 +36,9 @@ use std::sync::Arc;
 
 /// Bump when any cached representation or key schema changes; keys embed
 /// it, so stale on-disk entries from older builds simply miss.
-pub const CACHE_SCHEMA_VERSION: u64 = 1;
+/// v2: on-disk entries gained the checksummed `DiskStore` frame (older
+/// unframed files are quarantined by the startup fsck, never misread).
+pub const CACHE_SCHEMA_VERSION: u64 = 2;
 
 /// Key for a whole-program IR: exact source text.
 pub fn source_key(source: &str) -> u128 {
@@ -64,10 +66,11 @@ pub fn proc_cfg_key(sub_content: &str, locs_fingerprint: u128, proc_index: usize
 /// Key for a finished result, or `None` when the request must bypass the
 /// cache:
 ///
-/// * `budget_ms` present — a wall-clock deadline makes the governor's tier
-///   outcome timing-dependent, so the "hit ≡ recompute" determinism
+/// * `budget_ms` or `deadline_ms` present — a wall-clock deadline makes
+///   the outcome timing-dependent, so the "hit ≡ recompute" determinism
 ///   contract cannot hold;
-/// * `ping` / `shutdown` — no computed result to cache.
+/// * `ping` / `shutdown` / `cache-stats` — no computed result to cache
+///   (cache-stats in particular reports live counters).
 ///
 /// Deterministic budget caps (`max_visits`, `max_fact_bytes`,
 /// `max_passes`) *are* cacheable and are part of the key.
@@ -79,10 +82,13 @@ pub fn proc_cfg_key(sub_content: &str, locs_fingerprint: u128, proc_index: usize
 /// embedded in a cached rendering reflect whichever strategy populated
 /// the entry.)
 pub fn result_key(req: &Request, source_hash: u128, effective_max_passes: u64) -> Option<u128> {
-    if req.budget_ms.is_some() {
+    if req.budget_ms.is_some() || req.deadline_ms.is_some() {
         return None;
     }
-    if matches!(req.kind, RequestKind::Ping | RequestKind::Shutdown) {
+    if matches!(
+        req.kind,
+        RequestKind::Ping | RequestKind::Shutdown | RequestKind::CacheStats
+    ) {
         return None;
     }
     let mut h = Hasher128::new();
@@ -197,9 +203,12 @@ mod tests {
     #[test]
     fn wall_clock_budgets_bypass() {
         assert!(result_key(&req(r#","budget_ms":5"#), 42, 100).is_none());
+        assert!(result_key(&req(r#","deadline_ms":5"#), 42, 100).is_none());
         assert!(result_key(&req(""), 42, 100).is_some());
         let ping = parse_request(r#"{"id":1,"kind":"ping"}"#).unwrap();
         assert!(result_key(&ping, 0, 100).is_none());
+        let stats = parse_request(r#"{"id":1,"kind":"cache-stats"}"#).unwrap();
+        assert!(result_key(&stats, 0, 100).is_none());
     }
 
     #[test]

@@ -1,0 +1,610 @@
+//! Seedable service-layer chaos harness.
+//!
+//! PR 1 established the repo's robustness discipline for the *interpreter*
+//! (a seeded fault plan injecting adversarial message schedules); this
+//! module applies the same idea to the *service tier*. Each scenario —
+//! shaped by a SplitMix64 stream forked per case index — drives a real
+//! in-process [`Server`] over real loopback sockets through:
+//!
+//! * clean requests (the control group);
+//! * **partial writes**: requests dribbled in 2–5 chunks with small
+//!   inter-chunk stalls;
+//! * **mid-request disconnects**: part of a JSON line, then a hard close;
+//! * **stalled clients**: a half-written request held open while another
+//!   connection proceeds (must not block it);
+//! * **corrupted cache files**: on-disk result entries bit-flipped or
+//!   truncated, then a server restart — entries must quarantine and
+//!   recompute, never serve wrong bytes;
+//! * **burst load**: more concurrent requests than the admission cap —
+//!   each client must get either a byte-correct success or a structured
+//!   `overloaded` shed;
+//! * **oversized lines** followed by a normal request on the same
+//!   connection (resync).
+//!
+//! Invariants asserted for *every* scenario, at any seed:
+//!
+//! 1. **no hangs** — every client read carries a hard timeout;
+//! 2. **no panics** — any `internal` error code (the server's
+//!    caught-panic answer) is counted as a failure, as is a dead server
+//!    thread;
+//! 3. **structured errors only** — every response line parses as
+//!    protocol JSON with either `ok:true` or an error code;
+//! 4. **byte-identical successes** — every successful response equals
+//!    the fault-free reference answer for that request, modulo the
+//!    `cache` label (hit/miss/bypass is the one legitimate difference).
+//!
+//! The suite is deterministic per seed: `CHAOS_SEED` reproduces a failing
+//! run exactly, and the failing run's telemetry span tree is captured in
+//! the report for CI artifact upload.
+
+use crate::admission::AdmissionConfig;
+use crate::engine::{Engine, EngineConfig};
+use crate::proto::RequestKind;
+use crate::server::{Server, ServerConfig};
+use mpi_dfa_core::telemetry;
+use mpi_dfa_lang::rng::SplitMix64;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a chaos client waits for one response line before declaring a
+/// hang. Generous — CI machines are slow, and a real hang waits forever.
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Chaos run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Master seed; scenario `i` runs under `SplitMix64::fork(seed, i)`.
+    pub seed: u64,
+    /// Number of scenarios to run.
+    pub cases: usize,
+}
+
+/// What the first failing scenario looked like.
+#[derive(Debug, Clone)]
+pub struct ChaosFailure {
+    pub case_index: usize,
+    pub seed: u64,
+    pub detail: String,
+    /// Rendered telemetry span tree at failure time (uploaded as a CI
+    /// artifact for post-mortem); empty when telemetry is disabled.
+    pub span_tree: String,
+}
+
+/// Aggregate outcome of a chaos run.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReport {
+    pub cases: usize,
+    pub requests_sent: u64,
+    pub ok_responses: u64,
+    pub error_responses: u64,
+    pub sheds: u64,
+    pub corruptions: u64,
+    pub disconnects: u64,
+    pub failure: Option<ChaosFailure>,
+}
+
+/// The request pool scenarios draw from: cheap requests with
+/// precomputable fault-free reference answers (`id` is patched per send).
+const REQUEST_POOL: &[&str] = &[
+    r#"{"id":0,"kind":"ping"}"#,
+    r#"{"id":0,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#,
+    r#"{"id":0,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"],"mode":"global"}"#,
+    r#"{"id":0,"kind":"activity-at-location","program":"figure1","ind":["x"],"dep":["f"],"var":"z"}"#,
+    r#"{"id":0,"kind":"table1-row","row":"Biostat"}"#,
+    r#"{"id":0,"kind":"dot","program":"figure1"}"#,
+    r#"{"id":0,"kind":"cache-stats"}"#,
+];
+
+/// A socket client with hard read timeouts: a hang becomes a reported
+/// failure, never a stuck suite.
+struct ChaosClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ChaosClient {
+    fn connect(addr: SocketAddr) -> Result<ChaosClient, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(CLIENT_READ_TIMEOUT))
+            .map_err(|e| format!("set_read_timeout: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+        Ok(ChaosClient { stream, reader })
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.stream
+            .write_all(bytes)
+            .map_err(|e| format!("write: {e}"))
+    }
+
+    /// Read one response line; `Err` on timeout (= hang) or early EOF.
+    fn read_line(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("server closed the connection unexpectedly".into()),
+            Ok(_) => Ok(line.trim_end().to_string()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(format!("HANG: no response within {CLIENT_READ_TIMEOUT:?}"))
+            }
+            Err(e) => Err(format!("read: {e}")),
+        }
+    }
+}
+
+/// One running server epoch. Scenarios that corrupt the disk cache restart
+/// the epoch so the next reads hit the (corrupted) disk path cold.
+struct Epoch {
+    addr: SocketAddr,
+    handle: std::thread::JoinHandle<Result<(), String>>,
+}
+
+fn start_epoch(cache_dir: &str) -> Result<Epoch, String> {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        cache_capacity: 64,
+        cache_dir: Some(cache_dir.to_string()),
+        // Small ladder so burst scenarios actually reach the shed path.
+        admission: AdmissionConfig {
+            max_inflight: 4,
+            t1_watermark: 2,
+            t2_watermark: 3,
+            hysteresis: 1,
+            retry_after_ms: 5,
+        },
+    })?);
+    let server = Server::bind_with(
+        engine,
+        "127.0.0.1:0",
+        ServerConfig {
+            // Short enough that a leaked stalled connection resolves inside
+            // the suite, long enough to never reap an honest client.
+            idle_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_connections: 32,
+        },
+    )?;
+    let addr = server.local_addr()?;
+    let handle = std::thread::spawn(move || server.run());
+    Ok(Epoch { addr, handle })
+}
+
+fn stop_epoch(epoch: Epoch) -> Result<(), String> {
+    let mut c = ChaosClient::connect(epoch.addr)?;
+    c.send_raw(b"{\"id\":999999,\"kind\":\"shutdown\"}\n")?;
+    let _ = c.read_line();
+    match epoch.handle.join() {
+        Ok(r) => r,
+        Err(_) => Err("server thread panicked".into()),
+    }
+}
+
+/// Strip the `cache` label before comparing payloads: hit ≡ miss ≡ bypass
+/// byte-wise is exactly the engine's determinism contract, so the label is
+/// the one legitimate difference between a faulted and a fault-free run.
+fn normalize(resp: &str) -> String {
+    resp.replace("\"cache\":\"hit\"", "\"cache\":\"#\"")
+        .replace("\"cache\":\"miss\"", "\"cache\":\"#\"")
+        .replace("\"cache\":\"bypass\"", "\"cache\":\"#\"")
+}
+
+/// Fault-free reference answers, computed once per distinct request on a
+/// fresh engine (no disk store, no load) and memoized. The determinism
+/// contract makes this THE answer every chaos success must match.
+struct ReferenceAnswers {
+    engine: Engine,
+    memo: HashMap<String, String>,
+}
+
+impl ReferenceAnswers {
+    fn new() -> Result<ReferenceAnswers, String> {
+        Ok(ReferenceAnswers {
+            engine: Engine::new(EngineConfig {
+                cache_capacity: 64,
+                cache_dir: None,
+                admission: AdmissionConfig::default(),
+            })?,
+            memo: HashMap::new(),
+        })
+    }
+
+    /// The reference response for `line`, or `None` for kinds whose result
+    /// is legitimately run-dependent (`cache-stats` counts live traffic).
+    fn for_request(&mut self, line: &str) -> Option<String> {
+        let req = crate::proto::parse_request(line).ok()?;
+        if matches!(req.kind, RequestKind::CacheStats | RequestKind::Shutdown) {
+            return None;
+        }
+        if let Some(r) = self.memo.get(line) {
+            return Some(r.clone());
+        }
+        let resp = self.engine.handle(&req);
+        self.memo.insert(line.to_string(), resp.clone());
+        Some(resp)
+    }
+}
+
+/// Check one response line against the protocol invariants and (when the
+/// request has a deterministic answer) the fault-free reference. Returns a
+/// failure detail, or `None` if the response is acceptable.
+fn check_response(
+    refs: &mut ReferenceAnswers,
+    req_line: &str,
+    resp: &str,
+    report: &mut ChaosReport,
+) -> Option<String> {
+    let parsed = match crate::json::parse(resp) {
+        Ok(v) => v,
+        Err(e) => return Some(format!("response is not valid JSON ({e}): {resp}")),
+    };
+    match parsed.get("ok").and_then(|v| v.as_bool()) {
+        Some(true) => {
+            report.ok_responses += 1;
+            if let Some(reference) = refs.for_request(req_line) {
+                if normalize(resp) != normalize(&reference) {
+                    return Some(format!(
+                        "successful response diverged from fault-free reference\n\
+                         request:   {req_line}\n\
+                         got:       {resp}\n\
+                         reference: {reference}"
+                    ));
+                }
+            }
+            None
+        }
+        Some(false) => {
+            report.error_responses += 1;
+            let code = parsed
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(|c| c.as_str())
+                .unwrap_or("");
+            if code.is_empty() {
+                return Some(format!("error response without a code: {resp}"));
+            }
+            if code == "internal" {
+                return Some(format!("internal error (engine panic?): {resp}"));
+            }
+            if code == "overloaded" {
+                report.sheds += 1;
+                let hinted = parsed
+                    .get("error")
+                    .and_then(|e| e.get("retry_after_ms"))
+                    .and_then(|v| v.as_u64());
+                if hinted.is_none() {
+                    return Some(format!("overloaded shed without retry_after_ms: {resp}"));
+                }
+            }
+            None
+        }
+        None => Some(format!("response lacks `ok`: {resp}")),
+    }
+}
+
+fn with_id(template: &str, id: u64) -> String {
+    template.replacen("\"id\":0", &format!("\"id\":{id}"), 1)
+}
+
+fn fail(case: usize, seed: u64, detail: String) -> ChaosFailure {
+    // Capture whatever telemetry the run produced; empty unless the
+    // embedding test installed a sink.
+    let span_tree = if telemetry::is_enabled() {
+        telemetry::render_span_tree(&telemetry::snapshot().events)
+    } else {
+        String::new()
+    };
+    ChaosFailure {
+        case_index: case,
+        seed,
+        detail,
+        span_tree,
+    }
+}
+
+/// Run `config.cases` seeded scenarios against a live in-process server.
+/// Stops at the first invariant violation; the report carries enough to
+/// reproduce it (`seed`, `case_index`) and diagnose it (span tree).
+pub fn run_chaos(config: ChaosConfig) -> ChaosReport {
+    let mut report = ChaosReport {
+        cases: config.cases,
+        ..Default::default()
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "mpidfa-chaos-{}-{:x}",
+        std::process::id(),
+        config.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache_dir = dir.to_string_lossy().into_owned();
+
+    let mut refs = match ReferenceAnswers::new() {
+        Ok(r) => r,
+        Err(e) => {
+            report.failure = Some(fail(0, config.seed, format!("reference engine: {e}")));
+            return report;
+        }
+    };
+
+    let mut epoch = match start_epoch(&cache_dir) {
+        Ok(e) => e,
+        Err(e) => {
+            report.failure = Some(fail(0, config.seed, format!("start server: {e}")));
+            return report;
+        }
+    };
+
+    for case in 0..config.cases {
+        let mut rng = SplitMix64::fork(config.seed, case as u64);
+        match run_scenario(
+            &mut rng,
+            case,
+            epoch.addr,
+            &cache_dir,
+            &mut refs,
+            &mut report,
+        ) {
+            Ok(false) => {}
+            Ok(true) => {
+                // The scenario corrupted the disk store; restart the server
+                // so the in-memory layer is cold and reads go to disk.
+                if let Err(e) = stop_epoch(epoch) {
+                    report.failure = Some(fail(case, config.seed, format!("restart: {e}")));
+                    return report;
+                }
+                match start_epoch(&cache_dir) {
+                    Ok(e) => epoch = e,
+                    Err(e) => {
+                        report.failure =
+                            Some(fail(case, config.seed, format!("restart bind: {e}")));
+                        return report;
+                    }
+                }
+            }
+            Err(detail) => {
+                report.failure = Some(fail(case, config.seed, detail));
+                let _ = stop_epoch(epoch);
+                let _ = std::fs::remove_dir_all(&dir);
+                return report;
+            }
+        }
+    }
+
+    if let Err(e) = stop_epoch(epoch) {
+        report.failure = Some(fail(config.cases, config.seed, format!("shutdown: {e}")));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
+/// One scenario. `Ok(true)` asks the driver to restart the server epoch
+/// (used after disk corruption).
+fn run_scenario(
+    rng: &mut SplitMix64,
+    case: usize,
+    addr: SocketAddr,
+    cache_dir: &str,
+    refs: &mut ReferenceAnswers,
+    report: &mut ChaosReport,
+) -> Result<bool, String> {
+    match rng.below(100) {
+        // ~25%: clean request/response (the control group).
+        0..=24 => {
+            let mut c = ChaosClient::connect(addr)?;
+            let line = with_id(rng.pick::<&str>(REQUEST_POOL), 1000 + case as u64);
+            c.send_raw(format!("{line}\n").as_bytes())?;
+            report.requests_sent += 1;
+            let resp = c.read_line()?;
+            if let Some(d) = check_response(refs, &line, &resp, report) {
+                return Err(d);
+            }
+            Ok(false)
+        }
+        // ~20%: partial writes — the request dribbles in chunks.
+        25..=44 => {
+            let mut c = ChaosClient::connect(addr)?;
+            let line = with_id(rng.pick::<&str>(REQUEST_POOL), 2000 + case as u64);
+            let framed = format!("{line}\n");
+            let bytes = framed.as_bytes();
+            let chunks = rng.range(2, 6);
+            let mut sent = 0;
+            for i in 0..chunks {
+                let end = if i + 1 == chunks {
+                    bytes.len()
+                } else {
+                    (sent + 1).max(rng.range(sent, bytes.len()))
+                };
+                c.send_raw(&bytes[sent..end])?;
+                sent = end;
+                if sent >= bytes.len() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(rng.below(5) as u64));
+            }
+            report.requests_sent += 1;
+            let resp = c.read_line()?;
+            if let Some(d) = check_response(refs, &line, &resp, report) {
+                return Err(format!("chunked request mishandled: {d}"));
+            }
+            Ok(false)
+        }
+        // ~15%: mid-request disconnect, then a fresh connection must work.
+        45..=59 => {
+            {
+                let mut c = ChaosClient::connect(addr)?;
+                let line = with_id(rng.pick::<&str>(REQUEST_POOL), 3000 + case as u64);
+                let cut = rng.range(1, line.len());
+                c.send_raw(&line.as_bytes()[..cut])?;
+                // Hard close with an incomplete line in flight.
+                let _ = c.stream.shutdown(std::net::Shutdown::Both);
+                report.disconnects += 1;
+            }
+            let mut c = ChaosClient::connect(addr)?;
+            let probe = format!("{{\"id\":{},\"kind\":\"ping\"}}\n", 3500 + case);
+            c.send_raw(probe.as_bytes())?;
+            report.requests_sent += 1;
+            let resp = c.read_line()?;
+            if !resp.contains("\"pong\":true") {
+                return Err(format!("ping after disconnect failed: {resp}"));
+            }
+            report.ok_responses += 1;
+            Ok(false)
+        }
+        // ~15%: stalled client — a half-written request held open must not
+        // block another connection's request.
+        60..=74 => {
+            let mut stalled = ChaosClient::connect(addr)?;
+            stalled.send_raw(b"{\"id\":1,\"kind\":\"an")?; // no newline
+            let mut live = ChaosClient::connect(addr)?;
+            let line = with_id(rng.pick::<&str>(REQUEST_POOL), 4000 + case as u64);
+            live.send_raw(format!("{line}\n").as_bytes())?;
+            report.requests_sent += 1;
+            let resp = live.read_line()?;
+            if let Some(d) = check_response(refs, &line, &resp, report) {
+                return Err(format!("stalled neighbor broke a live client: {d}"));
+            }
+            // The stalled connection is still allowed to finish its line.
+            stalled
+                .send_raw(b"alyze\",\"program\":\"figure1\",\"ind\":[\"x\"],\"dep\":[\"f\"]}\n")?;
+            report.requests_sent += 1;
+            let resp = stalled.read_line()?;
+            let full = r#"{"id":1,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#;
+            if let Some(d) = check_response(refs, full, &resp, report) {
+                return Err(format!("stalled client's late request failed: {d}"));
+            }
+            Ok(false)
+        }
+        // ~5%: corrupt the on-disk result entries (bit flips, sometimes a
+        // truncating torn write), then restart the epoch.
+        75..=79 => {
+            let results = std::path::Path::new(cache_dir).join(crate::cache::RESULTS_NAMESPACE);
+            if let Ok(entries) = std::fs::read_dir(&results) {
+                for entry in entries.flatten() {
+                    let path = entry.path();
+                    let Ok(mut bytes) = std::fs::read(&path) else {
+                        continue;
+                    };
+                    if bytes.is_empty() {
+                        continue;
+                    }
+                    let idx = rng.below(bytes.len());
+                    bytes[idx] ^= 1 << rng.below(8);
+                    if rng.chance(0.3) {
+                        bytes.truncate(rng.below(bytes.len()));
+                    }
+                    if std::fs::write(&path, &bytes).is_ok() {
+                        report.corruptions += 1;
+                    }
+                }
+            }
+            Ok(true)
+        }
+        // ~10%: a known request must answer byte-identically — after a
+        // corruption epoch this is the scenario that catches a checksum
+        // bypass serving garbage from disk.
+        80..=89 => {
+            let mut c = ChaosClient::connect(addr)?;
+            let line = with_id(REQUEST_POOL[1], 5000 + case as u64); // analyze figure1
+            c.send_raw(format!("{line}\n").as_bytes())?;
+            report.requests_sent += 1;
+            let resp = c.read_line()?;
+            if let Some(d) = check_response(refs, &line, &resp, report) {
+                return Err(format!("recompute after corruption diverged: {d}"));
+            }
+            Ok(false)
+        }
+        // ~5%: burst load beyond the admission cap — every thread gets
+        // either a valid answer or a structured overloaded shed.
+        90..=94 => {
+            let threads = rng.range(6, 11);
+            let line = with_id(REQUEST_POOL[4], 6000 + case as u64); // table1-row
+            let results: Vec<Result<String, String>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let line = line.clone();
+                        s.spawn(move || -> Result<String, String> {
+                            let mut c = ChaosClient::connect(addr)?;
+                            c.send_raw(format!("{line}\n").as_bytes())?;
+                            c.read_line()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+                    .collect()
+            });
+            for r in results {
+                let resp = r?;
+                report.requests_sent += 1;
+                if resp.contains("\"code\":\"overloaded\"") {
+                    report.error_responses += 1;
+                    report.sheds += 1;
+                    continue;
+                }
+                if let Some(d) = check_response(refs, &line, &resp, report) {
+                    // Under load the admission floor may legitimately
+                    // degrade the answer — but only with bypass provenance
+                    // at a raised tier. Anything else is a real divergence.
+                    if resp.contains("\"cache\":\"bypass\"") && !resp.contains("\"tier\":\"T0\"") {
+                        continue;
+                    }
+                    return Err(format!("burst response invalid: {d}"));
+                }
+            }
+            Ok(false)
+        }
+        // ~5%: oversized line, then resync on the same connection.
+        _ => {
+            let mut c = ChaosClient::connect(addr)?;
+            let huge = vec![b'x'; crate::proto::MAX_LINE_BYTES + 1 + rng.below(64)];
+            c.send_raw(&huge)?;
+            c.send_raw(b"\n")?;
+            report.requests_sent += 1;
+            let resp = c.read_line()?;
+            if !resp.contains("\"code\":\"too-large\"") {
+                return Err(format!("oversized line not rejected: {resp}"));
+            }
+            report.error_responses += 1;
+            let line = with_id(rng.pick::<&str>(REQUEST_POOL), 7000 + case as u64);
+            c.send_raw(format!("{line}\n").as_bytes())?;
+            report.requests_sent += 1;
+            let resp = c.read_line()?;
+            if let Some(d) = check_response(refs, &line, &resp, report) {
+                return Err(format!("resync after oversized line failed: {d}"));
+            }
+            Ok(false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small deterministic smoke run (the 500-case run lives in
+    /// `tests/chaos_service.rs` and in the CI `chaos-smoke` job).
+    #[test]
+    fn chaos_smoke_is_clean_and_deterministic() {
+        let cfg = ChaosConfig {
+            seed: 42,
+            cases: 25,
+        };
+        let a = run_chaos(cfg);
+        assert!(
+            a.failure.is_none(),
+            "chaos failure at case {:?}: {}",
+            a.failure.as_ref().map(|f| f.case_index),
+            a.failure.as_ref().map(|f| f.detail.as_str()).unwrap_or("")
+        );
+        assert!(a.requests_sent > 0);
+        assert!(a.ok_responses > 0);
+    }
+}

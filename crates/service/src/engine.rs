@@ -14,14 +14,15 @@
 //! depend on worker-pool size. Requests with `budget_ms` are answered but
 //! never cached (`cache: "bypass"`).
 
+use crate::admission::{AdmissionConfig, AdmissionControl};
 use crate::cache::{proc_cfg_key, result_key, source_key, ServiceCaches, RESULTS_NAMESPACE};
 use crate::json::escape;
 use crate::proto::{CacheStatus, ProtoError, Request, RequestKind};
 use mpi_dfa_analyses::activity::{self, ActivityConfig, ActivityResult, Mode};
-use mpi_dfa_analyses::governor::{governed_activity, AnalysisProvenance, GovernorConfig};
-use mpi_dfa_analyses::mpi_match::build_mpi_icfg;
-use mpi_dfa_core::budget::Budget;
-use mpi_dfa_core::cache::DiskStore;
+use mpi_dfa_analyses::governor::{governed_activity, AnalysisProvenance, GovernorConfig, Tier};
+use mpi_dfa_analyses::mpi_match::build_mpi_icfg_with_budget;
+use mpi_dfa_core::budget::{Budget, Exhaustion};
+use mpi_dfa_core::cache::{CacheSnapshot, DiskStore, FsckReport};
 use mpi_dfa_core::solver::{SolveParams, Strategy};
 use mpi_dfa_core::telemetry;
 use mpi_dfa_graph::cfg::ProcCfg;
@@ -41,6 +42,11 @@ pub struct EngineConfig {
     pub cache_capacity: usize,
     /// Optional on-disk result store root (`--cache-dir`).
     pub cache_dir: Option<String>,
+    /// Admission-control watermarks (see [`crate::admission`]). The engine
+    /// only *holds* the control — the server consults it per request; in
+    /// batch mode it stays idle (batch is closed-loop and bounded by the
+    /// pool size already).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for EngineConfig {
@@ -48,6 +54,7 @@ impl Default for EngineConfig {
         EngineConfig {
             cache_capacity: 256,
             cache_dir: None,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -57,6 +64,10 @@ impl Default for EngineConfig {
 #[derive(Debug)]
 pub struct Engine {
     caches: ServiceCaches,
+    admission: Arc<AdmissionControl>,
+    /// The startup integrity pass over the disk store (`None` without
+    /// `--cache-dir`), reported by `cache-stats`.
+    fsck: Option<FsckReport>,
 }
 
 impl Engine {
@@ -65,8 +76,13 @@ impl Engine {
             Some(dir) => Some(DiskStore::open(dir).map_err(|e| format!("--cache-dir {dir}: {e}"))?),
             None => None,
         };
+        // Crash-only startup: validate every persisted entry before serving
+        // from it, so a torn write from a previous crash can never be read.
+        let fsck = disk.as_ref().map(DiskStore::fsck);
         Ok(Engine {
             caches: ServiceCaches::new(config.cache_capacity, disk),
+            admission: AdmissionControl::new(config.admission),
+            fsck,
         })
     }
 
@@ -76,11 +92,34 @@ impl Engine {
         &self.caches
     }
 
+    /// The shared admission control (the server's per-request gate).
+    pub fn admission(&self) -> &Arc<AdmissionControl> {
+        &self.admission
+    }
+
+    /// The startup fsck report, when a disk store is configured.
+    pub fn fsck_report(&self) -> Option<FsckReport> {
+        self.fsck
+    }
+
     /// Process one already-parsed request into a response line.
     pub fn handle(&self, req: &Request) -> String {
+        self.handle_with_floor(req, Tier::T0)
+    }
+
+    /// [`Engine::handle`] with a load-shedding governor floor (see
+    /// [`crate::admission`]): `T1`/`T2` skip the more precise ladder rungs.
+    /// Floored requests always **bypass** the result cache — a degraded
+    /// answer must never be cached under the precise request's key, and an
+    /// already-cached precise answer is still fine to serve (a hit costs no
+    /// compute, which is the whole point of shedding).
+    pub fn handle_with_floor(&self, req: &Request, floor: Tier) -> String {
         let mut span = telemetry::span("service", "request");
         span.arg("kind", req.kind.as_str());
-        match self.handle_inner(req) {
+        if floor > Tier::T0 {
+            span.arg("tier_floor", floor.as_str());
+        }
+        match self.handle_inner(req, floor) {
             Ok((cache, result)) => {
                 span.arg("cache", cache.as_str());
                 crate::proto::render_ok(req.id, req.kind, cache, &result)
@@ -115,13 +154,35 @@ impl Engine {
             .unwrap_or(SolveParams::default().max_passes as u64)
     }
 
-    fn handle_inner(&self, req: &Request) -> Result<(CacheStatus, String), ProtoError> {
+    fn handle_inner(
+        &self,
+        req: &Request,
+        floor: Tier,
+    ) -> Result<(CacheStatus, String), ProtoError> {
         match req.kind {
             RequestKind::Ping => return Ok((CacheStatus::Bypass, "{\"pong\":true}".into())),
             RequestKind::Shutdown => {
                 return Ok((CacheStatus::Bypass, "{\"stopping\":true}".into()))
             }
+            RequestKind::CacheStats => return Ok((CacheStatus::Bypass, self.render_cache_stats())),
             _ => {}
+        }
+        // An already-expired deadline fails fast and deterministically —
+        // the client has given up on the answer, so don't start the work.
+        // (Deadlines that expire *mid*-analysis are caught by the budget
+        // meter's periodic polls and surface via `analysis_error`.)
+        if let Some(ms) = req.deadline_ms {
+            if Budget::unlimited()
+                .with_deadline_ms(ms)
+                .meter()
+                .poll()
+                .is_err()
+            {
+                return Err(ProtoError::new(
+                    "deadline-exceeded",
+                    format!("deadline_ms {ms} expired before the request started"),
+                ));
+            }
         }
         let (source, context, spec) = self.resolve_source(req)?;
         let key = result_key(req, source_key(&source), self.effective_max_passes(req));
@@ -141,9 +202,12 @@ impl Engine {
             }
         }
 
-        let result = self.compute(req, &source, &context, spec.as_ref())?;
+        let result = self.compute(req, &source, &context, spec.as_ref(), floor)?;
 
         match key {
+            // A load-shedding floor produces a possibly degraded answer:
+            // never store it under the precise request's key.
+            Some(_) if floor > Tier::T0 => Ok((CacheStatus::Bypass, result)),
             Some(key) => {
                 self.caches.results.put(key, result.clone());
                 if let Some(disk) = &self.caches.disk {
@@ -154,6 +218,48 @@ impl Engine {
             }
             None => Ok((CacheStatus::Bypass, result)),
         }
+    }
+
+    /// Deterministic-key-order JSON for the `cache-stats` verb: admission
+    /// counters, per-layer cache counters, and the startup fsck report.
+    /// Values are live counters, so the verb always bypasses the cache.
+    fn render_cache_stats(&self) -> String {
+        fn layer(s: &CacheSnapshot) -> String {
+            format!(
+                "{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{}}}",
+                s.hits, s.misses, s.insertions, s.evictions
+            )
+        }
+        let a = self.admission.snapshot();
+        let admission = format!(
+            "{{\"inflight\":{},\"tier_floor\":\"{}\",\"admitted_total\":{},\
+             \"shed_total\":{},\"max_inflight\":{}}}",
+            a.inflight, a.tier_floor, a.admitted_total, a.shed_total, a.max_inflight
+        );
+        let disk = match &self.caches.disk {
+            None => "null".to_string(),
+            Some(d) => {
+                let s = d.counters().snapshot();
+                format!(
+                    "{{\"hits\":{},\"misses\":{},\"insertions\":{},\"quarantined\":{}}}",
+                    s.hits, s.misses, s.insertions, s.quarantined
+                )
+            }
+        };
+        let fsck = match &self.fsck {
+            None => "null".to_string(),
+            Some(f) => format!(
+                "{{\"scanned\":{},\"valid\":{},\"quarantined\":{},\"removed_tmp\":{}}}",
+                f.scanned, f.valid, f.quarantined, f.removed_tmp
+            ),
+        };
+        format!(
+            "{{\"admission\":{admission},\"caches\":{{\"ir\":{},\"proccfg\":{},\
+             \"result\":{},\"disk\":{disk}}},\"fsck\":{fsck}}}",
+            layer(&self.caches.irs.counters().snapshot()),
+            layer(&self.caches.cfgs.counters().snapshot()),
+            layer(&self.caches.results.counters().snapshot()),
+        )
     }
 
     /// Resolve the request to `(source text, context routine, spec)`.
@@ -238,9 +344,19 @@ impl Engine {
         Ok(ir)
     }
 
-    fn governor(&self, req: &Request) -> GovernorConfig {
+    /// The wall-clock bound for this request: the *minimum* of `budget_ms`
+    /// (degrade-oriented) and `deadline_ms` (abort-oriented), when either
+    /// is set.
+    fn effective_deadline_ms(req: &Request) -> Option<u64> {
+        match (req.budget_ms, req.deadline_ms) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn governor(&self, req: &Request, floor: Tier) -> GovernorConfig {
         let mut budget = Budget::unlimited();
-        if let Some(ms) = req.budget_ms {
+        if let Some(ms) = Self::effective_deadline_ms(req) {
             budget = budget.with_deadline_ms(ms);
         }
         if let Some(w) = req.max_visits {
@@ -258,7 +374,24 @@ impl Engine {
             // Per-request override, else the process default (which the
             // CLI's `--solver` flag or `MPIDFA_SOLVER` establishes).
             strategy: req.solver.unwrap_or_else(Strategy::session_default),
+            tier_floor: floor,
         }
+    }
+
+    /// Map an analysis-layer error message to its protocol code: budget
+    /// deadline expiry under an explicit `deadline_ms` is the structured
+    /// `deadline-exceeded` code, everything else stays `analysis`.
+    fn analysis_error(req: &Request, message: String) -> ProtoError {
+        let deadline_hit =
+            req.deadline_ms.is_some() && message.contains(&Exhaustion::Deadline.to_string());
+        ProtoError::new(
+            if deadline_hit {
+                "deadline-exceeded"
+            } else {
+                "analysis"
+            },
+            message,
+        )
     }
 
     fn compute(
@@ -267,11 +400,12 @@ impl Engine {
         source: &str,
         context: &str,
         spec: Option<&ExperimentSpec>,
+        floor: Tier,
     ) -> Result<String, ProtoError> {
         match req.kind {
             RequestKind::Analyze => {
                 let ir = self.ir_for(source)?;
-                let (result, provenance) = self.run_activity(req, &ir, context)?;
+                let (result, provenance) = self.run_activity(req, &ir, context, floor)?;
                 Ok(render_activity(
                     req,
                     &ir,
@@ -292,7 +426,7 @@ impl Engine {
                         format!("unknown variable `{var}` in `{context}`"),
                     )
                 })?;
-                let (result, provenance) = self.run_activity(req, &ir, context)?;
+                let (result, provenance) = self.run_activity(req, &ir, context, floor)?;
                 let info = ir.locs.info(loc);
                 Ok(format!(
                     "{{\"var\":\"{}\",\"location\":\"{}\",\"active\":{},\"byte_size\":{},\"tier\":{}}}",
@@ -308,8 +442,13 @@ impl Engine {
             }
             RequestKind::Dot => {
                 let ir = self.ir_for(source)?;
-                let mpi = build_mpi_icfg(ir, context, req.clone_level, req.matching)
-                    .map_err(|e| ProtoError::new("analysis", e.to_string()))?;
+                let mut budget = Budget::unlimited();
+                if let Some(ms) = Self::effective_deadline_ms(req) {
+                    budget = budget.with_deadline_ms(ms);
+                }
+                let mpi =
+                    build_mpi_icfg_with_budget(ir, context, req.clone_level, req.matching, &budget)
+                        .map_err(|e| Self::analysis_error(req, e.to_string()))?;
                 let dot = mpi_dfa_graph::dot::mpi_icfg_to_dot(&mpi, context);
                 Ok(format!(
                     "{{\"context\":\"{}\",\"comm_edges\":{},\"dot\":\"{}\"}}",
@@ -320,12 +459,14 @@ impl Engine {
             }
             RequestKind::Table1Row => {
                 let spec = spec.expect("resolve_source sets the spec for table1-row");
-                let gov = self.governor(req);
+                let gov = self.governor(req, floor);
                 let row = runner::run_experiment_governed(spec, &gov)
-                    .map_err(|e| ProtoError::new("analysis", e))?;
+                    .map_err(|e| Self::analysis_error(req, e))?;
                 Ok(render_row(&row))
             }
-            RequestKind::Ping | RequestKind::Shutdown => unreachable!("handled before compute"),
+            RequestKind::Ping | RequestKind::Shutdown | RequestKind::CacheStats => {
+                unreachable!("handled before compute")
+            }
         }
     }
 
@@ -334,6 +475,7 @@ impl Engine {
         req: &Request,
         ir: &Arc<ProgramIr>,
         context: &str,
+        floor: Tier,
     ) -> Result<(ActivityResult, Option<AnalysisProvenance>), ProtoError> {
         if req.ind.is_empty() || req.dep.is_empty() {
             return Err(ProtoError::new(
@@ -344,21 +486,42 @@ impl Engine {
         let config = ActivityConfig::new(req.ind.clone(), req.dep.clone());
         match req.mode.as_str() {
             "mpi" => {
-                let gov = self.governor(req);
+                let gov = self.governor(req, floor);
                 let g = governed_activity(ir, context, &config, &gov)
-                    .map_err(|e| ProtoError::new("analysis", e))?;
+                    .map_err(|e| Self::analysis_error(req, e))?;
                 Ok((g.result, Some(g.provenance)))
             }
             mode => {
-                let icfg = Icfg::build(ir.clone(), context, req.clone_level)
-                    .map_err(|e| ProtoError::new("analysis", e.to_string()))?;
+                // The non-mpi baselines have no degradation ladder, so a
+                // deadline here aborts with a structured error instead: a
+                // non-converged union-analysis snapshot under-approximates
+                // and must never be published as if it were a fixpoint.
+                let mut budget = Budget::unlimited();
+                if let Some(ms) = Self::effective_deadline_ms(req) {
+                    budget = budget.with_deadline_ms(ms);
+                }
+                let icfg = Icfg::build_with_budget(ir.clone(), context, req.clone_level, &budget)
+                    .map_err(|e| Self::analysis_error(req, e.to_string()))?;
                 let m = if mode == "global" {
                     Mode::GlobalBuffer
                 } else {
                     Mode::Naive
                 };
-                let r = activity::analyze_icfg(&icfg, m, &config)
-                    .map_err(|e| ProtoError::new("analysis", e))?;
+                let params = SolveParams {
+                    max_passes: self.effective_max_passes(req) as usize,
+                    budget,
+                    strategy: req.solver.unwrap_or_else(Strategy::session_default),
+                };
+                let r = activity::analyze_icfg_with(&icfg, m, &config, &params)
+                    .map_err(|e| Self::analysis_error(req, e))?;
+                if let Some(x) = r.vary.stats.exhausted.or(r.useful.stats.exhausted) {
+                    if x == Exhaustion::Deadline && req.deadline_ms.is_some() {
+                        return Err(ProtoError::new(
+                            "deadline-exceeded",
+                            format!("deadline expired mid-analysis ({x})"),
+                        ));
+                    }
+                }
                 Ok((r, None))
             }
         }
@@ -597,6 +760,104 @@ mod tests {
         assert!(e.handle(&req).contains("\"cache\":\"bypass\""));
         assert!(e.handle(&req).contains("\"cache\":\"bypass\""));
         assert!(e.request_key(&req).is_none());
+    }
+
+    #[test]
+    fn deadline_ms_bypasses_cache_and_degrades_or_errors() {
+        let e = engine();
+        // Governed mpi mode + auto degradation: an already-expired deadline
+        // still answers (possibly the saturated ⊤ result), as a bypass.
+        let r = e.handle(&parse(
+            r#"{"id":1,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"],"deadline_ms":10000}"#,
+        ));
+        assert!(r.contains("\"cache\":\"bypass\""), "{r}");
+        // An already-expired deadline is the structured `deadline-exceeded`
+        // error, not a panic or a wrong answer — for every kind.
+        for line in [
+            r#"{"id":2,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"],"deadline_ms":0,"degrade":"off"}"#,
+            r#"{"id":3,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"],"mode":"global","deadline_ms":0}"#,
+            r#"{"id":4,"kind":"table1-row","row":"Biostat","deadline_ms":0}"#,
+            r#"{"id":5,"kind":"dot","program":"figure1","deadline_ms":0}"#,
+        ] {
+            let r = e.handle(&parse(line));
+            assert!(
+                r.contains("\"code\":\"deadline-exceeded\""),
+                "expired deadline must be structured for {line}: {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_stats_reports_admission_caches_and_fsck() {
+        let e = engine();
+        e.handle(&parse(
+            r#"{"id":1,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#,
+        ));
+        let r = e.handle(&parse(r#"{"id":2,"kind":"cache-stats"}"#));
+        assert!(r.contains("\"cache\":\"bypass\""), "{r}");
+        let parsed = crate::json::parse(&r).unwrap();
+        let result = parsed.get("result").unwrap();
+        let admission = result.get("admission").unwrap();
+        assert_eq!(admission.get("inflight").unwrap().as_u64(), Some(0));
+        assert_eq!(admission.get("tier_floor").unwrap().as_str(), Some("T0"));
+        let caches = result.get("caches").unwrap();
+        assert!(caches.get("result").unwrap().get("insertions").is_some());
+        // No --cache-dir: disk and fsck are null.
+        assert_eq!(caches.get("disk"), Some(&crate::json::Json::Null));
+        assert_eq!(result.get("fsck"), Some(&crate::json::Json::Null));
+    }
+
+    #[test]
+    fn fsck_runs_at_startup_and_is_reported() {
+        let dir = std::env::temp_dir().join(format!("mpidfa-fsck-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = EngineConfig {
+            cache_dir: Some(dir.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        // Warm one entry, then corrupt it on disk.
+        let e = Engine::new(cfg.clone()).unwrap();
+        let req = parse(r#"{"id":1,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#);
+        assert!(e.handle(&req).contains("\"cache\":\"miss\""));
+        drop(e);
+        let results_dir = dir.join(RESULTS_NAMESPACE);
+        let entry = std::fs::read_dir(&results_dir)
+            .unwrap()
+            .flatten()
+            .next()
+            .unwrap()
+            .path();
+        std::fs::write(&entry, b"garbage, not a frame").unwrap();
+        // A fresh engine's startup fsck quarantines it; the next request is
+        // a clean recompute (miss), never wrong bytes.
+        let e2 = Engine::new(cfg).unwrap();
+        let fsck = e2.fsck_report().unwrap();
+        assert_eq!(fsck.quarantined, 1, "{fsck:?}");
+        assert!(e2.handle(&req).contains("\"cache\":\"miss\""));
+        let stats = e2.handle(&parse(r#"{"id":9,"kind":"cache-stats"}"#));
+        assert!(stats.contains("\"quarantined\":1"), "{stats}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tier_floor_bypasses_cache_and_degrades() {
+        let e = engine();
+        let req = parse(r#"{"id":1,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#);
+        // Floored request computes a degraded answer and does NOT store it.
+        let floored = e.handle_with_floor(&req, Tier::T2);
+        assert!(floored.contains("\"cache\":\"bypass\""), "{floored}");
+        assert!(floored.contains("\"tier\":\"T2\""), "{floored}");
+        assert!(floored.contains("load shedding"), "{floored}");
+        // The precise request still misses (no pollution) and is precise.
+        let precise = e.handle(&req);
+        assert!(precise.contains("\"cache\":\"miss\""), "{precise}");
+        assert!(precise.contains("\"tier\":\"T0\""), "{precise}");
+        // Once the precise answer is cached, a floored request serves the
+        // cached precise bytes as a free hit — shedding never makes a warm
+        // answer worse.
+        let warm = e.handle_with_floor(&req, Tier::T2);
+        assert!(warm.contains("\"cache\":\"hit\""), "{warm}");
+        assert!(warm.contains("\"tier\":\"T0\""), "{warm}");
     }
 
     #[test]

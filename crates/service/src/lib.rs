@@ -20,26 +20,39 @@
 //!   byte-identical for any pool size.
 //! * [`server`] — a `std::net` TCP daemon speaking the same JSONL
 //!   protocol, one thread per connection, graceful shutdown via the
-//!   `shutdown` request kind.
+//!   `shutdown` request kind, per-request admission control, and
+//!   idle/write socket timeouts.
+//! * [`admission`] — bounded in-flight ledger + watermark ladder: load
+//!   maps onto the governor tiers (T0→T1→T2) deterministically, and
+//!   past the cap requests shed with a structured `overloaded` error.
 //! * [`proto`] — request parsing/validation and response rendering;
 //!   every malformed input maps to a structured error, never a panic.
 //! * [`json`] — a minimal hand-rolled JSON parser/renderer (the
 //!   workspace is dependency-free by design).
+//! * [`chaos`] — the seeded service-layer fault harness: partial I/O,
+//!   disconnects, stalls, corrupted cache files, and burst load against
+//!   an in-process server, asserting structured-errors-only and
+//!   byte-identical successful payloads.
 //!
 //! The wire protocol and cache-key contract are specified in
-//! `docs/SERVING.md`.
+//! `docs/SERVING.md`; the overload/failure semantics in its
+//! "Overload & failure semantics" section.
 
+pub mod admission;
 pub mod cache;
+pub mod chaos;
 pub mod engine;
 pub mod json;
 pub mod proto;
 pub mod sched;
 pub mod server;
 
+pub use admission::{AdmissionConfig, AdmissionControl, AdmissionSnapshot, Permit};
 pub use cache::{ServiceCaches, CACHE_SCHEMA_VERSION};
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use engine::{Engine, EngineConfig};
 pub use proto::{
     parse_request, render_err, render_ok, CacheStatus, ProtoError, Request, RequestKind,
 };
 pub use sched::run_batch;
-pub use server::{serve, Server};
+pub use server::{serve, serve_with, Server, ServerConfig};

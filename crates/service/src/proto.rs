@@ -30,9 +30,13 @@ pub const MAX_LINE_BYTES: usize = mpi_dfa_lang::lexer::MAX_SOURCE_BYTES;
 pub struct ProtoError {
     /// Stable machine-readable code (`parse`, `too-large`, `bad-request`,
     /// `unknown-kind`, `unknown-program`, `unknown-row`, `compile`,
-    /// `analysis`, `unsupported`, `internal`).
+    /// `analysis`, `unsupported`, `internal`, `overloaded`,
+    /// `deadline-exceeded`).
     pub code: &'static str,
     pub message: String,
+    /// Backoff hint in milliseconds, set on `overloaded` sheds so clients
+    /// can retry politely instead of hammering a saturated server.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ProtoError {
@@ -40,7 +44,15 @@ impl ProtoError {
         ProtoError {
             code,
             message: message.into(),
+            retry_after_ms: None,
         }
+    }
+
+    /// Attach a `retry_after_ms` backoff hint (rendered into the error
+    /// object of the response line).
+    pub fn with_retry_after(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
     }
 
     fn bad(message: impl Into<String>) -> Self {
@@ -63,6 +75,10 @@ pub enum RequestKind {
     Ping,
     /// Ask a server to stop accepting connections (serve mode only).
     Shutdown,
+    /// Introspection: cache/admission counters and the startup fsck report
+    /// (serve mode only; deliberately not answerable in batch, where the
+    /// counters would depend on pool size and break output determinism).
+    CacheStats,
 }
 
 impl RequestKind {
@@ -74,6 +90,7 @@ impl RequestKind {
             RequestKind::Dot => "dot",
             RequestKind::Ping => "ping",
             RequestKind::Shutdown => "shutdown",
+            RequestKind::CacheStats => "cache-stats",
         }
     }
 
@@ -85,6 +102,7 @@ impl RequestKind {
             "dot" => RequestKind::Dot,
             "ping" => RequestKind::Ping,
             "shutdown" => RequestKind::Shutdown,
+            "cache-stats" => RequestKind::CacheStats,
             _ => return None,
         })
     }
@@ -116,6 +134,12 @@ pub struct Request {
     /// Wall-clock budget. **Nondeterministic**: its presence forces the
     /// result cache to bypass (`cache: "bypass"`).
     pub budget_ms: Option<u64>,
+    /// End-to-end deadline for the request. Like `budget_ms` it is a
+    /// wall-clock bound and forces a cache bypass; unlike `budget_ms`
+    /// (which degrades via the governor ladder) non-governed paths answer
+    /// a structured `deadline-exceeded` error when it expires. The engine
+    /// uses the *minimum* of the two when both are set.
+    pub deadline_ms: Option<u64>,
     pub max_visits: Option<u64>,
     pub max_fact_bytes: Option<u64>,
     pub degrade: DegradeMode,
@@ -143,6 +167,7 @@ impl Request {
             matching: Matching::ReachingConstants,
             mode: "mpi".to_string(),
             budget_ms: None,
+            deadline_ms: None,
             max_visits: None,
             max_fact_bytes: None,
             degrade: DegradeMode::Auto,
@@ -224,7 +249,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             "unknown-kind",
             format!(
                 "unknown request kind `{kind_str}` (expected analyze | table1-row | \
-                 activity-at-location | dot | ping | shutdown)"
+                 activity-at-location | dot | ping | shutdown | cache-stats)"
             ),
         ));
     };
@@ -263,6 +288,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 req.mode = m;
             }
             "budget_ms" => req.budget_ms = Some(u64_field(v, key)?),
+            "deadline_ms" => req.deadline_ms = Some(u64_field(v, key)?),
             "max_visits" => req.max_visits = Some(u64_field(v, key)?),
             "max_fact_bytes" => req.max_fact_bytes = Some(u64_field(v, key)?),
             "degrade" => {
@@ -305,7 +331,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 return Err(ProtoError::bad("kind `table1-row` requires `row`"));
             }
         }
-        RequestKind::Ping | RequestKind::Shutdown => {}
+        RequestKind::Ping | RequestKind::Shutdown | RequestKind::CacheStats => {}
     }
     if kind == RequestKind::ActivityAtLocation && req.var.is_none() {
         return Err(ProtoError::bad(
@@ -348,11 +374,15 @@ pub fn render_ok(id: u64, kind: RequestKind, cache: CacheStatus, result_json: &s
 }
 
 /// Render a failure response. Fixed key order: `id`, `ok`, `error`
-/// (`code`, `message`). `id` 0 is used when the line never parsed far
-/// enough to yield one.
+/// (`code`, `message`, then `retry_after_ms` when present). `id` 0 is used
+/// when the line never parsed far enough to yield one.
 pub fn render_err(id: u64, e: &ProtoError) -> String {
+    let retry = match e.retry_after_ms {
+        Some(ms) => format!(",\"retry_after_ms\":{ms}"),
+        None => String::new(),
+    };
     format!(
-        "{{\"id\":{id},\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}",
+        "{{\"id\":{id},\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":\"{}\"{retry}}}}}",
         e.code,
         json::escape(&e.message)
     )
@@ -429,6 +459,43 @@ mod tests {
         );
         // ping needs nothing.
         assert!(parse_request(r#"{"id":9,"kind":"ping"}"#).is_ok());
+    }
+
+    #[test]
+    fn deadline_and_cache_stats_parse() {
+        let r = parse_request(
+            r#"{"id":3,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"],"deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(r.deadline_ms, Some(250));
+        let r = parse_request(r#"{"id":4,"kind":"cache-stats"}"#).unwrap();
+        assert_eq!(r.kind, RequestKind::CacheStats);
+        assert_eq!(
+            parse_request(r#"{"id":5,"kind":"analyze","program":"p","deadline_ms":"soon"}"#)
+                .unwrap_err()
+                .code,
+            "bad-request"
+        );
+    }
+
+    #[test]
+    fn retry_after_is_rendered_inside_the_error_object() {
+        let err = render_err(
+            9,
+            &ProtoError::new("overloaded", "shed").with_retry_after(125),
+        );
+        assert_eq!(
+            err,
+            r#"{"id":9,"ok":false,"error":{"code":"overloaded","message":"shed","retry_after_ms":125}}"#
+        );
+        let parsed = crate::json::parse(&err).unwrap();
+        assert_eq!(
+            parsed
+                .get("error")
+                .and_then(|e| e.get("retry_after_ms"))
+                .and_then(|v| v.as_u64()),
+            Some(125)
+        );
     }
 
     #[test]

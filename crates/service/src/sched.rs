@@ -68,6 +68,17 @@ pub fn run_batch(engine: &Engine, input: &str, pool: usize) -> Vec<String> {
                     &ProtoError::new("unsupported", "`shutdown` is only meaningful in serve mode"),
                 ));
             }
+            Ok(req) if req.kind == RequestKind::CacheStats => {
+                // Live counters depend on pool size and interleaving, which
+                // would break byte-identical batch output; refuse inline.
+                responses[slot] = Some(render_err(
+                    req.id,
+                    &ProtoError::new(
+                        "unsupported",
+                        "`cache-stats` is only meaningful in serve mode",
+                    ),
+                ));
+            }
             Ok(req) => {
                 let key = engine.request_key(&req);
                 jobs.push((Job { slot, req }, key));
@@ -216,6 +227,12 @@ mod tests {
         assert!(out[0].contains("\"id\":1") && out[0].contains("pong"));
         assert!(out[1].contains("\"id\":0") && out[1].contains("\"code\":\"parse\""));
         assert!(out[2].contains("\"id\":2") && out[2].contains("\"code\":\"unsupported\""));
+        let stats = run_batch(&engine(), "{\"id\":7,\"kind\":\"cache-stats\"}\n", 2);
+        assert!(
+            stats[0].contains("\"code\":\"unsupported\""),
+            "cache-stats must not leak nondeterministic counters into batch output: {}",
+            stats[0]
+        );
         assert!(out[3].contains("\"id\":3") && out[3].contains("\"ok\":true"));
         assert!(out[4].contains("\"id\":4") && out[4].contains("\"code\":\"unknown-program\""));
     }
@@ -227,7 +244,7 @@ mod tests {
         // must recompute every evicted entry to a byte-equal payload.
         let tiny = Engine::new(EngineConfig {
             cache_capacity: 1,
-            cache_dir: None,
+            ..Default::default()
         })
         .unwrap();
         let input = "\

@@ -6,30 +6,63 @@
 //! exactly the batch protocol: one JSON request per line in, one JSON
 //! response per line out, in order, on the same connection.
 //!
-//! Robustness contract (exercised by the fuzz corpus in `tests/`):
+//! Robustness contract (exercised by the fuzz corpus and the chaos
+//! harness in `tests/`):
 //!
 //! * a malformed line gets a structured `parse` error, never a dropped
 //!   connection;
 //! * a line longer than [`MAX_LINE_BYTES`] gets a `too-large` error and
 //!   the reader **resynchronizes at the next newline**, so the client can
 //!   keep using the connection;
+//! * every analysis request passes **admission control** first: past the
+//!   in-flight cap it is shed with a structured `overloaded` error and a
+//!   `retry_after_ms` hint, and under sustained load the admission ladder
+//!   raises the governor tier floor (see [`crate::admission`]);
+//! * sockets carry an **idle read timeout** (a connection that sends
+//!   nothing for [`ServerConfig::idle_timeout`] is reaped) and a **write
+//!   timeout** (a stalled reader cannot pin a worker thread past
+//!   [`ServerConfig::write_timeout`] — the connection is dropped);
+//! * a panic inside the engine is caught per request and answered as a
+//!   structured `internal` error; the connection and server survive;
 //! * a `shutdown` request is acknowledged (`{"stopping":true}`), then the
-//!   whole server drains: the accept loop is woken by a loopback connect,
-//!   and every connection thread notices the flag within its read-timeout
-//!   tick and exits. `Server::run` returns only after all threads join.
+//!   whole server drains: the accept loop is woken by a loopback connect
+//!   and every open connection's socket is shut down, which interrupts
+//!   parked reads immediately — no polling tick, no idle CPU burn, and
+//!   `Server::run` returns only after all threads join.
 
 use crate::engine::Engine;
 use crate::proto::{parse_request, render_err, ProtoError, RequestKind, MAX_LINE_BYTES};
 use mpi_dfa_core::telemetry;
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// How often a blocked connection read wakes up to check the shutdown
-/// flag. Bounds how long `Server::run` lingers after `shutdown`.
-const READ_TICK: Duration = Duration::from_millis(100);
+/// Socket-level limits for one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// A connection that sends no bytes for this long is reaped.
+    pub idle_timeout: Duration,
+    /// A response write blocked on a stalled client for this long drops
+    /// the connection.
+    pub write_timeout: Duration,
+    /// Hard cap on concurrently open connections; excess connections are
+    /// answered with one `overloaded` error line and closed.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            idle_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+            max_connections: 256,
+        }
+    }
+}
 
 /// A bound-but-not-yet-running server. Splitting bind from run lets the
 /// caller learn the actual address (port 0 ⇒ ephemeral) before blocking.
@@ -38,16 +71,28 @@ pub struct Server {
     listener: TcpListener,
     engine: Arc<Engine>,
     shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
 }
 
 impl Server {
-    /// Bind `addr` (e.g. `127.0.0.1:7117`, or port `0` for ephemeral).
+    /// Bind `addr` (e.g. `127.0.0.1:7117`, or port `0` for ephemeral) with
+    /// default socket limits.
     pub fn bind(engine: Arc<Engine>, addr: &str) -> Result<Server, String> {
+        Self::bind_with(engine, addr, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit socket limits.
+    pub fn bind_with(
+        engine: Arc<Engine>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> Result<Server, String> {
         let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
         Ok(Server {
             listener,
             engine,
             shutdown: Arc::new(AtomicBool::new(false)),
+            config,
         })
     }
 
@@ -63,8 +108,13 @@ impl Server {
     pub fn run(self) -> Result<(), String> {
         let addr = self.local_addr()?;
         let mut threads = Vec::new();
+        // Registry of open connections (a `try_clone` per socket) so the
+        // drain path can interrupt parked reads with a socket shutdown
+        // instead of waiting out a timeout tick.
+        let registry: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let mut next_id: u64 = 0;
         loop {
-            let (stream, peer) = match self.listener.accept() {
+            let (mut stream, peer) = match self.listener.accept() {
                 Ok(pair) => pair,
                 Err(_) if self.shutdown.load(Ordering::SeqCst) => break,
                 Err(e) => return Err(format!("accept: {e}")),
@@ -74,14 +124,46 @@ impl Server {
                 // dropped unanswered; we are draining.
                 break;
             }
+            if registry.lock().unwrap().len() >= self.config.max_connections {
+                // Over the connection cap: one structured line, then close.
+                // Best-effort — the client may already be gone.
+                let e = ProtoError::new(
+                    "overloaded",
+                    format!(
+                        "connection limit {} reached; retry later",
+                        self.config.max_connections
+                    ),
+                )
+                .with_retry_after(self.engine.admission().config().retry_after_ms);
+                let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+                let _ = writeln!(stream, "{}", render_err(0, &e));
+                if telemetry::is_enabled() {
+                    telemetry::metric_add("service_connections_rejected_total", 1.0);
+                }
+                continue;
+            }
+            let id = next_id;
+            next_id += 1;
+            if let Ok(clone) = stream.try_clone() {
+                registry.lock().unwrap().insert(id, clone);
+            }
             let engine = Arc::clone(&self.engine);
             let shutdown = Arc::clone(&self.shutdown);
+            let registry2 = Arc::clone(&registry);
+            let config = self.config;
             threads.push(std::thread::spawn(move || {
                 let mut span = telemetry::span("service", "connection");
                 span.arg("peer", peer.to_string());
                 // I/O errors here mean the client vanished; nothing to do.
-                let _ = serve_connection(&engine, stream, &shutdown, addr);
+                let _ = serve_connection(&engine, stream, &shutdown, addr, &config);
+                registry2.lock().unwrap().remove(&id);
             }));
+        }
+        // Drain: shut every open socket down so parked reads return
+        // immediately (EOF), then join. No polling loop anywhere.
+        self.shutdown.store(true, Ordering::SeqCst);
+        for stream in registry.lock().unwrap().values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
         }
         for t in threads {
             let _ = t.join();
@@ -94,7 +176,12 @@ impl Server {
 /// including the CI harness — wait for exactly this line), then serve
 /// until shutdown.
 pub fn serve(engine: Arc<Engine>, addr: &str) -> Result<(), String> {
-    let server = Server::bind(engine, addr)?;
+    serve_with(engine, addr, ServerConfig::default())
+}
+
+/// [`serve`] with explicit socket limits.
+pub fn serve_with(engine: Arc<Engine>, addr: &str, config: ServerConfig) -> Result<(), String> {
+    let server = Server::bind_with(engine, addr, config)?;
     let bound = server.local_addr()?;
     println!("listening on {bound}");
     let _ = std::io::stdout().flush();
@@ -109,8 +196,12 @@ fn serve_connection(
     mut stream: TcpStream,
     shutdown: &Arc<AtomicBool>,
     server_addr: SocketAddr,
+    config: &ServerConfig,
 ) -> std::io::Result<bool> {
-    stream.set_read_timeout(Some(READ_TICK))?;
+    // The read timeout is the *idle reaper*, not a shutdown tick: shutdown
+    // interrupts reads via socket shutdown, so this can be generous.
+    stream.set_read_timeout(Some(config.idle_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
     // One JSON line per response: without TCP_NODELAY the Nagle /
     // delayed-ACK interaction can add ~40 ms to every round trip, which
     // dwarfs a warm cache hit.
@@ -165,16 +256,22 @@ fn serve_connection(
                 return Ok(false);
             }
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e)
                 if matches!(
                     e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                continue; // tick: loop re-checks the shutdown flag
+                // Idle past the reaper timeout (or a drain already shut the
+                // socket): close. A client that went quiet this long can
+                // reconnect; holding the slot open starves admission.
+                if telemetry::is_enabled() && !shutdown.load(Ordering::SeqCst) {
+                    telemetry::metric_add("service_idle_reaped_total", 1.0);
+                }
+                return Ok(false);
             }
+            Err(_) if shutdown.load(Ordering::SeqCst) => return Ok(false),
             Err(e) => return Err(e),
         }
     }
@@ -182,6 +279,13 @@ fn serve_connection(
 
 /// Answer one raw line. Returns `Ok(true)` iff the line was a valid
 /// `shutdown` request (already acknowledged on the stream).
+///
+/// Analysis kinds pass admission control first: a shed answers a
+/// structured `overloaded` error with the retry hint; an admitted request
+/// runs under the current governor tier floor, holding its in-flight
+/// permit until the response is computed. Control verbs (`ping`,
+/// `shutdown`, `cache-stats`) skip admission — health checks and
+/// introspection must keep answering precisely when the server is busiest.
 fn answer_line(
     engine: &Engine,
     stream: &mut TcpStream,
@@ -198,7 +302,34 @@ fn answer_line(
             Ok(false)
         }
         Ok(req) => {
-            let resp = engine.handle(&req);
+            let resp = match req.kind {
+                RequestKind::Ping | RequestKind::Shutdown | RequestKind::CacheStats => {
+                    engine.handle(&req)
+                }
+                _ => match engine.admission().try_admit() {
+                    Err(shed) => render_err(
+                        req.id,
+                        &ProtoError::new(
+                            "overloaded",
+                            "server at max in-flight requests; retry later",
+                        )
+                        .with_retry_after(shed.retry_after_ms),
+                    ),
+                    Ok(_permit) => {
+                        // The permit is held across the compute; the floor
+                        // is sampled once so the whole request runs one
+                        // consistent configuration.
+                        let floor = engine.admission().tier_floor();
+                        catch_unwind(AssertUnwindSafe(|| engine.handle_with_floor(&req, floor)))
+                            .unwrap_or_else(|_| {
+                                render_err(
+                                    req.id,
+                                    &ProtoError::new("internal", "analysis worker panicked"),
+                                )
+                            })
+                    }
+                },
+            };
             writeln!(stream, "{resp}")?;
             Ok(req.kind == RequestKind::Shutdown)
         }
@@ -208,15 +339,28 @@ fn answer_line(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::admission::AdmissionConfig;
     use crate::engine::EngineConfig;
     use std::io::{BufRead, BufReader};
 
     fn start() -> (SocketAddr, std::thread::JoinHandle<Result<(), String>>) {
-        let engine = Arc::new(Engine::new(EngineConfig::default()).unwrap());
-        let server = Server::bind(engine, "127.0.0.1:0").unwrap();
+        let (addr, handle, _) = start_with(EngineConfig::default(), ServerConfig::default());
+        (addr, handle)
+    }
+
+    fn start_with(
+        engine_cfg: EngineConfig,
+        server_cfg: ServerConfig,
+    ) -> (
+        SocketAddr,
+        std::thread::JoinHandle<Result<(), String>>,
+        Arc<Engine>,
+    ) {
+        let engine = Arc::new(Engine::new(engine_cfg).unwrap());
+        let server = Server::bind_with(Arc::clone(&engine), "127.0.0.1:0", server_cfg).unwrap();
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || server.run());
-        (addr, handle)
+        (addr, handle, engine)
     }
 
     struct Client {
@@ -227,6 +371,9 @@ mod tests {
     impl Client {
         fn connect(addr: SocketAddr) -> Client {
             let stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
             let reader = BufReader::new(stream.try_clone().unwrap());
             Client { stream, reader }
         }
@@ -257,7 +404,9 @@ mod tests {
 
         let bye = c2.roundtrip(r#"{"id":4,"kind":"shutdown"}"#);
         assert!(bye.contains("\"stopping\":true"), "{bye}");
-        // run() returns: every thread drained.
+        // run() returns: every thread drained — including c, which is
+        // still parked in a read with most of its 60 s idle timeout left;
+        // only the socket-shutdown drain can release it this fast.
         handle.join().unwrap().unwrap();
     }
 
@@ -309,6 +458,142 @@ mod tests {
         // Shut the server down from a second client.
         let mut c2 = Client::connect(addr);
         c2.roundtrip(r#"{"id":2,"kind":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn saturated_admission_sheds_with_retry_hint_then_recovers() {
+        let (addr, handle, engine) = start_with(
+            EngineConfig {
+                admission: AdmissionConfig {
+                    max_inflight: 1,
+                    t1_watermark: 1,
+                    t2_watermark: 1,
+                    hysteresis: 1,
+                    retry_after_ms: 7,
+                },
+                ..Default::default()
+            },
+            ServerConfig::default(),
+        );
+        let mut c = Client::connect(addr);
+        // Saturate the ledger deterministically by holding the only permit
+        // directly — no racing threads involved.
+        let permit = engine.admission().try_admit().unwrap();
+        let r =
+            c.roundtrip(r#"{"id":1,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#);
+        assert!(r.contains("\"code\":\"overloaded\""), "{r}");
+        assert!(r.contains("\"retry_after_ms\":7"), "{r}");
+        // Ping is exempt: liveness keeps answering at full load.
+        let r = c.roundtrip(r#"{"id":2,"kind":"ping"}"#);
+        assert!(r.contains("\"pong\":true"), "{r}");
+        assert_eq!(engine.admission().snapshot().shed_total, 1);
+        // Release: the same request is admitted and answers.
+        drop(permit);
+        let r =
+            c.roundtrip(r#"{"id":3,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#);
+        assert!(r.contains("\"ok\":true"), "{r}");
+        c.roundtrip(r#"{"id":4,"kind":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn sustained_load_steps_the_tier_floor_up_and_back_down() {
+        let (addr, handle, engine) = start_with(
+            EngineConfig {
+                admission: AdmissionConfig {
+                    max_inflight: 8,
+                    t1_watermark: 2,
+                    t2_watermark: 3,
+                    hysteresis: 1,
+                    retry_after_ms: 10,
+                },
+                ..Default::default()
+            },
+            ServerConfig::default(),
+        );
+        let mut c = Client::connect(addr);
+        // Three held permits put the ladder at T2 (the socket request
+        // below admits as the fourth and samples the T2 floor).
+        let p1 = engine.admission().try_admit().unwrap();
+        let p2 = engine.admission().try_admit().unwrap();
+        let p3 = engine.admission().try_admit().unwrap();
+        let degraded =
+            c.roundtrip(r#"{"id":1,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#);
+        assert!(degraded.contains("\"tier\":\"T2\""), "{degraded}");
+        assert!(
+            degraded.contains("\"cache\":\"bypass\""),
+            "degraded answers are never cached: {degraded}"
+        );
+        // Drain steps back down one rung at a time: T2 -> T1 -> T0.
+        drop(p3);
+        assert_eq!(
+            engine.admission().tier_floor(),
+            mpi_dfa_analyses::governor::Tier::T1
+        );
+        drop(p2);
+        assert_eq!(
+            engine.admission().tier_floor(),
+            mpi_dfa_analyses::governor::Tier::T0
+        );
+        drop(p1);
+        // And the precise answer is computed fresh (the degraded one was
+        // not cached); one in-flight request stays below the T1 watermark.
+        let precise =
+            c.roundtrip(r#"{"id":2,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#);
+        assert!(precise.contains("\"tier\":\"T0\""), "{precise}");
+        c.roundtrip(r#"{"id":3,"kind":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn connection_cap_answers_one_overloaded_line_and_closes() {
+        let (addr, handle, _engine) = start_with(
+            EngineConfig::default(),
+            ServerConfig {
+                max_connections: 1,
+                ..Default::default()
+            },
+        );
+        let mut c1 = Client::connect(addr);
+        // Ensure c1 is fully registered before racing a second connect.
+        assert!(c1.roundtrip(r#"{"id":1,"kind":"ping"}"#).contains("pong"));
+        let mut c2 = Client::connect(addr);
+        let mut line = String::new();
+        c2.reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"code\":\"overloaded\""), "{line}");
+        assert!(line.contains("retry_after_ms"), "{line}");
+        // The rejected socket is closed (EOF on the next read)…
+        let mut rest = String::new();
+        assert_eq!(c2.reader.read_line(&mut rest).unwrap(), 0, "{rest:?}");
+        // …while the admitted one keeps serving.
+        assert!(c1.roundtrip(r#"{"id":2,"kind":"ping"}"#).contains("pong"));
+        c1.roundtrip(r#"{"id":3,"kind":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped() {
+        let (addr, handle, _engine) = start_with(
+            EngineConfig::default(),
+            ServerConfig {
+                idle_timeout: Duration::from_millis(100),
+                ..Default::default()
+            },
+        );
+        let mut c = Client::connect(addr);
+        assert!(c.roundtrip(r#"{"id":1,"kind":"ping"}"#).contains("pong"));
+        // Send nothing: the server closes our socket after ~100 ms.
+        let mut line = String::new();
+        assert_eq!(
+            c.reader.read_line(&mut line).unwrap(),
+            0,
+            "idle connection must be reaped: {line:?}"
+        );
+        // The server itself is fine.
+        let mut c2 = Client::connect(addr);
+        assert!(c2.roundtrip(r#"{"id":2,"kind":"ping"}"#).contains("pong"));
+        c2.roundtrip(r#"{"id":3,"kind":"shutdown"}"#);
         handle.join().unwrap().unwrap();
     }
 }

@@ -1,0 +1,135 @@
+//! Direct regression tests for the nastiest protocol edges: lines past
+//! the 16 MiB cap (the reader must answer `too-large` and resynchronize
+//! at the next newline) and clients that vanish mid-line. These edges are
+//! also visited probabilistically by the chaos suite; here they get
+//! deterministic, always-run coverage.
+
+use mpi_dfa_service::{Engine, EngineConfig, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_server() -> (SocketAddr, std::thread::JoinHandle<Result<(), String>>) {
+    let engine = Arc::new(Engine::new(EngineConfig::default()).unwrap());
+    let server = Server::bind_with(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("response line");
+    line.trim_end().to_string()
+}
+
+fn shutdown_server(addr: SocketAddr, handle: std::thread::JoinHandle<Result<(), String>>) {
+    let (mut s, mut r) = connect(addr);
+    writeln!(s, "{{\"id\":99,\"kind\":\"shutdown\"}}").unwrap();
+    let _ = read_line(&mut r);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn oversized_line_answers_too_large_then_resyncs_to_a_real_analysis() {
+    let (addr, handle) = start_server();
+    let (mut s, mut r) = connect(addr);
+
+    // One byte past the cap, streamed in big chunks to exercise the
+    // discard path, then a newline, then a full analyze on the SAME
+    // connection — the reader must resynchronize, not desync or drop.
+    let cap = mpi_dfa_service::proto::MAX_LINE_BYTES;
+    let chunk = vec![b'x'; 1 << 20];
+    let mut sent = 0usize;
+    while sent <= cap {
+        s.write_all(&chunk).unwrap();
+        sent += chunk.len();
+    }
+    s.write_all(b"\n").unwrap();
+    let resp = read_line(&mut r);
+    assert!(resp.contains("\"code\":\"too-large\""), "{resp}");
+
+    let analyze = r#"{"id":7,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#;
+    writeln!(s, "{analyze}").unwrap();
+    let resp = read_line(&mut r);
+    assert!(
+        resp.contains("\"id\":7") && resp.contains("\"ok\":true"),
+        "resync failed: {resp}"
+    );
+
+    shutdown_server(addr, handle);
+}
+
+#[test]
+fn mid_line_disconnect_leaves_the_server_serving() {
+    let (addr, handle) = start_server();
+
+    // Half a JSON line, then a hard close: the server must discard the
+    // fragment without panicking or wedging the acceptor.
+    {
+        let (mut s, _r) = connect(addr);
+        s.write_all(b"{\"id\":1,\"kind\":\"analy").unwrap();
+        s.shutdown(Shutdown::Both).unwrap();
+    }
+    // Same, but close only the write half first (clean EOF mid-line).
+    {
+        let (mut s, mut r) = connect(addr);
+        s.write_all(b"{\"id\":2,\"kind\":").unwrap();
+        s.shutdown(Shutdown::Write).unwrap();
+        // The fragment has no newline; at EOF the server answers it as a
+        // final (malformed) line — a structured parse error, then EOF.
+        let resp = read_line(&mut r);
+        assert!(resp.contains("\"code\":\"parse\""), "{resp}");
+        let mut line = String::new();
+        assert_eq!(r.read_line(&mut line).unwrap(), 0, "expected EOF: {line}");
+    }
+
+    // A fresh connection still gets full service.
+    let (mut s, mut r) = connect(addr);
+    writeln!(s, "{{\"id\":3,\"kind\":\"ping\"}}").unwrap();
+    let resp = read_line(&mut r);
+    assert!(resp.contains("\"pong\":true"), "{resp}");
+
+    shutdown_server(addr, handle);
+}
+
+#[test]
+fn abrupt_disconnect_during_compute_does_not_poison_the_engine() {
+    let (addr, handle) = start_server();
+
+    // Send a complete expensive request, then vanish before reading the
+    // answer: the worker's write fails, and that must not take the server
+    // (or the shared engine) down with it.
+    {
+        let (mut s, _r) = connect(addr);
+        writeln!(
+            s,
+            "{{\"id\":4,\"kind\":\"table1-row\",\"row\":\"Biostat\"}}"
+        )
+        .unwrap();
+        s.shutdown(Shutdown::Both).unwrap();
+    }
+
+    let (mut s, mut r) = connect(addr);
+    writeln!(
+        s,
+        "{{\"id\":5,\"kind\":\"table1-row\",\"row\":\"Biostat\"}}"
+    )
+    .unwrap();
+    let resp = read_line(&mut r);
+    assert!(
+        resp.contains("\"id\":5") && resp.contains("\"ok\":true"),
+        "{resp}"
+    );
+
+    shutdown_server(addr, handle);
+}

@@ -339,6 +339,43 @@ mod tests {
     }
 
     #[test]
+    fn bit_flipped_row_file_is_a_miss_and_recomputes() {
+        // Satellite regression for the crash-only store: `repro
+        // --cache-dir` inherits DiskStore's checksummed framing, so a bit
+        // flip anywhere in a persisted row file must read as a miss (the
+        // file quarantined), and re-putting the recomputed row must serve
+        // hits again — never a panic, never a corrupted row.
+        let spec = by_id("Biostat").unwrap();
+        let row = runner::run_experiment(&spec);
+        let dir = tmpdir("bitflip");
+        let cache = RowCache::open(&dir).unwrap();
+        let key = RowCache::key(&spec, None).unwrap();
+        cache.put(key, &row);
+        assert!(cache.get(key, &spec).is_some());
+
+        // Flip one payload byte in the single file under the namespace.
+        let ns = std::path::Path::new(&dir).join(ROWS_NAMESPACE);
+        let path = std::fs::read_dir(&ns)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.is_file())
+            .expect("one persisted row file");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert!(cache.get(key, &spec).is_none(), "bit flip must miss");
+        assert_eq!(cache.store.counters().snapshot().quarantined, 1);
+        // Recompute + re-put restores service.
+        cache.put(key, &row);
+        let back = cache.get(key, &spec).unwrap();
+        assert_eq!(back.mpi, row.mpi);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn corrupt_records_are_misses() {
         let spec = by_id("Biostat").unwrap();
         let dir = tmpdir("corrupt");

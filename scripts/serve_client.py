@@ -13,12 +13,24 @@ line, then asserts over a real socket:
     requires warm to be at least 2x faster end-to-end);
   * a second connection shares the first connection's warm cache;
   * malformed lines get structured errors without dropping the connection;
+  * `deadline_ms` is honored: a generous deadline answers normally (with
+    `cache: bypass` — wall-clock budgets are never cached), an
+    already-expired deadline answers a structured `deadline-exceeded`;
+  * `cache-stats` reports the admission ladder and cache counters;
   * `shutdown` is acknowledged and the process exits cleanly with code 0.
 
+The client doubles as a reference implementation of the overload
+contract: `--retries N` retries `overloaded` sheds with jittered
+exponential backoff seeded from the server's `retry_after_ms` hint, and
+`--deadline-ms MS` attaches a deadline to every analysis request.
+
 Usage: python3 scripts/serve_client.py [path/to/mpidfa]
+                                       [--retries N] [--deadline-ms MS]
 """
 
+import argparse
 import json
+import random
 import socket
 import subprocess
 import sys
@@ -28,13 +40,14 @@ ROWS = ["Biostat", "SOR", "CG", "LU-1", "MG-1"]
 
 
 class Client:
-    def __init__(self, host, port):
+    def __init__(self, host, port, retries=0):
         self.sock = socket.create_connection((host, port), timeout=60)
         # One JSON line per round trip: without TCP_NODELAY the Nagle /
         # delayed-ACK interaction adds ~40 ms per request and swamps the
         # cold-vs-warm comparison.
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.f = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+        self.retries = retries
 
     def raw(self, line):
         self.f.write(line + "\n")
@@ -44,16 +57,37 @@ class Client:
         return json.loads(resp)
 
     def rpc(self, obj):
-        resp = self.raw(json.dumps(obj))
-        assert resp["id"] == obj["id"], resp
-        return resp
+        """Send one request; on an `overloaded` shed, back off and retry
+        up to self.retries times, honoring the server's retry_after_ms
+        hint with jittered exponential backoff."""
+        attempt = 0
+        while True:
+            resp = self.raw(json.dumps(obj))
+            assert resp["id"] == obj["id"], resp
+            if (
+                not resp.get("ok")
+                and resp.get("error", {}).get("code") == "overloaded"
+                and attempt < self.retries
+            ):
+                hint_ms = resp["error"].get("retry_after_ms", 100)
+                # Exponential backoff on the hint, with full jitter so a
+                # herd of shed clients does not retry in lockstep.
+                delay = (hint_ms / 1000.0) * (2**attempt) * random.random()
+                time.sleep(min(delay, 5.0))
+                attempt += 1
+                continue
+            return resp
 
 
-def query_set(base_id):
-    return [
+def query_set(base_id, deadline_ms=None):
+    reqs = [
         {"id": base_id + i, "kind": "table1-row", "row": row}
         for i, row in enumerate(ROWS)
     ]
+    if deadline_ms is not None:
+        for r in reqs:
+            r["deadline_ms"] = deadline_ms
+    return reqs
 
 
 def timed(client, reqs):
@@ -63,9 +97,25 @@ def timed(client, reqs):
 
 
 def main():
-    binary = sys.argv[1] if len(sys.argv) > 1 else "target/release/mpidfa"
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("binary", nargs="?", default="target/release/mpidfa")
+    ap.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry overloaded sheds up to N times with jittered "
+        "exponential backoff on the server's retry_after_ms hint",
+    )
+    ap.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        help="attach deadline_ms to every analysis request",
+    )
+    args = ap.parse_args()
+
     proc = subprocess.Popen(
-        [binary, "serve", "--addr", "127.0.0.1:0"],
+        [args.binary, "serve", "--addr", "127.0.0.1:0"],
         stdout=subprocess.PIPE,
         text=True,
     )
@@ -74,7 +124,7 @@ def main():
         assert banner.startswith("listening on "), f"unexpected banner: {banner!r}"
         host, port = banner.split()[-1].rsplit(":", 1)
 
-        c = Client(host, int(port))
+        c = Client(host, int(port), retries=args.retries)
 
         r = c.rpc({"id": 1, "kind": "ping"})
         assert r["ok"] and r["result"]["pong"] is True, r
@@ -109,8 +159,26 @@ def main():
         r = c.rpc({"id": 7, "kind": "ping"})
         assert r["ok"], r
 
+        # Deadlines: a generous one answers (bypassing the cache — the
+        # result depends on wall clock), an expired one fails structurally.
+        r = c.rpc({"id": 8, "kind": "table1-row", "row": ROWS[0],
+                   "deadline_ms": args.deadline_ms or 60000})
+        assert r["ok"] and r["cache"] == "bypass", r
+        r = c.rpc({"id": 9, "kind": "table1-row", "row": ROWS[0],
+                   "deadline_ms": 0})
+        assert r["ok"] is False, r
+        assert r["error"]["code"] == "deadline-exceeded", r
+
+        # cache-stats: admission ladder + per-layer counters.
+        r = c.rpc({"id": 10, "kind": "cache-stats"})
+        assert r["ok"], r
+        stats = r["result"]
+        assert stats["admission"]["max_inflight"] > 0, stats
+        assert stats["admission"]["tier_floor"] == "T0", stats
+        assert stats["caches"]["result"]["hits"] >= len(ROWS), stats
+
         # A second connection shares the warm cache.
-        c2 = Client(host, int(port))
+        c2 = Client(host, int(port), retries=args.retries)
         r = c2.rpc({"id": 200, "kind": "table1-row", "row": ROWS[0]})
         assert r["ok"] and r["cache"] == "hit", r
 
@@ -123,7 +191,7 @@ def main():
         print(
             f"ok: {len(ROWS)} rows cold {cold_s*1e3:.2f} ms, "
             f"warm {warm_s*1e3:.2f} ms ({cold_s/warm_s:.1f}x over the socket), "
-            f"clean shutdown"
+            f"deadlines + cache-stats + clean shutdown"
         )
     finally:
         if proc.poll() is None:

@@ -9,7 +9,7 @@
 //! mpidfa graph     <file.smpl> --context main [--clone N] [--matching naive|syntactic|consts]
 //! mpidfa run       <file.smpl> [--nprocs N] [--entry main] [--faults seed=N[,...]] [--schedules K]
 //! mpidfa batch     <requests.jsonl | -> [--pool N] [--cache-mem N] [--cache-dir D]
-//! mpidfa serve     [--addr 127.0.0.1:PORT] [--cache-mem N] [--cache-dir D]
+//! mpidfa serve     [--addr 127.0.0.1:PORT] [--cache-mem N] [--cache-dir D] [--max-inflight N] [--idle-timeout-ms MS]
 //! ```
 //!
 //! Every command prints a human-readable report to stdout; parse/sema errors
@@ -438,9 +438,16 @@ fn service_engine(opts: &Opts) -> Result<mpi_dfa::service::Engine, String> {
         .map(|v| v.parse().map_err(|e| format!("--cache-mem: {e}")))
         .transpose()?
         .unwrap_or(256);
+    let admission = opts
+        .value("max-inflight")
+        .map(|v| v.parse().map_err(|e| format!("--max-inflight: {e}")))
+        .transpose()?
+        .map(mpi_dfa::service::AdmissionConfig::for_max_inflight)
+        .unwrap_or_default();
     mpi_dfa::service::Engine::new(mpi_dfa::service::EngineConfig {
         cache_capacity,
         cache_dir: opts.value("cache-dir").map(String::from),
+        admission,
     })
 }
 
@@ -482,13 +489,21 @@ fn cmd_batch(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// `mpidfa serve --addr 127.0.0.1:PORT [--cache-mem N] [--cache-dir D]` —
-/// JSONL-over-TCP daemon; prints `listening on ADDR`, runs until a client
-/// sends `{"kind":"shutdown"}`.
+/// `mpidfa serve --addr 127.0.0.1:PORT [--cache-mem N] [--cache-dir D]
+/// [--max-inflight N] [--idle-timeout-ms MS]` — JSONL-over-TCP daemon;
+/// prints `listening on ADDR`, runs until a client sends
+/// `{"kind":"shutdown"}`. `--max-inflight` derives the whole admission
+/// ladder (watermarks, hysteresis) from one knob; `--idle-timeout-ms`
+/// bounds how long a silent connection holds its slot.
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let addr = opts.value("addr").unwrap_or("127.0.0.1:7117");
     let engine = std::sync::Arc::new(service_engine(opts)?);
-    mpi_dfa::service::serve(engine, addr)
+    let mut config = mpi_dfa::service::ServerConfig::default();
+    if let Some(v) = opts.value("idle-timeout-ms") {
+        let ms: u64 = v.parse().map_err(|e| format!("--idle-timeout-ms: {e}"))?;
+        config.idle_timeout = std::time::Duration::from_millis(ms.max(1));
+    }
+    mpi_dfa::service::serve_with(engine, addr, config)
 }
 
 /// Build [`RuntimeLimits`] from `mpidfa run`'s `--max-steps` and
@@ -565,8 +580,12 @@ fn usage() -> String {
                   (JSONL request stream -> JSONL responses on stdout, in input\n\
                   order, byte-identical for any --pool size; see docs/SERVING.md)\n\
        serve      [--addr 127.0.0.1:7117] [--cache-mem N] [--cache-dir D]\n\
+                  [--max-inflight N] [--idle-timeout-ms MS]\n\
                   (JSONL-over-TCP daemon; prints `listening on ADDR`; stops on\n\
-                  a `{\"kind\":\"shutdown\"}` request; see docs/SERVING.md)\n\
+                  a `{\"kind\":\"shutdown\"}` request. --max-inflight derives the\n\
+                  admission ladder: past the watermarks the governor tier floor\n\
+                  rises, past the cap requests shed with `overloaded` +\n\
+                  retry_after_ms; see docs/SERVING.md)\n\
        run        [--nprocs N] [--entry main] [--faults SPEC] [--schedules K]\n\
                   [--max-steps N] [--recv-timeout-ms MS]\n\
                   SPEC: bare seed (`7`) or `seed=7,mode=adversarial|chaotic,\n\
