@@ -1,0 +1,319 @@
+//! Open-loop saturation bench for the sharded service: p50/p99 latency
+//! and shed rate at 1 vs 3 shards under the SAME offered load.
+//!
+//! The cluster under test is real — `mpidfa serve` worker processes
+//! behind the consistent-hash router, exactly what `mpidfa serve
+//! --shards N` runs. Every request carries `budget_ms`, which forces a
+//! cache bypass, so each one costs a full compute: this measures the
+//! service under sustained analytical load, not LRU lookups (those are
+//! `service_cache`'s job).
+//!
+//! Methodology:
+//!   1. Start a 1-shard cluster and calibrate: the mean sequential
+//!      latency of the request mix gives the single-shard capacity.
+//!   2. Fix the offered rate at `LOAD_FACTOR` of that capacity and
+//!      replay the same open-loop schedule — requests sent at fixed
+//!      wall-clock offsets by 8 client threads, latency measured from
+//!      the *scheduled* send time so queueing delay is charged to the
+//!      server — against 1 shard, then against 3 shards.
+//!   3. Shed responses (structured `overloaded` + `retry_after_ms`) are
+//!      counted separately and excluded from the latency percentiles.
+//!
+//! The asserted bar: at this mid-range load, adding shards must never
+//! make the tail worse — 3-shard p99 <= 1-shard p99 * 1.25 + 2 ms.
+//! The final line is a machine-readable JSON summary; `BENCH_serve.json`
+//! is that line plus provenance fields.
+//!
+//! The worker binary is located relative to the bench executable
+//! (`target/<profile>/deps/..` -> `target/<profile>/mpidfa`). If it has
+//! not been built, the bench prints a loud SKIP and exits 0 so
+//! `cargo bench` stays usable without `--bin mpidfa` having been built
+//! first.
+
+use mpi_dfa_service::{BackoffConfig, Cluster, ClusterConfig, HealthConfig, WorkerSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Open-loop schedule length per topology.
+const REQUESTS: usize = 400;
+/// Concurrent client threads replaying the schedule.
+const CLIENTS: usize = 8;
+/// Offered load as a fraction of calibrated single-shard capacity.
+const LOAD_FACTOR: f64 = 0.70;
+/// Tail bar: p99(3 shards) <= p99(1 shard) * ratio + abs.
+const P99_SLACK_RATIO: f64 = 1.25;
+const P99_SLACK_ABS_MS: f64 = 2.0;
+
+/// The request mix: seven distinct routing keys (so a multi-shard ring
+/// actually spreads them), all with `budget_ms` forcing a full compute.
+fn request_mix() -> Vec<String> {
+    let mut mix: Vec<String> = ["Biostat", "SOR", "CG", "LU-1", "MG-1"]
+        .iter()
+        .map(|row| {
+            format!("{{\"id\":1,\"kind\":\"table1-row\",\"row\":\"{row}\",\"budget_ms\":60000}}")
+        })
+        .collect();
+    mix.push(
+        r#"{"id":1,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"],"budget_ms":60000}"#
+            .into(),
+    );
+    mix.push(
+        r#"{"id":1,"kind":"activity-at-location","program":"figure1","ind":["x"],"dep":["f"],"var":"z","budget_ms":60000}"#
+            .into(),
+    );
+    mix
+}
+
+/// target/<profile>/deps/serve_saturation-<hash> -> target/<profile>/mpidfa
+fn worker_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let bin = exe.parent()?.parent()?.join("mpidfa");
+    bin.is_file().then_some(bin)
+}
+
+fn rpc(addr: SocketAddr, line: &str) -> String {
+    let stream = TcpStream::connect(addr).expect("connect to router");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    writeln!(&stream, "{line}").expect("write request");
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("read response (hang?)");
+    resp.trim_end().to_string()
+}
+
+fn start_cluster(shards: usize, binary: &std::path::Path, cache_dir: &std::path::Path) -> Cluster {
+    let mut worker = WorkerSpec::new(
+        binary.to_string_lossy().into_owned(),
+        vec![
+            "serve".into(),
+            "--cache-dir".into(),
+            cache_dir.to_string_lossy().into_owned(),
+            "--max-inflight".into(),
+            "32".into(),
+        ],
+    );
+    worker.backoff = BackoffConfig {
+        base: Duration::from_millis(20),
+        cap: Duration::from_millis(500),
+        reset_after: Duration::from_secs(2),
+    };
+    worker.health = HealthConfig {
+        interval: Duration::from_millis(150),
+        timeout: Duration::from_millis(1500),
+        miss_budget: 3,
+    };
+    Cluster::start(ClusterConfig::new(shards, worker), "127.0.0.1:0").expect("cluster start")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpidfa-serve-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Mean sequential bypass latency of the mix (after warm-up): the
+/// single-shard capacity estimate used to fix the offered rate.
+fn calibrate(addr: SocketAddr, mix: &[String]) -> Duration {
+    for line in mix {
+        let resp = rpc(addr, line);
+        assert!(resp.contains("\"ok\":true"), "calibration failed: {resp}");
+    }
+    const SAMPLES: usize = 35;
+    let start = Instant::now();
+    for i in 0..SAMPLES {
+        let resp = rpc(addr, &mix[i % mix.len()]);
+        assert!(
+            resp.contains("\"cache\":\"bypass\""),
+            "calibration request was not a bypass compute: {resp}"
+        );
+    }
+    start.elapsed() / SAMPLES as u32
+}
+
+struct TopologyStats {
+    shards: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    shed: usize,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Replay the open-loop schedule: request `i` is due at `i * interval`;
+/// client threads take turns, sleeping until each slot's wall-clock time.
+/// Latency is charged from the scheduled time, so a server that queues
+/// (or a client thread running behind an overloaded server) pays for it.
+fn run_open_loop(addr: SocketAddr, mix: &[String], interval: Duration) -> (Vec<f64>, usize, usize) {
+    let ok_ms = Mutex::new(Vec::with_capacity(REQUESTS));
+    let shed = Mutex::new(0usize);
+    let errors = Mutex::new(0usize);
+    let epoch = Instant::now() + Duration::from_millis(50);
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let ok_ms = &ok_ms;
+            let shed = &shed;
+            let errors = &errors;
+            s.spawn(move || {
+                let mut idx = client;
+                while idx < REQUESTS {
+                    let due = epoch + interval * idx as u32;
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let resp = rpc(addr, &mix[idx % mix.len()]);
+                    let latency = due.elapsed();
+                    if resp.contains("\"ok\":true") {
+                        ok_ms.lock().unwrap().push(latency.as_secs_f64() * 1e3);
+                    } else if resp.contains("\"code\":\"overloaded\"")
+                        && resp.contains("\"retry_after_ms\"")
+                    {
+                        *shed.lock().unwrap() += 1;
+                    } else {
+                        eprintln!("unexpected response: {resp}");
+                        *errors.lock().unwrap() += 1;
+                    }
+                    idx += CLIENTS;
+                }
+            });
+        }
+    });
+    let mut ok_ms = ok_ms.into_inner().unwrap();
+    ok_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (
+        ok_ms,
+        shed.into_inner().unwrap(),
+        errors.into_inner().unwrap(),
+    )
+}
+
+fn run_topology(
+    shards: usize,
+    binary: &std::path::Path,
+    mix: &[String],
+    interval: Duration,
+) -> TopologyStats {
+    let dir = tmp_dir(&format!("{shards}shard"));
+    let cluster = start_cluster(shards, binary, &dir);
+    let addr = cluster.local_addr().unwrap();
+    let supervisor = cluster.supervisor();
+    let serve = std::thread::spawn(move || cluster.run());
+    assert!(
+        supervisor.wait_all_healthy(Duration::from_secs(15)),
+        "fleet never became healthy"
+    );
+    // Warm each worker's compile caches so the measured load is steady
+    // state, not first-touch compilation.
+    for line in mix {
+        for _ in 0..shards {
+            let resp = rpc(addr, line);
+            assert!(resp.contains("\"ok\":true"), "warm-up failed: {resp}");
+        }
+    }
+    let (ok_ms, shed, errors) = run_open_loop(addr, mix, interval);
+    let bye = rpc(addr, "{\"id\":0,\"kind\":\"shutdown\"}");
+    assert!(bye.contains("\"stopping\":true"), "shutdown failed: {bye}");
+    serve.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        ok_ms.len() + shed == REQUESTS && errors == 0,
+        "{} ok + {shed} shed != {REQUESTS} ({errors} unstructured)",
+        ok_ms.len()
+    );
+    TopologyStats {
+        shards,
+        p50_ms: percentile(&ok_ms, 0.50),
+        p99_ms: percentile(&ok_ms, 0.99),
+        shed,
+    }
+}
+
+fn main() {
+    let Some(binary) = worker_binary() else {
+        eprintln!(
+            "serve_saturation: SKIP — mpidfa binary not found next to the bench \
+             executable; run `cargo build --release --bin mpidfa` first"
+        );
+        return;
+    };
+    let mix = request_mix();
+
+    // Calibrate on a throwaway 1-shard cluster, then fix the offered
+    // rate for BOTH topologies so they face identical load.
+    let dir = tmp_dir("calibrate");
+    let cluster = start_cluster(1, &binary, &dir);
+    let addr = cluster.local_addr().unwrap();
+    let serve = std::thread::spawn(move || cluster.run());
+    let mean = calibrate(addr, &mix);
+    let _ = rpc(addr, "{\"id\":0,\"kind\":\"shutdown\"}");
+    serve.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let interval = mean.div_f64(LOAD_FACTOR);
+    let offered_rps = 1.0 / interval.as_secs_f64();
+    println!(
+        "serve_saturation: calibrated mean bypass latency {mean:?} \
+         -> offered load {offered_rps:.0} req/s ({:.0}% of 1-shard capacity)",
+        LOAD_FACTOR * 100.0
+    );
+
+    let stats: Vec<TopologyStats> = [1usize, 3]
+        .iter()
+        .map(|&shards| {
+            let s = run_topology(shards, &binary, &mix, interval);
+            println!(
+                "serve_saturation {shards} shard(s): p50 {:.2} ms, p99 {:.2} ms, \
+                 {} shed / {REQUESTS} ({:.1}%)",
+                s.p50_ms,
+                s.p99_ms,
+                s.shed,
+                s.shed as f64 * 100.0 / REQUESTS as f64
+            );
+            s
+        })
+        .collect();
+
+    // The bar: sharding must not hurt the tail at mid-range load.
+    let (one, three) = (&stats[0], &stats[1]);
+    let bar = one.p99_ms * P99_SLACK_RATIO + P99_SLACK_ABS_MS;
+    assert!(
+        three.p99_ms <= bar,
+        "3-shard p99 {:.2} ms exceeds the bar {bar:.2} ms \
+         (1-shard p99 {:.2} ms * {P99_SLACK_RATIO} + {P99_SLACK_ABS_MS} ms)",
+        three.p99_ms,
+        one.p99_ms
+    );
+
+    // Machine-readable baseline — `BENCH_serve.json` is this line.
+    let cases = stats
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"shards\":{},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\
+                 \"shed\":{},\"shed_rate\":{:.4}}}",
+                s.shards,
+                s.p50_ms,
+                s.p99_ms,
+                s.shed,
+                s.shed as f64 / REQUESTS as f64
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    println!(
+        "{{\"bench\":\"serve_saturation\",\"requests\":{REQUESTS},\"clients\":{CLIENTS},\
+         \"load_factor\":{LOAD_FACTOR},\"offered_rps\":{offered_rps:.0},\
+         \"p99_bar\":\"p99(3) <= p99(1) * {P99_SLACK_RATIO} + {P99_SLACK_ABS_MS} ms\",\
+         \"topologies\":[{cases}]}}"
+    );
+}

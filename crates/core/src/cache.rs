@@ -401,13 +401,19 @@ impl DiskStore {
     /// Errors are returned so the caller can log them, but the caller
     /// should treat a failed put as non-fatal (the store is best-effort).
     pub fn put(&self, namespace: &str, key: u128, bytes: &[u8]) -> std::io::Result<()> {
+        // The pid keeps concurrent *processes* sharing the directory from
+        // colliding on temp names; the process-wide nonce keeps multiple
+        // stores (or threads) *within* one process apart — a shared
+        // counter value would let two writers interleave on one tmp file
+        // and publish a torn frame via the rename.
+        static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
         let path = self.path(namespace, key);
         let dir = path.parent().expect("store paths always have a parent");
         std::fs::create_dir_all(dir)?;
         let tmp = dir.join(format!(
             ".tmp-{}-{}",
             std::process::id(),
-            self.counters.insertions.load(Ordering::Relaxed)
+            TMP_NONCE.fetch_add(1, Ordering::Relaxed)
         ));
         std::fs::write(&tmp, Self::frame(bytes))?;
         std::fs::rename(&tmp, &path)?;
@@ -673,6 +679,101 @@ mod tests {
                 removed_tmp: 0,
             }
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_writer_killed_mid_rename_is_invisible_to_readers() {
+        // The crash window of `put` is [tmp written .. rename]: a worker
+        // SIGKILLed inside it leaves a tmp file — fully framed or partial
+        // — that was never published. Readers must see a plain miss for
+        // the key (not the tmp's content), and fsck must sweep the debris
+        // without quarantining anything (nothing valid was lost).
+        let (dir, store) = scratch_store("midrename");
+        store.put("results", 1, b"survivor").unwrap();
+
+        // Kill after the tmp was fully written, before the rename…
+        let complete_tmp = dir.join("results").join(".tmp-4242-0");
+        std::fs::write(&complete_tmp, DiskStore::frame(b"never published")).unwrap();
+        // …and a second writer killed mid-write (partial frame).
+        let torn_tmp = dir.join("results").join(".tmp-4242-1");
+        let frame = DiskStore::frame(b"torn in half");
+        std::fs::write(&torn_tmp, &frame[..frame.len() / 2]).unwrap();
+
+        // Neither key ever existed for readers; the survivor is intact.
+        assert_eq!(store.get("results", 9), None);
+        assert_eq!(store.get("results", 1).as_deref(), Some(&b"survivor"[..]));
+        assert_eq!(store.counters().snapshot().quarantined, 0);
+
+        // fsck removes both tmp files as unpublished debris.
+        let report = store.fsck();
+        assert_eq!(report.removed_tmp, 2, "{report:?}");
+        assert_eq!(report.quarantined, 0, "{report:?}");
+        assert!(!complete_tmp.exists() && !torn_tmp.exists());
+
+        // The interrupted writer's key can be written and read normally.
+        store.put("results", 9, b"second attempt").unwrap();
+        assert_eq!(
+            store.get("results", 9).as_deref(),
+            Some(&b"second attempt"[..])
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_stores_on_one_directory_never_serve_a_torn_frame() {
+        // Two DiskStore handles standing in for two worker processes that
+        // share `--cache-dir` (the cluster's warm-cache arrangement): both
+        // write the same keys concurrently while readers hammer them.
+        // Every read must return one writer's payload *in full* — torn or
+        // interleaved bytes would surface as a quarantine (checksum) or,
+        // catastrophically, as a wrong payload.
+        let (dir, store_a) = scratch_store("shared");
+        let store_a = Arc::new(store_a);
+        let store_b = Arc::new(DiskStore::open(&dir).unwrap());
+        const KEYS: u128 = 8;
+        const ROUNDS: usize = 200;
+        let payload = |tag: &str, key: u128, round: usize| -> Vec<u8> {
+            format!("{tag}:{key}:{round}:{}", "x".repeat(512)).into_bytes()
+        };
+
+        std::thread::scope(|s| {
+            for (tag, store) in [("A", Arc::clone(&store_a)), ("B", Arc::clone(&store_b))] {
+                let payload = &payload;
+                s.spawn(move || {
+                    for round in 0..ROUNDS {
+                        let key = (round as u128) % KEYS;
+                        store
+                            .put("results", key, &payload(tag, key, round))
+                            .unwrap();
+                    }
+                });
+            }
+            for store in [Arc::clone(&store_a), Arc::clone(&store_b)] {
+                let payload = &payload;
+                s.spawn(move || {
+                    for round in 0..ROUNDS {
+                        let key = (round as u128) % KEYS;
+                        if let Some(bytes) = store.get("results", key) {
+                            let text = String::from_utf8(bytes).expect("utf8 payload");
+                            let ok = (0..ROUNDS).any(|r| {
+                                text.as_bytes() == payload("A", key, r).as_slice()
+                                    || text.as_bytes() == payload("B", key, r).as_slice()
+                            });
+                            assert!(ok, "read returned bytes no writer ever put: {text:.60}");
+                        }
+                    }
+                });
+            }
+        });
+
+        // Pure concurrency (no kills) must never have produced an invalid
+        // frame: zero quarantines on either handle, and fsck agrees.
+        assert_eq!(store_a.counters().snapshot().quarantined, 0);
+        assert_eq!(store_b.counters().snapshot().quarantined, 0);
+        let report = store_a.fsck();
+        assert_eq!(report.quarantined, 0, "{report:?}");
+        assert_eq!(report.valid as u128, KEYS, "{report:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

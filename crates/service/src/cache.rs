@@ -113,6 +113,36 @@ pub fn result_key(req: &Request, source_hash: u128, effective_max_passes: u64) -
     Some(h.finish())
 }
 
+/// The shard-routing key for one request: where [`result_key`] answers
+/// "may this be cached?", this answers "which shard owns it?". It hashes
+/// the same analysis-configuration inputs but deliberately keeps hashing
+/// when `budget_ms`/`deadline_ms` force a cache bypass — a retried or
+/// hedged bypass request must still land on the same shard family — and
+/// it hashes the raw `program`/`source` fields instead of resolved text,
+/// so the router never has to compile anything. `id` and `solver` are
+/// excluded for the same reason they are excluded from [`result_key`].
+pub fn routing_key(req: &Request) -> u128 {
+    let mut h = Hasher128::new();
+    h.write_str("routing")
+        .write_u64(CACHE_SCHEMA_VERSION)
+        .write_str(req.kind.as_str())
+        .write_str(req.program.as_deref().unwrap_or(""))
+        .write_str(req.source.as_deref().unwrap_or(""))
+        .write_str(req.context.as_deref().unwrap_or(""))
+        .write_u64(req.clone_level as u64)
+        .write_strs(&req.ind)
+        .write_strs(&req.dep)
+        .write_str(req.var.as_deref().unwrap_or(""))
+        .write_str(req.row.as_deref().unwrap_or(""))
+        .write_str(req.matching_str())
+        .write_str(&req.mode)
+        .write_str(req.degrade_str())
+        .write_opt_u64(req.max_visits)
+        .write_opt_u64(req.max_fact_bytes)
+        .write_opt_u64(req.max_passes);
+    h.finish()
+}
+
 /// The three in-memory layers plus the optional on-disk result store.
 #[derive(Debug, Clone)]
 pub struct ServiceCaches {

@@ -83,6 +83,9 @@ pub struct ChaosReport {
     pub sheds: u64,
     pub corruptions: u64,
     pub disconnects: u64,
+    /// Worker processes SIGKILLed by cluster scenarios (always 0 for the
+    /// single-process harness).
+    pub kills: u64,
     pub failure: Option<ChaosFailure>,
 }
 
@@ -160,6 +163,7 @@ fn start_epoch(cache_dir: &str) -> Result<Epoch, String> {
             hysteresis: 1,
             retry_after_ms: 5,
         },
+        shard_id: None,
     })?);
     let server = Server::bind_with(
         engine,
@@ -211,6 +215,7 @@ impl ReferenceAnswers {
                 cache_capacity: 64,
                 cache_dir: None,
                 admission: AdmissionConfig::default(),
+                shard_id: None,
             })?,
             memo: HashMap::new(),
         })
@@ -581,6 +586,554 @@ fn run_scenario(
                 return Err(format!("resync after oversized line failed: {d}"));
             }
             Ok(false)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster chaos: the same invariants against a real supervised fleet.
+// ---------------------------------------------------------------------------
+
+/// Cluster chaos run parameters. Unlike [`ChaosConfig`] this drives real
+/// worker *processes* (via [`crate::router::Cluster`]), so it needs the
+/// path to the `mpidfa` binary; integration tests pass
+/// `env!("CARGO_BIN_EXE_mpidfa")`.
+#[derive(Debug, Clone)]
+pub struct ClusterChaosConfig {
+    /// Master seed; scenario `i` runs under `SplitMix64::fork(seed, i)`.
+    pub seed: u64,
+    /// Number of scenarios to run.
+    pub cases: usize,
+    /// Fleet size. 1 exercises the degenerate ring; 3 is the CI topology.
+    pub shards: usize,
+    /// Worker executable (the `mpidfa` binary; the supervisor invokes it
+    /// as `mpidfa serve --shard-id I --addr 127.0.0.1:0 ...`).
+    pub worker_program: std::path::PathBuf,
+}
+
+/// Run `config.cases` seeded scenarios against a live cluster: a router +
+/// supervised worker fleet sharing one crash-only disk cache. Scenarios
+/// add process-level faults to the single-box repertoire — worker SIGKILL
+/// mid-request, restart storms, one-shard brownouts under burst, warm-disk
+/// survival across a kill — and assert the same four invariants: no hangs,
+/// no panics, structured errors only, byte-identical successes vs the
+/// fault-free reference.
+pub fn run_cluster_chaos(config: ClusterChaosConfig) -> ChaosReport {
+    use crate::health::HealthConfig;
+    use crate::router::{Cluster, ClusterConfig};
+    use crate::supervisor::{BackoffConfig, WorkerSpec};
+
+    let mut report = ChaosReport {
+        cases: config.cases,
+        ..Default::default()
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "mpidfa-cluster-chaos-{}-{:x}",
+        std::process::id(),
+        config.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache_dir = dir.to_string_lossy().into_owned();
+
+    let mut refs = match ReferenceAnswers::new() {
+        Ok(r) => r,
+        Err(e) => {
+            report.failure = Some(fail(0, config.seed, format!("reference engine: {e}")));
+            return report;
+        }
+    };
+
+    // Small admission cap so brownout scenarios actually shed; fast
+    // backoff + health cadence so kill scenarios recover inside the suite.
+    let mut worker = WorkerSpec::new(
+        &config.worker_program,
+        vec![
+            "serve".into(),
+            "--cache-dir".into(),
+            cache_dir.clone(),
+            "--max-inflight".into(),
+            "4".into(),
+        ],
+    );
+    worker.backoff = BackoffConfig {
+        base: Duration::from_millis(20),
+        cap: Duration::from_millis(500),
+        reset_after: Duration::from_secs(2),
+    };
+    worker.health = HealthConfig {
+        interval: Duration::from_millis(150),
+        timeout: Duration::from_millis(1500),
+        miss_budget: 3,
+    };
+
+    let cluster = match Cluster::start(ClusterConfig::new(config.shards, worker), "127.0.0.1:0") {
+        Ok(c) => c,
+        Err(e) => {
+            report.failure = Some(fail(0, config.seed, format!("start cluster: {e}")));
+            return report;
+        }
+    };
+    let addr = match cluster.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            report.failure = Some(fail(0, config.seed, format!("cluster addr: {e}")));
+            return report;
+        }
+    };
+    let supervisor = cluster.supervisor();
+    let router = cluster.router();
+    let serve_thread = std::thread::spawn(move || cluster.run());
+
+    for case in 0..config.cases {
+        let mut rng = SplitMix64::fork(config.seed, case as u64);
+        if let Err(detail) = run_cluster_scenario(
+            &mut rng,
+            case,
+            addr,
+            &supervisor,
+            &router,
+            &mut refs,
+            &mut report,
+        ) {
+            report.failure = Some(fail(case, config.seed, detail));
+            break;
+        }
+    }
+
+    // Always tear the fleet down, even after a failure: leaked worker
+    // processes would outlive the test run.
+    let stopped = (|| -> Result<(), String> {
+        let mut c = ChaosClient::connect(addr)?;
+        c.send_raw(b"{\"id\":999999,\"kind\":\"shutdown\"}\n")?;
+        let _ = c.read_line();
+        Ok(())
+    })();
+    if stopped.is_err() {
+        // Router unreachable — stop the workers directly; the serve thread
+        // is then abandoned (the process is exiting anyway).
+        supervisor.stop();
+    } else {
+        match serve_thread.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                report
+                    .failure
+                    .get_or_insert_with(|| fail(config.cases, config.seed, format!("serve: {e}")));
+            }
+            Err(_) => {
+                report.failure.get_or_insert_with(|| {
+                    fail(config.cases, config.seed, "router thread panicked".into())
+                });
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
+/// A successful answer that differs from the fault-free reference only
+/// because the admission floor raised the tier under load: it carries
+/// bypass provenance and a floor above T0. The PR-6 ladder makes this a
+/// legitimate (deterministically rendered) degradation, not a divergence.
+fn is_load_degraded(resp: &str) -> bool {
+    resp.contains("\"cache\":\"bypass\"") && !resp.contains("\"tier\":\"T0\"")
+}
+
+/// SIGKILL `shard`, counting the kill and returning the pre-kill epoch so
+/// the caller can wait for the *replacement* incarnation (right after a
+/// kill the table still shows the dead worker as alive for one monitor
+/// tick). `None` when there was no process to kill (already mid-restart).
+fn kill_shard_noted(
+    supervisor: &crate::supervisor::Supervisor,
+    shard: usize,
+    report: &mut ChaosReport,
+) -> Option<u64> {
+    let pre_epoch = supervisor.table().snapshot(shard).epoch;
+    if supervisor.kill_shard(shard) {
+        report.kills += 1;
+        Some(pre_epoch)
+    } else {
+        None
+    }
+}
+
+/// Wait for every killed shard's replacement, then for the whole fleet;
+/// cluster scenarios that kill workers end with this so one case's faults
+/// never bleed into the next.
+fn fleet_recovers(
+    supervisor: &crate::supervisor::Supervisor,
+    killed: &[(usize, u64)],
+) -> Result<(), String> {
+    for &(shard, pre_epoch) in killed {
+        if !supervisor.wait_restarted(shard, pre_epoch, Duration::from_secs(15)) {
+            return Err(format!(
+                "shard {shard} was not restarted past epoch {pre_epoch} within 15s: {:?}",
+                supervisor.table().snapshot(shard)
+            ));
+        }
+    }
+    if supervisor.wait_all_healthy(Duration::from_secs(15)) {
+        Ok(())
+    } else {
+        Err(format!(
+            "fleet did not recover within 15s: {:?}",
+            supervisor.table().snapshots()
+        ))
+    }
+}
+
+/// One cluster scenario.
+fn run_cluster_scenario(
+    rng: &mut SplitMix64,
+    case: usize,
+    addr: SocketAddr,
+    supervisor: &Arc<crate::supervisor::Supervisor>,
+    router: &Arc<crate::router::RouterHandler>,
+    refs: &mut ReferenceAnswers,
+    report: &mut ChaosReport,
+) -> Result<(), String> {
+    let shards = supervisor.table().len();
+    // Analysis requests only (no control verbs): these route to a shard.
+    let analysis_pool = &REQUEST_POOL[1..6];
+    match rng.below(100) {
+        // ~25%: clean request through the router (the control group). A
+        // shard may still be restarting from a previous case — then the
+        // router hedges or sheds, and both are valid structured outcomes.
+        0..=24 => {
+            let mut c = ChaosClient::connect(addr)?;
+            let line = with_id(rng.pick::<&str>(REQUEST_POOL), 1000 + case as u64);
+            c.send_raw(format!("{line}\n").as_bytes())?;
+            report.requests_sent += 1;
+            let resp = c.read_line()?;
+            if let Some(d) = check_response(refs, &line, &resp, report) {
+                return Err(d);
+            }
+            Ok(())
+        }
+        // ~15%: SIGKILL the exact shard a request routes to, mid-request.
+        // The client must still get a structured answer (a hedged success
+        // must be byte-identical), and the supervisor must restart the
+        // worker.
+        25..=39 => {
+            let line = with_id(rng.pick::<&str>(analysis_pool), 2000 + case as u64);
+            let target = router
+                .shard_for_line(&line)
+                .ok_or("shard_for_line returned None for an analysis request")?;
+            let delay = Duration::from_millis(rng.below(30) as u64);
+            let mut killed = Vec::new();
+            let resp = std::thread::scope(|s| {
+                let client = s.spawn(|| -> Result<String, String> {
+                    let mut c = ChaosClient::connect(addr)?;
+                    c.send_raw(format!("{line}\n").as_bytes())?;
+                    c.read_line()
+                });
+                std::thread::sleep(delay);
+                if let Some(pre) = kill_shard_noted(supervisor, target, report) {
+                    killed.push((target, pre));
+                }
+                client
+                    .join()
+                    .unwrap_or_else(|_| Err("client panicked".into()))
+            })?;
+            report.requests_sent += 1;
+            if let Some(d) = check_response(refs, &line, &resp, report) {
+                return Err(format!("kill of shard {target} mid-request: {d}"));
+            }
+            fleet_recovers(supervisor, &killed)?;
+            Ok(())
+        }
+        // ~10%: restart storm — every shard killed back to back, with
+        // concurrent probes in flight. No hangs, structured answers only,
+        // and the whole fleet must come back.
+        40..=49 => {
+            let lines: Vec<String> = (0..4)
+                .map(|i| with_id(rng.pick::<&str>(analysis_pool), 3000 + 10 * case as u64 + i))
+                .collect();
+            let mut killed = Vec::new();
+            let results: Vec<Result<String, String>> = std::thread::scope(|s| {
+                let probes: Vec<_> = lines
+                    .iter()
+                    .map(|line| {
+                        s.spawn(move || -> Result<String, String> {
+                            let mut c = ChaosClient::connect(addr)?;
+                            c.send_raw(format!("{line}\n").as_bytes())?;
+                            c.read_line()
+                        })
+                    })
+                    .collect();
+                for shard in 0..shards {
+                    if let Some(pre) = kill_shard_noted(supervisor, shard, report) {
+                        killed.push((shard, pre));
+                    }
+                    std::thread::sleep(Duration::from_millis(rng.below(10) as u64));
+                }
+                probes
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|_| Err("probe panicked".into())))
+                    .collect()
+            });
+            for (line, r) in lines.iter().zip(results) {
+                let resp = r?;
+                report.requests_sent += 1;
+                if let Some(d) = check_response(refs, line, &resp, report) {
+                    // Concurrent probes can push a surviving worker past a
+                    // watermark: a tier-degraded answer (bypass provenance,
+                    // floor above T0) is the admission ladder working, not
+                    // a divergence.
+                    if is_load_degraded(&resp) {
+                        continue;
+                    }
+                    return Err(format!("restart storm: {d}"));
+                }
+            }
+            fleet_recovers(supervisor, &killed)?;
+            Ok(())
+        }
+        // ~10%: brownout under burst — identical bypass requests all route
+        // to ONE shard and exceed its admission cap. The router must
+        // propagate `retry_after_ms` (never hedge a shed into a second
+        // shed loop forever), and every client gets ok-or-overloaded.
+        50..=59 => {
+            let line = format!(
+                "{{\"id\":{},\"kind\":\"analyze\",\"program\":\"figure1\",\
+                 \"ind\":[\"x\"],\"dep\":[\"f\"],\"budget_ms\":60000}}",
+                4000 + case as u64
+            );
+            let threads = 4 * shards + 2;
+            let results: Vec<Result<String, String>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let line = line.clone();
+                        s.spawn(move || -> Result<String, String> {
+                            let mut c = ChaosClient::connect(addr)?;
+                            c.send_raw(format!("{line}\n").as_bytes())?;
+                            c.read_line()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+                    .collect()
+            });
+            for r in results {
+                let resp = r?;
+                report.requests_sent += 1;
+                if resp.contains("\"code\":\"overloaded\"") {
+                    if !resp.contains("\"retry_after_ms\"") {
+                        return Err(format!("shed without retry_after_ms: {resp}"));
+                    }
+                    report.error_responses += 1;
+                    report.sheds += 1;
+                    continue;
+                }
+                if let Some(d) = check_response(refs, &line, &resp, report) {
+                    // Same allowance as the single-box burst: under load
+                    // the admission floor may degrade the tier, visible
+                    // only on bypass-provenance answers.
+                    if is_load_degraded(&resp) {
+                        continue;
+                    }
+                    return Err(format!("brownout burst response invalid: {d}"));
+                }
+            }
+            // Let the shard's brownout window (retry_after_ms = 100) lapse
+            // so the next case starts with all shards routable.
+            std::thread::sleep(Duration::from_millis(150));
+            Ok(())
+        }
+        // ~10%: warm-disk survival — a computed result must outlive a
+        // SIGKILL of the worker that wrote it (crash-only tmp+rename
+        // framing) and come back as a disk hit after the restart.
+        60..=69 => {
+            fleet_recovers(supervisor, &[])?;
+            let line = with_id(REQUEST_POOL[1], 5000 + case as u64); // analyze figure1
+            let mut c = ChaosClient::connect(addr)?;
+            c.send_raw(format!("{line}\n").as_bytes())?;
+            report.requests_sent += 1;
+            let first = c.read_line()?;
+            if first.contains("\"ok\":false") {
+                // Shed under residual load — nothing was cached; skip.
+                report.error_responses += 1;
+                return Ok(());
+            }
+            if let Some(d) = check_response(refs, &line, &first, report) {
+                return Err(format!("warm-disk priming request: {d}"));
+            }
+            let owner = router
+                .shard_for_line(&line)
+                .ok_or("no owner shard for warm-disk request")?;
+            let killed: Vec<(usize, u64)> = kill_shard_noted(supervisor, owner, report)
+                .map(|pre| (owner, pre))
+                .into_iter()
+                .collect();
+            fleet_recovers(supervisor, &killed)?;
+            let mut c = ChaosClient::connect(addr)?;
+            c.send_raw(format!("{line}\n").as_bytes())?;
+            report.requests_sent += 1;
+            let resp = c.read_line()?;
+            if let Some(d) = check_response(refs, &line, &resp, report) {
+                return Err(format!("warm-disk re-read after kill: {d}"));
+            }
+            if !resp.contains("\"cache\":\"hit\"") {
+                return Err(format!(
+                    "disk entry did not survive the kill of shard {owner}: {resp}"
+                ));
+            }
+            Ok(())
+        }
+        // ~10%: router robustness — malformed lines, oversized + resync,
+        // mid-line disconnects, and pings racing a kill.
+        70..=79 => match rng.below(4) {
+            0 => {
+                let mut c = ChaosClient::connect(addr)?;
+                c.send_raw(b"{\"id\":,\"kind\":\"analyze\"}\n")?;
+                report.requests_sent += 1;
+                let resp = c.read_line()?;
+                let parsed = crate::json::parse(&resp)
+                    .map_err(|e| format!("malformed-line answer is not JSON ({e}): {resp}"))?;
+                if parsed.get("ok").and_then(|v| v.as_bool()) != Some(false) {
+                    return Err(format!("malformed line not rejected: {resp}"));
+                }
+                report.error_responses += 1;
+                let probe = format!("{{\"id\":{},\"kind\":\"ping\"}}\n", 6000 + case);
+                c.send_raw(probe.as_bytes())?;
+                report.requests_sent += 1;
+                let resp = c.read_line()?;
+                if !resp.contains("\"pong\":true") {
+                    return Err(format!("ping after malformed line failed: {resp}"));
+                }
+                report.ok_responses += 1;
+                Ok(())
+            }
+            1 => {
+                let mut c = ChaosClient::connect(addr)?;
+                let huge = vec![b'x'; crate::proto::MAX_LINE_BYTES + 1 + rng.below(64)];
+                c.send_raw(&huge)?;
+                c.send_raw(b"\n")?;
+                report.requests_sent += 1;
+                let resp = c.read_line()?;
+                if !resp.contains("\"code\":\"too-large\"") {
+                    return Err(format!("oversized line not rejected by router: {resp}"));
+                }
+                report.error_responses += 1;
+                let line = with_id(rng.pick::<&str>(analysis_pool), 6100 + case as u64);
+                c.send_raw(format!("{line}\n").as_bytes())?;
+                report.requests_sent += 1;
+                let resp = c.read_line()?;
+                if let Some(d) = check_response(refs, &line, &resp, report) {
+                    return Err(format!("router resync after oversized line: {d}"));
+                }
+                Ok(())
+            }
+            2 => {
+                {
+                    let mut c = ChaosClient::connect(addr)?;
+                    let line = with_id(rng.pick::<&str>(analysis_pool), 6200 + case as u64);
+                    let cut = rng.range(1, line.len());
+                    c.send_raw(&line.as_bytes()[..cut])?;
+                    let _ = c.stream.shutdown(std::net::Shutdown::Both);
+                    report.disconnects += 1;
+                }
+                let mut c = ChaosClient::connect(addr)?;
+                let probe = format!("{{\"id\":{},\"kind\":\"ping\"}}\n", 6300 + case);
+                c.send_raw(probe.as_bytes())?;
+                report.requests_sent += 1;
+                let resp = c.read_line()?;
+                if !resp.contains("\"pong\":true") {
+                    return Err(format!("ping after mid-line disconnect failed: {resp}"));
+                }
+                report.ok_responses += 1;
+                Ok(())
+            }
+            _ => {
+                // Ping answers locally at the router: it must pong even
+                // while a worker is being killed.
+                let victim = rng.below(shards);
+                let killed: Vec<(usize, u64)> = kill_shard_noted(supervisor, victim, report)
+                    .map(|pre| (victim, pre))
+                    .into_iter()
+                    .collect();
+                let mut c = ChaosClient::connect(addr)?;
+                let probe = format!("{{\"id\":{},\"kind\":\"ping\"}}\n", 6400 + case);
+                c.send_raw(probe.as_bytes())?;
+                report.requests_sent += 1;
+                let resp = c.read_line()?;
+                if !resp.contains("\"pong\":true") {
+                    return Err(format!("ping during worker kill failed: {resp}"));
+                }
+                report.ok_responses += 1;
+                fleet_recovers(supervisor, &killed)?;
+                Ok(())
+            }
+        },
+        // ~10%: cluster `cache-stats` shape — router counters, one
+        // supervisor entry per shard, one worker stats object per shard.
+        80..=89 => {
+            fleet_recovers(supervisor, &[])?;
+            let mut c = ChaosClient::connect(addr)?;
+            let line = format!("{{\"id\":{},\"kind\":\"cache-stats\"}}", 7000 + case);
+            c.send_raw(format!("{line}\n").as_bytes())?;
+            report.requests_sent += 1;
+            let resp = c.read_line()?;
+            let parsed = crate::json::parse(&resp)
+                .map_err(|e| format!("cache-stats is not JSON ({e}): {resp}"))?;
+            let result = parsed
+                .get("result")
+                .ok_or_else(|| format!("cache-stats without result: {resp}"))?;
+            let cluster = result
+                .get("cluster")
+                .ok_or_else(|| format!("cluster cache-stats without `cluster`: {resp}"))?;
+            if cluster.get("shards").and_then(|v| v.as_u64()) != Some(shards as u64) {
+                return Err(format!("cluster.shards != {shards}: {resp}"));
+            }
+            let sup = cluster
+                .get("supervisor")
+                .and_then(|v| v.as_array().map(|a| a.len()))
+                .ok_or_else(|| format!("cluster.supervisor missing: {resp}"))?;
+            if sup != shards {
+                return Err(format!(
+                    "cluster.supervisor has {sup} entries, want {shards}"
+                ));
+            }
+            let workers = result
+                .get("workers")
+                .and_then(|v| v.as_array().map(|a| a.len()))
+                .ok_or_else(|| format!("cluster cache-stats without workers: {resp}"))?;
+            if workers != shards {
+                return Err(format!("workers has {workers} entries, want {shards}"));
+            }
+            if cluster
+                .get("router")
+                .and_then(|r| r.get("routed_total"))
+                .is_none()
+            {
+                return Err(format!("cluster.router counters missing: {resp}"));
+            }
+            report.ok_responses += 1;
+            Ok(())
+        }
+        // ~10%: kill, then fire the next request immediately — the worst
+        // window for the router (endpoint still published, conn refused or
+        // reset). Must hedge or shed, never hang or garble.
+        _ => {
+            let victim = rng.below(shards);
+            let killed: Vec<(usize, u64)> = kill_shard_noted(supervisor, victim, report)
+                .map(|pre| (victim, pre))
+                .into_iter()
+                .collect();
+            let line = with_id(rng.pick::<&str>(analysis_pool), 8000 + case as u64);
+            let mut c = ChaosClient::connect(addr)?;
+            c.send_raw(format!("{line}\n").as_bytes())?;
+            report.requests_sent += 1;
+            let resp = c.read_line()?;
+            if let Some(d) = check_response(refs, &line, &resp, report) {
+                return Err(format!(
+                    "request straight after kill of shard {victim}: {d}"
+                ));
+            }
+            fleet_recovers(supervisor, &killed)?;
+            Ok(())
         }
     }
 }

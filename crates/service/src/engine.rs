@@ -47,6 +47,11 @@ pub struct EngineConfig {
     /// batch mode it stays idle (batch is closed-loop and bounded by the
     /// pool size already).
     pub admission: AdmissionConfig,
+    /// Shard identity when this engine is one worker of a sharded cluster
+    /// (`mpidfa serve --shards N`); surfaced in `cache-stats` so a worker's
+    /// answers are attributable through the router. `None` outside a
+    /// cluster.
+    pub shard_id: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -55,6 +60,7 @@ impl Default for EngineConfig {
             cache_capacity: 256,
             cache_dir: None,
             admission: AdmissionConfig::default(),
+            shard_id: None,
         }
     }
 }
@@ -68,6 +74,9 @@ pub struct Engine {
     /// The startup integrity pass over the disk store (`None` without
     /// `--cache-dir`), reported by `cache-stats`.
     fsck: Option<FsckReport>,
+    /// Cluster shard identity, echoed in `cache-stats` (see
+    /// [`EngineConfig::shard_id`]).
+    shard_id: Option<u64>,
 }
 
 impl Engine {
@@ -83,6 +92,7 @@ impl Engine {
             caches: ServiceCaches::new(config.cache_capacity, disk),
             admission: AdmissionControl::new(config.admission),
             fsck,
+            shard_id: config.shard_id,
         })
     }
 
@@ -253,8 +263,12 @@ impl Engine {
                 f.scanned, f.valid, f.quarantined, f.removed_tmp
             ),
         };
+        let shard = match self.shard_id {
+            None => "null".to_string(),
+            Some(id) => id.to_string(),
+        };
         format!(
-            "{{\"admission\":{admission},\"caches\":{{\"ir\":{},\"proccfg\":{},\
+            "{{\"shard\":{shard},\"admission\":{admission},\"caches\":{{\"ir\":{},\"proccfg\":{},\
              \"result\":{},\"disk\":{disk}}},\"fsck\":{fsck}}}",
             layer(&self.caches.irs.counters().snapshot()),
             layer(&self.caches.cfgs.counters().snapshot()),

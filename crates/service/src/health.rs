@@ -1,0 +1,253 @@
+//! Worker health probing for the supervised cluster (`mpidfa serve
+//! --shards N`).
+//!
+//! The supervisor in [`crate::supervisor`] learns about worker *exit*
+//! from `wait(2)`; this module covers the other failure mode — a worker
+//! process that is alive but no longer answering (deadlocked thread pool,
+//! stuck syscall, livelock). Each shard gets a dedicated health
+//! connection on which the supervisor sends a `ping` every
+//! [`HealthConfig::interval`]; `ping` is exempt from admission control
+//! (see [`crate::server`]), so a merely *busy* worker always pongs and
+//! only a genuinely wedged one misses. After
+//! [`HealthConfig::miss_budget`] consecutive misses the verdict is
+//! [`HealthVerdict::Hung`] and the supervisor SIGKILLs + restarts the
+//! worker like any other death.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Probe cadence and patience for one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Time between pings on the dedicated health connection.
+    pub interval: Duration,
+    /// Per-ping budget covering dial + write + read of the pong.
+    pub timeout: Duration,
+    /// Consecutive missed pongs before the worker is declared hung.
+    pub miss_budget: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            interval: Duration::from_millis(500),
+            timeout: Duration::from_secs(2),
+            miss_budget: 3,
+        }
+    }
+}
+
+/// Outcome of one probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthVerdict {
+    /// The worker ponged within the timeout (round-trip time attached).
+    Healthy(Duration),
+    /// The probe failed but the miss budget is not yet exhausted.
+    Miss,
+    /// [`HealthConfig::miss_budget`] consecutive probes failed: the
+    /// worker must be killed and restarted.
+    Hung,
+}
+
+/// One standalone ping round-trip (dial, `{"kind":"ping"}`, read pong).
+/// Used by `wait_healthy`-style probes that do not keep a connection.
+pub fn ping(addr: SocketAddr, timeout: Duration) -> Result<Duration, String> {
+    let start = Instant::now();
+    let stream =
+        TcpStream::connect_timeout(&addr, timeout).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = open_health_stream(stream, timeout)?;
+    ping_on(&mut reader, start)
+}
+
+/// A dedicated, persistent health connection to one worker. The
+/// connection is (re)dialed lazily, and dropped + redialed whenever the
+/// worker's address changes (i.e. after a supervisor restart) or any I/O
+/// on it fails.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    conn: Option<(SocketAddr, BufReader<TcpStream>)>,
+    misses: u32,
+    last_pong: Option<Instant>,
+}
+
+impl HealthMonitor {
+    pub fn new(cfg: HealthConfig) -> Self {
+        HealthMonitor {
+            cfg,
+            conn: None,
+            misses: 0,
+            last_pong: None,
+        }
+    }
+
+    /// Forget connection state and the miss counter — called by the
+    /// supervisor right after it (re)starts a worker so old misses never
+    /// count against the fresh process.
+    pub fn reset(&mut self) {
+        self.conn = None;
+        self.misses = 0;
+        self.last_pong = None;
+    }
+
+    /// Age of the most recent successful pong, if any.
+    pub fn last_pong_age(&self) -> Option<Duration> {
+        self.last_pong.map(|t| t.elapsed())
+    }
+
+    /// Run one probe against the worker at `addr`.
+    pub fn check(&mut self, addr: SocketAddr) -> HealthVerdict {
+        // Redial if we have no connection or the worker moved.
+        if self.conn.as_ref().map(|(a, _)| *a) != Some(addr) {
+            self.conn = None;
+            match TcpStream::connect_timeout(&addr, self.cfg.timeout) {
+                Ok(stream) => match open_health_stream(stream, self.cfg.timeout) {
+                    Ok(reader) => self.conn = Some((addr, reader)),
+                    Err(_) => return self.miss(),
+                },
+                Err(_) => return self.miss(),
+            }
+        }
+        let start = Instant::now();
+        let result = {
+            let (_, reader) = self.conn.as_mut().expect("dialed above");
+            ping_on(reader, start)
+        };
+        match result {
+            Ok(rtt) => {
+                self.misses = 0;
+                self.last_pong = Some(Instant::now());
+                HealthVerdict::Healthy(rtt)
+            }
+            Err(_) => {
+                // A broken health connection is indistinguishable from a
+                // wedged worker until the redial on the next probe fails
+                // too — that is what the miss budget is for.
+                self.conn = None;
+                self.miss()
+            }
+        }
+    }
+
+    fn miss(&mut self) -> HealthVerdict {
+        self.misses += 1;
+        if self.misses >= self.cfg.miss_budget {
+            HealthVerdict::Hung
+        } else {
+            HealthVerdict::Miss
+        }
+    }
+}
+
+fn open_health_stream(
+    stream: TcpStream,
+    timeout: Duration,
+) -> Result<BufReader<TcpStream>, String> {
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    let _ = stream.set_nodelay(true);
+    Ok(BufReader::new(stream))
+}
+
+fn ping_on(reader: &mut BufReader<TcpStream>, start: Instant) -> Result<Duration, String> {
+    writeln!(reader.get_mut(), "{{\"id\":0,\"kind\":\"ping\"}}").map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    if n == 0 {
+        return Err("health connection closed".into());
+    }
+    if line.contains("\"pong\":true") {
+        Ok(start.elapsed())
+    } else {
+        Err(format!("unexpected pong: {}", line.trim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::server::Server;
+    use std::sync::Arc;
+
+    fn start_worker() -> (SocketAddr, std::thread::JoinHandle<Result<(), String>>) {
+        let engine = Arc::new(Engine::new(EngineConfig::default()).unwrap());
+        let server = Server::bind(engine, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+        (addr, handle)
+    }
+
+    fn stop_worker(addr: SocketAddr) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        writeln!(s, "{{\"id\":0,\"kind\":\"shutdown\"}}").unwrap();
+        let mut line = String::new();
+        let _ = BufReader::new(s).read_line(&mut line);
+    }
+
+    #[test]
+    fn ping_round_trips_against_a_live_worker() {
+        let (addr, handle) = start_worker();
+        let rtt = ping(addr, Duration::from_secs(5)).unwrap();
+        assert!(rtt < Duration::from_secs(5));
+        stop_worker(addr);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn monitor_reuses_its_connection_and_tracks_pong_age() {
+        let (addr, handle) = start_worker();
+        let mut mon = HealthMonitor::new(HealthConfig::default());
+        for _ in 0..3 {
+            assert!(matches!(mon.check(addr), HealthVerdict::Healthy(_)));
+        }
+        assert!(mon.last_pong_age().unwrap() < Duration::from_secs(1));
+        stop_worker(addr);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn unresponsive_endpoint_exhausts_the_miss_budget() {
+        // A listener that accepts but never answers: every probe burns its
+        // read timeout and counts as a miss.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for stream in listener.incoming().take(3) {
+                held.push(stream);
+            }
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let mut mon = HealthMonitor::new(HealthConfig {
+            interval: Duration::from_millis(10),
+            timeout: Duration::from_millis(50),
+            miss_budget: 3,
+        });
+        assert_eq!(mon.check(addr), HealthVerdict::Miss);
+        assert_eq!(mon.check(addr), HealthVerdict::Miss);
+        assert_eq!(mon.check(addr), HealthVerdict::Hung);
+        let _ = hold.join();
+    }
+
+    #[test]
+    fn dead_endpoint_is_a_miss_not_a_panic() {
+        // Bind then drop to get an address nobody listens on.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut mon = HealthMonitor::new(HealthConfig {
+            miss_budget: 2,
+            timeout: Duration::from_millis(100),
+            ..Default::default()
+        });
+        assert_eq!(mon.check(addr), HealthVerdict::Miss);
+        assert_eq!(mon.check(addr), HealthVerdict::Hung);
+    }
+}

@@ -32,27 +32,49 @@
 //! * [`chaos`] — the seeded service-layer fault harness: partial I/O,
 //!   disconnects, stalls, corrupted cache files, and burst load against
 //!   an in-process server, asserting structured-errors-only and
-//!   byte-identical successful payloads.
+//!   byte-identical successful payloads; extended with cluster
+//!   scenarios (worker SIGKILL, restart storms, brownouts) against a
+//!   real supervised fleet.
+//! * [`supervisor`] — the worker-fleet supervisor behind `mpidfa serve
+//!   --shards N`: one OS process per shard, death detection (exit,
+//!   `kill -9`, hang via missed health pings) and capped-exponential-
+//!   backoff restarts.
+//! * [`health`] — dedicated-connection worker health probing (`ping` is
+//!   admission-exempt, so a busy worker pongs and only a wedged one
+//!   misses).
+//! * [`router`] — the consistent-hash request router: forwards raw
+//!   lines to the owning shard, retries/hedges idempotent requests
+//!   around dead workers, respects shed brownout windows, and degrades
+//!   to a structured `overloaded` when out of candidates.
 //!
 //! The wire protocol and cache-key contract are specified in
 //! `docs/SERVING.md`; the overload/failure semantics in its
-//! "Overload & failure semantics" section.
+//! "Overload & failure semantics" section and the cluster behavior in
+//! its "Cluster topology & failure semantics" section.
 
 pub mod admission;
 pub mod cache;
 pub mod chaos;
 pub mod engine;
+pub mod health;
 pub mod json;
 pub mod proto;
+pub mod router;
 pub mod sched;
 pub mod server;
+pub mod supervisor;
 
 pub use admission::{AdmissionConfig, AdmissionControl, AdmissionSnapshot, Permit};
-pub use cache::{ServiceCaches, CACHE_SCHEMA_VERSION};
-pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
+pub use cache::{routing_key, ServiceCaches, CACHE_SCHEMA_VERSION};
+pub use chaos::{run_chaos, run_cluster_chaos, ChaosConfig, ChaosReport, ClusterChaosConfig};
 pub use engine::{Engine, EngineConfig};
+pub use health::{HealthConfig, HealthMonitor, HealthVerdict};
 pub use proto::{
     parse_request, render_err, render_ok, CacheStatus, ProtoError, Request, RequestKind,
 };
+pub use router::{
+    serve_cluster, Cluster, ClusterConfig, HashRing, RouterConfig, RouterHandler, RouterStats,
+};
 pub use sched::run_batch;
-pub use server::{serve, serve_with, Server, ServerConfig};
+pub use server::{serve, serve_with, EngineLineHandler, LineHandler, Server, ServerConfig};
+pub use supervisor::{BackoffConfig, ShardSnapshot, ShardTable, Supervisor, WorkerSpec};

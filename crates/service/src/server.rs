@@ -64,12 +64,110 @@ impl Default for ServerConfig {
     }
 }
 
+/// One line in, one line out: the pluggable request brain behind the
+/// socket loop. [`EngineLineHandler`] is the single-box worker
+/// (admission + engine); the cluster router in [`crate::router`] is a
+/// second implementation that forwards lines to sharded workers. Both
+/// inherit the same socket robustness contract (oversize resync, idle
+/// reaping, connection cap, shutdown drain) from [`Server`] for free.
+pub trait LineHandler: Send + Sync + 'static {
+    /// Answer one trimmed, non-empty request line. Returns the response
+    /// line (no trailing newline) and whether this line asked the server
+    /// to shut down (the returned response is the acknowledgement).
+    fn answer(&self, line: &str) -> (String, bool);
+
+    /// The single structured line answered to a connection rejected at
+    /// the connection cap before it is closed.
+    fn connection_overloaded(&self, max_connections: usize) -> String {
+        let e = ProtoError::new(
+            "overloaded",
+            format!("connection limit {max_connections} reached; retry later"),
+        )
+        .with_retry_after(crate::admission::AdmissionConfig::default().retry_after_ms);
+        render_err(0, &e)
+    }
+}
+
+/// The single-process worker brain: admission control in front of the
+/// shared [`Engine`], panics caught per request.
+#[derive(Debug)]
+pub struct EngineLineHandler {
+    engine: Arc<Engine>,
+}
+
+impl EngineLineHandler {
+    pub fn new(engine: Arc<Engine>) -> Self {
+        EngineLineHandler { engine }
+    }
+
+    /// The wrapped engine (tests and the CLI reach caches through this).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+}
+
+impl LineHandler for EngineLineHandler {
+    /// Analysis kinds pass admission control first: a shed answers a
+    /// structured `overloaded` error with the retry hint; an admitted
+    /// request runs under the current governor tier floor, holding its
+    /// in-flight permit until the response is computed. Control verbs
+    /// (`ping`, `shutdown`, `cache-stats`) skip admission — health checks
+    /// and introspection must keep answering precisely when the server is
+    /// busiest.
+    fn answer(&self, line: &str) -> (String, bool) {
+        let engine = &self.engine;
+        match parse_request(line) {
+            Err(e) => (render_err(0, &e), false),
+            Ok(req) => {
+                let resp = match req.kind {
+                    RequestKind::Ping | RequestKind::Shutdown | RequestKind::CacheStats => {
+                        engine.handle(&req)
+                    }
+                    _ => match engine.admission().try_admit() {
+                        Err(shed) => render_err(
+                            req.id,
+                            &ProtoError::new(
+                                "overloaded",
+                                "server at max in-flight requests; retry later",
+                            )
+                            .with_retry_after(shed.retry_after_ms),
+                        ),
+                        Ok(_permit) => {
+                            // The permit is held across the compute; the
+                            // floor is sampled once so the whole request
+                            // runs one consistent configuration.
+                            let floor = engine.admission().tier_floor();
+                            catch_unwind(AssertUnwindSafe(|| engine.handle_with_floor(&req, floor)))
+                                .unwrap_or_else(|_| {
+                                    render_err(
+                                        req.id,
+                                        &ProtoError::new("internal", "analysis worker panicked"),
+                                    )
+                                })
+                        }
+                    },
+                };
+                (resp, req.kind == RequestKind::Shutdown)
+            }
+        }
+    }
+
+    fn connection_overloaded(&self, max_connections: usize) -> String {
+        let e = ProtoError::new(
+            "overloaded",
+            format!("connection limit {max_connections} reached; retry later"),
+        )
+        .with_retry_after(self.engine.admission().config().retry_after_ms);
+        render_err(0, &e)
+    }
+}
+
 /// A bound-but-not-yet-running server. Splitting bind from run lets the
 /// caller learn the actual address (port 0 ⇒ ephemeral) before blocking.
 #[derive(Debug)]
-pub struct Server {
+pub struct Server<H: LineHandler = EngineLineHandler> {
     listener: TcpListener,
-    engine: Arc<Engine>,
+    handler: Arc<H>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
 }
@@ -87,10 +185,21 @@ impl Server {
         addr: &str,
         config: ServerConfig,
     ) -> Result<Server, String> {
+        Server::bind_handler(Arc::new(EngineLineHandler::new(engine)), addr, config)
+    }
+}
+
+impl<H: LineHandler> Server<H> {
+    /// Bind with an explicit request brain (the cluster router uses this).
+    pub fn bind_handler(
+        handler: Arc<H>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> Result<Server<H>, String> {
         let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
         Ok(Server {
             listener,
-            engine,
+            handler,
             shutdown: Arc::new(AtomicBool::new(false)),
             config,
         })
@@ -127,16 +236,13 @@ impl Server {
             if registry.lock().unwrap().len() >= self.config.max_connections {
                 // Over the connection cap: one structured line, then close.
                 // Best-effort — the client may already be gone.
-                let e = ProtoError::new(
-                    "overloaded",
-                    format!(
-                        "connection limit {} reached; retry later",
-                        self.config.max_connections
-                    ),
-                )
-                .with_retry_after(self.engine.admission().config().retry_after_ms);
                 let _ = stream.set_write_timeout(Some(self.config.write_timeout));
-                let _ = writeln!(stream, "{}", render_err(0, &e));
+                let _ = writeln!(
+                    stream,
+                    "{}",
+                    self.handler
+                        .connection_overloaded(self.config.max_connections)
+                );
                 if telemetry::is_enabled() {
                     telemetry::metric_add("service_connections_rejected_total", 1.0);
                 }
@@ -147,7 +253,7 @@ impl Server {
             if let Ok(clone) = stream.try_clone() {
                 registry.lock().unwrap().insert(id, clone);
             }
-            let engine = Arc::clone(&self.engine);
+            let handler = Arc::clone(&self.handler);
             let shutdown = Arc::clone(&self.shutdown);
             let registry2 = Arc::clone(&registry);
             let config = self.config;
@@ -155,7 +261,7 @@ impl Server {
                 let mut span = telemetry::span("service", "connection");
                 span.arg("peer", peer.to_string());
                 // I/O errors here mean the client vanished; nothing to do.
-                let _ = serve_connection(&engine, stream, &shutdown, addr, &config);
+                let _ = serve_connection(handler.as_ref(), stream, &shutdown, addr, &config);
                 registry2.lock().unwrap().remove(&id);
             }));
         }
@@ -191,8 +297,8 @@ pub fn serve_with(engine: Arc<Engine>, addr: &str, config: ServerConfig) -> Resu
 /// Serve one connection. Returns `Ok(true)` iff this connection requested
 /// shutdown (in which case the flag is already set and the acceptor has
 /// been woken).
-fn serve_connection(
-    engine: &Engine,
+fn serve_connection<H: LineHandler>(
+    handler: &H,
     mut stream: TcpStream,
     shutdown: &Arc<AtomicBool>,
     server_addr: SocketAddr,
@@ -220,7 +326,7 @@ fn serve_connection(
                 skip_to_newline = false; // this newline ends the giant line
                 continue;
             }
-            if answer_line(engine, &mut stream, &line_bytes)? {
+            if answer_line(handler, &mut stream, &line_bytes)? {
                 shutdown.store(true, Ordering::SeqCst);
                 // Wake the acceptor if it is parked in `accept`.
                 let _ = TcpStream::connect(server_addr);
@@ -247,7 +353,7 @@ fn serve_connection(
                 // newline — answer it, then close.
                 if !buf.is_empty() && !skip_to_newline {
                     let line = std::mem::take(&mut buf);
-                    if answer_line(engine, &mut stream, &line)? {
+                    if answer_line(handler, &mut stream, &line)? {
                         shutdown.store(true, Ordering::SeqCst);
                         let _ = TcpStream::connect(server_addr);
                         return Ok(true);
@@ -277,17 +383,11 @@ fn serve_connection(
     }
 }
 
-/// Answer one raw line. Returns `Ok(true)` iff the line was a valid
-/// `shutdown` request (already acknowledged on the stream).
-///
-/// Analysis kinds pass admission control first: a shed answers a
-/// structured `overloaded` error with the retry hint; an admitted request
-/// runs under the current governor tier floor, holding its in-flight
-/// permit until the response is computed. Control verbs (`ping`,
-/// `shutdown`, `cache-stats`) skip admission — health checks and
-/// introspection must keep answering precisely when the server is busiest.
-fn answer_line(
-    engine: &Engine,
+/// Answer one raw line through the handler. Returns `Ok(true)` iff the
+/// line was a valid `shutdown` request (already acknowledged on the
+/// stream).
+fn answer_line<H: LineHandler>(
+    handler: &H,
     stream: &mut TcpStream,
     line_bytes: &[u8],
 ) -> std::io::Result<bool> {
@@ -296,44 +396,9 @@ fn answer_line(
     if line.trim().is_empty() {
         return Ok(false);
     }
-    match parse_request(line) {
-        Err(e) => {
-            writeln!(stream, "{}", render_err(0, &e))?;
-            Ok(false)
-        }
-        Ok(req) => {
-            let resp = match req.kind {
-                RequestKind::Ping | RequestKind::Shutdown | RequestKind::CacheStats => {
-                    engine.handle(&req)
-                }
-                _ => match engine.admission().try_admit() {
-                    Err(shed) => render_err(
-                        req.id,
-                        &ProtoError::new(
-                            "overloaded",
-                            "server at max in-flight requests; retry later",
-                        )
-                        .with_retry_after(shed.retry_after_ms),
-                    ),
-                    Ok(_permit) => {
-                        // The permit is held across the compute; the floor
-                        // is sampled once so the whole request runs one
-                        // consistent configuration.
-                        let floor = engine.admission().tier_floor();
-                        catch_unwind(AssertUnwindSafe(|| engine.handle_with_floor(&req, floor)))
-                            .unwrap_or_else(|_| {
-                                render_err(
-                                    req.id,
-                                    &ProtoError::new("internal", "analysis worker panicked"),
-                                )
-                            })
-                    }
-                },
-            };
-            writeln!(stream, "{resp}")?;
-            Ok(req.kind == RequestKind::Shutdown)
-        }
-    }
+    let (resp, wants_shutdown) = handler.answer(line);
+    writeln!(stream, "{resp}")?;
+    Ok(wants_shutdown)
 }
 
 #[cfg(test)]

@@ -1,0 +1,698 @@
+//! Worker-fleet supervision for the sharded service (`mpidfa serve
+//! --shards N`).
+//!
+//! The supervisor owns one OS process per shard, each an ordinary
+//! single-box `mpidfa serve` worker bound to an ephemeral port. Per
+//! shard it runs a supervision loop that
+//!
+//! * spawns the worker and learns its address from the `listening on
+//!   ADDR` stdout banner (the same contract the CI smoke client uses),
+//! * publishes `(addr, epoch)` into the shared [`ShardTable`] the router
+//!   reads on every request,
+//! * detects death three ways — process exit (`try_wait`), `kill -9`
+//!   (same), and *hangs* via missed health pings on a dedicated
+//!   connection (see [`crate::health`]; a hung worker is SIGKILLed), and
+//! * restarts with **capped exponential backoff**: the delay doubles
+//!   from [`BackoffConfig::base`] up to [`BackoffConfig::cap`] and
+//!   resets once a worker survives [`BackoffConfig::reset_after`], so a
+//!   crash loop cannot become a fork bomb while a one-off crash restarts
+//!   almost immediately.
+//!
+//! Losing a worker never loses answers: all workers of one cluster share
+//! the crash-only `--cache-dir` disk store (atomic tmp+rename frames,
+//! see `core::cache`), so entries written before a kill serve as hits
+//! from the restarted process — recomputation is the fallback, not the
+//! rule, which matters because recomputing non-separable MPI data-flow
+//! results is exactly the expensive case.
+
+use crate::health::{HealthConfig, HealthMonitor, HealthVerdict};
+use mpi_dfa_core::telemetry;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Restart-delay policy for one shard's supervision loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// First restart delay.
+    pub base: Duration,
+    /// Ceiling the delay doubles up to.
+    pub cap: Duration,
+    /// A worker that stays up at least this long resets the delay to
+    /// `base` (the crash was not part of a loop).
+    pub reset_after: Duration,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            reset_after: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Everything needed to (re)spawn one worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerSpec {
+    /// Worker binary — in production the running `mpidfa` executable.
+    pub program: PathBuf,
+    /// Leading arguments (`serve` plus pass-through flags like
+    /// `--cache-dir`). The supervisor appends `--shard-id I --addr
+    /// 127.0.0.1:0` per spawn.
+    pub args: Vec<String>,
+    /// How long to wait for the `listening on ADDR` banner before the
+    /// spawn counts as failed.
+    pub start_timeout: Duration,
+    /// How long a graceful stop waits for a worker to drain after the
+    /// `shutdown` verb before falling back to SIGKILL.
+    pub stop_grace: Duration,
+    pub backoff: BackoffConfig,
+    pub health: HealthConfig,
+}
+
+impl WorkerSpec {
+    /// A spec running `program` with `args`, default timings.
+    pub fn new(program: impl Into<PathBuf>, args: Vec<String>) -> Self {
+        WorkerSpec {
+            program: program.into(),
+            args,
+            start_timeout: Duration::from_secs(10),
+            stop_grace: Duration::from_secs(2),
+            backoff: BackoffConfig::default(),
+            health: HealthConfig::default(),
+        }
+    }
+}
+
+/// Point-in-time public view of one shard, rendered into `cache-stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    pub shard: usize,
+    /// A worker is currently published (spawned and bannered).
+    pub alive: bool,
+    pub addr: Option<SocketAddr>,
+    /// Bumped on every successful (re)start; the router uses it to
+    /// invalidate pooled connections to a dead incarnation.
+    pub epoch: u64,
+    /// Successful starts beyond the first.
+    pub restarts: u64,
+    /// Delay that preceded (or will precede) the most recent restart.
+    pub last_backoff_ms: u64,
+    /// Age of the newest health pong, `None` before the first.
+    pub ping_age_ms: Option<u64>,
+    /// Workers SIGKILLed after exhausting the health miss budget.
+    pub health_kills: u64,
+    /// Spawn attempts that produced no usable banner.
+    pub spawn_failures: u64,
+}
+
+#[derive(Debug, Default)]
+struct ShardSlot {
+    addr: Option<SocketAddr>,
+    epoch: u64,
+    starts: u64,
+    last_backoff_ms: u64,
+    last_pong: Option<Instant>,
+    health_kills: u64,
+    spawn_failures: u64,
+}
+
+/// Shared supervisor → router state: who is where, and which incarnation.
+#[derive(Debug)]
+pub struct ShardTable {
+    slots: Vec<Mutex<ShardSlot>>,
+}
+
+impl ShardTable {
+    fn new(shards: usize) -> Arc<ShardTable> {
+        Arc::new(ShardTable {
+            slots: (0..shards)
+                .map(|_| Mutex::new(ShardSlot::default()))
+                .collect(),
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Current endpoint of a shard: `(addr, epoch)`, or `None` while it
+    /// is down or restarting.
+    pub fn endpoint(&self, shard: usize) -> Option<(SocketAddr, u64)> {
+        let slot = self.slots[shard].lock().unwrap();
+        slot.addr.map(|a| (a, slot.epoch))
+    }
+
+    pub fn all_alive(&self) -> bool {
+        self.slots.iter().all(|s| s.lock().unwrap().addr.is_some())
+    }
+
+    pub fn snapshot(&self, shard: usize) -> ShardSnapshot {
+        let slot = self.slots[shard].lock().unwrap();
+        ShardSnapshot {
+            shard,
+            alive: slot.addr.is_some(),
+            addr: slot.addr,
+            epoch: slot.epoch,
+            restarts: slot.starts.saturating_sub(1),
+            last_backoff_ms: slot.last_backoff_ms,
+            ping_age_ms: slot
+                .last_pong
+                .map(|t| t.elapsed().as_millis().min(u64::MAX as u128) as u64),
+            health_kills: slot.health_kills,
+            spawn_failures: slot.spawn_failures,
+        }
+    }
+
+    pub fn snapshots(&self) -> Vec<ShardSnapshot> {
+        (0..self.len()).map(|i| self.snapshot(i)).collect()
+    }
+
+    fn publish(&self, shard: usize, addr: SocketAddr) -> u64 {
+        let mut slot = self.slots[shard].lock().unwrap();
+        slot.addr = Some(addr);
+        slot.epoch += 1;
+        slot.starts += 1;
+        slot.last_pong = Some(Instant::now());
+        slot.starts
+    }
+
+    fn mark_down(&self, shard: usize) {
+        self.slots[shard].lock().unwrap().addr = None;
+    }
+
+    fn set_backoff(&self, shard: usize, d: Duration) {
+        self.slots[shard].lock().unwrap().last_backoff_ms =
+            d.as_millis().min(u64::MAX as u128) as u64;
+    }
+
+    fn note_pong(&self, shard: usize) {
+        self.slots[shard].lock().unwrap().last_pong = Some(Instant::now());
+    }
+
+    fn note_health_kill(&self, shard: usize) {
+        self.slots[shard].lock().unwrap().health_kills += 1;
+    }
+
+    fn note_spawn_failure(&self, shard: usize) {
+        self.slots[shard].lock().unwrap().spawn_failures += 1;
+    }
+}
+
+#[cfg(test)]
+impl ShardTable {
+    /// A table with fixed endpoints and no supervisor behind it — lets
+    /// router unit tests use in-process servers as "workers".
+    pub(crate) fn fixed(endpoints: &[Option<SocketAddr>]) -> Arc<ShardTable> {
+        let table = ShardTable::new(endpoints.len());
+        for (shard, ep) in endpoints.iter().enumerate() {
+            if let Some(addr) = ep {
+                table.publish(shard, *addr);
+            }
+        }
+        table
+    }
+
+    pub(crate) fn test_mark_down(&self, shard: usize) {
+        self.mark_down(shard);
+    }
+}
+
+/// Why one worker incarnation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ended {
+    /// The process exited (or was SIGKILLed) on its own.
+    Died,
+    /// The health monitor declared it hung; we killed it.
+    Hung,
+    /// The supervisor is stopping.
+    Stopping,
+}
+
+/// The supervised fleet. `start` spawns one supervision thread per
+/// shard and returns immediately; workers come up asynchronously and
+/// appear in the [`ShardTable`].
+#[derive(Debug)]
+pub struct Supervisor {
+    table: Arc<ShardTable>,
+    stop: Arc<AtomicBool>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    children: Vec<Arc<Mutex<Option<Child>>>>,
+}
+
+impl Supervisor {
+    pub fn start(shards: usize, spec: WorkerSpec) -> Result<Arc<Supervisor>, String> {
+        if shards == 0 {
+            return Err("--shards must be at least 1".into());
+        }
+        let table = ShardTable::new(shards);
+        let stop = Arc::new(AtomicBool::new(false));
+        let children: Vec<Arc<Mutex<Option<Child>>>> =
+            (0..shards).map(|_| Arc::new(Mutex::new(None))).collect();
+        let mut threads = Vec::new();
+        for (shard, child) in children.iter().enumerate() {
+            let spec = spec.clone();
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            let cell = Arc::clone(child);
+            threads.push(std::thread::spawn(move || {
+                supervise_shard(shard, &spec, &table, &stop, &cell);
+            }));
+        }
+        Ok(Arc::new(Supervisor {
+            table,
+            stop,
+            threads: Mutex::new(threads),
+            children,
+        }))
+    }
+
+    pub fn table(&self) -> &Arc<ShardTable> {
+        &self.table
+    }
+
+    /// Block until every shard is published (true) or the timeout passes
+    /// (false).
+    pub fn wait_all_healthy(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.table.all_alive() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.table.all_alive()
+    }
+
+    /// Block until `shard` is alive with an epoch strictly greater than
+    /// `after_epoch` — i.e. it has been restarted since that epoch was
+    /// observed. A `kill_shard` followed by `wait_all_healthy` alone is
+    /// racy: for one monitor tick the table still shows the dead worker
+    /// as alive, so callers must pin the epoch they expect to move past.
+    pub fn wait_restarted(&self, shard: usize, after_epoch: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let snap = self.table.snapshot(shard);
+            if snap.alive && snap.epoch > after_epoch {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// SIGKILL the current worker of `shard` (fault-injection hook used
+    /// by the cluster chaos harness; the supervision loop observes the
+    /// death and restarts per policy). Returns whether a process was
+    /// there to kill.
+    pub fn kill_shard(&self, shard: usize) -> bool {
+        let mut guard = self.children[shard].lock().unwrap();
+        match guard.as_mut() {
+            Some(child) => {
+                let _ = child.kill();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stop the fleet: ask every live worker to drain via the `shutdown`
+    /// verb, give it [`WorkerSpec::stop_grace`] (enforced by the
+    /// per-shard loop), then SIGKILL stragglers. Idempotent.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for shard in 0..self.table.len() {
+            if let Some((addr, _)) = self.table.endpoint(shard) {
+                send_shutdown_verb(addr);
+            }
+        }
+        let threads = std::mem::take(&mut *self.threads.lock().unwrap());
+        for t in threads {
+            let _ = t.join();
+        }
+        // Backstop for anything a supervision thread left behind.
+        for cell in &self.children {
+            if let Some(mut child) = cell.lock().unwrap().take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn supervise_shard(
+    shard: usize,
+    spec: &WorkerSpec,
+    table: &Arc<ShardTable>,
+    stop: &Arc<AtomicBool>,
+    cell: &Arc<Mutex<Option<Child>>>,
+) {
+    let mut backoff = spec.backoff.base;
+    let mut first_attempt = true;
+    while !stop.load(Ordering::SeqCst) {
+        if !first_attempt {
+            table.set_backoff(shard, backoff);
+            sleep_interruptible(backoff, stop);
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        first_attempt = false;
+        let started = Instant::now();
+        match spawn_worker(shard, spec) {
+            Err(e) => {
+                eprintln!("[supervisor] shard {shard}: spawn failed: {e}");
+                table.note_spawn_failure(shard);
+                if telemetry::is_enabled() {
+                    telemetry::metric_add("supervisor_spawn_failures_total", 1.0);
+                }
+                backoff = grow(backoff, &spec.backoff);
+                continue;
+            }
+            Ok((child, addr)) => {
+                *cell.lock().unwrap() = Some(child);
+                let starts = table.publish(shard, addr);
+                if starts > 1 {
+                    eprintln!(
+                        "[supervisor] shard {shard}: restarted (incarnation {starts}) on {addr}"
+                    );
+                    if telemetry::is_enabled() {
+                        telemetry::metric_add("supervisor_restarts_total", 1.0);
+                    }
+                }
+                let ended = monitor_worker(shard, addr, spec, table, stop, cell);
+                table.mark_down(shard);
+                let grace = match ended {
+                    Ended::Stopping => spec.stop_grace,
+                    Ended::Died | Ended::Hung => Duration::ZERO,
+                };
+                reap(cell, grace);
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // A worker that stayed up long enough was not crash
+                // looping: restart promptly. Otherwise double the delay.
+                backoff = if started.elapsed() >= spec.backoff.reset_after {
+                    spec.backoff.base
+                } else {
+                    grow(backoff, &spec.backoff)
+                };
+            }
+        }
+    }
+}
+
+/// Watch one worker incarnation until it dies, hangs, or we are stopping.
+fn monitor_worker(
+    shard: usize,
+    addr: SocketAddr,
+    spec: &WorkerSpec,
+    table: &Arc<ShardTable>,
+    stop: &Arc<AtomicBool>,
+    cell: &Arc<Mutex<Option<Child>>>,
+) -> Ended {
+    let mut health = HealthMonitor::new(spec.health);
+    let mut next_ping = Instant::now() + spec.health.interval;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ended::Stopping;
+        }
+        {
+            let mut guard = cell.lock().unwrap();
+            match guard.as_mut() {
+                None => return Ended::Died,
+                Some(child) => match child.try_wait() {
+                    Ok(Some(_)) | Err(_) => return Ended::Died,
+                    Ok(None) => {}
+                },
+            }
+        }
+        if Instant::now() >= next_ping {
+            next_ping = Instant::now() + spec.health.interval;
+            match health.check(addr) {
+                HealthVerdict::Healthy(_) => table.note_pong(shard),
+                HealthVerdict::Miss => {}
+                HealthVerdict::Hung => {
+                    eprintln!(
+                        "[supervisor] shard {shard}: missed {} health pings; killing",
+                        spec.health.miss_budget
+                    );
+                    table.note_health_kill(shard);
+                    if telemetry::is_enabled() {
+                        telemetry::metric_add("supervisor_health_kills_total", 1.0);
+                    }
+                    if let Some(child) = cell.lock().unwrap().as_mut() {
+                        let _ = child.kill();
+                    }
+                    return Ended::Hung;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Spawn one worker and wait for its `listening on ADDR` banner.
+fn spawn_worker(shard: usize, spec: &WorkerSpec) -> Result<(Child, SocketAddr), String> {
+    let mut cmd = Command::new(&spec.program);
+    cmd.args(&spec.args)
+        .arg("--shard-id")
+        .arg(shard.to_string())
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        // The worker's stdin is a pipe we never write to: the worker
+        // watches it for EOF (see `mpidfa serve`'s `--shard-id` mode) and
+        // exits when the supervisor process — and with it the write end —
+        // is gone. Orphaned fleets must not outlive a crashed supervisor.
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", spec.program.display()))?;
+    let stdout = child.stdout.take().ok_or("worker stdout not captured")?;
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        let _ = reader.read_line(&mut line);
+        let _ = tx.send(line);
+        // Keep draining so the worker can never block on a full stdout
+        // pipe; this thread exits on worker EOF.
+        let _ = std::io::copy(&mut reader, &mut std::io::sink());
+    });
+    let banner = match rx.recv_timeout(spec.start_timeout) {
+        Ok(line) => line,
+        Err(_) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(format!(
+                "no banner within {:?} (shard {shard})",
+                spec.start_timeout
+            ));
+        }
+    };
+    match banner
+        .trim()
+        .strip_prefix("listening on ")
+        .and_then(|a| a.parse::<SocketAddr>().ok())
+    {
+        Some(addr) => Ok((child, addr)),
+        None => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(format!(
+                "unusable banner {:?} (shard {shard})",
+                banner.trim()
+            ))
+        }
+    }
+}
+
+/// Wait up to `grace` for the child to exit on its own, then SIGKILL.
+fn reap(cell: &Arc<Mutex<Option<Child>>>, grace: Duration) {
+    let deadline = Instant::now() + grace;
+    loop {
+        {
+            let mut guard = cell.lock().unwrap();
+            match guard.as_mut() {
+                None => return,
+                Some(child) => {
+                    if matches!(child.try_wait(), Ok(Some(_)) | Err(_)) {
+                        guard.take();
+                        return;
+                    }
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if let Some(mut child) = cell.lock().unwrap().take() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+fn grow(current: Duration, cfg: &BackoffConfig) -> Duration {
+    (current * 2).min(cfg.cap)
+}
+
+fn sleep_interruptible(total: Duration, stop: &Arc<AtomicBool>) {
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline && !stop.load(Ordering::SeqCst) {
+        let left = deadline.saturating_duration_since(Instant::now());
+        std::thread::sleep(left.min(Duration::from_millis(20)));
+    }
+}
+
+/// Best-effort graceful drain request to one worker.
+fn send_shutdown_verb(addr: SocketAddr) {
+    let timeout = Duration::from_secs(1);
+    if let Ok(stream) = TcpStream::connect_timeout(&addr, timeout) {
+        let _ = stream.set_read_timeout(Some(timeout));
+        let _ = stream.set_write_timeout(Some(timeout));
+        let mut stream = stream;
+        let _ = writeln!(stream, "{{\"id\":0,\"kind\":\"shutdown\"}}");
+        let mut line = String::new();
+        let _ = BufReader::new(stream).read_line(&mut line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::server::Server;
+
+    /// A fake worker: `/bin/sh` prints the banner pointing at a real
+    /// in-process server (so health pings pong), then sleeps. SIGKILL
+    /// semantics are identical to a real worker's.
+    fn fake_spec(banner_addr: SocketAddr) -> WorkerSpec {
+        WorkerSpec {
+            program: "/bin/sh".into(),
+            args: vec![
+                "-c".into(),
+                format!("echo 'listening on {banner_addr}'; exec sleep 600"),
+            ],
+            start_timeout: Duration::from_secs(5),
+            stop_grace: Duration::from_millis(50),
+            backoff: BackoffConfig {
+                base: Duration::from_millis(10),
+                cap: Duration::from_millis(100),
+                reset_after: Duration::from_secs(1),
+            },
+            health: HealthConfig {
+                interval: Duration::from_millis(50),
+                timeout: Duration::from_millis(500),
+                miss_budget: 3,
+            },
+        }
+    }
+
+    fn start_ping_target() -> (SocketAddr, std::thread::JoinHandle<Result<(), String>>) {
+        let engine = Arc::new(Engine::new(EngineConfig::default()).unwrap());
+        let server = Server::bind(engine, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+        (addr, handle)
+    }
+
+    fn wait_for<F: Fn() -> bool>(what: &str, timeout: Duration, f: F) {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if f() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    #[test]
+    fn sigkilled_worker_is_restarted_with_a_new_epoch() {
+        let (ping_addr, server) = start_ping_target();
+        let sup = Supervisor::start(1, fake_spec(ping_addr)).unwrap();
+        assert!(sup.wait_all_healthy(Duration::from_secs(5)));
+        assert_eq!(sup.table().snapshot(0).epoch, 1);
+
+        assert!(sup.kill_shard(0));
+        wait_for("restart after SIGKILL", Duration::from_secs(5), || {
+            let s = sup.table().snapshot(0);
+            s.alive && s.epoch >= 2
+        });
+        assert_eq!(sup.table().snapshot(0).restarts, 1);
+
+        sup.stop();
+        // Stop the in-process ping target too.
+        send_shutdown_verb(ping_addr);
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn hung_worker_is_health_killed_and_restarted() {
+        // Banner points at a listener that accepts and never answers:
+        // every ping misses, so the monitor must declare the worker hung.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = listener.local_addr().unwrap();
+        let stop_accepting = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop_accepting);
+        let acceptor = std::thread::spawn(move || {
+            listener.set_nonblocking(true).unwrap();
+            let mut held = Vec::new();
+            while !stop2.load(Ordering::SeqCst) {
+                if let Ok((s, _)) = listener.accept() {
+                    held.push(s);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+
+        let sup = Supervisor::start(1, fake_spec(dead_addr)).unwrap();
+        wait_for("health kill", Duration::from_secs(10), || {
+            sup.table().snapshot(0).health_kills >= 1
+        });
+        wait_for("restart after health kill", Duration::from_secs(10), || {
+            sup.table().snapshot(0).restarts >= 1
+        });
+        sup.stop();
+        stop_accepting.store(true, Ordering::SeqCst);
+        acceptor.join().unwrap();
+    }
+
+    #[test]
+    fn spawn_failures_back_off_and_stop_is_clean() {
+        let spec = WorkerSpec {
+            program: "/nonexistent/mpidfa-worker".into(),
+            ..fake_spec("127.0.0.1:1".parse().unwrap())
+        };
+        let sup = Supervisor::start(1, spec).unwrap();
+        wait_for("spawn failures accumulate", Duration::from_secs(5), || {
+            sup.table().snapshot(0).spawn_failures >= 2
+        });
+        let snap = sup.table().snapshot(0);
+        assert!(!snap.alive);
+        assert!(snap.last_backoff_ms >= 10, "{snap:?}");
+        sup.stop();
+    }
+}

@@ -24,16 +24,28 @@ contract: `--retries N` retries `overloaded` sheds with jittered
 exponential backoff seeded from the server's `retry_after_ms` hint, and
 `--deadline-ms MS` attaches a deadline to every analysis request.
 
+With `--shards N` the same contract is asserted against a supervised
+cluster (`mpidfa serve --shards N`): cold misses and warm hits through
+the consistent-hash router with byte-identical payloads, the cluster
+`cache-stats` shape (router counters, one supervisor entry and one
+worker stats object per shard), malformed-line survival, clean shutdown
+of the whole fleet, and — after a full cluster restart onto the same
+`--cache-dir`, at a different shard count — warm *disk* hits proving the
+cache is content-addressed, not topology-addressed.
+
 Usage: python3 scripts/serve_client.py [path/to/mpidfa]
                                        [--retries N] [--deadline-ms MS]
+                                       [--shards N]
 """
 
 import argparse
 import json
 import random
+import shutil
 import socket
 import subprocess
 import sys
+import tempfile
 import time
 
 ROWS = ["Biostat", "SOR", "CG", "LU-1", "MG-1"]
@@ -96,6 +108,114 @@ def timed(client, reqs):
     return time.perf_counter() - t0, resps
 
 
+def spawn(argv):
+    """Start a daemon, return (proc, host, port) once the banner is out."""
+    proc = subprocess.Popen(argv, stdout=subprocess.PIPE, text=True)
+    banner = proc.stdout.readline().strip()
+    assert banner.startswith("listening on "), f"unexpected banner: {banner!r}"
+    host, port = banner.split()[-1].rsplit(":", 1)
+    return proc, host, int(port)
+
+
+def shutdown(client, proc):
+    r = client.rpc({"id": 999, "kind": "shutdown"})
+    assert r["ok"] and r["result"]["stopping"] is True, r
+    code = proc.wait(timeout=60)
+    assert code == 0, f"server exited with {code}"
+
+
+def cluster_main(args):
+    """`--shards N`: the cluster smoke — same wire contract, real fleet."""
+    cache_dir = tempfile.mkdtemp(prefix="mpidfa-serve-smoke-")
+    procs = []
+    try:
+        proc, host, port = spawn(
+            [args.binary, "serve", "--shards", str(args.shards),
+             "--addr", "127.0.0.1:0", "--cache-dir", cache_dir]
+        )
+        procs.append(proc)
+        c = Client(host, port, retries=args.retries)
+
+        r = c.rpc({"id": 1, "kind": "ping"})
+        assert r["ok"] and r["result"]["pong"] is True, r
+
+        # Cold through the router: the rows hash across shards, so this
+        # exercises multiple workers; every row computes.
+        cold_s, cold = timed(c, query_set(100))
+        for resp in cold:
+            assert resp["ok"], resp
+            assert resp["cache"] == "miss", resp
+
+        # Warm, same connection: all hits, byte-identical results.
+        warm_s, warm = timed(c, query_set(100))
+        for resp, cold_resp in zip(warm, cold):
+            assert resp["ok"] and resp["cache"] == "hit", resp
+            assert resp["result"] == cold_resp["result"], (
+                "warm result diverged from cold through the router"
+            )
+
+        # A second connection shares the fleet's warm caches.
+        c2 = Client(host, port, retries=args.retries)
+        r = c2.rpc({"id": 200, "kind": "table1-row", "row": ROWS[0]})
+        assert r["ok"] and r["cache"] == "hit", r
+
+        # Malformed lines: structured error, connection survives.
+        err = c.raw('{"id":5,"kind":')
+        assert err["ok"] is False and err["error"]["code"] == "parse", err
+        r = c.rpc({"id": 7, "kind": "ping"})
+        assert r["ok"], r
+
+        # Cluster cache-stats: router counters, one supervisor entry and
+        # one worker stats object (tagged with its shard id) per shard.
+        r = c.rpc({"id": 10, "kind": "cache-stats"})
+        assert r["ok"], r
+        stats = r["result"]
+        cluster = stats["cluster"]
+        assert cluster["shards"] == args.shards, stats
+        assert cluster["router"]["routed_total"] >= 2 * len(ROWS), stats
+        assert len(cluster["supervisor"]) == args.shards, stats
+        for shard in cluster["supervisor"]:
+            assert shard["alive"] is True, stats
+        workers = stats["workers"]
+        assert len(workers) == args.shards, stats
+        assert sorted(w["shard"] for w in workers if w) == list(
+            range(args.shards)
+        ), stats
+
+        # Fleet shutdown: the router acks, every worker exits with it.
+        shutdown(c2, proc)
+
+        # Cross-topology warm disk: restart on the same cache dir with a
+        # DIFFERENT shard count — first queries must already be disk hits,
+        # because the result cache is keyed by content, not by topology.
+        reshards = 1 if args.shards > 1 else 2
+        proc, host, port = spawn(
+            [args.binary, "serve", "--shards", str(reshards),
+             "--addr", "127.0.0.1:0", "--cache-dir", cache_dir]
+        )
+        procs.append(proc)
+        c = Client(host, port, retries=args.retries)
+        _, rewarm = timed(c, query_set(300))
+        for resp, cold_resp in zip(rewarm, cold):
+            assert resp["ok"] and resp["cache"] == "hit", resp
+            assert resp["result"] == cold_resp["result"], (
+                "disk-warmed result diverged across topologies"
+            )
+        shutdown(c, proc)
+
+        print(
+            f"ok [cluster {args.shards} shard(s)]: {len(ROWS)} rows cold "
+            f"{cold_s*1e3:.2f} ms, warm {warm_s*1e3:.2f} ms, cluster stats, "
+            f"warm disk across a {args.shards}->{reshards} reshard, "
+            f"clean fleet shutdown"
+        )
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("binary", nargs="?", default="target/release/mpidfa")
@@ -112,7 +232,16 @@ def main():
         default=None,
         help="attach deadline_ms to every analysis request",
     )
+    ap.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="smoke a supervised cluster of N workers instead of the "
+        "single-process daemon",
+    )
     args = ap.parse_args()
+    if args.shards is not None:
+        return cluster_main(args)
 
     proc = subprocess.Popen(
         [args.binary, "serve", "--addr", "127.0.0.1:0"],

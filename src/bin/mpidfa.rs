@@ -9,7 +9,7 @@
 //! mpidfa graph     <file.smpl> --context main [--clone N] [--matching naive|syntactic|consts]
 //! mpidfa run       <file.smpl> [--nprocs N] [--entry main] [--faults seed=N[,...]] [--schedules K]
 //! mpidfa batch     <requests.jsonl | -> [--pool N] [--cache-mem N] [--cache-dir D]
-//! mpidfa serve     [--addr 127.0.0.1:PORT] [--cache-mem N] [--cache-dir D] [--max-inflight N] [--idle-timeout-ms MS]
+//! mpidfa serve     [--addr 127.0.0.1:PORT] [--shards N] [--cache-mem N] [--cache-dir D] [--max-inflight N] [--idle-timeout-ms MS]
 //! ```
 //!
 //! Every command prints a human-readable report to stdout; parse/sema errors
@@ -444,10 +444,15 @@ fn service_engine(opts: &Opts) -> Result<mpi_dfa::service::Engine, String> {
         .transpose()?
         .map(mpi_dfa::service::AdmissionConfig::for_max_inflight)
         .unwrap_or_default();
+    let shard_id = opts
+        .value("shard-id")
+        .map(|v| v.parse().map_err(|e| format!("--shard-id: {e}")))
+        .transpose()?;
     mpi_dfa::service::Engine::new(mpi_dfa::service::EngineConfig {
         cache_capacity,
         cache_dir: opts.value("cache-dir").map(String::from),
         admission,
+        shard_id,
     })
 }
 
@@ -497,6 +502,29 @@ fn cmd_batch(opts: &Opts) -> Result<(), String> {
 /// bounds how long a silent connection holds its slot.
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let addr = opts.value("addr").unwrap_or("127.0.0.1:7117");
+    if let Some(v) = opts.value("shards") {
+        let shards: usize = v.parse().map_err(|e| format!("--shards: {e}"))?;
+        return cmd_serve_cluster(opts, shards, addr);
+    }
+    // `--shard-id` marks this process as a supervisor-managed worker: the
+    // supervisor holds the write end of our stdin pipe and never writes.
+    // EOF therefore means the supervisor process is gone, and an orphaned
+    // worker must not outlive it (crash-only exit: the disk cache's
+    // tmp+rename framing makes dying at any instant safe).
+    if opts.value("shard-id").is_some() {
+        std::thread::spawn(|| {
+            use std::io::Read as _;
+            let mut sink = [0u8; 64];
+            let mut stdin = std::io::stdin();
+            loop {
+                match stdin.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+            std::process::exit(0);
+        });
+    }
     let engine = std::sync::Arc::new(service_engine(opts)?);
     let mut config = mpi_dfa::service::ServerConfig::default();
     if let Some(v) = opts.value("idle-timeout-ms") {
@@ -504,6 +532,34 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         config.idle_timeout = std::time::Duration::from_millis(ms.max(1));
     }
     mpi_dfa::service::serve_with(engine, addr, config)
+}
+
+/// `mpidfa serve --shards N` — supervised worker fleet behind a
+/// consistent-hash router. Each worker is this same binary running plain
+/// `serve` on an ephemeral port with the cache/admission flags passed
+/// through; all workers share `--cache-dir`, so warm disk entries
+/// survive any single worker's crash. The supervisor restarts dead or
+/// hung workers with capped exponential backoff; the router
+/// retries/hedges idempotent requests around failures and sheds with a
+/// structured `overloaded` + `retry_after_ms` when out of candidates.
+fn cmd_serve_cluster(opts: &Opts, shards: usize, addr: &str) -> Result<(), String> {
+    let program = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let mut worker_args: Vec<String> = vec!["serve".into()];
+    for flag in [
+        "cache-mem",
+        "cache-dir",
+        "max-inflight",
+        "idle-timeout-ms",
+        "solver",
+    ] {
+        if let Some(v) = opts.value(flag) {
+            worker_args.push(format!("--{flag}"));
+            worker_args.push(v.to_string());
+        }
+    }
+    let worker = mpi_dfa::service::WorkerSpec::new(program, worker_args);
+    let cfg = mpi_dfa::service::ClusterConfig::new(shards, worker);
+    mpi_dfa::service::serve_cluster(cfg, addr)
 }
 
 /// Build [`RuntimeLimits`] from `mpidfa run`'s `--max-steps` and
@@ -579,13 +635,17 @@ fn usage() -> String {
        batch      <requests.jsonl | -> [--pool N] [--cache-mem N] [--cache-dir D]\n\
                   (JSONL request stream -> JSONL responses on stdout, in input\n\
                   order, byte-identical for any --pool size; see docs/SERVING.md)\n\
-       serve      [--addr 127.0.0.1:7117] [--cache-mem N] [--cache-dir D]\n\
-                  [--max-inflight N] [--idle-timeout-ms MS]\n\
+       serve      [--addr 127.0.0.1:7117] [--shards N] [--cache-mem N]\n\
+                  [--cache-dir D] [--max-inflight N] [--idle-timeout-ms MS]\n\
                   (JSONL-over-TCP daemon; prints `listening on ADDR`; stops on\n\
                   a `{\"kind\":\"shutdown\"}` request. --max-inflight derives the\n\
                   admission ladder: past the watermarks the governor tier floor\n\
                   rises, past the cap requests shed with `overloaded` +\n\
-                  retry_after_ms; see docs/SERVING.md)\n\
+                  retry_after_ms. --shards N puts a supervised fleet of N\n\
+                  worker processes behind a consistent-hash router: dead or\n\
+                  hung workers restart with capped backoff, requests hedge to\n\
+                  ring siblings, and a shared --cache-dir survives any single\n\
+                  worker's crash; see docs/SERVING.md)\n\
        run        [--nprocs N] [--entry main] [--faults SPEC] [--schedules K]\n\
                   [--max-steps N] [--recv-timeout-ms MS]\n\
                   SPEC: bare seed (`7`) or `seed=7,mode=adversarial|chaotic,\n\

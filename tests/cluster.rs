@@ -1,0 +1,181 @@
+//! Targeted acceptance tests for the supervised cluster (`mpidfa serve
+//! --shards N`): real worker processes, real SIGKILLs.
+//!
+//! The seeded fault sweep lives in `tests/cluster_chaos.rs`; these tests
+//! pin the PR's acceptance criteria one by one so a regression names the
+//! exact broken guarantee.
+
+use mpi_dfa_service::{BackoffConfig, Cluster, ClusterConfig, HealthConfig, WorkerSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One request/response round-trip with a hard read timeout: a hung
+/// cluster fails the test instead of wedging the suite.
+fn rpc(addr: SocketAddr, line: &str) -> String {
+    let stream = TcpStream::connect(addr).expect("connect to router");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    writeln!(&stream, "{line}").expect("write request");
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("read response (hang?)");
+    resp.trim_end().to_string()
+}
+
+/// The engine's determinism contract: hit ≡ miss ≡ bypass byte-wise, so
+/// the cache label is the one legitimate difference between runs.
+fn normalize(resp: &str) -> String {
+    resp.replace("\"cache\":\"hit\"", "\"cache\":\"#\"")
+        .replace("\"cache\":\"miss\"", "\"cache\":\"#\"")
+        .replace("\"cache\":\"bypass\"", "\"cache\":\"#\"")
+}
+
+/// Start a cluster of real `mpidfa serve` worker processes sharing
+/// `cache_dir`, tuned for fast restarts so tests stay quick.
+fn start_cluster(shards: usize, cache_dir: &std::path::Path) -> Cluster {
+    let mut worker = WorkerSpec::new(
+        env!("CARGO_BIN_EXE_mpidfa"),
+        vec![
+            "serve".into(),
+            "--cache-dir".into(),
+            cache_dir.to_string_lossy().into_owned(),
+            "--max-inflight".into(),
+            "8".into(),
+        ],
+    );
+    worker.backoff = BackoffConfig {
+        base: Duration::from_millis(20),
+        cap: Duration::from_millis(500),
+        reset_after: Duration::from_secs(2),
+    };
+    worker.health = HealthConfig {
+        interval: Duration::from_millis(150),
+        timeout: Duration::from_millis(1500),
+        miss_budget: 3,
+    };
+    Cluster::start(ClusterConfig::new(shards, worker), "127.0.0.1:0").expect("cluster start")
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("mpidfa-cluster-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Acceptance: a `kill -9` of one worker mid-burst never loses the daemon.
+/// The supervisor restarts it within its backoff cap, `cache-stats`
+/// reports the restart, and warm disk entries written before the kill
+/// still hit after it.
+#[test]
+fn kill_dash_nine_mid_burst_never_loses_the_daemon() {
+    let dir = tmp_dir("kill");
+    let cluster = start_cluster(3, &dir);
+    let addr = cluster.local_addr().unwrap();
+    let supervisor = cluster.supervisor();
+    let router = cluster.router();
+    let serve = std::thread::spawn(move || cluster.run());
+
+    // Prime the disk cache through the router and remember the answer.
+    let line = r#"{"id":7,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#;
+    let primed = rpc(addr, line);
+    assert!(primed.contains("\"ok\":true"), "priming failed: {primed}");
+    let owner = router.shard_for_line(line).expect("owner shard");
+    let pre_epoch = supervisor.table().snapshot(owner).epoch;
+
+    // Burst from several clients while the owner is SIGKILLed mid-flight.
+    let responses: Vec<String> = std::thread::scope(|s| {
+        let clients: Vec<_> = (0..6).map(|_| s.spawn(move || rpc(addr, line))).collect();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(supervisor.kill_shard(owner), "kill_shard({owner})");
+        clients.into_iter().map(|c| c.join().unwrap()).collect()
+    });
+    for resp in &responses {
+        // Every client gets a structured line: the primed payload
+        // (hedged or post-restart) or an overloaded shed with a hint.
+        if resp.contains("\"ok\":true") {
+            assert_eq!(normalize(resp), normalize(&primed), "payload diverged");
+        } else {
+            assert!(
+                resp.contains("\"code\":\"overloaded\"") && resp.contains("\"retry_after_ms\""),
+                "unstructured response under kill: {resp}"
+            );
+        }
+    }
+
+    // The supervisor brings the worker back within its backoff cap. (The
+    // epoch pin matters: right after the kill the table still shows the
+    // dead incarnation as alive for one monitor tick.)
+    assert!(
+        supervisor.wait_restarted(owner, pre_epoch, Duration::from_secs(15)),
+        "owner shard was not restarted: {:?}",
+        supervisor.table().snapshot(owner)
+    );
+    assert!(
+        supervisor.wait_all_healthy(Duration::from_secs(15)),
+        "fleet did not recover: {:?}",
+        supervisor.table().snapshots()
+    );
+    // ...cache-stats reports the restart...
+    let stats = rpc(addr, "{\"id\":8,\"kind\":\"cache-stats\"}");
+    let snap = supervisor.table().snapshot(owner);
+    assert!(snap.restarts >= 1, "no restart recorded: {snap:?}");
+    assert!(
+        stats.contains(&format!(
+            "\"shard\":{owner},\"alive\":true,\"epoch\":{}",
+            snap.epoch
+        )),
+        "cache-stats does not report the restarted shard: {stats}"
+    );
+    // ...and the disk entry written before the kill still hits after it.
+    let warm = rpc(addr, line);
+    assert!(
+        warm.contains("\"cache\":\"hit\""),
+        "warm entry lost: {warm}"
+    );
+    assert_eq!(normalize(&warm), normalize(&primed));
+
+    let bye = rpc(addr, "{\"id\":9,\"kind\":\"shutdown\"}");
+    assert!(bye.contains("\"stopping\":true"));
+    serve.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Acceptance: successful payloads are byte-identical at any topology —
+/// a 3-shard cluster answers exactly like a single box, hit or miss.
+#[test]
+fn one_and_three_shard_topologies_answer_byte_identically() {
+    let requests = [
+        r#"{"id":1,"kind":"ping"}"#,
+        r#"{"id":2,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#,
+        r#"{"id":3,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"],"mode":"global"}"#,
+        r#"{"id":4,"kind":"activity-at-location","program":"figure1","ind":["x"],"dep":["f"],"var":"z"}"#,
+        r#"{"id":5,"kind":"table1-row","row":"Biostat"}"#,
+        r#"{"id":6,"kind":"dot","program":"figure1"}"#,
+    ];
+    let mut answers: Vec<Vec<String>> = Vec::new();
+    for shards in [1usize, 3] {
+        let dir = tmp_dir(&format!("topo{shards}"));
+        let cluster = start_cluster(shards, &dir);
+        let addr = cluster.local_addr().unwrap();
+        let serve = std::thread::spawn(move || cluster.run());
+        // Twice each: the second pass reads hits, which must not change a
+        // single payload byte.
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            for req in &requests {
+                got.push(normalize(&rpc(addr, req)));
+            }
+        }
+        answers.push(got);
+        let _ = rpc(addr, "{\"id\":99,\"kind\":\"shutdown\"}");
+        serve.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(
+        answers[0], answers[1],
+        "1-shard and 3-shard clusters diverged"
+    );
+}

@@ -1,0 +1,83 @@
+//! The cluster-level chaos suite (acceptance gate for the fault-tolerant
+//! sharded service).
+//!
+//! Runs `CLUSTER_CHAOS_CASES` seeded scenarios (default 12 locally so the
+//! tier-1 suite stays fast; CI's `cluster-chaos-smoke` job sets 200)
+//! against a REAL supervised fleet: `mpidfa serve` worker processes behind
+//! the consistent-hash router, killed with SIGKILL mid-request, restarted
+//! under backoff, browned out under burst. Any hang, panic, unstructured
+//! error, or payload divergence from the fault-free reference fails the
+//! test; the failing seed and case index are printed so
+//! `CLUSTER_CHAOS_SEED=<seed> cargo test --test cluster_chaos` reproduces
+//! the exact run, and the failure detail is written to
+//! `target/cluster-chaos-failure.txt` for CI artifact upload.
+
+use mpi_dfa_service::{run_cluster_chaos, ClusterChaosConfig};
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_at(shards: usize, seed: u64, cases: usize) {
+    let report = run_cluster_chaos(ClusterChaosConfig {
+        seed,
+        cases,
+        shards,
+        worker_program: env!("CARGO_BIN_EXE_mpidfa").into(),
+    });
+
+    println!(
+        "cluster chaos [{shards} shard(s)]: {} cases, {} requests, {} ok, {} errors, \
+         {} sheds, {} kills, {} disconnects",
+        report.cases,
+        report.requests_sent,
+        report.ok_responses,
+        report.error_responses,
+        report.sheds,
+        report.kills,
+        report.disconnects
+    );
+
+    if let Some(f) = &report.failure {
+        let artifact = format!(
+            "cluster chaos failure\nshards: {shards}\nseed: {}\ncase: {}\ndetail:\n{}\n",
+            f.seed, f.case_index, f.detail
+        );
+        let _ = std::fs::create_dir_all("target");
+        let _ = std::fs::write("target/cluster-chaos-failure.txt", &artifact);
+        panic!(
+            "cluster chaos case {} failed at {} shard(s) under CLUSTER_CHAOS_SEED={} — \
+             reproduce with `CLUSTER_CHAOS_SEED={} CLUSTER_CHAOS_CASES={} cargo test \
+             --test cluster_chaos`\n{}",
+            f.case_index, shards, f.seed, f.seed, cases, f.detail
+        );
+    }
+
+    assert!(report.requests_sent > 0, "cluster chaos sent no requests");
+    assert!(report.ok_responses > 0, "cluster chaos saw no successes");
+}
+
+/// The degenerate one-shard ring: every fault lands on the only worker, so
+/// recovery (not hedging) carries every scenario.
+#[test]
+fn cluster_chaos_single_shard_is_clean() {
+    run_at(
+        1,
+        env_u64("CLUSTER_CHAOS_SEED", 0),
+        env_u64("CLUSTER_CHAOS_CASES", 12) as usize,
+    );
+}
+
+/// The CI topology: three shards, so kills exercise hedging and the warm
+/// shared disk cache across workers.
+#[test]
+fn cluster_chaos_three_shards_is_clean() {
+    run_at(
+        3,
+        env_u64("CLUSTER_CHAOS_SEED", 0),
+        env_u64("CLUSTER_CHAOS_CASES", 12) as usize,
+    );
+}
