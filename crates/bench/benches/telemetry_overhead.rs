@@ -14,8 +14,14 @@
 //!
 //! The bench *asserts* bound (2) at ≤ 5% — a regression that makes the
 //! disabled path allocate or lock will blow past it by orders of
-//! magnitude. The final line is a machine-readable JSON summary; the
-//! checked-in `BENCH_telemetry.json` baseline is exactly that line.
+//! magnitude.
+//!
+//! A third section guards the *always-on* serving observability: the
+//! per-request SLO accounting (cache-outcome classification, histogram
+//! record, access-line render) must stay ≤ 10% of the cheapest real
+//! request the service answers — a warm in-memory cache hit. The final
+//! line is a machine-readable JSON summary; the checked-in
+//! `BENCH_telemetry.json` baseline is exactly that line.
 
 use mpi_dfa_analyses::consts::ReachingConsts;
 use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
@@ -24,6 +30,8 @@ use mpi_dfa_core::solver::{SolveParams, Solver, Strategy};
 use mpi_dfa_core::telemetry::{self, TraceLevel};
 use mpi_dfa_graph::icfg::ProgramIr;
 use mpi_dfa_graph::mpi::MpiIcfg;
+use mpi_dfa_service::obs::AccessRecord;
+use mpi_dfa_service::{parse_request, slo, Engine, EngineConfig, SloRegistry};
 use mpi_dfa_suite::gen::{generate, GenConfig};
 use std::hint::black_box;
 use std::time::Instant;
@@ -115,12 +123,65 @@ fn bench_overhead(c: &mut Criterion) {
         "the full-level run must have recorded events"
     );
 
+    // SLO hot path: the serving layer classifies the response, records a
+    // latency sample into the log-bucketed histogram, and (when tracing)
+    // renders one access-log line — on EVERY answered request, sink on or
+    // off. That per-request cost must stay a small fraction of the
+    // cheapest request the service answers: a warm in-memory cache hit.
+    let engine = Engine::new(EngineConfig::default()).unwrap();
+    let warm_req = parse_request(r#"{"id":1,"kind":"table1-row","row":"CG"}"#).unwrap();
+    let warm_resp = engine.handle(&warm_req);
+    assert!(warm_resp.contains("\"cache\":\"miss\""), "{warm_resp:.200}");
+    let mut times = Vec::with_capacity(200);
+    let mut hit_resp = String::new();
+    for _ in 0..200 {
+        let t = Instant::now();
+        hit_resp = black_box(engine.handle(&warm_req));
+        times.push(t.elapsed().as_secs_f64() * 1e9);
+    }
+    assert!(hit_resp.contains("\"cache\":\"hit\""), "{hit_resp:.200}");
+    let warm_hit_ns = median_ns(times);
+
+    const SLO_ITERS: u32 = 100_000;
+    let reg = SloRegistry::new();
+    let t = Instant::now();
+    for i in 0..SLO_ITERS {
+        let cache = black_box(slo::cache_outcome(&hit_resp));
+        let tier = black_box(slo::tier_of(&hit_resp));
+        reg.record("table1-row", cache, "0", u64::from(i % 1024) + 1);
+        let line = AccessRecord {
+            trace: 0xfeed_0000_c1a0_u128 + u128::from(i),
+            verb: "table1-row".to_string(),
+            shard: Some(0),
+            epoch: 1,
+            attempts: 1,
+            cache: cache.to_string(),
+            tier: tier.to_string(),
+            latency_us: u64::from(i % 1024) + 1,
+        }
+        .render();
+        black_box(&line);
+    }
+    let slo_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(SLO_ITERS);
+    let slo_pct = 100.0 * slo_ns / warm_hit_ns;
+    println!(
+        "slo_hot_path: {slo_ns:.0}ns per request (histogram record + access render) \
+         vs warm hit {warm_hit_ns:.0}ns => {slo_pct:.2}% (bound 10%)"
+    );
+    assert!(
+        slo_pct <= 10.0,
+        "per-request SLO accounting costs {slo_pct:.2}% of a warm cache hit (> 10%); \
+         the histogram/access-log hot path must stay cheap"
+    );
+    assert!(reg.snapshot().values().map(|h| h.count()).sum::<u64>() == u64::from(SLO_ITERS));
+
     // Machine-readable baseline — `BENCH_telemetry.json` is this line.
     println!(
         "{{\"bench\":\"telemetry_overhead\",\"nodes\":{},\"node_visits\":{},\
          \"solver_ns_median\":{{\"disabled\":{:.0},\"spans\":{:.0},\"full\":{:.0}}},\
          \"disabled_probe_ns\":{:.2},\"disabled_overhead_bound_pct\":{:.3},\
-         \"full_level_events\":{}}}",
+         \"full_level_events\":{},\
+         \"slo_hot_path_ns\":{:.0},\"warm_hit_ns\":{:.0},\"slo_overhead_pct\":{:.3}}}",
         mpi_dfa_core::FlowGraph::num_nodes(&mpi),
         visits,
         disabled_ns,
@@ -129,6 +190,9 @@ fn bench_overhead(c: &mut Criterion) {
         probe_ns,
         guard_pct,
         full_report.events.len(),
+        slo_ns,
+        warm_hit_ns,
+        slo_pct,
     );
 }
 

@@ -53,6 +53,7 @@ pub mod budget;
 pub mod cache;
 pub mod graph;
 pub mod hash;
+pub mod hist;
 pub mod lattice;
 pub mod problem;
 pub mod scc;
@@ -64,6 +65,7 @@ pub use budget::{Budget, BudgetMeter, BudgetSpent, CancelToken, Exhaustion};
 pub use cache::{CacheCounters, CacheSnapshot, DiskStore, LruCache, SharedLru};
 pub use graph::{Edge, EdgeKind, FlowGraph, NodeId};
 pub use hash::{fnv128, fnv64, hex128, Hasher128};
+pub use hist::LogHistogram;
 pub use lattice::{BoolAnd, BoolOr, ConstLattice, MeetSemiLattice};
 pub use problem::{Dataflow, Direction};
 pub use scc::{condense, Condensation};

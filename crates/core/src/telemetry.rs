@@ -47,7 +47,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 // ---------------------------------------------------------------------------
 // Trace levels
@@ -206,6 +206,9 @@ pub struct Event {
     pub tid: u64,
     /// Microseconds since [`install`] was called.
     pub ts_us: u64,
+    /// Distributed trace id this event belongs to, when the recording
+    /// thread was inside a [`with_trace`] scope. `None` for untraced work.
+    pub trace: Option<u128>,
     /// Arguments, in insertion order (exporters preserve it).
     pub args: Vec<(&'static str, ArgValue)>,
 }
@@ -234,12 +237,17 @@ struct SinkState {
     events: Vec<Event>,
     metrics: BTreeMap<String, f64>,
     epoch: Option<Instant>,
+    /// Wall-clock microseconds since the UNIX epoch captured at the same
+    /// moment as `epoch`. `ts_us + unix_base_us` puts events from several
+    /// processes on one (same-host) timebase so cross-process traces merge.
+    unix_base_us: u64,
 }
 
 static STATE: Mutex<SinkState> = Mutex::new(SinkState {
     events: Vec::new(),
     metrics: BTreeMap::new(),
     epoch: None,
+    unix_base_us: 0,
 });
 
 /// Serialises tests (across crates) that install/finish the global sink, so
@@ -252,7 +260,61 @@ thread_local! {
     /// Stable per-thread id for Chrome trace `tid`.
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
     /// Stack of currently-open span ids on this thread (parent tracking).
-    static SPAN_STACK: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+    // Each open span's id plus the trace it was recorded under: the trace
+    // id lets a new span tell whether its local parent belongs to the same
+    // distributed trace (if not, it is the trace's entry span in this
+    // process and must record the cross-process `remote_parent` link).
+    static SPAN_STACK: std::cell::RefCell<Vec<(u64, Option<u128>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+    /// Distributed trace context for the current thread, set by
+    /// [`with_trace`]; every event recorded inside the scope is tagged.
+    static TRACE_CTX: std::cell::Cell<Option<TraceContext>> = const { std::cell::Cell::new(None) };
+}
+
+/// Distributed trace context: a 128-bit trace id plus the span id of the
+/// *remote* parent (e.g. the router's `route` span when this process is a
+/// worker). `parent_span == 0` means "no remote parent".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    pub trace_id: u128,
+    pub parent_span: u64,
+}
+
+/// Run `f` with the given trace context installed on this thread. Every
+/// event recorded inside (spans, instants, counters) carries the trace id;
+/// the outermost span opened inside the scope additionally records the
+/// remote parent span id as a `remote_parent` arg, which is how
+/// cross-process parenting is expressed (span ids themselves are only
+/// unique per process). Nesting restores the previous context on exit.
+pub fn with_trace<R>(ctx: Option<TraceContext>, f: impl FnOnce() -> R) -> R {
+    let prev = TRACE_CTX.with(|c| c.replace(ctx));
+    struct Restore(Option<TraceContext>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TRACE_CTX.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The trace context currently installed on this thread, if any.
+pub fn current_trace() -> Option<TraceContext> {
+    TRACE_CTX.with(|c| c.get())
+}
+
+/// Format a 128-bit trace id as the canonical 32-hex-digit wire spelling.
+pub fn format_trace_id(id: u128) -> String {
+    format!("{id:032x}")
+}
+
+/// Parse the canonical 32-hex-digit trace id spelling (also accepts
+/// shorter hex strings, which zero-extend).
+pub fn parse_trace_id(s: &str) -> Option<u128> {
+    if s.is_empty() || s.len() > 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u128::from_str_radix(s, 16).ok()
 }
 
 fn lock_state() -> MutexGuard<'static, SinkState> {
@@ -281,6 +343,10 @@ pub fn install(level: TraceLevel) {
     st.events.clear();
     st.metrics.clear();
     st.epoch = Some(Instant::now());
+    st.unix_base_us = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
     // Publish the level only after the buffer is reset so concurrent
     // recorders never append to a stale buffer.
     LEVEL.store(level as u8, Ordering::SeqCst);
@@ -305,6 +371,28 @@ pub fn snapshot() -> TelemetryReport {
     }
 }
 
+/// Take the buffered events (leaving the buffer empty) and copy the
+/// cumulative metrics, *without* disabling the sink or restarting the
+/// timestamp epoch. This is the streaming-export primitive: a flusher
+/// thread calls it periodically and ships the increment, while recording
+/// continues uninterrupted. Metrics are cumulative (the same series keeps
+/// growing across drains); events are incremental.
+pub fn drain() -> TelemetryReport {
+    let mut st = lock_state();
+    TelemetryReport {
+        events: std::mem::take(&mut st.events),
+        metrics: st.metrics.clone(),
+    }
+}
+
+/// Wall-clock microseconds since the UNIX epoch at the moment the sink was
+/// installed (0 if never installed). `event.ts_us + unix_base_us()` places
+/// an event on the shared same-host timebase used when merging traces from
+/// several processes.
+pub fn unix_base_us() -> u64 {
+    lock_state().unix_base_us
+}
+
 fn now_us(st: &SinkState) -> u64 {
     st.epoch
         .map(|e| e.elapsed().as_micros() as u64)
@@ -318,6 +406,7 @@ fn push_event(
     args: Vec<(&'static str, ArgValue)>,
 ) {
     let tid = TID.with(|t| *t);
+    let trace = TRACE_CTX.with(|c| c.get()).map(|c| c.trace_id);
     let mut st = lock_state();
     let ts_us = now_us(&st);
     st.events.push(Event {
@@ -326,6 +415,7 @@ fn push_event(
         kind,
         tid,
         ts_us,
+        trace,
         args,
     });
 }
@@ -372,11 +462,11 @@ impl Drop for SpanGuard {
         if let Some(open) = self.0.take() {
             SPAN_STACK.with(|s| {
                 let mut s = s.borrow_mut();
-                if s.last() == Some(&open.id) {
+                if s.last().map(|(id, _)| *id) == Some(open.id) {
                     s.pop();
                 } else {
                     // Out-of-order drop (e.g. unwinding): best-effort removal.
-                    s.retain(|&id| id != open.id);
+                    s.retain(|&(id, _)| id != open.id);
                 }
             });
             push_event(
@@ -402,17 +492,34 @@ pub fn span(cat: &'static str, name: &str) -> SpanGuard {
 #[cold]
 fn span_slow(cat: &'static str, name: String) -> SpanGuard {
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let trace = TRACE_CTX.with(|c| c.get());
+    let trace_id = trace.map(|ctx| ctx.trace_id);
     let parent = SPAN_STACK.with(|s| {
         let mut s = s.borrow_mut();
         let parent = s.last().copied();
-        s.push(id);
+        s.push((id, trace_id));
         parent
     });
+    // The trace's entry span in this process — no local parent, or a local
+    // parent recorded outside this trace (e.g. a worker's `request` span
+    // under the untraced `connection` span) — records where it hangs in
+    // the cross-process tree. Span ids are only unique per process, so
+    // this is an informational arg, not a `parent`.
+    let mut begin_args = Vec::new();
+    if let Some(ctx) = trace {
+        let entry = parent.is_none_or(|(_, parent_trace)| parent_trace != trace_id);
+        if entry && ctx.parent_span != 0 {
+            begin_args.push(("remote_parent", ArgValue::U64(ctx.parent_span)));
+        }
+    }
     push_event(
         cat,
         name.clone(),
-        EventKind::SpanBegin { id, parent },
-        Vec::new(),
+        EventKind::SpanBegin {
+            id,
+            parent: parent.map(|(pid, _)| pid),
+        },
+        begin_args,
     );
     SpanGuard(Some(OpenSpan {
         id,
@@ -582,27 +689,29 @@ pub fn export_chrome_trace(events: &[Event]) -> String {
             }
             _ => {
                 let mut wrote_args = false;
+                let mut sep = |out: &mut String| {
+                    if wrote_args {
+                        out.push(',');
+                    } else {
+                        out.push_str(",\"args\":{");
+                        wrote_args = true;
+                    }
+                };
+                if let Some(t) = e.trace {
+                    sep(&mut out);
+                    let _ = write!(out, "\"trace\":\"{t:032x}\"");
+                }
                 if let EventKind::SpanBegin {
                     parent: Some(p), ..
                 } = e.kind
                 {
-                    let _ = write!(out, ",\"args\":{{\"parent_span\":{p}");
-                    wrote_args = true;
+                    sep(&mut out);
+                    let _ = write!(out, "\"parent_span\":{p}");
                 }
-                if !e.args.is_empty() {
-                    if !wrote_args {
-                        out.push_str(",\"args\":{");
-                        wrote_args = true;
-                    } else {
-                        out.push(',');
-                    }
-                    for (j, (k, v)) in e.args.iter().enumerate() {
-                        if j > 0 {
-                            out.push(',');
-                        }
-                        let _ = write!(out, "\"{}\":", json_escape(k));
-                        v.write_json(&mut out);
-                    }
+                for (k, v) in &e.args {
+                    sep(&mut out);
+                    let _ = write!(out, "\"{}\":", json_escape(k));
+                    v.write_json(&mut out);
                 }
                 if wrote_args {
                     out.push('}');
@@ -912,6 +1021,75 @@ mod tests {
         let report = finish();
         assert!(!report.events.iter().any(|e| e.name == "first"));
         assert!(report.events.iter().any(|e| e.name == "second"));
+    }
+
+    #[test]
+    fn with_trace_tags_events_and_outermost_span_records_remote_parent() {
+        let _g = TEST_SINK_GATE.lock().unwrap_or_else(|p| p.into_inner());
+        install(TraceLevel::Spans);
+        let ctx = TraceContext {
+            trace_id: 0xabcd,
+            parent_span: 77,
+        };
+        with_trace(Some(ctx), || {
+            assert_eq!(current_trace(), Some(ctx));
+            let _outer = span("service", "traced-outer");
+            let _inner = span("service", "traced-inner");
+            instant("service", "traced-instant", vec![]);
+        });
+        assert_eq!(current_trace(), None);
+        instant("service", "untraced", vec![]);
+        let report = finish();
+        let by_name = |n: &str| report.events.iter().find(|e| e.name == n).unwrap();
+        assert_eq!(by_name("traced-outer").trace, Some(0xabcd));
+        assert_eq!(by_name("traced-instant").trace, Some(0xabcd));
+        assert_eq!(by_name("untraced").trace, None);
+        // Only the span with no local parent carries the remote parent arg.
+        let remote = |n: &str| {
+            by_name(n)
+                .args
+                .iter()
+                .any(|(k, v)| *k == "remote_parent" && *v == ArgValue::U64(77))
+        };
+        assert!(remote("traced-outer"));
+        assert!(!remote("traced-inner"));
+        // The chrome exporter surfaces the trace id in args.
+        let json = export_chrome_trace(&report.events);
+        assert!(
+            json.contains("\"trace\":\"0000000000000000000000000000abcd\""),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn drain_takes_events_but_keeps_recording_and_metrics() {
+        let _g = TEST_SINK_GATE.lock().unwrap_or_else(|p| p.into_inner());
+        install(TraceLevel::Spans);
+        assert!(unix_base_us() > 0);
+        instant("service", "before-drain", vec![]);
+        metric_add("drain_test_total", 1.0);
+        let first = drain();
+        assert!(first.events.iter().any(|e| e.name == "before-drain"));
+        assert_eq!(first.metrics["drain_test_total"], 1.0);
+        assert!(is_enabled(), "drain must not disable the sink");
+        instant("service", "after-drain", vec![]);
+        metric_add("drain_test_total", 2.0);
+        let second = drain();
+        assert!(!second.events.iter().any(|e| e.name == "before-drain"));
+        assert!(second.events.iter().any(|e| e.name == "after-drain"));
+        assert_eq!(second.metrics["drain_test_total"], 3.0, "cumulative");
+        let _ = finish();
+    }
+
+    #[test]
+    fn trace_id_round_trips_through_wire_spelling() {
+        let id = 0x0123_4567_89ab_cdef_0011_2233_4455_6677u128;
+        assert_eq!(parse_trace_id(&format_trace_id(id)), Some(id));
+        assert_eq!(format_trace_id(id).len(), 32);
+        assert_eq!(parse_trace_id("ff"), Some(0xff));
+        assert_eq!(parse_trace_id(""), None);
+        assert_eq!(parse_trace_id("xyz"), None);
+        assert_eq!(parse_trace_id(&"0".repeat(33)), None);
     }
 
     #[test]

@@ -87,7 +87,7 @@ pub fn result_key(req: &Request, source_hash: u128, effective_max_passes: u64) -
     }
     if matches!(
         req.kind,
-        RequestKind::Ping | RequestKind::Shutdown | RequestKind::CacheStats
+        RequestKind::Ping | RequestKind::Shutdown | RequestKind::CacheStats | RequestKind::Metrics
     ) {
         return None;
     }

@@ -18,6 +18,7 @@ use crate::admission::{AdmissionConfig, AdmissionControl};
 use crate::cache::{proc_cfg_key, result_key, source_key, ServiceCaches, RESULTS_NAMESPACE};
 use crate::json::escape;
 use crate::proto::{CacheStatus, ProtoError, Request, RequestKind};
+use crate::slo::SloRegistry;
 use mpi_dfa_analyses::activity::{self, ActivityConfig, ActivityResult, Mode};
 use mpi_dfa_analyses::governor::{governed_activity, AnalysisProvenance, GovernorConfig, Tier};
 use mpi_dfa_analyses::mpi_match::build_mpi_icfg_with_budget;
@@ -77,6 +78,9 @@ pub struct Engine {
     /// Cluster shard identity, echoed in `cache-stats` (see
     /// [`EngineConfig::shard_id`]).
     shard_id: Option<u64>,
+    /// Per-process latency histograms (verb × cache outcome × shard),
+    /// recorded by the serving layer and exposed by the `metrics` verb.
+    slo: SloRegistry,
 }
 
 impl Engine {
@@ -93,6 +97,7 @@ impl Engine {
             admission: AdmissionControl::new(config.admission),
             fsck,
             shard_id: config.shard_id,
+            slo: SloRegistry::new(),
         })
     }
 
@@ -112,6 +117,20 @@ impl Engine {
         self.fsck
     }
 
+    /// The request-latency histogram registry. The serving layer records
+    /// one sample per answered request; the `metrics` verb reports it.
+    pub fn slo(&self) -> &SloRegistry {
+        &self.slo
+    }
+
+    /// The shard label used for this engine's SLO series (`-` unsharded).
+    pub fn shard_label(&self) -> String {
+        match self.shard_id {
+            Some(id) => id.to_string(),
+            None => "-".to_string(),
+        }
+    }
+
     /// Process one already-parsed request into a response line.
     pub fn handle(&self, req: &Request) -> String {
         self.handle_with_floor(req, Tier::T0)
@@ -124,20 +143,40 @@ impl Engine {
     /// already-cached precise answer is still fine to serve (a hit costs no
     /// compute, which is the whole point of shedding).
     pub fn handle_with_floor(&self, req: &Request, floor: Tier) -> String {
-        let mut span = telemetry::span("service", "request");
-        span.arg("kind", req.kind.as_str());
-        if floor > Tier::T0 {
-            span.arg("tier_floor", floor.as_str());
-        }
-        match self.handle_inner(req, floor) {
-            Ok((cache, result)) => {
-                span.arg("cache", cache.as_str());
-                crate::proto::render_ok(req.id, req.kind, cache, &result)
+        let run = || {
+            let mut span = telemetry::span("service", "request");
+            span.arg("kind", req.kind.as_str());
+            if floor > Tier::T0 {
+                span.arg("tier_floor", floor.as_str());
             }
-            Err(e) => {
-                span.arg("error", e.code);
-                crate::proto::render_err(req.id, &e)
+            if let Some(t) = &req.trace {
+                if t.attempt > 0 {
+                    span.arg("attempt", t.attempt);
+                }
             }
+            match self.handle_inner(req, floor) {
+                Ok((cache, result)) => {
+                    span.arg("cache", cache.as_str());
+                    crate::proto::render_ok(req.id, req.kind, cache, &result)
+                }
+                Err(e) => {
+                    span.arg("error", e.code);
+                    crate::proto::render_err(req.id, &e)
+                }
+            }
+        };
+        // Seed the distributed trace context only when the request carries
+        // one — wrapping with `None` would clear a context installed by an
+        // outer layer (e.g. the router handling this in-process).
+        match &req.trace {
+            Some(t) => telemetry::with_trace(
+                Some(telemetry::TraceContext {
+                    trace_id: t.id,
+                    parent_span: t.parent,
+                }),
+                run,
+            ),
+            None => run(),
         }
     }
 
@@ -175,6 +214,7 @@ impl Engine {
                 return Ok((CacheStatus::Bypass, "{\"stopping\":true}".into()))
             }
             RequestKind::CacheStats => return Ok((CacheStatus::Bypass, self.render_cache_stats())),
+            RequestKind::Metrics => return Ok((CacheStatus::Bypass, self.render_metrics())),
             _ => {}
         }
         // An already-expired deadline fails fast and deterministically —
@@ -198,7 +238,9 @@ impl Engine {
         let key = result_key(req, source_key(&source), self.effective_max_passes(req));
 
         if let Some(key) = key {
+            let mut span = telemetry::span("service", "cache_lookup");
             if let Some(result) = self.caches.results.get(key) {
+                span.arg("layer", "memory");
                 return Ok((CacheStatus::Hit, result));
             }
             if let Some(disk) = &self.caches.disk {
@@ -206,6 +248,7 @@ impl Engine {
                     if let Ok(result) = String::from_utf8(bytes) {
                         // Warm the memory layer so the next hit skips I/O.
                         self.caches.results.put(key, result.clone());
+                        span.arg("layer", "disk");
                         return Ok((CacheStatus::Hit, result));
                     }
                 }
@@ -273,6 +316,42 @@ impl Engine {
             layer(&self.caches.irs.counters().snapshot()),
             layer(&self.caches.cfgs.counters().snapshot()),
             layer(&self.caches.results.counters().snapshot()),
+        )
+    }
+
+    /// Deterministic-key-order JSON for the `metrics` verb: this process's
+    /// cumulative telemetry counters (empty when the sink is off) plus the
+    /// SLO latency histogram snapshot in wire form. In a cluster the
+    /// router intercepts the verb and answers with the merged view instead
+    /// (see `crate::router`); this is the single-worker / direct answer.
+    fn render_metrics(&self) -> String {
+        let shard = match self.shard_id {
+            None => "null".to_string(),
+            Some(id) => id.to_string(),
+        };
+        let report = telemetry::snapshot();
+        let mut metrics = String::from("{");
+        for (i, (name, value)) in report.metrics.iter().enumerate() {
+            if i > 0 {
+                metrics.push(',');
+            }
+            if value.fract() == 0.0 && value.abs() < 9.0e15 {
+                let _ = write!(metrics, "\"{}\":{}", escape(name), *value as i64);
+            } else {
+                let _ = write!(metrics, "\"{}\":{}", escape(name), value);
+            }
+        }
+        metrics.push('}');
+        let slo_snap = self.slo.snapshot();
+        // The same data as ready-to-serve Prometheus text, so a scraper
+        // can use `result.prometheus` identically against a worker or a
+        // cluster router.
+        let mut prom = telemetry::export_metrics_text(&report.metrics);
+        crate::slo::render_prometheus(&slo_snap, &mut prom);
+        format!(
+            "{{\"shard\":{shard},\"metrics\":{metrics},\"slo\":{},\"prometheus\":\"{}\"}}",
+            crate::slo::to_json(&slo_snap),
+            escape(&prom)
         )
     }
 
@@ -478,7 +557,10 @@ impl Engine {
                     .map_err(|e| Self::analysis_error(req, e))?;
                 Ok(render_row(&row))
             }
-            RequestKind::Ping | RequestKind::Shutdown | RequestKind::CacheStats => {
+            RequestKind::Ping
+            | RequestKind::Shutdown
+            | RequestKind::CacheStats
+            | RequestKind::Metrics => {
                 unreachable!("handled before compute")
             }
         }

@@ -125,6 +125,18 @@ impl Json {
 /// Escape a string for embedding inside JSON double quotes.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
+    escape_into(s, &mut out);
+    out
+}
+
+/// Append `s` JSON-escaped onto `out` without an intermediate allocation;
+/// the common all-clean case is a single `push_str`. Hot on the access-log
+/// path, where every answered request renders one line.
+pub fn escape_into(s: &str, out: &mut String) {
+    if s.bytes().all(|b| b >= 0x20 && b != b'"' && b != b'\\') {
+        out.push_str(s);
+        return;
+    }
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -138,7 +150,6 @@ pub fn escape(s: &str) -> String {
             c => out.push(c),
         }
     }
-    out
 }
 
 /// Parse one JSON document; trailing content (other than whitespace) is an

@@ -46,6 +46,13 @@
 //!   lines to the owning shard, retries/hedges idempotent requests
 //!   around dead workers, respects shed brownout windows, and degrades
 //!   to a structured `overloaded` when out of candidates.
+//! * [`slo`] — per-(verb × cache outcome × shard) log-bucketed latency
+//!   histograms with exact rank quantiles and an order-independent
+//!   cluster merge, rendered into the `metrics` verb output.
+//! * [`obs`] — cluster-wide observability: the worker → supervisor
+//!   telemetry stream, the span/metrics aggregation hub, the merged
+//!   Chrome trace, the JSONL access log, and offline trace
+//!   reconstruction (`mpidfa trace <trace-id>`).
 //!
 //! The wire protocol and cache-key contract are specified in
 //! `docs/SERVING.md`; the overload/failure semantics in its
@@ -58,10 +65,12 @@ pub mod chaos;
 pub mod engine;
 pub mod health;
 pub mod json;
+pub mod obs;
 pub mod proto;
 pub mod router;
 pub mod sched;
 pub mod server;
+pub mod slo;
 pub mod supervisor;
 
 pub use admission::{AdmissionConfig, AdmissionControl, AdmissionSnapshot, Permit};
@@ -69,6 +78,7 @@ pub use cache::{routing_key, ServiceCaches, CACHE_SCHEMA_VERSION};
 pub use chaos::{run_chaos, run_cluster_chaos, ChaosConfig, ChaosReport, ClusterChaosConfig};
 pub use engine::{Engine, EngineConfig};
 pub use health::{HealthConfig, HealthMonitor, HealthVerdict};
+pub use obs::{AccessRecord, CompletedSpan, SpanPairer, TelemetryHub, TELE_PREFIX};
 pub use proto::{
     parse_request, render_err, render_ok, CacheStatus, ProtoError, Request, RequestKind,
 };
@@ -77,4 +87,5 @@ pub use router::{
 };
 pub use sched::run_batch;
 pub use server::{serve, serve_with, EngineLineHandler, LineHandler, Server, ServerConfig};
+pub use slo::{SloRegistry, SloSnapshot};
 pub use supervisor::{BackoffConfig, ShardSnapshot, ShardTable, Supervisor, WorkerSpec};

@@ -19,6 +19,7 @@ use crate::json::{self, Json};
 use mpi_dfa_analyses::governor::DegradeMode;
 use mpi_dfa_analyses::mpi_match::Matching;
 use mpi_dfa_core::solver::Strategy;
+use mpi_dfa_core::telemetry;
 
 /// Hard cap on one request line, reusing the lexer's source cap: a request
 /// embedding the largest acceptable program still fits, anything bigger is
@@ -79,6 +80,11 @@ pub enum RequestKind {
     /// (serve mode only; deliberately not answerable in batch, where the
     /// counters would depend on pool size and break output determinism).
     CacheStats,
+    /// Observability: Prometheus-format telemetry metrics plus SLO latency
+    /// histograms. On a worker this is the process-local view; on the
+    /// router it is the order-independently merged cluster view. Serve
+    /// mode only, for the same determinism reason as `cache-stats`.
+    Metrics,
 }
 
 impl RequestKind {
@@ -91,6 +97,7 @@ impl RequestKind {
             RequestKind::Ping => "ping",
             RequestKind::Shutdown => "shutdown",
             RequestKind::CacheStats => "cache-stats",
+            RequestKind::Metrics => "metrics",
         }
     }
 
@@ -103,8 +110,33 @@ impl RequestKind {
             "ping" => RequestKind::Ping,
             "shutdown" => RequestKind::Shutdown,
             "cache-stats" => RequestKind::CacheStats,
+            "metrics" => RequestKind::Metrics,
             _ => return None,
         })
+    }
+}
+
+/// Distributed trace context carried by a request's `trace` field:
+/// `{"trace":{"id":"<32 hex>","parent":N,"attempt":N}}`. Minted by the
+/// router (or by a client such as `serve_client.py`); `parent` is the span
+/// id of the caller's span in *its* process, `attempt` counts hedged
+/// retries (0 = first try). Like `id` and `solver`, the trace context is
+/// deliberately **not** part of any cache key: tracing a request must not
+/// change what it computes or whether it hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    pub id: u128,
+    pub parent: u64,
+    pub attempt: u64,
+}
+
+impl TraceCtx {
+    /// Render as the canonical `trace` field value (fixed key order).
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"id\":\"{:032x}\",\"parent\":{},\"attempt\":{}}}",
+            self.id, self.parent, self.attempt
+        )
     }
 }
 
@@ -149,6 +181,9 @@ pub struct Request {
     /// key: every strategy produces identical facts (`docs/SOLVER.md`), so
     /// a result computed under one strategy is a valid hit for any other.
     pub solver: Option<Strategy>,
+    /// Distributed trace context. Excluded from cache keys (see
+    /// [`TraceCtx`]); forwarded by the router with a bumped `attempt`.
+    pub trace: Option<TraceCtx>,
 }
 
 impl Request {
@@ -173,6 +208,7 @@ impl Request {
             degrade: DegradeMode::Auto,
             max_passes: None,
             solver: None,
+            trace: None,
         }
     }
 
@@ -249,7 +285,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             "unknown-kind",
             format!(
                 "unknown request kind `{kind_str}` (expected analyze | table1-row | \
-                 activity-at-location | dot | ping | shutdown | cache-stats)"
+                 activity-at-location | dot | ping | shutdown | cache-stats | metrics)"
             ),
         ));
     };
@@ -306,6 +342,39 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             "solver" => {
                 req.solver = Some(Strategy::parse(&str_field(v, key)?).map_err(ProtoError::bad)?)
             }
+            "trace" => {
+                let Json::Obj(sub) = v else {
+                    return Err(ProtoError::bad("field `trace` must be an object"));
+                };
+                let mut ctx = TraceCtx {
+                    id: 0,
+                    parent: 0,
+                    attempt: 0,
+                };
+                let mut have_id = false;
+                for (k, sv) in sub {
+                    match k.as_str() {
+                        "id" => {
+                            let s = str_field(sv, "trace.id")?;
+                            ctx.id = telemetry::parse_trace_id(&s).ok_or_else(|| {
+                                ProtoError::bad(
+                                    "field `trace.id` must be a hex trace id (1-32 digits)",
+                                )
+                            })?;
+                            have_id = true;
+                        }
+                        "parent" => ctx.parent = u64_field(sv, "trace.parent")?,
+                        "attempt" => ctx.attempt = u64_field(sv, "trace.attempt")?,
+                        other => {
+                            return Err(ProtoError::bad(format!("unknown field `trace.{other}`")))
+                        }
+                    }
+                }
+                if !have_id {
+                    return Err(ProtoError::bad("field `trace` requires `id`"));
+                }
+                req.trace = Some(ctx);
+            }
             other => {
                 return Err(ProtoError::bad(format!("unknown field `{other}`")));
             }
@@ -331,7 +400,10 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 return Err(ProtoError::bad("kind `table1-row` requires `row`"));
             }
         }
-        RequestKind::Ping | RequestKind::Shutdown | RequestKind::CacheStats => {}
+        RequestKind::Ping
+        | RequestKind::Shutdown
+        | RequestKind::CacheStats
+        | RequestKind::Metrics => {}
     }
     if kind == RequestKind::ActivityAtLocation && req.var.is_none() {
         return Err(ProtoError::bad(
@@ -339,6 +411,78 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         ));
     }
     Ok(req)
+}
+
+/// Render a validated request back to one canonical JSONL line that
+/// [`parse_request`] accepts and parses to an equal [`Request`]. The
+/// router uses this to forward a request with an injected/bumped `trace`
+/// field instead of splicing text into the raw client line. Fields appear
+/// in a fixed order and defaults are omitted, so the output is
+/// deterministic for a given request.
+pub fn render_request(req: &Request) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(96);
+    let _ = write!(
+        out,
+        "{{\"id\":{},\"kind\":\"{}\"",
+        req.id,
+        req.kind.as_str()
+    );
+    let str_f = |out: &mut String, key: &str, v: &Option<String>| {
+        if let Some(s) = v {
+            let _ = write!(out, ",\"{key}\":\"{}\"", json::escape(s));
+        }
+    };
+    str_f(&mut out, "program", &req.program);
+    str_f(&mut out, "source", &req.source);
+    str_f(&mut out, "context", &req.context);
+    if req.clone_level != 0 {
+        let _ = write!(out, ",\"clone\":{}", req.clone_level);
+    }
+    let list_f = |out: &mut String, key: &str, v: &[String]| {
+        if v.is_empty() {
+            return;
+        }
+        let _ = write!(out, ",\"{key}\":[");
+        for (i, s) in v.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json::escape(s));
+        }
+        out.push(']');
+    };
+    list_f(&mut out, "ind", &req.ind);
+    list_f(&mut out, "dep", &req.dep);
+    str_f(&mut out, "var", &req.var);
+    str_f(&mut out, "row", &req.row);
+    if req.matching != Matching::ReachingConstants {
+        let _ = write!(out, ",\"matching\":\"{}\"", req.matching_str());
+    }
+    if req.mode != "mpi" {
+        let _ = write!(out, ",\"mode\":\"{}\"", json::escape(&req.mode));
+    }
+    let u64_f = |out: &mut String, key: &str, v: Option<u64>| {
+        if let Some(n) = v {
+            let _ = write!(out, ",\"{key}\":{n}");
+        }
+    };
+    u64_f(&mut out, "budget_ms", req.budget_ms);
+    u64_f(&mut out, "deadline_ms", req.deadline_ms);
+    u64_f(&mut out, "max_visits", req.max_visits);
+    u64_f(&mut out, "max_fact_bytes", req.max_fact_bytes);
+    if req.degrade != DegradeMode::Auto {
+        let _ = write!(out, ",\"degrade\":\"{}\"", req.degrade_str());
+    }
+    u64_f(&mut out, "max_passes", req.max_passes);
+    if let Some(s) = req.solver {
+        let _ = write!(out, ",\"solver\":\"{s}\"");
+    }
+    if let Some(t) = &req.trace {
+        let _ = write!(out, ",\"trace\":{}", t.render());
+    }
+    out.push('}');
+    out
 }
 
 /// How the result cache participated in a response.
@@ -476,6 +620,65 @@ mod tests {
                 .code,
             "bad-request"
         );
+    }
+
+    #[test]
+    fn trace_field_parses_and_round_trips() {
+        let r = parse_request(
+            r#"{"id":1,"kind":"ping","trace":{"id":"00000000000000000000000000abc123","parent":7,"attempt":2}}"#,
+        )
+        .unwrap();
+        let t = r.trace.unwrap();
+        assert_eq!(t.id, 0xabc123);
+        assert_eq!(t.parent, 7);
+        assert_eq!(t.attempt, 2);
+        // parent/attempt default to 0; a bare id is enough (what clients mint).
+        let r = parse_request(r#"{"id":1,"kind":"ping","trace":{"id":"ff"}}"#).unwrap();
+        assert_eq!(
+            r.trace,
+            Some(TraceCtx {
+                id: 0xff,
+                parent: 0,
+                attempt: 0
+            })
+        );
+        // Structured errors for malformed contexts.
+        for bad in [
+            r#"{"id":1,"kind":"ping","trace":"abc"}"#,
+            r#"{"id":1,"kind":"ping","trace":{}}"#,
+            r#"{"id":1,"kind":"ping","trace":{"id":"zz"}}"#,
+            r#"{"id":1,"kind":"ping","trace":{"id":"ff","wat":1}}"#,
+        ] {
+            assert_eq!(parse_request(bad).unwrap_err().code, "bad-request", "{bad}");
+        }
+    }
+
+    #[test]
+    fn render_request_round_trips_through_parse() {
+        let lines = [
+            r#"{"id":1,"kind":"ping"}"#,
+            r#"{"id":2,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"]}"#,
+            r#"{"id":3,"kind":"table1-row","row":"Biostat","solver":"region-parallel:2"}"#,
+            r#"{"id":4,"kind":"analyze","source":"program \"p\"","ind":["a","b"],"dep":["c"],"clone":2,"matching":"naive","mode":"global","budget_ms":5,"deadline_ms":9,"max_visits":10,"max_fact_bytes":11,"degrade":"off","max_passes":3}"#,
+            r#"{"id":5,"kind":"metrics","trace":{"id":"1234","parent":9,"attempt":1}}"#,
+        ];
+        for line in lines {
+            let req = parse_request(line).unwrap();
+            let rendered = render_request(&req);
+            let back = parse_request(&rendered)
+                .unwrap_or_else(|e| panic!("re-rendered line failed to parse: {rendered}: {e:?}"));
+            assert_eq!(back, req, "round trip changed the request: {rendered}");
+            // Idempotent: rendering the round-tripped request is stable.
+            assert_eq!(render_request(&back), rendered);
+        }
+    }
+
+    #[test]
+    fn metrics_kind_parses() {
+        let r = parse_request(r#"{"id":6,"kind":"metrics"}"#).unwrap();
+        assert_eq!(r.kind, RequestKind::Metrics);
+        assert_eq!(RequestKind::parse("metrics"), Some(RequestKind::Metrics));
+        assert_eq!(RequestKind::Metrics.as_str(), "metrics");
     }
 
     #[test]

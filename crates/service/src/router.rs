@@ -11,9 +11,12 @@
 //!   [`HashRing`] with virtual nodes so the same logical query always
 //!   lands on the same shard (cache locality) and shard counts can
 //!   change without remapping the whole key space;
-//! * **forwards the raw line verbatim** over a pooled connection — the
-//!   worker's response (id included) passes through untouched, so a
-//!   routed response is byte-identical to a single-box response;
+//! * **forwards the request canonically re-rendered** over a pooled
+//!   connection, stamped with its distributed-trace context (the
+//!   client's, or one minted here) and the attempt counter — the
+//!   worker's response (id included) passes through untouched, and
+//!   since responses carry no trace or wall-clock fields, a routed
+//!   response is byte-identical to a single-box response;
 //! * **retries and hedges**: responses are idempotent by construction
 //!   (no wall-clock fields, hit ≡ recompute), so a transport failure is
 //!   retried once against the same shard (a supervisor restart
@@ -33,13 +36,16 @@
 
 use crate::cache::routing_key;
 use crate::json;
+use crate::obs::{mint_trace_id, AccessRecord, TelemetryHub};
 use crate::proto::{
-    parse_request, render_err, render_ok, CacheStatus, ProtoError, Request, RequestKind,
+    parse_request, render_err, render_ok, render_request, CacheStatus, ProtoError, Request,
+    RequestKind, TraceCtx,
 };
 use crate::server::{LineHandler, Server, ServerConfig};
+use crate::slo::{self, SloRegistry};
 use crate::supervisor::{ShardTable, Supervisor, WorkerSpec};
 use mpi_dfa_core::hash::Hasher128;
-use mpi_dfa_core::telemetry;
+use mpi_dfa_core::telemetry::{self, ArgValue};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -267,7 +273,6 @@ struct PooledConn {
 
 /// The routing [`LineHandler`]: one per cluster, shared by every
 /// listener connection thread.
-#[derive(Debug)]
 pub struct RouterHandler {
     table: Arc<ShardTable>,
     ring: HashRing,
@@ -275,10 +280,33 @@ pub struct RouterHandler {
     stats: RouterStats,
     brownout: Brownout,
     pools: Vec<Mutex<Vec<PooledConn>>>,
+    /// End-to-end request latency, attributed to the shard that answered.
+    slo: SloRegistry,
+    /// Cluster observability aggregation point (access log, span store,
+    /// worker metric reports). `None` in bare in-process setups.
+    hub: Option<Arc<TelemetryHub>>,
+}
+
+impl std::fmt::Debug for RouterHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterHandler")
+            .field("shards", &self.table.len())
+            .field("hub", &self.hub.is_some())
+            .finish()
+    }
 }
 
 impl RouterHandler {
     pub fn new(table: Arc<ShardTable>, cfg: RouterConfig) -> Arc<RouterHandler> {
+        Self::new_with_hub(table, cfg, None)
+    }
+
+    /// [`RouterHandler::new`] plus the cluster observability hub.
+    pub fn new_with_hub(
+        table: Arc<ShardTable>,
+        cfg: RouterConfig,
+        hub: Option<Arc<TelemetryHub>>,
+    ) -> Arc<RouterHandler> {
         let shards = table.len();
         Arc::new(RouterHandler {
             table,
@@ -287,11 +315,23 @@ impl RouterHandler {
             stats: RouterStats::default(),
             brownout: Brownout::new(shards),
             pools: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            slo: SloRegistry::new(),
+            hub,
         })
     }
 
     pub fn stats(&self) -> &RouterStats {
         &self.stats
+    }
+
+    /// The router's end-to-end latency registry.
+    pub fn slo(&self) -> &SloRegistry {
+        &self.slo
+    }
+
+    /// The observability hub, when configured.
+    pub fn hub(&self) -> Option<&Arc<TelemetryHub>> {
+        self.hub.as_ref()
     }
 
     pub fn ring(&self) -> &HashRing {
@@ -304,15 +344,19 @@ impl RouterHandler {
     pub fn shard_for_line(&self, line: &str) -> Option<usize> {
         let req = parse_request(line).ok()?;
         match req.kind {
-            RequestKind::Ping | RequestKind::Shutdown | RequestKind::CacheStats => None,
+            RequestKind::Ping
+            | RequestKind::Shutdown
+            | RequestKind::CacheStats
+            | RequestKind::Metrics => None,
             _ => Some(self.ring.primary(routing_key(&req))),
         }
     }
 
-    /// One forwarding attempt. `use_pool` is only true for the very
-    /// first attempt of a request: every retry dials fresh so a stale
-    /// pooled connection can never burn two attempts.
-    fn try_shard(&self, shard: usize, raw_line: &str, use_pool: bool) -> Result<String, ()> {
+    /// One forwarding attempt; `Ok` carries the response and the worker
+    /// incarnation epoch that answered. `use_pool` is only true for the
+    /// very first attempt of a request: every retry dials fresh so a
+    /// stale pooled connection can never burn two attempts.
+    fn try_shard(&self, shard: usize, raw_line: &str, use_pool: bool) -> Result<(String, u64), ()> {
         let (addr, epoch) = self.table.endpoint(shard).ok_or(())?;
         let mut conn = None;
         if use_pool {
@@ -338,11 +382,12 @@ impl RouterHandler {
         let mut resp = String::new();
         match conn.reader.read_line(&mut resp) {
             Ok(n) if n > 0 => {
+                let epoch = conn.epoch;
                 let mut pool = self.pools[shard].lock().unwrap();
                 if pool.len() < self.cfg.pool_per_shard {
                     pool.push(conn);
                 }
-                Ok(resp.trim_end_matches(['\n', '\r']).to_string())
+                Ok((resp.trim_end_matches(['\n', '\r']).to_string(), epoch))
             }
             _ => Err(()),
         }
@@ -361,8 +406,72 @@ impl RouterHandler {
     }
 
     /// Route one analysis request; always returns a structured line.
-    fn forward(&self, req: &Request, raw_line: &str) -> String {
+    /// Every forwarded request belongs to exactly one distributed trace —
+    /// the client's, or one minted here — and produces exactly one
+    /// access-log line (when a hub is configured), however many attempts
+    /// it took.
+    fn forward(&self, req: &Request) -> String {
         RouterStats::bump(&self.stats.routed_total, "router_requests_total");
+        let started = Instant::now();
+        let client = req.trace;
+        let trace_id = client.map(|t| t.id).unwrap_or_else(mint_trace_id);
+        let ctx = telemetry::TraceContext {
+            trace_id,
+            parent_span: client.map(|t| t.parent).unwrap_or(0),
+        };
+        let (resp, answered, attempts_used) = telemetry::with_trace(Some(ctx), || {
+            let mut span = telemetry::span("router", "route");
+            span.arg("kind", req.kind.as_str());
+            // With the router sink off the route span has no id; fall
+            // back to the client's own parent so the worker's spans still
+            // link into the client's trace.
+            let route_id = span
+                .id()
+                .unwrap_or_else(|| client.map(|t| t.parent).unwrap_or(0));
+            let out = self.forward_attempts(
+                req,
+                trace_id,
+                route_id,
+                client.map(|t| t.attempt).unwrap_or(0),
+            );
+            span.arg("attempts", out.2);
+            if let Some((shard, _)) = out.1 {
+                span.arg("shard", shard);
+            }
+            out
+        });
+        let latency_us = started.elapsed().as_micros() as u64;
+        let cache = slo::cache_outcome(&resp);
+        let shard_label = answered
+            .map(|(s, _)| s.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        self.slo
+            .record(req.kind.as_str(), cache, &shard_label, latency_us);
+        if let Some(hub) = &self.hub {
+            hub.record_access(&AccessRecord {
+                trace: trace_id,
+                verb: req.kind.as_str().to_string(),
+                shard: answered.map(|(s, _)| s as u64),
+                epoch: answered.map(|(_, e)| e).unwrap_or(0),
+                attempts: attempts_used,
+                cache: cache.to_string(),
+                tier: slo::tier_of(&resp).to_string(),
+                latency_us,
+            });
+        }
+        resp
+    }
+
+    /// The attempt loop behind [`RouterHandler::forward`]. Returns the
+    /// response line, the `(shard, epoch)` that answered it (`None` for a
+    /// router-degraded answer), and the attempts actually dialed.
+    fn forward_attempts(
+        &self,
+        req: &Request,
+        trace_id: u128,
+        route_id: u64,
+        base_attempt: u64,
+    ) -> (String, Option<(usize, u64)>, u64) {
         let order = self.ring.order(routing_key(req));
         // Attempt plan: primary, primary again (a crashed worker is
         // usually republished within the backoff cap, and a stale pooled
@@ -373,6 +482,8 @@ impl RouterHandler {
         plan.extend(order[1..].iter().copied());
         plan.truncate(self.cfg.max_attempts.max(1));
 
+        let mut treq = req.clone();
+        let mut attempts_used: u64 = 0;
         let mut max_hint: Option<u64> = None;
         let mut saw_shed = false;
         for (i, &shard) in plan.iter().enumerate() {
@@ -383,19 +494,42 @@ impl RouterHandler {
                     &self.stats.brownout_skips_total,
                     "router_brownout_skips_total",
                 );
+                telemetry::instant(
+                    "router",
+                    "brownout_wait",
+                    vec![
+                        ("shard", ArgValue::U64(shard as u64)),
+                        ("retry_after_ms", ArgValue::U64(hint)),
+                    ],
+                );
                 continue;
             }
             RouterStats::bump(&self.stats.attempts_total, "router_attempts_total");
+            attempts_used += 1;
+            let mut attempt_span = if i == 0 {
+                telemetry::SpanGuard::disabled()
+            } else if shard == plan[0] {
+                RouterStats::bump(&self.stats.retried_total, "router_retried_total");
+                telemetry::span("router", "retry")
+            } else {
+                RouterStats::bump(&self.stats.hedged_total, "router_hedged_total");
+                telemetry::span("router", "hedge")
+            };
             if i > 0 {
-                if shard == plan[0] {
-                    RouterStats::bump(&self.stats.retried_total, "router_retried_total");
-                } else {
-                    RouterStats::bump(&self.stats.hedged_total, "router_hedged_total");
-                }
+                attempt_span.arg("shard", shard);
             }
-            match self.try_shard(shard, raw_line, i == 0) {
+            // The forwarded line is the request canonically re-rendered
+            // with this attempt's trace context; hedged retries keep the
+            // trace id and bump the attempt counter.
+            treq.trace = Some(TraceCtx {
+                id: trace_id,
+                parent: route_id,
+                attempt: base_attempt + attempts_used,
+            });
+            let line = render_request(&treq);
+            match self.try_shard(shard, &line, i == 0) {
                 Err(()) => continue,
-                Ok(resp) => match shed_hint(&resp, self.cfg.default_retry_after_ms) {
+                Ok((resp, epoch)) => match shed_hint(&resp, self.cfg.default_retry_after_ms) {
                     Some(hint) => {
                         self.brownout.mark(shard, hint);
                         saw_shed = true;
@@ -407,7 +541,7 @@ impl RouterHandler {
                     // compute the identical one.
                     None => {
                         self.brownout.clear(shard);
-                        return resp;
+                        return (resp, Some((shard, epoch)), attempts_used);
                     }
                 },
             }
@@ -432,7 +566,63 @@ impl RouterHandler {
             )
         };
         let hint = max_hint.unwrap_or(self.cfg.default_retry_after_ms);
-        render_err(req.id, &ProtoError::new(metric, msg).with_retry_after(hint))
+        (
+            render_err(req.id, &ProtoError::new(metric, msg).with_retry_after(hint)),
+            None,
+            attempts_used,
+        )
+    }
+
+    /// The router's own metric map: its telemetry counters (empty when
+    /// the sink is off) with the `router_*_total` series overwritten from
+    /// the always-on [`RouterStats`] — the counters must appear in the
+    /// scrape regardless of sink state, and overwriting avoids double
+    /// counting when the sink mirrored them already.
+    fn local_metrics(&self) -> std::collections::BTreeMap<String, f64> {
+        let mut local = telemetry::snapshot().metrics;
+        let r = self.stats.snapshot();
+        for (name, v) in [
+            ("router_requests_total", r.routed_total),
+            ("router_attempts_total", r.attempts_total),
+            ("router_retried_total", r.retried_total),
+            ("router_hedged_total", r.hedged_total),
+            ("router_brownout_skips_total", r.brownout_skips_total),
+            ("router_overloaded_total", r.overloaded_returned_total),
+            ("router_down_total", r.down_returned_total),
+        ] {
+            local.insert(name.to_string(), v as f64);
+        }
+        local
+    }
+
+    /// The cluster Prometheus text: every worker's streamed counters and
+    /// latency histograms merged order-independently (sums; `_peak`
+    /// maxima; histogram bucket adds) with the router's own. This is the
+    /// body of the `metrics` verb and what `mpidfa serve --metrics-out`
+    /// writes at shutdown.
+    pub fn cluster_metrics_text(&self) -> String {
+        let local = self.local_metrics();
+        let slo_snap = self.slo.snapshot();
+        match &self.hub {
+            Some(hub) => hub.cluster_metrics(&local, &slo_snap),
+            None => {
+                let mut t = telemetry::export_metrics_text(&local);
+                slo::render_prometheus_named(slo::E2E_METRIC, &slo_snap, &mut t);
+                t
+            }
+        }
+    }
+
+    /// The cluster `metrics` verb: [`Self::cluster_metrics_text`] inside
+    /// the structured response envelope.
+    fn cluster_metrics_verb(&self, id: u64) -> String {
+        let text = self.cluster_metrics_text();
+        let result = format!(
+            "{{\"cluster\":{{\"shards\":{}}},\"prometheus\":\"{}\"}}",
+            self.table.len(),
+            json::escape(&text)
+        );
+        render_ok(id, RequestKind::Metrics, CacheStatus::Bypass, &result)
     }
 
     /// Aggregate `cache-stats`: router counters + per-shard supervisor
@@ -478,7 +668,7 @@ impl RouterHandler {
             .map(
                 |shard| match self.try_shard(shard, "{\"id\":0,\"kind\":\"cache-stats\"}", true) {
                     Err(()) => "null".to_string(),
-                    Ok(resp) => json::parse(&resp)
+                    Ok((resp, _)) => json::parse(&resp)
                         .ok()
                         .and_then(|j| j.get("result").map(|r| r.render()))
                         .unwrap_or_else(|| "null".to_string()),
@@ -511,7 +701,8 @@ impl LineHandler for RouterHandler {
                     true,
                 ),
                 RequestKind::CacheStats => (self.cluster_stats(req.id), false),
-                _ => (self.forward(&req, line), false),
+                RequestKind::Metrics => (self.cluster_metrics_verb(req.id), false),
+                _ => (self.forward(&req), false),
             },
         }
     }
@@ -583,7 +774,19 @@ impl Cluster {
     /// Spawn the fleet, wait for it (see
     /// [`ClusterConfig::startup_timeout`]), bind the router.
     pub fn start(cfg: ClusterConfig, addr: &str) -> Result<Cluster, String> {
-        let supervisor = Supervisor::start(cfg.shards, cfg.worker)?;
+        Self::start_with_hub(cfg, addr, None)
+    }
+
+    /// [`Cluster::start`] with a cluster observability hub: the
+    /// supervisor forwards worker telemetry-stream lines into it and the
+    /// router records spans, access-log lines, and the merged `metrics`
+    /// verb through it.
+    pub fn start_with_hub(
+        cfg: ClusterConfig,
+        addr: &str,
+        hub: Option<Arc<TelemetryHub>>,
+    ) -> Result<Cluster, String> {
+        let supervisor = Supervisor::start_with_hub(cfg.shards, cfg.worker, hub.clone())?;
         if !supervisor.wait_all_healthy(cfg.startup_timeout) {
             let alive = supervisor
                 .table()
@@ -603,7 +806,7 @@ impl Cluster {
                 cfg.shards
             );
         }
-        let handler = RouterHandler::new(Arc::clone(supervisor.table()), cfg.router);
+        let handler = RouterHandler::new_with_hub(Arc::clone(supervisor.table()), cfg.router, hub);
         let server = Server::bind_handler(Arc::clone(&handler), addr, cfg.router.server)?;
         Ok(Cluster {
             server,

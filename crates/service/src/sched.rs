@@ -79,6 +79,14 @@ pub fn run_batch(engine: &Engine, input: &str, pool: usize) -> Vec<String> {
                     ),
                 ));
             }
+            Ok(req) if req.kind == RequestKind::Metrics => {
+                // Same determinism argument as cache-stats: latency
+                // histograms and live counters have no batch-stable answer.
+                responses[slot] = Some(render_err(
+                    req.id,
+                    &ProtoError::new("unsupported", "`metrics` is only meaningful in serve mode"),
+                ));
+            }
             Ok(req) => {
                 let key = engine.request_key(&req);
                 jobs.push((Job { slot, req }, key));

@@ -31,7 +31,9 @@
 //!   `Server::run` returns only after all threads join.
 
 use crate::engine::Engine;
-use crate::proto::{parse_request, render_err, ProtoError, RequestKind, MAX_LINE_BYTES};
+use crate::obs::{mint_trace_id, AccessRecord, TelemetryHub};
+use crate::proto::{parse_request, render_err, ProtoError, RequestKind, TraceCtx, MAX_LINE_BYTES};
+use crate::slo;
 use mpi_dfa_core::telemetry;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -90,19 +92,42 @@ pub trait LineHandler: Send + Sync + 'static {
 
 /// The single-process worker brain: admission control in front of the
 /// shared [`Engine`], panics caught per request.
-#[derive(Debug)]
 pub struct EngineLineHandler {
     engine: Arc<Engine>,
+    /// Present on a single-box `serve` with observability configured:
+    /// each analysis request then gets one access-log line (minting a
+    /// trace id when the client sent none). Cluster workers run without a
+    /// hub — their latency view reaches the supervisor's hub over the
+    /// telemetry stream, and the *router* writes the access log.
+    hub: Option<Arc<TelemetryHub>>,
 }
 
 impl EngineLineHandler {
     pub fn new(engine: Arc<Engine>) -> Self {
-        EngineLineHandler { engine }
+        EngineLineHandler { engine, hub: None }
+    }
+
+    /// [`EngineLineHandler::new`] plus an observability hub for the
+    /// access log (single-box serve).
+    pub fn with_hub(engine: Arc<Engine>, hub: Arc<TelemetryHub>) -> Self {
+        EngineLineHandler {
+            engine,
+            hub: Some(hub),
+        }
     }
 
     /// The wrapped engine (tests and the CLI reach caches through this).
     pub fn engine(&self) -> &Arc<Engine> {
         &self.engine
+    }
+}
+
+impl std::fmt::Debug for EngineLineHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineLineHandler")
+            .field("engine", &self.engine)
+            .field("hub", &self.hub.is_some())
+            .finish()
     }
 }
 
@@ -116,14 +141,31 @@ impl LineHandler for EngineLineHandler {
     /// busiest.
     fn answer(&self, line: &str) -> (String, bool) {
         let engine = &self.engine;
+        let started = std::time::Instant::now();
         match parse_request(line) {
             Err(e) => (render_err(0, &e), false),
-            Ok(req) => {
-                let resp = match req.kind {
-                    RequestKind::Ping | RequestKind::Shutdown | RequestKind::CacheStats => {
-                        engine.handle(&req)
-                    }
-                    _ => match engine.admission().try_admit() {
+            Ok(mut req) => {
+                let control = matches!(
+                    req.kind,
+                    RequestKind::Ping
+                        | RequestKind::Shutdown
+                        | RequestKind::CacheStats
+                        | RequestKind::Metrics
+                );
+                // With an access log configured, every analysis request
+                // gets a trace id — minted here when the client sent none,
+                // so its line is always correlatable.
+                if self.hub.is_some() && !control && req.trace.is_none() {
+                    req.trace = Some(TraceCtx {
+                        id: mint_trace_id(),
+                        parent: 0,
+                        attempt: 0,
+                    });
+                }
+                let resp = if control {
+                    engine.handle(&req)
+                } else {
+                    match engine.admission().try_admit() {
                         Err(shed) => render_err(
                             req.id,
                             &ProtoError::new(
@@ -145,8 +187,30 @@ impl LineHandler for EngineLineHandler {
                                     )
                                 })
                         }
-                    },
+                    }
                 };
+                if !control {
+                    let latency_us = started.elapsed().as_micros() as u64;
+                    let cache = slo::cache_outcome(&resp);
+                    engine.slo().record(
+                        req.kind.as_str(),
+                        cache,
+                        &engine.shard_label(),
+                        latency_us,
+                    );
+                    if let (Some(hub), Some(t)) = (&self.hub, &req.trace) {
+                        hub.record_access(&AccessRecord {
+                            trace: t.id,
+                            verb: req.kind.as_str().to_string(),
+                            shard: None,
+                            epoch: 0,
+                            attempts: 1,
+                            cache: cache.to_string(),
+                            tier: slo::tier_of(&resp).to_string(),
+                            latency_us,
+                        });
+                    }
+                }
                 (resp, req.kind == RequestKind::Shutdown)
             }
         }

@@ -26,6 +26,7 @@
 //! results is exactly the expensive case.
 
 use crate::health::{HealthConfig, HealthMonitor, HealthVerdict};
+use crate::obs::{parse_tele_update, TelemetryHub, TELE_PREFIX};
 use mpi_dfa_core::telemetry;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -252,6 +253,18 @@ pub struct Supervisor {
 
 impl Supervisor {
     pub fn start(shards: usize, spec: WorkerSpec) -> Result<Arc<Supervisor>, String> {
+        Self::start_with_hub(shards, spec, None)
+    }
+
+    /// [`Supervisor::start`] plus a cluster observability hub: each
+    /// shard's stdout drain thread then parses [`TELE_PREFIX`]-tagged
+    /// telemetry-stream lines and forwards them into the hub, stamped
+    /// with the shard and its incarnation epoch.
+    pub fn start_with_hub(
+        shards: usize,
+        spec: WorkerSpec,
+        hub: Option<Arc<TelemetryHub>>,
+    ) -> Result<Arc<Supervisor>, String> {
         if shards == 0 {
             return Err("--shards must be at least 1".into());
         }
@@ -265,8 +278,9 @@ impl Supervisor {
             let table = Arc::clone(&table);
             let stop = Arc::clone(&stop);
             let cell = Arc::clone(child);
+            let hub = hub.clone();
             threads.push(std::thread::spawn(move || {
-                supervise_shard(shard, &spec, &table, &stop, &cell);
+                supervise_shard(shard, &spec, &table, &stop, &cell, hub);
             }));
         }
         Ok(Arc::new(Supervisor {
@@ -364,6 +378,7 @@ fn supervise_shard(
     table: &Arc<ShardTable>,
     stop: &Arc<AtomicBool>,
     cell: &Arc<Mutex<Option<Child>>>,
+    hub: Option<Arc<TelemetryHub>>,
 ) {
     let mut backoff = spec.backoff.base;
     let mut first_attempt = true;
@@ -377,7 +392,13 @@ fn supervise_shard(
         }
         first_attempt = false;
         let started = Instant::now();
-        match spawn_worker(shard, spec) {
+        // The epoch this spawn will publish under: `publish` bumps by one
+        // per successful start and spawn failures do not bump it, so the
+        // drain thread can tag telemetry lines before publish happens. (A
+        // spawn that dies pre-publish tags a never-published epoch — the
+        // crash-partial trace still renders, attributed to that epoch.)
+        let next_epoch = table.snapshot(shard).epoch + 1;
+        match spawn_worker(shard, spec, hub.clone(), next_epoch) {
             Err(e) => {
                 eprintln!("[supervisor] shard {shard}: spawn failed: {e}");
                 table.note_spawn_failure(shard);
@@ -470,8 +491,15 @@ fn monitor_worker(
     }
 }
 
-/// Spawn one worker and wait for its `listening on ADDR` banner.
-fn spawn_worker(shard: usize, spec: &WorkerSpec) -> Result<(Child, SocketAddr), String> {
+/// Spawn one worker and wait for its `listening on ADDR` banner. With a
+/// hub, the stdout drain thread parses telemetry-stream lines after the
+/// banner; without one it discards them (`io::copy` to a sink).
+fn spawn_worker(
+    shard: usize,
+    spec: &WorkerSpec,
+    hub: Option<Arc<TelemetryHub>>,
+    epoch: u64,
+) -> Result<(Child, SocketAddr), String> {
     let mut cmd = Command::new(&spec.program);
     cmd.args(&spec.args)
         .arg("--shard-id")
@@ -496,8 +524,30 @@ fn spawn_worker(shard: usize, spec: &WorkerSpec) -> Result<(Child, SocketAddr), 
         let _ = reader.read_line(&mut line);
         let _ = tx.send(line);
         // Keep draining so the worker can never block on a full stdout
-        // pipe; this thread exits on worker EOF.
-        let _ = std::io::copy(&mut reader, &mut std::io::sink());
+        // pipe; this thread exits on worker EOF — which is also what
+        // makes the telemetry channel crash-tolerant: everything the
+        // worker flushed before a SIGKILL is already parsed into the hub.
+        match hub {
+            None => {
+                let _ = std::io::copy(&mut reader, &mut std::io::sink());
+            }
+            Some(hub) => {
+                let mut buf = String::new();
+                loop {
+                    buf.clear();
+                    match reader.read_line(&mut buf) {
+                        Ok(n) if n > 0 => {
+                            if let Some(payload) = buf.trim_end().strip_prefix(TELE_PREFIX) {
+                                if let Some(update) = parse_tele_update(payload) {
+                                    hub.note_worker_update(shard as u64, epoch, update);
+                                }
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
     });
     let banner = match rx.recv_timeout(spec.start_timeout) {
         Ok(line) => line,

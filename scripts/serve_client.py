@@ -33,13 +33,24 @@ of the whole fleet, and — after a full cluster restart onto the same
 `--cache-dir`, at a different shard count — warm *disk* hits proving the
 cache is content-addressed, not topology-addressed.
 
+Observability add-ons (see docs/OBSERVABILITY.md):
+
+  * `--metrics` scrapes the `metrics` verb and asserts the Prometheus
+    text carries SLO quantile series (and, against a cluster, the
+    merged router counters plus both latency families);
+  * `--trace` (cluster only) sends a request under a caller-chosen
+    trace id, asserts the response stays trace-free (determinism), that
+    exactly one access-log line lands under that id, and that
+    `mpidfa trace <id>` reconstructs a cross-process timeline.
+
 Usage: python3 scripts/serve_client.py [path/to/mpidfa]
                                        [--retries N] [--deadline-ms MS]
-                                       [--shards N]
+                                       [--shards N] [--metrics] [--trace]
 """
 
 import argparse
 import json
+import os
 import random
 import shutil
 import socket
@@ -124,15 +135,90 @@ def shutdown(client, proc):
     assert code == 0, f"server exited with {code}"
 
 
+def metrics_step(client, shards=None):
+    """`--metrics`: scrape the `metrics` verb and assert the Prometheus
+    text carries the SLO series. Against a cluster, worker-family series
+    ride the ~150 ms telemetry flush, so poll briefly for them; the
+    router-side counters and end-to-end family are synchronous."""
+    deadline = time.time() + 10.0
+    while True:
+        r = client.rpc({"id": 700, "kind": "metrics"})
+        assert r["ok"], r
+        prom = r["result"]["prometheus"]
+        if shards is None:
+            needles = ['mpidfa_request_latency_us{', 'quantile="0.99"']
+        else:
+            assert r["result"]["cluster"]["shards"] == shards, r
+            needles = [
+                "router_requests_total",
+                "access_log_lines_total",
+                "mpidfa_request_e2e_latency_us{",
+                "mpidfa_request_latency_us{",
+            ]
+        if all(n in prom for n in needles):
+            return prom
+        assert time.time() < deadline, (
+            f"metrics output never carried {needles}:\n{prom}"
+        )
+        time.sleep(0.2)
+
+
+def trace_step(client, binary, log_dir):
+    """`--trace` (cluster only): send one request under a caller-chosen
+    trace id, then assert the three tracing invariants: the response is
+    byte-compatible with an untraced one (no trace fields leak into it),
+    exactly one access-log line lands under the id, and `mpidfa trace`
+    reconstructs a timeline with both the router and a worker on it."""
+    trace_hex = "00000000000000000000feed0000c1a0"
+    r = client.rpc(
+        {"id": 800, "kind": "table1-row", "row": ROWS[1],
+         "trace": {"id": trace_hex, "parent": 1, "attempt": 0}}
+    )
+    assert r["ok"], r
+    assert "trace" not in r, (
+        "responses must stay identical with and without tracing", r)
+
+    # The access line is written synchronously by the router.
+    with open(os.path.join(log_dir, "access.jsonl"), encoding="utf-8") as f:
+        lines = [ln for ln in f if trace_hex in ln]
+    assert len(lines) == 1, f"expected exactly one access line: {lines}"
+    rec = json.loads(lines[0])
+    assert rec["verb"] == "table1-row", rec
+    assert rec["cache"] in ("hit", "miss", "bypass"), rec
+
+    # Spans reach the hub spool on the ~150 ms telemetry flush; poll the
+    # reconstruction until the router and a worker both appear on it.
+    deadline = time.time() + 10.0
+    while True:
+        out = subprocess.run(
+            [binary, "trace", trace_hex, "--log-dir", log_dir],
+            capture_output=True,
+            text=True,
+        )
+        if (
+            out.returncode == 0
+            and "router" in out.stdout
+            and "shard " in out.stdout
+        ):
+            return
+        assert time.time() < deadline, (
+            "trace reconstruction never showed router + worker spans:\n"
+            f"{out.stdout}\n{out.stderr}"
+        )
+        time.sleep(0.2)
+
+
 def cluster_main(args):
     """`--shards N`: the cluster smoke — same wire contract, real fleet."""
     cache_dir = tempfile.mkdtemp(prefix="mpidfa-serve-smoke-")
+    log_dir = tempfile.mkdtemp(prefix="mpidfa-serve-logs-")
     procs = []
     try:
-        proc, host, port = spawn(
-            [args.binary, "serve", "--shards", str(args.shards),
-             "--addr", "127.0.0.1:0", "--cache-dir", cache_dir]
-        )
+        argv = [args.binary, "serve", "--shards", str(args.shards),
+                "--addr", "127.0.0.1:0", "--cache-dir", cache_dir]
+        if args.trace:
+            argv += ["--log-dir", log_dir]
+        proc, host, port = spawn(argv)
         procs.append(proc)
         c = Client(host, port, retries=args.retries)
 
@@ -182,6 +268,12 @@ def cluster_main(args):
             range(args.shards)
         ), stats
 
+        # Observability add-ons against the live fleet.
+        if args.metrics:
+            metrics_step(c, shards=args.shards)
+        if args.trace:
+            trace_step(c, args.binary, log_dir)
+
         # Fleet shutdown: the router acks, every worker exits with it.
         shutdown(c2, proc)
 
@@ -203,17 +295,22 @@ def cluster_main(args):
             )
         shutdown(c, proc)
 
+        extras = "".join(
+            f", {name}" for name, on in
+            [("cluster metrics", args.metrics), ("trace", args.trace)] if on
+        )
         print(
             f"ok [cluster {args.shards} shard(s)]: {len(ROWS)} rows cold "
             f"{cold_s*1e3:.2f} ms, warm {warm_s*1e3:.2f} ms, cluster stats, "
             f"warm disk across a {args.shards}->{reshards} reshard, "
-            f"clean fleet shutdown"
+            f"clean fleet shutdown{extras}"
         )
     finally:
         for proc in procs:
             if proc.poll() is None:
                 proc.kill()
         shutil.rmtree(cache_dir, ignore_errors=True)
+        shutil.rmtree(log_dir, ignore_errors=True)
 
 
 def main():
@@ -239,7 +336,21 @@ def main():
         help="smoke a supervised cluster of N workers instead of the "
         "single-process daemon",
     )
+    ap.add_argument(
+        "--metrics",
+        action="store_true",
+        help="scrape the `metrics` verb and assert SLO quantile series "
+        "(merged across shards in cluster mode)",
+    )
+    ap.add_argument(
+        "--trace",
+        action="store_true",
+        help="cluster only: assert trace propagation, the access log, "
+        "and `mpidfa trace` timeline reconstruction",
+    )
     args = ap.parse_args()
+    if args.trace and args.shards is None:
+        ap.error("--trace requires --shards (cluster mode)")
     if args.shards is not None:
         return cluster_main(args)
 
@@ -305,6 +416,10 @@ def main():
         assert stats["admission"]["max_inflight"] > 0, stats
         assert stats["admission"]["tier_floor"] == "T0", stats
         assert stats["caches"]["result"]["hits"] >= len(ROWS), stats
+
+        # SLO histograms are always on, even with the telemetry sink off.
+        if args.metrics:
+            metrics_step(c)
 
         # A second connection shares the warm cache.
         c2 = Client(host, int(port), retries=args.retries)

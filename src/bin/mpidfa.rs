@@ -9,7 +9,8 @@
 //! mpidfa graph     <file.smpl> --context main [--clone N] [--matching naive|syntactic|consts]
 //! mpidfa run       <file.smpl> [--nprocs N] [--entry main] [--faults seed=N[,...]] [--schedules K]
 //! mpidfa batch     <requests.jsonl | -> [--pool N] [--cache-mem N] [--cache-dir D]
-//! mpidfa serve     [--addr 127.0.0.1:PORT] [--shards N] [--cache-mem N] [--cache-dir D] [--max-inflight N] [--idle-timeout-ms MS]
+//! mpidfa serve     [--addr 127.0.0.1:PORT] [--shards N] [--cache-mem N] [--cache-dir D] [--max-inflight N] [--idle-timeout-ms MS] [--log-dir D]
+//! mpidfa trace     <trace-id> --log-dir D
 //! ```
 //!
 //! Every command prints a human-readable report to stdout; parse/sema errors
@@ -109,8 +110,18 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     let result = dispatch(cmd, &opts);
     // Telemetry files are written even when the command fails: a trace of a
-    // failing run is exactly when you want one.
-    let tel_result = tel.write();
+    // failing run is exactly when you want one. Exception: a cluster serve
+    // (or a supervisor-managed worker streaming its telemetry upward) owns
+    // its exports — the merged cross-process trace and cluster metrics are
+    // written by `cmd_serve_cluster` itself, and a late local-sink write
+    // here would clobber them with one process's partial view.
+    let serve_owns_telemetry =
+        cmd == "serve" && (opts.value("shards").is_some() || opts.switch("telemetry-stream"));
+    let tel_result = if serve_owns_telemetry {
+        Ok(())
+    } else {
+        tel.write()
+    };
     result.and(tel_result)
 }
 
@@ -120,6 +131,7 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
     match cmd {
         "batch" => return cmd_batch(opts),
         "serve" => return cmd_serve(opts),
+        "trace" => return cmd_trace(opts),
         _ => {}
     }
     let src = load(opts)?;
@@ -531,7 +543,120 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         let ms: u64 = v.parse().map_err(|e| format!("--idle-timeout-ms: {e}"))?;
         config.idle_timeout = std::time::Duration::from_millis(ms.max(1));
     }
-    mpi_dfa::service::serve_with(engine, addr, config)
+    // `--telemetry-stream` (appended by the cluster spawner, usable by
+    // hand) streams spans/metrics/SLO histograms up the stdout pipe as
+    // `@tele ` JSONL; `--log-dir` keeps a local span spool + access log so
+    // `mpidfa trace` works against a single-box server too.
+    let stream_mode = opts.switch("telemetry-stream");
+    let hub = match opts.value("log-dir") {
+        Some(dir) => Some(mpi_dfa::service::TelemetryHub::new(Some(
+            std::path::Path::new(dir),
+        ))?),
+        None => None,
+    };
+    if (stream_mode || hub.is_some()) && !telemetry::is_enabled() {
+        telemetry::install(telemetry::TraceLevel::Spans);
+    }
+    let handler = match &hub {
+        Some(h) => mpi_dfa::service::EngineLineHandler::with_hub(
+            std::sync::Arc::clone(&engine),
+            std::sync::Arc::clone(h),
+        ),
+        None => mpi_dfa::service::EngineLineHandler::new(std::sync::Arc::clone(&engine)),
+    };
+    let server =
+        mpi_dfa::service::Server::bind_handler(std::sync::Arc::new(handler), addr, config)?;
+    let bound = server.local_addr()?;
+    // The banner must be the first stdout line (the supervisor parses it
+    // for the worker's ephemeral port), so the flusher starts only after.
+    println!("listening on {bound}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let flusher = (stream_mode || hub.is_some()).then(|| {
+        spawn_tele_flusher(move |pairer| {
+            flush_worker_telemetry(pairer, &engine, hub.as_ref(), stream_mode);
+        })
+    });
+    let result = server.run();
+    if let Some(flush) = flusher {
+        flush(); // final drain: trailing spans beat the process exit
+    }
+    result
+}
+
+/// Spawn a 150 ms-cadence telemetry flusher around a shared
+/// [`SpanPairer`]; returns a closure that runs one final flush inline
+/// (the background thread is detached and dies with the process).
+fn spawn_tele_flusher(
+    flush: impl Fn(&mut mpi_dfa::service::SpanPairer) + Send + Sync + 'static,
+) -> impl FnOnce() {
+    let pairer = std::sync::Arc::new(std::sync::Mutex::new(mpi_dfa::service::SpanPairer::new()));
+    let flush = std::sync::Arc::new(flush);
+    let (pairer2, flush2) = (
+        std::sync::Arc::clone(&pairer),
+        std::sync::Arc::clone(&flush),
+    );
+    std::thread::spawn(move || loop {
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        flush2(&mut pairer2.lock().unwrap_or_else(|p| p.into_inner()));
+    });
+    move || flush(&mut pairer.lock().unwrap_or_else(|p| p.into_inner()))
+}
+
+/// One worker-side flush: drain the local sink, pair spans, stream the
+/// `@tele ` line upward (when supervised) and spool locally (when
+/// `--log-dir` is set).
+fn flush_worker_telemetry(
+    pairer: &mut mpi_dfa::service::SpanPairer,
+    engine: &std::sync::Arc<mpi_dfa::service::Engine>,
+    hub: Option<&std::sync::Arc<mpi_dfa::service::TelemetryHub>>,
+    stream_mode: bool,
+) {
+    let report = telemetry::drain();
+    let completed = pairer.feed(&report.events, telemetry::unix_base_us());
+    if stream_mode {
+        let line = mpi_dfa::service::obs::render_tele_update(
+            &completed,
+            &pairer.open_spans(),
+            &report.metrics,
+            &engine.slo().snapshot(),
+        );
+        use std::io::Write as _;
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        let _ = writeln!(out, "{}{line}", mpi_dfa::service::TELE_PREFIX);
+        let _ = out.flush();
+    }
+    if let Some(hub) = hub {
+        let mut spans = completed;
+        spans.extend(pairer.open_spans());
+        hub.add_spans(spans);
+    }
+}
+
+/// `mpidfa trace <trace-id> --log-dir D` — reconstruct one request's
+/// cross-shard timeline from the span spool and access log a serve
+/// `--log-dir` left behind.
+fn cmd_trace(opts: &Opts) -> Result<(), String> {
+    let id_str = opts
+        .file
+        .as_deref()
+        .ok_or("trace requires a trace id (up to 32 hex digits)")?;
+    let trace_id = telemetry::parse_trace_id(id_str)
+        .ok_or_else(|| format!("`{id_str}` is not a trace id (1-32 hex digits)"))?;
+    let dir = opts
+        .value("log-dir")
+        .ok_or("trace requires --log-dir (the directory a serve --log-dir wrote)")?;
+    let spool_path = std::path::Path::new(dir).join("spans.jsonl");
+    let spool = std::fs::read_to_string(&spool_path)
+        .map_err(|e| format!("{}: {e}", spool_path.display()))?;
+    // The access log is optional context; a spool without one still
+    // reconstructs.
+    let access =
+        std::fs::read_to_string(std::path::Path::new(dir).join("access.jsonl")).unwrap_or_default();
+    let report = mpi_dfa::service::obs::reconstruct_trace(&spool, &access, trace_id)?;
+    print!("{report}");
+    Ok(())
 }
 
 /// `mpidfa serve --shards N` — supervised worker fleet behind a
@@ -557,9 +682,47 @@ fn cmd_serve_cluster(opts: &Opts, shards: usize, addr: &str) -> Result<(), Strin
             worker_args.push(v.to_string());
         }
     }
+    // Workers always stream their telemetry up the stdout pipe: the
+    // supervisor's drain thread feeds the hub, so the `metrics` verb and
+    // the merged trace are cluster-wide by construction, and a worker
+    // killed mid-request still leaves its flushed spans behind.
+    worker_args.push("--telemetry-stream".into());
     let worker = mpi_dfa::service::WorkerSpec::new(program, worker_args);
     let cfg = mpi_dfa::service::ClusterConfig::new(shards, worker);
-    mpi_dfa::service::serve_cluster(cfg, addr)
+    let hub = mpi_dfa::service::TelemetryHub::new(opts.value("log-dir").map(std::path::Path::new))?;
+    // Router spans (route/hedge/retry/brownout_wait) must land in the
+    // same merged trace, so the router sink is always on at span level.
+    if !telemetry::is_enabled() {
+        telemetry::install(telemetry::TraceLevel::Spans);
+    }
+    let cluster =
+        mpi_dfa::service::Cluster::start_with_hub(cfg, addr, Some(std::sync::Arc::clone(&hub)))?;
+    let bound = cluster.local_addr()?;
+    let handler = cluster.router();
+    println!("listening on {bound}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    // Router-process flusher: pid 0 in the merged trace.
+    let hub2 = std::sync::Arc::clone(&hub);
+    let flush = spawn_tele_flusher(move |pairer| {
+        let report = telemetry::drain();
+        let mut spans = pairer.feed(&report.events, telemetry::unix_base_us());
+        spans.extend(pairer.open_spans());
+        hub2.add_spans(spans);
+    });
+    let result = cluster.run();
+    flush();
+    // The merged exports are written by us, not `CliTelemetry`: the trace
+    // spans every process and the metrics text is the cluster merge.
+    if let Some(path) = opts.value("trace-out") {
+        std::fs::write(path, hub.merged_chrome_trace())
+            .map_err(|e| format!("--trace-out {path}: {e}"))?;
+    }
+    if let Some(path) = opts.value("metrics-out") {
+        std::fs::write(path, handler.cluster_metrics_text())
+            .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+    }
+    result
 }
 
 /// Build [`RuntimeLimits`] from `mpidfa run`'s `--max-steps` and
@@ -645,7 +808,17 @@ fn usage() -> String {
                   worker processes behind a consistent-hash router: dead or\n\
                   hung workers restart with capped backoff, requests hedge to\n\
                   ring siblings, and a shared --cache-dir survives any single\n\
-                  worker's crash; see docs/SERVING.md)\n\
+                  worker's crash; see docs/SERVING.md.\n\
+                  --log-dir D spools spans.jsonl + access.jsonl for `mpidfa\n\
+                  trace`; with --shards, --trace-out/--metrics-out write the\n\
+                  merged cross-process Chrome trace and cluster Prometheus\n\
+                  text at shutdown, and a `{\"kind\":\"metrics\"}` request\n\
+                  returns the live cluster scrape; see docs/OBSERVABILITY.md)\n\
+       trace      <trace-id> --log-dir D\n\
+                  (reconstruct one request's cross-shard timeline — router\n\
+                  route/hedge spans and every worker's admission/cache/solve\n\
+                  spans, labelled by shard and incarnation epoch — from the\n\
+                  span spool a serve --log-dir wrote)\n\
        run        [--nprocs N] [--entry main] [--faults SPEC] [--schedules K]\n\
                   [--max-steps N] [--recv-timeout-ms MS]\n\
                   SPEC: bare seed (`7`) or `seed=7,mode=adversarial|chaotic,\n\
