@@ -74,6 +74,57 @@ impl RuntimeError {
     pub fn is_deadlock(&self) -> bool {
         matches!(self, RuntimeError::Deadlock { .. })
     }
+
+    /// Render the per-rank wait-for cycle of a deadlock, when one is
+    /// recoverable from the blocked set: follow each rank's awaited
+    /// source rank until the walk closes. Wildcard receives (`src=ANY`)
+    /// have no concrete awaited peer and break the chain; a deadlock
+    /// without any closed chain (e.g. all-wildcard) returns `None`.
+    ///
+    /// The rendering mirrors the static wait-for cycles of the verify
+    /// subsystem (`rank → blocked op → awaited rank → …`), so dynamic
+    /// and static reports read side by side.
+    pub fn waitfor_cycle(&self) -> Option<String> {
+        let RuntimeError::Deadlock { waiting } = self else {
+            return None;
+        };
+        let wait_of = |rank: usize| waiting.iter().find(|w| w.rank == rank);
+        // Start the walk from the lowest blocked rank that participates
+        // in a closed chain, so the rendering is deterministic.
+        for start in waiting.iter().map(|w| w.rank) {
+            let mut path: Vec<usize> = vec![start];
+            let mut cur = start;
+            while let Some(next) = wait_of(cur).and_then(|w| w.src) {
+                if next == start {
+                    // Closed: render the cycle.
+                    let mut out = String::from("wait-for cycle:");
+                    for &r in &path {
+                        let w = wait_of(r).expect("path ranks are blocked");
+                        let tag = match w.tag {
+                            Some(t) => t.to_string(),
+                            None => "ANY".to_string(),
+                        };
+                        let peer = match w.src {
+                            Some(s) => s.to_string(),
+                            None => "ANY".to_string(),
+                        };
+                        out.push_str(&format!(
+                            "\n  rank {r} -> blocked recv(src={peer}, tag={tag}) at {} -> rank {peer}",
+                            w.span
+                        ));
+                    }
+                    out.push_str(&format!("\n  rank {start} closes the cycle"));
+                    return Some(out);
+                }
+                if path.contains(&next) || wait_of(next).is_none() {
+                    break;
+                }
+                path.push(next);
+                cur = next;
+            }
+        }
+        None
+    }
 }
 
 impl fmt::Display for RuntimeError {

@@ -38,7 +38,9 @@ use std::sync::Arc;
 /// it, so stale on-disk entries from older builds simply miss.
 /// v2: on-disk entries gained the checksummed `DiskStore` frame (older
 /// unframed files are quarantined by the startup fsck, never misread).
-pub const CACHE_SCHEMA_VERSION: u64 = 2;
+/// v3: requests gained the `verify` kind and its `nprocs`/`schedules`
+/// fields, which joined both key schemas.
+pub const CACHE_SCHEMA_VERSION: u64 = 3;
 
 /// Key for a whole-program IR: exact source text.
 pub fn source_key(source: &str) -> u128 {
@@ -104,6 +106,8 @@ pub fn result_key(req: &Request, source_hash: u128, effective_max_passes: u64) -
         .write_strs(&req.dep)
         .write_str(req.var.as_deref().unwrap_or(""))
         .write_str(req.row.as_deref().unwrap_or(""))
+        .write_opt_u64(req.nprocs)
+        .write_opt_u64(req.schedules)
         .write_str(req.matching_str())
         .write_str(&req.mode)
         .write_str(req.degrade_str())
@@ -134,6 +138,8 @@ pub fn routing_key(req: &Request) -> u128 {
         .write_strs(&req.dep)
         .write_str(req.var.as_deref().unwrap_or(""))
         .write_str(req.row.as_deref().unwrap_or(""))
+        .write_opt_u64(req.nprocs)
+        .write_opt_u64(req.schedules)
         .write_str(req.matching_str())
         .write_str(&req.mode)
         .write_str(req.degrade_str())
@@ -193,6 +199,8 @@ mod tests {
             r#","degrade":"off""#,
             r#","max_visits":10"#,
             r#","max_fact_bytes":1024"#,
+            r#","nprocs":4"#,
+            r#","schedules":16"#,
         ] {
             let k = result_key(&req(variant), 42, 100).unwrap();
             assert_ne!(k, base, "variant {variant} must change the key");

@@ -371,6 +371,7 @@ impl Engine {
         }
         let source = match (&req.program, &req.source) {
             (Some(name), None) => programs::source(name)
+                .or_else(|| mpi_dfa_verify::corpus::source(name))
                 .ok_or_else(|| {
                     ProtoError::new(
                         "unknown-program",
@@ -549,6 +550,32 @@ impl Engine {
                     mpi.comm_edges.len(),
                     escape(&dot)
                 ))
+            }
+            RequestKind::Verify => {
+                let ir = self.ir_for(source)?;
+                let mut budget = Budget::unlimited();
+                if let Some(ms) = Self::effective_deadline_ms(req) {
+                    budget = budget.with_deadline_ms(ms);
+                }
+                if let Some(w) = req.max_visits {
+                    budget = budget.with_max_work(w);
+                }
+                if let Some(b) = req.max_fact_bytes {
+                    budget = budget.with_max_fact_bytes(b);
+                }
+                let mpi =
+                    build_mpi_icfg_with_budget(ir, context, req.clone_level, req.matching, &budget)
+                        .map_err(|e| Self::analysis_error(req, e.to_string()))?;
+                let vcfg = mpi_dfa_verify::VerifyConfig {
+                    nprocs: req.nprocs.unwrap_or(2) as usize,
+                    schedules: req.schedules.unwrap_or(8) as u32,
+                    entry: context.to_string(),
+                    max_passes: self.effective_max_passes(req) as usize,
+                    ..mpi_dfa_verify::VerifyConfig::default()
+                };
+                let report = mpi_dfa_verify::verify(&mpi, &vcfg, &budget)
+                    .map_err(|e| Self::analysis_error(req, e.to_string()))?;
+                Ok(mpi_dfa_verify::render_json(&report))
             }
             RequestKind::Table1Row => {
                 let spec = spec.expect("resolve_source sets the spec for table1-row");
@@ -845,6 +872,34 @@ mod tests {
         assert!(e.handle(&capped).contains("\"cache\":\"hit\""));
         let r1b = e.handle(&capped);
         assert_eq!(r1b, r1.replace("\"cache\":\"miss\"", "\"cache\":\"hit\""));
+    }
+
+    #[test]
+    fn verify_verb_caches_and_is_byte_identical_on_hit() {
+        let e = engine();
+        let safe = parse(r#"{"id":1,"kind":"verify","program":"figure1","schedules":2}"#);
+        let cold = e.handle(&safe);
+        assert!(cold.contains("\"cache\":\"miss\""), "{cold}");
+        assert!(cold.contains("\"verdict\":\"safe\""), "{cold}");
+        assert!(cold.contains("\"outcome\":\"consistent-safe\""), "{cold}");
+        let warm = e.handle(&safe);
+        assert!(warm.contains("\"cache\":\"hit\""), "{warm}");
+        assert_eq!(
+            warm,
+            cold.replace("\"cache\":\"miss\"", "\"cache\":\"hit\""),
+            "hit must serve the recompute's exact bytes"
+        );
+
+        // The seeded corpus resolves by name and is flagged + realized.
+        let bad =
+            parse(r#"{"id":2,"kind":"verify","program":"deadlock-head-to-head","schedules":2}"#);
+        let r = e.handle(&bad);
+        assert!(r.contains("\"verdict\":\"flagged\""), "{r}");
+        assert!(r.contains("\"outcome\":\"confirmed\""), "{r}");
+
+        // nprocs/schedules are part of the key: changing either recomputes.
+        let other = parse(r#"{"id":3,"kind":"verify","program":"figure1","schedules":3}"#);
+        assert!(e.handle(&other).contains("\"cache\":\"miss\""));
     }
 
     #[test]

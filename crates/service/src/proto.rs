@@ -72,6 +72,11 @@ pub enum RequestKind {
     ActivityAtLocation,
     /// DOT rendering of the MPI-ICFG.
     Dot,
+    /// Static correctness suite (match-set, MHP, deadlock) plus the
+    /// schedule-explorer cross-check. The report is deterministic — no
+    /// wall-clock fields, seeded exploration — so it caches like any
+    /// analysis result.
+    Verify,
     /// Liveness probe; answered without touching the pipeline.
     Ping,
     /// Ask a server to stop accepting connections (serve mode only).
@@ -94,6 +99,7 @@ impl RequestKind {
             RequestKind::Table1Row => "table1-row",
             RequestKind::ActivityAtLocation => "activity-at-location",
             RequestKind::Dot => "dot",
+            RequestKind::Verify => "verify",
             RequestKind::Ping => "ping",
             RequestKind::Shutdown => "shutdown",
             RequestKind::CacheStats => "cache-stats",
@@ -107,6 +113,7 @@ impl RequestKind {
             "table1-row" => RequestKind::Table1Row,
             "activity-at-location" => RequestKind::ActivityAtLocation,
             "dot" => RequestKind::Dot,
+            "verify" => RequestKind::Verify,
             "ping" => RequestKind::Ping,
             "shutdown" => RequestKind::Shutdown,
             "cache-stats" => RequestKind::CacheStats,
@@ -160,6 +167,12 @@ pub struct Request {
     pub var: Option<String>,
     /// Row id for `table1-row`.
     pub row: Option<String>,
+    /// Simulated process count for `verify` (rank guards, range checks,
+    /// schedule exploration). Part of the cache key.
+    pub nprocs: Option<u64>,
+    /// Adversarial schedules for the `verify` cross-check (0 disables
+    /// exploration). Part of the cache key.
+    pub schedules: Option<u64>,
     pub matching: Matching,
     /// `mpi` | `global` | `naive` (communication model for `analyze`).
     pub mode: String,
@@ -199,6 +212,8 @@ impl Request {
             dep: Vec::new(),
             var: None,
             row: None,
+            nprocs: None,
+            schedules: None,
             matching: Matching::ReachingConstants,
             mode: "mpi".to_string(),
             budget_ms: None,
@@ -285,7 +300,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             "unknown-kind",
             format!(
                 "unknown request kind `{kind_str}` (expected analyze | table1-row | \
-                 activity-at-location | dot | ping | shutdown | cache-stats | metrics)"
+                 activity-at-location | dot | verify | ping | shutdown | cache-stats | metrics)"
             ),
         ));
     };
@@ -302,6 +317,8 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             "dep" => req.dep = list_field(v, key)?,
             "var" => req.var = Some(str_field(v, key)?),
             "row" => req.row = Some(str_field(v, key)?),
+            "nprocs" => req.nprocs = Some(u64_field(v, key)?),
+            "schedules" => req.schedules = Some(u64_field(v, key)?),
             "matching" => {
                 req.matching = match str_field(v, key)?.as_str() {
                     "naive" => Matching::Naive,
@@ -387,7 +404,10 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         ));
     }
     match kind {
-        RequestKind::Analyze | RequestKind::ActivityAtLocation | RequestKind::Dot => {
+        RequestKind::Analyze
+        | RequestKind::ActivityAtLocation
+        | RequestKind::Dot
+        | RequestKind::Verify => {
             if req.program.is_none() && req.source.is_none() {
                 return Err(ProtoError::bad(format!(
                     "kind `{}` requires `program` or `source`",
@@ -409,6 +429,18 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         return Err(ProtoError::bad(
             "kind `activity-at-location` requires `var`",
         ));
+    }
+    // The verify cross-check spawns `nprocs` interpreter threads per
+    // schedule, so unbounded values are a resource hazard on a server.
+    if let Some(n) = req.nprocs {
+        if n == 0 || n > 64 {
+            return Err(ProtoError::bad("field `nprocs` must be in 1..=64"));
+        }
+    }
+    if let Some(k) = req.schedules {
+        if k > 256 {
+            return Err(ProtoError::bad("field `schedules` must be at most 256"));
+        }
     }
     Ok(req)
 }
@@ -456,6 +488,13 @@ pub fn render_request(req: &Request) -> String {
     list_f(&mut out, "dep", &req.dep);
     str_f(&mut out, "var", &req.var);
     str_f(&mut out, "row", &req.row);
+    let u64_opt = |out: &mut String, key: &str, v: Option<u64>| {
+        if let Some(n) = v {
+            let _ = write!(out, ",\"{key}\":{n}");
+        }
+    };
+    u64_opt(&mut out, "nprocs", req.nprocs);
+    u64_opt(&mut out, "schedules", req.schedules);
     if req.matching != Matching::ReachingConstants {
         let _ = write!(out, ",\"matching\":\"{}\"", req.matching_str());
     }
@@ -661,6 +700,7 @@ mod tests {
             r#"{"id":3,"kind":"table1-row","row":"Biostat","solver":"region-parallel:2"}"#,
             r#"{"id":4,"kind":"analyze","source":"program \"p\"","ind":["a","b"],"dep":["c"],"clone":2,"matching":"naive","mode":"global","budget_ms":5,"deadline_ms":9,"max_visits":10,"max_fact_bytes":11,"degrade":"off","max_passes":3}"#,
             r#"{"id":5,"kind":"metrics","trace":{"id":"1234","parent":9,"attempt":1}}"#,
+            r#"{"id":6,"kind":"verify","program":"figure1","nprocs":4,"schedules":12}"#,
         ];
         for line in lines {
             let req = parse_request(line).unwrap();

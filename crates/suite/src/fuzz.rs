@@ -9,7 +9,12 @@
 //!   or `IcfgError`, never as an unwind;
 //! * **no hang** — graph construction and the reaching-constants bootstrap
 //!   run under a wall-clock [`Budget`]; a case that still exceeds a large
-//!   multiple of its deadline is reported as a hang.
+//!   multiple of its deadline is reported as a hang;
+//! * **deterministic verification** — every mutant that builds an
+//!   MPI-ICFG also runs the static verify passes (match-set, MHP,
+//!   deadlock; no schedule exploration) twice, and the two reports must
+//!   be identical. A divergent verdict is surfaced as a failure with the
+//!   usual span-tree diagnosis.
 //!
 //! Everything is deterministic in the seed, so a CI failure reproduces
 //! locally with `FUZZ_SEED=<seed> FUZZ_CASES=1 cargo test -p mpi-dfa-suite
@@ -208,9 +213,32 @@ pub fn pipeline(src: &str, deadline: Duration) -> Stage {
     // the bootstrap solve, and pairwise matching. Mutants usually keep a
     // `main`; those that lose it exercise the unknown-context error path.
     match build_mpi_icfg_with_budget(ir, "main", 1, Matching::ReachingConstants, &budget) {
-        Ok(_) => Stage::Built,
+        Ok(g) => {
+            verify_contract(&g);
+            Stage::Built
+        }
         Err(_) => Stage::RejectedGraph,
     }
+}
+
+/// The verify leg of the fuzz contract: the static passes must neither
+/// panic nor hang on any buildable mutant (the pass-bounded solver keeps
+/// them finite without a wall-clock budget), and two runs over the same
+/// graph must produce identical reports. Schedule exploration stays off —
+/// the fuzzer must never spawn interpreter threads per case. A divergence
+/// panics, which the harness catches and reports like any other
+/// contract violation.
+fn verify_contract(g: &mpi_dfa_graph::mpi::MpiIcfg) {
+    let cfg = mpi_dfa_verify::VerifyConfig {
+        schedules: 0,
+        ..mpi_dfa_verify::VerifyConfig::default()
+    };
+    let a = mpi_dfa_verify::verify_static(g, &cfg, &Budget::unlimited());
+    let b = mpi_dfa_verify::verify_static(g, &cfg, &Budget::unlimited());
+    assert!(
+        a == b,
+        "verify verdict diverged across two runs on one graph:\n  first:  {a:?}\n  second: {b:?}"
+    );
 }
 
 /// Run one seeded case against `corpus`. `Err` means contract violation.
@@ -287,6 +315,17 @@ pub fn diagnose_case(seed: u64, corpus: &[String], deadline: Duration) -> String
                 Err(_) => "PANICKED during graph construction/matching".to_string(),
             };
             let _ = writeln!(out, "  outcome:        {verdict}");
+            if let Ok(Ok(g)) = &graph {
+                let verify_started = Instant::now();
+                let vr = catch_unwind(AssertUnwindSafe(|| verify_contract(g)));
+                let _ = writeln!(out, "  verify:         {:?}", verify_started.elapsed());
+                if vr.is_err() {
+                    let _ = writeln!(
+                        out,
+                        "  verify outcome: PANICKED (or diverged) in the verify passes"
+                    );
+                }
+            }
         }
         Ok(Err(e)) => {
             let _ = writeln!(out, "  outcome:        rejected by the front end: {e}");
@@ -377,6 +416,15 @@ mod tests {
         let fig = vec![programs::FIGURE1.to_string()];
         let d = diagnose_case(0, &fig, Duration::from_millis(500));
         assert!(d.contains("compile"), "span tree names stages: {d}");
+    }
+
+    #[test]
+    fn verify_contract_holds_on_the_unmutated_corpus() {
+        // Every corpus program builds; `pipeline` therefore runs the
+        // verify determinism contract on each (a divergence panics).
+        for src in corpus() {
+            assert_eq!(pipeline(&src, Duration::from_secs(5)), Stage::Built);
+        }
     }
 
     #[test]

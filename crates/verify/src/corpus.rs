@@ -1,0 +1,92 @@
+//! Seeded known-deadlock corpus.
+//!
+//! Small SMPL programs that deadlock by construction, used by the
+//! cross-check tests, the CI `verify-smoke` job, and anyone wanting a
+//! guaranteed-flagged input (`mpidfa verify deadlock-head-to-head`).
+//! Every program here must be statically flagged by at least one verify
+//! pass; `deadlock-head-to-head` additionally deadlocks under every
+//! schedule, so it anchors the "flagged *and* realized" acceptance
+//! criterion.
+
+/// Both ranks post a blocking receive before their send: the canonical
+/// cyclic wait. Flagged by the deadlock pass; realized by every
+/// schedule.
+pub const HEAD_TO_HEAD: &str = "\
+program head_to_head
+global x: real;
+global y: real;
+sub main() {
+  recv(y, 1 - rank(), 5);
+  send(x, 1 - rank(), 5);
+}
+";
+
+/// Send and receive tags can never meet: both operations are unmatched
+/// and every rank blocks in `recv` forever.
+pub const TAG_MISMATCH: &str = "\
+program tag_mismatch
+global x: real;
+global y: real;
+sub main() {
+  send(x, 1 - rank(), 1);
+  recv(y, 1 - rank(), 2);
+}
+";
+
+/// Rank 0 waits at a barrier no other rank ever reaches while rank 1
+/// waits for a message nobody sends: a mismatched-collective deadlock.
+/// The receive is unmatched, so the match-set pass flags it.
+pub const BARRIER_MISMATCH: &str = "\
+program barrier_mismatch
+global y: real;
+sub main() {
+  if (rank() == 0) {
+    barrier();
+  } else {
+    recv(y, 0, 9);
+  }
+}
+";
+
+/// The receive names itself as the source; no send exists at all.
+pub const ORPHAN_RECV: &str = "\
+program orphan_recv
+global y: real;
+sub main() {
+  recv(y, rank(), 3);
+}
+";
+
+/// One send, three receive iterations: every receive is *matched* (the
+/// comm edges pair it with the lone send), but the second iteration has
+/// nothing left to consume. Flagged by the match-set pass's
+/// supply-exhaustion diagnostic; deadlocks under every schedule.
+pub const LOOP_STARVED: &str = "\
+program loop_starved
+global x: real;
+global y: real;
+global i: int;
+sub main() {
+  if (rank() == 0) {
+    send(x, 1, 5);
+  } else {
+    for i = 1, 3 {
+      recv(y, 0, 5);
+    }
+  }
+}
+";
+
+/// All registered deadlock programs, by CLI-resolvable name.
+pub const ALL: &[(&str, &str)] = &[
+    ("deadlock-head-to-head", HEAD_TO_HEAD),
+    ("deadlock-tag-mismatch", TAG_MISMATCH),
+    ("deadlock-barrier-mismatch", BARRIER_MISMATCH),
+    ("deadlock-orphan-recv", ORPHAN_RECV),
+    ("deadlock-loop-starved", LOOP_STARVED),
+];
+
+/// Look up a corpus program by name.
+pub fn source(name: &str) -> Option<&'static str> {
+    ALL.iter().find(|(n, _)| *n == name).map(|(_, s)| *s)
+}

@@ -1,0 +1,210 @@
+//! Cross-check of static verdicts against the schedule explorer.
+//!
+//! The contract runs in both directions:
+//!
+//! * **static-safe** programs (no unmatched receives, no wait-for
+//!   cycles) must survive the fault-free baseline *and* `K` adversarial
+//!   schedules without deadlock — a deadlock here is a
+//!   [`Outcome::Contradiction`] and a bug in the static passes;
+//! * **static-flagged** programs get a realization attempt: the same
+//!   `K` seeded adversarial schedules try to drive the program into the
+//!   predicted deadlock, and the outcome ([`Outcome::Confirmed`] /
+//!   [`Outcome::Unrealized`]) becomes part of the report. An unrealized
+//!   flag is an admissible false positive — the predictive pass
+//!   abstracts message counts and rank-dependent peers — but a
+//!   confirmed one is ground truth.
+//!
+//! Everything is seeded (`base_seed` forks per schedule exactly like
+//! `suite::schedules`) and the report carries no wall-clock data, so
+//! verify responses stay content-addressable and byte-identical across
+//! cache hits, recomputes, and service topologies.
+
+use mpi_dfa_lang::ast::Program;
+use mpi_dfa_lang::fault::FaultPlan;
+use mpi_dfa_lang::interp::{self, InterpConfig, RuntimeError};
+use mpi_dfa_lang::rng::SplitMix64;
+
+use crate::VerifyConfig;
+
+/// Joint verdict of the static passes and the schedule explorer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Static-safe and no schedule deadlocked.
+    ConsistentSafe,
+    /// Static-safe but a schedule deadlocked — a static-pass bug.
+    Contradiction,
+    /// Static-flagged and a schedule realized a deadlock.
+    Confirmed,
+    /// Static-flagged but no schedule realized it (admissible false
+    /// positive).
+    Unrealized,
+    /// No exploration ran (disabled, or the baseline run failed for a
+    /// non-deadlock reason).
+    Skipped,
+}
+
+impl Outcome {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::ConsistentSafe => "consistent-safe",
+            Outcome::Contradiction => "contradiction",
+            Outcome::Confirmed => "confirmed",
+            Outcome::Unrealized => "unrealized",
+            Outcome::Skipped => "skipped",
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossCheck {
+    /// Did the fault-free baseline complete?
+    pub baseline_ok: bool,
+    /// Adversarial schedules attempted (excludes the baseline).
+    pub attempted: u32,
+    /// Schedules that ran to completion.
+    pub completed: u32,
+    /// Schedules (baseline included) that ended in deadlock.
+    pub deadlocked: u32,
+    /// Rendered wait-for cycle of the first observed deadlock.
+    pub first_deadlock: Option<String>,
+    pub outcome: Outcome,
+}
+
+/// The per-schedule fault plan: `base_seed` forked by schedule index,
+/// mirroring `suite::schedules::ScheduleConfig::plan_for`.
+fn plan_for(base_seed: u64, i: u32) -> FaultPlan {
+    FaultPlan::adversarial(SplitMix64::fork(base_seed, i as u64).next_u64())
+}
+
+fn interp_config(cfg: &VerifyConfig, plan: Option<FaultPlan>) -> InterpConfig {
+    InterpConfig {
+        nprocs: cfg.nprocs,
+        entry: cfg.entry.clone(),
+        limits: cfg.limits.clone(),
+        init_globals: Vec::new(),
+        capture_globals: false,
+        fault_plan: plan,
+    }
+}
+
+/// Render a deadlock deterministically (per-rank waits plus the wait-for
+/// cycle when one is recoverable from the blocked set).
+fn render_deadlock(err: &RuntimeError) -> String {
+    match err.waitfor_cycle() {
+        Some(cycle) => cycle,
+        None => err.to_string(),
+    }
+}
+
+/// Explore `schedules` adversarial interleavings and classify the result
+/// against the static verdict (`flagged`).
+pub fn run(program: &Program, flagged: bool, cfg: &VerifyConfig) -> CrossCheck {
+    let mut span = mpi_dfa_core::telemetry::span("verify", "crosscheck");
+    let mut out = CrossCheck {
+        baseline_ok: false,
+        attempted: 0,
+        completed: 0,
+        deadlocked: 0,
+        first_deadlock: None,
+        outcome: Outcome::Skipped,
+    };
+    if cfg.schedules == 0 {
+        span.arg("outcome", out.outcome.as_str().to_string());
+        return out;
+    }
+
+    // Fault-free baseline.
+    match interp::run(program, &interp_config(cfg, None)) {
+        Ok(_) => out.baseline_ok = true,
+        Err(e) if e.is_deadlock() => {
+            out.deadlocked += 1;
+            out.first_deadlock = Some(render_deadlock(&e));
+        }
+        Err(_) => {
+            // The program does not run (missing entry, runtime failure):
+            // exploration cannot say anything about deadlock freedom.
+            span.arg("outcome", out.outcome.as_str().to_string());
+            return out;
+        }
+    }
+
+    for i in 0..cfg.schedules {
+        out.attempted += 1;
+        match interp::run(
+            program,
+            &interp_config(cfg, Some(plan_for(cfg.base_seed, i))),
+        ) {
+            Ok(_) => out.completed += 1,
+            Err(e) if e.is_deadlock() => {
+                out.deadlocked += 1;
+                if out.first_deadlock.is_none() {
+                    out.first_deadlock = Some(render_deadlock(&e));
+                }
+            }
+            Err(_) => {}
+        }
+    }
+
+    out.outcome = match (flagged, out.deadlocked > 0) {
+        (false, false) => Outcome::ConsistentSafe,
+        (false, true) => Outcome::Contradiction,
+        (true, true) => Outcome::Confirmed,
+        (true, false) => Outcome::Unrealized,
+    };
+    mpi_dfa_core::telemetry::metric_add("verify_crosscheck_schedules_total", out.attempted as f64);
+    span.arg("outcome", out.outcome.as_str().to_string());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_dfa_lang::compile;
+
+    fn program(src: &str) -> Program {
+        compile(src).unwrap().program
+    }
+
+    #[test]
+    fn safe_program_is_consistent() {
+        let p = program(
+            "program p global x: real; global y: real;\n\
+             sub main() { if (rank() == 0) { send(x, 1, 7); } else { recv(y, 0, 7); } }",
+        );
+        let cfg = VerifyConfig::default();
+        let r = run(&p, false, &cfg);
+        assert!(r.baseline_ok);
+        assert_eq!(r.outcome, Outcome::ConsistentSafe, "{r:?}");
+        assert_eq!(r.deadlocked, 0);
+    }
+
+    #[test]
+    fn head_to_head_deadlock_is_confirmed() {
+        let p = program(
+            "program p global x: real; global y: real;\n\
+             sub main() { recv(y, 1 - rank(), 5); send(x, 1 - rank(), 5); }",
+        );
+        let cfg = VerifyConfig {
+            schedules: 2,
+            ..VerifyConfig::default()
+        };
+        let r = run(&p, true, &cfg);
+        assert_eq!(r.outcome, Outcome::Confirmed, "{r:?}");
+        assert!(r.first_deadlock.is_some());
+    }
+
+    #[test]
+    fn verdicts_are_deterministic() {
+        let p = program(
+            "program p global x: real; global y: real;\n\
+             sub main() { recv(y, 1 - rank(), 5); send(x, 1 - rank(), 5); }",
+        );
+        let cfg = VerifyConfig {
+            schedules: 3,
+            ..VerifyConfig::default()
+        };
+        let a = run(&p, true, &cfg);
+        let b = run(&p, true, &cfg);
+        assert_eq!(a, b);
+    }
+}

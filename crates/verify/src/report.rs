@@ -1,0 +1,46 @@
+//! Shared diagnostic structure with clone-context provenance.
+
+use mpi_dfa_core::graph::NodeId;
+use mpi_dfa_graph::mpi::MpiIcfg;
+
+/// One diagnostic, anchored to a node of a specific procedure instance.
+///
+/// `instance` is the clone index assigned by the ICFG builder (instance 0
+/// is the context entry instance); together with `proc` and `span` it
+/// pins the finding to one calling context at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    pub node: u32,
+    /// Short operation label, e.g. `send(x)`.
+    pub op: String,
+    /// Procedure the node belongs to.
+    pub proc: String,
+    /// Clone instance of that procedure.
+    pub instance: u32,
+    /// `line:col` of the statement.
+    pub span: String,
+    pub reason: String,
+}
+
+impl Diag {
+    pub fn at(g: &MpiIcfg, n: NodeId, reason: String) -> Diag {
+        let icfg = g.icfg();
+        let payload = icfg.payload(n);
+        Diag {
+            node: n.0,
+            op: payload.label(),
+            proc: icfg.ir.proc_name(icfg.proc_of(n)).to_string(),
+            instance: icfg.instance_of(n),
+            span: payload.span.to_string(),
+            reason,
+        }
+    }
+
+    /// `send(x) in main[0] at 3:14` — shared by text reports.
+    pub fn locus(&self) -> String {
+        format!(
+            "{} in {}[{}] at {}",
+            self.op, self.proc, self.instance, self.span
+        )
+    }
+}

@@ -16,6 +16,9 @@ line, then asserts over a real socket:
   * `deadline_ms` is honored: a generous deadline answers normally (with
     `cache: bypass` — wall-clock budgets are never cached), an
     already-expired deadline answers a structured `deadline-exceeded`;
+  * the `verify` verb answers SAFE (consistent-safe) for a Table-1
+    program and FLAGGED (confirmed) for a seeded corpus program, with
+    warm hits byte-identical to cold misses (docs/VERIFY.md);
   * `cache-stats` reports the admission ladder and cache counters;
   * `shutdown` is acknowledged and the process exits cleanly with code 0.
 
@@ -135,6 +138,34 @@ def shutdown(client, proc):
     assert code == 0, f"server exited with {code}"
 
 
+def verify_step(client, base_id):
+    """The `verify` verb (docs/VERIFY.md): a Table-1 program comes back
+    SAFE/consistent-safe and a seeded corpus program comes back
+    FLAGGED/confirmed; both are cached, and the warm hit is
+    byte-identical to the cold miss."""
+    safe = {"id": base_id, "kind": "verify", "program": "figure1",
+            "schedules": 4}
+    flagged = {"id": base_id + 1, "kind": "verify",
+               "program": "deadlock-head-to-head", "schedules": 4}
+
+    cold = client.rpc(safe)
+    assert cold["ok"] and cold["cache"] == "miss", cold
+    assert cold["result"]["verdict"] == "safe", cold
+    assert cold["result"]["crosscheck"]["outcome"] == "consistent-safe", cold
+    warm = client.rpc(safe)
+    assert warm["ok"] and warm["cache"] == "hit", warm
+    assert warm["result"] == cold["result"], (
+        "warm verify result diverged from cold"
+    )
+
+    r = client.rpc(flagged)
+    assert r["ok"], r
+    assert r["result"]["verdict"] == "flagged", r
+    assert r["result"]["crosscheck"]["outcome"] == "confirmed", r
+    assert r["result"]["crosscheck"]["first_deadlock"], r
+    return cold["result"]
+
+
 def metrics_step(client, shards=None):
     """`--metrics`: scrape the `metrics` verb and assert the Prometheus
     text carries the SLO series. Against a cluster, worker-family series
@@ -245,6 +276,10 @@ def cluster_main(args):
         r = c2.rpc({"id": 200, "kind": "table1-row", "row": ROWS[0]})
         assert r["ok"] and r["cache"] == "hit", r
 
+        # The verify verb through the router: safe + flagged verdicts,
+        # cold/warm byte-identity.
+        verify_result = verify_step(c, 400)
+
         # Malformed lines: structured error, connection survives.
         err = c.raw('{"id":5,"kind":')
         assert err["ok"] is False and err["error"]["code"] == "parse", err
@@ -293,6 +328,14 @@ def cluster_main(args):
             assert resp["result"] == cold_resp["result"], (
                 "disk-warmed result diverged across topologies"
             )
+        # Verify results are content-addressed too: the reshard answers
+        # the same verify request from disk, byte-identical.
+        r = c.rpc({"id": 500, "kind": "verify", "program": "figure1",
+                   "schedules": 4})
+        assert r["ok"] and r["cache"] == "hit", r
+        assert r["result"] == verify_result, (
+            "verify result diverged across topologies"
+        )
         shutdown(c, proc)
 
         extras = "".join(
@@ -408,6 +451,10 @@ def main():
                    "deadline_ms": 0})
         assert r["ok"] is False, r
         assert r["error"]["code"] == "deadline-exceeded", r
+
+        # The verify verb: safe + flagged verdicts, cold/warm
+        # byte-identity through the result cache.
+        verify_step(c, 400)
 
         # cache-stats: admission ladder + per-layer counters.
         r = c.rpc({"id": 10, "kind": "cache-stats"})

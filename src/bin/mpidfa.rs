@@ -7,6 +7,7 @@
 //! mpidfa taint     <file.smpl> --context main --source x [--reads-tainted] [--conservative]
 //! mpidfa bitwidth  <file.smpl> --context main [--conservative]
 //! mpidfa graph     <file.smpl> --context main [--clone N] [--matching naive|syntactic|consts]
+//! mpidfa verify    <file.smpl> --context main [--nprocs N] [--schedules K] [--seed N] [--json] [--dot]
 //! mpidfa run       <file.smpl> [--nprocs N] [--entry main] [--faults seed=N[,...]] [--schedules K]
 //! mpidfa batch     <requests.jsonl | -> [--pool N] [--cache-mem N] [--cache-dir D]
 //! mpidfa serve     [--addr 127.0.0.1:PORT] [--shards N] [--cache-mem N] [--cache-dir D] [--max-inflight N] [--idle-timeout-ms MS] [--log-dir D]
@@ -347,6 +348,48 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
                 print!("{}", mpi_dfa::graph::dot::mpi_icfg_to_dot(&g, &context));
             }
         }
+        "verify" => {
+            let matching = match opts.value("matching").unwrap_or("consts") {
+                "naive" => Matching::Naive,
+                "syntactic" => Matching::Syntactic,
+                "consts" => Matching::ReachingConstants,
+                other => return Err(format!("unknown --matching `{other}`")),
+            };
+            let nprocs: usize = opts
+                .value("nprocs")
+                .map(|v| v.parse().map_err(|e| format!("--nprocs: {e}")))
+                .transpose()?
+                .unwrap_or(2);
+            let schedules: u32 = opts
+                .value("schedules")
+                .map(|v| v.parse().map_err(|e| format!("--schedules: {e}")))
+                .transpose()?
+                .unwrap_or(8);
+            let mut cfg = mpi_dfa::verify::VerifyConfig {
+                nprocs,
+                schedules,
+                entry: context.clone(),
+                limits: runtime_limits(opts)?,
+                ..mpi_dfa::verify::VerifyConfig::default()
+            };
+            if let Some(v) = opts.value("seed") {
+                cfg.base_seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            let budget = governor_config(opts, clone_level)?.budget;
+            let g = graph(matching)?;
+            let report = mpi_dfa::verify::verify(&g, &cfg, &budget).map_err(|e| e.to_string())?;
+            let title = opts.file.as_deref().unwrap_or("program");
+            if opts.switch("dot") {
+                print!("{}", mpi_dfa::verify::dot::overlay(&g, &report, title));
+            } else if opts.switch("json") {
+                println!("{}", mpi_dfa::verify::render_json(&report));
+            } else {
+                print!("{}", mpi_dfa::verify::render_text(&report, title, &cfg));
+            }
+            if report.verdict == mpi_dfa::verify::Verdict::Flagged {
+                return Err("verification flagged findings (see report above)".into());
+            }
+        }
         "run" => {
             let nprocs: usize = opts
                 .value("nprocs")
@@ -411,6 +454,11 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
                             for line in e.to_string().lines() {
                                 println!("    {line}");
                             }
+                            if let Some(cycle) = e.waitfor_cycle() {
+                                for line in cycle.lines() {
+                                    println!("    {line}");
+                                }
+                            }
                         }
                     }
                 }
@@ -426,7 +474,15 @@ fn dispatch(cmd: &str, opts: &Opts) -> Result<(), String> {
                     fault_plan: plan,
                     ..Default::default()
                 };
-                let results = interp::run(&unit.program, &cfg).map_err(|e| e.to_string())?;
+                let results = interp::run(&unit.program, &cfg).map_err(|e| {
+                    // A deadlock report names each blocked rank; when the
+                    // blocked set closes a wait-for cycle, render it so the
+                    // user sees *who waits on whom*, not just who is stuck.
+                    match e.waitfor_cycle() {
+                        Some(cycle) => format!("{e}\n{cycle}"),
+                        None => e.to_string(),
+                    }
+                })?;
                 for (rank, r) in results.iter().enumerate() {
                     println!(
                         "rank {rank}: printed {:?}  ({} steps, {} sends, {} recvs)",
@@ -771,8 +827,12 @@ fn load(opts: &Opts) -> Result<String, String> {
     let Some(path) = &opts.file else {
         return Err("missing input file".into());
     };
-    // Benchmark names resolve to the bundled programs for convenience.
+    // Benchmark names resolve to the bundled programs for convenience;
+    // the seeded deadlock corpus (`deadlock-*`) resolves the same way.
     if let Some(src) = mpi_dfa::suite::programs::source(path) {
+        return Ok(src.to_string());
+    }
+    if let Some(src) = mpi_dfa::verify::corpus::source(path) {
         return Ok(src.to_string());
     }
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
@@ -819,6 +879,15 @@ fn usage() -> String {
                   route/hedge spans and every worker's admission/cache/solve\n\
                   spans, labelled by shard and incarnation epoch — from the\n\
                   span spool a serve --log-dir wrote)\n\
+       verify     --context C [--clone N] [--matching naive|syntactic|consts]\n\
+                  [--nprocs N] [--schedules K] [--seed N] [--json] [--dot]\n\
+                  [--budget-ms MS] [--max-visits N] [--max-fact-bytes B]\n\
+                  (static correctness suite: match-set verification, rank-\n\
+                  sensitive may-happen-in-parallel, predictive deadlock\n\
+                  detection, cross-checked against K seeded adversarial\n\
+                  schedules. Exit 1 when findings are flagged. --json emits\n\
+                  the deterministic report object; --dot overlays findings on\n\
+                  the MPI-ICFG; see docs/VERIFY.md)\n\
        run        [--nprocs N] [--entry main] [--faults SPEC] [--schedules K]\n\
                   [--max-steps N] [--recv-timeout-ms MS]\n\
                   SPEC: bare seed (`7`) or `seed=7,mode=adversarial|chaotic,\n\
@@ -837,6 +906,9 @@ fn usage() -> String {
                   level but no outputs the span tree prints to stderr.\n\
                   Default level when an output is requested: full.\n\
                   See docs/OBSERVABILITY.md.\n\
-     bundled programs: figure1, biostat, sor, cg, lu, mg, sweep3d"
+     bundled programs: figure1, biostat, sor, cg, lu, mg, sweep3d\n\
+     seeded deadlock corpus (verify/run): deadlock-head-to-head,\n\
+                  deadlock-tag-mismatch, deadlock-barrier-mismatch,\n\
+                  deadlock-orphan-recv"
         .to_string()
 }

@@ -24,7 +24,11 @@
 //! * [`service`] — the analysis service: content-addressed incremental
 //!   caching (per-procedure CFG reuse, whole-program IR, result store)
 //!   behind a JSONL batch scheduler and TCP daemon (see
-//!   `docs/SERVING.md`).
+//!   `docs/SERVING.md`);
+//! * [`verify`] — the static correctness suite: match-set verification,
+//!   rank-sensitive may-happen-in-parallel, and predictive deadlock
+//!   detection, cross-checked against the schedule explorer (see
+//!   `docs/VERIFY.md`).
 //!
 //! ## Quickstart
 //!
@@ -58,6 +62,7 @@ pub use mpi_dfa_graph as graph;
 pub use mpi_dfa_lang as lang;
 pub use mpi_dfa_service as service;
 pub use mpi_dfa_suite as suite;
+pub use mpi_dfa_verify as verify;
 
 /// The most common imports for building and analyzing MPI-ICFGs.
 pub mod prelude {
