@@ -27,15 +27,16 @@ use crate::interproc::{
     call_backward, call_forward, return_backward, return_forward, BindMaps, UseSelector,
 };
 use mpi_dfa_core::graph::{Edge, EdgeKind, FlowGraph, NodeId};
+use mpi_dfa_core::hash::Hasher128;
 use mpi_dfa_core::lattice::BoolOr;
 use mpi_dfa_core::problem::{Dataflow, Direction};
 use mpi_dfa_core::solver::{Solution, SolveParams, Solver};
 use mpi_dfa_core::telemetry;
 use mpi_dfa_core::varset::VarSet;
-use mpi_dfa_graph::icfg::Icfg;
+use mpi_dfa_graph::icfg::{ActualBinding, Icfg};
 use mpi_dfa_graph::loc::{Loc, LocTable};
 use mpi_dfa_graph::mpi::MpiIcfg;
-use mpi_dfa_graph::node::{MpiInfo, MpiKind, NodeKind, RefInfo};
+use mpi_dfa_graph::node::{MpiInfo, MpiKind, NodeKind, RefInfo, UseSet};
 
 /// How communication is modeled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,20 +181,190 @@ pub fn vary_useful_problems<'g>(
         vary_seed.insert(LocTable::MPI_BUFFER.index());
         useful_seed.insert(LocTable::MPI_BUFFER.index());
     }
+    let vary_fp = content_fingerprints(icfg, mode, "vary", &vary_seed);
+    let useful_fp = content_fingerprints(icfg, mode, "useful", &useful_seed);
     Ok((
         Vary {
             icfg,
             maps: BindMaps::build(icfg),
             mode,
             seed: vary_seed,
+            fp: vary_fp,
         },
         Useful {
             icfg,
             maps: BindMaps::build(icfg),
             mode,
             seed: useful_seed,
+            fp: useful_fp,
         },
     ))
+}
+
+// ---------------------------------------------------------------------------
+// Content fingerprints (incremental re-solving support).
+// ---------------------------------------------------------------------------
+
+fn fold_locs(h: &mut Hasher128, locs: &[Loc]) {
+    h.write_u64(locs.len() as u64);
+    for l in locs {
+        h.write_u64(l.0 as u64);
+    }
+}
+
+fn fold_ref(h: &mut Hasher128, r: &RefInfo) {
+    h.write_u64(r.loc.0 as u64);
+    h.write_bool(r.whole);
+    fold_locs(h, &r.index_uses);
+}
+
+fn fold_uses(h: &mut Hasher128, u: &UseSet) {
+    fold_locs(h, &u.diff);
+    fold_locs(h, &u.nondiff);
+}
+
+fn squash(wide: u128) -> u64 {
+    (wide as u64) ^ ((wide >> 64) as u64)
+}
+
+/// Per-node content fingerprints for the activity problems (the
+/// [`Dataflow::node_fingerprint`] contract): everything `transfer`,
+/// `comm_transfer`, and `translate` read for the node, hashed over raw
+/// [`Loc`] indices — an edit that renumbers the location table renumbers
+/// the facts too, so loc-shifted nodes must *not* transplant — and
+/// excluding unstable statement ids and spans. Call/after-call nodes fold
+/// in the full call-site semantics (callee name, formal/actual bindings,
+/// argument uses) because the adjacent Call/Return edges' `translate`
+/// reads exactly those.
+fn content_fingerprints(icfg: &Icfg, mode: Mode, phase: &str, seed: &VarSet) -> Vec<u64> {
+    let mut salt_h = Hasher128::new();
+    salt_h.write_str("activity-fp-v1");
+    salt_h.write_str(phase);
+    salt_h.write_u64(match mode {
+        Mode::Naive => 0,
+        Mode::GlobalBuffer => 1,
+        Mode::GlobalBufferSound => 2,
+        Mode::MpiIcfg => 3,
+    });
+    salt_h.write_u64(seed.universe() as u64);
+    for i in seed.iter() {
+        salt_h.write_u64(i as u64);
+    }
+    let salt = squash(salt_h.finish());
+
+    // Global node -> global call site, for CallSite/AfterCall payloads
+    // (whose local `site` field is caller-relative and clone-unstable).
+    let mut site_of = std::collections::HashMap::new();
+    for (k, cs) in icfg.call_sites.iter().enumerate() {
+        site_of.insert(cs.call_node.0, k as u32);
+        site_of.insert(cs.after_node.0, k as u32);
+    }
+
+    icfg.nodes()
+        .map(|n| {
+            let mut h = Hasher128::new();
+            h.write_u64(salt);
+            match &icfg.payload(n).kind {
+                NodeKind::Entry => {
+                    h.write_str("entry");
+                    h.write_str(icfg.ir.proc_name(icfg.proc_of(n)));
+                }
+                NodeKind::Exit => {
+                    h.write_str("exit");
+                    h.write_str(icfg.ir.proc_name(icfg.proc_of(n)));
+                }
+                NodeKind::Assign { lhs, rhs } => {
+                    h.write_str("assign");
+                    fold_ref(&mut h, lhs);
+                    fold_uses(&mut h, &rhs.uses);
+                }
+                NodeKind::Branch { cond } => {
+                    h.write_str("branch");
+                    fold_uses(&mut h, &cond.uses);
+                }
+                NodeKind::CallSite { .. } | NodeKind::AfterCall { .. } => {
+                    h.write_str(
+                        if matches!(icfg.payload(n).kind, NodeKind::CallSite { .. }) {
+                            "call"
+                        } else {
+                            "after-call"
+                        },
+                    );
+                    if let Some(&site) = site_of.get(&n.0) {
+                        let cs = icfg.call_site(site);
+                        h.write_str(icfg.ir.proc_name(cs.callee));
+                        h.write_u64(cs.bindings.len() as u64);
+                        for b in &cs.bindings {
+                            h.write_u64(b.formal.0 as u64);
+                            h.write_u64(b.arg_idx as u64);
+                            match b.actual {
+                                ActualBinding::RefWhole(l) => {
+                                    h.write_str("whole");
+                                    h.write_u64(l.0 as u64);
+                                }
+                                ActualBinding::RefElement(l) => {
+                                    h.write_str("elem");
+                                    h.write_u64(l.0 as u64);
+                                }
+                                ActualBinding::Value => {
+                                    h.write_str("value");
+                                }
+                            }
+                        }
+                        let args = icfg.call_args(site);
+                        h.write_u64(args.args.len() as u64);
+                        for a in &args.args {
+                            match a.reference.as_ref() {
+                                Some(r) => {
+                                    h.write_bool(true);
+                                    fold_ref(&mut h, r);
+                                }
+                                None => {
+                                    h.write_bool(false);
+                                }
+                            }
+                            fold_uses(&mut h, &a.value.uses);
+                        }
+                    }
+                }
+                NodeKind::Mpi(m) => {
+                    h.write_str("mpi");
+                    h.write_str(m.kind.mnemonic());
+                    match m.buf.as_ref() {
+                        Some(buf) => {
+                            h.write_bool(true);
+                            fold_ref(&mut h, buf);
+                        }
+                        None => {
+                            h.write_bool(false);
+                        }
+                    }
+                    match m.value.as_ref() {
+                        Some(v) => {
+                            h.write_bool(true);
+                            fold_uses(&mut h, &v.uses);
+                        }
+                        None => {
+                            h.write_bool(false);
+                        }
+                    }
+                }
+                NodeKind::Read { target } => {
+                    h.write_str("read");
+                    fold_ref(&mut h, target);
+                }
+                NodeKind::Print { .. } => {
+                    // Pass-through for activity: every print shares one
+                    // fingerprint, so print-only edits stay transplantable.
+                    h.write_str("print");
+                }
+                NodeKind::Nop => {
+                    h.write_str("nop");
+                }
+            }
+            squash(h.finish())
+        })
+        .collect()
 }
 
 /// Run activity analysis over the MPI-ICFG with the Vary and Useful phases
@@ -244,6 +415,190 @@ pub fn analyze_mpi_parallel(
         active_bytes,
         iterations,
     })
+}
+
+/// Outcome of an incremental ([`analyze_mpi_delta`]) activity analysis:
+/// the full result plus the per-phase region reuse accounting.
+#[derive(Debug)]
+pub struct ActivityDelta {
+    pub result: ActivityResult,
+    /// SCC regions in the new graph (vary + useful phases summed).
+    pub regions_total: usize,
+    /// Regions whose facts were transplanted from the seed.
+    pub regions_reused: usize,
+    /// Regions re-solved.
+    pub regions_resolved: usize,
+}
+
+/// Incremental re-analysis of the MPI-ICFG: seed both fixpoint phases from
+/// a previous [`ActivityResult`] (which must have been produced by a
+/// converged region-parallel solve, so its solutions carry seed regions)
+/// and force-dirty `dirty` nodes of the *new* graph. The result is
+/// byte-identical to [`analyze_mpi_with`] on the same graph; only regions
+/// invalidated by the edit re-solve. Errors — no seed regions, direction
+/// mismatch, non-convergence — are returned as strings so callers (the
+/// governor) can fall back to a full solve.
+pub fn analyze_mpi_delta(
+    mpi: &MpiIcfg,
+    config: &ActivityConfig,
+    params: &SolveParams,
+    prev: &ActivityResult,
+    dirty: &[NodeId],
+) -> Result<ActivityDelta, String> {
+    let icfg = mpi.icfg();
+    let universe = icfg.ir.locs.len();
+    let (vary_p, useful_p) = vary_useful_problems(icfg, Mode::MpiIcfg, config)?;
+    let vary_run = {
+        let mut span = telemetry::span("analysis", "activity:vary:delta");
+        let r = Solver::new(&vary_p, mpi)
+            .params(params.clone())
+            .seed(&prev.vary)
+            .map_err(|e| format!("vary seed rejected: {e}"))?
+            .dirty(dirty)
+            .run();
+        span.arg("converged", r.solution.stats.converged);
+        span.arg("reused", r.regions_reused);
+        r
+    };
+    let useful_run = {
+        let mut span = telemetry::span("analysis", "activity:useful:delta");
+        let r = Solver::new(&useful_p, mpi)
+            .params(params.clone())
+            .seed(&prev.useful)
+            .map_err(|e| format!("useful seed rejected: {e}"))?
+            .dirty(dirty)
+            .run();
+        span.arg("converged", r.solution.stats.converged);
+        span.arg("reused", r.regions_reused);
+        r
+    };
+    let (vary, useful) = (vary_run.solution, useful_run.solution);
+    if !(vary.stats.converged && useful.stats.converged) {
+        return Err("incremental re-solve did not converge".into());
+    }
+    vary.stats.publish_metrics("vary");
+    useful.stats.publish_metrics("useful");
+
+    let mut active = VarSet::empty(universe);
+    for n in 0..mpi.num_nodes() {
+        let node = NodeId(n as u32);
+        active.union_into(&vary.before(node).intersection(useful.before(node)));
+        active.union_into(&vary.after(node).intersection(useful.after(node)));
+    }
+    let active_bytes = active_bytes(&icfg.ir.locs, &active);
+    let iterations = vary.stats.passes + useful.stats.passes;
+    Ok(ActivityDelta {
+        result: ActivityResult {
+            mode: Mode::MpiIcfg,
+            vary,
+            useful,
+            active,
+            active_bytes,
+            iterations,
+        },
+        regions_total: vary_run.regions_total + useful_run.regions_total,
+        regions_reused: vary_run.regions_reused + useful_run.regions_reused,
+        regions_resolved: vary_run.regions_resolved + useful_run.regions_resolved,
+    })
+}
+
+/// Demand-driven activity at one statement: which locations are active at
+/// the program point(s) of the nodes in `at`? Solves only the region slices
+/// that can influence those nodes — no whole-program fixpoint. The demand
+/// engine is sequential, so the strategy is pinned to [`Strategy::Worklist`]
+/// regardless of `params` (a region-parallel strategy would be a typed
+/// [`SolverConfigError`](mpi_dfa_core::solver::SolverConfigError) at the
+/// core API); the answer agrees exactly with the full analysis restricted
+/// to the slice.
+pub fn demand_active_at(
+    mpi: &MpiIcfg,
+    config: &ActivityConfig,
+    params: &SolveParams,
+    at: &[NodeId],
+) -> Result<DemandActivity, String> {
+    let icfg = mpi.icfg();
+    let universe = icfg.ir.locs.len();
+    if at.is_empty() {
+        return Err("demand query names no nodes".into());
+    }
+    let mut params = params.clone();
+    params.strategy = mpi_dfa_core::solver::Strategy::Worklist;
+    let params = &params;
+    let (vary_p, useful_p) = vary_useful_problems(icfg, Mode::MpiIcfg, config)?;
+    fn run_phase<P: Dataflow<Fact = VarSet>>(
+        problem: &P,
+        mpi: &MpiIcfg,
+        params: &SolveParams,
+        at: &[NodeId],
+        phase: &str,
+    ) -> Result<mpi_dfa_core::solver::DemandRun<VarSet>, String> {
+        let mut span = telemetry::span("analysis", "activity:demand");
+        span.arg("phase", phase);
+        let mut roots = at.iter().copied();
+        let first = roots.next().expect("checked non-empty");
+        let mut solver = Solver::new(problem, mpi)
+            .params(params.clone())
+            .demand(first)
+            .map_err(|e| format!("demand rejected: {e}"))?;
+        for n in roots {
+            solver = solver
+                .demand(n)
+                .map_err(|e| format!("demand rejected: {e}"))?;
+        }
+        let run = solver.run();
+        span.arg("slice_regions", run.regions_solved);
+        Ok(run)
+    }
+    let vary = run_phase(&vary_p, mpi, params, at, "vary")?;
+    let useful = run_phase(&useful_p, mpi, params, at, "useful")?;
+    if !(vary.solution.stats.converged && useful.solution.stats.converged) {
+        return Err("demand slice did not converge".into());
+    }
+    // Active at the queried nodes: Vary ∩ Useful on either side. Facts
+    // outside each phase's slice are top (empty), which under-approximates —
+    // but every queried node is inside both slices by construction.
+    let mut active = VarSet::empty(universe);
+    for &node in at {
+        active.union_into(
+            &vary
+                .solution
+                .before(node)
+                .intersection(useful.solution.before(node)),
+        );
+        active.union_into(
+            &vary
+                .solution
+                .after(node)
+                .intersection(useful.solution.after(node)),
+        );
+    }
+    let nodes_visited = vary.solution.stats.node_visits + useful.solution.stats.node_visits;
+    Ok(DemandActivity {
+        active,
+        vary: vary.solution,
+        useful: useful.solution,
+        regions_total: vary.regions_total + useful.regions_total,
+        regions_solved: vary.regions_solved + useful.regions_solved,
+        nodes_visited,
+    })
+}
+
+/// Outcome of a [`demand_active_at`] query.
+#[derive(Debug)]
+pub struct DemandActivity {
+    /// Locations active at some queried node (either side).
+    pub active: VarSet,
+    /// The vary-phase slice solution (facts valid only inside the slice).
+    pub vary: Solution<VarSet>,
+    /// The useful-phase slice solution.
+    pub useful: Solution<VarSet>,
+    /// SCC regions in the graph (both phases summed).
+    pub regions_total: usize,
+    /// Regions the two slices actually solved.
+    pub regions_solved: usize,
+    /// Node visits across both phase slices (the "<25% of nodes" bench
+    /// metric compares this against the full fixpoint's visits).
+    pub nodes_visited: u64,
 }
 
 fn analyze_over<G: FlowGraph + Sync>(
@@ -357,6 +712,7 @@ pub struct Vary<'g> {
     maps: BindMaps,
     mode: Mode,
     seed: VarSet,
+    fp: Vec<u64>,
 }
 
 impl Dataflow for Vary<'_> {
@@ -449,6 +805,10 @@ impl Dataflow for Vary<'_> {
             _ => None,
         }
     }
+
+    fn node_fingerprint(&self, n: NodeId) -> Option<u64> {
+        Some(self.fp[n.index()])
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -461,6 +821,7 @@ pub struct Useful<'g> {
     maps: BindMaps,
     mode: Mode,
     seed: VarSet,
+    fp: Vec<u64>,
 }
 
 impl Dataflow for Useful<'_> {
@@ -598,6 +959,10 @@ impl Dataflow for Useful<'_> {
             )),
             _ => None,
         }
+    }
+
+    fn node_fingerprint(&self, n: NodeId) -> Option<u64> {
+        Some(self.fp[n.index()])
     }
 }
 
@@ -939,6 +1304,152 @@ mod tests {
         assert_eq!(
             res.active_bytes, 16,
             "only x and f (8 bytes each): {active:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod incremental_tests {
+    use super::*;
+    use crate::mpi_match::{build_mpi_icfg, Matching};
+    use mpi_dfa_core::solver::Strategy;
+    use mpi_dfa_graph::icfg::ProgramIr;
+
+    const BASE: &str = "program p\n\
+        global x: real; global y: real; global out: real;\n\
+        sub work() { x = x * 2.0; }\n\
+        sub main() {\n\
+          call work();\n\
+          if (rank() == 0) { send(x, 1, 7); } else { recv(y, 0, 7); }\n\
+          out = y + 1.0;\n\
+        }";
+
+    /// BASE with two prints spliced into `work` — fact-neutral for
+    /// activity, so everything outside `work` should transplant.
+    const EDITED: &str = "program p\n\
+        global x: real; global y: real; global out: real;\n\
+        sub work() { print(1.0); x = x * 2.0; print(2.0); }\n\
+        sub main() {\n\
+          call work();\n\
+          if (rank() == 0) { send(x, 1, 7); } else { recv(y, 0, 7); }\n\
+          out = y + 1.0;\n\
+        }";
+
+    fn rp_params() -> SolveParams {
+        SolveParams {
+            strategy: Strategy::RegionParallel { threads: 2 },
+            ..SolveParams::default()
+        }
+    }
+
+    fn mpi_of(src: &str) -> MpiIcfg {
+        let ir = ProgramIr::from_source(src).unwrap();
+        build_mpi_icfg(ir, "main", 1, Matching::ReachingConstants).unwrap()
+    }
+
+    /// Nodes of the edited procedure in the *new* graph.
+    fn proc_nodes(mpi: &MpiIcfg, name: &str) -> Vec<NodeId> {
+        let icfg = mpi.icfg();
+        icfg.nodes()
+            .filter(|&n| icfg.ir.proc_name(icfg.proc_of(n)) == name)
+            .collect()
+    }
+
+    #[test]
+    fn delta_after_print_edit_matches_cold_solve_byte_for_byte() {
+        let cfg = ActivityConfig::new(["x"], ["out"]);
+        let old = mpi_of(BASE);
+        let prev = analyze_mpi_with(&old, &cfg, &rp_params()).unwrap();
+        assert!(prev.vary.regions.is_some(), "region-parallel captures seed");
+
+        let new = mpi_of(EDITED);
+        let dirty = proc_nodes(&new, "work");
+        let delta = analyze_mpi_delta(&new, &cfg, &rp_params(), &prev, &dirty).unwrap();
+        let cold = analyze_mpi_with(&new, &cfg, &rp_params()).unwrap();
+
+        assert_eq!(delta.result.vary.input, cold.vary.input);
+        assert_eq!(delta.result.vary.output, cold.vary.output);
+        assert_eq!(delta.result.useful.input, cold.useful.input);
+        assert_eq!(delta.result.useful.output, cold.useful.output);
+        assert_eq!(delta.result.active, cold.active);
+        assert_eq!(delta.result.active_bytes, cold.active_bytes);
+        assert!(
+            delta.regions_reused > 0,
+            "regions outside `work` transplant: {delta:?}"
+        );
+        assert!(delta.regions_resolved < delta.regions_total);
+    }
+
+    #[test]
+    fn delta_identity_edit_reuses_every_region() {
+        let cfg = ActivityConfig::new(["x"], ["out"]);
+        let mpi = mpi_of(BASE);
+        let prev = analyze_mpi_with(&mpi, &cfg, &rp_params()).unwrap();
+        let delta = analyze_mpi_delta(&mpi, &cfg, &rp_params(), &prev, &[]).unwrap();
+        assert_eq!(delta.regions_resolved, 0);
+        assert_eq!(delta.regions_reused, delta.regions_total);
+        assert_eq!(delta.result.active, prev.active);
+    }
+
+    #[test]
+    fn delta_without_seed_regions_is_a_clean_error() {
+        let cfg = ActivityConfig::new(["x"], ["out"]);
+        let mpi = mpi_of(BASE);
+        // A worklist solve never captures seed regions.
+        let prev = analyze_mpi_with(
+            &mpi,
+            &cfg,
+            &SolveParams {
+                strategy: Strategy::Worklist,
+                ..SolveParams::default()
+            },
+        )
+        .unwrap();
+        let err = analyze_mpi_delta(&mpi, &cfg, &rp_params(), &prev, &[]).unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn demand_matches_full_analysis_on_queried_nodes() {
+        let cfg = ActivityConfig::new(["x"], ["out"]);
+        let mpi = mpi_of(BASE);
+        let full = analyze_mpi_with(&mpi, &cfg, &SolveParams::default()).unwrap();
+        let icfg = mpi.icfg();
+        for node in icfg.nodes() {
+            let q = demand_active_at(&mpi, &cfg, &SolveParams::default(), &[node]).unwrap();
+            // Demand activity at a node is the full analysis restricted to
+            // that node's program points.
+            let mut want = full
+                .vary
+                .before(node)
+                .intersection(full.useful.before(node));
+            want.union_into(&full.vary.after(node).intersection(full.useful.after(node)));
+            assert_eq!(q.active, want, "node {node:?}");
+            assert!(q.regions_solved <= q.regions_total);
+        }
+    }
+
+    #[test]
+    fn demand_visits_fewer_nodes_than_the_full_fixpoint_near_entry() {
+        let cfg = ActivityConfig::new(["x"], ["out"]);
+        let mpi = mpi_of(BASE);
+        let full = analyze_mpi_with(
+            &mpi,
+            &cfg,
+            &SolveParams {
+                strategy: Strategy::Worklist,
+                ..SolveParams::default()
+            },
+        )
+        .unwrap();
+        let full_visits = full.vary.stats.node_visits + full.useful.stats.node_visits;
+        let entry = mpi.icfg().context_entry();
+        let q = demand_active_at(&mpi, &cfg, &SolveParams::default(), &[entry]).unwrap();
+        assert!(
+            q.nodes_visited < full_visits,
+            "demand {} vs full {}",
+            q.nodes_visited,
+            full_visits
         );
     }
 }

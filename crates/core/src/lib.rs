@@ -68,9 +68,12 @@ pub use hash::{fnv128, fnv64, hex128, Hasher128};
 pub use hist::LogHistogram;
 pub use lattice::{BoolAnd, BoolOr, ConstLattice, MeetSemiLattice};
 pub use problem::{Dataflow, Direction};
-pub use scc::{condense, Condensation};
-#[allow(deprecated)]
-pub use solver::{solve, solve_worklist};
-pub use solver::{ConvergenceStats, Solution, SolveParams, Solver, Strategy};
+pub use scc::{
+    condense, region_fingerprints, upstream_closure, Condensation, ExtInEdge, RegionFingerprints,
+};
+pub use solver::{
+    ConvergenceStats, DemandRun, DemandSolver, IncrementalSolver, SeedRegions, SeededRun,
+    SeededSolver, Solution, SolveParams, Solver, SolverConfigError, Strategy,
+};
 pub use telemetry::{SpanGuard, TelemetryReport, TraceLevel};
 pub use varset::VarSet;

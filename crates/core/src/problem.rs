@@ -71,6 +71,26 @@ pub trait Dataflow {
         let _ = (edge, fact);
         None
     }
+
+    /// Stable content fingerprint of node `n`'s transfer semantics, used by
+    /// the incremental solver (`Solver::seed`) to recognize unchanged SCC
+    /// regions across two builds of "the same" graph.
+    ///
+    /// The contract: if two nodes (possibly in different graphs) return the
+    /// same fingerprint, their `transfer`, `comm_transfer`, and `translate`
+    /// behavior must be identical for identical inputs. The fingerprint must
+    /// therefore cover everything those functions read for the node —
+    /// operand locations, callee identity, argument bindings — while
+    /// excluding unstable identifiers (raw statement ids, spans, node ids)
+    /// that shift under unrelated edits.
+    ///
+    /// Returning `None` (the default) declares the problem non-fingerprintable
+    /// and disables incremental seeding: `Solver::seed` fails with
+    /// [`crate::solver::SolverConfigError::FingerprintsUnavailable`].
+    fn node_fingerprint(&self, n: NodeId) -> Option<u64> {
+        let _ = n;
+        None
+    }
 }
 
 #[cfg(test)]

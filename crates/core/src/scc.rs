@@ -22,7 +22,8 @@
 //! The implementation is fully iterative (explicit DFS stack); deep
 //! straight-line programs must not overflow the thread stack.
 
-use crate::graph::{FlowGraph, NodeId};
+use crate::graph::{Edge, EdgeKind, FlowGraph, NodeId};
+use crate::hash::Hasher128;
 
 /// The condensation: each node mapped to its strongly connected region, with
 /// region ids in topological order of the region DAG.
@@ -172,6 +173,200 @@ pub fn condense<G: FlowGraph>(graph: &G) -> Condensation {
         succs,
         preds,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Region fingerprints (incremental re-solving support)
+// ---------------------------------------------------------------------------
+
+/// Edge-kind tag folded into region fingerprints. Raw `site`/`pair` ids are
+/// deliberately excluded — they are assigned in graph-build order and shift
+/// under unrelated edits — while the *semantics* a site id selects (callee,
+/// bindings) are covered by the per-node content fingerprints.
+fn kind_tag(kind: EdgeKind) -> u8 {
+    match kind {
+        EdgeKind::Flow => 0,
+        EdgeKind::Call { .. } => 1,
+        EdgeKind::Return { .. } => 2,
+        EdgeKind::Comm { .. } => 3,
+    }
+}
+
+/// One upstream edge arriving at a region from *outside* it, described in
+/// graph-independent terms so regions of two different graph builds can be
+/// matched: the destination's local index, the edge-kind tag, and the
+/// source node's content fingerprint. `src` is the source in the graph the
+/// descriptor was computed over — used to read the source's current fact
+/// when validating a seed, never folded into any fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtInEdge {
+    /// Local index (within the region) of the edge's downstream endpoint.
+    pub dst_local: u32,
+    /// [`kind_tag`] of the edge.
+    pub kind_tag: u8,
+    /// Content fingerprint of the upstream source node.
+    pub src_fp: u64,
+    /// The upstream source node in the graph this descriptor was built on.
+    pub src: NodeId,
+}
+
+impl ExtInEdge {
+    /// The graph-independent part: what two builds must agree on for the
+    /// edge to count as "the same external input".
+    pub fn key(&self) -> (u32, u8, u64) {
+        (self.dst_local, self.kind_tag, self.src_fp)
+    }
+
+    /// Whether this descriptor records a communication edge (whose upstream
+    /// contribution is the source's *input* fact via `f_comm`, not its
+    /// output).
+    pub fn is_comm(&self) -> bool {
+        self.kind_tag == 3
+    }
+}
+
+/// Per-region structural fingerprints plus external upstream-edge
+/// descriptors, for one direction-adjusted view of a condensed graph.
+#[derive(Debug, Clone)]
+pub struct RegionFingerprints {
+    /// Region id → local structural fingerprint. Two regions (across graph
+    /// builds) with equal fingerprints have identical member content, member
+    /// visit order, internal edge structure, and external-input shape — so
+    /// a deterministic local fixpoint over them behaves identically given
+    /// equal upstream facts.
+    pub local_fp: Vec<u64>,
+    /// Region id → external upstream edges, sorted by
+    /// [`ExtInEdge::key`] (then source id for determinism).
+    pub ext_in: Vec<Vec<ExtInEdge>>,
+}
+
+/// Compute [`RegionFingerprints`] for `cond` over `graph`.
+///
+/// The local fingerprint of a region folds, in deterministic order:
+/// member count; each member's content fingerprint, boundary flag, and
+/// RPO rank *within the region* (in local — sorted-by-node-id — member
+/// order); the sorted internal edge list as `(src_local, dst_local,
+/// kind_tag)` triples; and the sorted external upstream-edge keys. Raw node
+/// ids, statement ids, and global RPO positions are excluded — they shift
+/// under edits elsewhere in the program.
+///
+/// `node_fp` is the per-node content fingerprint (from
+/// [`crate::problem::Dataflow::node_fingerprint`]), `is_boundary` marks the
+/// direction-adjusted boundary nodes, `rpo_pos` is the global
+/// direction-adjusted reverse postorder position of each node, and
+/// `backward` selects which adjacency is "upstream".
+pub fn region_fingerprints<G: FlowGraph>(
+    graph: &G,
+    cond: &Condensation,
+    node_fp: &[u64],
+    is_boundary: &[bool],
+    rpo_pos: &[u32],
+    backward: bool,
+) -> RegionFingerprints {
+    let upstream = |n: NodeId| -> &[Edge] {
+        if backward {
+            graph.out_edges(n)
+        } else {
+            graph.in_edges(n)
+        }
+    };
+    let source = |e: &Edge| -> NodeId {
+        if backward {
+            e.to
+        } else {
+            e.from
+        }
+    };
+
+    let mut local_fp = Vec::with_capacity(cond.regions.len());
+    let mut ext_in: Vec<Vec<ExtInEdge>> = Vec::with_capacity(cond.regions.len());
+    for (rid, members) in cond.regions.iter().enumerate() {
+        // RPO rank of each member among the region's members: the relative
+        // visit order the region solver uses, independent of global RPO
+        // positions (which shift when other procedures grow or shrink).
+        let mut by_pos: Vec<(u32, u32)> = members
+            .iter()
+            .enumerate()
+            .map(|(i, nd)| (rpo_pos[nd.index()], i as u32))
+            .collect();
+        by_pos.sort_unstable();
+        let mut rpo_rank = vec![0u32; members.len()];
+        for (rank, &(_, local)) in by_pos.iter().enumerate() {
+            rpo_rank[local as usize] = rank as u32;
+        }
+
+        let mut internal: Vec<(u32, u32, u8)> = Vec::new();
+        let mut ext: Vec<ExtInEdge> = Vec::new();
+        for (local, &nd) in members.iter().enumerate() {
+            for e in upstream(nd) {
+                let src = source(e);
+                let tag = kind_tag(e.kind);
+                if cond.region_of[src.index()] == rid as u32 {
+                    internal.push((cond.local_index[src.index()], local as u32, tag));
+                } else {
+                    ext.push(ExtInEdge {
+                        dst_local: local as u32,
+                        kind_tag: tag,
+                        src_fp: node_fp[src.index()],
+                        src,
+                    });
+                }
+            }
+        }
+        internal.sort_unstable();
+        ext.sort_unstable_by_key(|d| (d.key(), d.src.0));
+
+        let mut h = Hasher128::new();
+        h.write_u64(members.len() as u64);
+        for (local, &nd) in members.iter().enumerate() {
+            h.write_u64(node_fp[nd.index()]);
+            h.write_bool(is_boundary[nd.index()]);
+            h.write_u64(rpo_rank[local] as u64);
+        }
+        h.write_u64(internal.len() as u64);
+        for &(s, d, t) in &internal {
+            h.write_u64(s as u64);
+            h.write_u64(d as u64);
+            h.write_u64(t as u64);
+        }
+        h.write_u64(ext.len() as u64);
+        for d in &ext {
+            h.write_u64(d.dst_local as u64);
+            h.write_u64(d.kind_tag as u64);
+            h.write_u64(d.src_fp);
+        }
+        let wide = h.finish();
+        local_fp.push((wide as u64) ^ ((wide >> 64) as u64));
+        ext_in.push(ext);
+    }
+    RegionFingerprints { local_fp, ext_in }
+}
+
+/// Mark the upstream dependency closure of `roots`: every region whose
+/// facts can reach a root region under the analysis direction (for a
+/// forward problem, predecessor regions; for a backward one, successor
+/// regions), roots included. This is the demand slice: solving exactly
+/// these regions in topological order yields, at every node they contain,
+/// the same facts a whole-program fixpoint would.
+pub fn upstream_closure(cond: &Condensation, roots: &[u32], backward: bool) -> Vec<bool> {
+    let deps = if backward { &cond.succs } else { &cond.preds };
+    let mut in_slice = vec![false; cond.num_regions()];
+    let mut stack: Vec<u32> = Vec::new();
+    for &r in roots {
+        if !in_slice[r as usize] {
+            in_slice[r as usize] = true;
+            stack.push(r);
+        }
+    }
+    while let Some(r) = stack.pop() {
+        for &d in &deps[r as usize] {
+            if !in_slice[d as usize] {
+                in_slice[d as usize] = true;
+                stack.push(d);
+            }
+        }
+    }
+    in_slice
 }
 
 #[cfg(test)]
@@ -345,5 +540,90 @@ mod tests {
         assert_eq!(c.succs[0], vec![1]);
         assert_eq!(c.succs[1], vec![2]);
         assert_eq!(c.preds[2], vec![1]);
+    }
+
+    fn fps_for(g: &SimpleGraph, node_fp: &[u64]) -> (Condensation, RegionFingerprints) {
+        let c = condense(g);
+        let n = g.num_nodes();
+        let order = crate::graph::reverse_postorder(g, g.entries(), false);
+        let mut rpo_pos = vec![0u32; n];
+        for (i, nd) in order.iter().enumerate() {
+            rpo_pos[nd.index()] = i as u32;
+        }
+        let mut is_boundary = vec![false; n];
+        for &b in g.entries() {
+            is_boundary[b.index()] = true;
+        }
+        let fps = region_fingerprints(g, &c, node_fp, &is_boundary, &rpo_pos, false);
+        (c, fps)
+    }
+
+    #[test]
+    fn region_fingerprints_are_stable_and_content_sensitive() {
+        let build = || {
+            let mut g = SimpleGraph::new(4);
+            g.flow(0, 1);
+            g.flow(1, 2);
+            g.flow(2, 1); // loop region {1, 2}
+            g.flow(2, 3);
+            g.set_entry(0);
+            g.set_exit(3);
+            g
+        };
+        let g1 = build();
+        let g2 = build();
+        let node_fp: Vec<u64> = (0..4).map(|i| 100 + i as u64).collect();
+        let (c1, f1) = fps_for(&g1, &node_fp);
+        let (_, f2) = fps_for(&g2, &node_fp);
+        assert_eq!(f1.local_fp, f2.local_fp, "same build ⇒ same fingerprints");
+        // Changing one node's content fingerprint changes its region's
+        // fingerprint and the ext-in shape of the region downstream of it.
+        let mut changed = node_fp.clone();
+        changed[1] = 999;
+        let (_, f3) = fps_for(&g1, &changed);
+        let loop_rid = c1.region_of[1] as usize;
+        assert_ne!(f1.local_fp[loop_rid], f3.local_fp[loop_rid]);
+        // Region of node 0 is upstream of the change: untouched.
+        assert_eq!(
+            f1.local_fp[c1.region_of[0] as usize],
+            f3.local_fp[c1.region_of[0] as usize]
+        );
+    }
+
+    #[test]
+    fn ext_in_descriptors_name_upstream_sources() {
+        let mut g = SimpleGraph::new(3);
+        g.flow(0, 2);
+        g.flow(1, 2);
+        g.set_entry(0);
+        g.set_exit(2);
+        let node_fp = vec![7u64, 8, 9];
+        let (c, f) = fps_for(&g, &node_fp);
+        let rid = c.region_of[2] as usize;
+        let ext = &f.ext_in[rid];
+        assert_eq!(ext.len(), 2);
+        let mut fps: Vec<u64> = ext.iter().map(|d| d.src_fp).collect();
+        fps.sort_unstable();
+        assert_eq!(fps, vec![7, 8]);
+        assert!(ext.iter().all(|d| d.dst_local == 0 && d.kind_tag == 0));
+        assert!(ext.windows(2).all(|w| w[0].key() <= w[1].key()), "sorted");
+    }
+
+    #[test]
+    fn upstream_closure_follows_direction() {
+        // 0 -> 1 -> 2, 3 isolated.
+        let mut g = SimpleGraph::new(4);
+        g.flow(0, 1);
+        g.flow(1, 2);
+        g.set_entry(0);
+        g.set_exit(2);
+        let c = condense(&g);
+        let r = |n: usize| c.region_of[n];
+        let fwd = upstream_closure(&c, &[r(1)], false);
+        assert!(fwd[r(0) as usize] && fwd[r(1) as usize]);
+        assert!(!fwd[r(2) as usize] && !fwd[r(3) as usize]);
+        let bwd = upstream_closure(&c, &[r(1)], true);
+        assert!(bwd[r(1) as usize] && bwd[r(2) as usize]);
+        assert!(!bwd[r(0) as usize]);
     }
 }

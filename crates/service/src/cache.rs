@@ -40,7 +40,12 @@ use std::sync::Arc;
 /// unframed files are quarantined by the startup fsck, never misread).
 /// v3: requests gained the `verify` kind and its `nprocs`/`schedules`
 /// fields, which joined both key schemas.
-pub const CACHE_SCHEMA_VERSION: u64 = 3;
+/// v4: requests gained the `analyze-delta` kind and the demand-driven
+/// `at` field; `at` fills the formerly reserved key slot, so a demand
+/// answer (a slice) can never be served for a full-solve key or vice
+/// versa. `prev` (the seed's request id) stays **out** of the key:
+/// incremental answers are byte-identical to cold ones.
+pub const CACHE_SCHEMA_VERSION: u64 = 4;
 
 /// Key for a whole-program IR: exact source text.
 pub fn source_key(source: &str) -> u128 {
@@ -83,6 +88,14 @@ pub fn proc_cfg_key(sub_content: &str, locs_fingerprint: u128, proc_index: usize
 /// cache is shared across strategies. (Non-semantic solver counters
 /// embedded in a cached rendering reflect whichever strategy populated
 /// the entry.)
+///
+/// `prev` (an `analyze-delta` request's seed id) is likewise excluded:
+/// incremental answers are byte-identical to cold ones (enforced by
+/// `suite::fuzz` and the `solver_incremental` bench), so which seed
+/// produced a result must not fragment the cache. The demand-driven `at`
+/// node **is** included (in the formerly reserved slot and again at the
+/// tail): a demand answer covers only a slice of the program and must
+/// never be served for a full-solve key or vice versa.
 pub fn result_key(req: &Request, source_hash: u128, effective_max_passes: u64) -> Option<u128> {
     if req.budget_ms.is_some() || req.deadline_ms.is_some() {
         return None;
@@ -99,7 +112,7 @@ pub fn result_key(req: &Request, source_hash: u128, effective_max_passes: u64) -
         .write_str(req.kind.as_str())
         .write_u64(source_hash as u64)
         .write_u64((source_hash >> 64) as u64)
-        .write_opt_u64(None) // reserved
+        .write_opt_u64(req.at) // demand queries never alias full solves
         .write_str(req.context.as_deref().unwrap_or(""))
         .write_u64(req.clone_level as u64)
         .write_strs(&req.ind)
@@ -145,7 +158,8 @@ pub fn routing_key(req: &Request) -> u128 {
         .write_str(req.degrade_str())
         .write_opt_u64(req.max_visits)
         .write_opt_u64(req.max_fact_bytes)
-        .write_opt_u64(req.max_passes);
+        .write_opt_u64(req.max_passes)
+        .write_opt_u64(req.at);
     h.finish()
 }
 
@@ -226,6 +240,40 @@ mod tests {
                 "{solver} must share the strategy-agnostic key"
             );
         }
+    }
+
+    #[test]
+    fn demand_and_full_solve_keys_never_alias() {
+        let full = result_key(&req(""), 42, 100).unwrap();
+        let demand = result_key(&req(r#","at":3"#), 42, 100).unwrap();
+        assert_ne!(demand, full, "a slice answer must never hit a full key");
+        assert_ne!(
+            result_key(&req(r#","at":0"#), 42, 100).unwrap(),
+            full,
+            "node 0 must still be distinguished from `no query`"
+        );
+        assert_ne!(
+            result_key(&req(r#","at":4"#), 42, 100).unwrap(),
+            demand,
+            "different query nodes are different results"
+        );
+    }
+
+    #[test]
+    fn delta_keys_by_kind_but_never_by_seed_id() {
+        let delta = |extra: &str| {
+            parse_request(&format!(
+                r#"{{"id":1,"kind":"analyze-delta","source":"program p sub main() {{ }}","ind":["x"],"dep":["f"],"prev":41{extra}}}"#
+            ))
+            .unwrap()
+        };
+        let a = result_key(&delta(""), 42, 100).unwrap();
+        let full = result_key(&req(""), 42, 100).unwrap();
+        assert_ne!(a, full, "kind is folded into the key");
+        // The seed id must NOT fragment the cache: byte-identical answers.
+        let mut b = delta("");
+        b.prev = Some(99);
+        assert_eq!(result_key(&b, 42, 100), Some(a));
     }
 
     #[test]

@@ -66,6 +66,13 @@ impl ProtoError {
 pub enum RequestKind {
     /// Full activity analysis of a program.
     Analyze,
+    /// Incremental activity analysis: re-analyze an edited source seeded
+    /// by the solver regions of a previous `analyze` response (`prev`
+    /// names that response's request id). Answers are **byte-identical**
+    /// to a cold `analyze` of the same source; provenance is
+    /// `cache: "partial"` when regions were transplanted, `"miss"` when
+    /// the engine fell back to a full solve.
+    AnalyzeDelta,
     /// One Table-1 experiment row by id.
     Table1Row,
     /// Is one named variable in the active set?
@@ -96,6 +103,7 @@ impl RequestKind {
     pub fn as_str(self) -> &'static str {
         match self {
             RequestKind::Analyze => "analyze",
+            RequestKind::AnalyzeDelta => "analyze-delta",
             RequestKind::Table1Row => "table1-row",
             RequestKind::ActivityAtLocation => "activity-at-location",
             RequestKind::Dot => "dot",
@@ -110,6 +118,7 @@ impl RequestKind {
     fn parse(s: &str) -> Option<RequestKind> {
         Some(match s {
             "analyze" => RequestKind::Analyze,
+            "analyze-delta" => RequestKind::AnalyzeDelta,
             "table1-row" => RequestKind::Table1Row,
             "activity-at-location" => RequestKind::ActivityAtLocation,
             "dot" => RequestKind::Dot,
@@ -194,6 +203,17 @@ pub struct Request {
     /// key: every strategy produces identical facts (`docs/SOLVER.md`), so
     /// a result computed under one strategy is a valid hit for any other.
     pub solver: Option<Strategy>,
+    /// For `analyze-delta`: the request id of a previous `analyze`
+    /// response whose solver regions seed the re-solve. Deliberately
+    /// **not** part of the result cache key — incremental answers are
+    /// byte-identical to cold ones, so which seed produced a result must
+    /// not fragment the cache.
+    pub prev: Option<u64>,
+    /// Demand-driven query: answer activity only *at* this ICFG node
+    /// (global node index), solving just the upstream region slice.
+    /// **Part of the cache key** — a demand answer is a different result
+    /// shape than a whole-program one and must never alias it.
+    pub at: Option<u64>,
     /// Distributed trace context. Excluded from cache keys (see
     /// [`TraceCtx`]); forwarded by the router with a bumped `attempt`.
     pub trace: Option<TraceCtx>,
@@ -223,6 +243,8 @@ impl Request {
             degrade: DegradeMode::Auto,
             max_passes: None,
             solver: None,
+            prev: None,
+            at: None,
             trace: None,
         }
     }
@@ -300,7 +322,8 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             "unknown-kind",
             format!(
                 "unknown request kind `{kind_str}` (expected analyze | table1-row | \
-                 activity-at-location | dot | verify | ping | shutdown | cache-stats | metrics)"
+                 analyze-delta | activity-at-location | dot | verify | ping | shutdown | \
+                 cache-stats | metrics)"
             ),
         ));
     };
@@ -359,6 +382,8 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             "solver" => {
                 req.solver = Some(Strategy::parse(&str_field(v, key)?).map_err(ProtoError::bad)?)
             }
+            "prev" => req.prev = Some(u64_field(v, key)?),
+            "at" => req.at = Some(u64_field(v, key)?),
             "trace" => {
                 let Json::Obj(sub) = v else {
                     return Err(ProtoError::bad("field `trace` must be an object"));
@@ -405,6 +430,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     }
     match kind {
         RequestKind::Analyze
+        | RequestKind::AnalyzeDelta
         | RequestKind::ActivityAtLocation
         | RequestKind::Dot
         | RequestKind::Verify => {
@@ -428,6 +454,14 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     if kind == RequestKind::ActivityAtLocation && req.var.is_none() {
         return Err(ProtoError::bad(
             "kind `activity-at-location` requires `var`",
+        ));
+    }
+    if kind == RequestKind::AnalyzeDelta && req.prev.is_none() {
+        return Err(ProtoError::bad("kind `analyze-delta` requires `prev`"));
+    }
+    if req.at.is_some() && !matches!(kind, RequestKind::Analyze) {
+        return Err(ProtoError::bad(
+            "field `at` is only valid on kind `analyze`",
         ));
     }
     // The verify cross-check spawns `nprocs` interpreter threads per
@@ -517,6 +551,8 @@ pub fn render_request(req: &Request) -> String {
     if let Some(s) = req.solver {
         let _ = write!(out, ",\"solver\":\"{s}\"");
     }
+    u64_f(&mut out, "prev", req.prev);
+    u64_f(&mut out, "at", req.at);
     if let Some(t) = &req.trace {
         let _ = write!(out, ",\"trace\":{}", t.render());
     }
@@ -534,6 +570,10 @@ pub enum CacheStatus {
     /// Computed and **not** cached (wall-clock budget present, or the kind
     /// has no cacheable result).
     Bypass,
+    /// Computed **incrementally**: the solve was seeded from a previous
+    /// result and only invalidated regions were re-solved; the answer is
+    /// byte-identical to a cold `miss` and is stored like one.
+    Partial,
 }
 
 impl CacheStatus {
@@ -542,6 +582,7 @@ impl CacheStatus {
             CacheStatus::Hit => "hit",
             CacheStatus::Miss => "miss",
             CacheStatus::Bypass => "bypass",
+            CacheStatus::Partial => "partial",
         }
     }
 }
@@ -711,6 +752,48 @@ mod tests {
             // Idempotent: rendering the round-tripped request is stable.
             assert_eq!(render_request(&back), rendered);
         }
+    }
+
+    #[test]
+    fn analyze_delta_requires_prev_and_source() {
+        let r = parse_request(
+            r#"{"id":1,"kind":"analyze-delta","source":"program p sub main() { }","ind":["x"],"dep":["f"],"prev":41}"#,
+        )
+        .unwrap();
+        assert_eq!(r.kind, RequestKind::AnalyzeDelta);
+        assert_eq!(r.prev, Some(41));
+        let e =
+            parse_request(r#"{"id":1,"kind":"analyze-delta","source":"program p sub main() { }"}"#)
+                .unwrap_err();
+        assert!(e.message.contains("prev"), "{}", e.message);
+        let e = parse_request(r#"{"id":1,"kind":"analyze-delta","prev":41}"#).unwrap_err();
+        assert!(e.message.contains("program"), "{}", e.message);
+    }
+
+    #[test]
+    fn demand_at_is_analyze_only() {
+        let r = parse_request(
+            r#"{"id":2,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"],"at":12}"#,
+        )
+        .unwrap();
+        assert_eq!(r.at, Some(12));
+        let e =
+            parse_request(r#"{"id":2,"kind":"verify","program":"figure1","at":12}"#).unwrap_err();
+        assert!(e.message.contains("`at`"), "{}", e.message);
+    }
+
+    #[test]
+    fn delta_and_demand_requests_round_trip() {
+        for line in [
+            r#"{"id":7,"kind":"analyze-delta","source":"program p sub main() { }","ind":["x"],"dep":["f"],"prev":41}"#,
+            r#"{"id":8,"kind":"analyze","program":"figure1","ind":["x"],"dep":["f"],"at":3}"#,
+        ] {
+            let req = parse_request(line).unwrap();
+            let rendered = render_request(&req);
+            assert_eq!(parse_request(&rendered).unwrap(), req, "{rendered}");
+        }
+        assert_eq!(CacheStatus::Partial.as_str(), "partial");
+        assert_eq!(RequestKind::AnalyzeDelta.as_str(), "analyze-delta");
     }
 
     #[test]

@@ -16,16 +16,30 @@
 //!   be identical. A divergent verdict is surfaced as a failure with the
 //!   usual span-tree diagnosis.
 //!
+//! A second, *edit-mutation* mode ([`run_edits`]) targets the incremental
+//! solver instead of the front end: it applies structured source edits
+//! (statement insertion into one procedure, a fresh declaration that
+//! renumbers the location table, statement duplication) and, for every
+//! mutant that still builds, asserts the equivalence contract — a seeded
+//! incremental re-solve from the base program's converged region-parallel
+//! solution must match a cold solve of the mutant **byte for byte** (facts,
+//! active set, iteration counts, node visits), without panicking or
+//! hanging.
+//!
 //! Everything is deterministic in the seed, so a CI failure reproduces
 //! locally with `FUZZ_SEED=<seed> FUZZ_CASES=1 cargo test -p mpi-dfa-suite
 //! --test fuzz_smoke`.
 
 use crate::gen::{self, GenConfig};
 use crate::programs;
+use mpi_dfa_analyses::activity::{
+    analyze_mpi_delta, analyze_mpi_with, ActivityConfig, ActivityResult,
+};
 use mpi_dfa_analyses::mpi_match::{build_mpi_icfg_with_budget, Matching};
 use mpi_dfa_core::budget::Budget;
+use mpi_dfa_core::solver::{SolveParams, Strategy};
 use mpi_dfa_core::telemetry::{self, TraceLevel};
-use mpi_dfa_graph::icfg::ProgramIr;
+use mpi_dfa_graph::icfg::{dirty_procs, ProgramIr};
 use mpi_dfa_lang::rng::SplitMix64;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -369,6 +383,324 @@ pub fn run(config: &FuzzConfig) -> FuzzReport {
     report
 }
 
+// ---------------------------------------------------------------------------
+// Edit-mutation mode: incremental-equivalence fuzzing.
+// ---------------------------------------------------------------------------
+
+/// How far one edit-equivalence case got without violating the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditStage {
+    /// The base solve could not anchor the case (no globals to build an
+    /// activity config from, or the cold base solve missed the deadline and
+    /// captured no seed regions). Vacuous, not a violation.
+    Skipped,
+    /// The edit broke the build (front end or graph) or the mutant's cold
+    /// solve missed the deadline; nothing to compare.
+    RejectedEdit,
+    /// Cold solve and seeded re-solve both ran and matched byte for byte.
+    Verified,
+}
+
+/// One verified/skipped/rejected edit case, with transplant coverage.
+#[derive(Debug, Clone, Copy)]
+pub struct EditOutcome {
+    pub stage: EditStage,
+    /// Regions transplanted from the seed (vary + useful phases summed).
+    pub regions_reused: usize,
+    /// Regions re-solved.
+    pub regions_resolved: usize,
+}
+
+impl EditOutcome {
+    fn bare(stage: EditStage) -> Self {
+        EditOutcome {
+            stage,
+            regions_reused: 0,
+            regions_resolved: 0,
+        }
+    }
+}
+
+/// Aggregate outcome of an edit-mutation run.
+#[derive(Debug, Default)]
+pub struct EditReport {
+    pub cases: usize,
+    /// Buildable mutants whose seeded re-solve matched the cold solve.
+    pub verified: usize,
+    /// Edits that broke the build (cleanly rejected).
+    pub rejected: usize,
+    /// Cases with no usable base solve to seed from.
+    pub skipped: usize,
+    /// Transplant coverage summed over verified cases — the run must
+    /// exercise both reuse (> 0) and re-solving (> 0) to mean anything.
+    pub regions_reused: usize,
+    pub regions_resolved: usize,
+    pub failures: Vec<FuzzFailure>,
+    pub max_case: Duration,
+}
+
+/// Deterministically apply one structured *edit* to a base program. Unlike
+/// [`mutate`] (byte shrapnel for robustness testing), these edits model a
+/// developer touching the source, so most mutants stay buildable and the
+/// seeded re-solve actually runs:
+///
+/// * insert two `print` statements into one procedure body — the canonical
+///   one-procedure delta, where downstream-only regions should transplant;
+/// * add a fresh global after the header — renumbers the location table,
+///   shifting every fingerprint, so the re-solve must re-solve everything
+///   and still match the cold solve;
+/// * declare an unused local in one procedure;
+/// * duplicate one `;`-terminated statement line.
+pub fn edit_mutate(src: &str, rng: &mut SplitMix64) -> String {
+    let sub_starts: Vec<usize> = src.match_indices("sub ").map(|(i, _)| i).collect();
+    match rng.below(4) {
+        0 | 2 if sub_starts.is_empty() => src.to_string(),
+        0 => {
+            let at = sub_starts[rng.below(sub_starts.len())];
+            match src[at..].find('{') {
+                Some(off) => {
+                    let pos = at + off + 1;
+                    format!("{} print(1.0); print(2.0);{}", &src[..pos], &src[pos..])
+                }
+                None => src.to_string(),
+            }
+        }
+        1 => {
+            // Globals must follow the `program` header line.
+            let header_end = src
+                .find("program ")
+                .and_then(|at| src[at..].find('\n').map(|nl| at + nl));
+            match header_end {
+                Some(nl) => format!("{}\nglobal zq9: real;{}", &src[..nl], &src[nl..]),
+                None => src.to_string(),
+            }
+        }
+        2 => {
+            let at = sub_starts[rng.below(sub_starts.len())];
+            match src[at..].find('{') {
+                Some(off) => {
+                    let pos = at + off + 1;
+                    format!("{} var zq8: real;{}", &src[..pos], &src[pos..])
+                }
+                None => src.to_string(),
+            }
+        }
+        _ => {
+            let lines: Vec<&str> = src.lines().collect();
+            // Plain statements only — duplicating a declaration would just
+            // trip the redeclaration error, wasting the case.
+            let stmts: Vec<usize> = lines
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.trim_end().ends_with(';') && !l.contains(':'))
+                .map(|(i, _)| i)
+                .collect();
+            if stmts.is_empty() {
+                return src.to_string();
+            }
+            let pick = stmts[rng.below(stmts.len())];
+            let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+            for (i, l) in lines.iter().enumerate() {
+                out.push(l);
+                if i == pick {
+                    out.push(l);
+                }
+            }
+            out.join("\n")
+        }
+    }
+}
+
+/// Activity config for an arbitrary corpus program: first global
+/// independent, last global dependent. `None` when the program declares no
+/// globals to anchor the analysis.
+fn edit_config(ir: &ProgramIr) -> Option<ActivityConfig> {
+    let globals = &ir.unit.program.globals;
+    let first = globals.first()?;
+    let last = globals.last()?;
+    Some(ActivityConfig::new(
+        [first.name.as_str()],
+        [last.name.as_str()],
+    ))
+}
+
+fn edit_params(deadline: Duration) -> SolveParams {
+    SolveParams {
+        strategy: Strategy::RegionParallel { threads: 2 },
+        budget: Budget::unlimited().with_deadline_ms(deadline.as_millis() as u64),
+        ..SolveParams::default()
+    }
+}
+
+/// The byte-for-byte leg of the edit contract. Facts, the derived active
+/// set, and the deterministic work counters must all agree — transplanted
+/// regions carry their original solve's stats, so even `node_visits`
+/// matches a cold solve exactly. A mismatch panics; the harness catches it
+/// and reports the seed.
+fn assert_incremental_equivalence(delta: &ActivityResult, cold: &ActivityResult) {
+    assert_eq!(delta.vary.input, cold.vary.input, "vary IN facts diverged");
+    assert_eq!(
+        delta.vary.output, cold.vary.output,
+        "vary OUT facts diverged"
+    );
+    assert_eq!(
+        delta.useful.input, cold.useful.input,
+        "useful IN facts diverged"
+    );
+    assert_eq!(
+        delta.useful.output, cold.useful.output,
+        "useful OUT facts diverged"
+    );
+    assert_eq!(delta.active, cold.active, "active sets diverged");
+    assert_eq!(
+        delta.active_bytes, cold.active_bytes,
+        "active-byte totals diverged"
+    );
+    assert_eq!(delta.iterations, cold.iterations, "pass counts diverged");
+    assert_eq!(
+        delta.vary.stats.node_visits, cold.vary.stats.node_visits,
+        "vary node-visit counters diverged"
+    );
+    assert_eq!(
+        delta.useful.stats.node_visits, cold.useful.stats.node_visits,
+        "useful node-visit counters diverged"
+    );
+}
+
+/// Push one (base, mutant) pair through the incremental-equivalence
+/// contract: cold region-parallel solve of the base captures seed regions;
+/// the mutant is re-solved both cold and seeded (dirtying exactly the
+/// procedures [`dirty_procs`] reports as textually changed); the two
+/// results must match byte for byte. Contract violations panic — the
+/// caller runs this under `catch_unwind`.
+pub fn edit_pipeline(base: &str, mutant: &str, deadline: Duration) -> EditOutcome {
+    let Ok(base_ir) = ProgramIr::from_source(base) else {
+        return EditOutcome::bare(EditStage::Skipped);
+    };
+    let Some(config) = edit_config(&base_ir) else {
+        return EditOutcome::bare(EditStage::Skipped);
+    };
+    let budget = Budget::unlimited().with_deadline_ms(deadline.as_millis() as u64);
+    let params = edit_params(deadline);
+    let Ok(base_mpi) = build_mpi_icfg_with_budget(
+        base_ir.clone(),
+        "main",
+        1,
+        Matching::ReachingConstants,
+        &budget,
+    ) else {
+        return EditOutcome::bare(EditStage::Skipped);
+    };
+    let Ok(prev) = analyze_mpi_with(&base_mpi, &config, &params) else {
+        return EditOutcome::bare(EditStage::Skipped);
+    };
+    if !prev.converged() || prev.vary.regions.is_none() || prev.useful.regions.is_none() {
+        return EditOutcome::bare(EditStage::Skipped);
+    }
+
+    let Ok(mut_ir) = ProgramIr::from_source(mutant) else {
+        return EditOutcome::bare(EditStage::RejectedEdit);
+    };
+    let Ok(mut_mpi) = build_mpi_icfg_with_budget(
+        mut_ir.clone(),
+        "main",
+        1,
+        Matching::ReachingConstants,
+        &budget,
+    ) else {
+        return EditOutcome::bare(EditStage::RejectedEdit);
+    };
+    let Ok(cold) = analyze_mpi_with(&mut_mpi, &config, &params) else {
+        return EditOutcome::bare(EditStage::RejectedEdit);
+    };
+    if !cold.converged() {
+        // Deadline-bound snapshot; the equivalence contract only speaks
+        // about fixpoints.
+        return EditOutcome::bare(EditStage::RejectedEdit);
+    }
+
+    let dirty = mut_mpi
+        .icfg()
+        .nodes_of_procs(&dirty_procs(&base_ir, &mut_ir));
+    let delta = analyze_mpi_delta(&mut_mpi, &config, &params, &prev, &dirty)
+        .unwrap_or_else(|e| panic!("seeded re-solve rejected a buildable mutant: {e}"));
+    assert_incremental_equivalence(&delta.result, &cold);
+    EditOutcome {
+        stage: EditStage::Verified,
+        regions_reused: delta.regions_reused,
+        regions_resolved: delta.regions_resolved,
+    }
+}
+
+/// Run one seeded edit case against `corpus`. `Err` means contract
+/// violation (panic — including an equivalence mismatch — or hang).
+pub fn run_edit_case(
+    seed: u64,
+    corpus: &[String],
+    deadline: Duration,
+) -> Result<(EditOutcome, Duration), FuzzFailure> {
+    let mut rng = SplitMix64::fork(seed, 0xED17);
+    let base = &corpus[rng.below(corpus.len())];
+    let mutant = edit_mutate(base, &mut rng);
+    let started = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| edit_pipeline(base, &mutant, deadline)));
+    let elapsed = started.elapsed();
+    match outcome {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(FuzzFailure {
+                seed,
+                kind: FailureKind::Panic,
+                detail: msg,
+            })
+        }
+        Ok(out) => {
+            // Three solves and two graph builds per case, so the hang bar
+            // is HANG_FACTOR times *five* deadlines rather than one.
+            if elapsed > deadline * HANG_FACTOR * 5 {
+                Err(FuzzFailure {
+                    seed,
+                    kind: FailureKind::Hang,
+                    detail: format!("edit case took {elapsed:?} against a {deadline:?} deadline"),
+                })
+            } else {
+                Ok((out, elapsed))
+            }
+        }
+    }
+}
+
+/// Run the whole seeded edit-mutation range and aggregate.
+pub fn run_edits(config: &FuzzConfig) -> EditReport {
+    let corpus = corpus();
+    let mut report = EditReport {
+        cases: config.cases,
+        ..EditReport::default()
+    };
+    for seed in config.start_seed..config.start_seed + config.cases as u64 {
+        match run_edit_case(seed, &corpus, config.per_case_deadline) {
+            Ok((out, elapsed)) => {
+                report.max_case = report.max_case.max(elapsed);
+                match out.stage {
+                    EditStage::Skipped => report.skipped += 1,
+                    EditStage::RejectedEdit => report.rejected += 1,
+                    EditStage::Verified => {
+                        report.verified += 1;
+                        report.regions_reused += out.regions_reused;
+                        report.regions_resolved += out.regions_resolved;
+                    }
+                }
+            }
+            Err(f) => report.failures.push(f),
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +757,66 @@ mod tests {
         for src in corpus() {
             assert_eq!(pipeline(&src, Duration::from_secs(5)), Stage::Built);
         }
+    }
+
+    #[test]
+    fn edit_mutation_is_deterministic_in_the_seed() {
+        let base = programs::LU;
+        let a = edit_mutate(base, &mut SplitMix64::fork(5, 0xED17));
+        let b = edit_mutate(base, &mut SplitMix64::fork(5, 0xED17));
+        assert_eq!(a, b);
+        // Structured edits keep the program recognizable: they only ever
+        // grow the source.
+        assert!(a.len() >= base.len());
+    }
+
+    #[test]
+    fn one_procedure_edit_verifies_and_transplants_regions() {
+        // The canonical delta: insert prints into LU's first procedure. The
+        // mutant must verify byte-for-byte against a cold solve, and a
+        // multi-procedure program must reuse at least one region.
+        let base = programs::LU;
+        let at = base.find("sub ").unwrap();
+        let pos = at + base[at..].find('{').unwrap() + 1;
+        let mutant = format!("{} print(1.0); print(2.0);{}", &base[..pos], &base[pos..]);
+        let out = edit_pipeline(base, &mutant, Duration::from_secs(5));
+        assert_eq!(out.stage, EditStage::Verified);
+        assert!(out.regions_reused > 0, "{out:?}");
+        assert!(out.regions_resolved > 0, "{out:?}");
+    }
+
+    #[test]
+    fn declaration_edit_forces_a_full_resolve_that_still_verifies() {
+        // A fresh global renumbers the location table: every fingerprint
+        // shifts, nothing transplants, and the answer must still match.
+        let base = programs::LU;
+        let at = base.find("program ").unwrap();
+        let nl = at + base[at..].find('\n').unwrap();
+        let mutant = format!("{}\nglobal zq9: real;{}", &base[..nl], &base[nl..]);
+        let out = edit_pipeline(base, &mutant, Duration::from_secs(5));
+        assert_eq!(out.stage, EditStage::Verified);
+        assert_eq!(out.regions_reused, 0, "{out:?}");
+        assert!(out.regions_resolved > 0, "{out:?}");
+    }
+
+    #[test]
+    fn seeded_edit_run_verifies_every_buildable_mutant() {
+        let report = run_edits(&FuzzConfig {
+            cases: 32,
+            per_case_deadline: Duration::from_secs(2),
+            ..FuzzConfig::default()
+        });
+        assert!(report.failures.is_empty(), "{:#?}", report.failures);
+        assert_eq!(
+            report.verified + report.rejected + report.skipped,
+            report.cases
+        );
+        // Structured edits must mostly survive the build — and the run is
+        // only meaningful if it exercised both transplanting and
+        // re-solving.
+        assert!(report.verified > report.cases / 2, "{report:?}");
+        assert!(report.regions_reused > 0, "{report:?}");
+        assert!(report.regions_resolved > 0, "{report:?}");
     }
 
     #[test]

@@ -36,6 +36,16 @@ of the whole fleet, and — after a full cluster restart onto the same
 `--cache-dir`, at a different shard count — warm *disk* hits proving the
 cache is content-addressed, not topology-addressed.
 
+With `--delta` the incremental surface (docs/INCREMENTAL.md) is driven:
+a region-parallel `analyze` seeds the worker, an `analyze-delta` of an
+edited source answers incrementally (`cache: partial` on the
+single-process daemon, where the seed is always local; on a cluster the
+router may land the delta on a seedless shard, which falls back to a
+full solve — so only byte-equality is asserted there), the delta's
+result is asserted byte-identical to a cold `analyze` of the same edited
+source, and a demand query (`at`) answers under its own cache key
+without disturbing the full-solve entry.
+
 Observability add-ons (see docs/OBSERVABILITY.md):
 
   * `--metrics` scrapes the `metrics` verb and asserts the Prometheus
@@ -49,6 +59,7 @@ Observability add-ons (see docs/OBSERVABILITY.md):
 Usage: python3 scripts/serve_client.py [path/to/mpidfa]
                                        [--retries N] [--deadline-ms MS]
                                        [--shards N] [--metrics] [--trace]
+                                       [--delta]
 """
 
 import argparse
@@ -63,6 +74,21 @@ import tempfile
 import time
 
 ROWS = ["Biostat", "SOR", "CG", "LU-1", "MG-1"]
+
+# Two-procedure program for the --delta flow; the edit inserts one
+# fact-neutral statement into `work`, so everything outside it
+# transplants from the seed.
+DELTA_BASE = (
+    "program inc\n"
+    "global x: real; global y: real; global out: real;\n"
+    "sub work() { x = x * 2.0; }\n"
+    "sub main() {\n"
+    "  call work();\n"
+    "  if (rank() == 0) { send(x, 1, 7); } else { recv(y, 0, 7); }\n"
+    "  out = y + 1.0;\n"
+    "}\n"
+)
+DELTA_EDIT = DELTA_BASE.replace("x = x * 2.0;", "print(1.0); x = x * 2.0;")
 
 
 class Client:
@@ -164,6 +190,74 @@ def verify_step(client, base_id):
     assert r["result"]["crosscheck"]["outcome"] == "confirmed", r
     assert r["result"]["crosscheck"]["first_deadlock"], r
     return cold["result"]
+
+
+def delta_step(client, base_id, expect_partial):
+    """`--delta`: the incremental surface (docs/INCREMENTAL.md).
+
+    Seed with a region-parallel `analyze` (only region-engine solves
+    capture a reusable seed), send an `analyze-delta` of the edited
+    source naming the seed via `prev`, and assert its result is
+    byte-identical to a cold `analyze` of the same edited source.
+    `expect_partial` is True on the single-process daemon, where the
+    seed is always local; through the router a delta can land on a
+    seedless shard and legitimately fall back to a full solve
+    (`cache: miss`) — identical bytes either way.
+    """
+    base = {"ind": ["x"], "dep": ["out"]}
+    seed = {"id": base_id, "kind": "analyze", "source": DELTA_BASE,
+            "solver": "region-parallel:2", **base}
+    r_seed = client.rpc(seed)
+    assert r_seed["ok"] and r_seed["cache"] == "miss", r_seed
+
+    # Cold solve of the edited source FIRST, at the same strategy as the
+    # upcoming delta: facts are strategy-invariant but pass counters are
+    # not, and `solver` is deliberately excluded from the result key, so
+    # the byte-identity comparison needs this entry to have been computed
+    # at region-parallel:2 (different kind => different key, so the delta
+    # below genuinely runs the seeded path rather than hitting this one).
+    cold = {"id": base_id + 1, "kind": "analyze", "source": DELTA_EDIT,
+            "solver": "region-parallel:2", **base}
+    r_cold = client.rpc(cold)
+    assert r_cold["ok"] and r_cold["cache"] == "miss", r_cold
+
+    delta = {"id": base_id + 2, "kind": "analyze-delta",
+             "source": DELTA_EDIT, "prev": base_id,
+             "solver": "region-parallel:2", **base}
+    r_delta = client.rpc(delta)
+    assert r_delta["ok"], r_delta
+    if expect_partial:
+        assert r_delta["cache"] == "partial", r_delta
+    else:
+        assert r_delta["cache"] in ("partial", "miss"), r_delta
+
+    # The incremental answer must be indistinguishable from the cold
+    # solve of the edited source — facts, counters, provenance.
+    assert r_delta["result"] == r_cold["result"], (
+        "incremental result diverged from the cold solve"
+    )
+
+    # Re-sending the delta hits its own (kind-scoped) cache entry.
+    r_again = client.rpc(delta)
+    assert r_again["ok"] and r_again["cache"] == "hit", r_again
+    assert r_again["result"] == r_delta["result"], r_again
+
+    # Demand query: `at` turns an analyze into a slice-backed
+    # fact-at-node question under its own cache key.
+    demand = {"id": base_id + 3, "kind": "analyze", "source": DELTA_BASE,
+              "at": 0, **base}
+    r_demand = client.rpc(demand)
+    assert r_demand["ok"] and r_demand["cache"] == "miss", r_demand
+    assert r_demand["result"]["mode"] == "demand", r_demand
+    assert r_demand["result"]["at"] == 0, r_demand
+    r_demand2 = client.rpc(demand)
+    assert r_demand2["ok"] and r_demand2["cache"] == "hit", r_demand2
+    assert r_demand2["result"] == r_demand["result"], r_demand2
+    # The full-solve entry for the same source is untouched by the
+    # demand key: the seed request warm-hits with its original payload.
+    r_full = client.rpc({**seed, "id": base_id + 4})
+    assert r_full["ok"] and r_full["cache"] == "hit", r_full
+    assert r_full["result"] == r_seed["result"], r_full
 
 
 def metrics_step(client, shards=None):
@@ -303,6 +397,12 @@ def cluster_main(args):
             range(args.shards)
         ), stats
 
+        # The incremental surface through the router: byte-equality is
+        # asserted; `partial` is not (the delta can land on a seedless
+        # shard and fall back to a full solve).
+        if args.delta:
+            delta_step(c, 600, expect_partial=False)
+
         # Observability add-ons against the live fleet.
         if args.metrics:
             metrics_step(c, shards=args.shards)
@@ -340,7 +440,8 @@ def cluster_main(args):
 
         extras = "".join(
             f", {name}" for name, on in
-            [("cluster metrics", args.metrics), ("trace", args.trace)] if on
+            [("delta", args.delta), ("cluster metrics", args.metrics),
+             ("trace", args.trace)] if on
         )
         print(
             f"ok [cluster {args.shards} shard(s)]: {len(ROWS)} rows cold "
@@ -390,6 +491,13 @@ def main():
         action="store_true",
         help="cluster only: assert trace propagation, the access log, "
         "and `mpidfa trace` timeline reconstruction",
+    )
+    ap.add_argument(
+        "--delta",
+        action="store_true",
+        help="drive the incremental surface: analyze seed, analyze-delta "
+        "(cache: partial on a single daemon, byte-equality everywhere), "
+        "and a demand (`at`) query under its own cache key",
     )
     args = ap.parse_args()
     if args.trace and args.shards is None:
@@ -456,6 +564,11 @@ def main():
         # byte-identity through the result cache.
         verify_step(c, 400)
 
+        # The incremental surface: on a single-process daemon the seed is
+        # always local, so the delta must answer `cache: partial`.
+        if args.delta:
+            delta_step(c, 600, expect_partial=True)
+
         # cache-stats: admission ladder + per-layer counters.
         r = c.rpc({"id": 10, "kind": "cache-stats"})
         assert r["ok"], r
@@ -479,10 +592,11 @@ def main():
         code = proc.wait(timeout=60)
         assert code == 0, f"server exited with {code}"
 
+        extras = ", incremental delta + demand" if args.delta else ""
         print(
             f"ok: {len(ROWS)} rows cold {cold_s*1e3:.2f} ms, "
             f"warm {warm_s*1e3:.2f} ms ({cold_s/warm_s:.1f}x over the socket), "
-            f"deadlines + cache-stats + clean shutdown"
+            f"deadlines + cache-stats + clean shutdown{extras}"
         )
     finally:
         if proc.poll() is None:

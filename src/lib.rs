@@ -16,7 +16,9 @@
 //! * [`core`] — the generic solver: lattices, the [`core::Dataflow`] trait
 //!   with its communication transfer function, and the [`core::Solver`]
 //!   builder over round-robin, worklist, and SCC-region-parallel
-//!   strategies (see `docs/SOLVER.md`);
+//!   strategies, plus incremental (`seed`/`dirty`) and demand-driven
+//!   (`demand`) partial modes (see `docs/SOLVER.md` and
+//!   `docs/INCREMENTAL.md`);
 //! * [`analyses`] — reaching constants, activity (Vary/Useful/Active),
 //!   liveness, reaching definitions, forward slicing, taint;
 //! * [`suite`] — the benchmark programs and the Table 1 / Figure 4
@@ -73,9 +75,9 @@ pub mod prelude {
     pub use mpi_dfa_analyses::mpi_match::{build_mpi_icfg, Matching};
     pub use mpi_dfa_analyses::{consts, liveness, reaching_defs, slicing, taint};
     pub use mpi_dfa_core::budget::{Budget, BudgetSpent, CancelToken, Exhaustion};
-    #[allow(deprecated)] // back-compat: the shims stay importable from here
-    pub use mpi_dfa_core::solver::{solve, solve_worklist};
-    pub use mpi_dfa_core::solver::{Solution, SolveParams, Solver, Strategy};
+    pub use mpi_dfa_core::solver::{
+        DemandRun, SeededRun, Solution, SolveParams, Solver, SolverConfigError, Strategy,
+    };
     pub use mpi_dfa_core::{Dataflow, Direction, VarSet};
     pub use mpi_dfa_graph::icfg::{Icfg, ProgramIr};
     pub use mpi_dfa_graph::mpi::{MpiIcfg, SyntacticConsts};
